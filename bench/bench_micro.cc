@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the pipeline's hot paths:
+// transition-model construction, stationary-distribution convergence,
+// answer draws, greedy validation, HT estimation, and the Poissonized BLB.
+// These back the design choices called out in DESIGN.md §4.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "estimate/bootstrap.h"
+#include "estimate/ht_estimator.h"
+#include "kg/bfs.h"
+#include "sampling/answer_sampler.h"
+#include "sampling/random_walk.h"
+
+namespace {
+
+using namespace kgaq;
+using namespace kgaq::bench;
+
+struct MicroFixture {
+  const GeneratedDataset& ds = Dataset("DBpedia");
+  const KnowledgeGraph& g = ds.graph();
+  NodeId hub = ds.hubs()[0];
+  PredicateId pred = g.PredicateIdOf(ds.domains()[0].query_predicate);
+  PredicateSimilarityCache sims{ds.reference_embedding(), pred};
+  BoundedSubgraph scope = BoundedBfs(g, hub, 3);
+};
+
+MicroFixture& Fixture() {
+  static MicroFixture* f = new MicroFixture();
+  return *f;
+}
+
+void BM_BoundedBfs(benchmark::State& state) {
+  auto& f = Fixture();
+  for (auto _ : state) {
+    auto scope = BoundedBfs(f.g, f.hub, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(scope.nodes.size());
+  }
+}
+BENCHMARK(BM_BoundedBfs)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_TransitionModelBuild(benchmark::State& state) {
+  auto& f = Fixture();
+  for (auto _ : state) {
+    TransitionModel tm(f.g, f.scope, f.sims);
+    benchmark::DoNotOptimize(tm.NumScopeNodes());
+  }
+}
+BENCHMARK(BM_TransitionModelBuild);
+
+void BM_StationaryDistribution(benchmark::State& state) {
+  auto& f = Fixture();
+  TransitionModel tm(f.g, f.scope, f.sims);
+  for (auto _ : state) {
+    auto st = ComputeStationaryDistribution(tm);
+    benchmark::DoNotOptimize(st.pi.data());
+  }
+}
+BENCHMARK(BM_StationaryDistribution);
+
+void BM_WalkStepExactVsRejection(benchmark::State& state) {
+  auto& f = Fixture();
+  TransitionModel tm(f.g, f.scope, f.sims);
+  Rng rng(1);
+  size_t cur = tm.SourceLocal();
+  const bool rejection = state.range(0) == 1;
+  for (auto _ : state) {
+    cur = rejection ? tm.SampleNextRejection(cur, rng)
+                    : tm.SampleNext(cur, rng);
+    benchmark::DoNotOptimize(cur);
+  }
+}
+BENCHMARK(BM_WalkStepExactVsRejection)->Arg(0)->Arg(1);
+
+void BM_AnswerDraw(benchmark::State& state) {
+  auto& f = Fixture();
+  TransitionModel tm(f.g, f.scope, f.sims);
+  auto st = ComputeStationaryDistribution(tm);
+  std::vector<TypeId> types = {
+      f.g.TypeIdOf(f.ds.domains()[0].answer_type)};
+  AnswerSampler sampler(f.g, tm, st.pi, types);
+  Rng rng(2);
+  for (auto _ : state) {
+    auto draws = sampler.Draw(64, rng);
+    benchmark::DoNotOptimize(draws.data());
+  }
+}
+BENCHMARK(BM_AnswerDraw);
+
+void BM_GreedyValidationBatch(benchmark::State& state) {
+  auto& f = Fixture();
+  TransitionModel tm(f.g, f.scope, f.sims);
+  auto st = ComputeStationaryDistribution(tm);
+  GreedyValidator::Options opts;
+  GreedyValidator v(f.g, tm, st.pi, f.sims, opts);
+  for (auto _ : state) {
+    auto matches = v.ComputeAllMatches();
+    benchmark::DoNotOptimize(matches.data());
+  }
+}
+BENCHMARK(BM_GreedyValidationBatch);
+
+std::vector<SampleItem> MakeItems(size_t n) {
+  Rng rng(3);
+  std::vector<SampleItem> items(n);
+  for (size_t i = 0; i < n; ++i) {
+    items[i].node = static_cast<NodeId>(i);
+    items[i].value = 10.0 + rng.NextDouble() * 5;
+    items[i].pi = 0.001 + rng.NextDouble() * 0.01;
+    items[i].correct = rng.NextBernoulli(0.3);
+  }
+  return items;
+}
+
+void BM_HtEstimate(benchmark::State& state) {
+  auto items = MakeItems(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HtEstimator::Estimate(AggregateFunction::kAvg, items));
+  }
+}
+BENCHMARK(BM_HtEstimate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BagOfLittleBootstraps(benchmark::State& state) {
+  auto items = MakeItems(static_cast<size_t>(state.range(0)));
+  Rng rng(4);
+  for (auto _ : state) {
+    auto blb = BagOfLittleBootstraps(items, AggregateFunction::kAvg, 0.95,
+                                     {}, rng);
+    benchmark::DoNotOptimize(blb.moe);
+  }
+}
+BENCHMARK(BM_BagOfLittleBootstraps)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table VIII: average response time (ms) of every method for every query
+// shape over the three datasets. Expected shape (paper): "Ours" is fastest
+// (no factoid query evaluation); SSB is slowest (exhaustive enumeration);
+// time grows with shape complexity for every method.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace kgaq;
+  using namespace kgaq::bench;
+
+  const std::vector<std::pair<QueryShape, const char*>> shapes = {
+      {QueryShape::kSimple, "Simple"}, {QueryShape::kChain, "Chain"},
+      {QueryShape::kStar, "Star"},     {QueryShape::kCycle, "Cycle"},
+      {QueryShape::kFlower, "Flower"},
+  };
+  const size_t kQueriesPerShape = 3;
+
+  PrintHeader("Table VIII: average response time (ms)");
+  std::printf("%-9s", "Method");
+  for (const auto& dname : DatasetNames()) {
+    for (const auto& [shape, sname] : shapes) {
+      std::printf(" %3.3s/%-6.6s", dname.c_str(), sname);
+    }
+  }
+  std::printf("\n");
+
+  for (const auto& method : MethodNames()) {
+    std::printf("%-9s", method.c_str());
+    for (const auto& dname : DatasetNames()) {
+      const GeneratedDataset& ds = Dataset(dname);
+      MethodContext ctx;
+      ctx.ds = &ds;
+      ctx.model = &ds.reference_embedding();
+      for (const auto& [shape, sname] : shapes) {
+        auto queries = ShapeWorkload(ds, shape, kQueriesPerShape);
+        double total = 0.0;
+        int n = 0;
+        for (const auto& bq : queries) {
+          auto run = RunMethod(method, ctx, bq.query);
+          if (!run.supported || !run.ok) continue;
+          total += run.millis;
+          ++n;
+        }
+        if (n == 0) {
+          std::printf(" %10s", "-");
+        } else {
+          std::printf(" %10.1f", total / n);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

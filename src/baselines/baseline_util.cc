@@ -1,0 +1,80 @@
+#include "baselines/baseline_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgaq {
+
+bool NodeHasAnyType(const KnowledgeGraph& g, NodeId u,
+                    const std::vector<TypeId>& types) {
+  for (TypeId t : types) {
+    if (g.HasType(u, t)) return true;
+  }
+  return false;
+}
+
+std::vector<TypeId> ResolveTypeIds(const KnowledgeGraph& g,
+                                   const std::vector<std::string>& names) {
+  std::vector<TypeId> out;
+  for (const auto& name : names) {
+    TypeId id = g.TypeIdOf(name);
+    if (id != kInvalidId) out.push_back(id);
+  }
+  return out;
+}
+
+BaselineResult AggregateOverAnswers(const KnowledgeGraph& g,
+                                    const AggregateQuery& query,
+                                    std::vector<NodeId> answers) {
+  BaselineResult out;
+
+  const AttributeId value_attr =
+      query.attribute.empty() ? kInvalidId : g.AttributeIdOf(query.attribute);
+  const bool needs_value =
+      query.function != AggregateFunction::kCount && value_attr != kInvalidId;
+  std::vector<std::pair<AttributeId, const Filter*>> filters;
+  for (const Filter& f : query.filters) {
+    filters.emplace_back(g.AttributeIdOf(f.attribute), &f);
+  }
+  const AttributeId group_attr = query.group_by.enabled()
+                                     ? g.AttributeIdOf(query.group_by.attribute)
+                                     : kInvalidId;
+
+  std::vector<double> values;
+  std::map<int64_t, std::vector<double>> group_values;
+  for (NodeId u : answers) {
+    bool keep = true;
+    for (const auto& [attr, f] : filters) {
+      auto v = g.Attribute(u, attr);
+      if (attr == kInvalidId || !v.has_value() || *v < f->lower ||
+          *v > f->upper) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    double value = 0.0;
+    if (needs_value) {
+      auto v = g.Attribute(u, value_attr);
+      if (!v.has_value()) continue;
+      value = *v;
+    }
+    if (group_attr != kInvalidId) {
+      auto v = g.Attribute(u, group_attr);
+      if (!v.has_value()) continue;
+      const int64_t key = static_cast<int64_t>(
+          std::floor(*v / query.group_by.bucket_width));
+      group_values[key].push_back(value);
+    }
+    values.push_back(value);
+    out.answers.push_back(u);
+  }
+
+  out.value = ApplyAggregate(query.function, values);
+  for (auto& [key, vals] : group_values) {
+    out.group_values[key] = ApplyAggregate(query.function, vals);
+  }
+  return out;
+}
+
+}  // namespace kgaq

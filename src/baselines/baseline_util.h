@@ -1,0 +1,42 @@
+#ifndef KGAQ_BASELINES_BASELINE_UTIL_H_
+#define KGAQ_BASELINES_BASELINE_UTIL_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "kg/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// Result shape shared by every exact / factoid-query baseline: a concrete
+/// answer set with the aggregate computed over it.
+struct BaselineResult {
+  double value = 0.0;
+  std::vector<NodeId> answers;
+  /// GROUP-BY buckets (bucket key -> aggregate), when requested.
+  std::map<int64_t, double> group_values;
+  double millis = 0.0;
+};
+
+/// Applies the query's filters / attribute requirements to a raw answer
+/// set and computes f_a (and GROUP-BY buckets) over the survivors —
+/// the "additional aggregate operation" the paper appends to factoid
+/// queries (Fig. 1b). Answers missing a required aggregate or GROUP-BY
+/// attribute are dropped, mirroring the approximate engine's validation.
+BaselineResult AggregateOverAnswers(const KnowledgeGraph& g,
+                                    const AggregateQuery& query,
+                                    std::vector<NodeId> answers);
+
+/// True iff `u` carries at least one of the (resolved) `types`.
+bool NodeHasAnyType(const KnowledgeGraph& g, NodeId u,
+                    const std::vector<TypeId>& types);
+
+/// Resolves type names to ids, dropping unknown names.
+std::vector<TypeId> ResolveTypeIds(const KnowledgeGraph& g,
+                                   const std::vector<std::string>& names);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_BASELINES_BASELINE_UTIL_H_

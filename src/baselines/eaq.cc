@@ -1,0 +1,66 @@
+#include "baselines/eaq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+#include "kg/bfs.h"
+
+namespace kgaq {
+
+Eaq::Eaq(const KnowledgeGraph& g, const EmbeddingModel& model,
+         Options options)
+    : g_(&g), model_(&model), options_(options) {}
+
+Result<BaselineResult> Eaq::Execute(const AggregateQuery& query) const {
+  WallTimer timer;
+  KGAQ_RETURN_IF_ERROR(query.Validate(*g_));
+  if (query.query.shape != QueryShape::kSimple) {
+    return Status::Unimplemented(
+        "EAQ performs aggregation only for simple queries");
+  }
+
+  const QueryBranch& branch = query.query.branches[0];
+  const NodeId us = g_->FindNodeByName(branch.specific_name);
+  const PredicateId pred = g_->PredicateIdOf(branch.hops[0].predicate);
+  if (pred == kInvalidId) {
+    return Status::NotFound("query predicate '" + branch.hops[0].predicate +
+                            "' is unknown to the KG embedding");
+  }
+  const std::vector<TypeId> target_types =
+      ResolveTypeIds(*g_, branch.target_types());
+
+  const BoundedSubgraph scope = BoundedBfs(*g_, us, options_.n_hops);
+  std::vector<std::pair<double, NodeId>> scored;
+  for (NodeId u : scope.nodes) {
+    if (u == us || !NodeHasAnyType(*g_, u, target_types)) continue;
+    // Link prediction: how plausible would the triple (u_s, pred, u) be?
+    // (Direction matches the query edge q_s -> q_t.)
+    scored.emplace_back(model_->ScoreTriple(us, pred, u), u);
+  }
+  if (scored.empty()) {
+    BaselineResult out = AggregateOverAnswers(*g_, query, {});
+    out.millis = timer.ElapsedMillis();
+    return out;
+  }
+
+  double mean = 0.0;
+  for (const auto& [s, u] : scored) mean += s;
+  mean /= static_cast<double>(scored.size());
+  double var = 0.0;
+  for (const auto& [s, u] : scored) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(scored.size());
+  const double threshold = mean + options_.z_margin * std::sqrt(var);
+
+  std::vector<NodeId> answers;
+  for (const auto& [s, u] : scored) {
+    if (s >= threshold) answers.push_back(u);
+  }
+  std::sort(answers.begin(), answers.end());
+
+  BaselineResult out = AggregateOverAnswers(*g_, query, std::move(answers));
+  out.millis = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,44 @@
+#ifndef KGAQ_BASELINES_EAQ_H_
+#define KGAQ_BASELINES_EAQ_H_
+
+#include "baselines/baseline_util.h"
+#include "common/status.h"
+#include "embedding/embedding_model.h"
+#include "kg/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// EAQ-style link-prediction aggregator (Li, Ge, Chen — ICDE'20).
+///
+/// EAQ collects candidate entities by *predicting* the query edge with the
+/// KG embedding: every type-matched candidate u in the n-bounded scope is
+/// scored with ScoreTriple(u_s, predicate, u), and candidates above an
+/// adaptive threshold (mean + z_margin * sigma of candidate scores) are
+/// taken as answers. It performs no edge-to-path mapping, so semantically
+/// valid multi-hop answers score poorly — matching its ~15-20% errors in
+/// Tables VI/VII. Like the original system, only simple queries are
+/// supported (Unimplemented otherwise) and no error bound is offered.
+class Eaq {
+ public:
+  struct Options {
+    int n_hops = 3;
+    /// Score threshold offset in candidate-score standard deviations.
+    double z_margin = 0.0;
+  };
+
+  Eaq(const KnowledgeGraph& g, const EmbeddingModel& model)
+      : Eaq(g, model, Options()) {}
+  Eaq(const KnowledgeGraph& g, const EmbeddingModel& model, Options options);
+
+  Result<BaselineResult> Execute(const AggregateQuery& query) const;
+
+ private:
+  const KnowledgeGraph* g_;
+  const EmbeddingModel* model_;
+  Options options_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_BASELINES_EAQ_H_

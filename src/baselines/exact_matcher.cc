@@ -1,0 +1,65 @@
+#include "baselines/exact_matcher.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/timer.h"
+
+namespace kgaq {
+
+ExactMatcher::ExactMatcher(const KnowledgeGraph& g) : g_(&g) {}
+
+Result<BaselineResult> ExactMatcher::Execute(
+    const AggregateQuery& query) const {
+  WallTimer timer;
+  KGAQ_RETURN_IF_ERROR(query.Validate(*g_));
+
+  std::unordered_set<NodeId> intersection;
+  bool first_branch = true;
+  for (const QueryBranch& branch : query.query.branches) {
+    const NodeId us = g_->FindNodeByName(branch.specific_name);
+    if (us == kInvalidId) {
+      return Status::NotFound("specific node '" + branch.specific_name +
+                              "' not found");
+    }
+    // Hop-by-hop exact expansion (a BGP join): frontier starts at u_s, and
+    // each hop follows only edges labelled with the query predicate into
+    // nodes carrying the hop's type.
+    std::unordered_set<NodeId> frontier = {us};
+    for (const QueryHop& hop : branch.hops) {
+      const PredicateId pred = g_->PredicateIdOf(hop.predicate);
+      std::vector<TypeId> types = ResolveTypeIds(*g_, hop.node_types);
+      std::unordered_set<NodeId> next;
+      if (pred != kInvalidId) {
+        for (NodeId u : frontier) {
+          for (const Neighbor& nb : g_->Neighbors(u)) {
+            if (nb.predicate != pred) continue;
+            if (!NodeHasAnyType(*g_, nb.node, types)) continue;
+            next.insert(nb.node);
+          }
+        }
+      }
+      frontier = std::move(next);
+      if (frontier.empty()) break;
+    }
+    if (first_branch) {
+      intersection = std::move(frontier);
+      first_branch = false;
+    } else {
+      std::unordered_set<NodeId> merged;
+      for (NodeId u : frontier) {
+        if (intersection.count(u)) merged.insert(u);
+      }
+      intersection = std::move(merged);
+    }
+    if (intersection.empty()) break;
+  }
+
+  std::vector<NodeId> answers(intersection.begin(), intersection.end());
+  std::sort(answers.begin(), answers.end());
+  BaselineResult out = AggregateOverAnswers(*g_, query, std::move(answers));
+  out.millis = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,29 @@
+#ifndef KGAQ_BASELINES_EXACT_MATCHER_H_
+#define KGAQ_BASELINES_EXACT_MATCHER_H_
+
+#include "baselines/baseline_util.h"
+#include "common/status.h"
+#include "kg/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// Exact-schema matcher — the SPARQL/BGP semantics the paper evaluates via
+/// JENA, Virtuoso and Neo4j: an answer is returned only when the KG
+/// contains edges matching the query graph *edge for edge* (same
+/// predicates, same hop count). Answers expressed through structurally
+/// different but semantically equivalent schemas are invisible to it,
+/// which is exactly the effectiveness ceiling Tables VI/VII document.
+class ExactMatcher {
+ public:
+  explicit ExactMatcher(const KnowledgeGraph& g);
+
+  Result<BaselineResult> Execute(const AggregateQuery& query) const;
+
+ private:
+  const KnowledgeGraph* g_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_BASELINES_EXACT_MATCHER_H_

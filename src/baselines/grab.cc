@@ -1,0 +1,57 @@
+#include "baselines/grab.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "kg/bfs.h"
+
+namespace kgaq {
+
+GraB::GraB(const KnowledgeGraph& g, Options options)
+    : g_(&g), options_(options) {}
+
+Result<BaselineResult> GraB::Execute(const AggregateQuery& query) const {
+  WallTimer timer;
+  KGAQ_RETURN_IF_ERROR(query.Validate(*g_));
+
+  std::unordered_set<NodeId> intersection;
+  bool first = true;
+  for (const QueryBranch& branch : query.query.branches) {
+    const NodeId us = g_->FindNodeByName(branch.specific_name);
+    if (us == kInvalidId) {
+      return Status::NotFound("specific node '" + branch.specific_name +
+                              "' not found");
+    }
+    const int radius = static_cast<int>(branch.hops.size()) +
+                       options_.structural_slack;
+    const BoundedSubgraph scope = BoundedBfs(*g_, us, radius);
+    const std::vector<TypeId> target_types =
+        ResolveTypeIds(*g_, branch.target_types());
+
+    std::unordered_set<NodeId> matches;
+    for (NodeId u : scope.nodes) {
+      if (u == us) continue;
+      if (NodeHasAnyType(*g_, u, target_types)) matches.insert(u);
+    }
+    if (first) {
+      intersection = std::move(matches);
+      first = false;
+    } else {
+      std::unordered_set<NodeId> merged;
+      for (NodeId u : matches) {
+        if (intersection.count(u)) merged.insert(u);
+      }
+      intersection = std::move(merged);
+    }
+    if (intersection.empty()) break;
+  }
+
+  std::vector<NodeId> answers(intersection.begin(), intersection.end());
+  std::sort(answers.begin(), answers.end());
+  BaselineResult out = AggregateOverAnswers(*g_, query, std::move(answers));
+  out.millis = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,38 @@
+#ifndef KGAQ_BASELINES_GRAB_H_
+#define KGAQ_BASELINES_GRAB_H_
+
+#include "baselines/baseline_util.h"
+#include "common/status.h"
+#include "kg/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// GraB-style index-free structural matcher (Jin et al., WWW'15).
+///
+/// GraB bounds matching scores by *structural* proximity: a candidate
+/// scores higher the closer it sits to the mapping node, regardless of
+/// predicate semantics. Per branch it accepts type-matched candidates
+/// within `structural_radius` extra hops of the query path length. The
+/// shorter-is-better assumption is exactly what §III Remark (1) argues
+/// against, producing GraB's mid-range errors in Tables VI/VII.
+class GraB {
+ public:
+  struct Options {
+    /// Accepted slack over the query's hop count (radius = hops + slack).
+    int structural_slack = 1;
+  };
+
+  explicit GraB(const KnowledgeGraph& g) : GraB(g, Options()) {}
+  GraB(const KnowledgeGraph& g, Options options);
+
+  Result<BaselineResult> Execute(const AggregateQuery& query) const;
+
+ private:
+  const KnowledgeGraph* g_;
+  Options options_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_BASELINES_GRAB_H_

@@ -1,0 +1,128 @@
+#include "baselines/qga.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace kgaq {
+
+namespace {
+
+// Splits an identifier-style predicate name into lowercase tokens on
+// '_', '-', '.' and camelCase boundaries.
+std::vector<std::string> Tokenize(const std::string& name) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool sep = c == '_' || c == '-' || c == '.' || c == ' ';
+    const bool camel = std::isupper(static_cast<unsigned char>(c)) &&
+                       !cur.empty() &&
+                       std::islower(static_cast<unsigned char>(cur.back()));
+    if (sep || camel) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+      if (sep) continue;
+    }
+    cur.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool SharesToken(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Qga::Qga(const KnowledgeGraph& g, Options options)
+    : g_(&g), options_(options) {}
+
+Result<BaselineResult> Qga::Execute(const AggregateQuery& query) const {
+  WallTimer timer;
+  KGAQ_RETURN_IF_ERROR(query.Validate(*g_));
+
+  // Which KG predicates lexically overlap any query-hop keyword?
+  std::vector<std::vector<std::string>> hop_tokens;
+  for (const QueryBranch& branch : query.query.branches) {
+    for (const QueryHop& hop : branch.hops) {
+      hop_tokens.push_back(Tokenize(hop.predicate));
+    }
+  }
+  std::vector<bool> predicate_matches(g_->NumPredicates(), false);
+  for (PredicateId p = 0; p < g_->NumPredicates(); ++p) {
+    const auto tokens = Tokenize(g_->predicates().name(p));
+    for (const auto& ht : hop_tokens) {
+      if (SharesToken(tokens, ht)) {
+        predicate_matches[p] = true;
+        break;
+      }
+    }
+  }
+
+  std::unordered_set<NodeId> intersection;
+  bool first = true;
+  for (const QueryBranch& branch : query.query.branches) {
+    const NodeId us = g_->FindNodeByName(branch.specific_name);
+    if (us == kInvalidId) {
+      return Status::NotFound("specific node '" + branch.specific_name +
+                              "' not found");
+    }
+    const std::vector<TypeId> target_types =
+        ResolveTypeIds(*g_, branch.target_types());
+
+    // BFS tracking whether any traversed edge matched a keyword.
+    std::unordered_set<NodeId> matches;
+    // state: (node, any-keyword-on-path) — visit each combination once.
+    std::vector<int8_t> seen(g_->NumNodes() * 2, 0);
+    std::vector<std::pair<NodeId, bool>> queue = {{us, false}};
+    std::vector<int> depth = {0};
+    seen[us * 2 + 0] = 1;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const auto [u, matched] = queue[head];
+      const int d = depth[head];
+      if (matched && u != us && NodeHasAnyType(*g_, u, target_types)) {
+        matches.insert(u);
+      }
+      if (d >= options_.max_hops) continue;
+      for (const Neighbor& nb : g_->Neighbors(u)) {
+        const bool m2 = matched || predicate_matches[nb.predicate];
+        if (seen[nb.node * 2 + (m2 ? 1 : 0)]) continue;
+        seen[nb.node * 2 + (m2 ? 1 : 0)] = 1;
+        queue.emplace_back(nb.node, m2);
+        depth.push_back(d + 1);
+      }
+    }
+    if (first) {
+      intersection = std::move(matches);
+      first = false;
+    } else {
+      std::unordered_set<NodeId> merged;
+      for (NodeId u : matches) {
+        if (intersection.count(u)) merged.insert(u);
+      }
+      intersection = std::move(merged);
+    }
+    if (intersection.empty()) break;
+  }
+
+  std::vector<NodeId> answers(intersection.begin(), intersection.end());
+  std::sort(answers.begin(), answers.end());
+  BaselineResult out = AggregateOverAnswers(*g_, query, std::move(answers));
+  out.millis = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,39 @@
+#ifndef KGAQ_BASELINES_QGA_H_
+#define KGAQ_BASELINES_QGA_H_
+
+#include "baselines/baseline_util.h"
+#include "common/status.h"
+#include "kg/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// QGA-style keyword search over the KG (Han et al., CIKM'17).
+///
+/// QGA assembles query graphs from keywords; its recall is bounded by
+/// lexical overlap between the user's keyword and edge predicates. This
+/// reproduction tokenizes predicate names (snake/camel separators) and
+/// accepts a candidate when some path of at most `max_hops` hops from the
+/// mapping node reaches it with at least one token-overlapping predicate
+/// on the path. Purely lexical matching both misses paraphrased schemas
+/// and admits spurious ones — QGA posts the largest errors in Tables
+/// VI/VII, which this policy reproduces.
+class Qga {
+ public:
+  struct Options {
+    int max_hops = 2;
+  };
+
+  explicit Qga(const KnowledgeGraph& g) : Qga(g, Options()) {}
+  Qga(const KnowledgeGraph& g, Options options);
+
+  Result<BaselineResult> Execute(const AggregateQuery& query) const;
+
+ private:
+  const KnowledgeGraph* g_;
+  Options options_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_BASELINES_QGA_H_

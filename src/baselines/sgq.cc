@@ -1,0 +1,71 @@
+#include "baselines/sgq.h"
+
+#include <algorithm>
+
+#include "baselines/ssb.h"
+#include "common/timer.h"
+
+namespace kgaq {
+
+SgqTopK::SgqTopK(const KnowledgeGraph& g, const EmbeddingModel& model,
+                 Options options)
+    : g_(&g), model_(&model), options_(options) {}
+
+Result<BaselineResult> SgqTopK::Execute(const AggregateQuery& query) const {
+  WallTimer timer;
+  KGAQ_RETURN_IF_ERROR(query.Validate(*g_));
+
+  // Rank candidates by exact branch-min similarity (SGQ's answer order).
+  Ssb::Options ssb_opts;
+  ssb_opts.tau = options_.tau;
+  ssb_opts.n_hops = options_.n_hops;
+  Ssb ranker(*g_, *model_, ssb_opts);
+
+  std::unordered_map<NodeId, double> min_sim;
+  for (size_t bi = 0; bi < query.query.branches.size(); ++bi) {
+    auto sims = ranker.BranchSimilarities(query.query.branches[bi]);
+    if (!sims.ok()) return sims.status();
+    if (bi == 0) {
+      min_sim = std::move(*sims);
+    } else {
+      std::unordered_map<NodeId, double> merged;
+      for (const auto& [node, s] : min_sim) {
+        auto it = sims->find(node);
+        if (it != sims->end()) merged.emplace(node, std::min(s, it->second));
+      }
+      min_sim = std::move(merged);
+    }
+  }
+
+  std::vector<std::pair<double, NodeId>> ranked;
+  ranked.reserve(min_sim.size());
+  for (const auto& [node, s] : min_sim) ranked.emplace_back(s, node);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+
+  // Grow k in steps of k_step until every tau-relevant answer is covered.
+  size_t num_relevant = 0;
+  for (const auto& [s, node] : ranked) {
+    if (s >= options_.tau) ++num_relevant;
+  }
+  size_t k = options_.k_step;
+  if (num_relevant > 0) {
+    // Relevant answers occupy a prefix of the similarity order, so the
+    // smallest multiple of k_step covering them is enough.
+    k = ((num_relevant + options_.k_step - 1) / options_.k_step) *
+        options_.k_step;
+  }
+  k = std::min(k, ranked.size());
+
+  std::vector<NodeId> answers;
+  answers.reserve(k);
+  for (size_t i = 0; i < k; ++i) answers.push_back(ranked[i].second);
+  std::sort(answers.begin(), answers.end());
+
+  BaselineResult out = AggregateOverAnswers(*g_, query, std::move(answers));
+  out.millis = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,41 @@
+#ifndef KGAQ_BASELINES_SGQ_H_
+#define KGAQ_BASELINES_SGQ_H_
+
+#include "baselines/baseline_util.h"
+#include "common/status.h"
+#include "embedding/embedding_model.h"
+#include "kg/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// SGQ-style incremental top-k semantic search (Wang et al., ICDE'20).
+///
+/// SGQ ranks candidates by semantic similarity and returns them in top-k
+/// batches. Following the paper's evaluation protocol (§VII-A), k starts
+/// at `k_step` and grows in steps of `k_step` until all tau-relevant
+/// answers are inside the prefix; the final prefix necessarily drags in
+/// some below-threshold answers, which is why SGQ's aggregate shows small
+/// but non-zero error in Tables VI/VII.
+class SgqTopK {
+ public:
+  struct Options {
+    size_t k_step = 50;
+    double tau = 0.85;
+    int n_hops = 3;
+  };
+
+  SgqTopK(const KnowledgeGraph& g, const EmbeddingModel& model,
+          Options options);
+
+  Result<BaselineResult> Execute(const AggregateQuery& query) const;
+
+ private:
+  const KnowledgeGraph* g_;
+  const EmbeddingModel* model_;
+  Options options_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_BASELINES_SGQ_H_

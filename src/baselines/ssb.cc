@@ -1,0 +1,130 @@
+#include "baselines/ssb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/timer.h"
+#include "embedding/predicate_similarity.h"
+#include "semsim/path_enumerator.h"
+
+namespace kgaq {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+Ssb::Ssb(const KnowledgeGraph& g, const EmbeddingModel& model,
+         Options options)
+    : g_(&g), model_(&model), options_(options) {}
+
+Result<std::unordered_map<NodeId, double>> Ssb::BranchSimilarities(
+    const QueryBranch& branch) const {
+  const NodeId us = g_->FindNodeByName(branch.specific_name);
+  if (us == kInvalidId) {
+    return Status::NotFound("specific node '" + branch.specific_name +
+                            "' not found");
+  }
+
+  // Per (node, cumulative length): max cumulative log-sum over all
+  // multi-stage simple-path compositions. Stage maxima per exact length
+  // compose exactly because log-sums are additive (see
+  // PathEnumerator::BestLogSumsByLength).
+  std::unordered_map<NodeId, std::vector<double>> frontier;
+  frontier.emplace(us, std::vector<double>{0.0});  // length 0, log-sum 0
+
+  for (size_t s = 0; s < branch.hops.size(); ++s) {
+    const QueryHop& hop = branch.hops[s];
+    const PredicateId pred = g_->PredicateIdOf(hop.predicate);
+    if (pred == kInvalidId) {
+      return Status::NotFound("query predicate '" + hop.predicate +
+                              "' is unknown to the KG embedding");
+    }
+    PredicateSimilarityCache sims(*model_, pred);
+    std::vector<TypeId> hop_types;
+    for (const auto& t : hop.node_types) {
+      TypeId id = g_->TypeIdOf(t);
+      if (id != kInvalidId) hop_types.push_back(id);
+    }
+
+    std::unordered_map<NodeId, std::vector<double>> next;
+    for (const auto& [root, lengths] : frontier) {
+      auto stage = PathEnumerator::BestLogSumsByLength(
+          *g_, root, options_.n_hops, sims);
+      for (const auto& [v, stage_row] : stage) {
+        bool type_ok = false;
+        for (TypeId t : hop_types) {
+          if (g_->HasType(v, t)) {
+            type_ok = true;
+            break;
+          }
+        }
+        if (!type_ok) continue;
+        for (size_t l1 = 0; l1 < lengths.size(); ++l1) {
+          if (lengths[l1] == kNegInf) continue;
+          for (size_t l2 = 1; l2 < stage_row.size(); ++l2) {
+            if (stage_row[l2] == kNegInf) continue;
+            const size_t len = l1 + l2;
+            auto [it, inserted] = next.try_emplace(
+                v, (s + 1) * static_cast<size_t>(options_.n_hops) + 1,
+                kNegInf);
+            auto& row = it->second;
+            const double log_sum = lengths[l1] + stage_row[l2];
+            if (log_sum > row[len]) row[len] = log_sum;
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  std::unordered_map<NodeId, double> out;
+  out.reserve(frontier.size());
+  for (const auto& [v, lengths] : frontier) {
+    double best = 0.0;
+    for (size_t len = 1; len < lengths.size(); ++len) {
+      if (lengths[len] == kNegInf) continue;
+      best = std::max(best,
+                      std::exp(lengths[len] / static_cast<double>(len)));
+    }
+    if (best > 0.0) out.emplace(v, best);
+  }
+  return out;
+}
+
+Result<BaselineResult> Ssb::Execute(const AggregateQuery& query) const {
+  WallTimer timer;
+  KGAQ_RETURN_IF_ERROR(query.Validate(*g_));
+
+  // tau-relevant correct answers must reach tau in every branch
+  // (intersection semantics for complex shapes, §V-B).
+  std::unordered_map<NodeId, double> min_sim;
+  for (size_t bi = 0; bi < query.query.branches.size(); ++bi) {
+    auto sims = BranchSimilarities(query.query.branches[bi]);
+    if (!sims.ok()) return sims.status();
+    if (bi == 0) {
+      min_sim = std::move(*sims);
+    } else {
+      std::unordered_map<NodeId, double> merged;
+      for (const auto& [node, s] : min_sim) {
+        auto it = sims->find(node);
+        if (it != sims->end()) {
+          merged.emplace(node, std::min(s, it->second));
+        }
+      }
+      min_sim = std::move(merged);
+    }
+  }
+
+  std::vector<NodeId> correct;
+  for (const auto& [node, s] : min_sim) {
+    if (s >= options_.tau) correct.push_back(node);
+  }
+  std::sort(correct.begin(), correct.end());
+
+  BaselineResult out = AggregateOverAnswers(*g_, query, std::move(correct));
+  out.millis = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace kgaq

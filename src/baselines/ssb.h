@@ -1,0 +1,49 @@
+#ifndef KGAQ_BASELINES_SSB_H_
+#define KGAQ_BASELINES_SSB_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/baseline_util.h"
+#include "common/status.h"
+#include "embedding/embedding_model.h"
+#include "kg/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// Semantic Similarity-based Baseline (Algorithm 1): exact but costly
+/// enumeration of the tau-relevant correct answers A+ and of V = f_a(A+).
+///
+/// SSB enumerates every simple path up to n hops from the mapping node
+/// (O(|A| * m^n)), computes each candidate's exact Eq. 3 similarity, and
+/// thresholds at tau. It doubles as the tau-GT oracle of the evaluation
+/// (§VII): every relative-error column in Tables VI/IX/XI is measured
+/// against SSB's output.
+class Ssb {
+ public:
+  struct Options {
+    double tau = 0.85;
+    int n_hops = 3;
+  };
+
+  Ssb(const KnowledgeGraph& g, const EmbeddingModel& model, Options options);
+
+  /// Exact evaluation of a (possibly complex) aggregate query.
+  Result<BaselineResult> Execute(const AggregateQuery& query) const;
+
+  /// Exact Eq. 3 similarity of every type-matched candidate of one branch
+  /// (chains handled stage-exactly via per-length log-sum composition).
+  /// Exposed for Table V's Jaccard computation and for validator tests.
+  Result<std::unordered_map<NodeId, double>> BranchSimilarities(
+      const QueryBranch& branch) const;
+
+ private:
+  const KnowledgeGraph* g_;
+  const EmbeddingModel* model_;
+  Options options_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_BASELINES_SSB_H_

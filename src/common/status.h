@@ -1,0 +1,137 @@
+#ifndef KGAQ_COMMON_STATUS_H_
+#define KGAQ_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace kgaq {
+
+/// Error codes used across the kgaq library. Modeled after the
+/// RocksDB/Arrow status idiom: no exceptions cross API boundaries.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kIoError = 7,
+  kUnimplemented = 8,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight status object carrying a code and an optional message.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: tau must be in [0,1]".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-status holder, the library's exception-free return channel.
+///
+/// Usage:
+///   Result<KnowledgeGraph> r = TsvLoader::Load(path);
+///   if (!r.ok()) return r.status();
+///   KnowledgeGraph g = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status from an expression to the caller.
+#define KGAQ_RETURN_IF_ERROR(expr)                    \
+  do {                                                \
+    ::kgaq::Status kgaq_status_tmp_ = (expr);         \
+    if (!kgaq_status_tmp_.ok()) return kgaq_status_tmp_; \
+  } while (false)
+
+}  // namespace kgaq
+
+#endif  // KGAQ_COMMON_STATUS_H_

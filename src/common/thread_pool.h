@@ -1,0 +1,55 @@
+#ifndef KGAQ_COMMON_THREAD_POOL_H_
+#define KGAQ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kgaq {
+
+/// A fixed-size worker pool.
+///
+/// The chain-query engine (§V of the paper) runs each second-stage sampling
+/// "as a thread"; ChainEngine submits those samplings here. Tasks are plain
+/// std::function<void()>; synchronization of results is the caller's job
+/// (see ParallelFor for the common fork-join case).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool and joins.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_COMMON_THREAD_POOL_H_

@@ -1,0 +1,62 @@
+#ifndef KGAQ_COMMON_TIMER_H_
+#define KGAQ_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace kgaq {
+
+/// Monotonic wall-clock stopwatch used for response-time measurements.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple disjoint intervals; used to
+/// attribute query time to the paper's S1/S2/S3 steps (Table XII).
+class StepTimer {
+ public:
+  /// Starts (or restarts) an interval.
+  void Start() { timer_.Restart(); running_ = true; }
+
+  /// Ends the current interval and adds it to the accumulated total.
+  void Stop() {
+    if (running_) {
+      total_ms_ += timer_.ElapsedMillis();
+      running_ = false;
+    }
+  }
+
+  /// Total accumulated milliseconds over all Start/Stop intervals.
+  double TotalMillis() const { return total_ms_; }
+
+  /// Clears the accumulated total.
+  void Reset() {
+    total_ms_ = 0.0;
+    running_ = false;
+  }
+
+ private:
+  WallTimer timer_;
+  double total_ms_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_COMMON_TIMER_H_

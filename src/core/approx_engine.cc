@@ -1,0 +1,345 @@
+#include "core/approx_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/timer.h"
+#include "estimate/accuracy.h"
+#include "estimate/evt.h"
+
+namespace kgaq {
+
+ApproxEngine::ApproxEngine(const KnowledgeGraph& g,
+                           const EmbeddingModel& model, EngineOptions options)
+    : g_(&g), model_(&model), options_(options) {}
+
+Result<AggregateResult> ApproxEngine::Execute(
+    const AggregateQuery& query) const {
+  auto session = CreateSession(query);
+  if (!session.ok()) return session.status();
+  return (*session)->RunToErrorBound(options_.error_bound);
+}
+
+Result<std::unique_ptr<InteractiveSession>> ApproxEngine::CreateSession(
+    const AggregateQuery& query) const {
+  KGAQ_RETURN_IF_ERROR(query.Validate(*g_));
+
+  auto session = std::unique_ptr<InteractiveSession>(new InteractiveSession());
+  session->g_ = g_;
+  session->options_ = options_;
+  session->query_ = query;
+  session->rng_ = Rng(options_.seed);
+
+  WallTimer s1_timer;
+  for (const QueryBranch& branch : query.query.branches) {
+    auto bs = BranchSampler::Build(*g_, *model_, branch, options_.branch);
+    if (!bs.ok()) return bs.status();
+    session->branches_.push_back(std::move(*bs));
+  }
+
+  // Combined candidate distribution.
+  const auto& branches = session->branches_;
+  if (branches.size() == 1) {
+    const BranchSampler& b = *branches[0];
+    session->candidates_.reserve(b.NumCandidates());
+    session->probabilities_.reserve(b.NumCandidates());
+    for (size_t i = 0; i < b.NumCandidates(); ++i) {
+      session->candidates_.push_back(b.CandidateNode(i));
+      session->probabilities_.push_back(b.CandidateProbability(i));
+    }
+  } else {
+    // Decomposition-assembly (§V-B): candidates present in every branch's
+    // sample space, weighted by the product of branch probabilities.
+    for (size_t i = 0; i < branches[0]->NumCandidates(); ++i) {
+      const NodeId u = branches[0]->CandidateNode(i);
+      double mass = branches[0]->CandidateProbability(i);
+      bool in_all = true;
+      for (size_t bi = 1; bi < branches.size(); ++bi) {
+        const uint32_t idx = branches[bi]->CandidateIndex(u);
+        if (idx == kInvalidId) {
+          in_all = false;
+          break;
+        }
+        mass *= branches[bi]->CandidateProbability(idx);
+      }
+      if (in_all && mass > 0.0) {
+        session->candidates_.push_back(u);
+        session->probabilities_.push_back(mass);
+      }
+    }
+    double total = 0.0;
+    for (double p : session->probabilities_) total += p;
+    if (total > 0.0) {
+      for (double& p : session->probabilities_) p /= total;
+    }
+  }
+  session->cumulative_.resize(session->probabilities_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < session->probabilities_.size(); ++i) {
+    acc += session->probabilities_[i];
+    session->cumulative_[i] = acc;
+  }
+  if (!session->cumulative_.empty()) session->cumulative_.back() = 1.0;
+
+  // Resolve attribute ids once.
+  if (!query.attribute.empty()) {
+    session->value_attr_ = g_->AttributeIdOf(query.attribute);
+  }
+  if (query.group_by.enabled()) {
+    session->group_attr_ = g_->AttributeIdOf(query.group_by.attribute);
+  }
+  for (const Filter& f : query.filters) {
+    session->resolved_filters_.emplace_back(g_->AttributeIdOf(f.attribute),
+                                            f);
+  }
+  session->s1_ms_ = s1_timer.ElapsedMillis();
+  return session;
+}
+
+void InteractiveSession::DrawAndValidate(size_t k) {
+  const bool needs_value =
+      query_.function != AggregateFunction::kCount &&
+      value_attr_ != kInvalidId;
+  for (size_t d = 0; d < k && !candidates_.empty(); ++d) {
+    const double target = rng_.NextDouble();
+    auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+    if (it == cumulative_.end()) --it;
+    const size_t ci = static_cast<size_t>(it - cumulative_.begin());
+    const NodeId u = candidates_[ci];
+
+    SampleItem item;
+    item.node = u;
+    item.pi = probabilities_[ci];
+
+    // Correctness validation (§IV-B2): the branch-combined greedy match
+    // similarity must reach tau; for complex shapes every branch must
+    // match (the intersection semantics of §V-B), so the minimum governs.
+    bool correct = true;
+    if (options_.validate_correctness) {
+      double sim = 1.0;
+      for (const auto& b : branches_) {
+        sim = std::min(sim, b->ValidateSimilarity(u));
+        if (sim <= 0.0) break;
+      }
+      correct = sim >= options_.tau;
+    }
+
+    // Filter predicates fold into validation (Definition 6: c(u) = 1 iff
+    // L <= u.b <= U and s_i >= tau).
+    if (correct) {
+      for (const auto& [attr, f] : resolved_filters_) {
+        auto v = g_->Attribute(u, attr);
+        if (!v.has_value() || *v < f.lower || *v > f.upper) {
+          correct = false;
+          break;
+        }
+      }
+    }
+
+    double value = 0.0;
+    if (correct && needs_value) {
+      auto v = g_->Attribute(u, value_attr_);
+      if (v.has_value()) {
+        value = *v;
+      } else {
+        // SUM/AVG/MAX/MIN cannot use an answer without the attribute.
+        correct = false;
+      }
+    }
+    item.value = value;
+    item.correct = correct;
+
+    int64_t key = 0;
+    if (group_attr_ != kInvalidId) {
+      auto v = g_->Attribute(u, group_attr_);
+      if (v.has_value()) {
+        key = static_cast<int64_t>(
+            std::floor(*v / query_.group_by.bucket_width));
+      } else {
+        item.correct = false;  // ungroupable answers drop out
+      }
+    }
+    items_.push_back(item);
+    group_keys_.push_back(key);
+  }
+}
+
+std::vector<SampleItem> InteractiveSession::GroupView(int64_t key) const {
+  // Same draw vector with out-of-group items masked incorrect: keeps the
+  // |S_A| divisor of the HT estimators intact so each group's estimate
+  // targets f_a over that group's correct answers.
+  std::vector<SampleItem> view(items_.begin(), items_.end());
+  for (size_t i = 0; i < view.size(); ++i) {
+    if (group_keys_[i] != key) view[i].correct = false;
+  }
+  return view;
+}
+
+AggregateResult InteractiveSession::ExtremeResult(double error_bound) {
+  StepTimer s2;
+  s2.Start();
+  const size_t per_round = std::max<size_t>(
+      8, static_cast<size_t>(std::ceil(options_.extreme_sample_fraction *
+                                       static_cast<double>(
+                                           candidates_.size()))));
+  for (size_t round = 0; round < options_.extreme_rounds; ++round) {
+    DrawAndValidate(per_round);
+    ++rounds_total_;
+  }
+  AggregateResult out;
+  out.v_hat = options_.use_evt_for_extremes
+                  ? EstimateExtremeEvt(query_.function, items_)
+                  : HtEstimator::Estimate(query_.function, items_);
+  out.moe = 0.0;
+  out.confidence_level = options_.confidence_level;
+  out.error_bound = error_bound;
+  out.satisfied = false;  // extreme functions carry no guarantee (§VII-B)
+  out.rounds = rounds_total_;
+  out.total_draws = items_.size();
+  out.num_candidates = candidates_.size();
+  out.correct_draws = HtEstimator::CountCorrect(items_);
+  s2.Stop();
+  out.timings.s2_estimation_ms = s2.TotalMillis();
+  if (!s1_reported_) {
+    out.timings.s1_sampling_ms = s1_ms_;
+    s1_reported_ = true;
+  }
+  out.timings.total_ms =
+      out.timings.s1_sampling_ms + out.timings.s2_estimation_ms;
+  return out;
+}
+
+AggregateResult InteractiveSession::RunToErrorBound(double error_bound) {
+  if (!HasAccuracyGuarantee(query_.function)) {
+    return ExtremeResult(error_bound);
+  }
+
+  StepTimer s2, s3;
+  AggregateResult out;
+  out.confidence_level = options_.confidence_level;
+  out.error_bound = error_bound;
+  out.num_candidates = candidates_.size();
+
+  if (candidates_.empty()) {
+    out.satisfied = true;
+    if (!s1_reported_) {
+      out.timings.s1_sampling_ms = s1_ms_;
+      s1_reported_ = true;
+    }
+    out.timings.total_ms = out.timings.s1_sampling_ms;
+    return out;
+  }
+
+  // Initial desired sample: |S_A| = t * N^m with N = lambda |A| (§IV-C).
+  const double n_desired =
+      options_.sample_ratio * static_cast<double>(candidates_.size());
+  size_t target = std::max(
+      options_.min_initial_draws,
+      static_cast<size_t>(std::ceil(
+          static_cast<double>(options_.blb.t) *
+          std::pow(std::max(n_desired, 1.0), options_.blb.m))));
+
+  size_t rounds_this_call = 0;
+  for (;;) {
+    ++rounds_this_call;
+    ++rounds_total_;
+
+    s2.Start();
+    if (items_.size() < target) {
+      DrawAndValidate(target - items_.size());
+    }
+    const double v_hat = HtEstimator::Estimate(query_.function, items_);
+    s2.Stop();
+
+    s3.Start();
+    const BlbResult blb = BagOfLittleBootstraps(
+        items_, query_.function, options_.confidence_level, options_.blb,
+        rng_);
+    s3.Stop();
+
+    out.v_hat = v_hat;
+    out.moe = blb.moe;
+    trace_.push_back({rounds_total_, v_hat, blb.moe, items_.size(),
+                      HtEstimator::CountCorrect(items_)});
+
+    bool satisfied;
+    const size_t correct = HtEstimator::CountCorrect(items_);
+    if (correct < options_.min_correct_draws) {
+      // Too few correct draws: both the estimate and its bootstrap CI are
+      // vacuous; force more sampling instead of terminating on them.
+      satisfied = false;
+    } else if (group_attr_ != kInvalidId) {
+      // GROUP-BY: every group with enough support must meet Theorem 2.
+      s3.Start();
+      std::set<int64_t> keys;
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (items_[i].correct) keys.insert(group_keys_[i]);
+      }
+      out.groups.clear();
+      satisfied = true;
+      for (int64_t key : keys) {
+        auto view = GroupView(key);
+        GroupEstimate ge;
+        ge.bucket_lower =
+            static_cast<double>(key) * query_.group_by.bucket_width;
+        ge.v_hat = HtEstimator::Estimate(query_.function, view);
+        ge.support = HtEstimator::CountCorrect(view);
+        const BlbResult gb = BagOfLittleBootstraps(
+            view, query_.function, options_.confidence_level, options_.blb,
+            rng_);
+        ge.moe = gb.moe;
+        ge.satisfied = SatisfiesErrorBound(gb.moe, ge.v_hat, error_bound);
+        if (ge.support >= options_.group_min_support && !ge.satisfied) {
+          satisfied = false;
+        }
+        out.groups.push_back(ge);
+      }
+      s3.Stop();
+    } else {
+      satisfied = SatisfiesErrorBound(blb.moe, v_hat, error_bound);
+    }
+
+    if (satisfied) {
+      out.satisfied = true;
+      break;
+    }
+    if (rounds_this_call >= options_.max_rounds ||
+        items_.size() >= options_.max_total_draws) {
+      break;
+    }
+
+    // Error-based |Delta S_A| configuration (Eq. 12), or the fixed
+    // increment of the Fig. 5c ablation.
+    size_t delta;
+    if (options_.fixed_increment > 0) {
+      delta = options_.fixed_increment;
+    } else if (correct < options_.min_correct_draws || v_hat == 0.0 ||
+               !std::isfinite(blb.moe)) {
+      delta = items_.size();  // geometric growth until signal appears
+    } else {
+      delta = ConfigureSampleIncrement(items_.size(), blb.moe, v_hat,
+                                       error_bound, options_.blb.m);
+    }
+    target = std::min(items_.size() + delta, options_.max_total_draws);
+  }
+
+  out.rounds = rounds_this_call;
+  out.total_draws = items_.size();
+  out.correct_draws = HtEstimator::CountCorrect(items_);
+  out.trace = trace_;
+  out.timings.s2_estimation_ms = s2.TotalMillis();
+  out.timings.s3_accuracy_ms = s3.TotalMillis();
+  if (!s1_reported_) {
+    out.timings.s1_sampling_ms = s1_ms_;
+    s1_reported_ = true;
+  }
+  out.timings.total_ms = out.timings.s1_sampling_ms +
+                         out.timings.s2_estimation_ms +
+                         out.timings.s3_accuracy_ms;
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,196 @@
+#ifndef KGAQ_CORE_APPROX_ENGINE_H_
+#define KGAQ_CORE_APPROX_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/branch_sampler.h"
+#include "embedding/embedding_model.h"
+#include "estimate/bootstrap.h"
+#include "estimate/ht_estimator.h"
+#include "kg/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// All tunables of the sampling-estimation pipeline, with the paper's
+/// default configuration (§VII-A "Parameters"): eb = 1%, 1-alpha = 95%,
+/// r = 3, lambda = 0.3, n = 3, BLB t = 3 / m = 0.6 / B = 50.
+struct EngineOptions {
+  double error_bound = 0.01;
+  double confidence_level = 0.95;
+  /// Semantic-similarity threshold tau; dataset-tuned via Table V.
+  double tau = 0.85;
+  /// Desired sample ratio lambda: N = lambda * |A|.
+  double sample_ratio = 0.3;
+  BlbOptions blb;
+  BranchSamplerOptions branch;
+  /// Safety cap on Algorithm 2 iterations (paper observes Ne <= 10).
+  size_t max_rounds = 60;
+  size_t min_initial_draws = 30;
+  /// Termination requires at least this many correct draws in S_A^+; a
+  /// near-empty S_A^+ makes both the estimate and its bootstrap CI
+  /// vacuous, so low-selectivity queries keep sampling instead.
+  size_t min_correct_draws = 25;
+  /// Hard budget on |S_A| across all rounds.
+  size_t max_total_draws = 500000;
+  /// MAX/MIN (no guarantee): rounds x fraction-of-candidates sampling.
+  /// The paper observes the exact extreme enters the sample after ~8
+  /// rounds on average at 5% per round.
+  size_t extreme_rounds = 8;
+  double extreme_sample_fraction = 0.08;
+  /// Extreme-value-theory extrapolation for MAX/MIN (the paper's stated
+  /// future work): fit a GPD tail to the correct draws and report the
+  /// 1 - 1/N tail quantile instead of the raw sample extreme.
+  bool use_evt_for_extremes = false;
+  /// GROUP-BY termination ignores groups with fewer correct draws.
+  size_t group_min_support = 5;
+  /// Ablation (Fig. 5b): when false, §IV-B2 correctness validation is
+  /// skipped and every draw counts as correct (filters still apply).
+  bool validate_correctness = true;
+  /// Ablation (Fig. 5c): when > 0, |Delta S_A| is this fixed value instead
+  /// of the Eq. 12 error-based configuration.
+  size_t fixed_increment = 0;
+  uint64_t seed = 7;
+};
+
+/// Per-iteration trace of Algorithm 2 (drives Table IX).
+struct RoundTrace {
+  size_t round = 0;
+  double v_hat = 0.0;
+  double moe = 0.0;
+  size_t total_draws = 0;
+  size_t correct_draws = 0;
+};
+
+/// One GROUP-BY bucket's estimate (§V-A).
+struct GroupEstimate {
+  /// Inclusive lower edge of the bucket: key * bucket_width.
+  double bucket_lower = 0.0;
+  double v_hat = 0.0;
+  double moe = 0.0;
+  size_t support = 0;  ///< Correct draws in the bucket.
+  bool satisfied = false;
+};
+
+/// Time attribution to the paper's three steps (Table XII): S1 semantic-
+/// aware sampling, S2 validation + estimation, S3 accuracy guarantee.
+struct StepTimings {
+  double s1_sampling_ms = 0.0;
+  double s2_estimation_ms = 0.0;
+  double s3_accuracy_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+/// Final (or intermediate, for interactive use) result of an aggregate
+/// query: the point estimate with its confidence interval V_hat +- MoE at
+/// the configured confidence level.
+struct AggregateResult {
+  double v_hat = 0.0;
+  double moe = 0.0;
+  double confidence_level = 0.95;
+  double error_bound = 0.01;
+  /// True iff Theorem 2's termination condition was met (always false for
+  /// MAX/MIN, which carry no guarantee).
+  bool satisfied = false;
+  size_t rounds = 0;
+  size_t total_draws = 0;
+  size_t num_candidates = 0;
+  size_t correct_draws = 0;
+  std::vector<RoundTrace> trace;
+  std::vector<GroupEstimate> groups;  ///< Empty unless GROUP-BY.
+  StepTimings timings;
+};
+
+class InteractiveSession;
+
+/// The sampling-estimation engine (Algorithm 2).
+///
+///   ApproxEngine engine(graph, embedding);
+///   auto result = engine.Execute(query);
+///   // result->v_hat +- result->moe covers the tau-relevant ground truth
+///   // with the configured confidence, and |V_hat - V| / V <= eb.
+///
+/// The engine is stateless across queries and safe to share between
+/// threads as long as each call uses its own session.
+class ApproxEngine {
+ public:
+  ApproxEngine(const KnowledgeGraph& g, const EmbeddingModel& model,
+               EngineOptions options = {});
+
+  /// One-shot execution: creates a session and runs Algorithm 2 to the
+  /// configured error bound.
+  Result<AggregateResult> Execute(const AggregateQuery& query) const;
+
+  /// Creates a resumable session for interactive error-bound refinement
+  /// (Fig. 6a): RunToErrorBound can be called repeatedly with shrinking
+  /// bounds, reusing all previously collected sample.
+  Result<std::unique_ptr<InteractiveSession>> CreateSession(
+      const AggregateQuery& query) const;
+
+  const EngineOptions& options() const { return options_; }
+  const KnowledgeGraph& graph() const { return *g_; }
+  const EmbeddingModel& model() const { return *model_; }
+
+ private:
+  const KnowledgeGraph* g_;
+  const EmbeddingModel* model_;
+  EngineOptions options_;
+};
+
+/// Resumable Algorithm-2 state bound to one query: branch samplers, the
+/// combined candidate distribution, and every draw validated so far.
+class InteractiveSession {
+ public:
+  /// Runs (or continues) the sampling-estimation loop until the Theorem 2
+  /// condition holds for `error_bound`, then returns the current result.
+  /// Reported timings cover only the work done by this call, so a
+  /// subsequent call with a tighter bound reports the *incremental* cost.
+  AggregateResult RunToErrorBound(double error_bound);
+
+  const AggregateQuery& query() const { return query_; }
+  size_t num_candidates() const { return candidates_.size(); }
+
+ private:
+  friend class ApproxEngine;
+  InteractiveSession() = default;
+
+  struct DrawRecord {
+    SampleItem item;
+    int64_t group_key = 0;
+  };
+
+  void DrawAndValidate(size_t k);
+  AggregateResult ExtremeResult(double error_bound);
+  std::vector<SampleItem> GroupView(int64_t key) const;
+
+  const KnowledgeGraph* g_ = nullptr;
+  EngineOptions options_;
+  AggregateQuery query_;
+  Rng rng_{0};
+
+  std::vector<std::unique_ptr<BranchSampler>> branches_;
+  // Combined candidate distribution (single branch: that branch's own;
+  // complex shapes: intersection with product weights, §V-B).
+  std::vector<NodeId> candidates_;
+  std::vector<double> probabilities_;
+  std::vector<double> cumulative_;
+
+  std::vector<SampleItem> items_;
+  std::vector<int64_t> group_keys_;
+  AttributeId value_attr_ = kInvalidId;
+  AttributeId group_attr_ = kInvalidId;
+  std::vector<std::pair<AttributeId, Filter>> resolved_filters_;
+
+  double s1_ms_ = 0.0;        // charged to the first RunToErrorBound
+  bool s1_reported_ = false;
+  size_t rounds_total_ = 0;
+  std::vector<RoundTrace> trace_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_CORE_APPROX_ENGINE_H_

@@ -1,0 +1,365 @@
+#include "core/branch_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "kg/bfs.h"
+#include "sampling/answer_sampler.h"
+#include "sampling/random_walk.h"
+
+namespace kgaq {
+
+namespace {
+
+std::vector<TypeId> ResolveTypes(const KnowledgeGraph& g,
+                                 const std::vector<std::string>& names) {
+  std::vector<TypeId> out;
+  for (const auto& t : names) {
+    TypeId id = g.TypeIdOf(t);
+    if (id != kInvalidId) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
+    const KnowledgeGraph& g, const EmbeddingModel& model,
+    const QueryBranch& branch, const BranchSamplerOptions& options) {
+  WallTimer timer;
+  const NodeId us = g.FindNodeByName(branch.specific_name);
+  if (us == kInvalidId) {
+    return Status::NotFound("specific node '" + branch.specific_name +
+                            "' not found");
+  }
+  if (branch.hops.empty()) {
+    return Status::InvalidArgument("branch has no hops");
+  }
+
+  auto sampler = std::unique_ptr<BranchSampler>(new BranchSampler());
+  sampler->g_ = &g;
+  sampler->options_ = options;
+  sampler->us_ = us;
+  sampler->stage_units_.resize(branch.hops.size());
+
+  // Resolve hops once; similarity caches are shared across stage units.
+  for (const QueryHop& hop : branch.hops) {
+    ResolvedHop rh;
+    rh.predicate = g.PredicateIdOf(hop.predicate);
+    if (rh.predicate == kInvalidId) {
+      return Status::NotFound("query predicate '" + hop.predicate +
+                              "' is unknown to the KG embedding");
+    }
+    rh.types = ResolveTypes(g, hop.node_types);
+    rh.sims =
+        std::make_shared<PredicateSimilarityCache>(model, rh.predicate);
+    sampler->hops_.push_back(std::move(rh));
+  }
+
+  // Stage roots start as the single specific node with full weight.
+  {
+    StageUnit root_unit;
+    root_unit.root = us;
+    root_unit.weight = 1.0;
+    sampler->stage_units_[0].push_back(std::move(root_unit));
+  }
+
+  std::unordered_map<NodeId, double> answer_mass;
+  std::mutex mass_mu;
+
+  for (size_t s = 0; s < branch.hops.size(); ++s) {
+    const ResolvedHop& rhop = sampler->hops_[s];
+    const std::vector<TypeId>& hop_types = rhop.types;
+    const bool last = s + 1 == branch.hops.size();
+
+    auto& units = sampler->stage_units_[s];
+    // Next-stage seeds gathered across units (node, weight, log-sim, len).
+    struct Seed {
+      NodeId node;
+      double weight;
+      double log_sim;
+      int length;
+    };
+    std::vector<Seed> seeds;
+    std::mutex seeds_mu;
+
+    // Each unit's scoping + convergence + extraction is independent; the
+    // chain case runs them as parallel tasks (§V-B: "each second sampling
+    // is run as a thread").
+    auto build_unit = [&](size_t ui) {
+      StageUnit& unit = units[ui];
+      const BoundedSubgraph scope = BoundedBfs(g, unit.root, options.n_hops);
+      unit.transitions = std::make_unique<TransitionModel>(
+          g, scope, *rhop.sims, options.self_loop_similarity);
+      StationaryOptions st_opts;
+      st_opts.max_iterations = options.stationary_max_iterations;
+      unit.pi = ComputeStationaryDistribution(*unit.transitions, st_opts).pi;
+      GreedyValidator::Options v_opts;
+      v_opts.repeat_factor = options.repeat_factor;
+      v_opts.max_hops = options.n_hops;
+      unit.validator = std::make_unique<GreedyValidator>(
+          g, *unit.transitions, unit.pi, *rhop.sims, v_opts);
+
+      AnswerSampler extraction(g, *unit.transitions, unit.pi, hop_types);
+      if (last) {
+        // Compose the chain probability pi' = pi'_i * pi'_j and accumulate
+        // per answer (an answer reachable through several intermediates
+        // accumulates all of them, per §V-B step (3)).
+        std::lock_guard<std::mutex> lock(mass_mu);
+        for (size_t i = 0; i < extraction.NumCandidates(); ++i) {
+          answer_mass[extraction.CandidateNode(i)] +=
+              unit.weight * extraction.CandidateProbability(i);
+        }
+      } else {
+        // Retain the top-width intermediates by stationary mass as next-
+        // stage roots, weighted by their (renormalized) probabilities.
+        std::vector<size_t> order(extraction.NumCandidates());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        const size_t keep =
+            std::min(options.chain_branch_width, order.size());
+        std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                          [&](size_t a, size_t b) {
+                            return extraction.CandidateProbability(a) >
+                                   extraction.CandidateProbability(b);
+                          });
+        double kept_mass = 0.0;
+        for (size_t i = 0; i < keep; ++i) {
+          kept_mass += extraction.CandidateProbability(order[i]);
+        }
+        if (kept_mass <= 0.0) return;
+        for (size_t i = 0; i < keep; ++i) {
+          const NodeId m = extraction.CandidateNode(order[i]);
+          const auto match = unit.validator->FindBestMatch(m);
+          if (!match.found || match.similarity <= 0.0) continue;
+          Seed seed;
+          seed.node = m;
+          seed.weight = unit.weight *
+                        extraction.CandidateProbability(order[i]) / kept_mass;
+          seed.log_sim = unit.root_log_sim +
+                         match.length * std::log(match.similarity);
+          seed.length = unit.root_length + match.length;
+          std::lock_guard<std::mutex> lock(seeds_mu);
+          seeds.push_back(seed);
+        }
+      }
+    };
+
+    if (units.size() > 1) {
+      size_t workers = options.num_threads != 0
+                           ? options.num_threads
+                           : std::max(2u, std::thread::hardware_concurrency());
+      ThreadPool pool(std::min(workers, units.size()));
+      ParallelFor(pool, units.size(), build_unit);
+    } else {
+      for (size_t ui = 0; ui < units.size(); ++ui) build_unit(ui);
+    }
+
+    if (!last) {
+      if (seeds.empty()) break;  // chain dead-ends; zero candidates
+      double total = 0.0;
+      for (const Seed& seed : seeds) total += seed.weight;
+      auto& next_units = sampler->stage_units_[s + 1];
+      next_units.reserve(seeds.size());
+      for (const Seed& seed : seeds) {
+        StageUnit u;
+        u.root = seed.node;
+        u.weight = total > 0.0 ? seed.weight / total : 0.0;
+        u.root_log_sim = seed.log_sim;
+        u.root_length = seed.length;
+        next_units.push_back(std::move(u));
+      }
+    }
+  }
+
+  // Freeze the final answer distribution.
+  double total = 0.0;
+  for (const auto& [node, mass] : answer_mass) total += mass;
+  sampler->candidates_.reserve(answer_mass.size());
+  sampler->probabilities_.reserve(answer_mass.size());
+  for (const auto& [node, mass] : answer_mass) {
+    sampler->candidates_.push_back(node);
+    sampler->probabilities_.push_back(total > 0.0 ? mass / total : 0.0);
+  }
+  sampler->cumulative_.resize(sampler->probabilities_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < sampler->probabilities_.size(); ++i) {
+    acc += sampler->probabilities_[i];
+    sampler->cumulative_[i] = acc;
+  }
+  if (!sampler->cumulative_.empty()) sampler->cumulative_.back() = 1.0;
+  sampler->candidate_index_.reserve(sampler->candidates_.size());
+  for (uint32_t i = 0; i < sampler->candidates_.size(); ++i) {
+    sampler->candidate_index_.emplace(sampler->candidates_[i], i);
+  }
+
+  sampler->build_millis_ = timer.ElapsedMillis();
+  return sampler;
+}
+
+uint32_t BranchSampler::CandidateIndex(NodeId u) const {
+  auto it = candidate_index_.find(u);
+  return it == candidate_index_.end() ? kInvalidId : it->second;
+}
+
+std::vector<size_t> BranchSampler::Draw(size_t k, Rng& rng) const {
+  std::vector<size_t> out;
+  if (candidates_.empty()) return out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const double target = rng.NextDouble();
+    auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+    if (it == cumulative_.end()) --it;
+    out.push_back(static_cast<size_t>(it - cumulative_.begin()));
+  }
+  return out;
+}
+
+double BranchSampler::ValidateSimilarity(NodeId u) const {
+  auto it = validation_cache_.find(u);
+  if (it != validation_cache_.end()) return it->second;
+
+  double best;
+  if (hops_.size() == 1) {
+    // Simple query: the paper's pi-guided greedy validation (§IV-B2),
+    // batched — one traversal covers every candidate (identical per-node
+    // results, see GreedyValidator::ComputeAllMatches).
+    const StageUnit& unit = stage_units_[0][0];
+    if (!batch_ready_) {
+      batch_matches_ = unit.validator->ComputeAllMatches();
+      batch_ready_ = true;
+    }
+    const uint32_t local = unit.transitions->LocalId(u);
+    best = (local != kInvalidId && batch_matches_[local].found)
+               ? batch_matches_[local].similarity
+               : 0.0;
+  } else {
+    best = ValidateChainSimilarity(u);
+  }
+  validation_cache_.emplace(u, best);
+  return best;
+}
+
+double BranchSampler::ValidateChainSimilarity(NodeId u) const {
+  // Backward best-first search from the answer toward the specific node.
+  // A full match decomposes into one segment per query hop: segment s
+  // (1..n edges) has its predicates scored against hop s's predicate and
+  // ends (in forward orientation) at a node carrying hop s's types. The
+  // search walks segments in reverse (hop K-1 down to 0), switching to the
+  // previous hop whenever it stands on a node typed for it, and completes
+  // when segment 0 reaches u_s.
+  //
+  // States are ordered by an *admissible* bound on the final geometric
+  // mean: every future edge contributes log-similarity <= 0, so
+  // log_sum / (total_len + min_remaining_edges) never underestimates the
+  // best completion through the state. Best-first on that bound makes the
+  // first completion popped optimal within the segment-length-bounded
+  // search space (A* argument), up to the expansion cap.
+  const int num_stages = static_cast<int>(hops_.size());
+  const int max_seg = options_.n_hops;
+
+  struct State {
+    NodeId node;
+    int32_t parent;  // arena index, -1 at the root
+    int16_t stage;   // hop index currently being traversed (backward)
+    int16_t seg_len;
+    int16_t total_len;
+    double log_sum;
+  };
+  std::vector<State> arena;
+  arena.push_back({u, -1, static_cast<int16_t>(num_stages - 1), 0, 0, 0.0});
+
+  // Admissible upper bound on the final geometric-mean log: log_sum only
+  // accumulates non-positive terms, and *adding* perfect (log 0) edges
+  // raises the mean, so the optimistic completion fills the entire
+  // remaining segment capacity with perfect edges:
+  //   bound = log_sum / (total_len + max_remaining_edges).
+  // Goal states (segment 0 standing on u_s) use their exact value.
+  auto bound = [this, max_seg](const State& s) {
+    if (s.stage == 0 && s.node == us_ && s.seg_len >= 1) {
+      return s.log_sum / static_cast<double>(s.total_len);
+    }
+    const int max_rem = s.stage * max_seg + (max_seg - s.seg_len);
+    const int denom = s.total_len + max_rem;
+    return denom == 0 ? 0.0 : s.log_sum / static_cast<double>(denom);
+  };
+  auto cmp = [](const std::pair<double, int32_t>& a,
+                const std::pair<double, int32_t>& b) {
+    return a.first < b.first;
+  };
+  std::priority_queue<std::pair<double, int32_t>,
+                      std::vector<std::pair<double, int32_t>>, decltype(cmp)>
+      frontier(cmp);
+  frontier.push({0.0, 0});
+
+  double best = 0.0;
+  size_t expansions = 0;
+  std::vector<NodeId> path_nodes;
+  while (!frontier.empty() &&
+         expansions < options_.chain_validation_max_expansions) {
+    ++expansions;
+    const int32_t si = frontier.top().second;
+    frontier.pop();
+    const State s = arena[si];
+
+    // Completion: inside segment 0 (>= 1 edge) standing on u_s. With the
+    // admissible ordering the first completion is the best one reachable.
+    if (s.stage == 0 && s.seg_len >= 1 && s.node == us_) {
+      best = std::exp(s.log_sum / static_cast<double>(s.total_len));
+      break;
+    }
+
+    // Stage switch (epsilon move): if this node carries the previous
+    // hop's type and the current segment is non-empty, start that hop.
+    if (s.stage > 0 && s.seg_len >= 1) {
+      bool typed = false;
+      for (TypeId t : hops_[s.stage - 1].types) {
+        if (g_->HasType(s.node, t)) {
+          typed = true;
+          break;
+        }
+      }
+      if (typed) {
+        arena.push_back({s.node, s.parent,
+                         static_cast<int16_t>(s.stage - 1), 0, s.total_len,
+                         s.log_sum});
+        frontier.push({bound(arena.back()),
+                       static_cast<int32_t>(arena.size() - 1)});
+      }
+    }
+
+    if (s.seg_len >= max_seg) continue;
+
+    // Simplicity is enforced per segment (stages are sampled and matched
+    // independently in §V-B, so a chain match may revisit a node across
+    // segment boundaries — SSB's exact enumeration composes stages the
+    // same way). The walk back stops at the segment's start state.
+    path_nodes.clear();
+    for (int32_t cur = si; cur >= 0; cur = arena[cur].parent) {
+      path_nodes.push_back(arena[cur].node);
+      if (arena[cur].seg_len == 0) break;
+    }
+
+    const PredicateSimilarityCache& sims = *hops_[s.stage].sims;
+    for (const Neighbor& nb : g_->Neighbors(s.node)) {
+      if (std::find(path_nodes.begin(), path_nodes.end(), nb.node) !=
+          path_nodes.end()) {
+        continue;
+      }
+      arena.push_back({nb.node, si, s.stage,
+                       static_cast<int16_t>(s.seg_len + 1),
+                       static_cast<int16_t>(s.total_len + 1),
+                       s.log_sum + std::log(sims.Similarity(nb.predicate))});
+      frontier.push({bound(arena.back()),
+                     static_cast<int32_t>(arena.size() - 1)});
+    }
+  }
+  return best;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,122 @@
+#ifndef KGAQ_CORE_BRANCH_SAMPLER_H_
+#define KGAQ_CORE_BRANCH_SAMPLER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/greedy_validator.h"
+#include "embedding/embedding_model.h"
+#include "kg/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// Tuning knobs for building one branch's sampling machinery.
+struct BranchSamplerOptions {
+  int n_hops = 3;                   ///< n-bounded subgraph bound per stage.
+  double self_loop_similarity = 0.001;
+  int repeat_factor = 3;            ///< Validator r.
+  /// Chain queries: how many stage intermediates (highest stationary mass)
+  /// seed the next stage's samplings (§V-B runs one per thread). Wide
+  /// enough by default to cover foreign intermediates that leak into the
+  /// scope — truncation here biases the candidate set.
+  size_t chain_branch_width = 48;
+  /// Expansion cap for the multi-stage validation search.
+  size_t chain_validation_max_expansions = 60000;
+  size_t stationary_max_iterations = 500;
+  /// Worker threads for the per-intermediate second-stage samplings;
+  /// 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+/// Sampling + validation machinery for ONE query branch (a simple query or
+/// a chain), rooted at the branch's specific node.
+///
+/// Building performs the paper's S1 step: n-bounded scoping, Eq. 5
+/// transition model, Eq. 6 convergence, and pi_A extraction — stage by
+/// stage for chains, with second-stage samplings running on a thread pool
+/// and composed probabilities pi' = pi'_i * pi'_j (§V-B).
+///
+/// After building, the sampler exposes the i.i.d. answer distribution and
+/// per-answer greedy validation of the full multi-stage match similarity.
+class BranchSampler {
+ public:
+  /// Builds everything; the returned object is immutable apart from the
+  /// validation cache. Fails when the specific node cannot be resolved.
+  static Result<std::unique_ptr<BranchSampler>> Build(
+      const KnowledgeGraph& g, const EmbeddingModel& model,
+      const QueryBranch& branch, const BranchSamplerOptions& options);
+
+  size_t NumCandidates() const { return candidates_.size(); }
+  NodeId CandidateNode(size_t i) const { return candidates_[i]; }
+  double CandidateProbability(size_t i) const { return probabilities_[i]; }
+
+  /// Index of `u` among the candidates, or kInvalidId.
+  uint32_t CandidateIndex(NodeId u) const;
+
+  /// Draws `k` i.i.d. candidate indices from the branch's pi_A.
+  std::vector<size_t> Draw(size_t k, Rng& rng) const;
+
+  /// Greedy-validated overall match similarity of candidate `u` (geometric
+  /// mean over all edges of the best found multi-stage path; §IV-B2 + §V-B).
+  /// Cached per node. Returns 0 when no match is found.
+  double ValidateSimilarity(NodeId u) const;
+
+  /// Wall-clock milliseconds spent in Build (the paper's S1).
+  double build_millis() const { return build_millis_; }
+
+ private:
+  BranchSampler() = default;
+
+  const KnowledgeGraph* g_ = nullptr;
+  BranchSamplerOptions options_;
+  NodeId us_ = kInvalidId;
+
+  /// Resolved query hops (shared across stage units).
+  struct ResolvedHop {
+    PredicateId predicate = kInvalidId;
+    std::vector<TypeId> types;
+    std::shared_ptr<PredicateSimilarityCache> sims;
+  };
+  std::vector<ResolvedHop> hops_;
+
+  /// Multi-stage validation: one backward best-first search per answer
+  /// over (node, stage) states — each segment's predicates are scored
+  /// against its own hop predicate and segment boundaries must land on
+  /// hop-typed nodes. Returns the best found overall Eq. 2 similarity.
+  double ValidateChainSimilarity(NodeId u) const;
+
+  // Final answer distribution.
+  std::vector<NodeId> candidates_;
+  std::vector<double> probabilities_;
+  std::vector<double> cumulative_;
+  std::unordered_map<NodeId, uint32_t> candidate_index_;
+
+  // Per-stage machinery for validation. Stage 0 is rooted at the specific
+  // node; stage k > 0 holds one entry per retained intermediate.
+  struct StageUnit {
+    NodeId root = kInvalidId;
+    double weight = 0.0;           // renormalized pi' of the root's chain
+    double root_log_sim = 0.0;     // accumulated log-sim to reach the root
+    int root_length = 0;           // accumulated path length to the root
+    std::unique_ptr<TransitionModel> transitions;
+    std::vector<double> pi;
+    std::unique_ptr<GreedyValidator> validator;
+  };
+  // stage_units_[s] = units of stage s (1 for stage 0).
+  std::vector<std::vector<StageUnit>> stage_units_;
+
+  mutable std::unordered_map<NodeId, double> validation_cache_;
+  /// Lazily-computed batched validation for simple (1-hop) branches:
+  /// similarity per scope-local node of the stage-0 unit.
+  mutable std::vector<GreedyValidator::Match> batch_matches_;
+  mutable bool batch_ready_ = false;
+  double build_millis_ = 0.0;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_CORE_BRANCH_SAMPLER_H_

@@ -1,0 +1,162 @@
+#include "core/greedy_validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace kgaq {
+
+GreedyValidator::GreedyValidator(const KnowledgeGraph& g,
+                                 const TransitionModel& model,
+                                 std::span<const double> pi,
+                                 const PredicateSimilarityCache& sims,
+                                 const Options& options)
+    : g_(&g), model_(&model), pi_(pi), sims_(&sims), options_(options) {}
+
+GreedyValidator::Match GreedyValidator::FindBestMatch(NodeId target) const {
+  Match out;
+  if (target >= g_->NumNodes()) return out;
+  const uint32_t target_local = model_->LocalId(target);
+  if (target_local == kInvalidId) return out;
+
+  // Search states form a tree; parent links reconstruct paths without
+  // per-state path copies.
+  struct State {
+    uint32_t local;       // scope-local node
+    int32_t parent;       // index into the state arena, -1 for the root
+    int16_t depth;        // edges from the source
+    double log_sim_sum;   // sum of log predicate similarities on the path
+  };
+  std::vector<State> arena;
+  arena.push_back({static_cast<uint32_t>(model_->SourceLocal()), -1, 0, 0.0});
+
+  // Max-heap on (stationary visiting probability, running mean log-sim):
+  // "select the node from the candidate set with the highest pi", with
+  // path quality breaking ties — every arrival at a node shares the same
+  // pi, so without the tie-break the heap would order a node's arrivals
+  // arbitrarily and best-of-first-r could skip the direct match.
+  using Prio = std::pair<std::pair<double, double>, int32_t>;
+  auto cmp = [](const Prio& a, const Prio& b) { return a.first < b.first; };
+  auto mean_log = [](const State& s) {
+    return s.depth == 0 ? 0.0
+                        : s.log_sim_sum / static_cast<double>(s.depth);
+  };
+  std::priority_queue<Prio, std::vector<Prio>, decltype(cmp)> frontier(cmp);
+  frontier.push({{pi_[model_->SourceLocal()], 0.0}, 0});
+
+  std::vector<uint32_t> path_nodes;  // scratch for cycle checks
+  size_t expansions = 0;
+  while (!frontier.empty() && expansions < options_.max_expansions) {
+    ++expansions;
+    const int32_t si = frontier.top().second;
+    frontier.pop();
+    const State s = arena[si];
+
+    if (s.local == target_local && s.depth > 0) {
+      const double sim =
+          std::exp(s.log_sim_sum / static_cast<double>(s.depth));
+      if (!out.found || sim > out.similarity) {
+        out.similarity = sim;
+        out.length = s.depth;
+      }
+      out.found = true;
+      if (++out.paths_examined >= options_.repeat_factor) break;
+      continue;  // a path ends at its first arrival at the target
+    }
+    if (s.depth >= options_.max_hops) continue;
+
+    // Nodes already on this state's path are excluded (simple paths).
+    path_nodes.clear();
+    for (int32_t cur = si; cur >= 0; cur = arena[cur].parent) {
+      path_nodes.push_back(arena[cur].local);
+    }
+
+    const NodeId u = model_->GlobalId(s.local);
+    for (const Neighbor& nb : g_->Neighbors(u)) {
+      const uint32_t v = model_->LocalId(nb.node);
+      if (v == kInvalidId) continue;
+      if (std::find(path_nodes.begin(), path_nodes.end(), v) !=
+          path_nodes.end()) {
+        continue;
+      }
+      const double log_sim = std::log(sims_->Similarity(nb.predicate));
+      arena.push_back({v, si, static_cast<int16_t>(s.depth + 1),
+                       s.log_sim_sum + log_sim});
+      frontier.push({{pi_[v], mean_log(arena.back())},
+                     static_cast<int32_t>(arena.size() - 1)});
+    }
+  }
+  return out;
+}
+
+std::vector<GreedyValidator::Match> GreedyValidator::ComputeAllMatches(
+    size_t max_expansions) const {
+  const size_t n = model_->NumScopeNodes();
+  std::vector<Match> out(n);
+
+  struct State {
+    uint32_t local;
+    int32_t parent;
+    int16_t depth;
+    double log_sim_sum;
+  };
+  std::vector<State> arena;
+  arena.push_back({static_cast<uint32_t>(model_->SourceLocal()), -1, 0, 0.0});
+
+  // Same (pi, path-quality) ordering as FindBestMatch.
+  using Prio = std::pair<std::pair<double, double>, int32_t>;
+  auto cmp = [](const Prio& a, const Prio& b) { return a.first < b.first; };
+  auto mean_log = [](const State& s) {
+    return s.depth == 0 ? 0.0
+                        : s.log_sim_sum / static_cast<double>(s.depth);
+  };
+  std::priority_queue<Prio, std::vector<Prio>, decltype(cmp)> frontier(cmp);
+  frontier.push({{pi_[model_->SourceLocal()], 0.0}, 0});
+
+  std::vector<uint32_t> path_nodes;
+  size_t expansions = 0;
+  while (!frontier.empty() && expansions < max_expansions) {
+    ++expansions;
+    const int32_t si = frontier.top().second;
+    frontier.pop();
+    const State s = arena[si];
+
+    if (s.depth > 0) {
+      Match& m = out[s.local];
+      if (m.paths_examined < options_.repeat_factor) {
+        const double sim =
+            std::exp(s.log_sim_sum / static_cast<double>(s.depth));
+        if (!m.found || sim > m.similarity) {
+          m.similarity = sim;
+          m.length = s.depth;
+        }
+        m.found = true;
+        ++m.paths_examined;
+      }
+    }
+    if (s.depth >= options_.max_hops) continue;
+
+    path_nodes.clear();
+    for (int32_t cur = si; cur >= 0; cur = arena[cur].parent) {
+      path_nodes.push_back(arena[cur].local);
+    }
+
+    const NodeId u = model_->GlobalId(s.local);
+    for (const Neighbor& nb : g_->Neighbors(u)) {
+      const uint32_t v = model_->LocalId(nb.node);
+      if (v == kInvalidId) continue;
+      if (std::find(path_nodes.begin(), path_nodes.end(), v) !=
+          path_nodes.end()) {
+        continue;
+      }
+      const double log_sim = std::log(sims_->Similarity(nb.predicate));
+      arena.push_back({v, si, static_cast<int16_t>(s.depth + 1),
+                       s.log_sim_sum + log_sim});
+      frontier.push({{pi_[v], mean_log(arena.back())},
+                     static_cast<int32_t>(arena.size() - 1)});
+    }
+  }
+  return out;
+}
+
+}  // namespace kgaq

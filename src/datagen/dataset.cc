@@ -1,0 +1,72 @@
+#include "datagen/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baselines/baseline_util.h"
+
+namespace kgaq {
+
+const std::vector<PlantedAnswer>& GeneratedDataset::PlantedAnswers(
+    size_t domain, NodeId hub) const {
+  static const std::vector<PlantedAnswer> kEmpty;
+  if (domain >= planted_.size()) return kEmpty;
+  auto it = planted_[domain].find(hub);
+  return it == planted_[domain].end() ? kEmpty : it->second;
+}
+
+size_t GeneratedDataset::DomainIndexForTargetType(
+    const std::string& type_name) const {
+  for (size_t d = 0; d < domains_.size(); ++d) {
+    if (domains_[d].answer_type == type_name) return d;
+  }
+  return static_cast<size_t>(-1);
+}
+
+Result<std::vector<NodeId>> GeneratedDataset::HumanCorrectAnswers(
+    const AggregateQuery& query) const {
+  std::unordered_set<NodeId> intersection;
+  bool first = true;
+  for (const QueryBranch& branch : query.query.branches) {
+    const NodeId hub = graph_.FindNodeByName(branch.specific_name);
+    if (hub == kInvalidId) {
+      return Status::NotFound("hub '" + branch.specific_name +
+                              "' not in the generated dataset");
+    }
+    size_t domain = static_cast<size_t>(-1);
+    for (const auto& t : branch.target_types()) {
+      domain = DomainIndexForTargetType(t);
+      if (domain != static_cast<size_t>(-1)) break;
+    }
+    if (domain == static_cast<size_t>(-1)) {
+      return Status::NotFound(
+          "query target type does not match any generated domain");
+    }
+    std::unordered_set<NodeId> branch_answers;
+    for (const PlantedAnswer& pa : PlantedAnswers(domain, hub)) {
+      if (IsRelevantRole(pa.role)) branch_answers.insert(pa.answer);
+    }
+    if (first) {
+      intersection = std::move(branch_answers);
+      first = false;
+    } else {
+      std::unordered_set<NodeId> merged;
+      for (NodeId u : branch_answers) {
+        if (intersection.count(u)) merged.insert(u);
+      }
+      intersection = std::move(merged);
+    }
+  }
+  std::vector<NodeId> out(intersection.begin(), intersection.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<double> GeneratedDataset::HumanGroundTruth(
+    const AggregateQuery& query) const {
+  auto answers = HumanCorrectAnswers(query);
+  if (!answers.ok()) return answers.status();
+  return AggregateOverAnswers(graph_, query, std::move(*answers)).value;
+}
+
+}  // namespace kgaq

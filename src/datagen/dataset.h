@@ -1,0 +1,114 @@
+#ifndef KGAQ_DATAGEN_DATASET_H_
+#define KGAQ_DATAGEN_DATASET_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/embedding_model.h"
+#include "kg/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// How one answer entity is attached to a hub (the planted schema role).
+///
+/// Roles encode the ground-truth *meaning* of the connection — this is the
+/// dataset's stand-in for the paper's human annotation, which likewise
+/// marked whole connection schemas (not individual entities) as relevant
+/// to a query predicate (§VII-A "Metrics").
+enum class SchemaRole {
+  kDirectRelevant,    ///< 1-hop edge, predicate ~= query predicate.
+  kIndirectRelevant,  ///< 2-hop via typed intermediate, both edges close.
+  kSemiRelevant,      ///< 2-hop, similarity ~0.8 — NOT annotated relevant.
+  kDistractor,        ///< 2-hop, clearly unrelated predicates.
+};
+
+/// True for the roles a human annotator marks as expressing the query
+/// relation.
+inline bool IsRelevantRole(SchemaRole role) {
+  return role == SchemaRole::kDirectRelevant ||
+         role == SchemaRole::kIndirectRelevant;
+}
+
+/// Numeric attribute synthesized on a domain's answer entities.
+struct AttributeSpec {
+  enum class Kind { kLogNormal, kNormal, kUniform };
+  std::string name;
+  Kind kind;
+  double a;  ///< mu (lognormal/normal) or lower bound (uniform).
+  double b;  ///< sigma (lognormal/normal) or upper bound (uniform).
+};
+
+/// Static description of one generated domain ("average price of cars
+/// produced in <country>"-style question family).
+struct DomainInfo {
+  std::string name;
+  std::string answer_type;        ///< e.g. "Automobile".
+  std::string intermediate_type;  ///< e.g. "Company".
+  std::string query_predicate;    ///< e.g. "product" — what queries ask.
+  std::string direct_predicate;   ///< Relevant 1-hop predicate ("assembly").
+  std::string indirect_a;         ///< answer -> intermediate predicate.
+  std::string indirect_b;         ///< intermediate -> hub predicate.
+  std::vector<AttributeSpec> attributes;
+  /// Fraction of this domain's hub answers planted with a relevant schema.
+  double relevant_fraction = 0.3;
+};
+
+/// One planted (answer, hub) attachment with its annotation.
+struct PlantedAnswer {
+  NodeId answer = kInvalidId;
+  SchemaRole role = SchemaRole::kDistractor;
+};
+
+/// A generated dataset: the graph, the planted "reference" embedding whose
+/// predicate vectors realize the intended Eq. 4 similarities exactly, the
+/// domain metadata, and the human-annotation oracle.
+class GeneratedDataset {
+ public:
+  GeneratedDataset() = default;
+  GeneratedDataset(GeneratedDataset&&) = default;
+  GeneratedDataset& operator=(GeneratedDataset&&) = default;
+
+  const KnowledgeGraph& graph() const { return graph_; }
+  /// Planted predicate/entity vectors (ideal embedding; model for Eq. 4).
+  const EmbeddingModel& reference_embedding() const { return *reference_; }
+  const std::vector<DomainInfo>& domains() const { return domains_; }
+  const std::vector<NodeId>& hubs() const { return hubs_; }
+  const std::string& profile_name() const { return profile_name_; }
+
+  /// Answers planted for (domain, hub), with their schema annotations.
+  const std::vector<PlantedAnswer>& PlantedAnswers(size_t domain,
+                                                   NodeId hub) const;
+
+  /// Human-annotation oracle: the answers a crowd of schema annotators
+  /// would accept for this query (relevant-schema attachment at every
+  /// branch's hub; intersection for complex shapes). Filters and attribute
+  /// requirements are NOT applied here — pass the result through
+  /// AggregateOverAnswers to obtain HA-GT values.
+  Result<std::vector<NodeId>> HumanCorrectAnswers(
+      const AggregateQuery& query) const;
+
+  /// HA ground-truth aggregate value (annotated answers + query filters).
+  Result<double> HumanGroundTruth(const AggregateQuery& query) const;
+
+  /// Domain index whose answer type matches the query target, or npos.
+  size_t DomainIndexForTargetType(const std::string& type_name) const;
+
+ private:
+  friend class KgGenerator;
+
+  KnowledgeGraph graph_;
+  std::unique_ptr<FixedEmbedding> reference_;
+  std::vector<DomainInfo> domains_;
+  std::vector<NodeId> hubs_;
+  std::string profile_name_;
+  /// planted_[domain] maps hub node -> planted answers.
+  std::vector<std::map<NodeId, std::vector<PlantedAnswer>>> planted_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_DATAGEN_DATASET_H_

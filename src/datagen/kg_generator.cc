@@ -1,0 +1,468 @@
+#include "datagen/kg_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "embedding/vector_ops.h"
+#include "kg/graph_builder.h"
+
+namespace kgaq {
+
+namespace {
+
+// Planted Eq. 4 cosines per schema role (before profile offset / jitter).
+// Chosen so that at tau ~= 0.85: direct (1 hop, ~0.96) and indirect
+// (2 hops, geometric mean ~0.92) validate correct; semi-relevant
+// (~0.80) and distractor (~0.52) schemas do not.
+constexpr double kDirectCos = 0.96;
+constexpr double kIndirectACos = 0.95;
+constexpr double kIndirectBCos = 0.90;
+constexpr double kSemiACos = 0.82;
+constexpr double kSemiBCos = 0.78;
+constexpr double kDistractorACos = 0.55;
+constexpr double kDistractorBCos = 0.50;
+
+struct DomainTemplate {
+  const char* name;
+  const char* answer_type;
+  const char* mid_type;       // intermediate of the relevant 2-hop schema
+  const char* semi_mid_type;  // intermediate of the semi-relevant schema
+  const char* dis_mid_type;   // intermediate of the distractor schema
+  const char* query_pred;
+  const char* direct_pred;
+  const char* indirect_a;  // answer -> intermediate
+  const char* indirect_b;  // intermediate -> hub
+  const char* semi_a;
+  const char* semi_b;
+  const char* distractor_a;
+  const char* distractor_b;
+  AttributeSpec attrs[3];
+};
+
+using AK = AttributeSpec::Kind;
+
+const DomainTemplate kTemplates[] = {
+    {"automobile", "Automobile", "Company", "DesignStudio", "Person",
+     "product", "assembly", "manufacturer", "country", "styled_by",
+     "studio_base", "designer", "nationality",
+     {{"price", AK::kLogNormal, 10.6, 0.30},
+      {"horsepower", AK::kNormal, 250, 60},
+      {"fuel_economy", AK::kUniform, 18, 42}}},
+    {"soccer", "SoccerPlayer", "SoccerClub", "YouthAcademy", "Person",
+     "born_in", "birth_country", "plays_for", "club_country", "trained_at",
+     "academy_country", "idolized_by", "fan_nationality",
+     {{"age", AK::kUniform, 17, 39},
+      {"transfer_value", AK::kLogNormal, 16.0, 0.45},
+      {"appearances", AK::kNormal, 180, 70}}},
+    {"movie", "Movie", "Studio", "Distributor", "Person", "filmed_in",
+     "shot_in", "produced_by", "studio_country", "distributed_by",
+     "market_country", "premiered_for", "audience_nationality",
+     {{"box_office", AK::kLogNormal, 17.0, 0.50},
+      {"rating", AK::kUniform, 1, 10},
+      {"runtime", AK::kNormal, 112, 22}}},
+    {"city", "City", "Region", "District", "Person", "located_in",
+     "city_of", "in_region", "region_of", "in_district", "district_of",
+     "mayor_of", "citizen_of",
+     {{"population", AK::kLogNormal, 12.0, 0.55},
+      {"area", AK::kLogNormal, 5.0, 0.50},
+      {"elevation", AK::kUniform, 0, 2500}}},
+    {"museum", "Museum", "Foundation", "Trust", "Person", "situated_in",
+     "museum_country", "run_by", "foundation_country", "endowed_by",
+     "trust_country", "curated_by", "curator_nationality",
+     {{"visitors", AK::kLogNormal, 12.0, 0.45},
+      {"exhibits", AK::kLogNormal, 7.0, 0.40},
+      {"founded", AK::kUniform, 1700, 2010}}},
+    {"language", "Language", "Ethnicity", "Dialect", "Person", "spoken_in",
+     "official_language_of", "spoken_by", "ethnic_group_of",
+     "dialect_cluster", "cluster_region", "studied_by",
+     "scholar_nationality",
+     {{"speakers", AK::kLogNormal, 15.0, 0.55},
+      {"age_estimate", AK::kUniform, 100, 3000},
+      {"vitality", AK::kUniform, 1, 10}}},
+};
+constexpr size_t kNumTemplates = sizeof(kTemplates) / sizeof(kTemplates[0]);
+
+const char* const kCountryNames[] = {
+    "Germany", "China",  "Korea",  "Spain",  "England", "France",
+    "Italy",   "Japan",  "Brazil", "India",  "Canada",  "Norway"};
+constexpr size_t kNumCountryNames =
+    sizeof(kCountryNames) / sizeof(kCountryNames[0]);
+
+// Domain selectivity targets cycled across domains; combined with the
+// cross-hub candidate bleed they span the paper's 0.05%..70% range.
+const double kRelevantFractions[] = {0.20, 0.30, 0.40, 0.50, 0.60, 0.70};
+
+double SampleAttribute(const AttributeSpec& spec, Rng& rng) {
+  switch (spec.kind) {
+    case AK::kLogNormal:
+      return std::exp(spec.a + spec.b * rng.NextGaussian());
+    case AK::kNormal:
+      return std::max(1.0, spec.a + spec.b * rng.NextGaussian());
+    case AK::kUniform:
+      return spec.a + (spec.b - spec.a) * rng.NextDouble();
+  }
+  return 0.0;
+}
+
+// Plan of every predicate's target cosine to its domain's query direction.
+struct PredicatePlan {
+  size_t domain;
+  double cosine;
+};
+
+}  // namespace
+
+DatasetProfile DatasetProfile::Dbpedia(double scale) {
+  DatasetProfile p;
+  p.name = "dbpedia";
+  p.seed = 11;
+  p.num_hubs = std::max<size_t>(4, static_cast<size_t>(12 * scale));
+  p.num_domains = 6;
+  p.answers_per_hub_per_domain =
+      std::max<size_t>(16, static_cast<size_t>(60 * scale));
+  p.filler_nodes = static_cast<size_t>(1500 * scale);
+  p.noise_edge_factor = 1.2;
+  p.semantic_offset = 0.0;
+  return p;
+}
+
+DatasetProfile DatasetProfile::Freebase(double scale) {
+  DatasetProfile p;
+  p.name = "freebase";
+  p.seed = 22;
+  p.num_hubs = std::max<size_t>(4, static_cast<size_t>(14 * scale));
+  p.num_domains = 6;
+  p.answers_per_hub_per_domain =
+      std::max<size_t>(12, static_cast<size_t>(48 * scale));
+  p.filler_nodes = static_cast<size_t>(1200 * scale);
+  p.noise_edge_factor = 2.4;  // Freebase is the densest (Table III)
+  p.semantic_offset = -0.04;  // optimal tau shifts to ~0.80 (Table V)
+  return p;
+}
+
+DatasetProfile DatasetProfile::Yago2(double scale) {
+  DatasetProfile p;
+  p.name = "yago2";
+  p.seed = 33;
+  p.num_hubs = std::max<size_t>(4, static_cast<size_t>(16 * scale));
+  p.num_domains = 6;
+  p.answers_per_hub_per_domain =
+      std::max<size_t>(12, static_cast<size_t>(44 * scale));
+  p.filler_nodes = static_cast<size_t>(2400 * scale);  // most nodes
+  p.noise_edge_factor = 1.6;
+  p.semantic_offset = -0.03;
+  return p;
+}
+
+DatasetProfile DatasetProfile::Mini(uint64_t seed) {
+  DatasetProfile p;
+  p.name = "mini";
+  p.seed = seed;
+  p.num_hubs = 4;
+  p.num_domains = 3;
+  p.answers_per_hub_per_domain = 14;
+  p.filler_nodes = 60;
+  p.noise_edge_factor = 0.8;
+  return p;
+}
+
+Result<GeneratedDataset> KgGenerator::Generate(
+    const DatasetProfile& profile) {
+  if (profile.num_hubs < 2) {
+    return Status::InvalidArgument("need at least two hubs");
+  }
+  if (profile.num_domains == 0 || profile.num_domains > kNumTemplates) {
+    return Status::InvalidArgument(
+        "num_domains must be in [1, " + std::to_string(kNumTemplates) + "]");
+  }
+
+  Rng rng(profile.seed);
+  GeneratedDataset ds;
+  ds.profile_name_ = profile.name;
+  GraphBuilder builder;
+  std::unordered_map<std::string, PredicatePlan> predicate_plans;
+
+  auto plan_predicate = [&](const std::string& pred, size_t domain,
+                            double cosine) {
+    const double shifted =
+        std::clamp(cosine + profile.semantic_offset, 0.05, 0.999);
+    predicate_plans.emplace(pred, PredicatePlan{domain, shifted});
+  };
+  // Per-edge jitter is realized as predicate *variants* ("assembly",
+  // "assembly_plant") with slightly different planted cosines, so each
+  // predicate still has a single well-defined vector.
+  auto variant = [&](const std::string& base, size_t domain, double cosine,
+                     int which) {
+    const std::string name = which == 0 ? base : base + "_v" + // e.g. _v1
+                                              std::to_string(which);
+    if (!predicate_plans.count(name)) {
+      const double jitter =
+          which == 0 ? 0.0
+                     : (which == 1 ? profile.cosine_jitter
+                                   : -profile.cosine_jitter);
+      plan_predicate(name, domain, cosine + jitter);
+    }
+    return name;
+  };
+
+  // ---- Hubs ------------------------------------------------------------
+  std::vector<NodeId> hubs;
+  for (size_t h = 0; h < profile.num_hubs; ++h) {
+    std::string name = h < kNumCountryNames
+                           ? kCountryNames[h]
+                           : "Country_" + std::to_string(h);
+    hubs.push_back(builder.AddNode(name, {"Country"}));
+  }
+  // Border ring + chords: the bleed channel that lets other hubs' answers
+  // enter a hub's n-bounded scope as (incorrect) candidates.
+  for (size_t h = 0; h < hubs.size(); ++h) {
+    builder.AddEdge(hubs[h], "borders", hubs[(h + 1) % hubs.size()]);
+    if (hubs.size() > 4 && rng.NextBernoulli(0.5)) {
+      NodeId other = hubs[rng.NextBounded(hubs.size())];
+      if (other != hubs[h]) builder.AddEdge(hubs[h], "borders", other);
+    }
+  }
+
+  // ---- Domains ---------------------------------------------------------
+  ds.domains_.resize(profile.num_domains);
+  ds.planted_.resize(profile.num_domains);
+  for (size_t d = 0; d < profile.num_domains; ++d) {
+    const DomainTemplate& t = kTemplates[d];
+    DomainInfo& info = ds.domains_[d];
+    info.name = t.name;
+    info.answer_type = t.answer_type;
+    info.intermediate_type = t.mid_type;
+    info.query_predicate = t.query_pred;
+    info.direct_predicate = t.direct_pred;
+    info.indirect_a = t.indirect_a;
+    info.indirect_b = t.indirect_b;
+    info.relevant_fraction = kRelevantFractions[d % 6];
+    for (const AttributeSpec& a : t.attrs) info.attributes.push_back(a);
+
+    plan_predicate(t.query_pred, d, 0.999);
+
+    // Anchor edges guarantee every base schema predicate exists in the KG
+    // dictionary (queries and the embedding are resolved against it), even
+    // when the random variant choice would otherwise skip the base name.
+    {
+      NodeId aa = builder.AddNode("SchemaAnchor_" + std::string(t.name) + "_a",
+                                  {"Thing"});
+      NodeId ab = builder.AddNode("SchemaAnchor_" + std::string(t.name) + "_b",
+                                  {"Thing"});
+      builder.AddEdge(aa, variant(t.query_pred, d, 0.999, 0), ab);
+      builder.AddEdge(aa, variant(t.direct_pred, d, kDirectCos, 0), ab);
+      builder.AddEdge(aa, variant(t.indirect_a, d, kIndirectACos, 0), ab);
+      builder.AddEdge(aa, variant(t.indirect_b, d, kIndirectBCos, 0), ab);
+    }
+
+    // Intermediate pools per hub, created lazily.
+    auto make_pool = [&](const char* type, const char* tag, NodeId hub,
+                         size_t count) {
+      std::vector<NodeId> pool;
+      for (size_t i = 0; i < count; ++i) {
+        std::string nm = std::string(type) + "_" + tag + "_" +
+                         std::to_string(hub) + "_" + std::to_string(i);
+        pool.push_back(builder.AddNode(nm, {type}));
+      }
+      return pool;
+    };
+
+    for (size_t h = 0; h < hubs.size(); ++h) {
+      const NodeId hub = hubs[h];
+      const size_t num_answers = profile.answers_per_hub_per_domain;
+      const size_t pool_size = std::max<size_t>(2, num_answers / 6);
+
+      std::vector<NodeId> mids =
+          make_pool(t.mid_type, t.name, hub, pool_size);
+      std::vector<NodeId> semi_mids =
+          make_pool(t.semi_mid_type, t.name, hub, pool_size);
+      std::vector<NodeId> dis_mids =
+          make_pool(t.dis_mid_type, t.name, hub, pool_size);
+      // Connect intermediates to the hub once each.
+      for (NodeId m : mids) {
+        builder.AddEdge(
+            m, variant(t.indirect_b, d, kIndirectBCos, rng.NextBounded(3)),
+            hub);
+      }
+      for (NodeId m : semi_mids) {
+        builder.AddEdge(
+            m, variant(t.semi_b, d, kSemiBCos, rng.NextBounded(3)), hub);
+      }
+      for (NodeId m : dis_mids) {
+        builder.AddEdge(
+            m, variant(t.distractor_b, d, kDistractorBCos,
+                       rng.NextBounded(3)),
+            hub);
+      }
+
+      auto attach = [&](NodeId answer, NodeId to_hub, SchemaRole role,
+                        std::vector<NodeId>& mid_pool,
+                        std::vector<NodeId>& semi_pool,
+                        std::vector<NodeId>& dis_pool) {
+        switch (role) {
+          case SchemaRole::kDirectRelevant: {
+            // ~1/3 of direct edges use the query predicate itself so that
+            // it exists in the KG dictionary (queries resolve against it).
+            if (rng.NextBernoulli(0.33)) {
+              builder.AddEdge(answer, t.query_pred, to_hub);
+            } else {
+              builder.AddEdge(
+                  answer,
+                  variant(t.direct_pred, d, kDirectCos, rng.NextBounded(3)),
+                  to_hub);
+            }
+            break;
+          }
+          case SchemaRole::kIndirectRelevant: {
+            NodeId m = mid_pool[rng.NextBounded(mid_pool.size())];
+            builder.AddEdge(
+                answer,
+                variant(t.indirect_a, d, kIndirectACos, rng.NextBounded(3)),
+                m);
+            break;
+          }
+          case SchemaRole::kSemiRelevant: {
+            NodeId m = semi_pool[rng.NextBounded(semi_pool.size())];
+            builder.AddEdge(
+                answer, variant(t.semi_a, d, kSemiACos, rng.NextBounded(3)),
+                m);
+            break;
+          }
+          case SchemaRole::kDistractor: {
+            NodeId m = dis_pool[rng.NextBounded(dis_pool.size())];
+            builder.AddEdge(
+                answer,
+                variant(t.distractor_a, d, kDistractorACos,
+                        rng.NextBounded(3)),
+                m);
+            break;
+          }
+        }
+      };
+
+      for (size_t i = 0; i < num_answers; ++i) {
+        std::string nm = std::string(t.answer_type) + "_" +
+                         std::to_string(hub) + "_" + std::to_string(i);
+        NodeId answer = builder.AddNode(nm, {t.answer_type});
+        for (const AttributeSpec& a : t.attrs) {
+          builder.SetAttribute(answer, a.name, SampleAttribute(a, rng));
+        }
+        const bool relevant = rng.NextBernoulli(info.relevant_fraction);
+        SchemaRole role;
+        if (relevant) {
+          role = rng.NextBernoulli(0.5) ? SchemaRole::kDirectRelevant
+                                        : SchemaRole::kIndirectRelevant;
+        } else {
+          role = rng.NextBernoulli(0.5) ? SchemaRole::kSemiRelevant
+                                        : SchemaRole::kDistractor;
+        }
+        attach(answer, hub, role, mids, semi_mids, dis_mids);
+        ds.planted_[d][hub].push_back({answer, role});
+
+        // Occasional second attachment to the same hub (schema diversity).
+        if (rng.NextBernoulli(0.2)) {
+          attach(answer, hub, role, mids, semi_mids, dis_mids);
+        }
+        // Second-hub attachment feeding the complex-shape workloads with
+        // non-empty intersections. Only relevant answers co-attach, and
+        // each co-attachment gets a *dedicated* intermediate: shared
+        // bridging structure (a direct edge or a shared mid) would create
+        // 2-3-edge predicate-pure paths that make a neighboring hub's
+        // whole answer set tau-relevant for this hub — Eq. 2 scores
+        // predicates only, so such bridges score ~1.0. A private mid
+        // pushes every cross-hub bridge past the n = 3 bound.
+        if (IsRelevantRole(role) &&
+            rng.NextBernoulli(profile.second_hub_probability)) {
+          // Deterministic partner pairing (h, h+1) keeps star/cycle/flower
+          // workload intersections reliably non-empty.
+          size_t h2 = (h + 1) % hubs.size();
+          if (hubs[h2] != hub) {
+            NodeId m = builder.AddNode(
+                std::string(t.mid_type) + "_co_" + nm, {t.mid_type});
+            builder.AddEdge(
+                answer,
+                variant(t.indirect_a, d, kIndirectACos, rng.NextBounded(3)),
+                m);
+            builder.AddEdge(
+                m,
+                variant(t.indirect_b, d, kIndirectBCos, rng.NextBounded(3)),
+                hubs[h2]);
+            ds.planted_[d][hubs[h2]].push_back(
+                {answer, SchemaRole::kIndirectRelevant});
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Filler nodes + noise edges ---------------------------------------
+  static const char* const kFillerTypes[] = {"Thing", "Place", "Event",
+                                             "Organization"};
+  std::vector<NodeId> all_for_noise;
+  for (size_t i = 0; i < profile.filler_nodes; ++i) {
+    NodeId f = builder.AddNode("Thing_" + std::to_string(i),
+                               {kFillerTypes[i % 4]});
+    all_for_noise.push_back(f);
+  }
+  const size_t num_nodes_so_far = builder.NumNodes();
+  const size_t noise_edges = static_cast<size_t>(
+      profile.noise_edge_factor * static_cast<double>(num_nodes_so_far));
+  // Noise predicates get no plan entry -> random (low-cosine) vectors.
+  for (size_t i = 0; i < noise_edges; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(num_nodes_so_far));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(num_nodes_so_far));
+    if (a == b) continue;
+    builder.AddEdge(a, "related_to_" + std::to_string(rng.NextBounded(8)),
+                    b);
+  }
+
+  auto graph = std::move(builder).Build();
+  if (!graph.ok()) return graph.status();
+  ds.graph_ = std::move(*graph);
+  ds.hubs_ = std::move(hubs);
+
+  // ---- Reference embedding ----------------------------------------------
+  const size_t dim = profile.embedding_dim;
+  auto ref = std::make_unique<FixedEmbedding>(
+      "Reference", ds.graph_.NumNodes(), ds.graph_.NumPredicates(), dim,
+      dim);
+  // One latent direction per domain.
+  std::vector<std::vector<float>> domain_dirs(profile.num_domains);
+  for (auto& dir : domain_dirs) {
+    dir.resize(dim);
+    for (auto& x : dir) x = static_cast<float>(rng.NextGaussian());
+    NormalizeInPlace(dir);
+  }
+  for (PredicateId p = 0; p < ds.graph_.NumPredicates(); ++p) {
+    auto vec = ref->MutablePredicateVector(p);
+    auto it = predicate_plans.find(ds.graph_.predicates().name(p));
+    if (it == predicate_plans.end()) {
+      for (auto& x : vec) x = static_cast<float>(rng.NextGaussian());
+      NormalizeInPlace(vec);
+      continue;
+    }
+    const auto& dir = domain_dirs[it->second.domain];
+    // v = c * q + sqrt(1 - c^2) * w with w a unit vector orthogonal to q.
+    std::vector<float> w(dim);
+    for (auto& x : w) x = static_cast<float>(rng.NextGaussian());
+    const double proj = Dot(w, dir);
+    AddScaled(w, dir, -proj);
+    NormalizeInPlace(w);
+    const double c = it->second.cosine;
+    const double s = std::sqrt(std::max(0.0, 1.0 - c * c));
+    for (size_t i = 0; i < dim; ++i) {
+      vec[i] = static_cast<float>(c * dir[i] + s * w[i]);
+    }
+  }
+  for (NodeId u = 0; u < ds.graph_.NumNodes(); ++u) {
+    auto vec = ref->MutableEntityVector(u);
+    for (auto& x : vec) x = static_cast<float>(rng.NextGaussian());
+    NormalizeInPlace(vec);
+  }
+  ds.reference_ = std::move(ref);
+  return ds;
+}
+
+}  // namespace kgaq

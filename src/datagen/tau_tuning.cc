@@ -1,0 +1,103 @@
+#include "datagen/tau_tuning.h"
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/ssb.h"
+
+namespace kgaq {
+
+Result<std::vector<TauSweepPoint>> SweepTau(
+    const GeneratedDataset& ds, const EmbeddingModel& model,
+    const std::vector<BenchmarkQuery>& probe_queries,
+    const std::vector<double>& taus, int n_hops) {
+  Ssb::Options opts;
+  opts.n_hops = n_hops;
+  Ssb ssb(ds.graph(), model, opts);
+
+  // Precompute per-query exact similarities and annotated sets once; each
+  // tau only re-thresholds.
+  struct Probe {
+    std::vector<std::pair<NodeId, double>> sims;
+    std::set<NodeId> annotated;
+  };
+  std::vector<Probe> probes;
+  for (const auto& bq : probe_queries) {
+    if (bq.query.query.branches.size() != 1) continue;
+    auto sims = ssb.BranchSimilarities(bq.query.query.branches[0]);
+    if (!sims.ok()) return sims.status();
+    auto ha = ds.HumanCorrectAnswers(bq.query);
+    if (!ha.ok()) return ha.status();
+    Probe p;
+    p.sims.assign(sims->begin(), sims->end());
+    p.annotated.insert(ha->begin(), ha->end());
+    probes.push_back(std::move(p));
+  }
+  if (probes.empty()) {
+    return Status::InvalidArgument("no usable simple probe queries");
+  }
+
+  std::vector<TauSweepPoint> out;
+  for (double tau : taus) {
+    std::vector<double> jaccards;
+    for (const Probe& p : probes) {
+      std::set<NodeId> relevant;
+      for (const auto& [node, s] : p.sims) {
+        if (s >= tau) relevant.insert(node);
+      }
+      std::vector<NodeId> inter;
+      std::set_intersection(relevant.begin(), relevant.end(),
+                            p.annotated.begin(), p.annotated.end(),
+                            std::back_inserter(inter));
+      const size_t uni =
+          relevant.size() + p.annotated.size() - inter.size();
+      jaccards.push_back(uni == 0 ? 1.0
+                                  : static_cast<double>(inter.size()) / uni);
+    }
+    TauSweepPoint pt;
+    pt.tau = tau;
+    for (double j : jaccards) pt.avg_jaccard += j;
+    pt.avg_jaccard /= static_cast<double>(jaccards.size());
+    for (double j : jaccards) {
+      pt.variance += (j - pt.avg_jaccard) * (j - pt.avg_jaccard);
+    }
+    pt.variance /= static_cast<double>(jaccards.size());
+    out.push_back(pt);
+  }
+  return out;
+}
+
+double PickBestTau(const std::vector<TauSweepPoint>& points) {
+  double best_tau = 0.85;
+  double best_score = -1.0;
+  for (const auto& pt : points) {
+    // Higher AJS wins; lower variance breaks near-ties (paper's Table V
+    // reading).
+    const double score = pt.avg_jaccard - 0.1 * pt.variance;
+    if (score > best_score) {
+      best_score = score;
+      best_tau = pt.tau;
+    }
+  }
+  return best_tau;
+}
+
+Result<double> TuneTau(const GeneratedDataset& ds,
+                       const EmbeddingModel& model, size_t num_probes) {
+  WorkloadOptions wopts;
+  wopts.num_simple = num_probes;
+  wopts.num_filter = 0;
+  wopts.num_group_by = 0;
+  wopts.num_chain = 0;
+  wopts.num_star = 0;
+  wopts.num_cycle = 0;
+  wopts.num_flower = 0;
+  auto probes = WorkloadGenerator::Generate(ds, wopts);
+  std::vector<double> taus;
+  for (double t = 0.60; t <= 0.951; t += 0.05) taus.push_back(t);
+  auto sweep = SweepTau(ds, model, probes, taus);
+  if (!sweep.ok()) return sweep.status();
+  return PickBestTau(*sweep);
+}
+
+}  // namespace kgaq

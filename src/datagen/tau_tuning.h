@@ -1,0 +1,42 @@
+#ifndef KGAQ_DATAGEN_TAU_TUNING_H_
+#define KGAQ_DATAGEN_TAU_TUNING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/dataset.h"
+#include "datagen/workload_generator.h"
+#include "embedding/embedding_model.h"
+
+namespace kgaq {
+
+/// One row of the paper's Table V: how well the tau-relevant answers agree
+/// with the human-annotated ones at a given threshold.
+struct TauSweepPoint {
+  double tau = 0.0;
+  double avg_jaccard = 0.0;  ///< AJS over the probe queries.
+  double variance = 0.0;     ///< Var of the per-query Jaccard.
+};
+
+/// Sweeps tau over the probe queries (simple queries only, as in §VII-A):
+/// for each query, the tau-relevant answer set (exact Eq. 3 similarities
+/// thresholded at tau) is compared by Jaccard against the annotated set.
+/// This is how a domain expert tunes tau from a limited annotated subset
+/// (the paper uses 35% of queries).
+Result<std::vector<TauSweepPoint>> SweepTau(
+    const GeneratedDataset& ds, const EmbeddingModel& model,
+    const std::vector<BenchmarkQuery>& probe_queries,
+    const std::vector<double>& taus, int n_hops = 3);
+
+/// The tau with the highest average Jaccard (ties: lower variance).
+double PickBestTau(const std::vector<TauSweepPoint>& points);
+
+/// Convenience: sweep the paper's grid {0.60, 0.65, ..., 0.95} over a few
+/// generated simple queries and return the winning tau for this
+/// (dataset, embedding) pair.
+Result<double> TuneTau(const GeneratedDataset& ds,
+                       const EmbeddingModel& model, size_t num_probes = 8);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_DATAGEN_TAU_TUNING_H_

@@ -1,0 +1,244 @@
+#include "datagen/workload_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgaq {
+
+namespace {
+
+const AggregateFunction kFunctionCycle[] = {
+    AggregateFunction::kCount, AggregateFunction::kAvg,
+    AggregateFunction::kSum};
+
+QueryBranch SimpleBranch(const GeneratedDataset& ds, size_t domain,
+                         size_t hub_index) {
+  const DomainInfo& info = ds.domains()[domain];
+  QueryBranch b;
+  b.specific_name = ds.graph().NodeName(ds.hubs()[hub_index]);
+  b.specific_types = {"Country"};
+  b.hops.push_back({info.query_predicate, {info.answer_type}});
+  return b;
+}
+
+QueryBranch DirectBranch(const GeneratedDataset& ds, size_t domain,
+                         size_t hub_index) {
+  const DomainInfo& info = ds.domains()[domain];
+  QueryBranch b;
+  b.specific_name = ds.graph().NodeName(ds.hubs()[hub_index]);
+  b.specific_types = {"Country"};
+  b.hops.push_back({info.direct_predicate, {info.answer_type}});
+  return b;
+}
+
+QueryBranch ChainBranch(const GeneratedDataset& ds, size_t domain,
+                        size_t hub_index) {
+  const DomainInfo& info = ds.domains()[domain];
+  QueryBranch b;
+  b.specific_name = ds.graph().NodeName(ds.hubs()[hub_index]);
+  b.specific_types = {"Country"};
+  b.hops.push_back({info.indirect_b, {info.intermediate_type}});
+  b.hops.push_back({info.indirect_a, {info.answer_type}});
+  return b;
+}
+
+void DecorateAggregate(const GeneratedDataset& ds, size_t domain,
+                       AggregateFunction f, AggregateQuery& q) {
+  q.function = f;
+  if (f != AggregateFunction::kCount) {
+    q.attribute = ds.domains()[domain].attributes[0].name;
+  }
+}
+
+// Interquartile range of an attribute over the domain's answer entities —
+// a filter that keeps roughly half the answers, like the paper's
+// fuel-economy range example (Q3).
+Filter IqrFilter(const GeneratedDataset& ds, size_t domain) {
+  const DomainInfo& info = ds.domains()[domain];
+  const AttributeSpec& spec =
+      info.attributes[std::min<size_t>(1, info.attributes.size() - 1)];
+  const KnowledgeGraph& g = ds.graph();
+  std::vector<double> values;
+  TypeId t = g.TypeIdOf(info.answer_type);
+  AttributeId a = g.AttributeIdOf(spec.name);
+  if (t != kInvalidId && a != kInvalidId) {
+    for (NodeId u : g.NodesWithType(t)) {
+      auto v = g.Attribute(u, a);
+      if (v.has_value()) values.push_back(*v);
+    }
+  }
+  Filter f;
+  f.attribute = spec.name;
+  if (values.size() < 4) {
+    f.lower = 0.0;
+    f.upper = 1e18;
+    return f;
+  }
+  std::sort(values.begin(), values.end());
+  f.lower = values[values.size() / 4];
+  f.upper = values[(3 * values.size()) / 4];
+  return f;
+}
+
+GroupBy MakeGroupBy(const GeneratedDataset& ds, size_t domain) {
+  const DomainInfo& info = ds.domains()[domain];
+  // Prefer a uniform attribute (age-like) for meaningful buckets.
+  const AttributeSpec* spec = &info.attributes.back();
+  for (const AttributeSpec& a : info.attributes) {
+    if (a.kind == AttributeSpec::Kind::kUniform) {
+      spec = &a;
+      break;
+    }
+  }
+  GroupBy gb;
+  gb.attribute = spec->name;
+  gb.bucket_width = std::max(1.0, (spec->b - spec->a) / 4.0);
+  return gb;
+}
+
+std::string HubName(const GeneratedDataset& ds, size_t hub_index) {
+  return ds.graph().NodeName(ds.hubs()[hub_index]);
+}
+
+}  // namespace
+
+AggregateQuery WorkloadGenerator::SimpleQuery(const GeneratedDataset& ds,
+                                              size_t domain,
+                                              size_t hub_index,
+                                              AggregateFunction f) {
+  AggregateQuery q;
+  q.query = QueryGraph::Simple(
+      HubName(ds, hub_index), {"Country"},
+      ds.domains()[domain].query_predicate,
+      {ds.domains()[domain].answer_type});
+  DecorateAggregate(ds, domain, f, q);
+  return q;
+}
+
+AggregateQuery WorkloadGenerator::ChainQuery(const GeneratedDataset& ds,
+                                             size_t domain, size_t hub_index,
+                                             AggregateFunction f) {
+  AggregateQuery q;
+  q.query = QueryGraph::Chain(ChainBranch(ds, domain, hub_index));
+  DecorateAggregate(ds, domain, f, q);
+  return q;
+}
+
+std::vector<BenchmarkQuery> WorkloadGenerator::Generate(
+    const GeneratedDataset& ds, const WorkloadOptions& options) {
+  std::vector<BenchmarkQuery> out;
+  Rng rng(options.seed);
+  const size_t num_domains = ds.domains().size();
+  const size_t num_hubs = ds.hubs().size();
+  size_t counter = 0;
+
+  auto next_id = [&counter] { return "Q" + std::to_string(++counter); };
+  auto pick_domain = [&](size_t i) { return i % num_domains; };
+  auto pick_hub = [&](size_t i) { return (i * 3 + 1) % num_hubs; };
+  auto pick_fn = [&](size_t i) { return kFunctionCycle[i % 3]; };
+
+  for (size_t i = 0; i < options.num_simple; ++i) {
+    const size_t d = pick_domain(i), h = pick_hub(i);
+    BenchmarkQuery bq;
+    bq.id = next_id();
+    bq.query = SimpleQuery(ds, d, h, pick_fn(i));
+    bq.text = std::string(AggregateFunctionToString(bq.query.function)) +
+              " of " + ds.domains()[d].answer_type + " with " +
+              ds.domains()[d].query_predicate + " " + HubName(ds, h);
+    out.push_back(std::move(bq));
+  }
+
+  for (size_t i = 0; i < options.num_filter; ++i) {
+    const size_t d = pick_domain(i + 1), h = pick_hub(i + 2);
+    BenchmarkQuery bq;
+    bq.id = next_id();
+    bq.query = SimpleQuery(ds, d, h, pick_fn(i + 1));
+    bq.query.filters.push_back(IqrFilter(ds, d));
+    bq.text = "filtered " + std::string(AggregateFunctionToString(
+                                bq.query.function)) +
+              " of " + ds.domains()[d].answer_type + " of " + HubName(ds, h);
+    out.push_back(std::move(bq));
+  }
+
+  for (size_t i = 0; i < options.num_group_by; ++i) {
+    const size_t d = pick_domain(i + 2), h = pick_hub(i + 1);
+    BenchmarkQuery bq;
+    bq.id = next_id();
+    bq.query = SimpleQuery(ds, d, h, AggregateFunction::kCount);
+    bq.query.group_by = MakeGroupBy(ds, d);
+    bq.text = "COUNT of " + ds.domains()[d].answer_type + " of " +
+              HubName(ds, h) + " per " + bq.query.group_by.attribute +
+              " group";
+    out.push_back(std::move(bq));
+  }
+
+  for (size_t i = 0; i < options.num_chain; ++i) {
+    const size_t d = pick_domain(i), h = pick_hub(i + 3);
+    BenchmarkQuery bq;
+    bq.id = next_id();
+    bq.query = ChainQuery(ds, d, h, pick_fn(i));
+    bq.text = "chain " + std::string(AggregateFunctionToString(
+                             bq.query.function)) +
+              " of " + ds.domains()[d].answer_type + " via " +
+              ds.domains()[d].intermediate_type + " of " + HubName(ds, h);
+    out.push_back(std::move(bq));
+  }
+
+  auto complex_query = [&](QueryShape shape, size_t i) {
+    const size_t d = pick_domain(i);
+    const size_t h1 = pick_hub(i);
+    // The generator co-attaches answers to the (h, h+1) partner hub, so
+    // stars over partner pairs have non-empty relevant intersections.
+    const size_t h2 = (h1 + 1) % num_hubs;
+    (void)rng;
+    std::vector<QueryBranch> branches;
+    switch (shape) {
+      case QueryShape::kStar:
+        // Two specific entities sharing the target ("produced in China
+        // and Korea").
+        branches.push_back(SimpleBranch(ds, d, h1));
+        branches.push_back(SimpleBranch(ds, d, h2));
+        break;
+      case QueryShape::kCycle:
+        // Two predicates between the same pair of query nodes.
+        branches.push_back(SimpleBranch(ds, d, h1));
+        branches.push_back(DirectBranch(ds, d, h1));
+        break;
+      case QueryShape::kFlower:
+      default:
+        branches.push_back(SimpleBranch(ds, d, h1));
+        branches.push_back(DirectBranch(ds, d, h1));
+        branches.push_back(ChainBranch(ds, d, h1));
+        break;
+    }
+    AggregateQuery q;
+    q.query = QueryGraph::Complex(shape, std::move(branches));
+    DecorateAggregate(ds, d, pick_fn(i), q);
+    return q;
+  };
+
+  for (size_t i = 0; i < options.num_star; ++i) {
+    BenchmarkQuery bq;
+    bq.id = next_id();
+    bq.query = complex_query(QueryShape::kStar, i);
+    bq.text = "star query " + bq.id;
+    out.push_back(std::move(bq));
+  }
+  for (size_t i = 0; i < options.num_cycle; ++i) {
+    BenchmarkQuery bq;
+    bq.id = next_id();
+    bq.query = complex_query(QueryShape::kCycle, i);
+    bq.text = "cycle query " + bq.id;
+    out.push_back(std::move(bq));
+  }
+  for (size_t i = 0; i < options.num_flower; ++i) {
+    BenchmarkQuery bq;
+    bq.id = next_id();
+    bq.query = complex_query(QueryShape::kFlower, i);
+    bq.text = "flower query " + bq.id;
+    out.push_back(std::move(bq));
+  }
+  return out;
+}
+
+}  // namespace kgaq

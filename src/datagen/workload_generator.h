@@ -1,0 +1,52 @@
+#ifndef KGAQ_DATAGEN_WORKLOAD_GENERATOR_H_
+#define KGAQ_DATAGEN_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/dataset.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// One workload entry: a ready-to-run aggregate query plus bookkeeping.
+struct BenchmarkQuery {
+  std::string id;    ///< "Q1", "Q2", ...
+  std::string text;  ///< Human-readable phrasing of the question.
+  AggregateQuery query;
+};
+
+/// Composition of a generated workload. The defaults are scaled-down
+/// relative proportions of the paper's 400-query mix (QALD-4 /
+/// WebQuestions seeds + synthetic complex shapes; §VII-A).
+struct WorkloadOptions {
+  size_t num_simple = 12;
+  size_t num_filter = 4;
+  size_t num_group_by = 3;
+  size_t num_chain = 6;
+  size_t num_star = 4;
+  size_t num_cycle = 4;
+  size_t num_flower = 4;
+  uint64_t seed = 99;
+};
+
+/// Generates a workload against a generated dataset. Every produced query
+/// resolves (hub exists, predicates exist in the KG, types known) and each
+/// complex query's branches share the planted target type.
+class WorkloadGenerator {
+ public:
+  static std::vector<BenchmarkQuery> Generate(const GeneratedDataset& ds,
+                                              const WorkloadOptions& options);
+
+  /// Convenience single-query builders used by examples/tests/benches.
+  static AggregateQuery SimpleQuery(const GeneratedDataset& ds,
+                                    size_t domain, size_t hub_index,
+                                    AggregateFunction f);
+  static AggregateQuery ChainQuery(const GeneratedDataset& ds, size_t domain,
+                                   size_t hub_index, AggregateFunction f);
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_DATAGEN_WORKLOAD_GENERATOR_H_

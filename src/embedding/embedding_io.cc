@@ -1,0 +1,60 @@
+#include "embedding/embedding_io.h"
+
+#include <fstream>
+
+namespace kgaq {
+
+Status SaveEmbedding(const EmbeddingModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  out << "kgaq-embedding " << model.name() << ' ' << model.num_entities()
+      << ' ' << model.num_predicates() << ' ' << model.entity_dim() << ' '
+      << model.predicate_dim() << '\n';
+  out.precision(9);
+  for (NodeId u = 0; u < model.num_entities(); ++u) {
+    auto v = model.EntityVector(u);
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i) out << ' ';
+      out << v[i];
+    }
+    out << '\n';
+  }
+  for (PredicateId p = 0; p < model.num_predicates(); ++p) {
+    auto v = model.PredicateVector(p);
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i) out << ' ';
+      out << v[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FixedEmbedding>> LoadEmbedding(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::string magic, name;
+  size_t num_entities = 0, num_predicates = 0, e_dim = 0, p_dim = 0;
+  in >> magic >> name >> num_entities >> num_predicates >> e_dim >> p_dim;
+  if (!in || magic != "kgaq-embedding") {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a kgaq embedding snapshot");
+  }
+  if (e_dim == 0 || p_dim == 0) {
+    return Status::InvalidArgument("snapshot header has zero dimensions");
+  }
+  auto model = std::make_unique<FixedEmbedding>(name, num_entities,
+                                                num_predicates, e_dim, p_dim);
+  for (NodeId u = 0; u < num_entities; ++u) {
+    for (auto& x : model->MutableEntityVector(u)) in >> x;
+  }
+  for (PredicateId p = 0; p < num_predicates; ++p) {
+    for (auto& x : model->MutablePredicateVector(p)) in >> x;
+  }
+  if (!in) return Status::InvalidArgument("snapshot truncated: '" + path + "'");
+  return model;
+}
+
+}  // namespace kgaq

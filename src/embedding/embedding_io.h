@@ -1,0 +1,32 @@
+#ifndef KGAQ_EMBEDDING_EMBEDDING_IO_H_
+#define KGAQ_EMBEDDING_EMBEDDING_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "embedding/embedding_model.h"
+
+namespace kgaq {
+
+/// Persists any embedding model's vectors as a FixedEmbedding snapshot.
+///
+/// The paper's pipeline trains embeddings offline and loads them at query
+/// time (Algorithm 2 line 1); these functions implement that handoff. The
+/// format is a small text header followed by whitespace-separated floats:
+///
+///   kgaq-embedding <name> <num_entities> <num_predicates> <e_dim> <p_dim>
+///   <entity vectors, one per line>
+///   <predicate vectors, one per line>
+///
+/// Note: snapshots restore vectors (enough for Eq. 4 similarity and
+/// TransE-style scoring) but not model-specific scoring parameters.
+Status SaveEmbedding(const EmbeddingModel& model, const std::string& path);
+
+/// Loads a snapshot previously written by SaveEmbedding.
+Result<std::unique_ptr<FixedEmbedding>> LoadEmbedding(
+    const std::string& path);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_EMBEDDING_EMBEDDING_IO_H_

@@ -1,0 +1,36 @@
+#include "embedding/embedding_model.h"
+
+#include "embedding/vector_ops.h"
+
+namespace kgaq {
+
+double EmbeddingModel::PredicateCosine(PredicateId a, PredicateId b) const {
+  return CosineSimilarity(PredicateVector(a), PredicateVector(b));
+}
+
+FixedEmbedding::FixedEmbedding(std::string name, size_t num_entities,
+                               size_t num_predicates, size_t entity_dim,
+                               size_t predicate_dim)
+    : name_(std::move(name)),
+      num_entities_(num_entities),
+      num_predicates_(num_predicates),
+      entity_dim_(entity_dim),
+      predicate_dim_(predicate_dim),
+      entity_data_(num_entities * entity_dim, 0.0f),
+      predicate_data_(num_predicates * predicate_dim, 0.0f) {}
+
+double FixedEmbedding::ScoreTriple(NodeId h, PredicateId r, NodeId t) const {
+  // TransE-style: plausible triples have h + r ~ t.
+  auto hv = EntityVector(h);
+  auto rv = PredicateVector(r);
+  auto tv = EntityVector(t);
+  double acc = 0.0;
+  const size_t n = entity_dim_ < predicate_dim_ ? entity_dim_ : predicate_dim_;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(hv[i]) + rv[i] - tv[i];
+    acc += d * d;
+  }
+  return -acc;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,109 @@
+#ifndef KGAQ_EMBEDDING_EMBEDDING_MODEL_H_
+#define KGAQ_EMBEDDING_EMBEDDING_MODEL_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kg/types.h"
+
+namespace kgaq {
+
+/// Abstract KG-embedding model (the paper's offline phase, §III / Table
+/// XIII).
+///
+/// The sampling-estimation pipeline only consumes two things from a model:
+///  * PredicateVector(p): a vector whose cosine against another predicate's
+///    vector implements Eq. 4 (predicate similarity). For matrix-valued
+///    relation parameterizations (RESCAL, SE) this is the flattened matrix.
+///  * ScoreTriple(h, r, t): plausibility of a triple; higher = more
+///    plausible. Used by the EAQ link-prediction baseline.
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  /// Model family name ("TransE", "RESCAL", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Entity embedding dimensionality d.
+  virtual size_t entity_dim() const = 0;
+
+  /// Length of the predicate representation (d for translation models,
+  /// d*d for RESCAL, 2*d*d for SE).
+  virtual size_t predicate_dim() const = 0;
+
+  virtual size_t num_entities() const = 0;
+  virtual size_t num_predicates() const = 0;
+
+  /// Vector representation of predicate `p` used for Eq. 4 cosine.
+  virtual std::span<const float> PredicateVector(PredicateId p) const = 0;
+
+  /// Entity vector of node `u`.
+  virtual std::span<const float> EntityVector(NodeId u) const = 0;
+
+  /// Plausibility score of triple (h, r, t); higher = more plausible.
+  virtual double ScoreTriple(NodeId h, PredicateId r, NodeId t) const = 0;
+
+  /// Approximate resident size of the learned parameters, for Table XIII.
+  virtual size_t MemoryBytes() const = 0;
+
+  /// Cosine predicate similarity (Eq. 4), in [-1, 1].
+  double PredicateCosine(PredicateId a, PredicateId b) const;
+};
+
+/// A concrete embedding holding explicit entity / predicate vectors with
+/// TransE-style triple scoring (-||h + r - t||^2).
+///
+/// Used for (a) planted "reference" embeddings from the data generator,
+/// (b) embeddings loaded from disk, and (c) as the storage backend for the
+/// translation-family trainers.
+class FixedEmbedding : public EmbeddingModel {
+ public:
+  /// Creates a zero-initialized embedding table.
+  FixedEmbedding(std::string name, size_t num_entities, size_t num_predicates,
+                 size_t entity_dim, size_t predicate_dim);
+
+  const std::string& name() const override { return name_; }
+  size_t entity_dim() const override { return entity_dim_; }
+  size_t predicate_dim() const override { return predicate_dim_; }
+  size_t num_entities() const override { return num_entities_; }
+  size_t num_predicates() const override { return num_predicates_; }
+
+  std::span<const float> PredicateVector(PredicateId p) const override {
+    return {predicate_data_.data() + static_cast<size_t>(p) * predicate_dim_,
+            predicate_dim_};
+  }
+  std::span<const float> EntityVector(NodeId u) const override {
+    return {entity_data_.data() + static_cast<size_t>(u) * entity_dim_,
+            entity_dim_};
+  }
+
+  /// Mutable accessors for trainers and generators.
+  std::span<float> MutablePredicateVector(PredicateId p) {
+    return {predicate_data_.data() + static_cast<size_t>(p) * predicate_dim_,
+            predicate_dim_};
+  }
+  std::span<float> MutableEntityVector(NodeId u) {
+    return {entity_data_.data() + static_cast<size_t>(u) * entity_dim_,
+            entity_dim_};
+  }
+
+  double ScoreTriple(NodeId h, PredicateId r, NodeId t) const override;
+
+  size_t MemoryBytes() const override {
+    return (entity_data_.size() + predicate_data_.size()) * sizeof(float);
+  }
+
+ private:
+  std::string name_;
+  size_t num_entities_;
+  size_t num_predicates_;
+  size_t entity_dim_;
+  size_t predicate_dim_;
+  std::vector<float> entity_data_;
+  std::vector<float> predicate_data_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_EMBEDDING_EMBEDDING_MODEL_H_

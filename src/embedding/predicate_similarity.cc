@@ -1,0 +1,18 @@
+#include "embedding/predicate_similarity.h"
+
+#include <algorithm>
+
+namespace kgaq {
+
+PredicateSimilarityCache::PredicateSimilarityCache(
+    const EmbeddingModel& model, PredicateId query_predicate, double floor)
+    : query_predicate_(query_predicate) {
+  const size_t n = model.num_predicates();
+  sims_.resize(n);
+  for (PredicateId p = 0; p < n; ++p) {
+    const double cos = model.PredicateCosine(p, query_predicate);
+    sims_[p] = std::clamp(cos, floor, 1.0);
+  }
+}
+
+}  // namespace kgaq

@@ -1,0 +1,44 @@
+#ifndef KGAQ_EMBEDDING_PREDICATE_SIMILARITY_H_
+#define KGAQ_EMBEDDING_PREDICATE_SIMILARITY_H_
+
+#include <vector>
+
+#include "embedding/embedding_model.h"
+#include "kg/types.h"
+
+namespace kgaq {
+
+/// Per-query cache of Eq. 4 predicate similarities.
+///
+/// For a query edge with predicate q, every algorithm downstream (semantic
+/// similarity Eq. 2, transition probabilities Eq. 5) needs sim(p, q) for KG
+/// predicates p. Cosine can be negative while the paper's similarities live
+/// in [0, 1] and Lemma 1 (irreducibility) requires them strictly positive,
+/// so raw cosines are clamped to [floor, 1].
+class PredicateSimilarityCache {
+ public:
+  /// Default positivity floor; 0.001 matches the self-loop similarity the
+  /// paper injects, keeping every transition probability nonzero.
+  static constexpr double kDefaultFloor = 1e-3;
+
+  /// Precomputes sim(p, query_predicate) for all p in one pass — O(|P| * d),
+  /// independent of |E|.
+  PredicateSimilarityCache(const EmbeddingModel& model,
+                           PredicateId query_predicate,
+                           double floor = kDefaultFloor);
+
+  /// Clamped similarity of predicate `p` to the query predicate, in
+  /// [floor, 1].
+  double Similarity(PredicateId p) const { return sims_[p]; }
+
+  PredicateId query_predicate() const { return query_predicate_; }
+  size_t size() const { return sims_.size(); }
+
+ private:
+  PredicateId query_predicate_;
+  std::vector<double> sims_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_EMBEDDING_PREDICATE_SIMILARITY_H_

@@ -1,0 +1,211 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "embedding/embedding_model.h"
+#include "embedding/trainer.h"
+#include "embedding/trainer_internal.h"
+#include "embedding/vector_ops.h"
+
+namespace kgaq {
+
+namespace {
+
+using embedding_internal::CorruptTriple;
+using embedding_internal::ExtractTriples;
+using embedding_internal::GaussianInit;
+using embedding_internal::Triple;
+
+/// SE (Structured Embeddings): each relation has two projection matrices
+/// (M1 for heads, M2 for tails); distance = ||M1 h - M2 t||^2. The Eq. 4
+/// predicate representation is both matrices flattened and concatenated.
+class SeModel : public EmbeddingModel {
+ public:
+  SeModel(size_t num_entities, size_t num_predicates, size_t dim)
+      : num_entities_(num_entities),
+        num_predicates_(num_predicates),
+        dim_(dim),
+        entities_(num_entities * dim, 0.0f),
+        matrices_(num_predicates * 2 * dim * dim, 0.0f) {}
+
+  const std::string& name() const override { return name_; }
+  size_t entity_dim() const override { return dim_; }
+  size_t predicate_dim() const override { return 2 * dim_ * dim_; }
+  size_t num_entities() const override { return num_entities_; }
+  size_t num_predicates() const override { return num_predicates_; }
+
+  std::span<const float> PredicateVector(PredicateId p) const override {
+    return {matrices_.data() + static_cast<size_t>(p) * 2 * dim_ * dim_,
+            2 * dim_ * dim_};
+  }
+  std::span<const float> EntityVector(NodeId u) const override {
+    return {entities_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+
+  std::span<float> Entity(NodeId u) {
+    return {entities_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+  /// which = 0 for the head matrix M1, 1 for the tail matrix M2.
+  std::span<float> Matrix(PredicateId p, int which) {
+    return {matrices_.data() +
+                (static_cast<size_t>(p) * 2 + which) * dim_ * dim_,
+            dim_ * dim_};
+  }
+  std::span<const float> Matrix(PredicateId p, int which) const {
+    return {matrices_.data() +
+                (static_cast<size_t>(p) * 2 + which) * dim_ * dim_,
+            dim_ * dim_};
+  }
+
+  double ScoreTriple(NodeId h, PredicateId r, NodeId t) const override {
+    auto hv = EntityVector(h);
+    auto tv = EntityVector(t);
+    auto m1 = Matrix(r, 0);
+    auto m2 = Matrix(r, 1);
+    double acc = 0.0;
+    for (size_t i = 0; i < dim_; ++i) {
+      double a = 0.0, b = 0.0;
+      const float* r1 = m1.data() + i * dim_;
+      const float* r2 = m2.data() + i * dim_;
+      for (size_t j = 0; j < dim_; ++j) {
+        a += static_cast<double>(r1[j]) * hv[j];
+        b += static_cast<double>(r2[j]) * tv[j];
+      }
+      const double d = a - b;
+      acc += d * d;
+    }
+    return -acc;
+  }
+
+  size_t MemoryBytes() const override {
+    return (entities_.size() + matrices_.size()) * sizeof(float);
+  }
+
+  std::vector<float>& entities() { return entities_; }
+  std::vector<float>& matrices() { return matrices_; }
+
+ private:
+  std::string name_ = "SE";
+  size_t num_entities_;
+  size_t num_predicates_;
+  size_t dim_;
+  std::vector<float> entities_;
+  std::vector<float> matrices_;
+};
+
+double Distance(const SeModel& m, const Triple& t) {
+  return -m.ScoreTriple(t.head, t.relation, t.tail);
+}
+
+void SgdStep(SeModel& m, const Triple& t, double lr, double sign) {
+  const size_t dim = m.entity_dim();
+  auto h = m.Entity(t.head);
+  auto tt = m.Entity(t.tail);
+  auto m1 = m.Matrix(t.relation, 0);
+  auto m2 = m.Matrix(t.relation, 1);
+
+  // g = 2 (M1 h - M2 t).
+  std::vector<double> g(dim, 0.0);
+  for (size_t i = 0; i < dim; ++i) {
+    double a = 0.0, b = 0.0;
+    const float* r1 = m1.data() + i * dim;
+    const float* r2 = m2.data() + i * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      a += static_cast<double>(r1[j]) * h[j];
+      b += static_cast<double>(r2[j]) * tt[j];
+    }
+    g[i] = 2.0 * (a - b);
+  }
+
+  // Cache M1^T g and M2^T g before mutating the matrices.
+  std::vector<double> m1tg(dim, 0.0), m2tg(dim, 0.0);
+  for (size_t i = 0; i < dim; ++i) {
+    const float* r1 = m1.data() + i * dim;
+    const float* r2 = m2.data() + i * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      m1tg[j] += static_cast<double>(r1[j]) * g[i];
+      m2tg[j] += static_cast<double>(r2[j]) * g[i];
+    }
+  }
+
+  const double step = lr * sign;
+  for (size_t i = 0; i < dim; ++i) {
+    float* r1 = m1.data() + i * dim;
+    float* r2 = m2.data() + i * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      r1[j] -= static_cast<float>(step * g[i] * h[j]);   // d/dM1 = g h^T
+      r2[j] += static_cast<float>(step * g[i] * tt[j]);  // d/dM2 = -g t^T
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    h[j] -= static_cast<float>(step * m1tg[j]);   // d/dh = M1^T g
+    tt[j] += static_cast<float>(step * m2tg[j]);  // d/dt = -M2^T g
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EmbeddingModel>> TrainSe(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats) {
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  auto triples = ExtractTriples(g);
+  if (triples.empty()) {
+    return Status::FailedPrecondition("graph has no edges to train on");
+  }
+
+  WallTimer timer;
+  Rng rng(config.seed);
+  auto model =
+      std::make_unique<SeModel>(g.NumNodes(), g.NumPredicates(), config.dim);
+  GaussianInit(model->entities(), config.dim, rng);
+  GaussianInit(model->matrices(), config.dim, rng);
+
+  double avg_loss = 0.0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      NormalizeInPlace(model->Entity(u));
+    }
+    Shuffle(triples, rng);
+    double epoch_loss = 0.0;
+    size_t updates = 0;
+    for (const Triple& pos : triples) {
+      for (size_t k = 0; k < config.negatives_per_positive; ++k) {
+        Triple neg = CorruptTriple(pos, g.NumNodes(), rng);
+        const double loss =
+            config.margin + Distance(*model, pos) - Distance(*model, neg);
+        if (loss > 0.0) {
+          epoch_loss += loss;
+          ++updates;
+          SgdStep(*model, pos, config.learning_rate, +1.0);
+          SgdStep(*model, neg, config.learning_rate, -1.0);
+        }
+      }
+    }
+    avg_loss = updates == 0 ? 0.0 : epoch_loss / static_cast<double>(updates);
+  }
+
+  if (stats != nullptr) {
+    stats->final_avg_loss = avg_loss;
+    stats->train_seconds = timer.ElapsedSeconds();
+    stats->num_triples = triples.size();
+    stats->memory_bytes = model->MemoryBytes();
+  }
+  return std::unique_ptr<EmbeddingModel>(std::move(model));
+}
+
+Result<std::unique_ptr<EmbeddingModel>> TrainModelByName(
+    std::string_view model_name, const KnowledgeGraph& g,
+    const EmbeddingTrainConfig& config, EmbeddingTrainStats* stats) {
+  if (model_name == "TransE") return TrainTransE(g, config, stats);
+  if (model_name == "TransH") return TrainTransH(g, config, stats);
+  if (model_name == "TransD") return TrainTransD(g, config, stats);
+  if (model_name == "RESCAL") return TrainRescal(g, config, stats);
+  if (model_name == "SE") return TrainSe(g, config, stats);
+  return Status::InvalidArgument("unknown embedding model '" +
+                                 std::string(model_name) + "'");
+}
+
+}  // namespace kgaq

@@ -1,0 +1,76 @@
+#ifndef KGAQ_EMBEDDING_TRAINER_H_
+#define KGAQ_EMBEDDING_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "embedding/embedding_model.h"
+#include "kg/knowledge_graph.h"
+
+namespace kgaq {
+
+/// Hyper-parameters shared by all embedding trainers.
+///
+/// Defaults are scaled to the synthetic datasets (d=32 vs the paper's
+/// 50-100 on multi-million-node KGs); all trainers use margin-ranking loss
+/// with uniform negative sampling (corrupting head or tail), the standard
+/// recipe of Bordes et al. that the paper builds on.
+struct EmbeddingTrainConfig {
+  size_t dim = 32;
+  size_t epochs = 60;
+  double learning_rate = 0.05;
+  double margin = 1.0;
+  /// Negative triples sampled per positive per epoch.
+  size_t negatives_per_positive = 1;
+  uint64_t seed = 42;
+};
+
+/// Training telemetry reported by the trainers (Table XIII columns).
+struct EmbeddingTrainStats {
+  double final_avg_loss = 0.0;
+  double train_seconds = 0.0;
+  size_t num_triples = 0;
+  size_t memory_bytes = 0;
+};
+
+/// Trains a TransE model (Bordes et al., NIPS'13): h + r ~ t.
+Result<std::unique_ptr<EmbeddingModel>> TrainTransE(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats = nullptr);
+
+/// Trains a TransH model (Wang et al., AAAI'14): translation on a
+/// relation-specific hyperplane.
+Result<std::unique_ptr<EmbeddingModel>> TrainTransH(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats = nullptr);
+
+/// Trains a TransD model (Ji et al., ACL'15): dynamic mapping matrices
+/// built from entity and relation projection vectors.
+Result<std::unique_ptr<EmbeddingModel>> TrainTransD(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats = nullptr);
+
+/// Trains a RESCAL model (Nickel et al., ICML'11): bilinear d x d relation
+/// matrices. The predicate representation for Eq. 4 is the flattened matrix.
+Result<std::unique_ptr<EmbeddingModel>> TrainRescal(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats = nullptr);
+
+/// Trains an SE model (Bordes et al., AAAI'11): two relation-specific
+/// projection matrices. Predicate representation = both matrices flattened.
+Result<std::unique_ptr<EmbeddingModel>> TrainSe(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats = nullptr);
+
+/// Dispatches by model family name: "TransE", "TransH", "TransD",
+/// "RESCAL", "SE" (case-sensitive, as printed in Table XIII).
+Result<std::unique_ptr<EmbeddingModel>> TrainModelByName(
+    std::string_view model_name, const KnowledgeGraph& g,
+    const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats = nullptr);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_EMBEDDING_TRAINER_H_

@@ -1,0 +1,37 @@
+#include "embedding/trainer_internal.h"
+
+#include <cmath>
+
+namespace kgaq::embedding_internal {
+
+std::vector<Triple> ExtractTriples(const KnowledgeGraph& g) {
+  std::vector<Triple> triples;
+  triples.reserve(g.NumEdges());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (nb.forward) triples.push_back({u, nb.predicate, nb.node});
+    }
+  }
+  return triples;
+}
+
+Triple CorruptTriple(const Triple& t, size_t num_entities, Rng& rng) {
+  Triple neg = t;
+  NodeId random_entity =
+      static_cast<NodeId>(rng.NextBounded(num_entities));
+  if (rng.NextBernoulli(0.5)) {
+    neg.head = random_entity;
+  } else {
+    neg.tail = random_entity;
+  }
+  return neg;
+}
+
+void GaussianInit(std::vector<float>& data, size_t dim, Rng& rng) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (auto& x : data) {
+    x = static_cast<float>(rng.NextGaussian() * scale);
+  }
+}
+
+}  // namespace kgaq::embedding_internal

@@ -1,0 +1,30 @@
+#ifndef KGAQ_EMBEDDING_TRAINER_INTERNAL_H_
+#define KGAQ_EMBEDDING_TRAINER_INTERNAL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "kg/knowledge_graph.h"
+#include "kg/types.h"
+
+namespace kgaq::embedding_internal {
+
+/// A positive training triple extracted from the stored (forward) arcs.
+struct Triple {
+  NodeId head;
+  PredicateId relation;
+  NodeId tail;
+};
+
+/// Collects every stored triple of `g` once.
+std::vector<Triple> ExtractTriples(const KnowledgeGraph& g);
+
+/// Corrupts head or tail (uniformly) to draw a negative triple.
+Triple CorruptTriple(const Triple& t, size_t num_entities, Rng& rng);
+
+/// Fills `data` with N(0, 1/sqrt(dim)) noise.
+void GaussianInit(std::vector<float>& data, size_t dim, Rng& rng);
+
+}  // namespace kgaq::embedding_internal
+
+#endif  // KGAQ_EMBEDDING_TRAINER_INTERNAL_H_

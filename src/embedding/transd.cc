@@ -1,0 +1,202 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "embedding/embedding_model.h"
+#include "embedding/trainer.h"
+#include "embedding/trainer_internal.h"
+#include "embedding/vector_ops.h"
+
+namespace kgaq {
+
+namespace {
+
+using embedding_internal::CorruptTriple;
+using embedding_internal::ExtractTriples;
+using embedding_internal::GaussianInit;
+using embedding_internal::Triple;
+
+/// TransD (equal entity/relation dims): each entity e and relation r carry a
+/// projection vector (e_p, r_p); the dynamic mapping is
+/// e_perp = e + (e_p . e) r_p, and scoring is ||h_perp + r - t_perp||^2.
+/// The Eq. 4 predicate representation is the translation vector r.
+class TransDModel : public EmbeddingModel {
+ public:
+  TransDModel(size_t num_entities, size_t num_predicates, size_t dim)
+      : num_entities_(num_entities),
+        num_predicates_(num_predicates),
+        dim_(dim),
+        entities_(num_entities * dim, 0.0f),
+        entity_proj_(num_entities * dim, 0.0f),
+        relations_(num_predicates * dim, 0.0f),
+        relation_proj_(num_predicates * dim, 0.0f) {}
+
+  const std::string& name() const override { return name_; }
+  size_t entity_dim() const override { return dim_; }
+  size_t predicate_dim() const override { return dim_; }
+  size_t num_entities() const override { return num_entities_; }
+  size_t num_predicates() const override { return num_predicates_; }
+
+  std::span<const float> PredicateVector(PredicateId p) const override {
+    return {relations_.data() + static_cast<size_t>(p) * dim_, dim_};
+  }
+  std::span<const float> EntityVector(NodeId u) const override {
+    return {entities_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+
+  std::span<float> Entity(NodeId u) {
+    return {entities_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+  std::span<float> EntityProj(NodeId u) {
+    return {entity_proj_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+  std::span<float> Relation(PredicateId p) {
+    return {relations_.data() + static_cast<size_t>(p) * dim_, dim_};
+  }
+  std::span<float> RelationProj(PredicateId p) {
+    return {relation_proj_.data() + static_cast<size_t>(p) * dim_, dim_};
+  }
+  std::span<const float> EntityProj(NodeId u) const {
+    return {entity_proj_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+  std::span<const float> RelationProj(PredicateId p) const {
+    return {relation_proj_.data() + static_cast<size_t>(p) * dim_, dim_};
+  }
+
+  double ScoreTriple(NodeId h, PredicateId r, NodeId t) const override {
+    auto hv = EntityVector(h);
+    auto tv = EntityVector(t);
+    auto rv = PredicateVector(r);
+    auto hp = EntityProj(h);
+    auto tp = EntityProj(t);
+    auto rp = RelationProj(r);
+    const double ch = Dot(hp, hv);
+    const double ct = Dot(tp, tv);
+    double acc = 0.0;
+    for (size_t i = 0; i < dim_; ++i) {
+      const double hperp = hv[i] + ch * rp[i];
+      const double tperp = tv[i] + ct * rp[i];
+      const double d = hperp + rv[i] - tperp;
+      acc += d * d;
+    }
+    return -acc;
+  }
+
+  size_t MemoryBytes() const override {
+    return (entities_.size() + entity_proj_.size() + relations_.size() +
+            relation_proj_.size()) *
+           sizeof(float);
+  }
+
+  std::vector<float>& entities() { return entities_; }
+  std::vector<float>& entity_proj() { return entity_proj_; }
+  std::vector<float>& relations() { return relations_; }
+  std::vector<float>& relation_proj() { return relation_proj_; }
+
+ private:
+  std::string name_ = "TransD";
+  size_t num_entities_;
+  size_t num_predicates_;
+  size_t dim_;
+  std::vector<float> entities_;
+  std::vector<float> entity_proj_;
+  std::vector<float> relations_;
+  std::vector<float> relation_proj_;
+};
+
+double Distance(const TransDModel& m, const Triple& t) {
+  return -m.ScoreTriple(t.head, t.relation, t.tail);
+}
+
+void SgdStep(TransDModel& m, const Triple& t, double lr, double sign) {
+  const size_t dim = m.entity_dim();
+  auto h = m.Entity(t.head);
+  auto tt = m.Entity(t.tail);
+  auto hp = m.EntityProj(t.head);
+  auto tp = m.EntityProj(t.tail);
+  auto r = m.Relation(t.relation);
+  auto rp = m.RelationProj(t.relation);
+  const double ch = Dot(std::span<const float>(hp), h);
+  const double ct = Dot(std::span<const float>(tp), tt);
+
+  std::vector<double> g(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    const double hperp = h[i] + ch * rp[i];
+    const double tperp = tt[i] + ct * rp[i];
+    g[i] = 2.0 * (hperp + r[i] - tperp);
+  }
+  double grp = 0.0;  // g . r_p
+  for (size_t i = 0; i < dim; ++i) grp += g[i] * rp[i];
+
+  const double step = lr * sign;
+  for (size_t i = 0; i < dim; ++i) {
+    const double grad_h = g[i] + grp * hp[i];
+    const double grad_t = -(g[i] + grp * tp[i]);
+    const double grad_hp = grp * h[i];
+    const double grad_tp = -grp * tt[i];
+    const double grad_rp = ch * g[i] - ct * g[i];
+    h[i] -= static_cast<float>(step * grad_h);
+    tt[i] -= static_cast<float>(step * grad_t);
+    hp[i] -= static_cast<float>(step * grad_hp);
+    tp[i] -= static_cast<float>(step * grad_tp);
+    r[i] -= static_cast<float>(step * g[i]);
+    rp[i] -= static_cast<float>(step * grad_rp);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EmbeddingModel>> TrainTransD(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats) {
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  auto triples = ExtractTriples(g);
+  if (triples.empty()) {
+    return Status::FailedPrecondition("graph has no edges to train on");
+  }
+
+  WallTimer timer;
+  Rng rng(config.seed);
+  auto model = std::make_unique<TransDModel>(g.NumNodes(), g.NumPredicates(),
+                                             config.dim);
+  GaussianInit(model->entities(), config.dim, rng);
+  GaussianInit(model->entity_proj(), config.dim, rng);
+  GaussianInit(model->relations(), config.dim, rng);
+  GaussianInit(model->relation_proj(), config.dim, rng);
+
+  double avg_loss = 0.0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      NormalizeInPlace(model->Entity(u));
+    }
+    Shuffle(triples, rng);
+    double epoch_loss = 0.0;
+    size_t updates = 0;
+    for (const Triple& pos : triples) {
+      for (size_t k = 0; k < config.negatives_per_positive; ++k) {
+        Triple neg = CorruptTriple(pos, g.NumNodes(), rng);
+        const double loss =
+            config.margin + Distance(*model, pos) - Distance(*model, neg);
+        if (loss > 0.0) {
+          epoch_loss += loss;
+          ++updates;
+          SgdStep(*model, pos, config.learning_rate, +1.0);
+          SgdStep(*model, neg, config.learning_rate, -1.0);
+        }
+      }
+    }
+    avg_loss = updates == 0 ? 0.0 : epoch_loss / static_cast<double>(updates);
+  }
+
+  if (stats != nullptr) {
+    stats->final_avg_loss = avg_loss;
+    stats->train_seconds = timer.ElapsedSeconds();
+    stats->num_triples = triples.size();
+    stats->memory_bytes = model->MemoryBytes();
+  }
+  return std::unique_ptr<EmbeddingModel>(std::move(model));
+}
+
+}  // namespace kgaq

@@ -1,0 +1,117 @@
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "embedding/embedding_model.h"
+#include "embedding/trainer.h"
+#include "embedding/trainer_internal.h"
+#include "embedding/vector_ops.h"
+
+namespace kgaq {
+
+namespace {
+
+using embedding_internal::CorruptTriple;
+using embedding_internal::ExtractTriples;
+using embedding_internal::Triple;
+
+// d(h, r, t) = ||h + r - t||^2, lower = more plausible.
+double TripleDistance(FixedEmbedding& m, const Triple& t) {
+  auto h = m.EntityVector(t.head);
+  auto r = m.PredicateVector(t.relation);
+  auto tt = m.EntityVector(t.tail);
+  double acc = 0.0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    const double d = static_cast<double>(h[i]) + r[i] - tt[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+// Applies a single SGD step on (h, r, t) with sign: -1 pulls the triple
+// together (positive), +1 pushes it apart (negative).
+void SgdStep(FixedEmbedding& m, const Triple& t, double lr, double sign) {
+  auto h = m.MutableEntityVector(t.head);
+  auto r = m.MutablePredicateVector(t.relation);
+  auto tt = m.MutableEntityVector(t.tail);
+  const size_t d = h.size();
+  for (size_t i = 0; i < d; ++i) {
+    const double g = 2.0 * (static_cast<double>(h[i]) + r[i] - tt[i]);
+    const double step = lr * sign * g;
+    h[i] -= static_cast<float>(step);
+    r[i] -= static_cast<float>(step);
+    tt[i] += static_cast<float>(step);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EmbeddingModel>> TrainTransE(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats) {
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  auto triples = ExtractTriples(g);
+  if (triples.empty()) {
+    return Status::FailedPrecondition("graph has no edges to train on");
+  }
+
+  WallTimer timer;
+  Rng rng(config.seed);
+  auto model = std::make_unique<FixedEmbedding>(
+      "TransE", g.NumNodes(), g.NumPredicates(), config.dim, config.dim);
+
+  // Uniform(-6/sqrt(d), 6/sqrt(d)) init per Bordes et al.
+  {
+    const double b = 6.0 / std::sqrt(static_cast<double>(config.dim));
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (auto& x : model->MutableEntityVector(u)) {
+        x = static_cast<float>((2.0 * rng.NextDouble() - 1.0) * b);
+      }
+    }
+    for (PredicateId p = 0; p < g.NumPredicates(); ++p) {
+      auto r = model->MutablePredicateVector(p);
+      for (auto& x : r) {
+        x = static_cast<float>((2.0 * rng.NextDouble() - 1.0) * b);
+      }
+      NormalizeInPlace(r);
+    }
+  }
+
+  double avg_loss = 0.0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Entity vectors are re-normalized each epoch (the Bordes et al. trick
+    // preventing trivial loss minimization by norm growth).
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      NormalizeInPlace(model->MutableEntityVector(u));
+    }
+    Shuffle(triples, rng);
+    double epoch_loss = 0.0;
+    size_t updates = 0;
+    for (const Triple& pos : triples) {
+      for (size_t k = 0; k < config.negatives_per_positive; ++k) {
+        Triple neg = CorruptTriple(pos, g.NumNodes(), rng);
+        const double dp = TripleDistance(*model, pos);
+        const double dn = TripleDistance(*model, neg);
+        const double loss = config.margin + dp - dn;
+        if (loss > 0.0) {
+          epoch_loss += loss;
+          ++updates;
+          SgdStep(*model, pos, config.learning_rate, +1.0);
+          SgdStep(*model, neg, config.learning_rate, -1.0);
+        }
+      }
+    }
+    avg_loss = updates == 0 ? 0.0 : epoch_loss / static_cast<double>(updates);
+  }
+
+  if (stats != nullptr) {
+    stats->final_avg_loss = avg_loss;
+    stats->train_seconds = timer.ElapsedSeconds();
+    stats->num_triples = triples.size();
+    stats->memory_bytes = model->MemoryBytes();
+  }
+  return std::unique_ptr<EmbeddingModel>(std::move(model));
+}
+
+}  // namespace kgaq

@@ -1,0 +1,193 @@
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "embedding/embedding_model.h"
+#include "embedding/trainer.h"
+#include "embedding/trainer_internal.h"
+#include "embedding/vector_ops.h"
+
+namespace kgaq {
+
+namespace {
+
+using embedding_internal::CorruptTriple;
+using embedding_internal::ExtractTriples;
+using embedding_internal::GaussianInit;
+using embedding_internal::Triple;
+
+/// TransH: entities are projected onto a relation-specific hyperplane with
+/// unit normal w_r before translation by d_r. The Eq. 4 predicate
+/// representation is the translation vector d_r.
+class TransHModel : public EmbeddingModel {
+ public:
+  TransHModel(size_t num_entities, size_t num_predicates, size_t dim)
+      : num_entities_(num_entities),
+        num_predicates_(num_predicates),
+        dim_(dim),
+        entities_(num_entities * dim, 0.0f),
+        translations_(num_predicates * dim, 0.0f),
+        normals_(num_predicates * dim, 0.0f) {}
+
+  const std::string& name() const override { return name_; }
+  size_t entity_dim() const override { return dim_; }
+  size_t predicate_dim() const override { return dim_; }
+  size_t num_entities() const override { return num_entities_; }
+  size_t num_predicates() const override { return num_predicates_; }
+
+  std::span<const float> PredicateVector(PredicateId p) const override {
+    return {translations_.data() + static_cast<size_t>(p) * dim_, dim_};
+  }
+  std::span<const float> EntityVector(NodeId u) const override {
+    return {entities_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+
+  std::span<float> Entity(NodeId u) {
+    return {entities_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+  std::span<float> Translation(PredicateId p) {
+    return {translations_.data() + static_cast<size_t>(p) * dim_, dim_};
+  }
+  std::span<float> Normal(PredicateId p) {
+    return {normals_.data() + static_cast<size_t>(p) * dim_, dim_};
+  }
+  std::span<const float> Normal(PredicateId p) const {
+    return {normals_.data() + static_cast<size_t>(p) * dim_, dim_};
+  }
+
+  double ScoreTriple(NodeId h, PredicateId r, NodeId t) const override {
+    auto hv = EntityVector(h);
+    auto tv = EntityVector(t);
+    auto dv = PredicateVector(r);
+    auto wv = Normal(r);
+    const double wh = Dot(wv, hv);
+    const double wt = Dot(wv, tv);
+    double acc = 0.0;
+    for (size_t i = 0; i < dim_; ++i) {
+      const double hp = hv[i] - wh * wv[i];
+      const double tp = tv[i] - wt * wv[i];
+      const double d = hp + dv[i] - tp;
+      acc += d * d;
+    }
+    return -acc;
+  }
+
+  size_t MemoryBytes() const override {
+    return (entities_.size() + translations_.size() + normals_.size()) *
+           sizeof(float);
+  }
+
+  std::vector<float>& entities() { return entities_; }
+  std::vector<float>& translations() { return translations_; }
+  std::vector<float>& normals() { return normals_; }
+
+ private:
+  std::string name_ = "TransH";
+  size_t num_entities_;
+  size_t num_predicates_;
+  size_t dim_;
+  std::vector<float> entities_;
+  std::vector<float> translations_;
+  std::vector<float> normals_;
+};
+
+double Distance(const TransHModel& m, const Triple& t) {
+  return -m.ScoreTriple(t.head, t.relation, t.tail);
+}
+
+// One SGD step; sign = +1 tightens a positive triple, -1 loosens a negative.
+void SgdStep(TransHModel& m, const Triple& t, double lr, double sign) {
+  const size_t dim = m.entity_dim();
+  auto h = m.Entity(t.head);
+  auto tt = m.Entity(t.tail);
+  auto d = m.Translation(t.relation);
+  auto w = m.Normal(t.relation);
+  const double wh = Dot(w, h);
+  const double wt = Dot(w, tt);
+
+  // g = 2 * (proj(h) + d - proj(t)); u = h - t.
+  std::vector<double> g(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    const double hp = h[i] - wh * w[i];
+    const double tp = tt[i] - wt * w[i];
+    g[i] = 2.0 * (hp + d[i] - tp);
+  }
+  const double gw = [&] {
+    double acc = 0.0;
+    for (size_t i = 0; i < dim; ++i) acc += g[i] * w[i];
+    return acc;
+  }();
+  const double wu = wh - wt;
+
+  for (size_t i = 0; i < dim; ++i) {
+    const double u = static_cast<double>(h[i]) - tt[i];
+    const double grad_h = g[i] - gw * w[i];
+    const double grad_w = -(gw * u + wu * g[i]);
+    const double step = lr * sign;
+    h[i] -= static_cast<float>(step * grad_h);
+    tt[i] += static_cast<float>(step * grad_h);
+    d[i] -= static_cast<float>(step * g[i]);
+    w[i] -= static_cast<float>(step * grad_w);
+  }
+  NormalizeInPlace(w);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EmbeddingModel>> TrainTransH(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats) {
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  auto triples = ExtractTriples(g);
+  if (triples.empty()) {
+    return Status::FailedPrecondition("graph has no edges to train on");
+  }
+
+  WallTimer timer;
+  Rng rng(config.seed);
+  auto model = std::make_unique<TransHModel>(g.NumNodes(), g.NumPredicates(),
+                                             config.dim);
+  GaussianInit(model->entities(), config.dim, rng);
+  GaussianInit(model->translations(), config.dim, rng);
+  GaussianInit(model->normals(), config.dim, rng);
+  for (PredicateId p = 0; p < g.NumPredicates(); ++p) {
+    NormalizeInPlace(model->Normal(p));
+  }
+
+  double avg_loss = 0.0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      NormalizeInPlace(model->Entity(u));
+    }
+    Shuffle(triples, rng);
+    double epoch_loss = 0.0;
+    size_t updates = 0;
+    for (const Triple& pos : triples) {
+      for (size_t k = 0; k < config.negatives_per_positive; ++k) {
+        Triple neg = CorruptTriple(pos, g.NumNodes(), rng);
+        const double loss =
+            config.margin + Distance(*model, pos) - Distance(*model, neg);
+        if (loss > 0.0) {
+          epoch_loss += loss;
+          ++updates;
+          SgdStep(*model, pos, config.learning_rate, +1.0);
+          SgdStep(*model, neg, config.learning_rate, -1.0);
+        }
+      }
+    }
+    avg_loss = updates == 0 ? 0.0 : epoch_loss / static_cast<double>(updates);
+  }
+
+  if (stats != nullptr) {
+    stats->final_avg_loss = avg_loss;
+    stats->train_seconds = timer.ElapsedSeconds();
+    stats->num_triples = triples.size();
+    stats->memory_bytes = model->MemoryBytes();
+  }
+  return std::unique_ptr<EmbeddingModel>(std::move(model));
+}
+
+}  // namespace kgaq

@@ -1,0 +1,47 @@
+#include "embedding/vector_ops.h"
+
+#include <cmath>
+
+namespace kgaq {
+
+double Dot(std::span<const float> a, std::span<const float> b) {
+  double acc = 0.0;
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+double Norm2(std::span<const float> a) { return std::sqrt(Dot(a, a)); }
+
+double SquaredDistance(std::span<const float> a, std::span<const float> b) {
+  double acc = 0.0;
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double CosineSimilarity(std::span<const float> a, std::span<const float> b) {
+  const double na = Norm2(a);
+  const double nb = Norm2(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void NormalizeInPlace(std::span<float> a) {
+  const double n = Norm2(a);
+  if (n < 1e-12) return;
+  const float inv = static_cast<float>(1.0 / n);
+  for (auto& x : a) x *= inv;
+}
+
+void AddScaled(std::span<float> a, std::span<const float> b, double scale) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    a[i] += static_cast<float>(scale * b[i]);
+  }
+}
+
+}  // namespace kgaq

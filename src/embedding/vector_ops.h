@@ -1,0 +1,29 @@
+#ifndef KGAQ_EMBEDDING_VECTOR_OPS_H_
+#define KGAQ_EMBEDDING_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace kgaq {
+
+/// Dot product with double accumulation.
+double Dot(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean norm.
+double Norm2(std::span<const float> a);
+
+/// Squared Euclidean distance between `a` and `b`.
+double SquaredDistance(std::span<const float> a, std::span<const float> b);
+
+/// Cosine similarity in [-1, 1]; returns 0 when either vector is ~zero.
+double CosineSimilarity(std::span<const float> a, std::span<const float> b);
+
+/// Scales `a` in place to unit norm (no-op for ~zero vectors).
+void NormalizeInPlace(std::span<float> a);
+
+/// a += scale * b (element-wise, sizes must match).
+void AddScaled(std::span<float> a, std::span<const float> b, double scale);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_EMBEDDING_VECTOR_OPS_H_

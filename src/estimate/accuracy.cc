@@ -1,0 +1,29 @@
+#include "estimate/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgaq {
+
+double MoeTargetFor(double v_hat, double error_bound) {
+  return std::abs(v_hat) * error_bound / (1.0 + error_bound);
+}
+
+bool SatisfiesErrorBound(double moe, double v_hat, double error_bound) {
+  return moe <= MoeTargetFor(v_hat, error_bound);
+}
+
+size_t ConfigureSampleIncrement(size_t current_sample_size, double moe,
+                                double v_hat, double error_bound, double m,
+                                size_t min_increment) {
+  const double target = MoeTargetFor(v_hat, error_bound);
+  if (target <= 0.0 || moe <= target) return min_increment;
+  const double ratio = moe / target;
+  const double delta = static_cast<double>(current_sample_size) *
+                       (std::pow(ratio, 2.0 * m) - 1.0);
+  const double clamped = std::min(delta, 1e9);
+  return std::max(min_increment,
+                  static_cast<size_t>(std::ceil(clamped)));
+}
+
+}  // namespace kgaq

@@ -1,0 +1,26 @@
+#ifndef KGAQ_ESTIMATE_ACCURACY_H_
+#define KGAQ_ESTIMATE_ACCURACY_H_
+
+#include <cstddef>
+
+namespace kgaq {
+
+/// Theorem 2: the relative error |V_hat - V| / V is bounded by eb with
+/// probability 1 - alpha iff the Margin of Error satisfies
+/// eps <= V_hat * eb / (1 + eb).
+double MoeTargetFor(double v_hat, double error_bound);
+
+/// Convenience: true iff `moe` already meets Theorem 2's target.
+bool SatisfiesErrorBound(double moe, double v_hat, double error_bound);
+
+/// Error-based sample-increment configuration (Eq. 12): given the current
+/// MoE and sample size, returns |Delta S_A| =
+/// |S_A| * ((eps / target)^{2m} - 1), rounded up, and at least
+/// `min_increment` so iteration always makes progress.
+size_t ConfigureSampleIncrement(size_t current_sample_size, double moe,
+                                double v_hat, double error_bound,
+                                double m = 0.6, size_t min_increment = 8);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_ESTIMATE_ACCURACY_H_

@@ -1,0 +1,110 @@
+#include "estimate/bootstrap.h"
+
+#include <cmath>
+#include <limits>
+
+#include "estimate/normal.h"
+
+namespace kgaq {
+
+BootstrapResult Bootstrap(std::span<const SampleItem> sample,
+                          AggregateFunction f, size_t num_resamples,
+                          Rng& rng) {
+  BootstrapResult out;
+  if (sample.empty() || num_resamples == 0) return out;
+
+  std::vector<SampleItem> resample(sample.size());
+  out.resample_estimates.reserve(num_resamples);
+  for (size_t b = 0; b < num_resamples; ++b) {
+    for (size_t i = 0; i < sample.size(); ++i) {
+      resample[i] = sample[rng.NextBounded(sample.size())];
+    }
+    out.resample_estimates.push_back(HtEstimator::Estimate(f, resample));
+  }
+
+  double mean = 0.0;
+  for (double v : out.resample_estimates) mean += v;
+  mean /= static_cast<double>(out.resample_estimates.size());
+  double var = 0.0;
+  for (double v : out.resample_estimates) var += (v - mean) * (v - mean);
+  // Eq. 11 uses the (B - 1) divisor.
+  if (out.resample_estimates.size() > 1) {
+    var /= static_cast<double>(out.resample_estimates.size() - 1);
+  }
+  out.mean = mean;
+  out.sigma = std::sqrt(var);
+  return out;
+}
+
+BlbResult BagOfLittleBootstraps(std::span<const SampleItem> sample,
+                                AggregateFunction f, double confidence_level,
+                                const BlbOptions& options, Rng& rng) {
+  BlbResult out;
+  if (sample.empty() || options.t == 0) return out;
+  const double z = NormalCriticalValue(confidence_level);
+
+  const size_t n = sample.size();
+  const size_t bag_size = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::pow(static_cast<double>(n), options.m)));
+
+  // Each bag subsamples without replacement (partial Fisher-Yates over an
+  // index array), then bootstraps full-size resamples from the bag.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+
+  double moe_acc = 0.0;
+  double sigma_acc = 0.0;
+  size_t used_bags = 0;
+  std::vector<SampleItem> bag(bag_size);
+  for (size_t bi = 0; bi < options.t; ++bi) {
+    size_t bag_correct = 0;
+    for (size_t i = 0; i < bag_size; ++i) {
+      const size_t j = i + rng.NextBounded(n - i);
+      std::swap(indices[i], indices[j]);
+      bag[i] = sample[indices[i]];
+      bag_correct += bag[i].correct ? 1 : 0;
+    }
+    // A bag with no correct draw yields identically-zero resample
+    // estimates and a spurious sigma of 0; it carries no information about
+    // the estimator's variability, so it is skipped. When low selectivity
+    // starves every bag, the MoE is reported as +infinity — the caller
+    // must keep sampling rather than terminate on a vacuous CI.
+    if (bag_correct == 0) continue;
+    // Bootstrap: each virtual resample has the *full* sample size n drawn
+    // from the bag — the BLB trick that keeps resamples statistically
+    // full-sized. Realized via Poissonized multinomial multiplicities
+    // (count_i ~ Poisson(n / b)), so a resample costs O(bag), not O(n).
+    const double lambda =
+        static_cast<double>(n) / static_cast<double>(bag_size);
+    std::vector<double> weights(bag_size);
+    double mean = 0.0;
+    std::vector<double> est;
+    est.reserve(options.num_resamples);
+    for (size_t b = 0; b < options.num_resamples; ++b) {
+      for (size_t i = 0; i < bag_size; ++i) {
+        weights[i] = static_cast<double>(rng.NextPoisson(lambda));
+      }
+      est.push_back(HtEstimator::WeightedEstimate(f, bag, weights));
+      mean += est.back();
+    }
+    mean /= static_cast<double>(est.size());
+    double var = 0.0;
+    for (double v : est) var += (v - mean) * (v - mean);
+    if (est.size() > 1) var /= static_cast<double>(est.size() - 1);
+    const double sigma = std::sqrt(var);
+    sigma_acc += sigma;
+    moe_acc += z * sigma;  // Eq. 10 per bag
+    ++used_bags;
+  }
+  if (used_bags == 0) {
+    out.moe = std::numeric_limits<double>::infinity();
+    out.sigma = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  out.moe = moe_acc / static_cast<double>(used_bags);
+  out.sigma = sigma_acc / static_cast<double>(used_bags);
+  return out;
+}
+
+}  // namespace kgaq

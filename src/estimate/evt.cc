@@ -1,0 +1,109 @@
+#include "estimate/evt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace kgaq {
+
+GpdFit FitGpdPwm(std::span<const double> values, double threshold,
+                 size_t min_exceedances) {
+  GpdFit fit;
+  fit.threshold = threshold;
+  std::vector<double> exceedances;
+  for (double v : values) {
+    if (v > threshold) exceedances.push_back(v - threshold);
+  }
+  fit.num_exceedances = exceedances.size();
+  if (exceedances.size() < min_exceedances) return fit;
+  std::sort(exceedances.begin(), exceedances.end());
+
+  // Probability-weighted moments (Hosking & Wallis 1987). With
+  //   a0 = E[Y] = mean(y),
+  //   a1 = E[Y (1 - F(Y))] ~= sum((n-j)/(n-1) * y_(j)) / n  (ascending,
+  //        1-indexed j),
+  // the GPD moments a_s = sigma / ((s+1)(s+1-xi)) give
+  //   xi = 2 - a0 / (a0 - 2 a1),  sigma = 2 a0 a1 / (a0 - 2 a1).
+  const size_t n = exceedances.size();
+  double a0 = 0.0, a1 = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    a0 += exceedances[j];
+    if (n > 1) {
+      a1 += exceedances[j] * static_cast<double>(n - 1 - j) /
+            static_cast<double>(n - 1);
+    }
+  }
+  a0 /= static_cast<double>(n);
+  a1 /= static_cast<double>(n);
+  const double denom = a0 - 2.0 * a1;
+  if (std::abs(denom) < 1e-12 || a0 <= 0.0) return fit;
+  fit.xi = 2.0 - a0 / denom;
+  fit.sigma = 2.0 * a0 * a1 / denom;
+  fit.ok = fit.sigma > 0.0 && std::isfinite(fit.xi) &&
+           std::isfinite(fit.sigma);
+  return fit;
+}
+
+double GpdQuantile(const GpdFit& fit, double p) {
+  if (!fit.ok || p <= 0.0 || p >= 1.0) return fit.threshold;
+  const double tail = 1.0 - p;
+  if (std::abs(fit.xi) < 1e-9) {
+    return fit.threshold - fit.sigma * std::log(tail);
+  }
+  return fit.threshold +
+         fit.sigma / fit.xi * (std::pow(tail, -fit.xi) - 1.0);
+}
+
+double EstimateExtremeEvt(AggregateFunction f,
+                          std::span<const SampleItem> sample,
+                          const EvtOptions& options) {
+  const bool is_max = f == AggregateFunction::kMax;
+  // MIN reduces to MAX of the negated values. Draws are with replacement
+  // (Theorem 1), so the tail is fitted over *distinct* answers — duplicated
+  // draws would make the empirical 1 - 1/N quantile collapse onto the
+  // observed maximum and the extrapolation vanish.
+  std::unordered_set<NodeId> seen;
+  std::vector<double> values;
+  for (const SampleItem& it : sample) {
+    if (!it.correct || !seen.insert(it.node).second) continue;
+    values.push_back(is_max ? it.value : -it.value);
+  }
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double sample_extreme = values.back();
+
+  // POT threshold at the configured quantile of the correct values.
+  const double threshold =
+      values[static_cast<size_t>(options.threshold_quantile *
+                                 static_cast<double>(values.size() - 1))];
+  GpdFit fit = FitGpdPwm(values, threshold, options.min_exceedances);
+  if (!fit.ok || std::abs(fit.xi) > options.max_abs_xi) {
+    return is_max ? sample_extreme : -sample_extreme;
+  }
+
+  // Population size: the HT COUNT estimate (or at least the number of
+  // distinct correct draws observed).
+  const double ht_count = HtEstimator::EstimateCount(sample);
+  const double population =
+      std::max(ht_count, static_cast<double>(values.size()));
+  if (population <= 1.0) {
+    return is_max ? sample_extreme : -sample_extreme;
+  }
+
+  // The expected maximum of `population` draws sits near the 1 - 1/N tail
+  // quantile of the exceedance distribution, rescaled by the fraction of
+  // mass above the threshold.
+  const double frac_above =
+      static_cast<double>(fit.num_exceedances) /
+      static_cast<double>(values.size());
+  const double tail_p = 1.0 / (population * frac_above);
+  if (tail_p >= 1.0) {
+    return is_max ? sample_extreme : -sample_extreme;
+  }
+  double estimate = GpdQuantile(fit, 1.0 - tail_p);
+  // Never report below what was actually observed.
+  estimate = std::max(estimate, sample_extreme);
+  return is_max ? estimate : -estimate;
+}
+
+}  // namespace kgaq

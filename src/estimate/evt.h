@@ -1,0 +1,64 @@
+#ifndef KGAQ_ESTIMATE_EVT_H_
+#define KGAQ_ESTIMATE_EVT_H_
+
+#include <span>
+#include <vector>
+
+#include "estimate/ht_estimator.h"
+
+namespace kgaq {
+
+/// Extreme-value-theory estimation for MAX / MIN — the direction the paper
+/// leaves as future work (§IV-B1 Remarks: "extreme estimation based on
+/// Extreme Value Theory could be an alternative").
+///
+/// The naive MAX estimate (largest value observed in the sample) is biased
+/// low whenever the sample misses the population's tail. The
+/// peaks-over-threshold method instead fits a Generalized Pareto
+/// Distribution (GPD) to the sample's exceedances over a high threshold u
+/// (Pickands-Balkema-de Haan: tails of most distributions are GPD) and
+/// extrapolates the population maximum as the 1 - 1/N tail quantile,
+/// where N is the estimated number of correct answers (the HT COUNT).
+
+/// Fitted GPD tail parameters.
+struct GpdFit {
+  bool ok = false;
+  double xi = 0.0;     ///< Shape (xi < 0: bounded tail; > 0: heavy tail).
+  double sigma = 0.0;  ///< Scale (> 0).
+  double threshold = 0.0;
+  size_t num_exceedances = 0;
+};
+
+/// Fits a GPD to the exceedances `y_i = x_i - threshold > 0` using the
+/// probability-weighted-moments estimator of Hosking & Wallis (1987):
+/// robust for xi < 0.5, no iteration, well suited to small samples.
+/// Requires at least `min_exceedances` positive exceedances.
+GpdFit FitGpdPwm(std::span<const double> values, double threshold,
+                 size_t min_exceedances = 8);
+
+/// The GPD quantile above the threshold: Q(p) = u + sigma/xi *
+/// ((1-p)^-xi - 1) (limit u - sigma*ln(1-p) at xi -> 0).
+double GpdQuantile(const GpdFit& fit, double p);
+
+/// Options for the extreme estimator.
+struct EvtOptions {
+  /// Quantile of the correct values used as the POT threshold. A median
+  /// threshold keeps enough exceedances to fit even at small budgets.
+  double threshold_quantile = 0.5;
+  size_t min_exceedances = 6;
+  /// Clamp on the fitted shape: |xi| above this falls back to the sample
+  /// extreme (wildly heavy or bounded fits extrapolate nonsense).
+  double max_abs_xi = 0.9;
+};
+
+/// EVT point estimate of the population MAX (or MIN via negation) from a
+/// validated sample: fits the tail of the correct values and returns the
+/// 1 - 1/N quantile with N = max(HT COUNT estimate, #correct draws).
+/// Falls back to the plain sample extreme when the tail cannot be fitted.
+double EstimateExtremeEvt(AggregateFunction f,
+                          std::span<const SampleItem> sample,
+                          const EvtOptions& options = {});
+
+}  // namespace kgaq
+
+#endif  // KGAQ_ESTIMATE_EVT_H_

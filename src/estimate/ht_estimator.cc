@@ -1,0 +1,119 @@
+#include "estimate/ht_estimator.h"
+
+#include <algorithm>
+
+namespace kgaq {
+
+double HtEstimator::EstimateSum(std::span<const SampleItem> sample) {
+  if (sample.empty()) return 0.0;
+  double acc = 0.0;
+  for (const SampleItem& it : sample) {
+    if (it.correct && it.pi > 0.0) acc += it.value / it.pi;
+  }
+  return acc / static_cast<double>(sample.size());
+}
+
+double HtEstimator::EstimateCount(std::span<const SampleItem> sample) {
+  if (sample.empty()) return 0.0;
+  double acc = 0.0;
+  for (const SampleItem& it : sample) {
+    if (it.correct && it.pi > 0.0) acc += 1.0 / it.pi;
+  }
+  return acc / static_cast<double>(sample.size());
+}
+
+double HtEstimator::EstimateAvg(std::span<const SampleItem> sample) {
+  double num = 0.0, den = 0.0;
+  for (const SampleItem& it : sample) {
+    if (it.correct && it.pi > 0.0) {
+      num += it.value / it.pi;
+      den += 1.0 / it.pi;
+    }
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+double HtEstimator::Estimate(AggregateFunction f,
+                             std::span<const SampleItem> sample) {
+  switch (f) {
+    case AggregateFunction::kCount:
+      return EstimateCount(sample);
+    case AggregateFunction::kSum:
+      return EstimateSum(sample);
+    case AggregateFunction::kAvg:
+      return EstimateAvg(sample);
+    case AggregateFunction::kMax: {
+      double best = 0.0;
+      bool any = false;
+      for (const SampleItem& it : sample) {
+        if (it.correct && (!any || it.value > best)) {
+          best = it.value;
+          any = true;
+        }
+      }
+      return best;
+    }
+    case AggregateFunction::kMin: {
+      double best = 0.0;
+      bool any = false;
+      for (const SampleItem& it : sample) {
+        if (it.correct && (!any || it.value < best)) {
+          best = it.value;
+          any = true;
+        }
+      }
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+double HtEstimator::WeightedEstimate(AggregateFunction f,
+                                     std::span<const SampleItem> sample,
+                                     std::span<const double> weights) {
+  double total_w = 0.0;
+  double num = 0.0, den = 0.0;
+  bool any_extreme = false;
+  double extreme = 0.0;
+  const size_t n = sample.size() < weights.size() ? sample.size()
+                                                  : weights.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double w = weights[i];
+    if (w <= 0.0) continue;
+    total_w += w;
+    const SampleItem& it = sample[i];
+    if (!it.correct || it.pi <= 0.0) continue;
+    num += w * it.value / it.pi;
+    den += w / it.pi;
+    if (f == AggregateFunction::kMax &&
+        (!any_extreme || it.value > extreme)) {
+      extreme = it.value;
+      any_extreme = true;
+    }
+    if (f == AggregateFunction::kMin &&
+        (!any_extreme || it.value < extreme)) {
+      extreme = it.value;
+      any_extreme = true;
+    }
+  }
+  switch (f) {
+    case AggregateFunction::kSum:
+      return total_w == 0.0 ? 0.0 : num / total_w;
+    case AggregateFunction::kCount:
+      return total_w == 0.0 ? 0.0 : den / total_w;
+    case AggregateFunction::kAvg:
+      return den == 0.0 ? 0.0 : num / den;
+    case AggregateFunction::kMax:
+    case AggregateFunction::kMin:
+      return extreme;
+  }
+  return 0.0;
+}
+
+size_t HtEstimator::CountCorrect(std::span<const SampleItem> sample) {
+  return static_cast<size_t>(
+      std::count_if(sample.begin(), sample.end(),
+                    [](const SampleItem& it) { return it.correct; }));
+}
+
+}  // namespace kgaq

@@ -1,0 +1,18 @@
+#ifndef KGAQ_ESTIMATE_NORMAL_H_
+#define KGAQ_ESTIMATE_NORMAL_H_
+
+namespace kgaq {
+
+/// Inverse standard-normal CDF (quantile function), |error| < 1.15e-9
+/// (Acklam's rational approximation with one Halley refinement step).
+/// Requires p in (0, 1).
+double NormalQuantile(double p);
+
+/// The critical value z_{alpha/2} with right-tail probability alpha/2 used
+/// by Eq. 10: for a confidence level 1-alpha, returns
+/// NormalQuantile(1 - alpha/2). E.g. confidence 0.95 -> 1.95996.
+double NormalCriticalValue(double confidence_level);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_ESTIMATE_NORMAL_H_

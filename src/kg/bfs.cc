@@ -1,0 +1,31 @@
+#include "kg/bfs.h"
+
+namespace kgaq {
+
+BoundedSubgraph BoundedBfs(const KnowledgeGraph& g, NodeId source,
+                           int max_hops) {
+  BoundedSubgraph out;
+  out.source = source;
+  out.max_hops = max_hops;
+  out.distance.assign(g.NumNodes(), -1);
+  if (source >= g.NumNodes()) return out;
+
+  out.distance[source] = 0;
+  out.nodes.push_back(source);
+  // out.nodes doubles as the BFS queue: nodes are appended in
+  // distance-nondecreasing order and scanned once.
+  for (size_t head = 0; head < out.nodes.size(); ++head) {
+    NodeId u = out.nodes[head];
+    int32_t du = out.distance[u];
+    if (du >= max_hops) continue;
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (out.distance[nb.node] < 0) {
+        out.distance[nb.node] = du + 1;
+        out.nodes.push_back(nb.node);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace kgaq

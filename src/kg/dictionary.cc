@@ -1,0 +1,19 @@
+#include "kg/dictionary.h"
+
+namespace kgaq {
+
+uint32_t Dictionary::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(s);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t Dictionary::Lookup(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? kInvalidId : it->second;
+}
+
+}  // namespace kgaq

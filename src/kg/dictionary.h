@@ -1,0 +1,45 @@
+#ifndef KGAQ_KG_DICTIONARY_H_
+#define KGAQ_KG_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/types.h"
+
+namespace kgaq {
+
+/// Bidirectional string <-> dense-id interning table.
+///
+/// Used for entity names, node types, predicates and attribute names.
+/// Ids are assigned densely in insertion order starting at 0, so they can
+/// index plain vectors elsewhere.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `s`, interning it if unseen.
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the id for `s` or kInvalidId if never interned.
+  uint32_t Lookup(std::string_view s) const;
+
+  /// Returns the string for a valid id. Precondition: id < size().
+  const std::string& name(uint32_t id) const { return names_[id]; }
+
+  bool Contains(std::string_view s) const {
+    return Lookup(s) != kInvalidId;
+  }
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_KG_DICTIONARY_H_

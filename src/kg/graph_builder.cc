@@ -1,0 +1,143 @@
+#include "kg/graph_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kgaq {
+
+NodeId GraphBuilder::AddNode(std::string_view name,
+                             const std::vector<std::string_view>& types) {
+  uint32_t name_id = names_.Intern(name);
+  NodeId node;
+  if (name_id < node_name_ids_.size() && node_name_ids_[name_id] == name_id) {
+    // Names are interned densely in node order, so name id == node id.
+    node = name_id;
+  } else {
+    node = static_cast<NodeId>(node_name_ids_.size());
+    node_name_ids_.push_back(name_id);
+    node_types_.emplace_back();
+    node_attrs_.emplace_back();
+  }
+  for (auto t : types) {
+    TypeId tid = types_.Intern(t);
+    auto& lst = node_types_[node];
+    if (std::find(lst.begin(), lst.end(), tid) == lst.end()) {
+      lst.push_back(tid);
+    }
+  }
+  return node;
+}
+
+void GraphBuilder::AddEdge(NodeId src, std::string_view predicate,
+                           NodeId dst) {
+  triples_.push_back({src, predicates_.Intern(predicate), dst});
+}
+
+void GraphBuilder::SetAttribute(NodeId u, std::string_view attr,
+                                double value) {
+  AttributeId aid = attributes_.Intern(attr);
+  auto& lst = node_attrs_[u];
+  for (auto& [id, v] : lst) {
+    if (id == aid) {
+      v = value;
+      return;
+    }
+  }
+  lst.emplace_back(aid, value);
+}
+
+void GraphBuilder::AddType(NodeId u, std::string_view type) {
+  TypeId tid = types_.Intern(type);
+  auto& lst = node_types_[u];
+  if (std::find(lst.begin(), lst.end(), tid) == lst.end()) {
+    lst.push_back(tid);
+  }
+}
+
+Result<KnowledgeGraph> GraphBuilder::Build() && {
+  const size_t n = node_types_.size();
+  for (size_t u = 0; u < n; ++u) {
+    if (node_types_[u].empty()) {
+      return Status::FailedPrecondition(
+          "node '" + names_.name(node_name_ids_[u]) +
+          "' has no type; Definition 1 requires at least one");
+    }
+  }
+
+  KnowledgeGraph g;
+  g.names_ = std::move(names_);
+  g.types_ = std::move(types_);
+  g.predicates_ = std::move(predicates_);
+  g.attributes_ = std::move(attributes_);
+  g.node_names_ = std::move(node_name_ids_);
+  g.num_triples_ = triples_.size();
+
+  // Adjacency CSR over both arc orientations.
+  std::vector<size_t> degree(n, 0);
+  for (const auto& t : triples_) {
+    ++degree[t.src];
+    ++degree[t.dst];
+  }
+  g.adj_offsets_.assign(n + 1, 0);
+  for (size_t u = 0; u < n; ++u) {
+    g.adj_offsets_[u + 1] = g.adj_offsets_[u] + degree[u];
+  }
+  g.adjacency_.resize(g.adj_offsets_[n]);
+  std::vector<size_t> cursor(g.adj_offsets_.begin(), g.adj_offsets_.end() - 1);
+  for (const auto& t : triples_) {
+    g.adjacency_[cursor[t.src]++] = {t.dst, t.predicate, /*forward=*/true};
+    g.adjacency_[cursor[t.dst]++] = {t.src, t.predicate, /*forward=*/false};
+  }
+
+  // Node->types CSR.
+  g.type_offsets_.assign(n + 1, 0);
+  for (size_t u = 0; u < n; ++u) {
+    g.type_offsets_[u + 1] = g.type_offsets_[u] + node_types_[u].size();
+  }
+  g.type_ids_.reserve(g.type_offsets_[n]);
+  for (size_t u = 0; u < n; ++u) {
+    for (TypeId t : node_types_[u]) g.type_ids_.push_back(t);
+  }
+
+  // Type->nodes inverted index.
+  const size_t num_types = g.types_.size();
+  std::vector<size_t> type_count(num_types, 0);
+  for (TypeId t : g.type_ids_) ++type_count[t];
+  g.type_index_offsets_.assign(num_types + 1, 0);
+  for (size_t t = 0; t < num_types; ++t) {
+    g.type_index_offsets_[t + 1] = g.type_index_offsets_[t] + type_count[t];
+  }
+  g.type_index_members_.resize(g.type_index_offsets_[num_types]);
+  std::vector<size_t> tcursor(g.type_index_offsets_.begin(),
+                              g.type_index_offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (TypeId t : node_types_[u]) {
+      g.type_index_members_[tcursor[t]++] = u;
+    }
+  }
+
+  // Node->attributes CSR, per-node sorted by attribute id for binary search.
+  g.attr_offsets_.assign(n + 1, 0);
+  for (size_t u = 0; u < n; ++u) {
+    std::sort(node_attrs_[u].begin(), node_attrs_[u].end());
+    g.attr_offsets_[u + 1] = g.attr_offsets_[u] + node_attrs_[u].size();
+  }
+  g.attr_ids_.reserve(g.attr_offsets_[n]);
+  g.attr_values_.reserve(g.attr_offsets_[n]);
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [id, v] : node_attrs_[u]) {
+      g.attr_ids_.push_back(id);
+      g.attr_values_.push_back(v);
+    }
+  }
+
+  // Name index.
+  g.name_to_node_.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    g.name_to_node_.emplace(g.names_.name(g.node_names_[u]), u);
+  }
+
+  return g;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,71 @@
+#ifndef KGAQ_KG_GRAPH_BUILDER_H_
+#define KGAQ_KG_GRAPH_BUILDER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "kg/knowledge_graph.h"
+#include "kg/types.h"
+
+namespace kgaq {
+
+/// Mutable accumulator that produces an immutable KnowledgeGraph.
+///
+/// Usage:
+///   GraphBuilder b;
+///   NodeId de = b.AddNode("Germany", {"Country"});
+///   NodeId tt = b.AddNode("Audi_TT", {"Automobile"});
+///   b.AddEdge(tt, "assembly", de);
+///   b.SetAttribute(tt, "price", 64300.0);
+///   KnowledgeGraph g = std::move(b).Build();
+///
+/// Entity names are unique (Definition 1 / entity disambiguation); AddNode
+/// on an existing name returns the existing node and unions the types.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds (or fetches) the node with this unique name, adding `types`.
+  NodeId AddNode(std::string_view name,
+                 const std::vector<std::string_view>& types);
+
+  /// Adds the directed triple (src, predicate, dst). Parallel edges with
+  /// different predicates are allowed; exact duplicates are kept (they are
+  /// harmless for sampling and match real KG dumps).
+  void AddEdge(NodeId src, std::string_view predicate, NodeId dst);
+
+  /// Sets (or overwrites) numerical attribute `attr` on `u`.
+  void SetAttribute(NodeId u, std::string_view attr, double value);
+
+  /// Adds an extra type to an existing node.
+  void AddType(NodeId u, std::string_view type);
+
+  size_t NumNodes() const { return node_types_.size(); }
+  size_t NumEdges() const { return triples_.size(); }
+
+  /// Finalizes into a CSR-packed immutable graph. The builder is consumed.
+  /// Fails if any node has no type (Definition 1 requires >= 1).
+  Result<KnowledgeGraph> Build() &&;
+
+ private:
+  struct Triple {
+    NodeId src;
+    PredicateId predicate;
+    NodeId dst;
+  };
+
+  Dictionary names_;
+  Dictionary types_;
+  Dictionary predicates_;
+  Dictionary attributes_;
+
+  std::vector<uint32_t> node_name_ids_;
+  std::vector<std::vector<TypeId>> node_types_;
+  std::vector<std::vector<std::pair<AttributeId, double>>> node_attrs_;
+  std::vector<Triple> triples_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_KG_GRAPH_BUILDER_H_

@@ -1,0 +1,29 @@
+#include "kg/knowledge_graph.h"
+
+#include <algorithm>
+
+namespace kgaq {
+
+bool KnowledgeGraph::HasType(NodeId u, TypeId t) const {
+  auto span = NodeTypes(u);
+  return std::find(span.begin(), span.end(), t) != span.end();
+}
+
+std::optional<double> KnowledgeGraph::Attribute(NodeId u,
+                                                AttributeId a) const {
+  const size_t begin = attr_offsets_[u];
+  const size_t end = attr_offsets_[u + 1];
+  // Per-node attribute lists are sorted by id (GraphBuilder invariant).
+  auto first = attr_ids_.begin() + begin;
+  auto last = attr_ids_.begin() + end;
+  auto it = std::lower_bound(first, last, a);
+  if (it == last || *it != a) return std::nullopt;
+  return attr_values_[static_cast<size_t>(it - attr_ids_.begin())];
+}
+
+NodeId KnowledgeGraph::FindNodeByName(std::string_view name) const {
+  auto it = name_to_node_.find(std::string(name));
+  return it == name_to_node_.end() ? kInvalidId : it->second;
+}
+
+}  // namespace kgaq

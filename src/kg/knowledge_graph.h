@@ -1,0 +1,149 @@
+#ifndef KGAQ_KG_KNOWLEDGE_GRAPH_H_
+#define KGAQ_KG_KNOWLEDGE_GRAPH_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/dictionary.h"
+#include "kg/types.h"
+
+namespace kgaq {
+
+/// One traversable arc incident to a node.
+///
+/// The paper's subgraph matches are edge-to-path mappings where paths may
+/// traverse KG edges in either direction (e.g. Audi_TT -assembly->
+/// Volkswagen -country-> Germany is walked from Germany). The adjacency
+/// therefore materializes each stored triple (s, p, o) twice: forward at s
+/// and reversed at o, with `forward` recording the stored orientation.
+struct Neighbor {
+  NodeId node;            ///< The node reached by crossing this arc.
+  PredicateId predicate;  ///< Predicate of the underlying triple.
+  bool forward;           ///< True iff this arc follows the stored direction.
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// Immutable, dictionary-encoded in-memory knowledge graph (Definition 1).
+///
+/// Nodes carry a unique name, one or more types, and a sparse set of
+/// numerical attributes; edges carry a predicate. Adjacency is CSR so
+/// Neighbors() is a contiguous span — the random walk's hot path.
+/// Construct via GraphBuilder; instances are safe for concurrent reads.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  KnowledgeGraph(const KnowledgeGraph&) = delete;
+  KnowledgeGraph& operator=(const KnowledgeGraph&) = delete;
+  KnowledgeGraph(KnowledgeGraph&&) = default;
+  KnowledgeGraph& operator=(KnowledgeGraph&&) = default;
+
+  size_t NumNodes() const { return node_names_.size(); }
+  /// Number of stored triples (each appears as two arcs in the adjacency).
+  size_t NumEdges() const { return num_triples_; }
+  size_t NumPredicates() const { return predicates_.size(); }
+  size_t NumTypes() const { return types_.size(); }
+  size_t NumAttributes() const { return attributes_.size(); }
+
+  /// All arcs (both orientations) incident to `u`.
+  std::span<const Neighbor> Neighbors(NodeId u) const {
+    return {adjacency_.data() + adj_offsets_[u],
+            adj_offsets_[u + 1] - adj_offsets_[u]};
+  }
+
+  /// Degree in the traversal graph (forward + reverse arcs).
+  size_t Degree(NodeId u) const {
+    return adj_offsets_[u + 1] - adj_offsets_[u];
+  }
+
+  /// Unique entity name of `u`.
+  const std::string& NodeName(NodeId u) const {
+    return names_.name(node_names_[u]);
+  }
+
+  /// Type ids assigned to `u` (at least one).
+  std::span<const TypeId> NodeTypes(NodeId u) const {
+    return {type_ids_.data() + type_offsets_[u],
+            type_offsets_[u + 1] - type_offsets_[u]};
+  }
+
+  /// True iff `u` has type `t`.
+  bool HasType(NodeId u, TypeId t) const;
+
+  /// Value of numerical attribute `a` at node `u`, if present.
+  std::optional<double> Attribute(NodeId u, AttributeId a) const;
+
+  /// Node with the given unique name, or kInvalidId.
+  NodeId FindNodeByName(std::string_view name) const;
+
+  /// Dictionaries (valid lookups for query construction).
+  const Dictionary& names() const { return names_; }
+  const Dictionary& types() const { return types_; }
+  const Dictionary& predicates() const { return predicates_; }
+  const Dictionary& attributes() const { return attributes_; }
+
+  /// Convenience id lookups; kInvalidId when absent.
+  TypeId TypeIdOf(std::string_view type_name) const {
+    return types_.Lookup(type_name);
+  }
+  PredicateId PredicateIdOf(std::string_view pred) const {
+    return predicates_.Lookup(pred);
+  }
+  AttributeId AttributeIdOf(std::string_view attr) const {
+    return attributes_.Lookup(attr);
+  }
+
+  /// All nodes carrying type `t` (precomputed index).
+  std::span<const NodeId> NodesWithType(TypeId t) const {
+    if (t >= types_.size()) return {};
+    return {type_index_members_.data() + type_index_offsets_[t],
+            type_index_offsets_[t + 1] - type_index_offsets_[t]};
+  }
+
+  /// Average traversal degree (2 * triples / nodes); used by SSB complexity
+  /// accounting and dataset statistics reports.
+  double AverageDegree() const {
+    return NumNodes() == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(num_triples_) / NumNodes();
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  Dictionary names_;
+  Dictionary types_;
+  Dictionary predicates_;
+  Dictionary attributes_;
+
+  std::vector<uint32_t> node_names_;  // node -> name id
+
+  // CSR adjacency over both arc orientations.
+  std::vector<size_t> adj_offsets_;  // NumNodes()+1 entries
+  std::vector<Neighbor> adjacency_;
+  size_t num_triples_ = 0;
+
+  // CSR node->types.
+  std::vector<size_t> type_offsets_;
+  std::vector<TypeId> type_ids_;
+
+  // CSR type->nodes (inverted index).
+  std::vector<size_t> type_index_offsets_;
+  std::vector<NodeId> type_index_members_;
+
+  // CSR node->attributes, parallel id/value arrays sorted by id per node.
+  std::vector<size_t> attr_offsets_;
+  std::vector<AttributeId> attr_ids_;
+  std::vector<double> attr_values_;
+
+  std::unordered_map<std::string, NodeId> name_to_node_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_KG_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,164 @@
+#include "kg/tsv_loader.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "kg/graph_builder.h"
+
+namespace kgaq {
+
+namespace {
+
+// Splits `line` on tabs into at most `max_fields` pieces.
+std::vector<std::string_view> SplitTabs(std::string_view line) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t pos = line.find('\t', start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitCommas(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t pos = s.find(',', start);
+    if (pos == std::string_view::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (pos > start) out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+Result<KnowledgeGraph> ParseLines(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = SplitTabs(line);
+    const std::string where = " at line " + std::to_string(line_no);
+    if (fields[0] == "N") {
+      if (fields.size() != 3) {
+        return Status::InvalidArgument("malformed node record" + where);
+      }
+      auto types = SplitCommas(fields[2]);
+      if (types.empty()) {
+        return Status::InvalidArgument("node without types" + where);
+      }
+      builder.AddNode(fields[1], types);
+    } else if (fields[0] == "E") {
+      if (fields.size() != 4) {
+        return Status::InvalidArgument("malformed edge record" + where);
+      }
+      // Resolve endpoints; they must have been declared already. We go
+      // through AddNode with no types so undeclared endpoints surface as a
+      // Build()-time error rather than silently creating typeless nodes —
+      // but better to catch them here with a clear message.
+      // GraphBuilder has no name lookup, so track via a local trick: re-add
+      // with empty types and let Build() fail would lose line info. Keep a
+      // simple check using the builder size before/after.
+      size_t before = builder.NumNodes();
+      NodeId src = builder.AddNode(fields[1], {});
+      NodeId dst = builder.AddNode(fields[3], {});
+      if (builder.NumNodes() != before) {
+        return Status::InvalidArgument("edge references undeclared node" +
+                                       where);
+      }
+      builder.AddEdge(src, fields[2], dst);
+    } else if (fields[0] == "A") {
+      if (fields.size() != 4) {
+        return Status::InvalidArgument("malformed attribute record" + where);
+      }
+      size_t before = builder.NumNodes();
+      NodeId u = builder.AddNode(fields[1], {});
+      if (builder.NumNodes() != before) {
+        return Status::InvalidArgument(
+            "attribute references undeclared node" + where);
+      }
+      double value = 0.0;
+      auto sv = fields[3];
+      auto [ptr, ec] =
+          std::from_chars(sv.data(), sv.data() + sv.size(), value);
+      if (ec != std::errc() || ptr != sv.data() + sv.size()) {
+        return Status::InvalidArgument("bad attribute value '" +
+                                       std::string(sv) + "'" + where);
+      }
+      builder.SetAttribute(u, fields[2], value);
+    } else {
+      return Status::InvalidArgument("unknown record tag '" +
+                                     std::string(fields[0]) + "'" + where);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+Result<KnowledgeGraph> TsvLoader::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  return ParseLines(in);
+}
+
+Result<KnowledgeGraph> TsvLoader::LoadString(const std::string& text) {
+  std::istringstream in(text);
+  return ParseLines(in);
+}
+
+std::string TsvLoader::SaveString(const KnowledgeGraph& g) {
+  std::ostringstream out;
+  out << "# kgaq knowledge graph: " << g.NumNodes() << " nodes, "
+      << g.NumEdges() << " edges\n";
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    out << "N\t" << g.NodeName(u) << '\t';
+    auto types = g.NodeTypes(u);
+    for (size_t i = 0; i < types.size(); ++i) {
+      if (i) out << ',';
+      out << g.types().name(types[i]);
+    }
+    out << '\n';
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (!nb.forward) continue;  // each triple once, in stored orientation
+      out << "E\t" << g.NodeName(u) << '\t'
+          << g.predicates().name(nb.predicate) << '\t' << g.NodeName(nb.node)
+          << '\n';
+    }
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (AttributeId a = 0; a < g.NumAttributes(); ++a) {
+      auto v = g.Attribute(u, a);
+      if (v.has_value()) {
+        out << "A\t" << g.NodeName(u) << '\t' << g.attributes().name(a)
+            << '\t' << *v << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+Status TsvLoader::SaveFile(const KnowledgeGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  out << SaveString(g);
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace kgaq

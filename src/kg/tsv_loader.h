@@ -1,0 +1,40 @@
+#ifndef KGAQ_KG_TSV_LOADER_H_
+#define KGAQ_KG_TSV_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "kg/knowledge_graph.h"
+
+namespace kgaq {
+
+/// Text serialization of a knowledge graph.
+///
+/// The format is a line-oriented TSV, one record per line:
+///
+///   N <tab> name <tab> type1,type2,...        # node declaration
+///   E <tab> src_name <tab> predicate <tab> dst_name
+///   A <tab> name <tab> attribute <tab> value  # numerical attribute
+///   # comment lines and blank lines are skipped
+///
+/// Node lines must precede edge/attribute lines that reference them.
+/// This hand-rolled parser stands in for the N-Triples/RDF loaders the
+/// paper's datasets ship with; the synthetic datasets serialize losslessly.
+class TsvLoader {
+ public:
+  /// Parses `path` into a KnowledgeGraph.
+  static Result<KnowledgeGraph> LoadFile(const std::string& path);
+
+  /// Parses an in-memory document (same format as LoadFile).
+  static Result<KnowledgeGraph> LoadString(const std::string& text);
+
+  /// Serializes `g` to `path` in the TSV format above.
+  static Status SaveFile(const KnowledgeGraph& g, const std::string& path);
+
+  /// Serializes `g` to a string.
+  static std::string SaveString(const KnowledgeGraph& g);
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_KG_TSV_LOADER_H_

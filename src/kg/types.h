@@ -1,0 +1,23 @@
+#ifndef KGAQ_KG_TYPES_H_
+#define KGAQ_KG_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace kgaq {
+
+/// Dense identifier of an entity node in a KnowledgeGraph.
+using NodeId = uint32_t;
+/// Dense identifier of an edge predicate (e.g. "assembly").
+using PredicateId = uint32_t;
+/// Dense identifier of a node type (e.g. "Automobile").
+using TypeId = uint32_t;
+/// Dense identifier of a numerical attribute (e.g. "price").
+using AttributeId = uint32_t;
+
+/// Sentinel for "no such id"; also returned by dictionary misses.
+inline constexpr uint32_t kInvalidId = std::numeric_limits<uint32_t>::max();
+
+}  // namespace kgaq
+
+#endif  // KGAQ_KG_TYPES_H_

@@ -1,0 +1,63 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+
+namespace kgaq {
+
+const char* AggregateFunctionToString(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kAvg:
+      return "AVG";
+    case AggregateFunction::kMax:
+      return "MAX";
+    case AggregateFunction::kMin:
+      return "MIN";
+  }
+  return "?";
+}
+
+Result<AggregateFunction> ParseAggregateFunction(std::string_view s) {
+  if (s == "COUNT") return AggregateFunction::kCount;
+  if (s == "SUM") return AggregateFunction::kSum;
+  if (s == "AVG") return AggregateFunction::kAvg;
+  if (s == "MAX") return AggregateFunction::kMax;
+  if (s == "MIN") return AggregateFunction::kMin;
+  return Status::InvalidArgument("unknown aggregate function '" +
+                                 std::string(s) + "'");
+}
+
+bool HasAccuracyGuarantee(AggregateFunction f) {
+  return f == AggregateFunction::kCount || f == AggregateFunction::kSum ||
+         f == AggregateFunction::kAvg;
+}
+
+double ApplyAggregate(AggregateFunction f, std::span<const double> values) {
+  switch (f) {
+    case AggregateFunction::kCount:
+      return static_cast<double>(values.size());
+    case AggregateFunction::kSum: {
+      double acc = 0.0;
+      for (double v : values) acc += v;
+      return acc;
+    }
+    case AggregateFunction::kAvg: {
+      if (values.empty()) return 0.0;
+      double acc = 0.0;
+      for (double v : values) acc += v;
+      return acc / static_cast<double>(values.size());
+    }
+    case AggregateFunction::kMax:
+      return values.empty() ? 0.0
+                            : *std::max_element(values.begin(), values.end());
+    case AggregateFunction::kMin:
+      return values.empty() ? 0.0
+                            : *std::min_element(values.begin(), values.end());
+  }
+  return 0.0;
+}
+
+}  // namespace kgaq

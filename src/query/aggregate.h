@@ -1,0 +1,41 @@
+#ifndef KGAQ_QUERY_AGGREGATE_H_
+#define KGAQ_QUERY_AGGREGATE_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace kgaq {
+
+/// Aggregate functions supported by AQ_G = (Q, f_a) (Definition 2).
+///
+/// COUNT/SUM/AVG carry CLT-based accuracy guarantees; MAX/MIN are
+/// best-effort (§VII: returned from the collected sample, no guarantee).
+enum class AggregateFunction {
+  kCount,
+  kSum,
+  kAvg,
+  kMax,
+  kMin,
+};
+
+/// "COUNT", "SUM", "AVG", "MAX", "MIN".
+const char* AggregateFunctionToString(AggregateFunction f);
+
+/// Parses the spelling produced by AggregateFunctionToString.
+Result<AggregateFunction> ParseAggregateFunction(std::string_view s);
+
+/// True for COUNT/SUM/AVG — the estimators of §IV-B apply and the engine
+/// can provide Theorem-2 termination.
+bool HasAccuracyGuarantee(AggregateFunction f);
+
+/// Exact aggregate over a value multiset; the ground-truth operator
+/// V = f_a(A+). COUNT ignores values' magnitudes (returns the count);
+/// AVG/MAX/MIN of an empty set return 0.
+double ApplyAggregate(AggregateFunction f, std::span<const double> values);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_QUERY_AGGREGATE_H_

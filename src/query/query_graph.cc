@@ -1,0 +1,161 @@
+#include "query/query_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kgaq {
+
+const char* QueryShapeToString(QueryShape s) {
+  switch (s) {
+    case QueryShape::kSimple:
+      return "Simple";
+    case QueryShape::kChain:
+      return "Chain";
+    case QueryShape::kStar:
+      return "Star";
+    case QueryShape::kCycle:
+      return "Cycle";
+    case QueryShape::kFlower:
+      return "Flower";
+  }
+  return "?";
+}
+
+QueryGraph QueryGraph::Simple(std::string specific_name,
+                              std::vector<std::string> specific_types,
+                              std::string predicate,
+                              std::vector<std::string> target_types) {
+  QueryGraph q;
+  q.shape = QueryShape::kSimple;
+  QueryBranch b;
+  b.specific_name = std::move(specific_name);
+  b.specific_types = std::move(specific_types);
+  b.hops.push_back({std::move(predicate), std::move(target_types)});
+  q.branches.push_back(std::move(b));
+  return q;
+}
+
+QueryGraph QueryGraph::Chain(QueryBranch branch) {
+  QueryGraph q;
+  q.shape = QueryShape::kChain;
+  q.branches.push_back(std::move(branch));
+  return q;
+}
+
+QueryGraph QueryGraph::Complex(QueryShape shape,
+                               std::vector<QueryBranch> branches) {
+  QueryGraph q;
+  q.shape = shape;
+  q.branches = std::move(branches);
+  return q;
+}
+
+Status QueryGraph::Validate(const KnowledgeGraph& g) const {
+  if (branches.empty()) {
+    return Status::InvalidArgument("query graph has no branches");
+  }
+  const bool multi = shape == QueryShape::kStar ||
+                     shape == QueryShape::kCycle ||
+                     shape == QueryShape::kFlower;
+  if (multi && branches.size() < 2) {
+    return Status::InvalidArgument(
+        "complex query shapes require at least two branches");
+  }
+  if (!multi && branches.size() != 1) {
+    return Status::InvalidArgument(
+        "simple/chain queries must have exactly one branch");
+  }
+  if (shape == QueryShape::kSimple && branches[0].hops.size() != 1) {
+    return Status::InvalidArgument("simple query must have exactly one hop");
+  }
+  for (const QueryBranch& b : branches) {
+    if (b.hops.empty()) {
+      return Status::InvalidArgument("branch has no hops");
+    }
+    if (b.specific_name.empty()) {
+      return Status::InvalidArgument("branch has no specific-node name");
+    }
+    NodeId us = g.FindNodeByName(b.specific_name);
+    if (us == kInvalidId) {
+      return Status::NotFound("specific node '" + b.specific_name +
+                              "' does not exist in the graph");
+    }
+    // The specific node's declared types must intersect its KG types.
+    if (!b.specific_types.empty()) {
+      bool any = false;
+      for (const auto& t : b.specific_types) {
+        TypeId tid = g.TypeIdOf(t);
+        if (tid != kInvalidId && g.HasType(us, tid)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        return Status::InvalidArgument("specific node '" + b.specific_name +
+                                       "' matches none of the given types");
+      }
+    }
+    for (const QueryHop& h : b.hops) {
+      if (h.predicate.empty()) {
+        return Status::InvalidArgument("hop with empty predicate");
+      }
+      if (h.node_types.empty()) {
+        return Status::InvalidArgument(
+            "hop without node-type constraint (Definition 3 requires "
+            "target types)");
+      }
+    }
+  }
+  // All branches must share at least one target type (shared target node).
+  if (branches.size() > 1) {
+    for (const auto& t : branches[0].target_types()) {
+      bool in_all = true;
+      for (size_t i = 1; i < branches.size() && in_all; ++i) {
+        const auto& types = branches[i].target_types();
+        in_all = std::find(types.begin(), types.end(), t) != types.end();
+      }
+      if (in_all) return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "branches of a complex query must share a target type");
+  }
+  return Status::OK();
+}
+
+Status AggregateQuery::Validate(const KnowledgeGraph& g) const {
+  KGAQ_RETURN_IF_ERROR(query.Validate(g));
+  if (function != AggregateFunction::kCount && attribute.empty()) {
+    return Status::InvalidArgument(
+        std::string(AggregateFunctionToString(function)) +
+        " requires an aggregate attribute");
+  }
+  if (!attribute.empty() && g.AttributeIdOf(attribute) == kInvalidId) {
+    return Status::NotFound("aggregate attribute '" + attribute +
+                            "' does not exist in the graph");
+  }
+  for (const Filter& f : filters) {
+    if (f.attribute.empty()) {
+      return Status::InvalidArgument("filter with empty attribute");
+    }
+    if (f.lower > f.upper) {
+      return Status::InvalidArgument("filter with lower > upper on '" +
+                                     f.attribute + "'");
+    }
+    if (g.AttributeIdOf(f.attribute) == kInvalidId) {
+      return Status::NotFound("filter attribute '" + f.attribute +
+                              "' does not exist in the graph");
+    }
+  }
+  if (group_by.enabled()) {
+    if (group_by.bucket_width <= 0.0) {
+      return Status::InvalidArgument("GROUP-BY bucket width must be > 0");
+    }
+    if (g.AttributeIdOf(group_by.attribute) == kInvalidId) {
+      return Status::NotFound("GROUP-BY attribute '" + group_by.attribute +
+                              "' does not exist in the graph");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kgaq

@@ -1,0 +1,102 @@
+#ifndef KGAQ_QUERY_QUERY_GRAPH_H_
+#define KGAQ_QUERY_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kg/knowledge_graph.h"
+#include "query/aggregate.h"
+
+namespace kgaq {
+
+/// Range filter on a numerical attribute of the answers (Definition 6):
+/// an answer qualifies iff lower <= u.attribute <= upper.
+struct Filter {
+  std::string attribute;
+  double lower;
+  double upper;
+};
+
+/// GROUP-BY on a numerical attribute of the target node (§V-A): answers
+/// are bucketed as floor(value / bucket_width); a width of e.g. 10 over an
+/// `age` attribute yields the paper's "each age group".
+struct GroupBy {
+  std::string attribute;
+  double bucket_width = 1.0;
+
+  bool enabled() const { return !attribute.empty(); }
+};
+
+/// One hop of a (possibly multi-hop) query path: an edge predicate
+/// followed by a type constraint on the node it reaches.
+struct QueryHop {
+  std::string predicate;
+  std::vector<std::string> node_types;
+};
+
+/// A simple or chain-shaped query path from one specific node to the
+/// shared target node (Definition 3 / §V-B).
+///
+/// hops.size() == 1 is the paper's "simple question"; hops.size() > 1 is a
+/// chain. The final hop's node_types constrain the target q_t.
+struct QueryBranch {
+  std::string specific_name;
+  std::vector<std::string> specific_types;
+  std::vector<QueryHop> hops;
+
+  const std::vector<std::string>& target_types() const {
+    return hops.back().node_types;
+  }
+};
+
+/// The shapes of Fig. 4 plus the simple 1-edge query.
+enum class QueryShape { kSimple, kChain, kStar, kCycle, kFlower };
+
+const char* QueryShapeToString(QueryShape s);
+
+/// A query graph Q in decomposition form: one or more branches that share
+/// the same target node (the paper's decomposition-assembly framework, §V-B
+/// — star/cycle/flower queries decompose into simple/chain branches whose
+/// answer samples are intersected).
+struct QueryGraph {
+  QueryShape shape = QueryShape::kSimple;
+  std::vector<QueryBranch> branches;
+
+  /// Convenience constructors -------------------------------------------
+
+  /// Builds the 2-node / 1-edge simple query of Definition 3.
+  static QueryGraph Simple(std::string specific_name,
+                           std::vector<std::string> specific_types,
+                           std::string predicate,
+                           std::vector<std::string> target_types);
+
+  /// Builds a chain query from a single multi-hop branch.
+  static QueryGraph Chain(QueryBranch branch);
+
+  /// Builds a star/cycle/flower query from branches sharing a target.
+  static QueryGraph Complex(QueryShape shape,
+                            std::vector<QueryBranch> branches);
+
+  /// Structural sanity checks + existence of names/types/predicates in `g`.
+  /// Unknown predicates are allowed (they simply have low similarity to
+  /// everything via the embedding), but the specific node must resolve.
+  Status Validate(const KnowledgeGraph& g) const;
+};
+
+/// A full aggregate query AQ_G = (Q, f_a) with optional filter / GROUP-BY
+/// decoration (Definitions 2 and 6, §V-A).
+struct AggregateQuery {
+  QueryGraph query;
+  AggregateFunction function = AggregateFunction::kCount;
+  /// Attribute the aggregate ranges over; ignored (may be empty) for COUNT.
+  std::string attribute;
+  std::vector<Filter> filters;
+  GroupBy group_by;
+
+  Status Validate(const KnowledgeGraph& g) const;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_QUERY_QUERY_GRAPH_H_

@@ -1,0 +1,94 @@
+#include "sampling/answer_sampler.h"
+
+#include <algorithm>
+
+namespace kgaq {
+
+AnswerSampler::AnswerSampler(const KnowledgeGraph& g,
+                             const TransitionModel& model,
+                             std::span<const double> pi,
+                             std::span<const TypeId> target_types)
+    : model_(&model) {
+  const size_t n = model.NumScopeNodes();
+  local_to_candidate_.assign(n, kInvalidId);
+
+  double min_positive = 1.0;
+  std::vector<double> raw;
+  for (size_t local = 0; local < n; ++local) {
+    const NodeId u = model.GlobalId(local);
+    bool is_candidate = false;
+    for (TypeId t : target_types) {
+      if (g.HasType(u, t)) {
+        is_candidate = true;
+        break;
+      }
+    }
+    // The source node is never its own answer.
+    if (local == model.SourceLocal()) is_candidate = false;
+    if (!is_candidate) continue;
+    local_to_candidate_[local] = static_cast<uint32_t>(candidates_.size());
+    candidates_.push_back(u);
+    raw.push_back(pi[local]);
+    if (pi[local] > 0.0) min_positive = std::min(min_positive, pi[local]);
+  }
+
+  // Zero-mass candidates (possible before full convergence) get the
+  // smallest observed positive mass so they remain sampleable.
+  for (double& p : raw) {
+    if (p <= 0.0) p = min_positive;
+  }
+  double total = 0.0;
+  for (double p : raw) total += p;
+  probabilities_.resize(raw.size());
+  cumulative_.resize(raw.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    probabilities_[i] = total > 0.0
+                            ? raw[i] / total
+                            : 1.0 / static_cast<double>(raw.size());
+    acc += probabilities_[i];
+    cumulative_[i] = acc;
+  }
+  if (!cumulative_.empty()) cumulative_.back() = 1.0;
+}
+
+double AnswerSampler::ProbabilityOf(NodeId u) const {
+  const uint32_t local = model_->LocalId(u);
+  if (local == kInvalidId) return 0.0;
+  const uint32_t c = local_to_candidate_[local];
+  return c == kInvalidId ? 0.0 : probabilities_[c];
+}
+
+std::vector<size_t> AnswerSampler::Draw(size_t k, Rng& rng) const {
+  std::vector<size_t> out;
+  if (candidates_.empty()) return out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const double target = rng.NextDouble();
+    auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+    if (it == cumulative_.end()) --it;
+    out.push_back(static_cast<size_t>(it - cumulative_.begin()));
+  }
+  return out;
+}
+
+std::vector<size_t> AnswerSampler::DrawByWalking(size_t k, Rng& rng,
+                                                 size_t burn_in,
+                                                 size_t max_steps) const {
+  std::vector<size_t> out;
+  if (candidates_.empty()) return out;
+  out.reserve(k);
+  size_t current = model_->SourceLocal();
+  for (size_t step = 0; step < burn_in; ++step) {
+    current = model_->SampleNextRejection(current, rng);
+  }
+  for (size_t step = 0; step < max_steps && out.size() < k; ++step) {
+    current = model_->SampleNextRejection(current, rng);
+    const uint32_t c = local_to_candidate_[current];
+    if (c != kInvalidId) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,60 @@
+#ifndef KGAQ_SAMPLING_ANSWER_SAMPLER_H_
+#define KGAQ_SAMPLING_ANSWER_SAMPLER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "kg/knowledge_graph.h"
+#include "sampling/transition_model.h"
+
+namespace kgaq {
+
+/// The "continuous sampling" phase (§IV-A2(3)).
+///
+/// Restricts the stationary distribution pi over the scope to the candidate
+/// answers A (nodes whose types intersect the target types), renormalizes
+/// to pi_A, and draws i.i.d. answers from pi_A — exactly the distribution
+/// the continuous walk realizes per Theorem 1 (each visited answer is kept
+/// with its stationary visiting probability, non-answers are skipped).
+class AnswerSampler {
+ public:
+  /// `pi` is indexed by scope-local node id (ComputeStationaryDistribution
+  /// output). Candidates with zero stationary mass are kept with the
+  /// smallest positive candidate mass so every candidate stays reachable.
+  AnswerSampler(const KnowledgeGraph& g, const TransitionModel& model,
+                std::span<const double> pi,
+                std::span<const TypeId> target_types);
+
+  /// Number of candidate answers |A| in scope.
+  size_t NumCandidates() const { return candidates_.size(); }
+
+  NodeId CandidateNode(size_t i) const { return candidates_[i]; }
+
+  /// Renormalized stationary probability pi'_i of candidate `i`
+  /// (Sum over candidates == 1).
+  double CandidateProbability(size_t i) const { return probabilities_[i]; }
+
+  /// pi' for a node id; 0 when `u` is not a candidate.
+  double ProbabilityOf(NodeId u) const;
+
+  /// Draws `k` i.i.d. candidate indices from pi_A.
+  std::vector<size_t> Draw(size_t k, Rng& rng) const;
+
+  /// Literal continuous-walk variant used to validate Theorem 1: walks the
+  /// chain and collects the first `k` candidate visits (post burn-in).
+  std::vector<size_t> DrawByWalking(size_t k, Rng& rng,
+                                    size_t burn_in = 256,
+                                    size_t max_steps = 1u << 22) const;
+
+ private:
+  const TransitionModel* model_;
+  std::vector<NodeId> candidates_;        // global node ids
+  std::vector<double> probabilities_;     // pi' per candidate
+  std::vector<double> cumulative_;        // prefix sums of probabilities_
+  std::vector<uint32_t> local_to_candidate_;  // scope-local -> candidate idx
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SAMPLING_ANSWER_SAMPLER_H_

@@ -1,0 +1,64 @@
+#include "sampling/cnarw.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace kgaq {
+
+namespace {
+
+// Distinct-neighbor sets are materialized once; the weight function is
+// called once per (u, arc) during TransitionModel construction.
+class CommonNeighborOracle {
+ public:
+  explicit CommonNeighborOracle(const KnowledgeGraph& g) : g_(&g) {
+    neighbor_sets_.resize(g.NumNodes());
+  }
+
+  double Weight(NodeId u, NodeId v) {
+    const auto& nu = Set(u);
+    const auto& nv = Set(v);
+    const auto& small = nu.size() <= nv.size() ? nu : nv;
+    const auto& large = nu.size() <= nv.size() ? nv : nu;
+    size_t common = 0;
+    for (NodeId x : small) {
+      if (large.count(x)) ++common;
+    }
+    const size_t denom = std::min(nu.size(), nv.size());
+    const double w =
+        denom == 0 ? 1.0
+                   : 1.0 - static_cast<double>(common) /
+                               static_cast<double>(denom);
+    return std::max(w, 0.05);
+  }
+
+ private:
+  const std::unordered_set<NodeId>& Set(NodeId u) {
+    auto& s = neighbor_sets_[u];
+    if (s.empty() && g_->Degree(u) > 0) {
+      for (const Neighbor& nb : g_->Neighbors(u)) s.insert(nb.node);
+    }
+    return s;
+  }
+
+  const KnowledgeGraph* g_;
+  std::vector<std::unordered_set<NodeId>> neighbor_sets_;
+};
+
+}  // namespace
+
+TransitionModel BuildCnarwTransitionModel(const KnowledgeGraph& g,
+                                          const BoundedSubgraph& scope,
+                                          double self_loop_similarity) {
+  auto oracle = std::make_shared<CommonNeighborOracle>(g);
+  return TransitionModel(
+      g, scope,
+      [oracle](NodeId u, const Neighbor& nb) {
+        return oracle->Weight(u, nb.node);
+      },
+      self_loop_similarity);
+}
+
+}  // namespace kgaq

@@ -1,0 +1,120 @@
+#include "sampling/node2vec.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kgaq {
+
+namespace {
+
+bool HasAnyType(const KnowledgeGraph& g, NodeId u,
+                const std::vector<TypeId>& types) {
+  for (TypeId t : types) {
+    if (g.HasType(u, t)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Node2VecSampler::Node2VecSampler(const KnowledgeGraph& g,
+                                 const BoundedSubgraph& scope,
+                                 std::vector<TypeId> target_types,
+                                 const Options& options, Rng& rng) {
+  // Visit counters over scope nodes.
+  std::unordered_map<NodeId, double> visits;
+
+  NodeId prev = kInvalidId;
+  NodeId current = scope.source;
+  std::vector<double> weights;
+  std::vector<NodeId> targets;
+  std::unordered_set<NodeId> prev_neighbors;
+
+  const size_t total_steps = options.burn_in + options.walk_steps;
+  for (size_t step = 0; step < total_steps; ++step) {
+    weights.clear();
+    targets.clear();
+    // node2vec bias: alpha = 1/p when returning to prev, 1 when the
+    // candidate is a neighbor of prev (distance 1), 1/q otherwise.
+    prev_neighbors.clear();
+    if (prev != kInvalidId) {
+      for (const Neighbor& nb : g.Neighbors(prev)) {
+        prev_neighbors.insert(nb.node);
+      }
+    }
+    for (const Neighbor& nb : g.Neighbors(current)) {
+      if (!scope.Contains(nb.node)) continue;
+      double alpha = 1.0;
+      if (prev != kInvalidId) {
+        if (nb.node == prev) {
+          alpha = 1.0 / options.p;
+        } else if (!prev_neighbors.count(nb.node)) {
+          alpha = 1.0 / options.q;
+        }
+      }
+      weights.push_back(alpha);
+      targets.push_back(nb.node);
+    }
+    if (targets.empty()) {
+      // Dead end within the scope; restart from the source.
+      prev = kInvalidId;
+      current = scope.source;
+      continue;
+    }
+    const size_t pick = rng.NextWeighted(weights);
+    prev = current;
+    current = targets[pick];
+    if (step >= options.burn_in) {
+      visits[current] += 1.0;
+    }
+  }
+
+  // Restrict to candidate answers and renormalize; unvisited candidates get
+  // the smallest observed positive mass (same convention as AnswerSampler).
+  double min_positive = 1.0;
+  for (NodeId u : scope.nodes) {
+    if (u == scope.source || !HasAnyType(g, u, target_types)) continue;
+    candidates_.push_back(u);
+  }
+  std::vector<double> raw(candidates_.size(), 0.0);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    auto it = visits.find(candidates_[i]);
+    if (it != visits.end() && it->second > 0.0) {
+      raw[i] = it->second;
+      min_positive = std::min(min_positive, it->second);
+    }
+  }
+  for (double& x : raw) {
+    if (x <= 0.0) x = min_positive;
+  }
+  double total = 0.0;
+  for (double x : raw) total += x;
+  probabilities_.resize(raw.size());
+  cumulative_.resize(raw.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    probabilities_[i] = total > 0.0
+                            ? raw[i] / total
+                            : 1.0 / static_cast<double>(raw.size());
+    acc += probabilities_[i];
+    cumulative_[i] = acc;
+  }
+  if (!cumulative_.empty()) cumulative_.back() = 1.0;
+}
+
+std::vector<size_t> Node2VecSampler::Draw(size_t k, Rng& rng) const {
+  std::vector<size_t> out;
+  if (candidates_.empty()) return out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const double target = rng.NextDouble();
+    auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+    if (it == cumulative_.end()) --it;
+    out.push_back(static_cast<size_t>(it - cumulative_.begin()));
+  }
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,51 @@
+#ifndef KGAQ_SAMPLING_NODE2VEC_H_
+#define KGAQ_SAMPLING_NODE2VEC_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "kg/bfs.h"
+#include "kg/knowledge_graph.h"
+#include "kg/types.h"
+
+namespace kgaq {
+
+/// Second-order node2vec random walk (Grover & Leskovec, KDD'16) restricted
+/// to an n-bounded scope — the other S1 ablation baseline (Fig. 5a).
+///
+/// The walk biases transitions by the return parameter p and in-out
+/// parameter q relative to the previous node; like CNARW it is purely
+/// topological. Because the chain is second-order, there is no cheap exact
+/// stationary distribution: the sampler runs the walk and reports empirical
+/// visit frequencies as the answers' sampling probabilities — mirroring how
+/// node2vec is used as a sampling baseline.
+class Node2VecSampler {
+ public:
+  struct Options {
+    double p = 1.0;          ///< Return parameter.
+    double q = 2.0;          ///< In-out parameter (q > 1 keeps walks local).
+    size_t walk_steps = 20000;
+    size_t burn_in = 200;
+  };
+
+  Node2VecSampler(const KnowledgeGraph& g, const BoundedSubgraph& scope,
+                  std::vector<TypeId> target_types, const Options& options,
+                  Rng& rng);
+
+  size_t NumCandidates() const { return candidates_.size(); }
+  NodeId CandidateNode(size_t i) const { return candidates_[i]; }
+  /// Empirical visiting probability (renormalized over candidates).
+  double CandidateProbability(size_t i) const { return probabilities_[i]; }
+
+  /// Draws `k` i.i.d. candidate indices from the empirical distribution.
+  std::vector<size_t> Draw(size_t k, Rng& rng) const;
+
+ private:
+  std::vector<NodeId> candidates_;
+  std::vector<double> probabilities_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SAMPLING_NODE2VEC_H_

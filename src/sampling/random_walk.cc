@@ -1,0 +1,61 @@
+#include "sampling/random_walk.h"
+
+#include <cmath>
+
+namespace kgaq {
+
+StationaryResult ComputeStationaryDistribution(
+    const TransitionModel& model, const StationaryOptions& options) {
+  const size_t n = model.NumScopeNodes();
+  StationaryResult out;
+  out.pi.assign(n, 0.0);
+  if (n == 0) return out;
+  out.pi[model.SourceLocal()] = 1.0;
+
+  std::vector<double> next(n, 0.0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t u = 0; u < n; ++u) {
+      const double mass = out.pi[u];
+      if (mass == 0.0) continue;
+      for (const TransitionModel::Arc& a : model.Arcs(u)) {
+        next[a.target] += mass * a.probability;
+      }
+    }
+    double delta = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      delta += std::abs(next[u] - out.pi[u]);
+    }
+    out.pi.swap(next);
+    out.iterations = iter + 1;
+    out.final_delta = delta;
+    if (delta < options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<double> SimulateWalkFrequencies(const TransitionModel& model,
+                                            size_t num_steps, size_t burn_in,
+                                            Rng& rng,
+                                            bool use_rejection_policy) {
+  const size_t n = model.NumScopeNodes();
+  std::vector<double> freq(n, 0.0);
+  if (n == 0 || num_steps == 0) return freq;
+  size_t current = model.SourceLocal();
+  for (size_t step = 0; step < burn_in; ++step) {
+    current = use_rejection_policy ? model.SampleNextRejection(current, rng)
+                                   : model.SampleNext(current, rng);
+  }
+  for (size_t step = 0; step < num_steps; ++step) {
+    current = use_rejection_policy ? model.SampleNextRejection(current, rng)
+                                   : model.SampleNext(current, rng);
+    freq[current] += 1.0;
+  }
+  for (double& f : freq) f /= static_cast<double>(num_steps);
+  return freq;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,47 @@
+#ifndef KGAQ_SAMPLING_RANDOM_WALK_H_
+#define KGAQ_SAMPLING_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "sampling/transition_model.h"
+
+namespace kgaq {
+
+/// Outcome of the "random walk until convergence" phase (§IV-A2(2)).
+struct StationaryResult {
+  /// Stationary visiting probability per scope-local node; sums to 1.
+  std::vector<double> pi;
+  /// Number of Eq. 6 sweeps performed.
+  size_t iterations = 0;
+  /// L1 change of pi in the final sweep.
+  double final_delta = 0.0;
+  /// Whether final_delta dropped below the tolerance before max_iterations.
+  bool converged = false;
+};
+
+/// Options for the convergence computation. The paper observes Nws <= 500
+/// walk steps in practice; we cap the deterministic sweeps the same way.
+struct StationaryOptions {
+  size_t max_iterations = 500;
+  double tolerance = 1e-12;
+};
+
+/// Computes the stationary distribution of the chain by iterating Eq. 6
+/// (pi <- pi P) from pi0 = {1 at the source} until the L1 change falls
+/// under tolerance. The chain is irreducible (Lemma 1) and aperiodic
+/// (Lemma 2, source self-loop), so the limit exists and is unique.
+StationaryResult ComputeStationaryDistribution(
+    const TransitionModel& model, const StationaryOptions& options = {});
+
+/// Monte-Carlo cross-check used by tests and the micro bench: walks
+/// `num_steps` steps from the source and returns empirical visit
+/// frequencies per scope-local node (after `burn_in` discarded steps).
+std::vector<double> SimulateWalkFrequencies(const TransitionModel& model,
+                                            size_t num_steps, size_t burn_in,
+                                            Rng& rng,
+                                            bool use_rejection_policy = true);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SAMPLING_RANDOM_WALK_H_

@@ -1,0 +1,107 @@
+#include "sampling/transition_model.h"
+
+#include <algorithm>
+
+namespace kgaq {
+
+TransitionModel::TransitionModel(const KnowledgeGraph& g,
+                                 const BoundedSubgraph& scope,
+                                 const PredicateSimilarityCache& sims,
+                                 double self_loop_similarity) {
+  BuildArcs(
+      g, scope,
+      [&sims](NodeId, const Neighbor& nb) {
+        return sims.Similarity(nb.predicate);
+      },
+      self_loop_similarity);
+}
+
+TransitionModel::TransitionModel(const KnowledgeGraph& g,
+                                 const BoundedSubgraph& scope,
+                                 const ArcWeightFn& weight_fn,
+                                 double self_loop_similarity) {
+  BuildArcs(g, scope, weight_fn, self_loop_similarity);
+}
+
+void TransitionModel::BuildArcs(const KnowledgeGraph& g,
+                                const BoundedSubgraph& scope,
+                                const ArcWeightFn& weight_fn,
+                                double self_loop_similarity) {
+  globals_ = scope.nodes;  // BFS order; source first
+  locals_.assign(g.NumNodes(), kInvalidId);
+  for (uint32_t i = 0; i < globals_.size(); ++i) {
+    locals_[globals_[i]] = i;
+  }
+
+  const size_t n = globals_.size();
+  offsets_.assign(n + 1, 0);
+  // First pass: count in-scope arcs (+1 self-loop at the source).
+  for (size_t local = 0; local < n; ++local) {
+    size_t count = local == 0 ? 1 : 0;
+    for (const Neighbor& nb : g.Neighbors(globals_[local])) {
+      if (locals_[nb.node] != kInvalidId) ++count;
+    }
+    offsets_[local + 1] = offsets_[local] + count;
+  }
+  arcs_.resize(offsets_[n]);
+  cumulative_.resize(offsets_[n]);
+  max_prob_.assign(n, 0.0);
+
+  for (size_t local = 0; local < n; ++local) {
+    const NodeId u = globals_[local];
+    size_t cursor = offsets_[local];
+    double total = 0.0;
+    if (local == 0) {
+      arcs_[cursor++] = {0u, self_loop_similarity};
+      total += self_loop_similarity;
+    }
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      const uint32_t v = locals_[nb.node];
+      if (v == kInvalidId) continue;
+      double w = weight_fn(u, nb);
+      if (w <= 0.0) w = 1e-12;  // Lemma 1: keep the chain irreducible.
+      arcs_[cursor++] = {v, w};
+      total += w;
+    }
+    // Normalize this row and build its cumulative distribution (Eq. 5's
+    // constraint: probabilities out of u sum to one).
+    double acc = 0.0;
+    for (size_t k = offsets_[local]; k < offsets_[local + 1]; ++k) {
+      arcs_[k].probability /= total;
+      acc += arcs_[k].probability;
+      cumulative_[k] = acc;
+      max_prob_[local] = std::max(max_prob_[local], arcs_[k].probability);
+    }
+    if (offsets_[local + 1] > offsets_[local]) {
+      cumulative_[offsets_[local + 1] - 1] = 1.0;  // guard rounding drift
+    }
+  }
+}
+
+size_t TransitionModel::SampleNext(size_t local, Rng& rng) const {
+  const size_t begin = offsets_[local];
+  const size_t end = offsets_[local + 1];
+  const double target = rng.NextDouble();
+  auto first = cumulative_.begin() + begin;
+  auto last = cumulative_.begin() + end;
+  auto it = std::lower_bound(first, last, target);
+  if (it == last) --it;
+  return arcs_[static_cast<size_t>(it - cumulative_.begin())].target;
+}
+
+size_t TransitionModel::SampleNextRejection(size_t local, Rng& rng) const {
+  const size_t begin = offsets_[local];
+  const size_t count = offsets_[local + 1] - begin;
+  const double cap = max_prob_[local];
+  // Uniform proposal, accept with probability p_ij / max_j p_ij. The
+  // normalization by the row maximum keeps the acceptance rate usable on
+  // high-degree nodes while preserving the target distribution.
+  for (;;) {
+    const size_t k = begin + rng.NextBounded(count);
+    if (rng.NextDouble() * cap <= arcs_[k].probability) {
+      return arcs_[k].target;
+    }
+  }
+}
+
+}  // namespace kgaq

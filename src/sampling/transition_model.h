@@ -1,0 +1,86 @@
+#ifndef KGAQ_SAMPLING_TRANSITION_MODEL_H_
+#define KGAQ_SAMPLING_TRANSITION_MODEL_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "embedding/predicate_similarity.h"
+#include "kg/bfs.h"
+#include "kg/knowledge_graph.h"
+
+namespace kgaq {
+
+/// Row-stochastic transition structure of the random walk, restricted to
+/// an n-bounded subgraph scope (§IV-A2).
+///
+/// Nodes are renumbered to dense *local* ids (scope.nodes order, source at
+/// local id 0). Arc weights come from a caller-supplied weight function;
+/// the semantic-aware walk (Eq. 5) weights each arc by the predicate
+/// similarity of its edge, while CNARW supplies topology-derived weights.
+/// Per Lemma 2, a small self-loop is added at the source so the chain is
+/// aperiodic.
+class TransitionModel {
+ public:
+  /// Weight of one traversal arc out of node `u`; must be > 0 (Lemma 1).
+  using ArcWeightFn =
+      std::function<double(NodeId u, const Neighbor& neighbor)>;
+
+  struct Arc {
+    uint32_t target;     ///< Local id of the node this arc reaches.
+    double probability;  ///< Normalized transition probability p_ij.
+  };
+
+  /// Builds the semantic-aware model of Eq. 5: p_ij proportional to
+  /// sim(L_G(e'), L_Q(e)).
+  TransitionModel(const KnowledgeGraph& g, const BoundedSubgraph& scope,
+                  const PredicateSimilarityCache& sims,
+                  double self_loop_similarity = 0.001);
+
+  /// Builds a model with arbitrary positive arc weights (CNARW etc.).
+  TransitionModel(const KnowledgeGraph& g, const BoundedSubgraph& scope,
+                  const ArcWeightFn& weight_fn,
+                  double self_loop_similarity = 0.001);
+
+  size_t NumScopeNodes() const { return globals_.size(); }
+
+  /// Local id of the walk source (always 0).
+  size_t SourceLocal() const { return 0; }
+
+  NodeId GlobalId(size_t local) const { return globals_[local]; }
+
+  /// Local id of `u` or kInvalidId when `u` is outside the scope.
+  uint32_t LocalId(NodeId u) const { return locals_[u]; }
+
+  /// Outgoing arcs (normalized probabilities summing to 1) of `local`.
+  std::span<const Arc> Arcs(size_t local) const {
+    return {arcs_.data() + offsets_[local],
+            offsets_[local + 1] - offsets_[local]};
+  }
+
+  /// Draws the next node exactly from the categorical distribution of
+  /// `local`'s arcs (binary search over per-node cumulative sums).
+  size_t SampleNext(size_t local, Rng& rng) const;
+
+  /// Draws the next node with the paper's walking-with-rejection policy:
+  /// pick a uniform neighbor, accept with probability proportional to its
+  /// transition weight; repeat until accepted. Distributionally equivalent
+  /// to SampleNext; kept for fidelity and cross-checked in tests.
+  size_t SampleNextRejection(size_t local, Rng& rng) const;
+
+ private:
+  void BuildArcs(const KnowledgeGraph& g, const BoundedSubgraph& scope,
+                 const ArcWeightFn& weight_fn, double self_loop_similarity);
+
+  std::vector<NodeId> globals_;    // local -> global
+  std::vector<uint32_t> locals_;   // global -> local (kInvalidId outside)
+  std::vector<size_t> offsets_;    // CSR offsets into arcs_
+  std::vector<Arc> arcs_;
+  std::vector<double> cumulative_;  // per-arc cumulative probability
+  std::vector<double> max_prob_;    // per-node max arc probability
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SAMPLING_TRANSITION_MODEL_H_

@@ -1,0 +1,16 @@
+#include "semsim/path.h"
+
+namespace kgaq {
+
+std::string Path::ToString(const KnowledgeGraph& g) const {
+  std::string out = start == kInvalidId ? "?" : g.NodeName(start);
+  for (const PathStep& s : steps) {
+    out += " -";
+    out += g.predicates().name(s.predicate);
+    out += "-> ";
+    out += g.NodeName(s.node);
+  }
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,38 @@
+#ifndef KGAQ_SEMSIM_PATH_H_
+#define KGAQ_SEMSIM_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "kg/types.h"
+
+namespace kgaq {
+
+/// One step of a path: the predicate crossed and the node reached.
+struct PathStep {
+  PredicateId predicate;
+  NodeId node;
+
+  bool operator==(const PathStep&) const = default;
+};
+
+/// A concrete path u_s ~> u_t in the KG — the paper's edge-to-path
+/// subgraph match M(u_t) for simple queries (Definition 5).
+struct Path {
+  NodeId start = kInvalidId;
+  std::vector<PathStep> steps;
+
+  size_t length() const { return steps.size(); }
+  bool empty() const { return steps.empty(); }
+  NodeId end() const { return steps.empty() ? start : steps.back().node; }
+
+  bool operator==(const Path&) const = default;
+
+  /// Debug rendering: "Germany -country-> Volkswagen -assembly-> Audi_TT".
+  std::string ToString(const KnowledgeGraph& g) const;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SEMSIM_PATH_H_

@@ -1,0 +1,122 @@
+#include "semsim/path_enumerator.h"
+
+#include <cmath>
+#include <limits>
+
+namespace kgaq {
+
+namespace {
+
+struct DfsState {
+  const KnowledgeGraph* g;
+  int max_hops;
+  const std::function<bool(const Path&)>* visitor;
+  Path current;
+  std::vector<bool> on_path;
+  bool aborted = false;
+};
+
+void Dfs(DfsState& st, NodeId u) {
+  if (st.aborted) return;
+  if (static_cast<int>(st.current.length()) >= st.max_hops) return;
+  for (const Neighbor& nb : st.g->Neighbors(u)) {
+    if (st.on_path[nb.node]) continue;  // simple paths only
+    st.current.steps.push_back({nb.predicate, nb.node});
+    st.on_path[nb.node] = true;
+    if (!(*st.visitor)(st.current)) {
+      st.aborted = true;
+    } else {
+      Dfs(st, nb.node);
+    }
+    st.on_path[nb.node] = false;
+    st.current.steps.pop_back();
+    if (st.aborted) return;
+  }
+}
+
+}  // namespace
+
+void PathEnumerator::EnumerateAll(
+    const KnowledgeGraph& g, NodeId source, int max_hops,
+    const std::function<bool(const Path&)>& visitor) {
+  if (source >= g.NumNodes() || max_hops <= 0) return;
+  DfsState st;
+  st.g = &g;
+  st.max_hops = max_hops;
+  st.visitor = &visitor;
+  st.current.start = source;
+  st.on_path.assign(g.NumNodes(), false);
+  st.on_path[source] = true;
+  Dfs(st, source);
+}
+
+std::unordered_map<NodeId, double> PathEnumerator::BestSimilarities(
+    const KnowledgeGraph& g, NodeId source, int max_hops,
+    const PredicateSimilarityCache& sims) {
+  std::unordered_map<NodeId, double> best;
+  // Incremental log-sum along the DFS path avoids recomputing Eq. 2 per
+  // visited prefix.
+  std::vector<double> log_prefix = {0.0};
+  EnumerateAll(g, source, max_hops, [&](const Path& p) {
+    const size_t len = p.length();
+    // The enumerator extends/retracts one step at a time, so the prefix
+    // stack is kept in lockstep with the visited path length.
+    log_prefix.resize(len + 1);
+    log_prefix[len] =
+        log_prefix[len - 1] +
+        std::log(sims.Similarity(p.steps.back().predicate));
+    const double sim = std::exp(log_prefix[len] / static_cast<double>(len));
+    auto [it, inserted] = best.emplace(p.end(), sim);
+    if (!inserted && sim > it->second) it->second = sim;
+    return true;
+  });
+  return best;
+}
+
+std::unordered_map<NodeId, std::vector<double>>
+PathEnumerator::BestLogSumsByLength(const KnowledgeGraph& g, NodeId source,
+                                    int max_hops,
+                                    const PredicateSimilarityCache& sims) {
+  std::unordered_map<NodeId, std::vector<double>> best;
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> log_prefix = {0.0};
+  EnumerateAll(g, source, max_hops, [&](const Path& p) {
+    const size_t len = p.length();
+    log_prefix.resize(len + 1);
+    log_prefix[len] =
+        log_prefix[len - 1] +
+        std::log(sims.Similarity(p.steps.back().predicate));
+    auto [it, inserted] = best.try_emplace(
+        p.end(), static_cast<size_t>(max_hops) + 1, kNegInf);
+    auto& row = it->second;
+    if (log_prefix[len] > row[len]) row[len] = log_prefix[len];
+    return true;
+  });
+  return best;
+}
+
+PathEnumerator::BestMatch PathEnumerator::BestMatchTo(
+    const KnowledgeGraph& g, NodeId source, NodeId target, int max_hops,
+    const PredicateSimilarityCache& sims) {
+  BestMatch out;
+  std::vector<double> log_prefix = {0.0};
+  EnumerateAll(g, source, max_hops, [&](const Path& p) {
+    const size_t len = p.length();
+    log_prefix.resize(len + 1);
+    log_prefix[len] =
+        log_prefix[len - 1] +
+        std::log(sims.Similarity(p.steps.back().predicate));
+    if (p.end() == target) {
+      const double sim =
+          std::exp(log_prefix[len] / static_cast<double>(len));
+      if (sim > out.similarity) {
+        out.similarity = sim;
+        out.path = p;
+      }
+    }
+    return true;
+  });
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,60 @@
+#ifndef KGAQ_SEMSIM_PATH_ENUMERATOR_H_
+#define KGAQ_SEMSIM_PATH_ENUMERATOR_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "embedding/predicate_similarity.h"
+#include "kg/knowledge_graph.h"
+#include "semsim/path.h"
+
+namespace kgaq {
+
+/// Exhaustive enumeration of simple paths from a source within a hop bound.
+///
+/// Eq. 2's geometric mean is non-monotonic in path length, so finding the
+/// best subgraph match requires enumerating all (simple) paths rather than
+/// a Dijkstra-style expansion — this is why SSB is expensive: O(|A| * m^n)
+/// per the paper's complexity analysis. This enumerator is shared by SSB
+/// (exact ground truth) and by tests validating the greedy validator.
+class PathEnumerator {
+ public:
+  /// Visits every simple path from `source` of length in [1, max_hops].
+  /// The visitor receives the node sequence (excluding source) as a Path.
+  /// Returning false from the visitor aborts the enumeration.
+  static void EnumerateAll(const KnowledgeGraph& g, NodeId source,
+                           int max_hops,
+                           const std::function<bool(const Path&)>& visitor);
+
+  /// Computes, for every node reachable within `max_hops` simple-path steps
+  /// of `source`, the maximum Eq. 2 similarity over all simple paths
+  /// (Eq. 3). Returns node -> best similarity. `source` itself is excluded.
+  static std::unordered_map<NodeId, double> BestSimilarities(
+      const KnowledgeGraph& g, NodeId source, int max_hops,
+      const PredicateSimilarityCache& sims);
+
+  /// For every node reachable within the bound, the maximum sum of log
+  /// predicate similarities over simple paths of each exact length
+  /// (index 1..max_hops; unused entries are -infinity). Because log-sums
+  /// enter additively into any multi-stage geometric mean, per-(node,
+  /// length) maxima suffice to combine chain stages *exactly* — unlike
+  /// per-node best similarity alone, which Eq. 2's length mixing can beat.
+  static std::unordered_map<NodeId, std::vector<double>> BestLogSumsByLength(
+      const KnowledgeGraph& g, NodeId source, int max_hops,
+      const PredicateSimilarityCache& sims);
+
+  /// Best Eq. 3 similarity and witness path from `source` to one `target`.
+  /// Returns similarity 0 and an empty path if unreachable within the bound.
+  struct BestMatch {
+    double similarity = 0.0;
+    Path path;
+  };
+  static BestMatch BestMatchTo(const KnowledgeGraph& g, NodeId source,
+                               NodeId target, int max_hops,
+                               const PredicateSimilarityCache& sims);
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SEMSIM_PATH_ENUMERATOR_H_

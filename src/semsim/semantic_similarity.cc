@@ -1,0 +1,28 @@
+#include "semsim/semantic_similarity.h"
+
+#include <cmath>
+#include <vector>
+
+namespace kgaq {
+
+double PathSimilarity(std::span<const PredicateId> predicates,
+                      const PredicateSimilarityCache& sims) {
+  if (predicates.empty()) return 0.0;
+  // Geometric mean computed in log space for numerical stability on long
+  // paths of small similarities.
+  double log_acc = 0.0;
+  for (PredicateId p : predicates) {
+    log_acc += std::log(sims.Similarity(p));
+  }
+  return std::exp(log_acc / static_cast<double>(predicates.size()));
+}
+
+double PathSimilarity(const Path& path,
+                      const PredicateSimilarityCache& sims) {
+  std::vector<PredicateId> preds;
+  preds.reserve(path.steps.size());
+  for (const PathStep& s : path.steps) preds.push_back(s.predicate);
+  return PathSimilarity(preds, sims);
+}
+
+}  // namespace kgaq

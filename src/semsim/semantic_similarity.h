@@ -1,0 +1,22 @@
+#ifndef KGAQ_SEMSIM_SEMANTIC_SIMILARITY_H_
+#define KGAQ_SEMSIM_SEMANTIC_SIMILARITY_H_
+
+#include <span>
+
+#include "embedding/predicate_similarity.h"
+#include "semsim/path.h"
+
+namespace kgaq {
+
+/// Semantic similarity of a subgraph match to the query edge (Eq. 2):
+/// the geometric mean of the predicate similarities of the path's edges.
+/// An empty path has similarity 0.
+double PathSimilarity(std::span<const PredicateId> predicates,
+                      const PredicateSimilarityCache& sims);
+
+/// Eq. 2 applied to a concrete Path object.
+double PathSimilarity(const Path& path, const PredicateSimilarityCache& sims);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SEMSIM_SEMANTIC_SIMILARITY_H_

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/eaq.h"
+#include "baselines/exact_matcher.h"
+#include "baselines/grab.h"
+#include "baselines/qga.h"
+#include "baselines/sgq.h"
+#include "baselines/ssb.h"
+#include "datagen/kg_generator.h"
+#include "datagen/workload_generator.h"
+#include "kg/graph_builder.h"
+
+namespace kgaq {
+namespace {
+
+// The Figure 1 knowledge graph with a planted embedding (same layout as
+// examples/quickstart.cpp).
+struct Figure1 {
+  KnowledgeGraph g;
+  std::unique_ptr<FixedEmbedding> embedding;
+};
+
+Figure1 BuildFigure1() {
+  GraphBuilder b;
+  NodeId germany = b.AddNode("Germany", {"Country"});
+  NodeId vw = b.AddNode("Volkswagen", {"Company"});
+  NodeId porsche_co = b.AddNode("Porsche", {"Company"});
+  NodeId porsche911 = b.AddNode("Porsche_911", {"Automobile"});
+  NodeId bmw320 = b.AddNode("BMW_320", {"Automobile"});
+  NodeId bmwx6 = b.AddNode("BMW_X6", {"Automobile"});
+  NodeId audett = b.AddNode("Audi_TT", {"Automobile"});
+  NodeId lamando = b.AddNode("Lamando", {"Automobile"});
+  NodeId kia = b.AddNode("KIA_K5", {"Automobile"});
+  NodeId peter = b.AddNode("Peter_Schreyer", {"Person"});
+  b.AddEdge(porsche911, "manufacturer", porsche_co);
+  b.AddEdge(porsche_co, "country", germany);
+  b.AddEdge(bmw320, "assembly", germany);
+  b.AddEdge(bmwx6, "product", germany);
+  b.AddEdge(audett, "assembly", vw);
+  b.AddEdge(lamando, "assembly", vw);
+  b.AddEdge(vw, "country", germany);
+  b.AddEdge(kia, "designer", peter);
+  b.AddEdge(peter, "nationality", germany);
+  b.SetAttribute(porsche911, "price", 64300.0);
+  b.SetAttribute(bmw320, "price", 47450.0);
+  b.SetAttribute(bmwx6, "price", 70100.0);
+  b.SetAttribute(audett, "price", 52000.0);
+  b.SetAttribute(lamando, "price", 21500.0);
+  b.SetAttribute(kia, "price", 23900.0);
+  auto g = std::move(b).Build();
+  Figure1 f{std::move(*g), nullptr};
+  f.embedding = std::make_unique<FixedEmbedding>(
+      "planted", f.g.NumNodes(), f.g.NumPredicates(), 8, 8);
+  const std::vector<std::pair<std::string, double>> cos = {
+      {"product", 1.0},      {"assembly", 0.98}, {"country", 0.92},
+      {"manufacturer", 0.90}, {"designer", 0.34}, {"nationality", 0.14},
+  };
+  for (PredicateId p = 0; p < f.g.NumPredicates(); ++p) {
+    double c = 0.1;
+    for (const auto& [n, v] : cos) {
+      if (f.g.predicates().name(p) == n) c = v;
+    }
+    auto vec = f.embedding->MutablePredicateVector(p);
+    vec[0] = static_cast<float>(c);
+    vec[1 + p % 6] = static_cast<float>(std::sqrt(1 - c * c));
+  }
+  return f;
+}
+
+AggregateQuery GermanCarsAvgPrice() {
+  AggregateQuery q;
+  q.query = QueryGraph::Simple("Germany", {"Country"}, "product",
+                               {"Automobile"});
+  q.function = AggregateFunction::kAvg;
+  q.attribute = "price";
+  return q;
+}
+
+// ---------- SSB ----------
+
+TEST(SsbTest, FindsSemanticAnswersOnFigure1) {
+  auto f = BuildFigure1();
+  Ssb ssb(f.g, *f.embedding, {});
+  auto res = ssb.Execute(GermanCarsAvgPrice());
+  ASSERT_TRUE(res.ok()) << res.status();
+  // With these cosines: BMW_X6 (product, 1.0), BMW_320 (assembly, .98),
+  // Audi_TT & Lamando (assembly+country ~ .95), Porsche_911
+  // (manufacturer+country ~ .91) are all >= 0.85; KIA_K5 (~0.2) is not.
+  EXPECT_EQ(res->answers.size(), 5u);
+  std::vector<std::string> names;
+  for (NodeId u : res->answers) names.push_back(f.g.NodeName(u));
+  EXPECT_EQ(std::count(names.begin(), names.end(), "KIA_K5"), 0);
+  const double expected =
+      (64300.0 + 47450.0 + 70100.0 + 52000.0 + 21500.0) / 5;
+  EXPECT_NEAR(res->value, expected, 1e-6);
+}
+
+TEST(SsbTest, HigherTauShrinksAnswerSet) {
+  auto f = BuildFigure1();
+  Ssb::Options loose{0.5, 3};
+  Ssb::Options strict{0.97, 3};
+  auto r_loose = Ssb(f.g, *f.embedding, loose).Execute(GermanCarsAvgPrice());
+  auto r_strict =
+      Ssb(f.g, *f.embedding, strict).Execute(GermanCarsAvgPrice());
+  ASSERT_TRUE(r_loose.ok() && r_strict.ok());
+  EXPECT_GT(r_loose->answers.size(), r_strict->answers.size());
+  // tau = 0.97 keeps only the literal product edge and BMW_320's assembly.
+  EXPECT_EQ(r_strict->answers.size(), 2u);
+}
+
+TEST(SsbTest, BranchSimilaritiesMatchExample3) {
+  auto f = BuildFigure1();
+  Ssb ssb(f.g, *f.embedding, {});
+  auto sims = ssb.BranchSimilarities(
+      GermanCarsAvgPrice().query.branches[0]);
+  ASSERT_TRUE(sims.ok());
+  NodeId audi = f.g.FindNodeByName("Audi_TT");
+  ASSERT_TRUE(sims->count(audi));
+  EXPECT_NEAR(sims->at(audi), std::sqrt(0.98 * 0.92), 1e-3);
+}
+
+TEST(SsbTest, UnknownPredicateFails) {
+  auto f = BuildFigure1();
+  Ssb ssb(f.g, *f.embedding, {});
+  AggregateQuery q = GermanCarsAvgPrice();
+  q.query.branches[0].hops[0].predicate = "made_in";
+  EXPECT_FALSE(ssb.Execute(q).ok());
+}
+
+// ---------- ExactMatcher ----------
+
+TEST(ExactMatcherTest, OnlyLiteralSchemaMatches) {
+  auto f = BuildFigure1();
+  ExactMatcher m(f.g);
+  auto res = m.Execute(GermanCarsAvgPrice());
+  ASSERT_TRUE(res.ok());
+  // Only BMW_X6 carries the literal (x, product, Germany) edge.
+  ASSERT_EQ(res->answers.size(), 1u);
+  EXPECT_EQ(f.g.NodeName(res->answers[0]), "BMW_X6");
+  EXPECT_DOUBLE_EQ(res->value, 70100.0);
+}
+
+TEST(ExactMatcherTest, ChainRequiresExactPath) {
+  auto f = BuildFigure1();
+  ExactMatcher m(f.g);
+  AggregateQuery q;
+  QueryBranch b;
+  b.specific_name = "Germany";
+  b.specific_types = {"Country"};
+  b.hops.push_back({"country", {"Company"}});
+  b.hops.push_back({"assembly", {"Automobile"}});
+  q.query = QueryGraph::Chain(b);
+  q.function = AggregateFunction::kCount;
+  auto res = m.Execute(q);
+  ASSERT_TRUE(res.ok());
+  // Germany <-country- {VW, Porsche}; VW <-assembly- {Audi_TT, Lamando};
+  // Porsche has no assembly edge.
+  EXPECT_EQ(res->value, 2.0);
+}
+
+// ---------- SGQ ----------
+
+TEST(SgqTest, CoversAllCorrectAnswers) {
+  auto f = BuildFigure1();
+  SgqTopK::Options opts;
+  opts.k_step = 3;  // small steps on the toy graph
+  SgqTopK sgq(f.g, *f.embedding, opts);
+  auto res = sgq.Execute(GermanCarsAvgPrice());
+  ASSERT_TRUE(res.ok());
+  // All 5 correct answers are covered, plus fill-up to the k multiple —
+  // k grows to 6 and drags in KIA_K5 (the paper's "some incorrect answers
+  // get included in the last step").
+  EXPECT_GE(res->answers.size(), 5u);
+  Ssb ssb(f.g, *f.embedding, {});
+  auto gt = ssb.Execute(GermanCarsAvgPrice());
+  ASSERT_TRUE(gt.ok());
+  for (NodeId u : gt->answers) {
+    EXPECT_TRUE(std::find(res->answers.begin(), res->answers.end(), u) !=
+                res->answers.end())
+        << f.g.NodeName(u);
+  }
+}
+
+TEST(SgqTest, ErrorIsSmallButNonzeroOnToyGraph) {
+  auto f = BuildFigure1();
+  SgqTopK::Options opts;
+  opts.k_step = 3;
+  SgqTopK sgq(f.g, *f.embedding, opts);
+  Ssb ssb(f.g, *f.embedding, {});
+  auto q = GermanCarsAvgPrice();
+  auto res = sgq.Execute(q);
+  auto gt = ssb.Execute(q);
+  ASSERT_TRUE(res.ok() && gt.ok());
+  const double rel = std::abs(res->value - gt->value) / gt->value;
+  EXPECT_GT(rel, 0.0);
+  EXPECT_LT(rel, 0.35);
+}
+
+// ---------- GraB ----------
+
+TEST(GrabTest, StructuralRadiusControlsAnswers) {
+  auto f = BuildFigure1();
+  GraB::Options tight;
+  tight.structural_slack = 0;  // radius 1: direct neighbors only
+  auto r_tight = GraB(f.g, tight).Execute(GermanCarsAvgPrice());
+  ASSERT_TRUE(r_tight.ok());
+  EXPECT_EQ(r_tight->answers.size(), 2u);  // BMW_320, BMW_X6
+
+  GraB::Options wide;
+  wide.structural_slack = 1;  // radius 2 picks up 2-hop cars incl. KIA
+  auto r_wide = GraB(f.g, wide).Execute(GermanCarsAvgPrice());
+  ASSERT_TRUE(r_wide.ok());
+  EXPECT_EQ(r_wide->answers.size(), 6u);
+}
+
+TEST(GrabTest, IgnoresSemantics) {
+  // GraB at radius 2 includes KIA_K5 (a distractor SSB rejects) because
+  // structural proximity is blind to predicate meaning.
+  auto f = BuildFigure1();
+  auto res = GraB(f.g).Execute(GermanCarsAvgPrice());
+  ASSERT_TRUE(res.ok());
+  bool has_kia = false;
+  for (NodeId u : res->answers) {
+    if (f.g.NodeName(u) == "KIA_K5") has_kia = true;
+  }
+  EXPECT_TRUE(has_kia);
+}
+
+// ---------- QGA ----------
+
+TEST(QgaTest, KeywordMatchFindsLexicalOverlapOnly) {
+  auto f = BuildFigure1();
+  Qga qga(f.g);
+  auto res = qga.Execute(GermanCarsAvgPrice());
+  ASSERT_TRUE(res.ok());
+  // Keyword "product" matches only the literal product edge lexically.
+  ASSERT_EQ(res->answers.size(), 1u);
+  EXPECT_EQ(f.g.NodeName(res->answers[0]), "BMW_X6");
+}
+
+TEST(QgaTest, TokenizedPredicateNamesMatch) {
+  GraphBuilder b;
+  NodeId de = b.AddNode("Germany", {"Country"});
+  NodeId car = b.AddNode("Car1", {"Automobile"});
+  NodeId car2 = b.AddNode("Car2", {"Automobile"});
+  b.AddEdge(car, "product_line", de);    // shares token "product"
+  b.AddEdge(car2, "assembledIn", de);    // no token overlap
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  Qga qga(*g);
+  AggregateQuery q;
+  q.query = QueryGraph::Simple("Germany", {"Country"}, "product",
+                               {"Automobile"});
+  q.function = AggregateFunction::kCount;
+  auto res = qga.Execute(q);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->value, 1.0);
+}
+
+// ---------- EAQ ----------
+
+TEST(EaqTest, SimpleQueriesOnly) {
+  auto f = BuildFigure1();
+  Eaq eaq(f.g, *f.embedding);
+  AggregateQuery q;
+  QueryBranch b;
+  b.specific_name = "Germany";
+  b.specific_types = {"Country"};
+  b.hops.push_back({"country", {"Company"}});
+  b.hops.push_back({"assembly", {"Automobile"}});
+  q.query = QueryGraph::Chain(b);
+  q.function = AggregateFunction::kCount;
+  auto res = eaq.Execute(q);
+  EXPECT_EQ(res.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(EaqTest, ThresholdsByLinkPredictionScore) {
+  const auto ds = KgGenerator::Generate(DatasetProfile::Mini(5));
+  ASSERT_TRUE(ds.ok());
+  Eaq eaq(ds->graph(), ds->reference_embedding());
+  auto q = WorkloadGenerator::SimpleQuery(*ds, 0, 0,
+                                          AggregateFunction::kCount);
+  auto res = eaq.Execute(q);
+  ASSERT_TRUE(res.ok()) << res.status();
+  // EAQ returns roughly the above-average-scored half of the candidates —
+  // far from the tau-relevant answer set (its Table VI/VII error source).
+  EXPECT_GT(res->answers.size(), 0u);
+}
+
+// ---------- AggregateOverAnswers ----------
+
+TEST(AggregateOverAnswersTest, FiltersAndMissingAttributes) {
+  auto f = BuildFigure1();
+  AggregateQuery q = GermanCarsAvgPrice();
+  q.filters.push_back({"price", 40000.0, 80000.0});
+  std::vector<NodeId> answers = {
+      f.g.FindNodeByName("BMW_320"),     // 47450 in range
+      f.g.FindNodeByName("Lamando"),     // 21500 below range
+      f.g.FindNodeByName("Peter_Schreyer"),  // no price -> dropped
+  };
+  auto res = AggregateOverAnswers(f.g, q, answers);
+  EXPECT_EQ(res.answers.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.value, 47450.0);
+}
+
+TEST(AggregateOverAnswersTest, GroupByBucketsValues) {
+  auto f = BuildFigure1();
+  AggregateQuery q = GermanCarsAvgPrice();
+  q.function = AggregateFunction::kCount;
+  q.attribute.clear();
+  q.group_by.attribute = "price";
+  q.group_by.bucket_width = 25000.0;
+  std::vector<NodeId> answers = {
+      f.g.FindNodeByName("BMW_320"),  // bucket 1 (47450)
+      f.g.FindNodeByName("BMW_X6"),   // bucket 2 (70100)
+      f.g.FindNodeByName("Lamando"),  // bucket 0 (21500)
+      f.g.FindNodeByName("Audi_TT"),  // bucket 2 (52000)
+  };
+  auto res = AggregateOverAnswers(f.g, q, answers);
+  EXPECT_EQ(res.group_values.size(), 3u);
+  EXPECT_DOUBLE_EQ(res.group_values.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(res.group_values.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(res.group_values.at(2), 2.0);
+}
+
+}  // namespace
+}  // namespace kgaq

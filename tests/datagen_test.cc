@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "baselines/ssb.h"
+#include "datagen/kg_generator.h"
+#include "datagen/workload_generator.h"
+
+namespace kgaq {
+namespace {
+
+const GeneratedDataset& Mini() {
+  static GeneratedDataset* ds = [] {
+    auto r = KgGenerator::Generate(DatasetProfile::Mini(7));
+    return new GeneratedDataset(std::move(*r));
+  }();
+  return *ds;
+}
+
+// ---------- KgGenerator ----------
+
+TEST(KgGeneratorTest, DeterministicForSameProfile) {
+  auto a = KgGenerator::Generate(DatasetProfile::Mini(3));
+  auto b = KgGenerator::Generate(DatasetProfile::Mini(3));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->graph().NumNodes(), b->graph().NumNodes());
+  EXPECT_EQ(a->graph().NumEdges(), b->graph().NumEdges());
+  EXPECT_EQ(a->graph().NumPredicates(), b->graph().NumPredicates());
+  // Same planted structure.
+  for (size_t d = 0; d < a->domains().size(); ++d) {
+    EXPECT_EQ(a->PlantedAnswers(d, a->hubs()[0]).size(),
+              b->PlantedAnswers(d, b->hubs()[0]).size());
+  }
+}
+
+TEST(KgGeneratorTest, DifferentSeedsDiffer) {
+  auto a = KgGenerator::Generate(DatasetProfile::Mini(3));
+  auto b = KgGenerator::Generate(DatasetProfile::Mini(4));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->graph().NumEdges(), b->graph().NumEdges());
+}
+
+TEST(KgGeneratorTest, ProfilesHaveTableIiiShape) {
+  auto db = KgGenerator::Generate(DatasetProfile::Dbpedia(0.5));
+  auto fb = KgGenerator::Generate(DatasetProfile::Freebase(0.5));
+  auto yg = KgGenerator::Generate(DatasetProfile::Yago2(0.5));
+  ASSERT_TRUE(db.ok() && fb.ok() && yg.ok());
+  // Freebase is densest; YAGO2 has the most nodes (Table III shape).
+  EXPECT_GT(fb->graph().AverageDegree(), db->graph().AverageDegree());
+  EXPECT_GT(yg->graph().NumNodes(), db->graph().NumNodes());
+}
+
+TEST(KgGeneratorTest, InvalidProfilesRejected) {
+  DatasetProfile p = DatasetProfile::Mini();
+  p.num_hubs = 1;
+  EXPECT_FALSE(KgGenerator::Generate(p).ok());
+  p = DatasetProfile::Mini();
+  p.num_domains = 99;
+  EXPECT_FALSE(KgGenerator::Generate(p).ok());
+}
+
+TEST(KgGeneratorTest, EveryNodeHasTypeAndHubsResolvable) {
+  const auto& ds = Mini();
+  const auto& g = ds.graph();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_GE(g.NodeTypes(u).size(), 1u);
+  }
+  for (NodeId hub : ds.hubs()) {
+    EXPECT_TRUE(g.HasType(hub, g.TypeIdOf("Country")));
+    EXPECT_EQ(g.FindNodeByName(g.NodeName(hub)), hub);
+  }
+}
+
+TEST(KgGeneratorTest, AnswersCarryDomainAttributes) {
+  const auto& ds = Mini();
+  const auto& g = ds.graph();
+  for (size_t d = 0; d < ds.domains().size(); ++d) {
+    const auto& dom = ds.domains()[d];
+    AttributeId a0 = g.AttributeIdOf(dom.attributes[0].name);
+    ASSERT_NE(a0, kInvalidId);
+    for (const auto& pa : ds.PlantedAnswers(d, ds.hubs()[0])) {
+      EXPECT_TRUE(g.Attribute(pa.answer, a0).has_value());
+      EXPECT_TRUE(g.HasType(pa.answer, g.TypeIdOf(dom.answer_type)));
+    }
+  }
+}
+
+TEST(KgGeneratorTest, QueryPredicatesExistInDictionary) {
+  const auto& ds = Mini();
+  for (const auto& dom : ds.domains()) {
+    EXPECT_NE(ds.graph().PredicateIdOf(dom.query_predicate), kInvalidId)
+        << dom.query_predicate;
+    EXPECT_NE(ds.graph().PredicateIdOf(dom.direct_predicate), kInvalidId);
+    EXPECT_NE(ds.graph().PredicateIdOf(dom.indirect_a), kInvalidId);
+    EXPECT_NE(ds.graph().PredicateIdOf(dom.indirect_b), kInvalidId);
+  }
+}
+
+TEST(KgGeneratorTest, ReferenceEmbeddingRealizesPlannedCosines) {
+  const auto& ds = Mini();
+  const auto& g = ds.graph();
+  const auto& e = ds.reference_embedding();
+  for (const auto& dom : ds.domains()) {
+    PredicateId q = g.PredicateIdOf(dom.query_predicate);
+    PredicateId direct = g.PredicateIdOf(dom.direct_predicate);
+    PredicateId ind_a = g.PredicateIdOf(dom.indirect_a);
+    // Planted base cosines: direct 0.96, indirect_a 0.95 (Mini: offset 0).
+    EXPECT_NEAR(e.PredicateCosine(direct, q), 0.96, 0.01);
+    EXPECT_NEAR(e.PredicateCosine(ind_a, q), 0.95, 0.01);
+    // Noise predicates are ~orthogonal.
+    PredicateId noise = g.PredicateIdOf("related_to_0");
+    if (noise != kInvalidId) {
+      EXPECT_LT(std::abs(e.PredicateCosine(noise, q)), 0.5);
+    }
+  }
+}
+
+TEST(KgGeneratorTest, RelevantFractionApproximatelyHonored) {
+  const auto& ds = Mini();
+  for (size_t d = 0; d < ds.domains().size(); ++d) {
+    size_t relevant = 0, total = 0;
+    for (NodeId hub : ds.hubs()) {
+      for (const auto& pa : ds.PlantedAnswers(d, hub)) {
+        ++total;
+        if (IsRelevantRole(pa.role)) ++relevant;
+      }
+    }
+    ASSERT_GT(total, 0u);
+    const double frac = static_cast<double>(relevant) / total;
+    // Second-hub co-attachments are always relevant, so the realized
+    // fraction sits at or slightly above the target.
+    EXPECT_GT(frac, ds.domains()[d].relevant_fraction - 0.15);
+    EXPECT_LT(frac, ds.domains()[d].relevant_fraction + 0.25);
+  }
+}
+
+// ---------- Annotation oracle vs tau-GT ----------
+
+TEST(AnnotationTest, HumanAnswersNonEmptyAndTyped) {
+  const auto& ds = Mini();
+  auto q = WorkloadGenerator::SimpleQuery(ds, 2, 0, AggregateFunction::kCount);
+  auto ha = ds.HumanCorrectAnswers(q);
+  ASSERT_TRUE(ha.ok()) << ha.status();
+  ASSERT_GT(ha->size(), 0u);
+  TypeId t = ds.graph().TypeIdOf(ds.domains()[2].answer_type);
+  for (NodeId u : *ha) {
+    EXPECT_TRUE(ds.graph().HasType(u, t));
+  }
+}
+
+TEST(AnnotationTest, UnknownHubFails) {
+  const auto& ds = Mini();
+  AggregateQuery q;
+  q.query = QueryGraph::Simple("Nowhere", {"Country"},
+                               ds.domains()[0].query_predicate,
+                               {ds.domains()[0].answer_type});
+  q.function = AggregateFunction::kCount;
+  EXPECT_FALSE(ds.HumanCorrectAnswers(q).ok());
+}
+
+TEST(AnnotationTest, TauGtMatchesHaGtAtOptimalTau) {
+  // Table V's premise: with the reference embedding and tau = 0.85 the
+  // tau-relevant and human-annotated answer sets nearly coincide.
+  const auto& ds = Mini();
+  Ssb ssb(ds.graph(), ds.reference_embedding(), {});
+  double jaccard_acc = 0;
+  int n = 0;
+  for (size_t d = 0; d < ds.domains().size(); ++d) {
+    auto q = WorkloadGenerator::SimpleQuery(ds, d, 1,
+                                            AggregateFunction::kCount);
+    auto gt = ssb.Execute(q);
+    auto ha = ds.HumanCorrectAnswers(q);
+    ASSERT_TRUE(gt.ok() && ha.ok());
+    std::set<NodeId> a(gt->answers.begin(), gt->answers.end());
+    std::set<NodeId> b(ha->begin(), ha->end());
+    std::vector<NodeId> inter;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(inter));
+    const size_t uni = a.size() + b.size() - inter.size();
+    if (uni == 0) continue;
+    jaccard_acc += static_cast<double>(inter.size()) / uni;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  // Mini-profile answer sets are tiny (a handful per hub), so a single
+  // borderline schema swings Jaccard by ~0.25; bench-scale datasets sit
+  // near 0.9+ at the optimal tau (see bench_table05_tau_jaccard).
+  EXPECT_GT(jaccard_acc / n, 0.65);
+}
+
+// ---------- WorkloadGenerator ----------
+
+TEST(WorkloadTest, GeneratesRequestedMix) {
+  const auto& ds = Mini();
+  WorkloadOptions opts;
+  opts.num_simple = 5;
+  opts.num_filter = 2;
+  opts.num_group_by = 1;
+  opts.num_chain = 2;
+  opts.num_star = 1;
+  opts.num_cycle = 1;
+  opts.num_flower = 1;
+  auto wl = WorkloadGenerator::Generate(ds, opts);
+  EXPECT_EQ(wl.size(), 13u);
+  size_t with_filters = 0, with_group = 0, chains = 0, complexes = 0;
+  for (const auto& bq : wl) {
+    EXPECT_FALSE(bq.id.empty());
+    EXPECT_TRUE(bq.query.Validate(ds.graph()).ok())
+        << bq.id << ": " << bq.query.Validate(ds.graph());
+    if (!bq.query.filters.empty()) ++with_filters;
+    if (bq.query.group_by.enabled()) ++with_group;
+    if (bq.query.query.shape == QueryShape::kChain) ++chains;
+    if (bq.query.query.branches.size() > 1) ++complexes;
+  }
+  EXPECT_EQ(with_filters, 2u);
+  EXPECT_EQ(with_group, 1u);
+  EXPECT_EQ(chains, 2u);
+  EXPECT_EQ(complexes, 3u);
+}
+
+TEST(WorkloadTest, IdsAreUniqueAndSequential) {
+  const auto& ds = Mini();
+  auto wl = WorkloadGenerator::Generate(ds, {});
+  std::unordered_set<std::string> ids;
+  for (const auto& bq : wl) ids.insert(bq.id);
+  EXPECT_EQ(ids.size(), wl.size());
+  EXPECT_EQ(wl.front().id, "Q1");
+}
+
+TEST(WorkloadTest, SimpleQueryBuilderFields) {
+  const auto& ds = Mini();
+  auto q = WorkloadGenerator::SimpleQuery(ds, 1, 2, AggregateFunction::kSum);
+  EXPECT_EQ(q.function, AggregateFunction::kSum);
+  EXPECT_EQ(q.attribute, ds.domains()[1].attributes[0].name);
+  EXPECT_EQ(q.query.branches[0].specific_name,
+            ds.graph().NodeName(ds.hubs()[2]));
+  EXPECT_TRUE(q.Validate(ds.graph()).ok());
+}
+
+TEST(WorkloadTest, ChainQueryHasTwoHops) {
+  const auto& ds = Mini();
+  auto q = WorkloadGenerator::ChainQuery(ds, 0, 0, AggregateFunction::kCount);
+  ASSERT_EQ(q.query.branches[0].hops.size(), 2u);
+  EXPECT_EQ(q.query.branches[0].hops[0].node_types[0],
+            ds.domains()[0].intermediate_type);
+  EXPECT_EQ(q.query.branches[0].hops[1].node_types[0],
+            ds.domains()[0].answer_type);
+  EXPECT_TRUE(q.Validate(ds.graph()).ok());
+}
+
+TEST(WorkloadTest, FilterQueriesKeepRoughlyHalf) {
+  const auto& ds = Mini();
+  WorkloadOptions opts;
+  opts.num_simple = 0;
+  opts.num_filter = 3;
+  opts.num_group_by = 0;
+  opts.num_chain = 0;
+  opts.num_star = 0;
+  opts.num_cycle = 0;
+  opts.num_flower = 0;
+  auto wl = WorkloadGenerator::Generate(ds, opts);
+  for (const auto& bq : wl) {
+    ASSERT_EQ(bq.query.filters.size(), 1u);
+    EXPECT_LT(bq.query.filters[0].lower, bq.query.filters[0].upper);
+  }
+}
+
+}  // namespace
+}  // namespace kgaq

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "embedding/embedding_io.h"
+#include "embedding/embedding_model.h"
+#include "embedding/predicate_similarity.h"
+#include "embedding/trainer.h"
+#include "embedding/vector_ops.h"
+#include "kg/graph_builder.h"
+
+namespace kgaq {
+namespace {
+
+// A KG where predicates "p_syn_a" and "p_syn_b" connect the *same* head
+// entities to the same tail hub (paraphrases), while "p_far" connects a
+// disjoint region — translation models should embed the synonyms nearby.
+Result<KnowledgeGraph> BuildSynonymGraph(int fan = 40) {
+  GraphBuilder b;
+  NodeId hub1 = b.AddNode("Hub1", {"H"});
+  NodeId hub2 = b.AddNode("Hub2", {"H"});
+  for (int i = 0; i < fan; ++i) {
+    NodeId u = b.AddNode("A" + std::to_string(i), {"A"});
+    b.AddEdge(u, "p_syn_a", hub1);
+    b.AddEdge(u, "p_syn_b", hub1);
+    NodeId v = b.AddNode("B" + std::to_string(i), {"B"});
+    b.AddEdge(v, "p_far", hub2);
+  }
+  return std::move(b).Build();
+}
+
+// ---------- vector ops ----------
+
+TEST(VectorOpsTest, DotAndNorm) {
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(Norm2(a), std::sqrt(14.0));
+}
+
+TEST(VectorOpsTest, CosineBoundsAndCases) {
+  std::vector<float> x = {1, 0};
+  std::vector<float> y = {0, 1};
+  std::vector<float> nx = {-1, 0};
+  std::vector<float> zero = {0, 0};
+  EXPECT_NEAR(CosineSimilarity(x, x), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity(x, y), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity(x, nx), -1.0, 1e-12);
+  EXPECT_EQ(CosineSimilarity(x, zero), 0.0);
+}
+
+TEST(VectorOpsTest, NormalizeProducesUnitVector) {
+  std::vector<float> v = {3, 4};
+  NormalizeInPlace(v);
+  EXPECT_NEAR(Norm2(v), 1.0, 1e-6);
+  EXPECT_NEAR(v[0], 0.6, 1e-6);
+}
+
+TEST(VectorOpsTest, NormalizeZeroIsNoop) {
+  std::vector<float> v = {0, 0, 0};
+  NormalizeInPlace(v);
+  EXPECT_EQ(v[0], 0.0f);
+}
+
+TEST(VectorOpsTest, AddScaled) {
+  std::vector<float> a = {1, 1};
+  std::vector<float> b = {2, 4};
+  AddScaled(a, b, 0.5);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[1], 3.0f);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  std::vector<float> a = {1, 2};
+  std::vector<float> b = {4, 6};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 9 + 16);
+}
+
+// ---------- FixedEmbedding ----------
+
+TEST(FixedEmbeddingTest, DimensionsAndZeroInit) {
+  FixedEmbedding e("test", 3, 2, 4, 4);
+  EXPECT_EQ(e.num_entities(), 3u);
+  EXPECT_EQ(e.num_predicates(), 2u);
+  EXPECT_EQ(e.entity_dim(), 4u);
+  for (float x : e.EntityVector(1)) EXPECT_EQ(x, 0.0f);
+  EXPECT_EQ(e.MemoryBytes(), (3 * 4 + 2 * 4) * sizeof(float));
+}
+
+TEST(FixedEmbeddingTest, TransEStyleScoring) {
+  FixedEmbedding e("test", 2, 1, 2, 2);
+  auto h = e.MutableEntityVector(0);
+  auto r = e.MutablePredicateVector(0);
+  auto t = e.MutableEntityVector(1);
+  h[0] = 1;
+  r[0] = 2;
+  t[0] = 3;  // h + r == t -> perfect score 0
+  EXPECT_DOUBLE_EQ(e.ScoreTriple(0, 0, 1), 0.0);
+  t[0] = 5;
+  EXPECT_DOUBLE_EQ(e.ScoreTriple(0, 0, 1), -4.0);
+}
+
+TEST(FixedEmbeddingTest, PredicateCosine) {
+  FixedEmbedding e("test", 1, 2, 2, 2);
+  e.MutablePredicateVector(0)[0] = 1;
+  e.MutablePredicateVector(1)[1] = 1;
+  EXPECT_NEAR(e.PredicateCosine(0, 1), 0.0, 1e-9);
+  EXPECT_NEAR(e.PredicateCosine(0, 0), 1.0, 1e-9);
+}
+
+// ---------- PredicateSimilarityCache ----------
+
+TEST(PredicateSimilarityCacheTest, ClampsToFloorAndOne) {
+  FixedEmbedding e("test", 1, 3, 2, 2);
+  e.MutablePredicateVector(0)[0] = 1;   // query
+  e.MutablePredicateVector(1)[0] = -1;  // opposite -> clamped to floor
+  e.MutablePredicateVector(2)[0] = 1;   // identical -> 1
+  PredicateSimilarityCache cache(e, 0);
+  EXPECT_DOUBLE_EQ(cache.Similarity(1), PredicateSimilarityCache::kDefaultFloor);
+  EXPECT_NEAR(cache.Similarity(2), 1.0, 1e-9);
+  EXPECT_EQ(cache.query_predicate(), 0u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PredicateSimilarityCacheTest, CustomFloor) {
+  FixedEmbedding e("test", 1, 2, 2, 2);
+  e.MutablePredicateVector(0)[0] = 1;
+  e.MutablePredicateVector(1)[1] = 1;  // orthogonal
+  PredicateSimilarityCache cache(e, 0, 0.25);
+  EXPECT_DOUBLE_EQ(cache.Similarity(1), 0.25);
+}
+
+// ---------- Trainers (parameterized across all five models) ----------
+
+class TrainerTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TrainerTest, ProducesFiniteModelWithDeclaredShapes) {
+  auto g = BuildSynonymGraph(20);
+  ASSERT_TRUE(g.ok());
+  EmbeddingTrainConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 5;
+  EmbeddingTrainStats stats;
+  auto model = TrainModelByName(GetParam(), *g, cfg, &stats);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ((*model)->name(), GetParam());
+  EXPECT_EQ((*model)->num_entities(), g->NumNodes());
+  EXPECT_EQ((*model)->num_predicates(), g->NumPredicates());
+  EXPECT_EQ((*model)->entity_dim(), 8u);
+  EXPECT_GT(stats.memory_bytes, 0u);
+  EXPECT_EQ(stats.num_triples, g->NumEdges());
+  for (PredicateId p = 0; p < g->NumPredicates(); ++p) {
+    for (float x : (*model)->PredicateVector(p)) {
+      EXPECT_TRUE(std::isfinite(x));
+    }
+  }
+  for (NodeId u = 0; u < g->NumNodes(); ++u) {
+    for (float x : (*model)->EntityVector(u)) {
+      EXPECT_TRUE(std::isfinite(x));
+    }
+  }
+  // Triple scoring must be finite and deterministic.
+  double s = (*model)->ScoreTriple(0, 0, 1);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_EQ(s, (*model)->ScoreTriple(0, 0, 1));
+}
+
+TEST_P(TrainerTest, PredicateDimMatchesFamily) {
+  auto g = BuildSynonymGraph(10);
+  ASSERT_TRUE(g.ok());
+  EmbeddingTrainConfig cfg;
+  cfg.dim = 6;
+  cfg.epochs = 2;
+  auto model = TrainModelByName(GetParam(), *g, cfg);
+  ASSERT_TRUE(model.ok());
+  const std::string name = GetParam();
+  if (name == "RESCAL") {
+    EXPECT_EQ((*model)->predicate_dim(), 36u);
+  } else if (name == "SE") {
+    EXPECT_EQ((*model)->predicate_dim(), 72u);
+  } else {
+    EXPECT_EQ((*model)->predicate_dim(), 6u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TrainerTest,
+                         ::testing::Values("TransE", "TransH", "TransD",
+                                           "RESCAL", "SE"));
+
+TEST(TrainerTest, UnknownModelNameRejected) {
+  auto g = BuildSynonymGraph(5);
+  ASSERT_TRUE(g.ok());
+  auto model = TrainModelByName("DistMult", *g, {});
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerTest, EmptyGraphRejected) {
+  GraphBuilder b;
+  b.AddNode("only", {"T"});
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  auto model = TrainTransE(*g, {});
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TrainerTest, ZeroDimRejected) {
+  auto g = BuildSynonymGraph(3);
+  ASSERT_TRUE(g.ok());
+  EmbeddingTrainConfig cfg;
+  cfg.dim = 0;
+  EXPECT_FALSE(TrainTransE(*g, cfg).ok());
+}
+
+TEST(TrainerTest, TransELearnsSynonymStructure) {
+  // Predicates used interchangeably between the same entity pairs should
+  // end up more similar to each other than to an unrelated predicate.
+  auto g = BuildSynonymGraph(60);
+  ASSERT_TRUE(g.ok());
+  EmbeddingTrainConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 80;
+  cfg.seed = 3;
+  auto model = TrainTransE(*g, cfg);
+  ASSERT_TRUE(model.ok());
+  PredicateId syn_a = g->PredicateIdOf("p_syn_a");
+  PredicateId syn_b = g->PredicateIdOf("p_syn_b");
+  PredicateId far = g->PredicateIdOf("p_far");
+  const double syn_cos = (*model)->PredicateCosine(syn_a, syn_b);
+  const double far_cos = (*model)->PredicateCosine(syn_a, far);
+  EXPECT_GT(syn_cos, far_cos + 0.2)
+      << "syn=" << syn_cos << " far=" << far_cos;
+}
+
+TEST(TrainerTest, DeterministicForSameSeed) {
+  auto g = BuildSynonymGraph(10);
+  ASSERT_TRUE(g.ok());
+  EmbeddingTrainConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 3;
+  cfg.seed = 42;
+  auto m1 = TrainTransE(*g, cfg);
+  auto m2 = TrainTransE(*g, cfg);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  auto v1 = (*m1)->PredicateVector(0);
+  auto v2 = (*m2)->PredicateVector(0);
+  for (size_t i = 0; i < v1.size(); ++i) EXPECT_EQ(v1[i], v2[i]);
+}
+
+// ---------- Embedding IO ----------
+
+TEST(EmbeddingIoTest, RoundTrip) {
+  auto g = BuildSynonymGraph(5);
+  ASSERT_TRUE(g.ok());
+  EmbeddingTrainConfig cfg;
+  cfg.dim = 4;
+  cfg.epochs = 2;
+  auto model = TrainTransE(*g, cfg);
+  ASSERT_TRUE(model.ok());
+
+  const std::string path = ::testing::TempDir() + "/emb_roundtrip.txt";
+  ASSERT_TRUE(SaveEmbedding(**model, path).ok());
+  auto loaded = LoadEmbedding(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->num_entities(), (*model)->num_entities());
+  EXPECT_EQ((*loaded)->entity_dim(), (*model)->entity_dim());
+  for (PredicateId p = 0; p < g->NumPredicates(); ++p) {
+    auto a = (*model)->PredicateVector(p);
+    auto b = (*loaded)->PredicateVector(p);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i], b[i], 1e-5);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadEmbedding("/no/such/file.emb").ok());
+}
+
+TEST(EmbeddingIoTest, GarbageFileFails) {
+  const std::string path = ::testing::TempDir() + "/garbage.emb";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("not an embedding\n", f);
+  fclose(f);
+  auto loaded = LoadEmbedding(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kgaq

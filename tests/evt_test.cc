@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "core/approx_engine.h"
+#include "datagen/kg_generator.h"
+#include "datagen/workload_generator.h"
+#include "estimate/evt.h"
+
+namespace kgaq {
+namespace {
+
+// Draws from a GPD(xi, sigma) via inverse transform.
+double GpdDraw(double xi, double sigma, Rng& rng) {
+  const double u = rng.NextDouble();
+  if (std::abs(xi) < 1e-9) return -sigma * std::log(1 - u);
+  return sigma / xi * (std::pow(1 - u, -xi) - 1.0);
+}
+
+// ---------- GPD fitting ----------
+
+class GpdFitTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GpdFitTest, PwmRecoversShapeAndScale) {
+  const double xi = GetParam();
+  const double sigma = 2.5;
+  Rng rng(42);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(GpdDraw(xi, sigma, rng));  // threshold 0
+  }
+  auto fit = FitGpdPwm(values, 0.0);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.xi, xi, 0.08) << "xi";
+  EXPECT_NEAR(fit.sigma, sigma, 0.25) << "sigma";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GpdFitTest,
+                         ::testing::Values(-0.4, -0.2, 0.0, 0.2, 0.4));
+
+TEST(GpdFitTest, TooFewExceedancesFails) {
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  auto fit = FitGpdPwm(values, 0.0, 8);
+  EXPECT_FALSE(fit.ok);
+}
+
+TEST(GpdFitTest, QuantileMonotoneInP) {
+  GpdFit fit;
+  fit.ok = true;
+  fit.xi = 0.1;
+  fit.sigma = 1.0;
+  fit.threshold = 5.0;
+  double prev = GpdQuantile(fit, 0.5);
+  for (double p = 0.6; p < 0.999; p += 0.05) {
+    double q = GpdQuantile(fit, p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+  EXPECT_GE(GpdQuantile(fit, 0.5), fit.threshold);
+}
+
+TEST(GpdFitTest, ExponentialLimitAtZeroXi) {
+  GpdFit fit;
+  fit.ok = true;
+  fit.xi = 0.0;
+  fit.sigma = 2.0;
+  fit.threshold = 0.0;
+  // Exponential quantile: -sigma ln(1-p).
+  EXPECT_NEAR(GpdQuantile(fit, 0.95), -2.0 * std::log(0.05), 1e-9);
+}
+
+// ---------- Extreme estimation ----------
+
+std::vector<SampleItem> LogNormalSample(size_t population, size_t draws,
+                                        Rng& rng, double* true_max) {
+  // Population of lognormal values, uniform sampling probabilities.
+  std::vector<double> pop(population);
+  *true_max = 0;
+  for (auto& v : pop) {
+    v = std::exp(10.0 + 0.5 * rng.NextGaussian());
+    *true_max = std::max(*true_max, v);
+  }
+  std::vector<SampleItem> sample;
+  for (size_t i = 0; i < draws; ++i) {
+    size_t pick = rng.NextBounded(population);
+    sample.push_back({static_cast<NodeId>(pick), pop[pick],
+                      1.0 / static_cast<double>(population), true});
+  }
+  return sample;
+}
+
+TEST(EvtEstimateTest, BeatsNaiveSampleMaxOnAverage) {
+  // With 30% of the population sampled, the naive sample max is biased
+  // low; the EVT extrapolation should land closer to the true max on
+  // average across repetitions.
+  Rng rng(7);
+  double naive_err = 0, evt_err = 0;
+  const int reps = 30;
+  for (int r = 0; r < reps; ++r) {
+    double true_max = 0;
+    auto sample = LogNormalSample(400, 120, rng, &true_max);
+    double naive = HtEstimator::Estimate(AggregateFunction::kMax, sample);
+    double evt = EstimateExtremeEvt(AggregateFunction::kMax, sample);
+    naive_err += std::abs(naive - true_max) / true_max;
+    evt_err += std::abs(evt - true_max) / true_max;
+    // EVT never reports below the observed extreme.
+    EXPECT_GE(evt, naive);
+  }
+  EXPECT_LT(evt_err / reps, naive_err / reps)
+      << "evt=" << evt_err / reps << " naive=" << naive_err / reps;
+}
+
+TEST(EvtEstimateTest, MinMirrorsMax) {
+  Rng rng(9);
+  double true_max = 0;
+  auto sample = LogNormalSample(400, 150, rng, &true_max);
+  const double evt_min = EstimateExtremeEvt(AggregateFunction::kMin, sample);
+  double observed_min = 1e300;
+  for (const auto& it : sample) observed_min = std::min(observed_min, it.value);
+  EXPECT_LE(evt_min, observed_min);  // extrapolates at or below observed
+  EXPECT_GT(evt_min, 0.0);
+}
+
+TEST(EvtEstimateTest, FallsBackOnTinySamples) {
+  std::vector<SampleItem> sample = {{0, 5.0, 0.5, true},
+                                    {1, 7.0, 0.5, true}};
+  EXPECT_DOUBLE_EQ(EstimateExtremeEvt(AggregateFunction::kMax, sample), 7.0);
+  EXPECT_DOUBLE_EQ(EstimateExtremeEvt(AggregateFunction::kMin, sample), 5.0);
+}
+
+TEST(EvtEstimateTest, NoCorrectDrawsYieldsZero) {
+  std::vector<SampleItem> sample = {{0, 5.0, 0.5, false}};
+  EXPECT_EQ(EstimateExtremeEvt(AggregateFunction::kMax, sample), 0.0);
+}
+
+// ---------- Engine integration ----------
+
+TEST(EvtEngineTest, EvtMaxAtLeastSampleMax) {
+  auto ds = KgGenerator::Generate(DatasetProfile::Mini(7));
+  ASSERT_TRUE(ds.ok());
+  auto q = WorkloadGenerator::SimpleQuery(*ds, 2, 0, AggregateFunction::kMax);
+
+  EngineOptions plain;
+  plain.seed = 5;
+  auto naive =
+      ApproxEngine(ds->graph(), ds->reference_embedding(), plain).Execute(q);
+  EngineOptions evt = plain;
+  evt.use_evt_for_extremes = true;
+  auto extrapolated =
+      ApproxEngine(ds->graph(), ds->reference_embedding(), evt).Execute(q);
+  ASSERT_TRUE(naive.ok() && extrapolated.ok());
+  EXPECT_GE(extrapolated->v_hat, naive->v_hat);
+  EXPECT_FALSE(extrapolated->satisfied);  // still no formal guarantee
+}
+
+}  // namespace
+}  // namespace kgaq

@@ -1,0 +1,189 @@
+// End-to-end pipeline tests: generate a dataset, train an embedding,
+// answer aggregate queries approximately, and compare against both the
+// tau-relevant (SSB) and human-annotated ground truths — the full loop the
+// paper's evaluation runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/exact_matcher.h"
+#include "baselines/ssb.h"
+#include "core/approx_engine.h"
+#include "datagen/kg_generator.h"
+#include "datagen/workload_generator.h"
+#include "datagen/tau_tuning.h"
+#include "embedding/trainer.h"
+#include "estimate/accuracy.h"
+#include "kg/tsv_loader.h"
+
+namespace kgaq {
+namespace {
+
+const GeneratedDataset& Mini() {
+  static GeneratedDataset* ds = [] {
+    auto r = KgGenerator::Generate(DatasetProfile::Mini(11));
+    return new GeneratedDataset(std::move(*r));
+  }();
+  return *ds;
+}
+
+TEST(IntegrationTest, GeneratedGraphSurvivesTsvRoundTrip) {
+  const auto& ds = Mini();
+  std::string text = TsvLoader::SaveString(ds.graph());
+  auto g2 = TsvLoader::LoadString(text);
+  ASSERT_TRUE(g2.ok()) << g2.status();
+  EXPECT_EQ(g2->NumNodes(), ds.graph().NumNodes());
+  EXPECT_EQ(g2->NumEdges(), ds.graph().NumEdges());
+  EXPECT_EQ(g2->NumPredicates(), ds.graph().NumPredicates());
+  EXPECT_EQ(g2->NumAttributes(), ds.graph().NumAttributes());
+}
+
+TEST(IntegrationTest, EngineTracksSsbAcrossWholeWorkload) {
+  // A denser-than-Mini profile so that filtered / intersected answer sets
+  // stay statistically meaningful.
+  DatasetProfile profile = DatasetProfile::Mini(11);
+  profile.answers_per_hub_per_domain = 40;
+  profile.num_hubs = 5;
+  auto generated = KgGenerator::Generate(profile);
+  ASSERT_TRUE(generated.ok());
+  const GeneratedDataset& ds = *generated;
+  const auto& model = ds.reference_embedding();
+  EngineOptions opts;
+  opts.error_bound = 0.05;
+  ApproxEngine engine(ds.graph(), model, opts);
+  Ssb ssb(ds.graph(), model, {});
+  WorkloadOptions wopts;
+  wopts.num_simple = 6;
+  wopts.num_filter = 2;
+  wopts.num_group_by = 0;
+  wopts.num_chain = 2;
+  wopts.num_star = 1;
+  wopts.num_cycle = 1;
+  wopts.num_flower = 1;
+  auto wl = WorkloadGenerator::Generate(ds, wopts);
+  int evaluated = 0;
+  double worst = 0;
+  for (const auto& bq : wl) {
+    auto gt = ssb.Execute(bq.query);
+    ASSERT_TRUE(gt.ok()) << bq.id << ": " << gt.status();
+    if (gt->value <= 0 || gt->answers.size() < 5) continue;  // degenerate
+    auto res = engine.Execute(bq.query);
+    ASSERT_TRUE(res.ok()) << bq.id << ": " << res.status();
+    const double rel = std::abs(res->v_hat - gt->value) / gt->value;
+    worst = std::max(worst, rel);
+    ++evaluated;
+    EXPECT_LT(rel, 0.25) << bq.id << " (" << bq.text << ") v_hat="
+                         << res->v_hat << " gt=" << gt->value;
+  }
+  EXPECT_GE(evaluated, 6);
+}
+
+TEST(IntegrationTest, TrainedTransEBeatsExactMatcherOnHaGt) {
+  // The headline claim reproduced end to end with a *learned* embedding:
+  // sampling-estimation with trained TransE approximates the
+  // human-annotated ground truth far better than exact-schema matching.
+  // tau is tuned per (dataset, embedding) by the Table V sweep, exactly as
+  // the paper's domain expert does.
+  auto generated = KgGenerator::Generate(DatasetProfile::Dbpedia(0.6));
+  ASSERT_TRUE(generated.ok());
+  const GeneratedDataset& ds = *generated;
+  EmbeddingTrainConfig cfg;
+  cfg.dim = 32;
+  cfg.epochs = 80;
+  cfg.negatives_per_positive = 2;
+  cfg.seed = 5;
+  auto trained = TrainTransE(ds.graph(), cfg);
+  ASSERT_TRUE(trained.ok());
+
+  auto tau = TuneTau(ds, **trained);
+  ASSERT_TRUE(tau.ok()) << tau.status();
+
+  EngineOptions opts;
+  opts.error_bound = 0.02;
+  opts.tau = *tau;
+  ApproxEngine engine(ds.graph(), **trained, opts);
+  ExactMatcher exact(ds.graph());
+
+  double engine_err = 0, exact_err = 0;
+  int n = 0;
+  for (size_t d = 0; d < 3; ++d) {
+    auto q = WorkloadGenerator::SimpleQuery(ds, d, 0,
+                                            AggregateFunction::kCount);
+    auto ha = ds.HumanGroundTruth(q);
+    ASSERT_TRUE(ha.ok());
+    if (*ha < 3) continue;
+    auto res = engine.Execute(q);
+    ASSERT_TRUE(res.ok()) << res.status();
+    auto ex = exact.Execute(q);
+    ASSERT_TRUE(ex.ok());
+    engine_err += std::abs(res->v_hat - *ha) / *ha;
+    exact_err += std::abs(ex->value - *ha) / *ha;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  engine_err /= n;
+  exact_err /= n;
+  // Exact matching misses every non-literal schema: its error is large.
+  // A TransE trained on this modest synthetic KG separates direct
+  // paraphrases from noise but not 2-hop compositions (see DESIGN.md), so
+  // the engine recovers the direct fraction of HA — strictly better than
+  // literal matching, if far from the reference-embedding regime.
+  EXPECT_GT(exact_err, 0.3);
+  EXPECT_LT(engine_err, exact_err)
+      << "engine=" << engine_err << " exact=" << exact_err;
+}
+
+TEST(IntegrationTest, InteractiveErrorBoundSweep) {
+  // Fig. 6(a): tightening eb from 5% to 1% refines the result with
+  // incremental work only.
+  const auto& ds = Mini();
+  EngineOptions opts;
+  ApproxEngine engine(ds.graph(), ds.reference_embedding(), opts);
+  auto q = WorkloadGenerator::SimpleQuery(ds, 2, 0, AggregateFunction::kAvg);
+  auto session = engine.CreateSession(q);
+  ASSERT_TRUE(session.ok());
+  size_t prev_draws = 0;
+  for (double eb : {0.05, 0.04, 0.03, 0.02, 0.01}) {
+    auto res = (*session)->RunToErrorBound(eb);
+    EXPECT_TRUE(res.satisfied) << "eb=" << eb;
+    EXPECT_LE(res.moe, MoeTargetFor(res.v_hat, eb) + 1e-9);
+    EXPECT_GE(res.total_draws, prev_draws);
+    prev_draws = res.total_draws;
+  }
+}
+
+TEST(IntegrationTest, EngineAgreesWithSsbOnGroupBuckets) {
+  const auto& ds = Mini();
+  const auto& dom = ds.domains()[2];
+  std::string attr;
+  double width = 0;
+  for (const auto& a : dom.attributes) {
+    if (a.kind == AttributeSpec::Kind::kUniform) {
+      attr = a.name;
+      width = (a.b - a.a) / 3.0;
+      break;
+    }
+  }
+  if (attr.empty()) GTEST_SKIP();
+  EngineOptions opts;
+  opts.error_bound = 0.05;
+  ApproxEngine engine(ds.graph(), ds.reference_embedding(), opts);
+  Ssb ssb(ds.graph(), ds.reference_embedding(), {});
+  auto q = WorkloadGenerator::SimpleQuery(ds, 2, 0, AggregateFunction::kCount);
+  q.group_by.attribute = attr;
+  q.group_by.bucket_width = width;
+  auto gt = ssb.Execute(q);
+  auto res = engine.Execute(q);
+  ASSERT_TRUE(gt.ok() && res.ok());
+  for (const auto& ge : res->groups) {
+    const int64_t key =
+        static_cast<int64_t>(std::floor(ge.bucket_lower / width + 0.5));
+    auto it = gt->group_values.find(key);
+    if (it == gt->group_values.end() || it->second < 5) continue;
+    EXPECT_LT(std::abs(ge.v_hat - it->second) / it->second, 0.35)
+        << "bucket " << key;
+  }
+}
+
+}  // namespace
+}  // namespace kgaq

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kg/bfs.h"
+#include "kg/dictionary.h"
+#include "kg/graph_builder.h"
+#include "kg/knowledge_graph.h"
+#include "kg/tsv_loader.h"
+
+namespace kgaq {
+namespace {
+
+// Builds the KG of the paper's Figure 3(a): Germany and its neighborhood.
+Result<KnowledgeGraph> BuildFigure3Graph() {
+  GraphBuilder b;
+  NodeId germany = b.AddNode("Germany", {"Country"});
+  NodeId peter = b.AddNode("Peter_Schreyer", {"Person"});
+  NodeId kia = b.AddNode("KIA_K5", {"Automobile"});
+  NodeId bmw = b.AddNode("BMW_320", {"Automobile"});
+  NodeId vw = b.AddNode("Volkswagen", {"Company"});
+  NodeId audi = b.AddNode("Audi_TT", {"Automobile"});
+  NodeId merkel = b.AddNode("Angela_Merkel", {"Person"});
+  NodeId berlin = b.AddNode("Berlin", {"City"});
+  b.AddEdge(kia, "designer", peter);
+  b.AddEdge(peter, "nationality", germany);
+  b.AddEdge(bmw, "assembly", germany);
+  b.AddEdge(vw, "country", germany);
+  b.AddEdge(audi, "assembly", vw);
+  b.AddEdge(merkel, "nationality", germany);
+  b.AddEdge(berlin, "capital_of", germany);
+  b.SetAttribute(bmw, "price", 47450.0);
+  b.SetAttribute(bmw, "horsepower", 335.0);
+  b.SetAttribute(audi, "price", 64300.0);
+  b.SetAttribute(kia, "price", 23900.0);
+  return std::move(b).Build();
+}
+
+// ---------- Dictionary ----------
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern("a"), 0u);
+  EXPECT_EQ(d.Intern("b"), 1u);
+  EXPECT_EQ(d.Intern("a"), 0u);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, LookupMissReturnsInvalid) {
+  Dictionary d;
+  EXPECT_EQ(d.Lookup("missing"), kInvalidId);
+  EXPECT_FALSE(d.Contains("missing"));
+}
+
+TEST(DictionaryTest, NameRoundTrips) {
+  Dictionary d;
+  uint32_t id = d.Intern("assembly");
+  EXPECT_EQ(d.name(id), "assembly");
+  EXPECT_TRUE(d.Contains("assembly"));
+}
+
+TEST(DictionaryTest, EmptyStringIsInternable) {
+  Dictionary d;
+  uint32_t id = d.Intern("");
+  EXPECT_EQ(d.Lookup(""), id);
+}
+
+// ---------- GraphBuilder / KnowledgeGraph ----------
+
+TEST(GraphBuilderTest, BuildsFigure3Graph) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 8u);
+  EXPECT_EQ(g->NumEdges(), 7u);
+  EXPECT_EQ(g->NumPredicates(), 5u);
+}
+
+TEST(GraphBuilderTest, DuplicateNodeNamesMerge) {
+  GraphBuilder b;
+  NodeId a1 = b.AddNode("X", {"T1"});
+  NodeId a2 = b.AddNode("X", {"T2"});
+  EXPECT_EQ(a1, a2);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 1u);
+  EXPECT_TRUE(g->HasType(a1, g->TypeIdOf("T1")));
+  EXPECT_TRUE(g->HasType(a1, g->TypeIdOf("T2")));
+}
+
+TEST(GraphBuilderTest, TypelessNodeFailsBuild) {
+  GraphBuilder b;
+  b.AddNode("lonely", {});
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(KnowledgeGraphTest, NeighborsContainBothOrientations) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  NodeId germany = g->FindNodeByName("Germany");
+  ASSERT_NE(germany, kInvalidId);
+  // Germany has 5 incident triples, all stored pointing *to* it.
+  EXPECT_EQ(g->Degree(germany), 5u);
+  for (const Neighbor& nb : g->Neighbors(germany)) {
+    EXPECT_FALSE(nb.forward);  // all arcs at Germany are reversed
+  }
+  NodeId bmw = g->FindNodeByName("BMW_320");
+  bool found = false;
+  for (const Neighbor& nb : g->Neighbors(bmw)) {
+    if (nb.node == germany) {
+      EXPECT_TRUE(nb.forward);
+      EXPECT_EQ(g->predicates().name(nb.predicate), "assembly");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KnowledgeGraphTest, AttributesRoundTrip) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  NodeId bmw = g->FindNodeByName("BMW_320");
+  AttributeId price = g->AttributeIdOf("price");
+  AttributeId hp = g->AttributeIdOf("horsepower");
+  ASSERT_NE(price, kInvalidId);
+  EXPECT_DOUBLE_EQ(g->Attribute(bmw, price).value(), 47450.0);
+  EXPECT_DOUBLE_EQ(g->Attribute(bmw, hp).value(), 335.0);
+  NodeId berlin = g->FindNodeByName("Berlin");
+  EXPECT_FALSE(g->Attribute(berlin, price).has_value());
+}
+
+TEST(KnowledgeGraphTest, SetAttributeOverwrites) {
+  GraphBuilder b;
+  NodeId u = b.AddNode("u", {"T"});
+  b.SetAttribute(u, "x", 1.0);
+  b.SetAttribute(u, "x", 2.0);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->Attribute(u, g->AttributeIdOf("x")).value(), 2.0);
+}
+
+TEST(KnowledgeGraphTest, NodesWithTypeIndex) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  TypeId autot = g->TypeIdOf("Automobile");
+  auto autos = g->NodesWithType(autot);
+  EXPECT_EQ(autos.size(), 3u);
+  for (NodeId u : autos) {
+    EXPECT_TRUE(g->HasType(u, autot));
+  }
+  EXPECT_TRUE(g->NodesWithType(kInvalidId).empty());
+}
+
+TEST(KnowledgeGraphTest, FindNodeByNameMiss) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->FindNodeByName("Atlantis"), kInvalidId);
+}
+
+TEST(KnowledgeGraphTest, AverageDegreeMatchesDefinition) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->AverageDegree(), 2.0 * 7 / 8);
+}
+
+// ---------- BFS ----------
+
+TEST(BfsTest, ZeroHopsIsJustSource) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  NodeId germany = g->FindNodeByName("Germany");
+  auto scope = BoundedBfs(*g, germany, 0);
+  EXPECT_EQ(scope.nodes.size(), 1u);
+  EXPECT_EQ(scope.nodes[0], germany);
+  EXPECT_EQ(scope.distance[germany], 0);
+}
+
+TEST(BfsTest, DistancesRespectHops) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  NodeId germany = g->FindNodeByName("Germany");
+  auto scope = BoundedBfs(*g, germany, 1);
+  // 1 hop: 5 direct neighbors + source.
+  EXPECT_EQ(scope.nodes.size(), 6u);
+  NodeId audi = g->FindNodeByName("Audi_TT");
+  EXPECT_FALSE(scope.Contains(audi));  // Audi is 2 hops away via VW
+
+  auto scope2 = BoundedBfs(*g, germany, 2);
+  EXPECT_TRUE(scope2.Contains(audi));
+  EXPECT_EQ(scope2.distance[audi], 2);
+  // KIA is 2 hops via Peter_Schreyer.
+  EXPECT_EQ(scope2.distance[g->FindNodeByName("KIA_K5")], 2);
+}
+
+TEST(BfsTest, AllNodesReachedWithLargeBound) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  auto scope = BoundedBfs(*g, g->FindNodeByName("Germany"), 10);
+  EXPECT_EQ(scope.nodes.size(), g->NumNodes());
+}
+
+TEST(BfsTest, BfsOrderIsDistanceNondecreasing) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  auto scope = BoundedBfs(*g, g->FindNodeByName("Germany"), 3);
+  for (size_t i = 1; i < scope.nodes.size(); ++i) {
+    EXPECT_LE(scope.distance[scope.nodes[i - 1]],
+              scope.distance[scope.nodes[i]]);
+  }
+}
+
+TEST(BfsTest, InvalidSourceYieldsEmptyScope) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  auto scope = BoundedBfs(*g, kInvalidId, 2);
+  EXPECT_TRUE(scope.nodes.empty());
+}
+
+// ---------- TsvLoader ----------
+
+TEST(TsvLoaderTest, RoundTripPreservesGraph) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  std::string text = TsvLoader::SaveString(*g);
+  auto g2 = TsvLoader::LoadString(text);
+  ASSERT_TRUE(g2.ok()) << g2.status();
+  EXPECT_EQ(g2->NumNodes(), g->NumNodes());
+  EXPECT_EQ(g2->NumEdges(), g->NumEdges());
+  EXPECT_EQ(g2->NumPredicates(), g->NumPredicates());
+  NodeId bmw = g2->FindNodeByName("BMW_320");
+  ASSERT_NE(bmw, kInvalidId);
+  EXPECT_DOUBLE_EQ(g2->Attribute(bmw, g2->AttributeIdOf("price")).value(),
+                   47450.0);
+}
+
+TEST(TsvLoaderTest, CommentsAndBlankLinesSkipped) {
+  auto g = TsvLoader::LoadString(
+      "# a comment\n\nN\tA\tT\nN\tB\tT\n# another\nE\tA\tp\tB\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 2u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(TsvLoaderTest, EdgeToUndeclaredNodeFails) {
+  auto g = TsvLoader::LoadString("N\tA\tT\nE\tA\tp\tGhost\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TsvLoaderTest, BadAttributeValueFails) {
+  auto g = TsvLoader::LoadString("N\tA\tT\nA\tA\tprice\ttwelve\n");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(TsvLoaderTest, UnknownTagFails) {
+  auto g = TsvLoader::LoadString("Z\tA\tT\n");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(TsvLoaderTest, NodeWithoutTypesFails) {
+  auto g = TsvLoader::LoadString("N\tA\t\n");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(TsvLoaderTest, MissingFileIsIoError) {
+  auto g = TsvLoader::LoadFile("/nonexistent/path/to/kg.tsv");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace kgaq

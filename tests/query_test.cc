@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "kg/graph_builder.h"
+#include "query/aggregate.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+namespace {
+
+Result<KnowledgeGraph> BuildTinyGraph() {
+  GraphBuilder b;
+  NodeId de = b.AddNode("Germany", {"Country"});
+  NodeId car = b.AddNode("BMW_320", {"Automobile"});
+  NodeId co = b.AddNode("Volkswagen", {"Company"});
+  b.AddEdge(car, "assembly", de);
+  b.AddEdge(co, "country", de);
+  b.SetAttribute(car, "price", 47450.0);
+  b.SetAttribute(car, "fuel_economy", 28.0);
+  return std::move(b).Build();
+}
+
+// ---------- AggregateFunction ----------
+
+TEST(AggregateTest, ApplyCount) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(ApplyAggregate(AggregateFunction::kCount, v), 3.0);
+  EXPECT_DOUBLE_EQ(ApplyAggregate(AggregateFunction::kCount, {}), 0.0);
+}
+
+TEST(AggregateTest, ApplySumAvg) {
+  std::vector<double> v = {1.5, 2.5, 6.0};
+  EXPECT_DOUBLE_EQ(ApplyAggregate(AggregateFunction::kSum, v), 10.0);
+  EXPECT_DOUBLE_EQ(ApplyAggregate(AggregateFunction::kAvg, v), 10.0 / 3);
+  EXPECT_DOUBLE_EQ(ApplyAggregate(AggregateFunction::kSum, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ApplyAggregate(AggregateFunction::kAvg, {}), 0.0);
+}
+
+TEST(AggregateTest, ApplyMaxMin) {
+  std::vector<double> v = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(ApplyAggregate(AggregateFunction::kMax, v), 7.0);
+  EXPECT_DOUBLE_EQ(ApplyAggregate(AggregateFunction::kMin, v), -1.0);
+}
+
+TEST(AggregateTest, NameRoundTrip) {
+  for (auto f : {AggregateFunction::kCount, AggregateFunction::kSum,
+                 AggregateFunction::kAvg, AggregateFunction::kMax,
+                 AggregateFunction::kMin}) {
+    auto parsed = ParseAggregateFunction(AggregateFunctionToString(f));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, f);
+  }
+  EXPECT_FALSE(ParseAggregateFunction("MEDIAN").ok());
+}
+
+TEST(AggregateTest, GuaranteeClassification) {
+  EXPECT_TRUE(HasAccuracyGuarantee(AggregateFunction::kCount));
+  EXPECT_TRUE(HasAccuracyGuarantee(AggregateFunction::kSum));
+  EXPECT_TRUE(HasAccuracyGuarantee(AggregateFunction::kAvg));
+  EXPECT_FALSE(HasAccuracyGuarantee(AggregateFunction::kMax));
+  EXPECT_FALSE(HasAccuracyGuarantee(AggregateFunction::kMin));
+}
+
+// ---------- QueryGraph builders ----------
+
+TEST(QueryGraphTest, SimpleBuilder) {
+  auto q = QueryGraph::Simple("Germany", {"Country"}, "product",
+                              {"Automobile"});
+  EXPECT_EQ(q.shape, QueryShape::kSimple);
+  ASSERT_EQ(q.branches.size(), 1u);
+  EXPECT_EQ(q.branches[0].hops.size(), 1u);
+  EXPECT_EQ(q.branches[0].target_types().at(0), "Automobile");
+}
+
+TEST(QueryGraphTest, ChainBuilder) {
+  QueryBranch b;
+  b.specific_name = "Germany";
+  b.specific_types = {"Country"};
+  b.hops = {{"nationality", {"Person"}}, {"designer", {"Automobile"}}};
+  auto q = QueryGraph::Chain(b);
+  EXPECT_EQ(q.shape, QueryShape::kChain);
+  EXPECT_EQ(q.branches[0].target_types().at(0), "Automobile");
+}
+
+TEST(QueryGraphTest, ShapeNames) {
+  EXPECT_STREQ(QueryShapeToString(QueryShape::kSimple), "Simple");
+  EXPECT_STREQ(QueryShapeToString(QueryShape::kFlower), "Flower");
+}
+
+// ---------- Validation ----------
+
+TEST(QueryValidateTest, ValidSimpleQuery) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  auto q = QueryGraph::Simple("Germany", {"Country"}, "product",
+                              {"Automobile"});
+  EXPECT_TRUE(q.Validate(*g).ok());
+}
+
+TEST(QueryValidateTest, MissingSpecificNode) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  auto q =
+      QueryGraph::Simple("Atlantis", {"Country"}, "product", {"Automobile"});
+  EXPECT_EQ(q.Validate(*g).code(), StatusCode::kNotFound);
+}
+
+TEST(QueryValidateTest, WrongSpecificType) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  auto q =
+      QueryGraph::Simple("Germany", {"Automobile"}, "product", {"Automobile"});
+  EXPECT_EQ(q.Validate(*g).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryValidateTest, EmptyBranchesRejected) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  QueryGraph q;
+  EXPECT_FALSE(q.Validate(*g).ok());
+}
+
+TEST(QueryValidateTest, SimpleWithTwoHopsRejected) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  QueryGraph q = QueryGraph::Simple("Germany", {"Country"}, "product",
+                                    {"Automobile"});
+  q.branches[0].hops.push_back({"x", {"T"}});
+  EXPECT_FALSE(q.Validate(*g).ok());
+}
+
+TEST(QueryValidateTest, ComplexNeedsTwoBranches) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  auto simple = QueryGraph::Simple("Germany", {"Country"}, "product",
+                                   {"Automobile"});
+  QueryGraph q = QueryGraph::Complex(QueryShape::kStar, simple.branches);
+  EXPECT_FALSE(q.Validate(*g).ok());
+}
+
+TEST(QueryValidateTest, ComplexBranchesMustShareTargetType) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  auto b1 = QueryGraph::Simple("Germany", {"Country"}, "product",
+                               {"Automobile"})
+                .branches[0];
+  auto b2 =
+      QueryGraph::Simple("Germany", {"Country"}, "country", {"Company"})
+          .branches[0];
+  auto q = QueryGraph::Complex(QueryShape::kStar, {b1, b2});
+  EXPECT_FALSE(q.Validate(*g).ok());
+  auto b3 = QueryGraph::Simple("Germany", {"Country"}, "assembly",
+                               {"Automobile"})
+                .branches[0];
+  auto q2 = QueryGraph::Complex(QueryShape::kStar, {b1, b3});
+  EXPECT_TRUE(q2.Validate(*g).ok());
+}
+
+TEST(QueryValidateTest, HopWithoutTypesRejected) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  QueryGraph q = QueryGraph::Simple("Germany", {"Country"}, "product", {});
+  // Builder stores empty target types; Definition 3 requires them.
+  EXPECT_FALSE(q.Validate(*g).ok());
+}
+
+TEST(AggregateQueryValidateTest, SumRequiresAttribute) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  AggregateQuery q;
+  q.query = QueryGraph::Simple("Germany", {"Country"}, "product",
+                               {"Automobile"});
+  q.function = AggregateFunction::kSum;
+  EXPECT_FALSE(q.Validate(*g).ok());
+  q.attribute = "price";
+  EXPECT_TRUE(q.Validate(*g).ok());
+  q.attribute = "nonexistent";
+  EXPECT_EQ(q.Validate(*g).code(), StatusCode::kNotFound);
+}
+
+TEST(AggregateQueryValidateTest, CountNeedsNoAttribute) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  AggregateQuery q;
+  q.query = QueryGraph::Simple("Germany", {"Country"}, "product",
+                               {"Automobile"});
+  q.function = AggregateFunction::kCount;
+  EXPECT_TRUE(q.Validate(*g).ok());
+}
+
+TEST(AggregateQueryValidateTest, FilterValidation) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  AggregateQuery q;
+  q.query = QueryGraph::Simple("Germany", {"Country"}, "product",
+                               {"Automobile"});
+  q.function = AggregateFunction::kCount;
+  q.filters.push_back({"fuel_economy", 25.0, 30.0});
+  EXPECT_TRUE(q.Validate(*g).ok());
+  q.filters[0] = {"fuel_economy", 30.0, 25.0};  // inverted bounds
+  EXPECT_FALSE(q.Validate(*g).ok());
+  q.filters[0] = {"missing_attr", 0.0, 1.0};
+  EXPECT_EQ(q.Validate(*g).code(), StatusCode::kNotFound);
+}
+
+TEST(AggregateQueryValidateTest, GroupByValidation) {
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  AggregateQuery q;
+  q.query = QueryGraph::Simple("Germany", {"Country"}, "product",
+                               {"Automobile"});
+  q.function = AggregateFunction::kCount;
+  q.group_by.attribute = "price";
+  q.group_by.bucket_width = 1000.0;
+  EXPECT_TRUE(q.Validate(*g).ok());
+  q.group_by.bucket_width = 0.0;
+  EXPECT_FALSE(q.Validate(*g).ok());
+  q.group_by.bucket_width = 10.0;
+  q.group_by.attribute = "missing";
+  EXPECT_EQ(q.Validate(*g).code(), StatusCode::kNotFound);
+}
+
+TEST(AggregateQueryValidateTest, UnknownPredicateAllowed) {
+  // Unknown predicates are allowed by Validate (embedding may still place
+  // them); the engine rejects them later if unresolvable.
+  auto g = BuildTinyGraph();
+  ASSERT_TRUE(g.ok());
+  AggregateQuery q;
+  q.query = QueryGraph::Simple("Germany", {"Country"}, "made_in",
+                               {"Automobile"});
+  q.function = AggregateFunction::kCount;
+  EXPECT_TRUE(q.Validate(*g).ok());
+}
+
+}  // namespace
+}  // namespace kgaq

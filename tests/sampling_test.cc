@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "embedding/embedding_model.h"
+#include "embedding/predicate_similarity.h"
+#include "kg/bfs.h"
+#include "kg/graph_builder.h"
+#include "sampling/answer_sampler.h"
+#include "sampling/cnarw.h"
+#include "sampling/node2vec.h"
+#include "sampling/random_walk.h"
+#include "sampling/transition_model.h"
+
+namespace kgaq {
+namespace {
+
+struct Fixture {
+  KnowledgeGraph g;
+  std::unique_ptr<FixedEmbedding> embedding;
+  NodeId source;
+};
+
+// Hub with two "good" (high-similarity) answers, one "bad" answer behind a
+// low-similarity edge, and chaff.
+Fixture MakeFixture() {
+  GraphBuilder b;
+  NodeId hub = b.AddNode("hub", {"Country"});
+  NodeId good1 = b.AddNode("good1", {"Automobile"});
+  NodeId good2 = b.AddNode("good2", {"Automobile"});
+  NodeId bad = b.AddNode("bad", {"Automobile"});
+  NodeId mid = b.AddNode("mid", {"Company"});
+  NodeId chaff = b.AddNode("chaff", {"Person"});
+  b.AddEdge(good1, "rel_hi", hub);
+  b.AddEdge(good2, "rel_hi", mid);
+  b.AddEdge(mid, "rel_mid", hub);
+  b.AddEdge(bad, "rel_lo", hub);
+  b.AddEdge(chaff, "rel_lo", hub);
+  // Odd cycle hub-chaff-mid-hub: keeps the chain aperiodic enough to mix
+  // within the iteration budget (trees are bipartite; the tiny source
+  // self-loop alone mixes too slowly). Real KGs have abundant odd cycles.
+  b.AddEdge(chaff, "rel_lo", mid);
+  auto g = std::move(b).Build();
+  Fixture f{std::move(*g), nullptr, hub};
+  f.embedding = std::make_unique<FixedEmbedding>(
+      "planted", f.g.NumNodes(), f.g.NumPredicates(), 4, 4);
+  auto plant = [&](const char* name, double cos) {
+    // Distinct orthogonal axes per predicate so planted cosines are exact.
+    PredicateId p = f.g.PredicateIdOf(name);
+    auto v = f.embedding->MutablePredicateVector(p);
+    v[0] = static_cast<float>(cos);
+    v[1 + p % 3] = static_cast<float>(std::sqrt(1 - cos * cos));
+  };
+  plant("rel_hi", 0.95);
+  plant("rel_mid", 0.85);
+  plant("rel_lo", 0.15);
+  return f;
+}
+
+// ---------- TransitionModel ----------
+
+TEST(TransitionModelTest, RowsAreStochastic) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding,
+                                f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  for (size_t u = 0; u < tm.NumScopeNodes(); ++u) {
+    double total = 0.0;
+    for (const auto& arc : tm.Arcs(u)) {
+      EXPECT_GT(arc.probability, 0.0);
+      total += arc.probability;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "row " << u;
+  }
+}
+
+TEST(TransitionModelTest, SourceHasSelfLoop) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  bool self = false;
+  for (const auto& arc : tm.Arcs(tm.SourceLocal())) {
+    if (arc.target == tm.SourceLocal()) self = true;
+  }
+  EXPECT_TRUE(self);  // Lemma 2: aperiodicity via source self-loop
+}
+
+TEST(TransitionModelTest, HigherSimilarityGetsHigherProbability) {
+  // Eq. 5 / Example 4: out of the hub, the rel_hi arc must beat rel_lo.
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  double p_good = 0, p_bad = 0;
+  const uint32_t good1 = tm.LocalId(f.g.FindNodeByName("good1"));
+  const uint32_t bad = tm.LocalId(f.g.FindNodeByName("bad"));
+  for (const auto& arc : tm.Arcs(tm.SourceLocal())) {
+    if (arc.target == good1) p_good += arc.probability;
+    if (arc.target == bad) p_bad += arc.probability;
+  }
+  EXPECT_GT(p_good, p_bad * 3);
+}
+
+TEST(TransitionModelTest, ScopeRestriction) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 1);  // 1-hop only
+  TransitionModel tm(f.g, scope, sims);
+  // good2 is 2 hops away -> outside scope.
+  EXPECT_EQ(tm.LocalId(f.g.FindNodeByName("good2")), kInvalidId);
+  EXPECT_NE(tm.LocalId(f.g.FindNodeByName("good1")), kInvalidId);
+  // Arcs never point outside the scope.
+  for (size_t u = 0; u < tm.NumScopeNodes(); ++u) {
+    for (const auto& arc : tm.Arcs(u)) {
+      EXPECT_LT(arc.target, tm.NumScopeNodes());
+    }
+  }
+}
+
+TEST(TransitionModelTest, ExactAndRejectionSamplersAgree) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  Rng rng(5);
+  const size_t local = tm.SourceLocal();
+  std::vector<double> freq_exact(tm.NumScopeNodes(), 0);
+  std::vector<double> freq_rej(tm.NumScopeNodes(), 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    freq_exact[tm.SampleNext(local, rng)] += 1.0 / n;
+    freq_rej[tm.SampleNextRejection(local, rng)] += 1.0 / n;
+  }
+  for (size_t u = 0; u < tm.NumScopeNodes(); ++u) {
+    EXPECT_NEAR(freq_exact[u], freq_rej[u], 0.01);
+  }
+}
+
+// ---------- Stationary distribution ----------
+
+TEST(StationaryTest, ConvergesAndSumsToOne) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  // The toy fixture mixes slowly (few odd cycles); a practical tolerance
+  // converges well inside the budget.
+  StationaryOptions opts;
+  opts.max_iterations = 800;
+  opts.tolerance = 1e-10;
+  auto st = ComputeStationaryDistribution(tm, opts);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(st.iterations, 800u);
+  double total = std::accumulate(st.pi.begin(), st.pi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (double p : st.pi) EXPECT_GT(p, 0.0);  // irreducible (Lemma 1)
+}
+
+TEST(StationaryTest, IsFixedPoint) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  auto st = ComputeStationaryDistribution(tm);
+  // pi P == pi.
+  std::vector<double> next(st.pi.size(), 0.0);
+  for (size_t u = 0; u < st.pi.size(); ++u) {
+    for (const auto& arc : tm.Arcs(u)) {
+      next[arc.target] += st.pi[u] * arc.probability;
+    }
+  }
+  for (size_t u = 0; u < st.pi.size(); ++u) {
+    EXPECT_NEAR(next[u], st.pi[u], 1e-9);
+  }
+}
+
+TEST(StationaryTest, MatchesEmpiricalWalkFrequencies) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  auto st = ComputeStationaryDistribution(tm);
+  Rng rng(9);
+  auto freq = SimulateWalkFrequencies(tm, 400000, 1000, rng);
+  for (size_t u = 0; u < st.pi.size(); ++u) {
+    EXPECT_NEAR(freq[u], st.pi[u], 0.01) << "node " << u;
+  }
+}
+
+TEST(StationaryTest, GoodAnswersGetMoreMass) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  auto st = ComputeStationaryDistribution(tm);
+  const double pi_good = st.pi[tm.LocalId(f.g.FindNodeByName("good1"))];
+  const double pi_bad = st.pi[tm.LocalId(f.g.FindNodeByName("bad"))];
+  EXPECT_GT(pi_good, 2 * pi_bad);
+}
+
+// ---------- AnswerSampler ----------
+
+TEST(AnswerSamplerTest, RestrictsToTargetTypesAndNormalizes) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  auto st = ComputeStationaryDistribution(tm);
+  std::vector<TypeId> types = {f.g.TypeIdOf("Automobile")};
+  AnswerSampler sampler(f.g, tm, st.pi, types);
+  EXPECT_EQ(sampler.NumCandidates(), 3u);  // good1, good2, bad
+  double total = 0.0;
+  for (size_t i = 0; i < sampler.NumCandidates(); ++i) {
+    EXPECT_TRUE(f.g.HasType(sampler.CandidateNode(i), types[0]));
+    total += sampler.CandidateProbability(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The source itself and non-matching nodes are excluded.
+  EXPECT_EQ(sampler.ProbabilityOf(f.source), 0.0);
+  EXPECT_EQ(sampler.ProbabilityOf(f.g.FindNodeByName("chaff")), 0.0);
+}
+
+TEST(AnswerSamplerTest, DrawFrequenciesMatchProbabilities) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  auto st = ComputeStationaryDistribution(tm);
+  std::vector<TypeId> types = {f.g.TypeIdOf("Automobile")};
+  AnswerSampler sampler(f.g, tm, st.pi, types);
+  Rng rng(21);
+  auto draws = sampler.Draw(200000, rng);
+  std::vector<double> freq(sampler.NumCandidates(), 0.0);
+  for (size_t i : draws) freq[i] += 1.0 / draws.size();
+  for (size_t i = 0; i < sampler.NumCandidates(); ++i) {
+    EXPECT_NEAR(freq[i], sampler.CandidateProbability(i), 0.01);
+  }
+}
+
+TEST(AnswerSamplerTest, WalkingDrawMatchesIidDraw) {
+  // Theorem 1: the continuous-walk collection realizes the same
+  // distribution as i.i.d. draws from pi_A.
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  auto st = ComputeStationaryDistribution(tm);
+  std::vector<TypeId> types = {f.g.TypeIdOf("Automobile")};
+  AnswerSampler sampler(f.g, tm, st.pi, types);
+  Rng rng(33);
+  auto walked = sampler.DrawByWalking(100000, rng);
+  ASSERT_EQ(walked.size(), 100000u);
+  std::vector<double> freq(sampler.NumCandidates(), 0.0);
+  for (size_t i : walked) freq[i] += 1.0 / walked.size();
+  for (size_t i = 0; i < sampler.NumCandidates(); ++i) {
+    EXPECT_NEAR(freq[i], sampler.CandidateProbability(i), 0.02);
+  }
+}
+
+TEST(AnswerSamplerTest, EmptyCandidatesSafe) {
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  auto st = ComputeStationaryDistribution(tm);
+  std::vector<TypeId> types = {};  // nothing matches
+  AnswerSampler sampler(f.g, tm, st.pi, types);
+  EXPECT_EQ(sampler.NumCandidates(), 0u);
+  Rng rng(1);
+  EXPECT_TRUE(sampler.Draw(10, rng).empty());
+  EXPECT_TRUE(sampler.DrawByWalking(10, rng).empty());
+}
+
+// ---------- CNARW / Node2Vec (topology-aware ablation baselines) ----------
+
+TEST(CnarwTest, BuildsStochasticModelIgnoringSemantics) {
+  Fixture f = MakeFixture();
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm = BuildCnarwTransitionModel(f.g, scope);
+  for (size_t u = 0; u < tm.NumScopeNodes(); ++u) {
+    double total = 0.0;
+    for (const auto& arc : tm.Arcs(u)) total += arc.probability;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  // CNARW does not favor the semantically good edge the way Eq. 5 does:
+  // out of the hub, good1 and bad have identical topology, so their
+  // transition probabilities are (near) equal.
+  double p_good = 0, p_bad = 0;
+  const uint32_t good1 = tm.LocalId(f.g.FindNodeByName("good1"));
+  const uint32_t bad = tm.LocalId(f.g.FindNodeByName("bad"));
+  for (const auto& arc : tm.Arcs(tm.SourceLocal())) {
+    if (arc.target == good1) p_good += arc.probability;
+    if (arc.target == bad) p_bad += arc.probability;
+  }
+  EXPECT_NEAR(p_good, p_bad, 1e-9);
+}
+
+TEST(Node2VecTest, ProducesNormalizedCandidateDistribution) {
+  Fixture f = MakeFixture();
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  Rng rng(7);
+  Node2VecSampler::Options opts;
+  opts.walk_steps = 20000;
+  Node2VecSampler sampler(f.g, scope, {f.g.TypeIdOf("Automobile")}, opts,
+                          rng);
+  EXPECT_EQ(sampler.NumCandidates(), 3u);
+  double total = 0.0;
+  for (size_t i = 0; i < sampler.NumCandidates(); ++i) {
+    total += sampler.CandidateProbability(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  auto draws = sampler.Draw(1000, rng);
+  EXPECT_EQ(draws.size(), 1000u);
+  for (size_t i : draws) EXPECT_LT(i, sampler.NumCandidates());
+}
+
+}  // namespace
+}  // namespace kgaq

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embedding/embedding_model.h"
+#include "embedding/predicate_similarity.h"
+#include "kg/graph_builder.h"
+#include "semsim/path.h"
+#include "semsim/path_enumerator.h"
+#include "semsim/semantic_similarity.h"
+
+namespace kgaq {
+namespace {
+
+// Planted embedding giving each predicate a chosen cosine to predicate 0.
+std::unique_ptr<FixedEmbedding> PlantCosines(
+    const KnowledgeGraph& g, const std::vector<std::pair<std::string, double>>&
+                                 cosines) {
+  auto e = std::make_unique<FixedEmbedding>("planted", g.NumNodes(),
+                                            g.NumPredicates(), 4, 4);
+  for (PredicateId p = 0; p < g.NumPredicates(); ++p) {
+    double c = 0.1;
+    for (const auto& [name, cos] : cosines) {
+      if (g.predicates().name(p) == name) {
+        c = cos;
+        break;
+      }
+    }
+    auto v = e->MutablePredicateVector(p);
+    v[0] = static_cast<float>(c);
+    v[1 + p % 2] = static_cast<float>(std::sqrt(1 - c * c));
+  }
+  return e;
+}
+
+// The paper's Figure 3(a) neighborhood.
+Result<KnowledgeGraph> BuildFigure3Graph() {
+  GraphBuilder b;
+  NodeId germany = b.AddNode("Germany", {"Country"});
+  NodeId peter = b.AddNode("Peter_Schreyer", {"Person"});
+  NodeId kia = b.AddNode("KIA_K5", {"Automobile"});
+  NodeId bmw = b.AddNode("BMW_320", {"Automobile"});
+  NodeId vw = b.AddNode("Volkswagen", {"Company"});
+  NodeId audi = b.AddNode("Audi_TT", {"Automobile"});
+  b.AddEdge(kia, "designer", peter);
+  b.AddEdge(peter, "nationality", germany);
+  b.AddEdge(bmw, "assembly", germany);
+  b.AddEdge(vw, "country", germany);
+  b.AddEdge(audi, "assembly", vw);
+  // Anchor edge so the query predicate "product" exists in the dictionary
+  // without perturbing Germany's neighborhood (the anchors are
+  // unreachable from it).
+  NodeId a1 = b.AddNode("anchor1", {"Thing"});
+  NodeId a2 = b.AddNode("anchor2", {"Thing"});
+  b.AddEdge(a1, "product", a2);
+  return std::move(b).Build();
+}
+
+const std::vector<std::pair<std::string, double>> kFigure3Cosines = {
+    {"product", 1.0},  {"assembly", 0.98},    {"country", 0.81},
+    {"designer", 0.34}, {"nationality", 0.14},
+};
+
+// ---------- PathSimilarity (Eq. 2) ----------
+
+TEST(PathSimilarityTest, SingleEdgeIsItsSimilarity) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  auto e = PlantCosines(*g, kFigure3Cosines);
+  // Use "assembly" as the query predicate: similarity to itself is 1.
+  PredicateSimilarityCache sims(*e, g->PredicateIdOf("assembly"));
+  std::vector<PredicateId> preds = {g->PredicateIdOf("assembly")};
+  EXPECT_NEAR(PathSimilarity(preds, sims), 1.0, 1e-9);
+}
+
+TEST(PathSimilarityTest, GeometricMeanOfTwoEdges) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  auto e = PlantCosines(*g, kFigure3Cosines);
+  PredicateId product = g->PredicateIdOf("product");
+  ASSERT_NE(product, kInvalidId);
+  PredicateSimilarityCache sims(*e, product);
+  std::vector<PredicateId> preds = {g->PredicateIdOf("assembly"),
+                                    g->PredicateIdOf("country")};
+  // Example 3: sqrt(0.98 * 0.81) ~= 0.89.
+  EXPECT_NEAR(PathSimilarity(preds, sims),
+              std::sqrt(sims.Similarity(preds[0]) *
+                        sims.Similarity(preds[1])),
+              1e-9);
+  EXPECT_NEAR(PathSimilarity(preds, sims), 0.89, 0.01);
+}
+
+TEST(PathSimilarityTest, EmptyPathIsZero) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  auto e = PlantCosines(*g, kFigure3Cosines);
+  PredicateSimilarityCache sims(*e, 0);
+  EXPECT_EQ(PathSimilarity(std::span<const PredicateId>{}, sims), 0.0);
+}
+
+TEST(PathSimilarityTest, LongerPathCanBeatShorter) {
+  // §III Remark (1): a longer path may be semantically closer than a
+  // shorter one — geometric mean of {0.98, 0.81} beats a single 0.34 edge.
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  auto e = PlantCosines(*g, kFigure3Cosines);
+  PredicateSimilarityCache sims(*e, g->PredicateIdOf("product"));
+  std::vector<PredicateId> long_path = {g->PredicateIdOf("assembly"),
+                                        g->PredicateIdOf("country")};
+  std::vector<PredicateId> short_path = {g->PredicateIdOf("designer")};
+  EXPECT_GT(PathSimilarity(long_path, sims),
+            PathSimilarity(short_path, sims));
+}
+
+// ---------- Path ----------
+
+TEST(PathTest, EndAndLength) {
+  Path p;
+  p.start = 3;
+  EXPECT_EQ(p.end(), 3u);
+  EXPECT_TRUE(p.empty());
+  p.steps.push_back({0, 7});
+  EXPECT_EQ(p.end(), 7u);
+  EXPECT_EQ(p.length(), 1u);
+}
+
+TEST(PathTest, ToStringRendersChain) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  NodeId audi = g->FindNodeByName("Audi_TT");
+  NodeId vw = g->FindNodeByName("Volkswagen");
+  NodeId de = g->FindNodeByName("Germany");
+  Path p;
+  p.start = audi;
+  p.steps.push_back({g->PredicateIdOf("assembly"), vw});
+  p.steps.push_back({g->PredicateIdOf("country"), de});
+  EXPECT_EQ(p.ToString(*g),
+            "Audi_TT -assembly-> Volkswagen -country-> Germany");
+}
+
+// ---------- PathEnumerator ----------
+
+TEST(PathEnumeratorTest, CountsSimplePathsOnTriangle) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("a", {"T"});
+  NodeId x = b.AddNode("x", {"T"});
+  NodeId y = b.AddNode("y", {"T"});
+  b.AddEdge(a, "p", x);
+  b.AddEdge(x, "p", y);
+  b.AddEdge(y, "p", a);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  int count = 0;
+  PathEnumerator::EnumerateAll(*g, a, 2, [&](const Path&) {
+    ++count;
+    return true;
+  });
+  // From a (triangle, both arc orientations): length-1 paths a->x, a->y;
+  // length-2: a->x->y, a->y->x. Total 4.
+  EXPECT_EQ(count, 4);
+}
+
+TEST(PathEnumeratorTest, VisitorAbort) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  int count = 0;
+  PathEnumerator::EnumerateAll(*g, g->FindNodeByName("Germany"), 3,
+                               [&](const Path&) { return ++count < 3; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PathEnumeratorTest, ZeroHopsNoPaths) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  int count = 0;
+  PathEnumerator::EnumerateAll(*g, 0, 0, [&](const Path&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PathEnumeratorTest, BestSimilaritiesMatchPaperExample) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  auto e = PlantCosines(*g, kFigure3Cosines);
+  PredicateSimilarityCache sims(*e, g->PredicateIdOf("product"));
+  NodeId de = g->FindNodeByName("Germany");
+  auto best = PathEnumerator::BestSimilarities(*g, de, 3, sims);
+  NodeId bmw = g->FindNodeByName("BMW_320");
+  NodeId audi = g->FindNodeByName("Audi_TT");
+  NodeId kia = g->FindNodeByName("KIA_K5");
+  ASSERT_TRUE(best.count(bmw));
+  EXPECT_NEAR(best[bmw], sims.Similarity(g->PredicateIdOf("assembly")),
+              1e-9);
+  // Audi via Volkswagen: sqrt(s(country) * s(assembly)).
+  EXPECT_NEAR(best[audi],
+              std::sqrt(sims.Similarity(g->PredicateIdOf("country")) *
+                        sims.Similarity(g->PredicateIdOf("assembly"))),
+              1e-9);
+  // KIA via Peter: sqrt(s(nationality) * s(designer)) — low.
+  EXPECT_LT(best[kia], 0.5);
+}
+
+TEST(PathEnumeratorTest, BestMatchToReturnsWitnessPath) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  auto e = PlantCosines(*g, kFigure3Cosines);
+  PredicateSimilarityCache sims(*e, g->PredicateIdOf("product"));
+  NodeId de = g->FindNodeByName("Germany");
+  NodeId audi = g->FindNodeByName("Audi_TT");
+  auto match = PathEnumerator::BestMatchTo(*g, de, audi, 3, sims);
+  EXPECT_GT(match.similarity, 0.8);
+  EXPECT_EQ(match.path.end(), audi);
+  EXPECT_EQ(match.path.length(), 2u);
+}
+
+TEST(PathEnumeratorTest, BestMatchToUnreachable) {
+  GraphBuilder b;
+  b.AddNode("a", {"T"});
+  b.AddNode("island", {"T"});
+  NodeId a2 = b.AddNode("a2", {"T"});
+  b.AddEdge(0, "p", a2);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  FixedEmbedding e("x", g->NumNodes(), g->NumPredicates(), 2, 2);
+  PredicateSimilarityCache sims(e, 0);
+  auto match = PathEnumerator::BestMatchTo(*g, 0, 1, 3, sims);
+  EXPECT_EQ(match.similarity, 0.0);
+  EXPECT_TRUE(match.path.empty());
+}
+
+TEST(PathEnumeratorTest, BestLogSumsByLengthConsistentWithBestSim) {
+  auto g = BuildFigure3Graph();
+  ASSERT_TRUE(g.ok());
+  auto e = PlantCosines(*g, kFigure3Cosines);
+  PredicateSimilarityCache sims(*e, g->PredicateIdOf("product"));
+  NodeId de = g->FindNodeByName("Germany");
+  auto by_len = PathEnumerator::BestLogSumsByLength(*g, de, 3, sims);
+  auto best = PathEnumerator::BestSimilarities(*g, de, 3, sims);
+  for (const auto& [node, row] : by_len) {
+    double best_from_rows = 0.0;
+    for (size_t len = 1; len < row.size(); ++len) {
+      if (std::isfinite(row[len])) {
+        best_from_rows = std::max(
+            best_from_rows, std::exp(row[len] / static_cast<double>(len)));
+      }
+    }
+    EXPECT_NEAR(best_from_rows, best[node], 1e-9)
+        << "node " << g->NodeName(node);
+  }
+}
+
+}  // namespace
+}  // namespace kgaq
