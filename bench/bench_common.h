@@ -210,4 +210,50 @@ inline void PrintHeader(const char* title) {
 
 }  // namespace kgaq::bench
 
+// google-benchmark-based harnesses (bench_micro) define
+// KGAQ_BENCH_USE_GOOGLE_BENCHMARK before including this header; the
+// table/figure reproductions are plain mains and must not pull in the
+// benchmark library.
+#ifdef KGAQ_BENCH_USE_GOOGLE_BENCHMARK
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+namespace kgaq::bench {
+
+/// Runs the registered benchmarks, defaulting --benchmark_out to
+/// `default_out` in JSON format so every invocation leaves a
+/// machine-readable result file (explicit --benchmark_out wins).
+inline int RunBenchmarksWithJsonDefault(int argc, char** argv,
+                                        const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exactly --benchmark_out or --benchmark_out=<file>; must not match
+    // --benchmark_out_format, which alone names no output file.
+    if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+        std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag, format_flag;
+  if (!has_out) {
+    out_flag = std::string("--benchmark_out=") + default_out;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace kgaq::bench
+#endif  // KGAQ_BENCH_USE_GOOGLE_BENCHMARK
+
 #endif  // KGAQ_BENCH_BENCH_COMMON_H_

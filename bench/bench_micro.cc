@@ -1,13 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the pipeline's hot paths:
-// transition-model construction, stationary-distribution convergence,
-// answer draws, greedy validation, HT estimation, and the Poissonized BLB.
-// These back the design choices called out in DESIGN.md §4.
+// weighted draws (alias vs the replaced CDF binary search), vector kernels
+// (scalar vs vectorized), transition-model construction, stationary-
+// distribution convergence, answer draws, greedy validation, HT estimation,
+// and the Poissonized BLB. Results are also written to BENCH_micro.json.
+#define KGAQ_BENCH_USE_GOOGLE_BENCHMARK 1
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "embedding/vector_ops.h"
 #include "estimate/bootstrap.h"
 #include "estimate/ht_estimator.h"
 #include "kg/bfs.h"
+#include "sampling/alias_table.h"
 #include "sampling/answer_sampler.h"
 #include "sampling/random_walk.h"
 
@@ -100,6 +104,132 @@ void BM_GreedyValidationBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyValidationBatch);
 
+// ---------- weighted draws: alias table vs the replaced CDF path ----------
+
+const std::vector<double>& BenchWeights(size_t n) {
+  static std::map<size_t, std::vector<double>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Rng rng(17);
+    std::vector<double> w(n);
+    for (double& x : w) x = 0.05 + rng.NextDouble();
+    it = cache.emplace(n, std::move(w)).first;
+  }
+  return it->second;
+}
+
+void BM_WeightedDrawAlias(benchmark::State& state) {
+  const auto& weights = BenchWeights(static_cast<size_t>(state.range(0)));
+  AliasTable table{std::span<const double>(weights)};
+  Rng rng(23);
+  std::vector<size_t> out;
+  for (auto _ : state) {
+    table.Draw(1024, rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_WeightedDrawAlias)
+    ->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_WeightedDrawCdf(benchmark::State& state) {
+  // The pre-alias hot path: one lower_bound over the cumulative
+  // distribution per draw (O(log n)).
+  const auto& weights = BenchWeights(static_cast<size_t>(state.range(0)));
+  double total = 0.0;
+  for (double w : weights) total += w;
+  std::vector<double> cumulative(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total;
+    cumulative[i] = acc;
+  }
+  cumulative.back() = 1.0;
+  Rng rng(23);
+  std::vector<size_t> out;
+  for (auto _ : state) {
+    out.clear();
+    for (size_t i = 0; i < 1024; ++i) {
+      auto it = std::lower_bound(cumulative.begin(), cumulative.end(),
+                                 rng.NextDouble());
+      if (it == cumulative.end()) --it;
+      out.push_back(static_cast<size_t>(it - cumulative.begin()));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_WeightedDrawCdf)
+    ->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_AliasTableBuild(benchmark::State& state) {
+  const auto& weights = BenchWeights(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    AliasTable table{std::span<const double>(weights)};
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+BENCHMARK(BM_AliasTableBuild)->Arg(1000)->Arg(100000);
+
+// ---------- vector kernels: scalar reference vs shipped ----------
+
+std::vector<float> BenchVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+void BM_DotScalar(benchmark::State& state) {
+  const auto a = BenchVector(static_cast<size_t>(state.range(0)), 1);
+  const auto b = BenchVector(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scalar::Dot(a, b));
+  }
+}
+BENCHMARK(BM_DotScalar)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DotVectorized(benchmark::State& state) {
+  const auto a = BenchVector(static_cast<size_t>(state.range(0)), 1);
+  const auto b = BenchVector(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a, b));
+  }
+}
+BENCHMARK(BM_DotVectorized)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CosineScalar(benchmark::State& state) {
+  const auto a = BenchVector(static_cast<size_t>(state.range(0)), 3);
+  const auto b = BenchVector(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scalar::CosineSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_CosineScalar)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CosineVectorized(benchmark::State& state) {
+  const auto a = BenchVector(static_cast<size_t>(state.range(0)), 3);
+  const auto b = BenchVector(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_CosineVectorized)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CosineSimilarityMany(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t dim = 128;
+  const auto query = BenchVector(dim, 5);
+  const auto matrix = BenchVector(rows * dim, 6);
+  std::vector<double> out(rows);
+  for (auto _ : state) {
+    CosineSimilarityMany(query, matrix, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_CosineSimilarityMany)->Arg(100)->Arg(1000);
+
 std::vector<SampleItem> MakeItems(size_t n) {
   Rng rng(3);
   std::vector<SampleItem> items(n);
@@ -134,4 +264,7 @@ BENCHMARK(BM_BagOfLittleBootstraps)->Arg(1000)->Arg(10000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return kgaq::bench::RunBenchmarksWithJsonDefault(argc, argv,
+                                                   "BENCH_micro.json");
+}

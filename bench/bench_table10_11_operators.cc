@@ -38,7 +38,8 @@ int main() {
   std::vector<BenchmarkQuery> extreme_queries;
   for (size_t d = 0; d < 3; ++d) {
     BenchmarkQuery bq;
-    bq.id = "X" + std::to_string(d);
+    bq.id = "X";
+    bq.id += std::to_string(d);
     bq.query = WorkloadGenerator::SimpleQuery(
         ds, d, d + 1, d % 2 == 0 ? AggregateFunction::kMax
                                  : AggregateFunction::kMin);

@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace kgaq {
@@ -57,12 +58,36 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ThreadPool& GlobalPool() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(2u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_.Submit([this, task = std::move(task)] {
+    task();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& body) {
+  TaskGroup group(pool);
   for (size_t i = 0; i < n; ++i) {
-    pool.Submit([i, &body] { body(i); });
+    group.Submit([i, &body] { body(i); });
   }
-  pool.Wait();
+  group.Wait();
 }
 
 }  // namespace kgaq

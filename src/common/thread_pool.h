@@ -14,9 +14,9 @@ namespace kgaq {
 /// A fixed-size worker pool.
 ///
 /// The chain-query engine (§V of the paper) runs each second-stage sampling
-/// "as a thread"; ChainEngine submits those samplings here. Tasks are plain
-/// std::function<void()>; synchronization of results is the caller's job
-/// (see ParallelFor for the common fork-join case).
+/// "as a thread"; BranchSampler submits those samplings here. Tasks are
+/// plain std::function<void()>; synchronization of results is the caller's
+/// job (see TaskGroup / ParallelFor for the common fork-join case).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -29,7 +29,9 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing. On a shared
+  /// pool this includes tasks submitted by other callers; prefer TaskGroup
+  /// for fork-join over the shared GlobalPool().
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -46,7 +48,40 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
-/// Runs body(i) for i in [0, n) across the pool and joins.
+/// The process-wide shared worker pool, sized to the hardware concurrency
+/// and constructed on first use. Sharing one pool across every sampler and
+/// session avoids the thread-spawn cost that a per-Build local pool paid on
+/// each chain query, and keeps total threads bounded under concurrent
+/// sessions. Never destroyed (workers would otherwise race static
+/// destruction at exit).
+ThreadPool& GlobalPool();
+
+/// Fork-join scope over a (possibly shared) pool: counts only its own
+/// tasks, so concurrent TaskGroups on GlobalPool() wait independently.
+/// Do not call Wait() from inside a task running on the same pool.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `task` on the pool and tracks it in this group.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted through THIS group has finished.
+  void Wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mu_;
+  std::condition_variable done_;
+  size_t pending_ = 0;
+};
+
+/// Runs body(i) for i in [0, n) across the pool and joins. Safe on the
+/// shared GlobalPool(): only its own iterations are awaited.
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& body);
 

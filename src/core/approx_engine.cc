@@ -75,13 +75,7 @@ Result<std::unique_ptr<InteractiveSession>> ApproxEngine::CreateSession(
       for (double& p : session->probabilities_) p /= total;
     }
   }
-  session->cumulative_.resize(session->probabilities_.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < session->probabilities_.size(); ++i) {
-    acc += session->probabilities_[i];
-    session->cumulative_[i] = acc;
-  }
-  if (!session->cumulative_.empty()) session->cumulative_.back() = 1.0;
+  session->alias_ = AliasTable(session->probabilities_);
 
   // Resolve attribute ids once.
   if (!query.attribute.empty()) {
@@ -99,15 +93,63 @@ Result<std::unique_ptr<InteractiveSession>> ApproxEngine::CreateSession(
 }
 
 void InteractiveSession::DrawAndValidate(size_t k) {
+  if (candidates_.empty() || k == 0) return;
+  ThreadPool& pool = GlobalPool();
+
+  // (1) Draw k candidate indices through the alias table. Large batches
+  // are partitioned into fixed slices, each filled by its own Rng forked
+  // (in slice order, on this thread) from the session stream. The slice
+  // count is a function of k alone — never of the pool size — so a given
+  // seed produces the same sample on any machine, not just any run.
+  draw_scratch_.resize(k);
+  const size_t kMinDrawsPerSlice = 4096;
+  const size_t kMaxSlices = 16;
+  const size_t slices =
+      std::min(kMaxSlices, std::max<size_t>(1, k / kMinDrawsPerSlice));
+  if (slices <= 1) {
+    for (size_t d = 0; d < k; ++d) draw_scratch_[d] = alias_.Draw(rng_);
+  } else {
+    const size_t per = (k + slices - 1) / slices;
+    std::vector<Rng> slice_rng;
+    slice_rng.reserve(slices);
+    for (size_t s = 0; s < slices; ++s) slice_rng.push_back(rng_.Fork());
+    ParallelFor(pool, slices, [&](size_t s) {
+      const size_t lo = s * per;
+      const size_t hi = std::min(k, lo + per);
+      for (size_t d = lo; d < hi; ++d) {
+        draw_scratch_[d] = alias_.Draw(slice_rng[s]);
+      }
+    });
+  }
+
+  // (2) Validate the distinct drawn nodes up front, in parallel across the
+  // shared pool; the per-draw loop below then only takes cache hits.
+  // Later branches are warmed only with nodes every earlier branch scored
+  // positive — the same short-circuit the fold applies, so no branch runs
+  // a chain search the lazy path would have skipped.
+  if (options_.validate_correctness) {
+    warm_scratch_.clear();
+    warm_scratch_.reserve(draw_scratch_.size());
+    for (size_t ci : draw_scratch_) warm_scratch_.push_back(candidates_[ci]);
+    for (const auto& b : branches_) {
+      b->WarmValidationCache(warm_scratch_, pool);
+      if (&b != &branches_.back()) {
+        size_t kept = 0;
+        for (NodeId u : warm_scratch_) {
+          if (b->ValidateSimilarity(u) > 0.0) warm_scratch_[kept++] = u;
+        }
+        warm_scratch_.resize(kept);
+      }
+    }
+  }
+
+  // (3) Fold each draw into the sample (Definition 6 correctness, filters,
+  // value/group lookup) — sequential and cheap.
   const bool needs_value =
       query_.function != AggregateFunction::kCount &&
       value_attr_ != kInvalidId;
-  for (size_t d = 0; d < k && !candidates_.empty(); ++d) {
-    const double target = rng_.NextDouble();
-    auto it =
-        std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
-    if (it == cumulative_.end()) --it;
-    const size_t ci = static_cast<size_t>(it - cumulative_.begin());
+  for (size_t d = 0; d < k; ++d) {
+    const size_t ci = draw_scratch_[d];
     const NodeId u = candidates_[ci];
 
     SampleItem item;

@@ -7,7 +7,9 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/branch_sampler.h"
+#include "sampling/alias_table.h"
 #include "embedding/embedding_model.h"
 #include "estimate/bootstrap.h"
 #include "estimate/ht_estimator.h"
@@ -174,10 +176,15 @@ class InteractiveSession {
 
   std::vector<std::unique_ptr<BranchSampler>> branches_;
   // Combined candidate distribution (single branch: that branch's own;
-  // complex shapes: intersection with product weights, §V-B).
+  // complex shapes: intersection with product weights, §V-B). Draws go
+  // through the O(1) alias table.
   std::vector<NodeId> candidates_;
   std::vector<double> probabilities_;
-  std::vector<double> cumulative_;
+  AliasTable alias_;
+  // Per-session scratch reused by every DrawAndValidate round: drawn
+  // candidate indices and the distinct nodes handed to the validators.
+  std::vector<size_t> draw_scratch_;
+  std::vector<NodeId> warm_scratch_;
 
   std::vector<SampleItem> items_;
   std::vector<int64_t> group_keys_;

@@ -2,11 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <queue>
-#include <thread>
+#include <unordered_set>
 
-#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "kg/bfs.h"
 #include "sampling/answer_sampler.h"
@@ -70,7 +68,6 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
   }
 
   std::unordered_map<NodeId, double> answer_mass;
-  std::mutex mass_mu;
 
   for (size_t s = 0; s < branch.hops.size(); ++s) {
     const ResolvedHop& rhop = sampler->hops_[s];
@@ -78,19 +75,22 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
     const bool last = s + 1 == branch.hops.size();
 
     auto& units = sampler->stage_units_[s];
-    // Next-stage seeds gathered across units (node, weight, log-sim, len).
+    // Next-stage seeds gathered per unit (node, weight, log-sim, len) so
+    // the merge below is in unit order regardless of task scheduling —
+    // chain builds are bit-for-bit reproducible.
     struct Seed {
       NodeId node;
       double weight;
       double log_sim;
       int length;
     };
-    std::vector<Seed> seeds;
-    std::mutex seeds_mu;
+    std::vector<std::vector<Seed>> unit_seeds(units.size());
+    std::vector<std::vector<std::pair<NodeId, double>>> unit_mass(
+        units.size());
 
     // Each unit's scoping + convergence + extraction is independent; the
-    // chain case runs them as parallel tasks (§V-B: "each second sampling
-    // is run as a thread").
+    // chain case runs them as parallel tasks on the shared pool (§V-B:
+    // "each second sampling is run as a thread").
     auto build_unit = [&](size_t ui) {
       StageUnit& unit = units[ui];
       const BoundedSubgraph scope = BoundedBfs(g, unit.root, options.n_hops);
@@ -107,13 +107,15 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
 
       AnswerSampler extraction(g, *unit.transitions, unit.pi, hop_types);
       if (last) {
-        // Compose the chain probability pi' = pi'_i * pi'_j and accumulate
-        // per answer (an answer reachable through several intermediates
-        // accumulates all of them, per §V-B step (3)).
-        std::lock_guard<std::mutex> lock(mass_mu);
+        // Record this unit's pi' = pi'_i * pi'_j contributions; they are
+        // accumulated per answer after the join (an answer reachable
+        // through several intermediates accumulates all of them, per §V-B
+        // step (3)).
+        auto& mass = unit_mass[ui];
+        mass.reserve(extraction.NumCandidates());
         for (size_t i = 0; i < extraction.NumCandidates(); ++i) {
-          answer_mass[extraction.CandidateNode(i)] +=
-              unit.weight * extraction.CandidateProbability(i);
+          mass.emplace_back(extraction.CandidateNode(i),
+                            unit.weight * extraction.CandidateProbability(i));
         }
       } else {
         // Retain the top-width intermediates by stationary mass as next-
@@ -143,35 +145,40 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
           seed.log_sim = unit.root_log_sim +
                          match.length * std::log(match.similarity);
           seed.length = unit.root_length + match.length;
-          std::lock_guard<std::mutex> lock(seeds_mu);
-          seeds.push_back(seed);
+          unit_seeds[ui].push_back(seed);
         }
       }
     };
 
     if (units.size() > 1) {
-      size_t workers = options.num_threads != 0
-                           ? options.num_threads
-                           : std::max(2u, std::thread::hardware_concurrency());
-      ThreadPool pool(std::min(workers, units.size()));
-      ParallelFor(pool, units.size(), build_unit);
+      ParallelFor(GlobalPool(), units.size(), build_unit);
     } else {
       for (size_t ui = 0; ui < units.size(); ++ui) build_unit(ui);
     }
 
-    if (!last) {
-      if (seeds.empty()) break;  // chain dead-ends; zero candidates
+    if (last) {
+      for (const auto& mass : unit_mass) {
+        for (const auto& [node, m] : mass) answer_mass[node] += m;
+      }
+    } else {
       double total = 0.0;
-      for (const Seed& seed : seeds) total += seed.weight;
+      size_t num_seeds = 0;
+      for (const auto& seeds : unit_seeds) {
+        num_seeds += seeds.size();
+        for (const Seed& seed : seeds) total += seed.weight;
+      }
+      if (num_seeds == 0) break;  // chain dead-ends; zero candidates
       auto& next_units = sampler->stage_units_[s + 1];
-      next_units.reserve(seeds.size());
-      for (const Seed& seed : seeds) {
-        StageUnit u;
-        u.root = seed.node;
-        u.weight = total > 0.0 ? seed.weight / total : 0.0;
-        u.root_log_sim = seed.log_sim;
-        u.root_length = seed.length;
-        next_units.push_back(std::move(u));
+      next_units.reserve(num_seeds);
+      for (const auto& seeds : unit_seeds) {
+        for (const Seed& seed : seeds) {
+          StageUnit u;
+          u.root = seed.node;
+          u.weight = total > 0.0 ? seed.weight / total : 0.0;
+          u.root_log_sim = seed.log_sim;
+          u.root_length = seed.length;
+          next_units.push_back(std::move(u));
+        }
       }
     }
   }
@@ -185,13 +192,7 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
     sampler->candidates_.push_back(node);
     sampler->probabilities_.push_back(total > 0.0 ? mass / total : 0.0);
   }
-  sampler->cumulative_.resize(sampler->probabilities_.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < sampler->probabilities_.size(); ++i) {
-    acc += sampler->probabilities_[i];
-    sampler->cumulative_[i] = acc;
-  }
-  if (!sampler->cumulative_.empty()) sampler->cumulative_.back() = 1.0;
+  sampler->alias_ = AliasTable(sampler->probabilities_);
   sampler->candidate_index_.reserve(sampler->candidates_.size());
   for (uint32_t i = 0; i < sampler->candidates_.size(); ++i) {
     sampler->candidate_index_.emplace(sampler->candidates_[i], i);
@@ -208,16 +209,43 @@ uint32_t BranchSampler::CandidateIndex(NodeId u) const {
 
 std::vector<size_t> BranchSampler::Draw(size_t k, Rng& rng) const {
   std::vector<size_t> out;
-  if (candidates_.empty()) return out;
-  out.reserve(k);
-  for (size_t i = 0; i < k; ++i) {
-    const double target = rng.NextDouble();
-    auto it =
-        std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
-    if (it == cumulative_.end()) --it;
-    out.push_back(static_cast<size_t>(it - cumulative_.begin()));
-  }
+  Draw(k, rng, out);
   return out;
+}
+
+void BranchSampler::Draw(size_t k, Rng& rng,
+                         std::vector<size_t>& out) const {
+  alias_.Draw(k, rng, out);
+}
+
+void BranchSampler::WarmValidationCache(std::span<const NodeId> nodes,
+                                        ThreadPool& pool) const {
+  if (hops_.size() == 1) {
+    // Simple branches validate through one shared batch traversal; there is
+    // nothing per-node to parallelize beyond triggering it once.
+    if (!batch_ready_) {
+      batch_matches_ = stage_units_[0][0].validator->ComputeAllMatches();
+      batch_ready_ = true;
+    }
+    return;
+  }
+  std::vector<NodeId> todo;
+  std::unordered_set<NodeId> seen;
+  for (NodeId u : nodes) {
+    if (validation_cache_.count(u) != 0 || !seen.insert(u).second) continue;
+    todo.push_back(u);
+  }
+  if (todo.empty()) return;
+  std::vector<double> sims(todo.size());
+  if (todo.size() == 1) {
+    sims[0] = ValidateChainSimilarity(todo[0]);
+  } else {
+    ParallelFor(pool, todo.size(),
+                [&](size_t i) { sims[i] = ValidateChainSimilarity(todo[i]); });
+  }
+  for (size_t i = 0; i < todo.size(); ++i) {
+    validation_cache_.emplace(todo[i], sims[i]);
+  }
 }
 
 double BranchSampler::ValidateSimilarity(NodeId u) const {

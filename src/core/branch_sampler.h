@@ -2,15 +2,18 @@
 #define KGAQ_CORE_BRANCH_SAMPLER_H_
 
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/greedy_validator.h"
 #include "embedding/embedding_model.h"
 #include "kg/knowledge_graph.h"
 #include "query/query_graph.h"
+#include "sampling/alias_table.h"
 
 namespace kgaq {
 
@@ -27,9 +30,6 @@ struct BranchSamplerOptions {
   /// Expansion cap for the multi-stage validation search.
   size_t chain_validation_max_expansions = 60000;
   size_t stationary_max_iterations = 500;
-  /// Worker threads for the per-intermediate second-stage samplings;
-  /// 0 = hardware concurrency.
-  size_t num_threads = 0;
 };
 
 /// Sampling + validation machinery for ONE query branch (a simple query or
@@ -57,13 +57,27 @@ class BranchSampler {
   /// Index of `u` among the candidates, or kInvalidId.
   uint32_t CandidateIndex(NodeId u) const;
 
-  /// Draws `k` i.i.d. candidate indices from the branch's pi_A.
+  /// Draws `k` i.i.d. candidate indices from the branch's pi_A in O(k)
+  /// via the alias table (no per-draw binary search).
   std::vector<size_t> Draw(size_t k, Rng& rng) const;
+
+  /// Allocation-free variant: draws into `out` (resized to `k`), reusing
+  /// its capacity across rounds.
+  void Draw(size_t k, Rng& rng, std::vector<size_t>& out) const;
 
   /// Greedy-validated overall match similarity of candidate `u` (geometric
   /// mean over all edges of the best found multi-stage path; §IV-B2 + §V-B).
   /// Cached per node. Returns 0 when no match is found.
   double ValidateSimilarity(NodeId u) const;
+
+  /// Validates every (distinct, not-yet-cached) node of `nodes` and fills
+  /// the per-node cache, running chain validations as parallel tasks on
+  /// `pool`. Subsequent ValidateSimilarity calls for these nodes are cache
+  /// hits. Per-node results are identical to serial validation (each
+  /// search is independent and deterministic), so parallelism never
+  /// changes engine output.
+  void WarmValidationCache(std::span<const NodeId> nodes,
+                           ThreadPool& pool) const;
 
   /// Wall-clock milliseconds spent in Build (the paper's S1).
   double build_millis() const { return build_millis_; }
@@ -89,10 +103,11 @@ class BranchSampler {
   /// hop-typed nodes. Returns the best found overall Eq. 2 similarity.
   double ValidateChainSimilarity(NodeId u) const;
 
-  // Final answer distribution.
+  // Final answer distribution. Draws go through the O(1) alias table; the
+  // explicit probabilities stay for HT weights and diagnostics.
   std::vector<NodeId> candidates_;
   std::vector<double> probabilities_;
-  std::vector<double> cumulative_;
+  AliasTable alias_;
   std::unordered_map<NodeId, uint32_t> candidate_index_;
 
   // Per-stage machinery for validation. Stage 0 is rooted at the specific

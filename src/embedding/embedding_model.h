@@ -38,6 +38,13 @@ class EmbeddingModel {
   /// Vector representation of predicate `p` used for Eq. 4 cosine.
   virtual std::span<const float> PredicateVector(PredicateId p) const = 0;
 
+  /// All predicate vectors as one contiguous row-major matrix
+  /// (num_predicates() rows of predicate_dim() floats), when the model
+  /// stores them that way; empty otherwise. Lets batched kernels
+  /// (CosineSimilarityMany) stream the table in one pass instead of
+  /// issuing a virtual call per row.
+  virtual std::span<const float> PredicateMatrix() const { return {}; }
+
   /// Entity vector of node `u`.
   virtual std::span<const float> EntityVector(NodeId u) const = 0;
 
@@ -72,6 +79,9 @@ class FixedEmbedding : public EmbeddingModel {
   std::span<const float> PredicateVector(PredicateId p) const override {
     return {predicate_data_.data() + static_cast<size_t>(p) * predicate_dim_,
             predicate_dim_};
+  }
+  std::span<const float> PredicateMatrix() const override {
+    return predicate_data_;
   }
   std::span<const float> EntityVector(NodeId u) const override {
     return {entity_data_.data() + static_cast<size_t>(u) * entity_dim_,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "embedding/vector_ops.h"
+
 namespace kgaq {
 
 PredicateSimilarityCache::PredicateSimilarityCache(
@@ -9,10 +11,17 @@ PredicateSimilarityCache::PredicateSimilarityCache(
     : query_predicate_(query_predicate) {
   const size_t n = model.num_predicates();
   sims_.resize(n);
-  for (PredicateId p = 0; p < n; ++p) {
-    const double cos = model.PredicateCosine(p, query_predicate);
-    sims_[p] = std::clamp(cos, floor, 1.0);
+  const auto query = model.PredicateVector(query_predicate);
+  const auto matrix = model.PredicateMatrix();
+  if (!matrix.empty() && matrix.size() == n * query.size()) {
+    // Contiguous storage: one streaming pass over the whole table.
+    CosineSimilarityMany(query, matrix, sims_);
+  } else {
+    for (PredicateId p = 0; p < n; ++p) {
+      sims_[p] = CosineSimilarity(model.PredicateVector(p), query);
+    }
   }
+  for (double& s : sims_) s = std::clamp(s, floor, 1.0);
 }
 
 }  // namespace kgaq

@@ -6,7 +6,9 @@
 
 namespace kgaq {
 
-/// Dot product with double accumulation.
+/// Dot product with double accumulation. 4-way unrolled (AVX2 when the
+/// build enables it); accumulator order is fixed, so results are
+/// deterministic for a given binary.
 double Dot(std::span<const float> a, std::span<const float> b);
 
 /// Euclidean norm.
@@ -16,13 +18,30 @@ double Norm2(std::span<const float> a);
 double SquaredDistance(std::span<const float> a, std::span<const float> b);
 
 /// Cosine similarity in [-1, 1]; returns 0 when either vector is ~zero.
+/// Single pass: dot and both norms accumulate together.
 double CosineSimilarity(std::span<const float> a, std::span<const float> b);
+
+/// Batched cosine: `matrix` holds out.size() contiguous rows of
+/// query.size() floats each; out[i] = CosineSimilarity(query, row i).
+/// One pass over the matrix, with the query norm hoisted out of the loop —
+/// this is the O(|P| * d) kernel behind PredicateSimilarityCache.
+void CosineSimilarityMany(std::span<const float> query,
+                          std::span<const float> matrix,
+                          std::span<double> out);
 
 /// Scales `a` in place to unit norm (no-op for ~zero vectors).
 void NormalizeInPlace(std::span<float> a);
 
 /// a += scale * b (element-wise, sizes must match).
 void AddScaled(std::span<float> a, std::span<const float> b, double scale);
+
+/// Straight-line reference implementations, kept for parity tests and the
+/// scalar-vs-vectorized microbenchmarks. Not for hot paths.
+namespace scalar {
+double Dot(std::span<const float> a, std::span<const float> b);
+double SquaredDistance(std::span<const float> a, std::span<const float> b);
+double CosineSimilarity(std::span<const float> a, std::span<const float> b);
+}  // namespace scalar
 
 }  // namespace kgaq
 

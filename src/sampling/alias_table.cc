@@ -1,0 +1,67 @@
+#include "sampling/alias_table.h"
+
+#include <cmath>
+
+namespace kgaq {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const size_t n = weights.size();
+  if (n == 0) return;
+
+  normalized_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double w = weights[i];
+    normalized_[i] = (std::isfinite(w) && w > 0.0) ? w : 0.0;
+    total += normalized_[i];
+  }
+  if (total <= 0.0) {
+    // No positive mass: uniform fallback.
+    const double u = 1.0 / static_cast<double>(n);
+    for (double& w : normalized_) w = u;
+    total = 1.0;
+  } else {
+    for (double& w : normalized_) w /= total;
+  }
+
+  // Vose's method: scale to mean 1, split slots into under-/over-full
+  // worklists, and repeatedly pair one of each — the under-full slot keeps
+  // its own mass and borrows the remainder from the over-full one.
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    alias_[i] = static_cast<uint32_t>(i);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    const uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers in either list sit at (numerically) exactly 1.
+  for (uint32_t i : small) prob_[i] = 1.0;
+  for (uint32_t i : large) prob_[i] = 1.0;
+}
+
+void AliasTable::Draw(size_t k, Rng& rng, std::vector<size_t>& out) const {
+  out.clear();
+  if (prob_.empty()) return;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(Draw(rng));
+}
+
+double AliasTable::ProbabilityOf(size_t i) const {
+  return i < normalized_.size() ? normalized_[i] : 0.0;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,60 @@
+#ifndef KGAQ_SAMPLING_ALIAS_TABLE_H_
+#define KGAQ_SAMPLING_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kgaq {
+
+/// Walker alias table over a non-negative weight vector.
+///
+/// Construction is O(n) (Vose's stable two-worklist method); each draw is
+/// O(1): one uniform slot pick plus one biased coin, independent of n.
+/// This replaces the per-draw O(log n) binary search over a cumulative CDF
+/// on every weighted-sampling hot path (branch draws, session draws,
+/// answer extraction) — the draw cost of Algorithm 2 no longer grows with
+/// the candidate-set size.
+///
+/// The table is immutable after construction and safe to share across
+/// threads; each drawing thread brings its own Rng.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from `weights`. Negative, NaN, and zero entries are
+  /// treated as zero mass; if no entry carries positive mass the table
+  /// falls back to uniform over all slots (mirroring Rng::NextWeighted).
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Number of outcomes n (0 for an empty table).
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Draws one outcome index in [0, n). Undefined on an empty table.
+  size_t Draw(Rng& rng) const {
+    const size_t slot = static_cast<size_t>(rng.NextBounded(prob_.size()));
+    return rng.NextDouble() < prob_[slot] ? slot : alias_[slot];
+  }
+
+  /// Draws `k` outcomes into `out` (resized to exactly `k`; capacity is
+  /// reused across calls so steady-state batches allocate nothing).
+  /// On an empty table `out` is cleared.
+  void Draw(size_t k, Rng& rng, std::vector<size_t>& out) const;
+
+  /// Normalized probability of outcome `i` (for diagnostics/tests).
+  double ProbabilityOf(size_t i) const;
+
+ private:
+  // prob_[s]: probability that slot s resolves to itself rather than to
+  // alias_[s]. Every column of the table has total mass 1/n.
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+  std::vector<double> normalized_;  // input weights / total, for ProbabilityOf
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SAMPLING_ALIAS_TABLE_H_

@@ -40,16 +40,12 @@ AnswerSampler::AnswerSampler(const KnowledgeGraph& g,
   double total = 0.0;
   for (double p : raw) total += p;
   probabilities_.resize(raw.size());
-  cumulative_.resize(raw.size());
-  double acc = 0.0;
   for (size_t i = 0; i < raw.size(); ++i) {
     probabilities_[i] = total > 0.0
                             ? raw[i] / total
                             : 1.0 / static_cast<double>(raw.size());
-    acc += probabilities_[i];
-    cumulative_[i] = acc;
   }
-  if (!cumulative_.empty()) cumulative_.back() = 1.0;
+  alias_ = AliasTable(probabilities_);
 }
 
 double AnswerSampler::ProbabilityOf(NodeId u) const {
@@ -61,16 +57,13 @@ double AnswerSampler::ProbabilityOf(NodeId u) const {
 
 std::vector<size_t> AnswerSampler::Draw(size_t k, Rng& rng) const {
   std::vector<size_t> out;
-  if (candidates_.empty()) return out;
-  out.reserve(k);
-  for (size_t i = 0; i < k; ++i) {
-    const double target = rng.NextDouble();
-    auto it =
-        std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
-    if (it == cumulative_.end()) --it;
-    out.push_back(static_cast<size_t>(it - cumulative_.begin()));
-  }
+  Draw(k, rng, out);
   return out;
+}
+
+void AnswerSampler::Draw(size_t k, Rng& rng,
+                         std::vector<size_t>& out) const {
+  alias_.Draw(k, rng, out);
 }
 
 std::vector<size_t> AnswerSampler::DrawByWalking(size_t k, Rng& rng,

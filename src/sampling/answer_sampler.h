@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "kg/knowledge_graph.h"
+#include "sampling/alias_table.h"
 #include "sampling/transition_model.h"
 
 namespace kgaq {
@@ -38,8 +39,12 @@ class AnswerSampler {
   /// pi' for a node id; 0 when `u` is not a candidate.
   double ProbabilityOf(NodeId u) const;
 
-  /// Draws `k` i.i.d. candidate indices from pi_A.
+  /// Draws `k` i.i.d. candidate indices from pi_A (O(1) per draw via the
+  /// alias table).
   std::vector<size_t> Draw(size_t k, Rng& rng) const;
+
+  /// Allocation-free variant: draws into `out` (resized to `k`).
+  void Draw(size_t k, Rng& rng, std::vector<size_t>& out) const;
 
   /// Literal continuous-walk variant used to validate Theorem 1: walks the
   /// chain and collects the first `k` candidate visits (post burn-in).
@@ -51,7 +56,7 @@ class AnswerSampler {
   const TransitionModel* model_;
   std::vector<NodeId> candidates_;        // global node ids
   std::vector<double> probabilities_;     // pi' per candidate
-  std::vector<double> cumulative_;        // prefix sums of probabilities_
+  AliasTable alias_;                      // O(1) weighted draws over pi'
   std::vector<uint32_t> local_to_candidate_;  // scope-local -> candidate idx
 };
 

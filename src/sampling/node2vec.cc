@@ -91,29 +91,17 @@ Node2VecSampler::Node2VecSampler(const KnowledgeGraph& g,
   double total = 0.0;
   for (double x : raw) total += x;
   probabilities_.resize(raw.size());
-  cumulative_.resize(raw.size());
-  double acc = 0.0;
   for (size_t i = 0; i < raw.size(); ++i) {
     probabilities_[i] = total > 0.0
                             ? raw[i] / total
                             : 1.0 / static_cast<double>(raw.size());
-    acc += probabilities_[i];
-    cumulative_[i] = acc;
   }
-  if (!cumulative_.empty()) cumulative_.back() = 1.0;
+  alias_ = AliasTable(probabilities_);
 }
 
 std::vector<size_t> Node2VecSampler::Draw(size_t k, Rng& rng) const {
   std::vector<size_t> out;
-  if (candidates_.empty()) return out;
-  out.reserve(k);
-  for (size_t i = 0; i < k; ++i) {
-    const double target = rng.NextDouble();
-    auto it =
-        std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
-    if (it == cumulative_.end()) --it;
-    out.push_back(static_cast<size_t>(it - cumulative_.begin()));
-  }
+  alias_.Draw(k, rng, out);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "kg/bfs.h"
 #include "kg/knowledge_graph.h"
 #include "kg/types.h"
+#include "sampling/alias_table.h"
 
 namespace kgaq {
 
@@ -43,7 +44,7 @@ class Node2VecSampler {
  private:
   std::vector<NodeId> candidates_;
   std::vector<double> probabilities_;
-  std::vector<double> cumulative_;
+  AliasTable alias_;
 };
 
 }  // namespace kgaq

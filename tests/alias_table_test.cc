@@ -1,0 +1,206 @@
+#include "sampling/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kgaq {
+namespace {
+
+std::vector<double> RandomWeights(size_t n, Rng& rng, double lo = 0.1,
+                                  double hi = 10.0) {
+  std::vector<double> w(n);
+  for (double& x : w) x = lo + rng.NextDouble() * (hi - lo);
+  return w;
+}
+
+// Pearson chi-square statistic of observed draw counts against the
+// normalized weight vector.
+double ChiSquare(const std::vector<size_t>& counts,
+                 const std::vector<double>& weights, size_t draws) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double stat = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = draws * weights[i] / total;
+    const double d = static_cast<double>(counts[i]) - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+TEST(AliasTableTest, ChiSquareGoodnessOfFit) {
+  // 64 bins, 200k draws: expected counts are all >= ~600, so the Pearson
+  // statistic is chi-square with df = 63. Accept below mean + 4 sd
+  // (~= 63 + 4 * sqrt(126) ~= 108), far beyond the 99.9th percentile.
+  Rng wrng(11);
+  const auto weights = RandomWeights(64, wrng);
+  AliasTable table{std::span<const double>(weights)};
+  Rng rng(42);
+  const size_t draws = 200000;
+  std::vector<size_t> counts(weights.size(), 0);
+  for (size_t i = 0; i < draws; ++i) ++counts[table.Draw(rng)];
+  const double df = static_cast<double>(weights.size() - 1);
+  EXPECT_LT(ChiSquare(counts, weights, draws), df + 4 * std::sqrt(2 * df));
+}
+
+TEST(AliasTableTest, ChiSquareOnSkewedWeights) {
+  // Power-law-ish weights: the alias construction must not starve small
+  // bins or over-feed the head.
+  std::vector<double> weights(50);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>((i + 1) * (i + 1));
+  }
+  AliasTable table{std::span<const double>(weights)};
+  Rng rng(7);
+  const size_t draws = 2000000;  // tail bins still get >= ~500 expected
+  std::vector<size_t> counts(weights.size(), 0);
+  for (size_t i = 0; i < draws; ++i) ++counts[table.Draw(rng)];
+  const double df = static_cast<double>(weights.size() - 1);
+  EXPECT_LT(ChiSquare(counts, weights, draws), df + 4 * std::sqrt(2 * df));
+}
+
+TEST(AliasTableTest, MatchesCdfBinarySearchDistribution) {
+  // Distributional parity with the replaced lower_bound-over-CDF path:
+  // identical seeds cannot give identical index sequences (the two methods
+  // consume the stream differently), so compare per-bin frequencies.
+  Rng wrng(3);
+  const auto weights = RandomWeights(40, wrng);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  std::vector<double> cumulative(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total;
+    cumulative[i] = acc;
+  }
+  cumulative.back() = 1.0;
+
+  AliasTable table{std::span<const double>(weights)};
+  Rng alias_rng(123), cdf_rng(123);
+  const size_t draws = 300000;
+  std::vector<double> freq_alias(weights.size(), 0.0);
+  std::vector<double> freq_cdf(weights.size(), 0.0);
+  for (size_t i = 0; i < draws; ++i) {
+    freq_alias[table.Draw(alias_rng)] += 1.0 / draws;
+    auto it = std::lower_bound(cumulative.begin(), cumulative.end(),
+                               cdf_rng.NextDouble());
+    if (it == cumulative.end()) --it;
+    freq_cdf[it - cumulative.begin()] += 1.0 / draws;
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(freq_alias[i], freq_cdf[i], 0.01) << "bin " << i;
+  }
+}
+
+TEST(AliasTableTest, DeterministicForFixedSeed) {
+  Rng wrng(5);
+  const auto weights = RandomWeights(128, wrng);
+  AliasTable table{std::span<const double>(weights)};
+  Rng r1(99), r2(99);
+  std::vector<size_t> a, b;
+  table.Draw(10000, r1, a);
+  table.Draw(10000, r2, b);
+  EXPECT_EQ(a, b);
+
+  // The batched API is the single-draw API unrolled.
+  Rng r3(99);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], table.Draw(r3)) << "draw " << i;
+  }
+}
+
+TEST(AliasTableTest, RebuildIsDeterministic) {
+  Rng wrng(17);
+  const auto weights = RandomWeights(200, wrng);
+  AliasTable t1{std::span<const double>(weights)};
+  AliasTable t2{std::span<const double>(weights)};
+  Rng r1(1), r2(1);
+  std::vector<size_t> a, b;
+  t1.Draw(5000, r1, a);
+  t2.Draw(5000, r2, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AliasTableTest, ZeroAndNegativeWeightsGetNoMass) {
+  const std::vector<double> weights = {0.0, 1.0, -3.0, 2.0,
+                                       std::nan("")};
+  AliasTable table{std::span<const double>(weights)};
+  EXPECT_EQ(table.ProbabilityOf(0), 0.0);
+  EXPECT_NEAR(table.ProbabilityOf(1), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(table.ProbabilityOf(2), 0.0);
+  EXPECT_NEAR(table.ProbabilityOf(3), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(table.ProbabilityOf(4), 0.0);
+  Rng rng(2);
+  std::vector<double> freq(weights.size(), 0.0);
+  const size_t draws = 100000;
+  for (size_t i = 0; i < draws; ++i) freq[table.Draw(rng)] += 1.0 / draws;
+  EXPECT_EQ(freq[0], 0.0);
+  EXPECT_EQ(freq[2], 0.0);
+  EXPECT_EQ(freq[4], 0.0);
+  EXPECT_NEAR(freq[1], 1.0 / 3.0, 0.01);
+  EXPECT_NEAR(freq[3], 2.0 / 3.0, 0.01);
+}
+
+TEST(AliasTableTest, AllZeroMassFallsBackToUniform) {
+  const std::vector<double> weights = {0.0, 0.0, 0.0, 0.0};
+  AliasTable table{std::span<const double>(weights)};
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(table.ProbabilityOf(i), 0.25, 1e-12);
+  }
+  Rng rng(4);
+  std::vector<double> freq(weights.size(), 0.0);
+  const size_t draws = 100000;
+  for (size_t i = 0; i < draws; ++i) freq[table.Draw(rng)] += 1.0 / draws;
+  for (double f : freq) EXPECT_NEAR(f, 0.25, 0.01);
+}
+
+TEST(AliasTableTest, SingleOutcome) {
+  const std::vector<double> weights = {3.5};
+  AliasTable table{std::span<const double>(weights)};
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Draw(rng), 0u);
+  EXPECT_EQ(table.ProbabilityOf(0), 1.0);
+}
+
+TEST(AliasTableTest, EmptyTableSafe) {
+  AliasTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+  Rng rng(1);
+  std::vector<size_t> out = {1, 2, 3};
+  table.Draw(10, rng, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(table.ProbabilityOf(0), 0.0);
+}
+
+TEST(AliasTableTest, BatchDrawReusesBuffer) {
+  Rng wrng(8);
+  const auto weights = RandomWeights(16, wrng);
+  AliasTable table{std::span<const double>(weights)};
+  Rng rng(3);
+  std::vector<size_t> out;
+  table.Draw(4096, rng, out);
+  ASSERT_EQ(out.size(), 4096u);
+  const size_t* data = out.data();
+  table.Draw(1024, rng, out);  // smaller batch: no reallocation
+  EXPECT_EQ(out.size(), 1024u);
+  EXPECT_EQ(out.data(), data);
+  for (size_t i : out) EXPECT_LT(i, weights.size());
+}
+
+TEST(AliasTableTest, ProbabilitiesSumToOne) {
+  Rng wrng(13);
+  const auto weights = RandomWeights(333, wrng);
+  AliasTable table{std::span<const double>(weights)};
+  double total = 0.0;
+  for (size_t i = 0; i < table.size(); ++i) total += table.ProbabilityOf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace kgaq

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -253,6 +255,51 @@ TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
   ThreadPool pool(2);
   pool.Wait();
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSharedAndAlive) {
+  ThreadPool& a = GlobalPool();
+  ThreadPool& b = GlobalPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 2u);
+  std::atomic<int> c{0};
+  ParallelFor(a, 10, [&c](size_t) { c.fetch_add(1); });
+  EXPECT_EQ(c.load(), 10);
+}
+
+TEST(TaskGroupTest, WaitsOnlyForOwnTasks) {
+  // Two groups on one pool: each group's Wait returns once ITS tasks are
+  // done, even while the other group still has tasks in flight.
+  ThreadPool pool(3);
+  std::atomic<bool> release{false};
+  std::atomic<int> slow_done{0}, fast_done{0};
+  TaskGroup slow(pool);
+  slow.Submit([&] {
+    while (!release.load()) std::this_thread::yield();
+    slow_done.fetch_add(1);
+  });
+  {
+    TaskGroup fast(pool);
+    for (int i = 0; i < 8; ++i) {
+      fast.Submit([&fast_done] { fast_done.fetch_add(1); });
+    }
+    fast.Wait();
+    EXPECT_EQ(fast_done.load(), 8);
+    EXPECT_EQ(slow_done.load(), 0);  // the slow task is still blocked
+  }
+  release.store(true);
+  slow.Wait();
+  EXPECT_EQ(slow_done.load(), 1);
+}
+
+TEST(TaskGroupTest, ConcurrentParallelForsOnSharedPool) {
+  ThreadPool& pool = GlobalPool();
+  std::atomic<int> total{0};
+  std::thread t1([&] { ParallelFor(pool, 64, [&](size_t) { total++; }); });
+  std::thread t2([&] { ParallelFor(pool, 64, [&](size_t) { total++; }); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(total.load(), 128);
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <span>
 #include <string>
 
+#include "common/random.h"
 #include "embedding/embedding_io.h"
 #include "embedding/embedding_model.h"
 #include "embedding/predicate_similarity.h"
@@ -76,6 +79,66 @@ TEST(VectorOpsTest, SquaredDistance) {
   std::vector<float> a = {1, 2};
   std::vector<float> b = {4, 6};
   EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 9 + 16);
+}
+
+// The unrolled/SIMD kernels must agree with the straight-line references
+// up to accumulation-order rounding, at every length (remainder handling).
+TEST(VectorOpsTest, VectorizedMatchesScalarReference) {
+  Rng rng(31);
+  for (size_t n : {1u, 2u, 3u, 4u, 7u, 8u, 15u, 16u, 33u, 100u, 257u}) {
+    std::vector<float> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.NextGaussian());
+      b[i] = static_cast<float>(rng.NextGaussian());
+    }
+    const double tol = 1e-10 * static_cast<double>(n);
+    EXPECT_NEAR(Dot(a, b), scalar::Dot(a, b), tol) << "n=" << n;
+    EXPECT_NEAR(SquaredDistance(a, b), scalar::SquaredDistance(a, b), tol);
+    EXPECT_NEAR(CosineSimilarity(a, b), scalar::CosineSimilarity(a, b),
+                1e-12)
+        << "n=" << n;
+  }
+}
+
+TEST(VectorOpsTest, CosineSimilarityManyMatchesPerRow) {
+  Rng rng(32);
+  const size_t dim = 24, rows = 37;
+  std::vector<float> query(dim);
+  std::vector<float> matrix(rows * dim);
+  for (auto& x : query) x = static_cast<float>(rng.NextGaussian());
+  for (auto& x : matrix) x = static_cast<float>(rng.NextGaussian());
+  // Plant a near-zero row to exercise the zero-norm guard.
+  for (size_t j = 0; j < dim; ++j) matrix[5 * dim + j] = 0.0f;
+  std::vector<double> out(rows);
+  CosineSimilarityMany(query, matrix, out);
+  for (size_t r = 0; r < rows; ++r) {
+    std::span<const float> row(matrix.data() + r * dim, dim);
+    EXPECT_NEAR(out[r], scalar::CosineSimilarity(query, row), 1e-12)
+        << "row " << r;
+  }
+  EXPECT_EQ(out[5], 0.0);
+}
+
+TEST(PredicateSimilarityCacheTest, BatchedPathMatchesVirtualPath) {
+  // FixedEmbedding exposes a contiguous PredicateMatrix; the cache must
+  // produce the same clamped sims through the batched kernel as through
+  // per-predicate virtual calls.
+  Rng rng(33);
+  FixedEmbedding e("t", 2, 9, 4, 6);
+  for (PredicateId p = 0; p < 9; ++p) {
+    for (auto& x : e.MutablePredicateVector(p)) {
+      x = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  ASSERT_EQ(e.PredicateMatrix().size(), 9u * 6u);
+  PredicateSimilarityCache cache(e, 4);
+  for (PredicateId p = 0; p < 9; ++p) {
+    const double expect = std::clamp(
+        scalar::CosineSimilarity(e.PredicateVector(p), e.PredicateVector(4)),
+        PredicateSimilarityCache::kDefaultFloor, 1.0);
+    EXPECT_NEAR(cache.Similarity(p), expect, 1e-12) << "p=" << p;
+  }
+  EXPECT_NEAR(cache.Similarity(4), 1.0, 1e-9);
 }
 
 // ---------- FixedEmbedding ----------
