@@ -36,7 +36,14 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::OnPoolWorker() { return t_on_pool_worker; }
+
 void ThreadPool::WorkerLoop() {
+  t_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -83,6 +90,15 @@ void TaskGroup::Wait() {
 
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& body) {
+  if (ThreadPool::OnPoolWorker()) {
+    // Already on a worker: run inline. TaskGroup::Wait does not steal
+    // work, so forking from a worker can deadlock once every worker
+    // blocks in a nested Wait; inline execution is a valid fork-join
+    // schedule and keeps nested callers (chain stage builds issuing
+    // sweeps, sessions driven from pool tasks) safe by construction.
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   TaskGroup group(pool);
   for (size_t i = 0; i < n; ++i) {
     group.Submit([i, &body] { body(i); });

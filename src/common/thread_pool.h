@@ -36,6 +36,13 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// True when the calling thread is a kgaq pool worker (of any pool).
+  /// TaskGroup::Wait does not steal work, so fork-join issued from inside a
+  /// pool task can deadlock once every worker blocks in a nested Wait;
+  /// parallel helpers (stationary sweeps, sharded validation) check this
+  /// and fall back to serial execution on worker threads.
+  static bool OnPoolWorker();
+
  private:
   void WorkerLoop();
 
@@ -81,7 +88,9 @@ class TaskGroup {
 };
 
 /// Runs body(i) for i in [0, n) across the pool and joins. Safe on the
-/// shared GlobalPool(): only its own iterations are awaited.
+/// shared GlobalPool(): only its own iterations are awaited. When called
+/// from a pool worker it runs the iterations inline instead of forking
+/// (see OnPoolWorker), so nested fork-join can never deadlock.
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& body);
 

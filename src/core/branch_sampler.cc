@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 #include <unordered_set>
 
@@ -274,6 +275,119 @@ double BranchSampler::ValidateSimilarity(NodeId u) const {
 }
 
 double BranchSampler::ValidateChainSimilarity(NodeId u) const {
+  if (options_.chain_memo) {
+    const ChainCompletionProfile* profile =
+        ChainCompletionsFrom(static_cast<int>(hops_.size()) - 1, u);
+    if (profile != nullptr) {
+      double best = 0.0;
+      for (size_t len = 1; len < profile->best_log.size(); ++len) {
+        const double lg = profile->best_log[len];
+        if (lg == -std::numeric_limits<double>::infinity()) continue;
+        best = std::max(best, std::exp(lg / static_cast<double>(len)));
+      }
+      return best;
+    }
+    // The exhaustive enumeration behind the memo would exceed the budget
+    // (dense neighborhood); fall back to the capped best-first search.
+  }
+  return ValidateChainSimilarityAstar(u);
+}
+
+const BranchSampler::ChainCompletionProfile*
+BranchSampler::ChainCompletionsFrom(int stage, NodeId x) const {
+  const uint64_t key = (static_cast<uint64_t>(stage) << 32) | x;
+  {
+    std::lock_guard<std::mutex> lock(chain_memo_mu_);
+    auto it = chain_memo_.find(key);
+    if (it != chain_memo_.end()) {
+      return it->second.valid ? &it->second : nullptr;
+    }
+  }
+
+  ChainCompletionProfile profile;
+  profile.best_log.assign(
+      static_cast<size_t>(stage + 1) * options_.n_hops + 1,
+      -std::numeric_limits<double>::infinity());
+  // A fresh per-profile budget (rather than one shared by the whole
+  // answer) keeps validity a pure function of (stage, x): a profile that
+  // enumerates within its own budget succeeds no matter how much work its
+  // caller already did, so warm and cold memos yield identical results.
+  size_t budget = options_.chain_validation_max_expansions;
+  std::vector<NodeId> path = {x};
+  profile.valid = EnumerateCompletions(stage, x, 0, 0.0, path, budget,
+                                       profile);
+  if (!profile.valid) profile.best_log.clear();
+
+  std::lock_guard<std::mutex> lock(chain_memo_mu_);
+  // Concurrent warm-up tasks may have raced to the same boundary state;
+  // both computed the identical profile, first insert wins.
+  auto [it, unused] = chain_memo_.emplace(key, std::move(profile));
+  return it->second.valid ? &it->second : nullptr;
+}
+
+bool BranchSampler::EnumerateCompletions(int stage, NodeId node, int len,
+                                         double log_sum,
+                                         std::vector<NodeId>& path,
+                                         size_t& budget,
+                                         ChainCompletionProfile& profile)
+    const {
+  // Mirrors the best-first search's expansion rules exactly — simple paths
+  // within a segment (the path vector holds the current segment only),
+  // stage switches at hop-typed nodes with >= 1 segment edge, completions
+  // at the specific node inside stage 0 — but enumerates the whole bounded
+  // space instead of racing a priority queue toward the single best
+  // completion, so the result can be shared across prefixes.
+  const PredicateSimilarityCache& sims = *hops_[stage].sims;
+  for (const Neighbor& nb : g_->Neighbors(node)) {
+    if (budget == 0) return false;
+    --budget;
+    if (std::find(path.begin(), path.end(), nb.node) != path.end()) {
+      continue;
+    }
+    const double lg = log_sum + std::log(sims.Similarity(nb.predicate));
+    const int seg_len = len + 1;
+    if (stage == 0) {
+      if (nb.node == us_) {
+        // A segment-0 path completes at its (only) arrival at u_s; simple
+        // paths cannot revisit it, so there is nothing past this node.
+        auto& slot = profile.best_log[seg_len];
+        slot = std::max(slot, lg);
+        continue;
+      }
+    } else {
+      bool typed = false;
+      for (TypeId t : hops_[stage - 1].types) {
+        if (g_->HasType(nb.node, t)) {
+          typed = true;
+          break;
+        }
+      }
+      if (typed) {
+        const ChainCompletionProfile* rest =
+            ChainCompletionsFrom(stage - 1, nb.node);
+        if (rest == nullptr) return false;
+        for (size_t rest_len = 1; rest_len < rest->best_log.size();
+             ++rest_len) {
+          const double rest_lg = rest->best_log[rest_len];
+          if (rest_lg == -std::numeric_limits<double>::infinity()) continue;
+          auto& slot = profile.best_log[seg_len + rest_len];
+          slot = std::max(slot, lg + rest_lg);
+        }
+      }
+    }
+    if (seg_len < options_.n_hops) {
+      path.push_back(nb.node);
+      const bool ok =
+          EnumerateCompletions(stage, nb.node, seg_len, lg, path, budget,
+                               profile);
+      path.pop_back();
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+double BranchSampler::ValidateChainSimilarityAstar(NodeId u) const {
   // Backward best-first search from the answer toward the specific node.
   // A full match decomposes into one segment per query hop: segment s
   // (1..n edges) has its predicates scored against hop s's predicate and

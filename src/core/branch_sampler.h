@@ -2,6 +2,7 @@
 #define KGAQ_CORE_BRANCH_SAMPLER_H_
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +31,12 @@ struct BranchSamplerOptions {
   /// Expansion cap for the multi-stage validation search.
   size_t chain_validation_max_expansions = 60000;
   size_t stationary_max_iterations = 500;
+  /// Memoize per-stage boundary states of the chain validation search:
+  /// answers sharing a stage-k intermediate reuse its backward-search
+  /// results instead of re-running the full multi-stage search. Falls back
+  /// to the capped best-first search when the exhaustive enumeration behind
+  /// the memo would exceed chain_validation_max_expansions.
+  bool chain_memo = true;
 };
 
 /// Sampling + validation machinery for ONE query branch (a simple query or
@@ -97,11 +104,47 @@ class BranchSampler {
   };
   std::vector<ResolvedHop> hops_;
 
-  /// Multi-stage validation: one backward best-first search per answer
-  /// over (node, stage) states — each segment's predicates are scored
-  /// against its own hop predicate and segment boundaries must land on
-  /// hop-typed nodes. Returns the best found overall Eq. 2 similarity.
+  /// Multi-stage validation: the best overall Eq. 2 similarity of a match
+  /// from `u` back to the specific node — each segment's predicates are
+  /// scored against its own hop predicate and segment boundaries must land
+  /// on hop-typed nodes. Dispatches to the memoized stage decomposition
+  /// (options_.chain_memo) with the per-answer best-first search as the
+  /// fallback when the enumeration budget is exceeded.
   double ValidateChainSimilarity(NodeId u) const;
+
+  /// The original per-answer backward best-first (A*) search.
+  double ValidateChainSimilarityAstar(NodeId u) const;
+
+  /// Memoized backward-search results for one boundary state of the chain
+  /// validation: starting a fresh segment at some node with stages
+  /// `stage..0` still to traverse, best_log[L] is the maximum
+  /// log-similarity sum over all completions of exactly L edges reaching
+  /// the specific node (-inf where no completion of that length exists).
+  /// A profile is `valid` only when its enumeration completed, so every
+  /// usable memo entry is exact; the best final geometric mean through a
+  /// prefix (pl, plen) is max_L exp((pl + best_log[L]) / (plen + L)) —
+  /// per-length maxima suffice because the denominator is fixed once L is.
+  struct ChainCompletionProfile {
+    std::vector<double> best_log;
+    bool valid = false;
+  };
+
+  /// Returns the profile for boundary state (stage, x), computing and
+  /// memoizing it on first use; nullptr when it is invalid. Each profile's
+  /// own segment enumeration gets a fresh chain_validation_max_expansions
+  /// budget of DFS edge visits and sub-profiles are budgeted the same way
+  /// recursively, making validity a pure function of (stage, x) — whether
+  /// the memo happens to be warm (e.g. under parallel warm-up) can never
+  /// change which answers fall back to the best-first search.
+  const ChainCompletionProfile* ChainCompletionsFrom(int stage,
+                                                     NodeId x) const;
+
+  /// DFS over the simple segment paths out of `node` (stage's predicate
+  /// scoring), recording completions into `profile`; false when `budget`
+  /// is exhausted.
+  bool EnumerateCompletions(int stage, NodeId node, int len, double log_sum,
+                            std::vector<NodeId>& path, size_t& budget,
+                            ChainCompletionProfile& profile) const;
 
   // Final answer distribution. Draws go through the O(1) alias table; the
   // explicit probabilities stay for HT weights and diagnostics.
@@ -125,6 +168,12 @@ class BranchSampler {
   std::vector<std::vector<StageUnit>> stage_units_;
 
   mutable std::unordered_map<NodeId, double> validation_cache_;
+  /// Boundary-state memo for chain validation, keyed (stage << 32) | node.
+  /// Entries are immutable once inserted (and unordered_map never moves
+  /// elements), so returned pointers stay valid while concurrent warm-up
+  /// tasks keep inserting; the mutex only guards lookup/insert.
+  mutable std::unordered_map<uint64_t, ChainCompletionProfile> chain_memo_;
+  mutable std::mutex chain_memo_mu_;
   /// Lazily-computed batched validation for simple (1-hop) branches:
   /// similarity per scope-local node of the stage-0 unit.
   mutable std::vector<GreedyValidator::Match> batch_matches_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "common/thread_pool.h"
+
 namespace kgaq {
 
 GreedyValidator::GreedyValidator(const KnowledgeGraph& g,
@@ -91,6 +93,20 @@ GreedyValidator::Match GreedyValidator::FindBestMatch(NodeId target) const {
 
 std::vector<GreedyValidator::Match> GreedyValidator::ComputeAllMatches(
     size_t max_expansions) const {
+  // Dispatch on configuration only — never on pool width or calling
+  // context — so which algorithm (and therefore which result, when the
+  // expansion cap binds) is fixed by the options on every machine.
+  // Nested-fork-join safety is ParallelFor's job: on a pool worker it
+  // degrades to inline execution, which cannot change sharded results.
+  if (model_->NumScopeNodes() >= options_.shard_min_scope &&
+      options_.num_shards > 1) {
+    return ComputeAllMatchesSharded(max_expansions, options_.num_shards);
+  }
+  return ComputeAllMatchesSerial(max_expansions);
+}
+
+std::vector<GreedyValidator::Match> GreedyValidator::ComputeAllMatchesSerial(
+    size_t max_expansions) const {
   const size_t n = model_->NumScopeNodes();
   std::vector<Match> out(n);
 
@@ -157,6 +173,171 @@ std::vector<GreedyValidator::Match> GreedyValidator::ComputeAllMatches(
     }
   }
   return out;
+}
+
+std::vector<GreedyValidator::Match> GreedyValidator::ComputeAllMatchesSharded(
+    size_t max_expansions, size_t num_shards) const {
+  const size_t n = model_->NumScopeNodes();
+  std::vector<Match> out(n);
+  const uint32_t source = static_cast<uint32_t>(model_->SourceLocal());
+
+  // Expand the root once: one seed per in-scope out-arc of the source, in
+  // neighbor order (exactly the states the serial traversal pushes first).
+  struct State {
+    uint32_t local;
+    int32_t parent;
+    int16_t depth;
+    double log_sim_sum;
+  };
+  std::vector<State> seeds;
+  for (const Neighbor& nb : g_->Neighbors(model_->GlobalId(source))) {
+    const uint32_t v = model_->LocalId(nb.node);
+    if (v == kInvalidId || v == source) continue;
+    seeds.push_back(
+        {v, 0, 1, std::log(sims_->Similarity(nb.predicate))});
+  }
+  if (seeds.empty()) return out;
+  const size_t shards = std::min(num_shards, seeds.size());
+  if (shards <= 1) {
+    // One first-hop subtree: the "shard" would just rerun the serial
+    // traversal (with an inflated budget) on one thread.
+    return ComputeAllMatchesSerial(max_expansions);
+  }
+
+  // One arrival per popped state (all depth > 0 here; the root is never
+  // queued). A shard's pop sequence is exactly the serial schedule
+  // restricted to its subtrees — a state becomes poppable only once its
+  // parent pops, and parents never cross shards — so the serial global
+  // schedule is recovered below by a priority-ordered merge of the shard
+  // sequences.
+  struct Arrival {
+    uint32_t local;
+    int16_t depth;
+    double mean_log;
+  };
+  std::vector<std::vector<Arrival>> shard_arrivals(shards);
+  // Budget per shard: its fair share of the cap with 2x slack for subtree
+  // imbalance. A shard that stops on this budget while the merged schedule
+  // still wants entries gets its budget doubled and re-run (deterministic
+  // traversal, so a re-run extends its sequence in place) — parity with
+  // the serial schedule is reached in O(log) rounds, while a genuinely
+  // binding global cap never pays more than ~2x the serial work.
+  std::vector<size_t> shard_budget(shards, (max_expansions / shards) * 2 + 1);
+  std::vector<uint8_t> stale(shards, 1);
+
+  auto run_shard = [&](size_t shard) {
+    std::vector<State> arena;
+    // Index 0 is the root so seed parent links reach it: the simple-path
+    // walk-back must see the source on every path.
+    arena.push_back({source, -1, 0, 0.0});
+
+    using Prio = std::pair<std::pair<double, double>, int32_t>;
+    auto cmp = [](const Prio& a, const Prio& b) { return a.first < b.first; };
+    auto mean_log = [](const State& s) {
+      return s.depth == 0 ? 0.0
+                          : s.log_sim_sum / static_cast<double>(s.depth);
+    };
+    std::priority_queue<Prio, std::vector<Prio>, decltype(cmp)> frontier(cmp);
+    for (size_t i = shard; i < seeds.size(); i += shards) {
+      arena.push_back(seeds[i]);
+      frontier.push({{pi_[seeds[i].local], mean_log(seeds[i])},
+                     static_cast<int32_t>(arena.size() - 1)});
+    }
+
+    auto& arrivals = shard_arrivals[shard];
+    arrivals.clear();
+    const size_t budget = shard_budget[shard];
+    std::vector<uint32_t> path_nodes;
+    size_t expansions = 0;
+    while (!frontier.empty() && expansions < budget) {
+      ++expansions;
+      const int32_t si = frontier.top().second;
+      frontier.pop();
+      const State s = arena[si];
+      arrivals.push_back({s.local, s.depth, mean_log(s)});
+      if (s.depth >= options_.max_hops) continue;
+
+      path_nodes.clear();
+      for (int32_t cur = si; cur >= 0; cur = arena[cur].parent) {
+        path_nodes.push_back(arena[cur].local);
+      }
+
+      const NodeId u = model_->GlobalId(s.local);
+      for (const Neighbor& nb : g_->Neighbors(u)) {
+        const uint32_t v = model_->LocalId(nb.node);
+        if (v == kInvalidId) continue;
+        if (std::find(path_nodes.begin(), path_nodes.end(), v) !=
+            path_nodes.end()) {
+          continue;
+        }
+        const double log_sim = std::log(sims_->Similarity(nb.predicate));
+        arena.push_back({v, si, static_cast<int16_t>(s.depth + 1),
+                         s.log_sim_sum + log_sim});
+        frontier.push({{pi_[v], mean_log(arena.back())},
+                       static_cast<int32_t>(arena.size() - 1)});
+      }
+    }
+  };
+  for (;;) {
+    ParallelFor(GlobalPool(), shards, [&](size_t shard) {
+      if (stale[shard]) run_shard(shard);
+    });
+    std::fill(stale.begin(), stale.end(), 0);
+
+    // Deterministic k-way merge by the serial pop priority (pi, mean_log)
+    // descending, ties broken by shard index — scheduling never matters.
+    // Replaying the merged schedule through the serial recording rule
+    // reproduces the serial per-node matches; among states with exactly
+    // equal priority only the reported path length can differ. The serial
+    // traversal spends one expansion popping the root before any arrival.
+    out.assign(n, Match{});
+    std::vector<size_t> cursor(shards, 0);
+    size_t remaining = max_expansions > 0 ? max_expansions - 1 : 0;
+    for (; remaining > 0; --remaining) {
+      size_t best_shard = shards;
+      double best_pi = 0.0, best_mean = 0.0;
+      for (size_t shard = 0; shard < shards; ++shard) {
+        if (cursor[shard] >= shard_arrivals[shard].size()) continue;
+        const Arrival& a = shard_arrivals[shard][cursor[shard]];
+        const double a_pi = pi_[a.local];
+        if (best_shard == shards || a_pi > best_pi ||
+            (a_pi == best_pi && a.mean_log > best_mean)) {
+          best_shard = shard;
+          best_pi = a_pi;
+          best_mean = a.mean_log;
+        }
+      }
+      if (best_shard == shards) break;  // every shard sequence is drained
+      const Arrival& a = shard_arrivals[best_shard][cursor[best_shard]++];
+      Match& m = out[a.local];
+      if (m.paths_examined >= options_.repeat_factor) continue;
+      const double sim = std::exp(a.mean_log);
+      if (!m.found || sim > m.similarity) {
+        m.similarity = sim;
+        m.length = a.depth;
+      }
+      m.found = true;
+      ++m.paths_examined;
+    }
+    if (remaining == 0) return out;  // global cap reached: prefix complete
+
+    // The merge drained every recorded sequence below the cap. A shard
+    // that stopped on its own budget may still owe schedule entries; any
+    // other shard is exhausted for real. Note a shard at the full cap
+    // cannot coexist with remaining > 0 (the merge would have consumed
+    // its max_expansions-1 arrivals first), so this always terminates.
+    bool rerun = false;
+    for (size_t shard = 0; shard < shards; ++shard) {
+      if (shard_arrivals[shard].size() >= shard_budget[shard] &&
+          shard_budget[shard] < max_expansions) {
+        shard_budget[shard] =
+            std::min(max_expansions, shard_budget[shard] * 2);
+        stale[shard] = 1;
+        rerun = true;
+      }
+    }
+    if (!rerun) return out;
+  }
 }
 
 }  // namespace kgaq

@@ -29,6 +29,12 @@ class GreedyValidator {
     int max_hops = 3;
     /// Safety cap on priority-queue pops per validation.
     size_t max_expansions = 200000;
+    /// Scope size at which ComputeAllMatches shards its traversal across
+    /// GlobalPool() (0 forces sharding, SIZE_MAX disables it).
+    size_t shard_min_scope = 4096;
+    /// First-hop shard count for the sharded traversal. Fixed by options —
+    /// never by thread count — so results are machine-independent.
+    size_t num_shards = 8;
   };
 
   /// `pi` is the stationary distribution over `model`'s scope-local nodes.
@@ -53,7 +59,35 @@ class GreedyValidator {
   /// FindBestMatch (the expansion order does not depend on the target), so
   /// per-node results coincide with per-target searches while costing one
   /// traversal for all candidates. Indexed by scope-local id.
+  ///
+  /// For scopes of at least Options::shard_min_scope nodes the traversal
+  /// shards across GlobalPool() (see ComputeAllMatchesSharded); smaller
+  /// scopes run the serial traversal.
   std::vector<Match> ComputeAllMatches(size_t max_expansions = 500000) const;
+
+  /// The single-threaded batched traversal (reference implementation).
+  std::vector<Match> ComputeAllMatchesSerial(
+      size_t max_expansions = 500000) const;
+
+  /// Pool-parallel batched traversal. The search tree below the source is
+  /// partitioned by first hop: shard j owns the source's out-arcs j, j+S,
+  /// j+2S, ... and runs an independent best-first traversal of its
+  /// subtrees (subtrees are disjoint, so no shared state). A state becomes
+  /// poppable exactly when its parent pops and parents never cross shards,
+  /// so each shard's pop sequence is the serial schedule restricted to its
+  /// subtrees; a priority-ordered merge of the shard sequences therefore
+  /// replays the serial global schedule, and running the per-node
+  /// recording rule over it (capped at `max_expansions` pops, like the
+  /// serial loop) reproduces the serial matches — among states of exactly
+  /// equal priority only the reported path length may differ. Shards start
+  /// at twice their fair share of the cap and any shard that stops on its
+  /// budget while the merged schedule still wants entries is doubled and
+  /// re-run, so parity with the serial schedule holds even for imbalanced
+  /// subtrees while a genuinely binding cap costs ~2x the serial work at
+  /// most. The shard partition is fixed by `num_shards`, never by pool
+  /// width, so results are bitwise-deterministic.
+  std::vector<Match> ComputeAllMatchesSharded(size_t max_expansions,
+                                              size_t num_shards) const;
 
  private:
   const KnowledgeGraph* g_;

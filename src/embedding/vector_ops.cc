@@ -92,6 +92,30 @@ inline void DotAndNormsN(const float* a, const float* b, size_t n,
   nb2 = b0 + b1;
 }
 
+// dot(a,b) and dot(a,a) in one pass — for batched cosine against one
+// query whose norm is hoisted: same lane structure (and therefore the
+// same bits) as DotAndNormsN, minus the redundant b-norm accumulators.
+inline void DotAndNormAN(const float* a, const float* b, size_t n,
+                         double& dot, double& na2) {
+  size_t i = 0;
+  double d0 = 0.0, d1 = 0.0, a0 = 0.0, a1 = 0.0;
+  for (; i + 2 <= n; i += 2) {
+    const double x0 = a[i], y0 = b[i];
+    const double x1 = a[i + 1], y1 = b[i + 1];
+    d0 += x0 * y0;
+    a0 += x0 * x0;
+    d1 += x1 * y1;
+    a1 += x1 * x1;
+  }
+  for (; i < n; ++i) {
+    const double x = a[i], y = b[i];
+    d0 += x * y;
+    a0 += x * x;
+  }
+  dot = d0 + d1;
+  na2 = a0 + a1;
+}
+
 }  // namespace
 
 double Dot(std::span<const float> a, std::span<const float> b) {
@@ -147,8 +171,8 @@ void CosineSimilarityMany(std::span<const float> query,
   const double qn = std::sqrt(DotN(query.data(), query.data(), dim));
   for (size_t r = 0; r < out.size(); ++r) {
     const float* row = matrix.data() + r * dim;
-    double dot, rn2, qn2_unused;
-    DotAndNormsN(row, query.data(), dim, dot, rn2, qn2_unused);
+    double dot, rn2;
+    DotAndNormAN(row, query.data(), dim, dot, rn2);
     const double rn = std::sqrt(rn2);
     out[r] = (qn < 1e-12 || rn < 1e-12) ? 0.0 : dot / (rn * qn);
   }

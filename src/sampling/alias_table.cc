@@ -4,6 +4,46 @@
 
 namespace kgaq {
 
+void AliasRowBuilder::BuildRow(std::span<const double> weights,
+                               std::span<double> prob,
+                               std::span<uint32_t> alias) {
+  const size_t n = weights.size();
+  if (n == 0) return;
+
+  double total = 0.0;
+  for (const double w : weights) {
+    if (std::isfinite(w) && w > 0.0) total += w;
+  }
+
+  // Vose's method: scale to mean 1, split slots into under-/over-full
+  // worklists, and repeatedly pair one of each — the under-full slot keeps
+  // its own mass and borrows the remainder from the over-full one.
+  scaled_.resize(n);
+  small_.clear();
+  large_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    const double w = weights[i];
+    const double mass = (std::isfinite(w) && w > 0.0) ? w : 0.0;
+    // No positive mass anywhere: uniform fallback (every slot exactly full).
+    scaled_[i] = total > 0.0 ? mass / total * static_cast<double>(n) : 1.0;
+    prob[i] = 1.0;
+    alias[i] = static_cast<uint32_t>(i);
+    (scaled_[i] < 1.0 ? small_ : large_).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small_.empty() && !large_.empty()) {
+    const uint32_t s = small_.back();
+    const uint32_t l = large_.back();
+    small_.pop_back();
+    large_.pop_back();
+    prob[s] = scaled_[s];
+    alias[s] = l;
+    scaled_[l] -= 1.0 - scaled_[s];
+    (scaled_[l] < 1.0 ? small_ : large_).push_back(l);
+  }
+  // Leftovers in either list sit at (numerically) exactly 1; their prob
+  // entries were initialized to 1 already.
+}
+
 AliasTable::AliasTable(std::span<const double> weights) {
   const size_t n = weights.size();
   if (n == 0) return;
@@ -19,38 +59,18 @@ AliasTable::AliasTable(std::span<const double> weights) {
     // No positive mass: uniform fallback.
     const double u = 1.0 / static_cast<double>(n);
     for (double& w : normalized_) w = u;
-    total = 1.0;
   } else {
     for (double& w : normalized_) w /= total;
   }
 
-  // Vose's method: scale to mean 1, split slots into under-/over-full
-  // worklists, and repeatedly pair one of each — the under-full slot keeps
-  // its own mass and borrows the remainder from the over-full one.
-  prob_.assign(n, 1.0);
+  prob_.resize(n);
   alias_.resize(n);
-  std::vector<double> scaled(n);
-  std::vector<uint32_t> small, large;
-  small.reserve(n);
-  large.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    scaled[i] = normalized_[i] * static_cast<double>(n);
-    alias_[i] = static_cast<uint32_t>(i);
-    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
-  }
-  while (!small.empty() && !large.empty()) {
-    const uint32_t s = small.back();
-    const uint32_t l = large.back();
-    small.pop_back();
-    large.pop_back();
-    prob_[s] = scaled[s];
-    alias_[s] = l;
-    scaled[l] -= 1.0 - scaled[s];
-    (scaled[l] < 1.0 ? small : large).push_back(l);
-  }
-  // Leftovers in either list sit at (numerically) exactly 1.
-  for (uint32_t i : small) prob_[i] = 1.0;
-  for (uint32_t i : large) prob_[i] = 1.0;
+  AliasRowBuilder builder;
+  // Build from the raw weights, not normalized_: BuildRow's (w/total)*n is
+  // then bit-identical to the pre-builder construction, whereas summing the
+  // already-normalized vector (total ~ 1.0 +- ulps) could flip a slot's
+  // under/over-full classification and change fixed-seed draw streams.
+  builder.BuildRow(weights, prob_, alias_);
 }
 
 void AliasTable::Draw(size_t k, Rng& rng, std::vector<size_t>& out) const {

@@ -9,6 +9,29 @@
 
 namespace kgaq {
 
+/// Builds one alias row (Vose's method) into caller-provided storage.
+///
+/// The builder owns only scratch worklists, reused across calls, so filling
+/// a large pool of per-node rows (e.g. TransitionModel's flat per-node alias
+/// structure, one row per CSR range) allocates nothing in steady state.
+/// `prob[s]` is the probability that slot `s` resolves to itself rather
+/// than to `alias[s]`; alias entries are row-local indices.
+///
+/// A row draw is then: slot = NextBounded(n); slot if NextDouble() <
+/// prob[slot] else alias[slot] — O(1) regardless of the row width.
+class AliasRowBuilder {
+ public:
+  /// Fills `prob`/`alias` (both sized `weights.size()`) from `weights`.
+  /// Negative, NaN, and zero entries are treated as zero mass; if no entry
+  /// carries positive mass the row falls back to uniform.
+  void BuildRow(std::span<const double> weights, std::span<double> prob,
+                std::span<uint32_t> alias);
+
+ private:
+  std::vector<double> scaled_;
+  std::vector<uint32_t> small_, large_;
+};
+
 /// Walker alias table over a non-negative weight vector.
 ///
 /// Construction is O(n) (Vose's stable two-worklist method); each draw is

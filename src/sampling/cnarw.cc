@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 namespace kgaq {
 
 namespace {
 
-// Distinct-neighbor sets are materialized once; the weight function is
-// called once per (u, arc) during TransitionModel construction.
+// Distinct-neighbor sets are materialized once as sorted vectors; the
+// weight function is called once per (u, arc) during TransitionModel
+// construction and intersects the two sorted lists with a linear merge —
+// cache-friendly and allocation-free, unlike per-node hash sets.
 class CommonNeighborOracle {
  public:
   explicit CommonNeighborOracle(const KnowledgeGraph& g) : g_(&g) {
@@ -20,11 +21,17 @@ class CommonNeighborOracle {
   double Weight(NodeId u, NodeId v) {
     const auto& nu = Set(u);
     const auto& nv = Set(v);
-    const auto& small = nu.size() <= nv.size() ? nu : nv;
-    const auto& large = nu.size() <= nv.size() ? nv : nu;
     size_t common = 0;
-    for (NodeId x : small) {
-      if (large.count(x)) ++common;
+    for (size_t i = 0, j = 0; i < nu.size() && j < nv.size();) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nv[j] < nu[i]) {
+        ++j;
+      } else {
+        ++common;
+        ++i;
+        ++j;
+      }
     }
     const size_t denom = std::min(nu.size(), nv.size());
     const double w =
@@ -35,16 +42,19 @@ class CommonNeighborOracle {
   }
 
  private:
-  const std::unordered_set<NodeId>& Set(NodeId u) {
+  const std::vector<NodeId>& Set(NodeId u) {
     auto& s = neighbor_sets_[u];
     if (s.empty() && g_->Degree(u) > 0) {
-      for (const Neighbor& nb : g_->Neighbors(u)) s.insert(nb.node);
+      s.reserve(g_->Degree(u));
+      for (const Neighbor& nb : g_->Neighbors(u)) s.push_back(nb.node);
+      std::sort(s.begin(), s.end());
+      s.erase(std::unique(s.begin(), s.end()), s.end());
     }
     return s;
   }
 
   const KnowledgeGraph* g_;
-  std::vector<std::unordered_set<NodeId>> neighbor_sets_;
+  std::vector<std::vector<NodeId>> neighbor_sets_;
 };
 
 }  // namespace

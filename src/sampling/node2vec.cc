@@ -1,8 +1,6 @@
 #include "sampling/node2vec.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace kgaq {
 
@@ -22,51 +20,70 @@ Node2VecSampler::Node2VecSampler(const KnowledgeGraph& g,
                                  const BoundedSubgraph& scope,
                                  std::vector<TypeId> target_types,
                                  const Options& options, Rng& rng) {
-  // Visit counters over scope nodes.
-  std::unordered_map<NodeId, double> visits;
+  // The walk only ever stands on scope nodes, so the per-step structures
+  // are cached per scope-local id up front: the in-scope arc targets of
+  // each node (per arc, preserving multi-edge multiplicity and neighbor
+  // order, so the step distribution is unchanged) and its sorted distinct
+  // neighborhood for the O(log d) distance-1 test against `prev` — the
+  // walk loop then allocates nothing and rebuilds no hash sets.
+  std::vector<uint32_t> local(g.NumNodes(), kInvalidId);
+  for (uint32_t i = 0; i < scope.nodes.size(); ++i) {
+    local[scope.nodes[i]] = i;
+  }
+  std::vector<std::vector<NodeId>> step_targets(scope.nodes.size());
+  std::vector<std::vector<NodeId>> sorted_neighbors(scope.nodes.size());
+  for (uint32_t i = 0; i < scope.nodes.size(); ++i) {
+    const NodeId u = scope.nodes[i];
+    auto& targets = step_targets[i];
+    auto& sorted = sorted_neighbors[i];
+    targets.reserve(g.Degree(u));
+    sorted.reserve(g.Degree(u));
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (scope.Contains(nb.node)) targets.push_back(nb.node);
+      sorted.push_back(nb.node);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  }
+
+  // Visit counters over scope nodes (dense, by local id).
+  std::vector<double> visits(scope.nodes.size(), 0.0);
 
   NodeId prev = kInvalidId;
   NodeId current = scope.source;
   std::vector<double> weights;
-  std::vector<NodeId> targets;
-  std::unordered_set<NodeId> prev_neighbors;
 
   const size_t total_steps = options.burn_in + options.walk_steps;
   for (size_t step = 0; step < total_steps; ++step) {
-    weights.clear();
-    targets.clear();
-    // node2vec bias: alpha = 1/p when returning to prev, 1 when the
-    // candidate is a neighbor of prev (distance 1), 1/q otherwise.
-    prev_neighbors.clear();
-    if (prev != kInvalidId) {
-      for (const Neighbor& nb : g.Neighbors(prev)) {
-        prev_neighbors.insert(nb.node);
-      }
-    }
-    for (const Neighbor& nb : g.Neighbors(current)) {
-      if (!scope.Contains(nb.node)) continue;
-      double alpha = 1.0;
-      if (prev != kInvalidId) {
-        if (nb.node == prev) {
-          alpha = 1.0 / options.p;
-        } else if (!prev_neighbors.count(nb.node)) {
-          alpha = 1.0 / options.q;
-        }
-      }
-      weights.push_back(alpha);
-      targets.push_back(nb.node);
-    }
+    const auto& targets = step_targets[local[current]];
     if (targets.empty()) {
       // Dead end within the scope; restart from the source.
       prev = kInvalidId;
       current = scope.source;
       continue;
     }
+    // node2vec bias: alpha = 1/p when returning to prev, 1 when the
+    // candidate is a neighbor of prev (distance 1), 1/q otherwise.
+    weights.clear();
+    const std::vector<NodeId>* prev_sorted =
+        prev == kInvalidId ? nullptr : &sorted_neighbors[local[prev]];
+    for (const NodeId v : targets) {
+      double alpha = 1.0;
+      if (prev != kInvalidId) {
+        if (v == prev) {
+          alpha = 1.0 / options.p;
+        } else if (!std::binary_search(prev_sorted->begin(),
+                                       prev_sorted->end(), v)) {
+          alpha = 1.0 / options.q;
+        }
+      }
+      weights.push_back(alpha);
+    }
     const size_t pick = rng.NextWeighted(weights);
     prev = current;
     current = targets[pick];
     if (step >= options.burn_in) {
-      visits[current] += 1.0;
+      visits[local[current]] += 1.0;
     }
   }
 
@@ -79,10 +96,10 @@ Node2VecSampler::Node2VecSampler(const KnowledgeGraph& g,
   }
   std::vector<double> raw(candidates_.size(), 0.0);
   for (size_t i = 0; i < candidates_.size(); ++i) {
-    auto it = visits.find(candidates_[i]);
-    if (it != visits.end() && it->second > 0.0) {
-      raw[i] = it->second;
-      min_positive = std::min(min_positive, it->second);
+    const double v = visits[local[candidates_[i]]];
+    if (v > 0.0) {
+      raw[i] = v;
+      min_positive = std::min(min_positive, v);
     }
   }
   for (double& x : raw) {

@@ -25,12 +25,34 @@ struct StationaryResult {
 struct StationaryOptions {
   size_t max_iterations = 500;
   double tolerance = 1e-12;
+  /// Allow blocked sweeps to fan out over GlobalPool(). Results are
+  /// bitwise-identical either way: each task owns a disjoint block of
+  /// target nodes and block-local L1 deltas are combined in block order,
+  /// so neither thread count nor scheduling affects any float.
+  bool parallel = true;
+  /// Minimum model arc count before the pool engages; below it, fork-join
+  /// overhead outweighs the sweep. Set to 0 to force the parallel path.
+  size_t min_parallel_arcs = 1 << 15;
+  /// Target nodes per sweep block. Part of the numeric contract: the block
+  /// decomposition fixes the delta-combine order, so the same width gives
+  /// the same bits at any thread count (tests shrink it to force many
+  /// blocks on small scopes).
+  size_t block_width = 2048;
 };
 
 /// Computes the stationary distribution of the chain by iterating Eq. 6
 /// (pi <- pi P) from pi0 = {1 at the source} until the L1 change falls
 /// under tolerance. The chain is irreducible (Lemma 1) and aperiodic
 /// (Lemma 2, source self-loop), so the limit exists and is unique.
+///
+/// Each sweep gathers over the model's incoming-arc CSR (next[t] =
+/// sum_u pi[u] * p_ut) in fixed-size blocks of target nodes with the L1
+/// delta fused into the block loop; early sparse iterations skip rows whose
+/// in-sources all carried zero mass in the previous sweep (the walk frontier
+/// has not reached them, so their gather is exactly zero). Blocks run on
+/// GlobalPool() when `options.parallel` allows and the model is large
+/// enough; target ranges are disjoint, so no atomics are needed and the
+/// result is bitwise-deterministic.
 StationaryResult ComputeStationaryDistribution(
     const TransitionModel& model, const StationaryOptions& options = {});
 

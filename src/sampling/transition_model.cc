@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sampling/alias_table.h"
+
 namespace kgaq {
 
 TransitionModel::TransitionModel(const KnowledgeGraph& g,
@@ -39,14 +41,20 @@ void TransitionModel::BuildArcs(const KnowledgeGraph& g,
   for (size_t local = 0; local < n; ++local) {
     size_t count = local == 0 ? 1 : 0;
     for (const Neighbor& nb : g.Neighbors(globals_[local])) {
-      if (locals_[nb.node] != kInvalidId) ++count;
+      if (LocalId(nb.node) != kInvalidId) ++count;
     }
     offsets_[local + 1] = offsets_[local] + count;
   }
-  arcs_.resize(offsets_[n]);
-  cumulative_.resize(offsets_[n]);
+  const size_t num_arcs = offsets_[n];
+  arcs_.resize(num_arcs);
+  cumulative_.resize(num_arcs);
   max_prob_.assign(n, 0.0);
+  alias_prob_.resize(num_arcs);
+  alias_index_.resize(num_arcs);
+  in_offsets_.assign(n + 1, 0);
 
+  AliasRowBuilder row_builder;
+  std::vector<double> row_weights;  // scratch: one row's probabilities
   for (size_t local = 0; local < n; ++local) {
     const NodeId u = globals_[local];
     size_t cursor = offsets_[local];
@@ -56,7 +64,7 @@ void TransitionModel::BuildArcs(const KnowledgeGraph& g,
       total += self_loop_similarity;
     }
     for (const Neighbor& nb : g.Neighbors(u)) {
-      const uint32_t v = locals_[nb.node];
+      const uint32_t v = LocalId(nb.node);
       if (v == kInvalidId) continue;
       double w = weight_fn(u, nb);
       if (w <= 0.0) w = 1e-12;  // Lemma 1: keep the chain irreducible.
@@ -65,20 +73,41 @@ void TransitionModel::BuildArcs(const KnowledgeGraph& g,
     }
     // Normalize this row and build its cumulative distribution (Eq. 5's
     // constraint: probabilities out of u sum to one).
+    const size_t begin = offsets_[local];
+    const size_t end = offsets_[local + 1];
     double acc = 0.0;
-    for (size_t k = offsets_[local]; k < offsets_[local + 1]; ++k) {
+    row_weights.clear();
+    for (size_t k = begin; k < end; ++k) {
       arcs_[k].probability /= total;
       acc += arcs_[k].probability;
       cumulative_[k] = acc;
       max_prob_[local] = std::max(max_prob_[local], arcs_[k].probability);
+      row_weights.push_back(arcs_[k].probability);
+      ++in_offsets_[arcs_[k].target + 1];  // in-degree count
     }
-    if (offsets_[local + 1] > offsets_[local]) {
-      cumulative_[offsets_[local + 1] - 1] = 1.0;  // guard rounding drift
+    if (end > begin) {
+      cumulative_[end - 1] = 1.0;  // guard rounding drift
+      row_builder.BuildRow(
+          row_weights, std::span<double>(alias_prob_.data() + begin, end - begin),
+          std::span<uint32_t>(alias_index_.data() + begin, end - begin));
+    }
+  }
+
+  // Materialize the incoming-arc CSR. Rows are visited in source order, so
+  // each target's in-arc list ends up sorted by source local id — a gather
+  // over it accumulates in the exact order a scatter sweep would have.
+  for (size_t t = 0; t < n; ++t) in_offsets_[t + 1] += in_offsets_[t];
+  in_arcs_.resize(num_arcs);
+  std::vector<size_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (size_t local = 0; local < n; ++local) {
+    for (size_t k = offsets_[local]; k < offsets_[local + 1]; ++k) {
+      in_arcs_[in_cursor[arcs_[k].target]++] = {static_cast<uint32_t>(local),
+                                                arcs_[k].probability};
     }
   }
 }
 
-size_t TransitionModel::SampleNext(size_t local, Rng& rng) const {
+size_t TransitionModel::SampleNextCdf(size_t local, Rng& rng) const {
   const size_t begin = offsets_[local];
   const size_t end = offsets_[local + 1];
   const double target = rng.NextDouble();

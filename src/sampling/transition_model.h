@@ -21,6 +21,14 @@ namespace kgaq {
 /// similarity of its edge, while CNARW supplies topology-derived weights.
 /// Per Lemma 2, a small self-loop is added at the source so the chain is
 /// aperiodic.
+///
+/// Besides the outgoing CSR the model materializes two derived structures:
+///  - a pooled per-node alias table (one flat prob/alias array sharing the
+///    CSR offsets) making SampleNext O(1) per step instead of a binary
+///    search over per-node cumulative sums; and
+///  - an incoming-arc CSR (per target: the arcs reaching it, ordered by
+///    source local id) that lets the stationary-distribution solver run
+///    gather-based sweeps over disjoint target ranges without atomics.
 class TransitionModel {
  public:
   /// Weight of one traversal arc out of node `u`; must be > 0 (Lemma 1).
@@ -30,6 +38,13 @@ class TransitionModel {
   struct Arc {
     uint32_t target;     ///< Local id of the node this arc reaches.
     double probability;  ///< Normalized transition probability p_ij.
+  };
+
+  /// One incoming arc of a target node: the mirror view of Arc, used by the
+  /// gather-based power iteration (next[t] = sum_u pi[u] * p_ut).
+  struct InArc {
+    uint32_t source;     ///< Local id of the node this arc leaves.
+    double probability;  ///< Normalized transition probability p_ut.
   };
 
   /// Builds the semantic-aware model of Eq. 5: p_ij proportional to
@@ -45,13 +60,19 @@ class TransitionModel {
 
   size_t NumScopeNodes() const { return globals_.size(); }
 
+  /// Total number of arcs in the model (== incoming arcs).
+  size_t NumArcs() const { return arcs_.size(); }
+
   /// Local id of the walk source (always 0).
   size_t SourceLocal() const { return 0; }
 
   NodeId GlobalId(size_t local) const { return globals_[local]; }
 
-  /// Local id of `u` or kInvalidId when `u` is outside the scope.
-  uint32_t LocalId(NodeId u) const { return locals_[u]; }
+  /// Local id of `u` or kInvalidId when `u` is outside the scope (including
+  /// NodeIds outside the graph entirely).
+  uint32_t LocalId(NodeId u) const {
+    return u < locals_.size() ? locals_[u] : kInvalidId;
+  }
 
   /// Outgoing arcs (normalized probabilities summing to 1) of `local`.
   std::span<const Arc> Arcs(size_t local) const {
@@ -59,9 +80,30 @@ class TransitionModel {
             offsets_[local + 1] - offsets_[local]};
   }
 
+  /// Incoming arcs of `local`, ordered by source local id — the order in
+  /// which a push/scatter sweep would have accumulated into `local`, so a
+  /// gather over this list is bitwise-identical to the scatter result.
+  std::span<const InArc> InArcs(size_t local) const {
+    return {in_arcs_.data() + in_offsets_[local],
+            in_offsets_[local + 1] - in_offsets_[local]};
+  }
+
   /// Draws the next node exactly from the categorical distribution of
-  /// `local`'s arcs (binary search over per-node cumulative sums).
-  size_t SampleNext(size_t local, Rng& rng) const;
+  /// `local`'s arcs in O(1): one uniform slot pick plus one biased coin
+  /// against the node's alias row (Walker/Vose), independent of degree.
+  size_t SampleNext(size_t local, Rng& rng) const {
+    const size_t begin = offsets_[local];
+    const size_t slot = begin + rng.NextBounded(offsets_[local + 1] - begin);
+    const size_t k = rng.NextDouble() < alias_prob_[slot]
+                         ? slot
+                         : begin + alias_index_[slot];
+    return arcs_[k].target;
+  }
+
+  /// Reference draw via binary search over per-node cumulative sums — the
+  /// pre-alias O(log degree) hot path, kept as the distribution baseline
+  /// for tests and the micro bench.
+  size_t SampleNextCdf(size_t local, Rng& rng) const;
 
   /// Draws the next node with the paper's walking-with-rejection policy:
   /// pick a uniform neighbor, accept with probability proportional to its
@@ -79,6 +121,16 @@ class TransitionModel {
   std::vector<Arc> arcs_;
   std::vector<double> cumulative_;  // per-arc cumulative probability
   std::vector<double> max_prob_;    // per-node max arc probability
+
+  // Pooled per-node alias rows, sharing offsets_. alias_index_ entries are
+  // row-local, so one uint32 suffices regardless of pool size.
+  std::vector<double> alias_prob_;
+  std::vector<uint32_t> alias_index_;
+
+  // Incoming-arc CSR (gather view), sharing no storage with arcs_ but the
+  // same total length.
+  std::vector<size_t> in_offsets_;
+  std::vector<InArc> in_arcs_;
 };
 
 }  // namespace kgaq

@@ -136,6 +136,88 @@ TEST(GreedyValidatorTest, BatchMatchesPerTargetResults) {
   EXPECT_GE(agreements, comparisons * 9 / 10);
 }
 
+TEST(StationaryParallelTest, ParallelMatchesSerialBitwise) {
+  // The gather sweep owns disjoint target blocks and combines block-local
+  // deltas in block order, so the pool-parallel path must reproduce the
+  // serial path bit for bit — same pi, same delta, same iteration count.
+  auto f = MakeValidatorFixture();
+  ASSERT_GT(f.tm->NumScopeNodes(), 64u)
+      << "fixture scope too small to exercise multiple sweep blocks";
+  StationaryOptions serial;
+  serial.parallel = false;
+  serial.block_width = 32;
+  StationaryOptions parallel;
+  parallel.parallel = true;
+  parallel.min_parallel_arcs = 0;  // force the pool path
+  parallel.block_width = 32;
+  auto a = ComputeStationaryDistribution(*f.tm, serial);
+  auto b = ComputeStationaryDistribution(*f.tm, parallel);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.final_delta, b.final_delta);
+  ASSERT_EQ(a.pi.size(), b.pi.size());
+  for (size_t u = 0; u < a.pi.size(); ++u) {
+    EXPECT_EQ(a.pi[u], b.pi[u]) << "pi differs at local " << u;
+  }
+}
+
+TEST(GreedyValidatorTest, ShardedMatchesSerialBatch) {
+  // The sharded traversal partitions the search tree by first hop and
+  // merges per-shard arrivals in the serial pop order, so per-node results
+  // must agree with the serial traversal (among equal-similarity ties only
+  // the reported path length may legitimately differ).
+  auto f = MakeValidatorFixture();
+  const auto& g = f.ds->graph();
+  GreedyValidator::Options opts;
+  GreedyValidator v(g, *f.tm, f.pi, *f.sims, opts);
+  // 500000 never binds on this fixture; 4096 binds, checking that the
+  // capped merge replays the serial truncated prefix too. The small caps
+  // also drive shard budgets below subtree sizes, exercising the
+  // double-and-re-run path for imbalanced shards.
+  for (size_t cap : {500000u, 4096u}) {
+    auto serial = v.ComputeAllMatchesSerial(cap);
+    for (size_t shards : {2u, 4u, 7u}) {
+      auto sharded = v.ComputeAllMatchesSharded(cap, shards);
+      ASSERT_EQ(sharded.size(), serial.size());
+      for (size_t local = 0; local < serial.size(); ++local) {
+        EXPECT_EQ(sharded[local].found, serial[local].found)
+            << cap << " cap, " << shards << " shards, local " << local;
+        EXPECT_EQ(sharded[local].similarity, serial[local].similarity)
+            << cap << " cap, " << shards << " shards, local " << local;
+        EXPECT_EQ(sharded[local].paths_examined,
+                  serial[local].paths_examined)
+            << cap << " cap, " << shards << " shards, local " << local;
+      }
+    }
+  }
+}
+
+TEST(BranchSamplerTest, ChainMemoMatchesBestFirstSearch) {
+  // The memoized stage decomposition enumerates exactly the best-first
+  // search's bounded space, so validated chain similarities must agree
+  // (up to FP association differences in the per-path log sums).
+  const auto& ds = MiniDataset();
+  auto q = WorkloadGenerator::ChainQuery(ds, 0, 0, AggregateFunction::kCount);
+  BranchSamplerOptions memo_opts;
+  memo_opts.chain_memo = true;
+  BranchSamplerOptions search_opts;
+  search_opts.chain_memo = false;
+  auto with_memo = BranchSampler::Build(ds.graph(), ds.reference_embedding(),
+                                        q.query.branches[0], memo_opts);
+  auto with_search = BranchSampler::Build(ds.graph(), ds.reference_embedding(),
+                                          q.query.branches[0], search_opts);
+  ASSERT_TRUE(with_memo.ok() && with_search.ok());
+  ASSERT_GT((*with_memo)->NumCandidates(), 0u);
+  ASSERT_EQ((*with_memo)->NumCandidates(), (*with_search)->NumCandidates());
+  for (size_t i = 0; i < (*with_memo)->NumCandidates(); ++i) {
+    const NodeId u = (*with_memo)->CandidateNode(i);
+    EXPECT_EQ((*with_search)->CandidateNode(i), u);
+    EXPECT_NEAR((*with_memo)->ValidateSimilarity(u),
+                (*with_search)->ValidateSimilarity(u), 1e-9)
+        << ds.graph().NodeName(u);
+  }
+}
+
 TEST(GreedyValidatorTest, UnreachableTargetNotFound) {
   auto f = MakeValidatorFixture();
   GreedyValidator::Options opts;

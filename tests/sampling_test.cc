@@ -120,6 +120,63 @@ TEST(TransitionModelTest, ScopeRestriction) {
   }
 }
 
+TEST(TransitionModelTest, LocalIdOutOfGraphIsInvalid) {
+  // Regression: LocalId used to index locals_ unchecked, returning garbage
+  // (or UB) for NodeIds outside the graph entirely.
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  EXPECT_EQ(tm.LocalId(static_cast<NodeId>(f.g.NumNodes())), kInvalidId);
+  EXPECT_EQ(tm.LocalId(static_cast<NodeId>(f.g.NumNodes() + 1000)),
+            kInvalidId);
+  EXPECT_EQ(tm.LocalId(kInvalidId - 1), kInvalidId);
+  EXPECT_NE(tm.LocalId(f.source), kInvalidId);
+}
+
+TEST(TransitionModelTest, DrawPoliciesPassChiSquareAgainstExactRow) {
+  // Distribution parity of all three step policies — O(1) alias draw,
+  // reference CDF binary search, walking-with-rejection — against the
+  // row's exact categorical distribution, via a chi-square GOF statistic.
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm(f.g, scope, sims);
+  const size_t local = tm.SourceLocal();
+  const auto arcs = tm.Arcs(local);
+  ASSERT_GE(arcs.size(), 3u);
+
+  const int n = 300000;
+  auto chi_square = [&](auto&& draw_fn, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> expected(tm.NumScopeNodes(), 0.0);
+    for (const auto& arc : arcs) expected[arc.target] += arc.probability;
+    std::vector<int> observed(tm.NumScopeNodes(), 0);
+    for (int i = 0; i < n; ++i) ++observed[draw_fn(rng)];
+    double x2 = 0.0;
+    for (size_t u = 0; u < expected.size(); ++u) {
+      if (expected[u] == 0.0) {
+        EXPECT_EQ(observed[u], 0);
+        continue;
+      }
+      const double e = expected[u] * n;
+      const double d = observed[u] - e;
+      x2 += d * d / e;
+    }
+    return x2;
+  };
+  // df = arcs - 1 (<= 5 here); 30 is far past the 99.9th percentile, so a
+  // systematically wrong policy fails while seeded noise never does.
+  EXPECT_LT(chi_square([&](Rng& r) { return tm.SampleNext(local, r); }, 11),
+            30.0);
+  EXPECT_LT(
+      chi_square([&](Rng& r) { return tm.SampleNextCdf(local, r); }, 12),
+      30.0);
+  EXPECT_LT(chi_square(
+                [&](Rng& r) { return tm.SampleNextRejection(local, r); }, 13),
+            30.0);
+}
+
 TEST(TransitionModelTest, ExactAndRejectionSamplersAgree) {
   Fixture f = MakeFixture();
   PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
