@@ -8,14 +8,18 @@
 
 #include "bench/bench_common.h"
 #include "common/thread_pool.h"
+#include "core/engine_context.h"
 #include "embedding/vector_ops.h"
 #include "estimate/bootstrap.h"
 #include "estimate/ht_estimator.h"
 #include "kg/bfs.h"
 #include "kg/graph_builder.h"
+#include "kg/snapshot.h"
+#include "kg/tsv_loader.h"
 #include "sampling/alias_table.h"
 #include "sampling/answer_sampler.h"
 #include "sampling/random_walk.h"
+#include "serve/query_service.h"
 
 namespace {
 
@@ -53,6 +57,28 @@ void BM_TransitionModelBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransitionModelBuild);
+
+// Memory audit (ROADMAP): resident bytes per arc for the three view
+// configurations — walk-only (no CDF, no in-CSR), the default (in-CSR
+// only) and the full pre-audit layout (CDF + in-CSR).
+void BM_TransitionModelViews(benchmark::State& state) {
+  auto& f = Fixture();
+  TransitionOptions opts;
+  opts.keep_cdf = state.range(0) == 2;
+  opts.build_in_csr = state.range(0) >= 1;
+  for (auto _ : state) {
+    TransitionModel tm(f.g, f.scope, f.sims, opts);
+    benchmark::DoNotOptimize(tm.MemoryBytes());
+  }
+  TransitionModel tm(f.g, f.scope, f.sims, opts);
+  state.counters["bytes"] = static_cast<double>(tm.MemoryBytes());
+  state.counters["arcs"] = static_cast<double>(tm.NumArcs());
+  state.counters["bytes_per_arc"] =
+      static_cast<double>(tm.MemoryBytes()) /
+      static_cast<double>(tm.NumArcs());
+}
+BENCHMARK(BM_TransitionModelViews)
+    ->Arg(0)->Arg(1)->Arg(2)->ArgName("views");
 
 void BM_StationaryDistribution(benchmark::State& state) {
   auto& f = Fixture();
@@ -242,7 +268,9 @@ StarFixture& Star(size_t degree) {
     f->sims = std::make_unique<PredicateSimilarityCache>(
         *f->embedding, f->g.PredicateIdOf("rel0"));
     auto scope = BoundedBfs(f->g, hub, 1);
-    f->tm = std::make_unique<TransitionModel>(f->g, scope, *f->sims);
+    TransitionOptions topts;
+    topts.keep_cdf = true;  // BM_WalkStepCdfByDegree times the stored CDF
+    f->tm = std::make_unique<TransitionModel>(f->g, scope, *f->sims, topts);
     it = cache.emplace(degree, std::move(f)).first;
   }
   return *it->second;
@@ -326,6 +354,131 @@ void BM_GreedyValidationBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedyValidationBatch);
+
+// ---------- persistence: TSV parse vs binary snapshot load ----------
+
+struct PersistenceFixture {
+  std::string tsv_path;
+  std::string snap_path;
+};
+
+PersistenceFixture& Persistence() {
+  static PersistenceFixture* f = [] {
+    auto* out = new PersistenceFixture;
+    const char* tmpdir = std::getenv("TMPDIR");
+    const std::string base = tmpdir != nullptr ? tmpdir : "/tmp";
+    out->tsv_path = base + "/kgaq_bench_kg.tsv";
+    out->snap_path = base + "/kgaq_bench_kg.snap";
+    const auto& ds = Dataset("DBpedia");
+    if (!TsvLoader::SaveFile(ds.graph(), out->tsv_path).ok() ||
+        !SaveEngineSnapshot(ds.graph(), &ds.reference_embedding(),
+                            out->snap_path)
+             .ok()) {
+      std::fprintf(stderr, "persistence fixture setup failed\n");
+      std::abort();
+    }
+    return out;
+  }();
+  return *f;
+}
+
+void BM_KgTsvParse(benchmark::State& state) {
+  auto& f = Persistence();
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto g = TsvLoader::LoadFile(f.tsv_path);
+    nodes = g.ok() ? g->NumNodes() : 0;
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_KgTsvParse);
+
+void BM_KgSnapshotLoad(benchmark::State& state) {
+  auto& f = Persistence();
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto g = LoadKgSnapshot(f.snap_path);
+    nodes = g.ok() ? g->NumNodes() : 0;
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_KgSnapshotLoad);
+
+// Combined graph + embedding load into a ready-to-serve EngineContext.
+void BM_EngineSnapshotLoad(benchmark::State& state) {
+  auto& f = Persistence();
+  for (auto _ : state) {
+    auto ctx = EngineContext::LoadFromSnapshot(f.snap_path);
+    benchmark::DoNotOptimize(ctx.ok());
+  }
+}
+BENCHMARK(BM_EngineSnapshotLoad);
+
+// ---------- serving: per-query cold engines vs resident QueryService ----------
+
+struct ServeBenchFixture {
+  std::shared_ptr<EngineContext> ctx;
+  std::vector<AggregateQuery> workload;
+};
+
+ServeBenchFixture& ServeBench() {
+  static ServeBenchFixture* f = [] {
+    auto* out = new ServeBenchFixture;
+    const auto& ds = Dataset("DBpedia");
+    out->ctx = std::make_shared<EngineContext>(ds.graph(),
+                                               ds.reference_embedding());
+    for (size_t d = 0; d < 3; ++d) {
+      out->workload.push_back(WorkloadGenerator::SimpleQuery(
+          ds, d, 0, AggregateFunction::kAvg));
+      out->workload.push_back(WorkloadGenerator::SimpleQuery(
+          ds, d, 1, AggregateFunction::kCount));
+    }
+    return out;
+  }();
+  return *f;
+}
+
+// Baseline: the pre-serving architecture — one cold ApproxEngine (private
+// context, nothing shared) per query, run serially.
+void BM_ServeColdEnginesSerial(benchmark::State& state) {
+  auto& f = ServeBench();
+  const auto& ds = Dataset("DBpedia");
+  for (auto _ : state) {
+    for (size_t i = 0; i < f.workload.size(); ++i) {
+      EngineOptions opts;
+      opts.seed = QueryService::QuerySeed(5, i);
+      ApproxEngine engine(ds.graph(), ds.reference_embedding(), opts);
+      auto r = engine.Execute(f.workload[i]);
+      benchmark::DoNotOptimize(r.ok());
+    }
+  }
+  state.counters["queries"] = static_cast<double>(f.workload.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.workload.size()));
+}
+BENCHMARK(BM_ServeColdEnginesSerial);
+
+// The resident engine: one shared EngineContext, rounds interleaved at
+// the requested admission width (1 = serial sessions over warm shared
+// state; 8 = the concurrent service).
+void BM_ServeSharedContext(benchmark::State& state) {
+  auto& f = ServeBench();
+  ServiceOptions sopts;
+  sopts.base_seed = 5;
+  sopts.max_concurrent = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto results = QueryService::RunBatch(f.ctx, f.workload, sopts);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.counters["queries"] = static_cast<double>(f.workload.size());
+  state.counters["pool_threads"] =
+      static_cast<double>(GlobalPool().num_threads());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.workload.size()));
+}
+BENCHMARK(BM_ServeSharedContext)->Arg(1)->Arg(8)->ArgName("width");
 
 // ---------- weighted draws: alias table vs the replaced CDF path ----------
 

@@ -1,0 +1,30 @@
+#ifndef KGAQ_COMMON_BINARY_IO_H_
+#define KGAQ_COMMON_BINARY_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <type_traits>
+
+namespace kgaq {
+
+/// Raw little-endian POD stream helpers shared by the binary persistence
+/// layers (kg/snapshot, embedding_io). The on-disk byte order is the
+/// host's — the snapshot container's endianness marker is what keeps the
+/// format honest (see docs/snapshot_format.md).
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace kgaq
+
+#endif  // KGAQ_COMMON_BINARY_IO_H_

@@ -13,7 +13,12 @@ namespace kgaq {
 
 ApproxEngine::ApproxEngine(const KnowledgeGraph& g,
                            const EmbeddingModel& model, EngineOptions options)
-    : g_(&g), model_(&model), options_(options) {}
+    : ctx_(std::make_shared<EngineContext>(g, model)),
+      options_(options) {}
+
+ApproxEngine::ApproxEngine(std::shared_ptr<const EngineContext> context,
+                           EngineOptions options)
+    : ctx_(std::move(context)), options_(options) {}
 
 Result<AggregateResult> ApproxEngine::Execute(
     const AggregateQuery& query) const {
@@ -22,19 +27,21 @@ Result<AggregateResult> ApproxEngine::Execute(
   return (*session)->RunToErrorBound(options_.error_bound);
 }
 
-Result<std::unique_ptr<InteractiveSession>> ApproxEngine::CreateSession(
+Result<std::unique_ptr<QuerySession>> ApproxEngine::CreateSession(
     const AggregateQuery& query) const {
-  KGAQ_RETURN_IF_ERROR(query.Validate(*g_));
+  const KnowledgeGraph& g = ctx_->graph();
+  KGAQ_RETURN_IF_ERROR(query.Validate(g));
 
-  auto session = std::unique_ptr<InteractiveSession>(new InteractiveSession());
-  session->g_ = g_;
+  auto session = std::unique_ptr<QuerySession>(new QuerySession());
+  session->ctx_ = ctx_;
+  session->g_ = &g;
   session->options_ = options_;
   session->query_ = query;
   session->rng_ = Rng(options_.seed);
 
   WallTimer s1_timer;
   for (const QueryBranch& branch : query.query.branches) {
-    auto bs = BranchSampler::Build(*g_, *model_, branch, options_.branch);
+    auto bs = BranchSampler::Build(*ctx_, branch, options_.branch);
     if (!bs.ok()) return bs.status();
     session->branches_.push_back(std::move(*bs));
   }
@@ -79,20 +86,19 @@ Result<std::unique_ptr<InteractiveSession>> ApproxEngine::CreateSession(
 
   // Resolve attribute ids once.
   if (!query.attribute.empty()) {
-    session->value_attr_ = g_->AttributeIdOf(query.attribute);
+    session->value_attr_ = g.AttributeIdOf(query.attribute);
   }
   if (query.group_by.enabled()) {
-    session->group_attr_ = g_->AttributeIdOf(query.group_by.attribute);
+    session->group_attr_ = g.AttributeIdOf(query.group_by.attribute);
   }
   for (const Filter& f : query.filters) {
-    session->resolved_filters_.emplace_back(g_->AttributeIdOf(f.attribute),
-                                            f);
+    session->resolved_filters_.emplace_back(g.AttributeIdOf(f.attribute), f);
   }
   session->s1_ms_ = s1_timer.ElapsedMillis();
   return session;
 }
 
-void InteractiveSession::DrawAndValidate(size_t k) {
+void QuerySession::DrawAndValidate(size_t k) {
   if (candidates_.empty() || k == 0) return;
   ThreadPool& pool = GlobalPool();
 
@@ -209,7 +215,7 @@ void InteractiveSession::DrawAndValidate(size_t k) {
   }
 }
 
-std::vector<SampleItem> InteractiveSession::GroupView(int64_t key) const {
+std::vector<SampleItem> QuerySession::GroupView(int64_t key) const {
   // Same draw vector with out-of-group items masked incorrect: keeps the
   // |S_A| divisor of the HT estimators intact so each group's estimate
   // targets f_a over that group's correct answers.
@@ -220,53 +226,174 @@ std::vector<SampleItem> InteractiveSession::GroupView(int64_t key) const {
   return view;
 }
 
-AggregateResult InteractiveSession::ExtremeResult(double error_bound) {
-  StepTimer s2;
-  s2.Start();
-  const size_t per_round = std::max<size_t>(
-      8, static_cast<size_t>(std::ceil(options_.extreme_sample_fraction *
-                                       static_cast<double>(
-                                           candidates_.size()))));
-  for (size_t round = 0; round < options_.extreme_rounds; ++round) {
-    DrawAndValidate(per_round);
-    ++rounds_total_;
+void QuerySession::BeginRun(double error_bound) {
+  run_ = RunState{};
+  run_.error_bound = error_bound;
+  run_.finished = false;
+  s2_.Reset();
+  s3_.Reset();
+
+  if (!HasAccuracyGuarantee(query_.function)) {
+    run_.extreme = true;
+    run_.per_round = std::max<size_t>(
+        8, static_cast<size_t>(std::ceil(options_.extreme_sample_fraction *
+                                         static_cast<double>(
+                                             candidates_.size()))));
+    // extreme_rounds == 0 means "estimate from the sample already
+    // collected, draw nothing" — finish before any StepRound draws.
+    if (options_.extreme_rounds == 0) run_.finished = true;
+    return;
   }
-  AggregateResult out;
-  out.v_hat = options_.use_evt_for_extremes
-                  ? EstimateExtremeEvt(query_.function, items_)
-                  : HtEstimator::Estimate(query_.function, items_);
-  out.moe = 0.0;
-  out.confidence_level = options_.confidence_level;
-  out.error_bound = error_bound;
-  out.satisfied = false;  // extreme functions carry no guarantee (§VII-B)
-  out.rounds = rounds_total_;
-  out.total_draws = items_.size();
-  out.num_candidates = candidates_.size();
-  out.correct_draws = HtEstimator::CountCorrect(items_);
-  s2.Stop();
-  out.timings.s2_estimation_ms = s2.TotalMillis();
-  if (!s1_reported_) {
-    out.timings.s1_sampling_ms = s1_ms_;
-    s1_reported_ = true;
+
+  run_.out.confidence_level = options_.confidence_level;
+  run_.out.error_bound = error_bound;
+  run_.out.num_candidates = candidates_.size();
+  if (candidates_.empty()) {
+    run_.out.satisfied = true;
+    run_.finished = true;
+    return;
   }
-  out.timings.total_ms =
-      out.timings.s1_sampling_ms + out.timings.s2_estimation_ms;
-  return out;
+
+  // Initial desired sample: |S_A| = t * N^m with N = lambda |A| (§IV-C).
+  const double n_desired =
+      options_.sample_ratio * static_cast<double>(candidates_.size());
+  run_.target = std::max(
+      options_.min_initial_draws,
+      static_cast<size_t>(std::ceil(
+          static_cast<double>(options_.blb.t) *
+          std::pow(std::max(n_desired, 1.0), options_.blb.m))));
 }
 
-AggregateResult InteractiveSession::RunToErrorBound(double error_bound) {
-  if (!HasAccuracyGuarantee(query_.function)) {
-    return ExtremeResult(error_bound);
+bool QuerySession::StepRound() {
+  if (run_.finished) return true;
+
+  if (run_.extreme) {
+    s2_.Start();
+    DrawAndValidate(run_.per_round);
+    s2_.Stop();
+    ++rounds_total_;
+    if (++run_.extreme_rounds_done >= options_.extreme_rounds) {
+      run_.finished = true;
+    }
+    return run_.finished;
   }
 
-  StepTimer s2, s3;
-  AggregateResult out;
-  out.confidence_level = options_.confidence_level;
-  out.error_bound = error_bound;
-  out.num_candidates = candidates_.size();
+  ++run_.rounds_this_call;
+  ++rounds_total_;
 
+  s2_.Start();
+  if (items_.size() < run_.target) {
+    DrawAndValidate(run_.target - items_.size());
+  }
+  const double v_hat = HtEstimator::Estimate(query_.function, items_);
+  s2_.Stop();
+
+  s3_.Start();
+  const BlbResult blb = BagOfLittleBootstraps(
+      items_, query_.function, options_.confidence_level, options_.blb,
+      rng_);
+  s3_.Stop();
+
+  run_.out.v_hat = v_hat;
+  run_.out.moe = blb.moe;
+  trace_.push_back({rounds_total_, v_hat, blb.moe, items_.size(),
+                    HtEstimator::CountCorrect(items_)});
+
+  bool satisfied;
+  const size_t correct = HtEstimator::CountCorrect(items_);
+  if (correct < options_.min_correct_draws) {
+    // Too few correct draws: both the estimate and its bootstrap CI are
+    // vacuous; force more sampling instead of terminating on them.
+    satisfied = false;
+  } else if (group_attr_ != kInvalidId) {
+    // GROUP-BY: every group with enough support must meet Theorem 2.
+    s3_.Start();
+    std::set<int64_t> keys;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].correct) keys.insert(group_keys_[i]);
+    }
+    run_.out.groups.clear();
+    satisfied = true;
+    for (int64_t key : keys) {
+      auto view = GroupView(key);
+      GroupEstimate ge;
+      ge.bucket_lower =
+          static_cast<double>(key) * query_.group_by.bucket_width;
+      ge.v_hat = HtEstimator::Estimate(query_.function, view);
+      ge.support = HtEstimator::CountCorrect(view);
+      const BlbResult gb = BagOfLittleBootstraps(
+          view, query_.function, options_.confidence_level, options_.blb,
+          rng_);
+      ge.moe = gb.moe;
+      ge.satisfied = SatisfiesErrorBound(gb.moe, ge.v_hat, run_.error_bound);
+      if (ge.support >= options_.group_min_support && !ge.satisfied) {
+        satisfied = false;
+      }
+      run_.out.groups.push_back(ge);
+    }
+    s3_.Stop();
+  } else {
+    satisfied = SatisfiesErrorBound(blb.moe, v_hat, run_.error_bound);
+  }
+
+  if (satisfied) {
+    run_.out.satisfied = true;
+    run_.finished = true;
+    return true;
+  }
+  if (run_.rounds_this_call >= options_.max_rounds ||
+      items_.size() >= options_.max_total_draws) {
+    run_.finished = true;
+    return true;
+  }
+
+  // Error-based |Delta S_A| configuration (Eq. 12), or the fixed
+  // increment of the Fig. 5c ablation.
+  size_t delta;
+  if (options_.fixed_increment > 0) {
+    delta = options_.fixed_increment;
+  } else if (correct < options_.min_correct_draws || v_hat == 0.0 ||
+             !std::isfinite(blb.moe)) {
+    delta = items_.size();  // geometric growth until signal appears
+  } else {
+    delta = ConfigureSampleIncrement(items_.size(), blb.moe, v_hat,
+                                     run_.error_bound, options_.blb.m);
+  }
+  run_.target = std::min(items_.size() + delta, options_.max_total_draws);
+  return false;
+}
+
+AggregateResult QuerySession::FinishRun() {
+  run_.finished = true;
+
+  if (run_.extreme) {
+    s2_.Start();
+    AggregateResult out;
+    out.v_hat = options_.use_evt_for_extremes
+                    ? EstimateExtremeEvt(query_.function, items_)
+                    : HtEstimator::Estimate(query_.function, items_);
+    out.moe = 0.0;
+    out.confidence_level = options_.confidence_level;
+    out.error_bound = run_.error_bound;
+    out.satisfied = false;  // extreme functions carry no guarantee (§VII-B)
+    out.rounds = rounds_total_;
+    out.total_draws = items_.size();
+    out.num_candidates = candidates_.size();
+    out.correct_draws = HtEstimator::CountCorrect(items_);
+    s2_.Stop();
+    out.timings.s2_estimation_ms = s2_.TotalMillis();
+    if (!s1_reported_) {
+      out.timings.s1_sampling_ms = s1_ms_;
+      s1_reported_ = true;
+    }
+    out.timings.total_ms =
+        out.timings.s1_sampling_ms + out.timings.s2_estimation_ms;
+    return out;
+  }
+
+  AggregateResult out = std::move(run_.out);
+  run_.out = AggregateResult{};
   if (candidates_.empty()) {
-    out.satisfied = true;
     if (!s1_reported_) {
       out.timings.s1_sampling_ms = s1_ms_;
       s1_reported_ = true;
@@ -275,105 +402,12 @@ AggregateResult InteractiveSession::RunToErrorBound(double error_bound) {
     return out;
   }
 
-  // Initial desired sample: |S_A| = t * N^m with N = lambda |A| (§IV-C).
-  const double n_desired =
-      options_.sample_ratio * static_cast<double>(candidates_.size());
-  size_t target = std::max(
-      options_.min_initial_draws,
-      static_cast<size_t>(std::ceil(
-          static_cast<double>(options_.blb.t) *
-          std::pow(std::max(n_desired, 1.0), options_.blb.m))));
-
-  size_t rounds_this_call = 0;
-  for (;;) {
-    ++rounds_this_call;
-    ++rounds_total_;
-
-    s2.Start();
-    if (items_.size() < target) {
-      DrawAndValidate(target - items_.size());
-    }
-    const double v_hat = HtEstimator::Estimate(query_.function, items_);
-    s2.Stop();
-
-    s3.Start();
-    const BlbResult blb = BagOfLittleBootstraps(
-        items_, query_.function, options_.confidence_level, options_.blb,
-        rng_);
-    s3.Stop();
-
-    out.v_hat = v_hat;
-    out.moe = blb.moe;
-    trace_.push_back({rounds_total_, v_hat, blb.moe, items_.size(),
-                      HtEstimator::CountCorrect(items_)});
-
-    bool satisfied;
-    const size_t correct = HtEstimator::CountCorrect(items_);
-    if (correct < options_.min_correct_draws) {
-      // Too few correct draws: both the estimate and its bootstrap CI are
-      // vacuous; force more sampling instead of terminating on them.
-      satisfied = false;
-    } else if (group_attr_ != kInvalidId) {
-      // GROUP-BY: every group with enough support must meet Theorem 2.
-      s3.Start();
-      std::set<int64_t> keys;
-      for (size_t i = 0; i < items_.size(); ++i) {
-        if (items_[i].correct) keys.insert(group_keys_[i]);
-      }
-      out.groups.clear();
-      satisfied = true;
-      for (int64_t key : keys) {
-        auto view = GroupView(key);
-        GroupEstimate ge;
-        ge.bucket_lower =
-            static_cast<double>(key) * query_.group_by.bucket_width;
-        ge.v_hat = HtEstimator::Estimate(query_.function, view);
-        ge.support = HtEstimator::CountCorrect(view);
-        const BlbResult gb = BagOfLittleBootstraps(
-            view, query_.function, options_.confidence_level, options_.blb,
-            rng_);
-        ge.moe = gb.moe;
-        ge.satisfied = SatisfiesErrorBound(gb.moe, ge.v_hat, error_bound);
-        if (ge.support >= options_.group_min_support && !ge.satisfied) {
-          satisfied = false;
-        }
-        out.groups.push_back(ge);
-      }
-      s3.Stop();
-    } else {
-      satisfied = SatisfiesErrorBound(blb.moe, v_hat, error_bound);
-    }
-
-    if (satisfied) {
-      out.satisfied = true;
-      break;
-    }
-    if (rounds_this_call >= options_.max_rounds ||
-        items_.size() >= options_.max_total_draws) {
-      break;
-    }
-
-    // Error-based |Delta S_A| configuration (Eq. 12), or the fixed
-    // increment of the Fig. 5c ablation.
-    size_t delta;
-    if (options_.fixed_increment > 0) {
-      delta = options_.fixed_increment;
-    } else if (correct < options_.min_correct_draws || v_hat == 0.0 ||
-               !std::isfinite(blb.moe)) {
-      delta = items_.size();  // geometric growth until signal appears
-    } else {
-      delta = ConfigureSampleIncrement(items_.size(), blb.moe, v_hat,
-                                       error_bound, options_.blb.m);
-    }
-    target = std::min(items_.size() + delta, options_.max_total_draws);
-  }
-
-  out.rounds = rounds_this_call;
+  out.rounds = run_.rounds_this_call;
   out.total_draws = items_.size();
   out.correct_draws = HtEstimator::CountCorrect(items_);
   out.trace = trace_;
-  out.timings.s2_estimation_ms = s2.TotalMillis();
-  out.timings.s3_accuracy_ms = s3.TotalMillis();
+  out.timings.s2_estimation_ms = s2_.TotalMillis();
+  out.timings.s3_accuracy_ms = s3_.TotalMillis();
   if (!s1_reported_) {
     out.timings.s1_sampling_ms = s1_ms_;
     s1_reported_ = true;
@@ -382,6 +416,13 @@ AggregateResult InteractiveSession::RunToErrorBound(double error_bound) {
                          out.timings.s2_estimation_ms +
                          out.timings.s3_accuracy_ms;
   return out;
+}
+
+AggregateResult QuerySession::RunToErrorBound(double error_bound) {
+  BeginRun(error_bound);
+  while (!StepRound()) {
+  }
+  return FinishRun();
 }
 
 }  // namespace kgaq

@@ -8,7 +8,9 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/branch_sampler.h"
+#include "core/engine_context.h"
 #include "sampling/alias_table.h"
 #include "embedding/embedding_model.h"
 #include "estimate/bootstrap.h"
@@ -107,7 +109,7 @@ struct AggregateResult {
   StepTimings timings;
 };
 
-class InteractiveSession;
+class QuerySession;
 
 /// The sampling-estimation engine (Algorithm 2).
 ///
@@ -116,12 +118,23 @@ class InteractiveSession;
 ///   // result->v_hat +- result->moe covers the tau-relevant ground truth
 ///   // with the configured confidence, and |V_hat - V| / V <= eb.
 ///
+/// Or, resident-engine style with explicit shared state:
+///
+///   auto ctx = std::make_shared<EngineContext>(graph, embedding);
+///   ApproxEngine engine(ctx);   // many engines/queries can share ctx
+///
 /// The engine is stateless across queries and safe to share between
-/// threads as long as each call uses its own session.
+/// threads as long as each call uses its own session. All expensive
+/// derived state (similarity rows, walk cores, chain-validation profiles)
+/// lives in the EngineContext, so engines borrowing one context reuse it
+/// across queries; the two-argument constructor creates a private context
+/// with the same lifetime as the engine.
 class ApproxEngine {
  public:
   ApproxEngine(const KnowledgeGraph& g, const EmbeddingModel& model,
                EngineOptions options = {});
+  explicit ApproxEngine(std::shared_ptr<const EngineContext> context,
+                        EngineOptions options = {});
 
   /// One-shot execution: creates a session and runs Algorithm 2 to the
   /// configured error bound.
@@ -130,22 +143,35 @@ class ApproxEngine {
   /// Creates a resumable session for interactive error-bound refinement
   /// (Fig. 6a): RunToErrorBound can be called repeatedly with shrinking
   /// bounds, reusing all previously collected sample.
-  Result<std::unique_ptr<InteractiveSession>> CreateSession(
+  Result<std::unique_ptr<QuerySession>> CreateSession(
       const AggregateQuery& query) const;
 
   const EngineOptions& options() const { return options_; }
-  const KnowledgeGraph& graph() const { return *g_; }
-  const EmbeddingModel& model() const { return *model_; }
+  const KnowledgeGraph& graph() const { return ctx_->graph(); }
+  const EmbeddingModel& model() const { return ctx_->model(); }
+  const std::shared_ptr<const EngineContext>& context() const {
+    return ctx_;
+  }
 
  private:
-  const KnowledgeGraph* g_;
-  const EmbeddingModel* model_;
+  std::shared_ptr<const EngineContext> ctx_;
   EngineOptions options_;
 };
 
 /// Resumable Algorithm-2 state bound to one query: branch samplers, the
-/// combined candidate distribution, and every draw validated so far.
-class InteractiveSession {
+/// combined candidate distribution, and every draw validated so far. The
+/// session borrows the engine's EngineContext (pinning it alive) and is
+/// itself cheap — building one derives only the query-specific candidate
+/// distribution; the heavy shared state comes from the context's caches.
+///
+/// Two equivalent driving modes:
+///  * RunToErrorBound(eb): run rounds to completion (the classic API);
+///  * BeginRun(eb) / StepRound() / FinishRun(): one draw-validate-estimate
+///    round per StepRound call, so a scheduler (serve/QueryService) can
+///    interleave many sessions' rounds over the shared pool. Both modes
+///    execute the identical sequence of draws and estimator calls, so for
+///    a fixed seed they produce bitwise-identical results.
+class QuerySession {
  public:
   /// Runs (or continues) the sampling-estimation loop until the Theorem 2
   /// condition holds for `error_bound`, then returns the current result.
@@ -153,12 +179,26 @@ class InteractiveSession {
   /// subsequent call with a tighter bound reports the *incremental* cost.
   AggregateResult RunToErrorBound(double error_bound);
 
+  /// Starts a stepwise run toward `error_bound`. Any previous run must
+  /// have finished.
+  void BeginRun(double error_bound);
+
+  /// Executes one Algorithm-2 round (draw + validate + estimate + check).
+  /// Returns true when the run has finished (bound satisfied or budget
+  /// exhausted) — call FinishRun() then.
+  bool StepRound();
+
+  /// Completes the stepwise run and returns its result.
+  AggregateResult FinishRun();
+
+  bool run_finished() const { return run_.finished; }
+
   const AggregateQuery& query() const { return query_; }
   size_t num_candidates() const { return candidates_.size(); }
 
  private:
   friend class ApproxEngine;
-  InteractiveSession() = default;
+  QuerySession() = default;
 
   struct DrawRecord {
     SampleItem item;
@@ -166,9 +206,9 @@ class InteractiveSession {
   };
 
   void DrawAndValidate(size_t k);
-  AggregateResult ExtremeResult(double error_bound);
   std::vector<SampleItem> GroupView(int64_t key) const;
 
+  std::shared_ptr<const EngineContext> ctx_;
   const KnowledgeGraph* g_ = nullptr;
   EngineOptions options_;
   AggregateQuery query_;
@@ -196,7 +236,25 @@ class InteractiveSession {
   bool s1_reported_ = false;
   size_t rounds_total_ = 0;
   std::vector<RoundTrace> trace_;
+
+  /// State of the current BeginRun/StepRound/FinishRun cycle.
+  struct RunState {
+    double error_bound = 0.01;
+    bool extreme = false;   // MAX/MIN path (no guarantee)
+    bool finished = true;   // no run in progress
+    AggregateResult out;
+    size_t target = 0;              // guaranteed path: desired |S_A|
+    size_t rounds_this_call = 0;    // guaranteed path
+    size_t per_round = 0;           // extreme path: draws per round
+    size_t extreme_rounds_done = 0;
+  };
+  RunState run_;
+  StepTimer s2_;
+  StepTimer s3_;
 };
+
+/// Pre-refactor name for QuerySession, kept for source compatibility.
+using InteractiveSession = QuerySession;
 
 }  // namespace kgaq
 

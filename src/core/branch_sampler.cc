@@ -7,9 +7,7 @@
 #include <unordered_set>
 
 #include "common/timer.h"
-#include "kg/bfs.h"
 #include "sampling/answer_sampler.h"
-#include "sampling/random_walk.h"
 
 namespace kgaq {
 
@@ -30,7 +28,17 @@ std::vector<TypeId> ResolveTypes(const KnowledgeGraph& g,
 Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
     const KnowledgeGraph& g, const EmbeddingModel& model,
     const QueryBranch& branch, const BranchSamplerOptions& options) {
+  // Ephemeral context: the shared structures it hands out are kept alive
+  // by the sampler's shared_ptrs; nothing is reused across calls.
+  EngineContext ctx(g, model);
+  return Build(ctx, branch, options);
+}
+
+Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
+    const EngineContext& ctx, const QueryBranch& branch,
+    const BranchSamplerOptions& options) {
   WallTimer timer;
+  const KnowledgeGraph& g = ctx.graph();
   const NodeId us = g.FindNodeByName(branch.specific_name);
   if (us == kInvalidId) {
     return Status::NotFound("specific node '" + branch.specific_name +
@@ -46,7 +54,8 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
   sampler->us_ = us;
   sampler->stage_units_.resize(branch.hops.size());
 
-  // Resolve hops once; similarity caches are shared across stage units.
+  // Resolve hops once; similarity rows come from (and persist in) the
+  // context's per-predicate cache.
   for (const QueryHop& hop : branch.hops) {
     ResolvedHop rh;
     rh.predicate = g.PredicateIdOf(hop.predicate);
@@ -55,9 +64,25 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
                               "' is unknown to the KG embedding");
     }
     rh.types = ResolveTypes(g, hop.node_types);
-    rh.sims =
-        std::make_shared<PredicateSimilarityCache>(model, rh.predicate);
+    rh.sims = ctx.PredicateSimilarities(rh.predicate);
     sampler->hops_.push_back(std::move(rh));
+  }
+
+  // Chain branches share validation profiles across queries through the
+  // context, keyed by everything a profile depends on: the specific node,
+  // the hop bound, the enumeration budget, the similarity floor and each
+  // hop's predicate + resolved types.
+  if (branch.hops.size() > 1) {
+    std::string sig = "us:" + std::to_string(us) +
+                      ";n:" + std::to_string(options.n_hops) + ";b:" +
+                      std::to_string(options.chain_validation_max_expansions) +
+                      ";f:" +
+                      std::to_string(PredicateSimilarityCache::kDefaultFloor);
+    for (const ResolvedHop& rh : sampler->hops_) {
+      sig += ";p:" + std::to_string(rh.predicate) + ":";
+      for (TypeId t : rh.types) sig += std::to_string(t) + ",";
+    }
+    sampler->chain_cache_ = ctx.ChainProfiles(sig);
   }
 
   // Stage roots start as the single specific node with full weight.
@@ -94,19 +119,22 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
     // "each second sampling is run as a thread").
     auto build_unit = [&](size_t ui) {
       StageUnit& unit = units[ui];
-      const BoundedSubgraph scope = BoundedBfs(g, unit.root, options.n_hops);
-      unit.transitions = std::make_unique<TransitionModel>(
-          g, scope, *rhop.sims, options.self_loop_similarity);
-      StationaryOptions st_opts;
-      st_opts.max_iterations = options.stationary_max_iterations;
-      unit.pi = ComputeStationaryDistribution(*unit.transitions, st_opts).pi;
+      EngineContext::WalkCoreKey core_key;
+      core_key.root = unit.root;
+      core_key.query_predicate = rhop.predicate;
+      core_key.n_hops = options.n_hops;
+      core_key.self_loop_similarity = options.self_loop_similarity;
+      core_key.sims_floor = PredicateSimilarityCache::kDefaultFloor;
+      core_key.stationary_max_iterations = options.stationary_max_iterations;
+      unit.core = ctx.ScopedWalkCore(core_key);
       GreedyValidator::Options v_opts;
       v_opts.repeat_factor = options.repeat_factor;
       v_opts.max_hops = options.n_hops;
       unit.validator = std::make_unique<GreedyValidator>(
-          g, *unit.transitions, unit.pi, *rhop.sims, v_opts);
+          g, unit.core->transitions, unit.core->pi, *rhop.sims, v_opts);
 
-      AnswerSampler extraction(g, *unit.transitions, unit.pi, hop_types);
+      AnswerSampler extraction(g, unit.core->transitions, unit.core->pi,
+                               hop_types);
       if (last) {
         // Record this unit's pi' = pi'_i * pi'_j contributions; they are
         // accumulated per answer after the join (an answer reachable
@@ -263,7 +291,7 @@ double BranchSampler::ValidateSimilarity(NodeId u) const {
       batch_matches_ = unit.validator->ComputeAllMatches();
       batch_ready_ = true;
     }
-    const uint32_t local = unit.transitions->LocalId(u);
+    const uint32_t local = unit.core->transitions.LocalId(u);
     best = (local != kInvalidId && batch_matches_[local].found)
                ? batch_matches_[local].similarity
                : 0.0;
@@ -293,15 +321,11 @@ double BranchSampler::ValidateChainSimilarity(NodeId u) const {
   return ValidateChainSimilarityAstar(u);
 }
 
-const BranchSampler::ChainCompletionProfile*
-BranchSampler::ChainCompletionsFrom(int stage, NodeId x) const {
+const ChainCompletionProfile* BranchSampler::ChainCompletionsFrom(
+    int stage, NodeId x) const {
   const uint64_t key = (static_cast<uint64_t>(stage) << 32) | x;
-  {
-    std::lock_guard<std::mutex> lock(chain_memo_mu_);
-    auto it = chain_memo_.find(key);
-    if (it != chain_memo_.end()) {
-      return it->second.valid ? &it->second : nullptr;
-    }
+  if (const ChainCompletionProfile* found = chain_cache_->Find(key)) {
+    return found->valid ? found : nullptr;
   }
 
   ChainCompletionProfile profile;
@@ -311,18 +335,16 @@ BranchSampler::ChainCompletionsFrom(int stage, NodeId x) const {
   // A fresh per-profile budget (rather than one shared by the whole
   // answer) keeps validity a pure function of (stage, x): a profile that
   // enumerates within its own budget succeeds no matter how much work its
-  // caller already did, so warm and cold memos yield identical results.
+  // caller already did, so warm and cold caches yield identical results.
   size_t budget = options_.chain_validation_max_expansions;
   std::vector<NodeId> path = {x};
   profile.valid = EnumerateCompletions(stage, x, 0, 0.0, path, budget,
                                        profile);
   if (!profile.valid) profile.best_log.clear();
 
-  std::lock_guard<std::mutex> lock(chain_memo_mu_);
-  // Concurrent warm-up tasks may have raced to the same boundary state;
-  // both computed the identical profile, first insert wins.
-  auto [it, unused] = chain_memo_.emplace(key, std::move(profile));
-  return it->second.valid ? &it->second : nullptr;
+  const ChainCompletionProfile* resident =
+      chain_cache_->Insert(key, std::move(profile));
+  return resident->valid ? resident : nullptr;
 }
 
 bool BranchSampler::EnumerateCompletions(int stage, NodeId node, int len,

@@ -2,7 +2,6 @@
 #define KGAQ_CORE_BRANCH_SAMPLER_H_
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +9,8 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/chain_validation_cache.h"
+#include "core/engine_context.h"
 #include "core/greedy_validator.h"
 #include "embedding/embedding_model.h"
 #include "kg/knowledge_graph.h"
@@ -51,8 +52,19 @@ struct BranchSamplerOptions {
 /// per-answer greedy validation of the full multi-stage match similarity.
 class BranchSampler {
  public:
-  /// Builds everything; the returned object is immutable apart from the
-  /// validation cache. Fails when the specific node cannot be resolved.
+  /// Builds everything against a shared EngineContext: similarity rows,
+  /// per-stage walk cores and the chain-validation profile store come
+  /// from (and persist in) the context's caches, so branches of later
+  /// queries that share structure reuse them. The returned object is
+  /// immutable apart from the validation cache. Fails when the specific
+  /// node cannot be resolved.
+  static Result<std::unique_ptr<BranchSampler>> Build(
+      const EngineContext& ctx, const QueryBranch& branch,
+      const BranchSamplerOptions& options);
+
+  /// Standalone build: derives everything through an ephemeral context
+  /// (the shared structures live on inside this sampler, nothing is
+  /// reused across calls) — the pre-EngineContext behavior.
   static Result<std::unique_ptr<BranchSampler>> Build(
       const KnowledgeGraph& g, const EmbeddingModel& model,
       const QueryBranch& branch, const BranchSamplerOptions& options);
@@ -96,11 +108,12 @@ class BranchSampler {
   BranchSamplerOptions options_;
   NodeId us_ = kInvalidId;
 
-  /// Resolved query hops (shared across stage units).
+  /// Resolved query hops (shared across stage units; the similarity rows
+  /// live in the EngineContext's cache).
   struct ResolvedHop {
     PredicateId predicate = kInvalidId;
     std::vector<TypeId> types;
-    std::shared_ptr<PredicateSimilarityCache> sims;
+    std::shared_ptr<const PredicateSimilarityCache> sims;
   };
   std::vector<ResolvedHop> hops_;
 
@@ -115,27 +128,16 @@ class BranchSampler {
   /// The original per-answer backward best-first (A*) search.
   double ValidateChainSimilarityAstar(NodeId u) const;
 
-  /// Memoized backward-search results for one boundary state of the chain
-  /// validation: starting a fresh segment at some node with stages
-  /// `stage..0` still to traverse, best_log[L] is the maximum
-  /// log-similarity sum over all completions of exactly L edges reaching
-  /// the specific node (-inf where no completion of that length exists).
-  /// A profile is `valid` only when its enumeration completed, so every
-  /// usable memo entry is exact; the best final geometric mean through a
-  /// prefix (pl, plen) is max_L exp((pl + best_log[L]) / (plen + L)) —
-  /// per-length maxima suffice because the denominator is fixed once L is.
-  struct ChainCompletionProfile {
-    std::vector<double> best_log;
-    bool valid = false;
-  };
-
-  /// Returns the profile for boundary state (stage, x), computing and
-  /// memoizing it on first use; nullptr when it is invalid. Each profile's
-  /// own segment enumeration gets a fresh chain_validation_max_expansions
-  /// budget of DFS edge visits and sub-profiles are budgeted the same way
-  /// recursively, making validity a pure function of (stage, x) — whether
-  /// the memo happens to be warm (e.g. under parallel warm-up) can never
-  /// change which answers fall back to the best-first search.
+  /// Returns the profile for boundary state (stage, x) — see
+  /// ChainCompletionProfile in core/chain_validation_cache.h — computing
+  /// and memoizing it in chain_cache_ on first use; nullptr when it is
+  /// invalid. Each profile's own segment enumeration gets a fresh
+  /// chain_validation_max_expansions budget of DFS edge visits and
+  /// sub-profiles are budgeted the same way recursively, making validity
+  /// a pure function of (stage, x) — whether the cache happens to be warm
+  /// (parallel warm-up, or an earlier query sharing the branch signature
+  /// through the EngineContext) can never change which answers fall back
+  /// to the best-first search.
   const ChainCompletionProfile* ChainCompletionsFrom(int stage,
                                                      NodeId x) const;
 
@@ -154,26 +156,27 @@ class BranchSampler {
   std::unordered_map<NodeId, uint32_t> candidate_index_;
 
   // Per-stage machinery for validation. Stage 0 is rooted at the specific
-  // node; stage k > 0 holds one entry per retained intermediate.
+  // node; stage k > 0 holds one entry per retained intermediate. The walk
+  // core (transition model + stationary pi) is borrowed from the
+  // EngineContext cache; the validator wraps it per unit (it only stores
+  // pointers).
   struct StageUnit {
     NodeId root = kInvalidId;
     double weight = 0.0;           // renormalized pi' of the root's chain
     double root_log_sim = 0.0;     // accumulated log-sim to reach the root
     int root_length = 0;           // accumulated path length to the root
-    std::unique_ptr<TransitionModel> transitions;
-    std::vector<double> pi;
+    std::shared_ptr<const EngineContext::WalkCore> core;
     std::unique_ptr<GreedyValidator> validator;
   };
   // stage_units_[s] = units of stage s (1 for stage 0).
   std::vector<std::vector<StageUnit>> stage_units_;
 
   mutable std::unordered_map<NodeId, double> validation_cache_;
-  /// Boundary-state memo for chain validation, keyed (stage << 32) | node.
-  /// Entries are immutable once inserted (and unordered_map never moves
-  /// elements), so returned pointers stay valid while concurrent warm-up
-  /// tasks keep inserting; the mutex only guards lookup/insert.
-  mutable std::unordered_map<uint64_t, ChainCompletionProfile> chain_memo_;
-  mutable std::mutex chain_memo_mu_;
+  /// Boundary-state profiles for chain validation, keyed
+  /// (stage << 32) | node. Promoted to the EngineContext (per branch
+  /// signature), so sessions with equal-shaped branches share it; empty
+  /// for simple branches.
+  std::shared_ptr<ChainValidationCache> chain_cache_;
   /// Lazily-computed batched validation for simple (1-hop) branches:
   /// similarity per scope-local node of the stage-0 unit.
   mutable std::vector<GreedyValidator::Match> batch_matches_;

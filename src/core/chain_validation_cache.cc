@@ -1,0 +1,36 @@
+#include "core/chain_validation_cache.h"
+
+#include <utility>
+
+namespace kgaq {
+
+const ChainCompletionProfile* ChainValidationCache::Find(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = profiles_.find(key);
+  if (it == profiles_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return &it->second;
+}
+
+const ChainCompletionProfile* ChainValidationCache::Insert(
+    uint64_t key, ChainCompletionProfile profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Concurrent sessions may race to the same boundary state; both computed
+  // the identical profile, first insert wins.
+  auto [it, unused] = profiles_.emplace(key, std::move(profile));
+  return &it->second;
+}
+
+ChainValidationCache::Stats ChainValidationCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  out.entries = profiles_.size();
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,66 @@
+#ifndef KGAQ_CORE_CHAIN_VALIDATION_CACHE_H_
+#define KGAQ_CORE_CHAIN_VALIDATION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace kgaq {
+
+/// Memoized backward-search results for one boundary state of the chain
+/// validation: starting a fresh segment at some node with stages
+/// `stage..0` still to traverse, best_log[L] is the maximum
+/// log-similarity sum over all completions of exactly L edges reaching
+/// the specific node (-inf where no completion of that length exists).
+/// A profile is `valid` only when its enumeration completed, so every
+/// usable entry is exact; the best final geometric mean through a prefix
+/// (pl, plen) is max_L exp((pl + best_log[L]) / (plen + L)) — per-length
+/// maxima suffice because the denominator is fixed once L is.
+struct ChainCompletionProfile {
+  std::vector<double> best_log;
+  bool valid = false;
+};
+
+/// Query-level store of chain-validation completion profiles, promoted out
+/// of BranchSampler so that queries sharing a branch shape (same specific
+/// node, hop predicates/types, hop bound and search budget — the cache's
+/// owner keys instances by that signature) reuse each other's backward
+/// searches instead of re-enumerating them.
+///
+/// Thread safety: profiles are pure functions of their key, entries are
+/// immutable once inserted and unordered_map never relocates elements, so
+/// returned pointers stay valid while concurrent sessions keep inserting;
+/// the mutex only guards lookup/insert and first insert wins races.
+/// Sharing therefore never changes any result — warm and cold caches
+/// yield bitwise-identical validations.
+class ChainValidationCache {
+ public:
+  /// Profile for `key`, or nullptr when never computed. Counts a reuse
+  /// hit/miss (a present-but-invalid profile still counts as a hit: the
+  /// caller learns "fall back to best-first" without re-enumerating).
+  const ChainCompletionProfile* Find(uint64_t key);
+
+  /// Inserts `profile` under `key` unless a concurrent computation got
+  /// there first, and returns the resident profile either way.
+  const ChainCompletionProfile* Insert(uint64_t key,
+                                       ChainCompletionProfile profile);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, ChainCompletionProfile> profiles_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_CORE_CHAIN_VALIDATION_CACHE_H_

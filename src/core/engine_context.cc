@@ -1,0 +1,156 @@
+#include "core/engine_context.h"
+
+#include <utility>
+
+#include "kg/bfs.h"
+#include "sampling/random_walk.h"
+
+namespace kgaq {
+
+EngineContext::EngineContext(const KnowledgeGraph& g,
+                             const EmbeddingModel& model)
+    : g_(&g), model_(&model) {}
+
+EngineContext::EngineContext(KnowledgeGraph graph,
+                             std::unique_ptr<EmbeddingModel> model)
+    : owned_graph_(std::move(graph)), owned_model_(std::move(model)) {
+  g_ = &*owned_graph_;
+  model_ = owned_model_.get();
+}
+
+Result<std::shared_ptr<EngineContext>> EngineContext::LoadFromSnapshot(
+    const std::string& path) {
+  auto snap = LoadEngineSnapshot(path);
+  if (!snap.ok()) return snap.status();
+  if (snap->embedding == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot '" + path +
+        "' has no embedding section; a resident engine context needs one "
+        "(save with SaveEngineSnapshot(graph, &model, path))");
+  }
+  // The embedding must cover the graph it is served with, or the first
+  // query would index past the vector tables.
+  if (snap->embedding->num_entities() < snap->graph.NumNodes() ||
+      snap->embedding->num_predicates() < snap->graph.NumPredicates()) {
+    return Status::FailedPrecondition(
+        "snapshot '" + path + "' embedding covers " +
+        std::to_string(snap->embedding->num_entities()) + " entities / " +
+        std::to_string(snap->embedding->num_predicates()) +
+        " predicates but the graph has " +
+        std::to_string(snap->graph.NumNodes()) + " nodes / " +
+        std::to_string(snap->graph.NumPredicates()) +
+        " predicates — it was trained for a different graph");
+  }
+  return std::make_shared<EngineContext>(std::move(snap->graph),
+                                         std::move(snap->embedding));
+}
+
+std::shared_ptr<const PredicateSimilarityCache>
+EngineContext::PredicateSimilarities(PredicateId query_predicate,
+                                     double floor) const {
+  const SimsKey key{query_predicate, floor};
+  std::promise<std::shared_ptr<const PredicateSimilarityCache>> promise;
+  std::shared_future<std::shared_ptr<const PredicateSimilarityCache>> future;
+  {
+    std::lock_guard<std::mutex> lock(sims_mu_);
+    auto it = sims_.find(key);
+    if (it != sims_.end()) {
+      sims_hits_.fetch_add(1, std::memory_order_relaxed);
+      future = it->second;
+    } else {
+      sims_.emplace(key, promise.get_future().share());
+    }
+  }
+  if (future.valid()) return future.get();  // built, or in flight
+
+  sims_misses_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    auto built = std::make_shared<const PredicateSimilarityCache>(
+        *model_, query_predicate, floor);
+    promise.set_value(built);
+    return built;
+  } catch (...) {
+    // Un-claim the key so a later request can retry instead of hitting a
+    // permanently broken promise.
+    {
+      std::lock_guard<std::mutex> lock(sims_mu_);
+      sims_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::shared_ptr<const EngineContext::WalkCore> EngineContext::ScopedWalkCore(
+    const WalkCoreKey& key) const {
+  std::promise<std::shared_ptr<const WalkCore>> promise;
+  std::shared_future<std::shared_ptr<const WalkCore>> future;
+  {
+    std::lock_guard<std::mutex> lock(cores_mu_);
+    auto it = cores_.find(key);
+    if (it != cores_.end()) {
+      core_hits_.fetch_add(1, std::memory_order_relaxed);
+      future = it->second;
+    } else {
+      // Claim the key: later requesters find the future and wait for
+      // this thread's build instead of duplicating it.
+      cores_.emplace(key, promise.get_future().share());
+    }
+  }
+  if (future.valid()) return future.get();  // built, or in flight
+
+  core_misses_.fetch_add(1, std::memory_order_relaxed);
+  // Build outside the lock: cores are pure functions of (graph, model,
+  // key), so concurrent requests for other keys proceed, and waiters on
+  // this key observe exactly the value they would have computed.
+  try {
+    auto sims = PredicateSimilarities(key.query_predicate, key.sims_floor);
+    const BoundedSubgraph scope = BoundedBfs(*g_, key.root, key.n_hops);
+    TransitionOptions t_opts;
+    t_opts.self_loop_similarity = key.self_loop_similarity;
+    TransitionModel transitions(*g_, scope, *sims, t_opts);
+    StationaryOptions st_opts;
+    st_opts.max_iterations = key.stationary_max_iterations;
+    std::vector<double> pi =
+        ComputeStationaryDistribution(transitions, st_opts).pi;
+    auto built = std::make_shared<const WalkCore>(std::move(transitions),
+                                                  std::move(pi));
+    promise.set_value(built);
+    return built;
+  } catch (...) {
+    // Un-claim the key so a later request can retry instead of hitting a
+    // permanently broken promise.
+    {
+      std::lock_guard<std::mutex> lock(cores_mu_);
+      cores_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::shared_ptr<ChainValidationCache> EngineContext::ChainProfiles(
+    const std::string& branch_signature) const {
+  std::lock_guard<std::mutex> lock(chain_mu_);
+  auto& slot = chain_caches_[branch_signature];
+  if (slot == nullptr) slot = std::make_shared<ChainValidationCache>();
+  return slot;
+}
+
+EngineContext::CacheStats EngineContext::Stats() const {
+  CacheStats out;
+  out.sims_hits = sims_hits_.load(std::memory_order_relaxed);
+  out.sims_misses = sims_misses_.load(std::memory_order_relaxed);
+  out.core_hits = core_hits_.load(std::memory_order_relaxed);
+  out.core_misses = core_misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(chain_mu_);
+  for (const auto& [sig, cache] : chain_caches_) {
+    const ChainValidationCache::Stats s = cache->stats();
+    out.chain_hits += s.hits;
+    out.chain_misses += s.misses;
+    out.chain_entries += s.entries;
+  }
+  return out;
+}
+
+}  // namespace kgaq

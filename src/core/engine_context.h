@@ -1,0 +1,159 @@
+#ifndef KGAQ_CORE_ENGINE_CONTEXT_H_
+#define KGAQ_CORE_ENGINE_CONTEXT_H_
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "core/chain_validation_cache.h"
+#include "embedding/embedding_model.h"
+#include "embedding/predicate_similarity.h"
+#include "kg/knowledge_graph.h"
+#include "kg/snapshot.h"
+#include "sampling/transition_model.h"
+
+namespace kgaq {
+
+/// The immutable, build-once share of the query stack: one knowledge
+/// graph, one embedding, and every expensive derived structure that is a
+/// pure function of the two — predicate-similarity rows, per-scope
+/// transition models with their alias rows / in-CSR plus stationary
+/// distributions, and the query-level chain-validation profile store
+/// promoted out of BranchSampler.
+///
+/// Sessions (QuerySession) and services (QueryService) borrow a context
+/// through shared_ptr<const EngineContext> and stay cheap: building one
+/// costs nothing beyond the per-query candidate distribution, while
+/// repeated or concurrent queries over the same KG reuse the heavy state
+/// instead of re-deriving it per ApproxEngine instance.
+///
+/// Logical immutability: the caches below are internally synchronized
+/// memo tables over pure functions, so concurrent readers can never
+/// observe different values for the same key — sharing a context across
+/// threads changes wall-clock, never results. Entries are retained for
+/// the context's lifetime (an eviction policy is future work; see
+/// ROADMAP).
+class EngineContext {
+ public:
+  /// Borrowing constructor: `g` and `model` must outlive the context.
+  EngineContext(const KnowledgeGraph& g, const EmbeddingModel& model);
+
+  /// Owning constructor: adopts snapshot-loaded storage.
+  EngineContext(KnowledgeGraph graph,
+                std::unique_ptr<EmbeddingModel> model);
+
+  /// One-call resident-engine bring-up: loads a combined binary snapshot
+  /// (kg/snapshot.h) and wraps it in an owning context. Fails when the
+  /// snapshot carries no embedding section.
+  static Result<std::shared_ptr<EngineContext>> LoadFromSnapshot(
+      const std::string& path);
+
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  const KnowledgeGraph& graph() const { return *g_; }
+  const EmbeddingModel& model() const { return *model_; }
+
+  /// Shared Eq. 4 similarity rows for (query predicate, clamp floor),
+  /// computed once per key across every borrowing query.
+  std::shared_ptr<const PredicateSimilarityCache> PredicateSimilarities(
+      PredicateId query_predicate,
+      double floor = PredicateSimilarityCache::kDefaultFloor) const;
+
+  /// One branch stage's shared walk machinery: the n-bounded scope's
+  /// Eq. 5 transition model (alias rows + in-CSR) and its Eq. 6
+  /// stationary distribution.
+  struct WalkCore {
+    TransitionModel transitions;
+    std::vector<double> pi;
+
+    WalkCore(TransitionModel t, std::vector<double> p)
+        : transitions(std::move(t)), pi(std::move(p)) {}
+  };
+
+  /// Cache key for a walk core. Everything the built structure depends on
+  /// (beyond the context's fixed graph/model) must appear here.
+  struct WalkCoreKey {
+    NodeId root = kInvalidId;
+    PredicateId query_predicate = kInvalidId;
+    int n_hops = 0;
+    double self_loop_similarity = 0.0;
+    double sims_floor = 0.0;
+    size_t stationary_max_iterations = 0;
+
+    auto operator<=>(const WalkCoreKey&) const = default;
+  };
+
+  /// The walk core for `key`, building (scope BFS + transition model +
+  /// stationary solve) on first use. Concurrent first requests for the
+  /// same key deduplicate in flight: one caller builds, the rest block on
+  /// its future — cores are pure functions of (graph, model, key), so
+  /// which caller wins never affects any result.
+  std::shared_ptr<const WalkCore> ScopedWalkCore(
+      const WalkCoreKey& key) const;
+
+  /// The chain-validation profile store for one branch signature (an
+  /// opaque string encoding specific node, hop predicates/types, hop
+  /// bound, enumeration budget and similarity floor — see
+  /// BranchSampler::Build). Queries with equal signatures share profiles.
+  std::shared_ptr<ChainValidationCache> ChainProfiles(
+      const std::string& branch_signature) const;
+
+  /// Aggregate cache counters, for tests / ops introspection.
+  struct CacheStats {
+    uint64_t sims_hits = 0;
+    uint64_t sims_misses = 0;
+    uint64_t core_hits = 0;
+    uint64_t core_misses = 0;
+    /// Summed over every per-signature ChainValidationCache.
+    uint64_t chain_hits = 0;
+    uint64_t chain_misses = 0;
+    size_t chain_entries = 0;
+  };
+  CacheStats Stats() const;
+
+ private:
+  // Owning-mode storage (empty in borrowing mode). Declared before the
+  // borrowed pointers so the pointers can reference it.
+  std::optional<KnowledgeGraph> owned_graph_;
+  std::unique_ptr<EmbeddingModel> owned_model_;
+
+  const KnowledgeGraph* g_;
+  const EmbeddingModel* model_;
+
+  using SimsKey = std::pair<PredicateId, double>;
+  mutable std::mutex sims_mu_;
+  /// Futures, like cores_: cold keys are claimed so a concurrent
+  /// admission wave builds each similarity row once.
+  mutable std::map<
+      SimsKey,
+      std::shared_future<std::shared_ptr<const PredicateSimilarityCache>>>
+      sims_;
+  mutable std::atomic<uint64_t> sims_hits_{0};
+  mutable std::atomic<uint64_t> sims_misses_{0};
+
+  mutable std::mutex cores_mu_;
+  /// Futures rather than values: a cold key is claimed under the lock by
+  /// the thread that will build it, so concurrent requesters wait for
+  /// that one build instead of each re-deriving the same core.
+  mutable std::map<WalkCoreKey,
+                   std::shared_future<std::shared_ptr<const WalkCore>>>
+      cores_;
+  mutable std::atomic<uint64_t> core_hits_{0};
+  mutable std::atomic<uint64_t> core_misses_{0};
+
+  mutable std::mutex chain_mu_;
+  mutable std::map<std::string, std::shared_ptr<ChainValidationCache>>
+      chain_caches_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_CORE_ENGINE_CONTEXT_H_

@@ -1,6 +1,12 @@
 #include "embedding/embedding_io.h"
 
+#include <cstdint>
 #include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/binary_io.h"
 
 namespace kgaq {
 
@@ -54,6 +60,86 @@ Result<std::unique_ptr<FixedEmbedding>> LoadEmbedding(
     for (auto& x : model->MutablePredicateVector(p)) in >> x;
   }
   if (!in) return Status::InvalidArgument("snapshot truncated: '" + path + "'");
+  return model;
+}
+
+Status WriteEmbeddingBlob(const EmbeddingModel& model, std::ostream& out) {
+  const std::string& name = model.name();
+  WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  WritePod<uint64_t>(out, model.num_entities());
+  WritePod<uint64_t>(out, model.num_predicates());
+  WritePod<uint64_t>(out, model.entity_dim());
+  WritePod<uint64_t>(out, model.predicate_dim());
+  for (NodeId u = 0; u < model.num_entities(); ++u) {
+    auto v = model.EntityVector(u);
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(float)));
+  }
+  for (PredicateId p = 0; p < model.num_predicates(); ++p) {
+    auto v = model.PredicateVector(p);
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("embedding blob write failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FixedEmbedding>> ReadEmbeddingBlob(std::istream& in) {
+  // Bytes left in the stream, when it is seekable: the cheap upper bound
+  // on every size field a corrupt header could claim.
+  uint64_t remaining = std::numeric_limits<uint64_t>::max();
+  const std::istream::pos_type cur = in.tellg();
+  if (cur != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(cur);
+    if (end != std::istream::pos_type(-1) && end >= cur) {
+      remaining = static_cast<uint64_t>(end - cur);
+    }
+  }
+
+  uint32_t name_len = 0;
+  if (!ReadPod(in, name_len) || name_len > (1u << 20) ||
+      name_len > remaining) {
+    return Status::InvalidArgument("embedding blob: bad name length");
+  }
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  uint64_t num_entities = 0, num_predicates = 0, e_dim = 0, p_dim = 0;
+  if (!ReadPod(in, num_entities) || !ReadPod(in, num_predicates) ||
+      !ReadPod(in, e_dim) || !ReadPod(in, p_dim)) {
+    return Status::InvalidArgument("embedding blob: truncated header");
+  }
+  if (e_dim == 0 || p_dim == 0) {
+    return Status::InvalidArgument("embedding blob: zero dimensions");
+  }
+  // Reject absurd sizes before allocating or multiplying: individual caps
+  // first (ids are 32-bit; dims bounded), so the products below cannot
+  // wrap 64 bits, then the stream-length bound catches anything a
+  // truncated or corrupt header still claims.
+  if (num_entities > (1ull << 31) || num_predicates > (1ull << 31) ||
+      e_dim > (1ull << 24) || p_dim > (1ull << 24)) {
+    return Status::InvalidArgument("embedding blob: implausible dimensions");
+  }
+  const uint64_t total_floats = num_entities * e_dim + num_predicates * p_dim;
+  if (total_floats > remaining / sizeof(float)) {
+    return Status::InvalidArgument(
+        "embedding blob: header claims more data than the stream holds");
+  }
+  auto model = std::make_unique<FixedEmbedding>(
+      name, num_entities, num_predicates, e_dim, p_dim);
+  for (NodeId u = 0; u < num_entities; ++u) {
+    auto v = model->MutableEntityVector(u);
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+  }
+  for (PredicateId p = 0; p < num_predicates; ++p) {
+    auto v = model->MutablePredicateVector(p);
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+  }
+  if (!in) return Status::InvalidArgument("embedding blob: truncated data");
   return model;
 }
 

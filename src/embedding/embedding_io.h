@@ -1,6 +1,7 @@
 #ifndef KGAQ_EMBEDDING_EMBEDDING_IO_H_
 #define KGAQ_EMBEDDING_EMBEDDING_IO_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -26,6 +27,19 @@ Status SaveEmbedding(const EmbeddingModel& model, const std::string& path);
 /// Loads a snapshot previously written by SaveEmbedding.
 Result<std::unique_ptr<FixedEmbedding>> LoadEmbedding(
     const std::string& path);
+
+/// Binary embedding blob: the little-endian section embedded into the
+/// engine snapshot container (see docs/snapshot_format.md). Unlike the
+/// text format above, the raw IEEE-754 floats round-trip bit-exactly.
+///
+///   u32 name_len, name bytes
+///   u64 num_entities, u64 num_predicates, u64 entity_dim, u64 pred_dim
+///   f32 entity vectors  (num_entities * entity_dim)
+///   f32 predicate vectors (num_predicates * predicate_dim)
+Status WriteEmbeddingBlob(const EmbeddingModel& model, std::ostream& out);
+
+/// Reads a blob previously written by WriteEmbeddingBlob.
+Result<std::unique_ptr<FixedEmbedding>> ReadEmbeddingBlob(std::istream& in);
 
 }  // namespace kgaq
 

@@ -22,6 +22,12 @@ class Dictionary {
   /// Returns the id for `s`, interning it if unseen.
   uint32_t Intern(std::string_view s);
 
+  /// Pre-sizes the table for `n` entries (bulk loaders: snapshot reader).
+  void Reserve(size_t n) {
+    index_.reserve(n);
+    names_.reserve(n);
+  }
+
   /// Returns the id for `s` or kInvalidId if never interned.
   uint32_t Lookup(std::string_view s) const;
 

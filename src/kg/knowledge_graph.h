@@ -115,6 +115,10 @@ class KnowledgeGraph {
 
  private:
   friend class GraphBuilder;
+  /// Binary snapshot serializer (src/kg/snapshot.cc): reads/writes the
+  /// internal arrays verbatim so a loaded graph is bit-identical to the
+  /// one saved — including id assignment and CSR layout.
+  friend class KgSnapshotIo;
 
   Dictionary names_;
   Dictionary types_;

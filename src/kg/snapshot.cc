@@ -1,0 +1,302 @@
+#include "kg/snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "embedding/embedding_io.h"
+#include "kg/dictionary.h"
+
+namespace kgaq {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'G', 'A', 'Q', 'S', 'N', 'A', 'P'};
+constexpr uint32_t kFormatVersion = 1;
+// Written as a u32 on the producing host; a byte-swapped reader sees
+// 0x04030201 and rejects the file (the format is defined little-endian).
+constexpr uint32_t kEndianMarker = 0x01020304;
+constexpr uint8_t kFlagHasEmbedding = 0x1;
+
+static_assert(sizeof(size_t) == 8,
+              "snapshot offsets are serialized as raw 64-bit arrays");
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WritePod<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+// Every reader threads the file's byte size through as `max_bytes`: no
+// count field can legitimately claim more payload than the file holds,
+// so a corrupt header is rejected before any allocation instead of
+// driving a multi-gigabyte resize and dying on bad_alloc.
+template <typename T>
+bool ReadVec(std::istream& in, uint64_t max_bytes, std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t count = 0;
+  if (!ReadPod(in, count) || count > max_bytes / sizeof(T)) return false;
+  v.resize(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return count == 0 || in.good();
+}
+
+// Dictionaries are stored as one end-offset array plus one concatenated
+// byte blob: two bulk reads regardless of entry count, instead of a
+// length+data read pair per string.
+void WriteDict(std::ostream& out, const Dictionary& dict) {
+  std::vector<uint64_t> ends;
+  ends.reserve(dict.size());
+  uint64_t total = 0;
+  for (uint32_t id = 0; id < dict.size(); ++id) {
+    total += dict.name(id).size();
+    ends.push_back(total);
+  }
+  WriteVec(out, ends);
+  WritePod<uint64_t>(out, total);
+  for (uint32_t id = 0; id < dict.size(); ++id) {
+    const std::string& s = dict.name(id);
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+}
+
+bool ReadDict(std::istream& in, uint64_t max_bytes, Dictionary& dict) {
+  std::vector<uint64_t> ends;
+  if (!ReadVec(in, max_bytes, ends)) return false;
+  uint64_t total = 0;
+  if (!ReadPod(in, total) || total > max_bytes) return false;
+  if (!ends.empty() && ends.back() != total) return false;
+  std::string blob(total, '\0');
+  in.read(blob.data(), static_cast<std::streamsize>(total));
+  if (total != 0 && !in.good()) return false;
+  dict.Reserve(ends.size());
+  uint64_t start = 0;
+  for (uint64_t id = 0; id < ends.size(); ++id) {
+    const uint64_t end = ends[id];
+    if (end < start || end > total) return false;
+    const std::string_view s(blob.data() + start, end - start);
+    // Dense insertion order is the id assignment; a duplicate string would
+    // silently shift every later id, so reject it.
+    if (dict.Intern(s) != id) return false;
+    start = end;
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Serializer over KnowledgeGraph's private arrays (friend; see
+/// knowledge_graph.h). Splitting Neighbor structs into parallel
+/// node/predicate/forward arrays keeps the on-disk layout padding-free
+/// and independent of the in-memory struct layout.
+class KgSnapshotIo {
+ public:
+  static void Write(const KnowledgeGraph& g, std::ostream& out) {
+    WriteDict(out, g.names_);
+    WriteDict(out, g.types_);
+    WriteDict(out, g.predicates_);
+    WriteDict(out, g.attributes_);
+    WriteVec(out, g.node_names_);
+    WritePod<uint64_t>(out, g.num_triples_);
+    WriteVec(out, g.adj_offsets_);
+    std::vector<NodeId> adj_nodes(g.adjacency_.size());
+    std::vector<PredicateId> adj_preds(g.adjacency_.size());
+    std::vector<uint8_t> adj_forward(g.adjacency_.size());
+    for (size_t i = 0; i < g.adjacency_.size(); ++i) {
+      adj_nodes[i] = g.adjacency_[i].node;
+      adj_preds[i] = g.adjacency_[i].predicate;
+      adj_forward[i] = g.adjacency_[i].forward ? 1 : 0;
+    }
+    WriteVec(out, adj_nodes);
+    WriteVec(out, adj_preds);
+    WriteVec(out, adj_forward);
+    WriteVec(out, g.type_offsets_);
+    WriteVec(out, g.type_ids_);
+    WriteVec(out, g.type_index_offsets_);
+    WriteVec(out, g.type_index_members_);
+    WriteVec(out, g.attr_offsets_);
+    WriteVec(out, g.attr_ids_);
+    WriteVec(out, g.attr_values_);
+  }
+
+  static Status Read(std::istream& in, uint64_t max_bytes,
+                     KnowledgeGraph& g) {
+    const Status corrupt =
+        Status::InvalidArgument("snapshot KG section truncated or corrupt");
+    if (!ReadDict(in, max_bytes, g.names_) ||
+        !ReadDict(in, max_bytes, g.types_) ||
+        !ReadDict(in, max_bytes, g.predicates_) ||
+        !ReadDict(in, max_bytes, g.attributes_)) {
+      return corrupt;
+    }
+    if (!ReadVec(in, max_bytes, g.node_names_)) return corrupt;
+    uint64_t num_triples = 0;
+    if (!ReadPod(in, num_triples)) return corrupt;
+    g.num_triples_ = num_triples;
+    if (!ReadVec(in, max_bytes, g.adj_offsets_)) return corrupt;
+    std::vector<NodeId> adj_nodes;
+    std::vector<PredicateId> adj_preds;
+    std::vector<uint8_t> adj_forward;
+    if (!ReadVec(in, max_bytes, adj_nodes) ||
+        !ReadVec(in, max_bytes, adj_preds) ||
+        !ReadVec(in, max_bytes, adj_forward)) {
+      return corrupt;
+    }
+    if (adj_nodes.size() != adj_preds.size() ||
+        adj_nodes.size() != adj_forward.size()) {
+      return corrupt;
+    }
+    g.adjacency_.resize(adj_nodes.size());
+    for (size_t i = 0; i < adj_nodes.size(); ++i) {
+      g.adjacency_[i] = {adj_nodes[i], adj_preds[i], adj_forward[i] != 0};
+    }
+    if (!ReadVec(in, max_bytes, g.type_offsets_) ||
+        !ReadVec(in, max_bytes, g.type_ids_) ||
+        !ReadVec(in, max_bytes, g.type_index_offsets_) ||
+        !ReadVec(in, max_bytes, g.type_index_members_) ||
+        !ReadVec(in, max_bytes, g.attr_offsets_) ||
+        !ReadVec(in, max_bytes, g.attr_ids_) ||
+        !ReadVec(in, max_bytes, g.attr_values_)) {
+      return corrupt;
+    }
+
+    // Structural invariants the rest of the library assumes; a snapshot
+    // violating any of them would turn span accessors into out-of-bounds
+    // reads (e.g. a non-monotone offset pair underflows the span length).
+    const Status inconsistent =
+        Status::InvalidArgument("snapshot KG section inconsistent");
+    const size_t n = g.node_names_.size();
+    if (g.adj_offsets_.size() != n + 1 || g.type_offsets_.size() != n + 1 ||
+        g.attr_offsets_.size() != n + 1 ||
+        g.type_index_offsets_.size() != g.types_.size() + 1 ||
+        g.adj_offsets_[n] != g.adjacency_.size() ||
+        g.type_offsets_[n] != g.type_ids_.size() ||
+        g.attr_offsets_[n] != g.attr_ids_.size() ||
+        g.attr_ids_.size() != g.attr_values_.size() ||
+        g.type_index_offsets_[g.types_.size()] !=
+            g.type_index_members_.size()) {
+      return inconsistent;
+    }
+    // Each stored triple appears exactly twice in the adjacency (forward
+    // arc at its subject, reversed at its object).
+    if (g.adjacency_.size() % 2 != 0 ||
+        g.num_triples_ != g.adjacency_.size() / 2) {
+      return inconsistent;
+    }
+    auto monotone_from_zero = [](const std::vector<size_t>& offsets) {
+      if (offsets.empty() || offsets.front() != 0) return false;
+      for (size_t i = 1; i < offsets.size(); ++i) {
+        if (offsets[i] < offsets[i - 1]) return false;
+      }
+      return true;
+    };
+    if (!monotone_from_zero(g.adj_offsets_) ||
+        !monotone_from_zero(g.type_offsets_) ||
+        !monotone_from_zero(g.type_index_offsets_) ||
+        !monotone_from_zero(g.attr_offsets_)) {
+      return inconsistent;
+    }
+    for (uint32_t name_id : g.node_names_) {
+      if (name_id >= g.names_.size()) return inconsistent;
+    }
+    for (const Neighbor& nb : g.adjacency_) {
+      if (nb.node >= n || nb.predicate >= g.predicates_.size()) {
+        return inconsistent;
+      }
+    }
+    for (TypeId t : g.type_ids_) {
+      if (t >= g.types_.size()) return inconsistent;
+    }
+    for (NodeId u : g.type_index_members_) {
+      if (u >= n) return inconsistent;
+    }
+    for (AttributeId a : g.attr_ids_) {
+      if (a >= g.attributes_.size()) return inconsistent;
+    }
+
+    g.name_to_node_.clear();
+    g.name_to_node_.reserve(n);
+    for (NodeId u = 0; u < n; ++u) {
+      g.name_to_node_.emplace(g.names_.name(g.node_names_[u]), u);
+    }
+    return Status::OK();
+  }
+};
+
+Status SaveEngineSnapshot(const KnowledgeGraph& g,
+                          const EmbeddingModel* model,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(out, kFormatVersion);
+  WritePod<uint32_t>(out, kEndianMarker);
+  WritePod<uint8_t>(out, model != nullptr ? kFlagHasEmbedding : 0);
+  KgSnapshotIo::Write(g, out);
+  if (model != nullptr) {
+    KGAQ_RETURN_IF_ERROR(WriteEmbeddingBlob(*model, out));
+  }
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<EngineSnapshot> LoadEngineSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  // Total file size: the upper bound handed to every array reader, so a
+  // corrupt count field can never drive an allocation past the payload
+  // that actually exists.
+  in.seekg(0, std::ios::end);
+  const uint64_t file_bytes = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
+  char magic[sizeof(kMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a kgaq snapshot (bad magic)");
+  }
+  uint32_t version = 0, endian = 0;
+  uint8_t flags = 0;
+  if (!ReadPod(in, version) || !ReadPod(in, endian) || !ReadPod(in, flags)) {
+    return Status::InvalidArgument("snapshot header truncated: '" + path +
+                                   "'");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "snapshot format version " + std::to_string(version) +
+        " is not supported (reader speaks version " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  if (endian != kEndianMarker) {
+    return Status::InvalidArgument(
+        "snapshot endianness mismatch: the format is little-endian and "
+        "this reader does not byte-swap");
+  }
+  EngineSnapshot snap;
+  KGAQ_RETURN_IF_ERROR(KgSnapshotIo::Read(in, file_bytes, snap.graph));
+  if ((flags & kFlagHasEmbedding) != 0) {
+    auto model = ReadEmbeddingBlob(in);
+    if (!model.ok()) return model.status();
+    snap.embedding = std::move(*model);
+  }
+  return snap;
+}
+
+Status SaveKgSnapshot(const KnowledgeGraph& g, const std::string& path) {
+  return SaveEngineSnapshot(g, nullptr, path);
+}
+
+Result<KnowledgeGraph> LoadKgSnapshot(const std::string& path) {
+  auto snap = LoadEngineSnapshot(path);
+  if (!snap.ok()) return snap.status();
+  return std::move(snap->graph);
+}
+
+}  // namespace kgaq

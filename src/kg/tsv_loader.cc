@@ -2,8 +2,11 @@
 
 #include <charconv>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "kg/graph_builder.h"
@@ -11,6 +14,19 @@
 namespace kgaq {
 
 namespace {
+
+// Heterogeneous string hashing: lets the declared-name map be probed
+// with the string_views the line splitter yields, with no per-record
+// temporary std::string on the parse hot path.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 // Splits `line` on tabs into at most `max_fields` pieces.
 std::vector<std::string_view> SplitTabs(std::string_view line) {
@@ -45,8 +61,29 @@ std::vector<std::string_view> SplitCommas(std::string_view s) {
 
 Result<KnowledgeGraph> ParseLines(std::istream& in) {
   GraphBuilder builder;
+  // Name -> (node id, declaring line). GraphBuilder::AddNode silently
+  // merges re-declared names (useful for programmatic construction); the
+  // loader instead rejects duplicates and names the offending node and
+  // both lines, and resolves edge/attribute endpoints itself so an
+  // undeclared reference reports *which* name is missing and where.
+  std::unordered_map<std::string, std::pair<NodeId, size_t>, StringHash,
+                     std::equal_to<>>
+      declared;
   std::string line;
   size_t line_no = 0;
+
+  auto resolve = [&](std::string_view name, const char* record,
+                     size_t at_line) -> Result<NodeId> {
+    auto it = declared.find(name);
+    if (it == declared.end()) {
+      return Status::InvalidArgument(
+          std::string(record) + " references undeclared node '" +
+          std::string(name) + "' at line " + std::to_string(at_line) +
+          " (node lines must precede the lines using them)");
+    }
+    return it->second.first;
+  };
+
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
@@ -60,36 +97,30 @@ Result<KnowledgeGraph> ParseLines(std::istream& in) {
       if (types.empty()) {
         return Status::InvalidArgument("node without types" + where);
       }
-      builder.AddNode(fields[1], types);
+      auto [it, inserted] = declared.emplace(
+          std::string(fields[1]), std::make_pair(NodeId{0}, line_no));
+      if (!inserted) {
+        return Status::InvalidArgument(
+            "duplicate declaration of node '" + std::string(fields[1]) +
+            "'" + where + " (first declared at line " +
+            std::to_string(it->second.second) + ")");
+      }
+      it->second.first = builder.AddNode(fields[1], types);
     } else if (fields[0] == "E") {
       if (fields.size() != 4) {
         return Status::InvalidArgument("malformed edge record" + where);
       }
-      // Resolve endpoints; they must have been declared already. We go
-      // through AddNode with no types so undeclared endpoints surface as a
-      // Build()-time error rather than silently creating typeless nodes —
-      // but better to catch them here with a clear message.
-      // GraphBuilder has no name lookup, so track via a local trick: re-add
-      // with empty types and let Build() fail would lose line info. Keep a
-      // simple check using the builder size before/after.
-      size_t before = builder.NumNodes();
-      NodeId src = builder.AddNode(fields[1], {});
-      NodeId dst = builder.AddNode(fields[3], {});
-      if (builder.NumNodes() != before) {
-        return Status::InvalidArgument("edge references undeclared node" +
-                                       where);
-      }
-      builder.AddEdge(src, fields[2], dst);
+      auto src = resolve(fields[1], "edge", line_no);
+      if (!src.ok()) return src.status();
+      auto dst = resolve(fields[3], "edge", line_no);
+      if (!dst.ok()) return dst.status();
+      builder.AddEdge(*src, fields[2], *dst);
     } else if (fields[0] == "A") {
       if (fields.size() != 4) {
         return Status::InvalidArgument("malformed attribute record" + where);
       }
-      size_t before = builder.NumNodes();
-      NodeId u = builder.AddNode(fields[1], {});
-      if (builder.NumNodes() != before) {
-        return Status::InvalidArgument(
-            "attribute references undeclared node" + where);
-      }
+      auto u = resolve(fields[1], "attribute", line_no);
+      if (!u.ok()) return u.status();
       double value = 0.0;
       auto sv = fields[3];
       auto [ptr, ec] =
@@ -98,7 +129,7 @@ Result<KnowledgeGraph> ParseLines(std::istream& in) {
         return Status::InvalidArgument("bad attribute value '" +
                                        std::string(sv) + "'" + where);
       }
-      builder.SetAttribute(u, fields[2], value);
+      builder.SetAttribute(*u, fields[2], value);
     } else {
       return Status::InvalidArgument("unknown record tag '" +
                                      std::string(fields[0]) + "'" + where);

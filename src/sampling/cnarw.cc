@@ -62,13 +62,21 @@ class CommonNeighborOracle {
 TransitionModel BuildCnarwTransitionModel(const KnowledgeGraph& g,
                                           const BoundedSubgraph& scope,
                                           double self_loop_similarity) {
+  TransitionOptions options;
+  options.self_loop_similarity = self_loop_similarity;
+  return BuildCnarwTransitionModel(g, scope, options);
+}
+
+TransitionModel BuildCnarwTransitionModel(const KnowledgeGraph& g,
+                                          const BoundedSubgraph& scope,
+                                          const TransitionOptions& options) {
   auto oracle = std::make_shared<CommonNeighborOracle>(g);
   return TransitionModel(
       g, scope,
       [oracle](NodeId u, const Neighbor& nb) {
         return oracle->Weight(u, nb.node);
       },
-      self_loop_similarity);
+      options);
 }
 
 }  // namespace kgaq

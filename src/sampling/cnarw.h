@@ -20,6 +20,12 @@ TransitionModel BuildCnarwTransitionModel(const KnowledgeGraph& g,
                                           const BoundedSubgraph& scope,
                                           double self_loop_similarity = 0.001);
 
+/// Same, with explicit view gating: walk-only consumers (step sampling
+/// without a stationary solve) can drop the incoming-arc CSR.
+TransitionModel BuildCnarwTransitionModel(const KnowledgeGraph& g,
+                                          const BoundedSubgraph& scope,
+                                          const TransitionOptions& options);
+
 }  // namespace kgaq
 
 #endif  // KGAQ_SAMPLING_CNARW_H_

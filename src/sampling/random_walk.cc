@@ -1,5 +1,6 @@
 #include "sampling/random_walk.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/thread_pool.h"
@@ -53,10 +54,57 @@ BlockResult SweepBlock(const TransitionModel& model,
   return out;
 }
 
+// Serial push/scatter power iteration for models built without the
+// incoming-arc CSR (TransitionOptions::build_in_csr off). Scatters in
+// source order — the exact accumulation order of the gather view — and
+// combines per-block L1 deltas in block order, so the result is
+// bitwise-identical to the gather path at any thread count.
+StationaryResult ComputeStationaryScatter(const TransitionModel& model,
+                                          const StationaryOptions& options) {
+  const size_t n = model.NumScopeNodes();
+  StationaryResult out;
+  out.pi.assign(n, 0.0);
+  if (n == 0) return out;
+  out.pi[model.SourceLocal()] = 1.0;
+
+  const size_t block = std::max<size_t>(1, options.block_width);
+  const size_t num_blocks = (n + block - 1) / block;
+  std::vector<double> next(n, 0.0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t u = 0; u < n; ++u) {
+      const double mass = out.pi[u];
+      if (mass == 0.0) continue;
+      for (const TransitionModel::Arc& a : model.Arcs(u)) {
+        next[a.target] += mass * a.probability;
+      }
+    }
+    double delta = 0.0;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const size_t lo = b * block;
+      const size_t hi = std::min(lo + block, n);
+      double block_delta = 0.0;
+      for (size_t t = lo; t < hi; ++t) {
+        block_delta += std::abs(next[t] - out.pi[t]);
+      }
+      delta += block_delta;
+    }
+    out.pi.swap(next);
+    out.iterations = iter + 1;
+    out.final_delta = delta;
+    if (delta < options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 StationaryResult ComputeStationaryDistribution(
     const TransitionModel& model, const StationaryOptions& options) {
+  if (!model.has_in_csr()) return ComputeStationaryScatter(model, options);
   const size_t n = model.NumScopeNodes();
   StationaryResult out;
   out.pi.assign(n, 0.0);

@@ -6,29 +6,52 @@
 
 namespace kgaq {
 
+namespace {
+
+TransitionOptions LegacyOptions(double self_loop_similarity) {
+  TransitionOptions options;
+  options.self_loop_similarity = self_loop_similarity;
+  return options;
+}
+
+}  // namespace
+
 TransitionModel::TransitionModel(const KnowledgeGraph& g,
                                  const BoundedSubgraph& scope,
                                  const PredicateSimilarityCache& sims,
-                                 double self_loop_similarity) {
+                                 double self_loop_similarity)
+    : TransitionModel(g, scope, sims, LegacyOptions(self_loop_similarity)) {}
+
+TransitionModel::TransitionModel(const KnowledgeGraph& g,
+                                 const BoundedSubgraph& scope,
+                                 const PredicateSimilarityCache& sims,
+                                 const TransitionOptions& options) {
   BuildArcs(
       g, scope,
       [&sims](NodeId, const Neighbor& nb) {
         return sims.Similarity(nb.predicate);
       },
-      self_loop_similarity);
+      options);
 }
 
 TransitionModel::TransitionModel(const KnowledgeGraph& g,
                                  const BoundedSubgraph& scope,
                                  const ArcWeightFn& weight_fn,
-                                 double self_loop_similarity) {
-  BuildArcs(g, scope, weight_fn, self_loop_similarity);
+                                 double self_loop_similarity)
+    : TransitionModel(g, scope, weight_fn,
+                      LegacyOptions(self_loop_similarity)) {}
+
+TransitionModel::TransitionModel(const KnowledgeGraph& g,
+                                 const BoundedSubgraph& scope,
+                                 const ArcWeightFn& weight_fn,
+                                 const TransitionOptions& options) {
+  BuildArcs(g, scope, weight_fn, options);
 }
 
 void TransitionModel::BuildArcs(const KnowledgeGraph& g,
                                 const BoundedSubgraph& scope,
                                 const ArcWeightFn& weight_fn,
-                                double self_loop_similarity) {
+                                const TransitionOptions& options) {
   globals_ = scope.nodes;  // BFS order; source first
   locals_.assign(g.NumNodes(), kInvalidId);
   for (uint32_t i = 0; i < globals_.size(); ++i) {
@@ -47,11 +70,11 @@ void TransitionModel::BuildArcs(const KnowledgeGraph& g,
   }
   const size_t num_arcs = offsets_[n];
   arcs_.resize(num_arcs);
-  cumulative_.resize(num_arcs);
+  if (options.keep_cdf) cumulative_.resize(num_arcs);
   max_prob_.assign(n, 0.0);
   alias_prob_.resize(num_arcs);
   alias_index_.resize(num_arcs);
-  in_offsets_.assign(n + 1, 0);
+  if (options.build_in_csr) in_offsets_.assign(n + 1, 0);
 
   AliasRowBuilder row_builder;
   std::vector<double> row_weights;  // scratch: one row's probabilities
@@ -60,8 +83,8 @@ void TransitionModel::BuildArcs(const KnowledgeGraph& g,
     size_t cursor = offsets_[local];
     double total = 0.0;
     if (local == 0) {
-      arcs_[cursor++] = {0u, self_loop_similarity};
-      total += self_loop_similarity;
+      arcs_[cursor++] = {0u, options.self_loop_similarity};
+      total += options.self_loop_similarity;
     }
     for (const Neighbor& nb : g.Neighbors(u)) {
       const uint32_t v = LocalId(nb.node);
@@ -80,18 +103,22 @@ void TransitionModel::BuildArcs(const KnowledgeGraph& g,
     for (size_t k = begin; k < end; ++k) {
       arcs_[k].probability /= total;
       acc += arcs_[k].probability;
-      cumulative_[k] = acc;
+      if (options.keep_cdf) cumulative_[k] = acc;
       max_prob_[local] = std::max(max_prob_[local], arcs_[k].probability);
       row_weights.push_back(arcs_[k].probability);
-      ++in_offsets_[arcs_[k].target + 1];  // in-degree count
+      if (options.build_in_csr) {
+        ++in_offsets_[arcs_[k].target + 1];  // in-degree count
+      }
     }
     if (end > begin) {
-      cumulative_[end - 1] = 1.0;  // guard rounding drift
+      if (options.keep_cdf) cumulative_[end - 1] = 1.0;  // rounding guard
       row_builder.BuildRow(
           row_weights, std::span<double>(alias_prob_.data() + begin, end - begin),
           std::span<uint32_t>(alias_index_.data() + begin, end - begin));
     }
   }
+
+  if (!options.build_in_csr) return;
 
   // Materialize the incoming-arc CSR. Rows are visited in source order, so
   // each target's in-arc list ends up sorted by source local id — a gather
@@ -107,10 +134,34 @@ void TransitionModel::BuildArcs(const KnowledgeGraph& g,
   }
 }
 
+size_t TransitionModel::MemoryBytes() const {
+  return globals_.capacity() * sizeof(NodeId) +
+         locals_.capacity() * sizeof(uint32_t) +
+         offsets_.capacity() * sizeof(size_t) +
+         arcs_.capacity() * sizeof(Arc) +
+         cumulative_.capacity() * sizeof(double) +
+         max_prob_.capacity() * sizeof(double) +
+         alias_prob_.capacity() * sizeof(double) +
+         alias_index_.capacity() * sizeof(uint32_t) +
+         in_offsets_.capacity() * sizeof(size_t) +
+         in_arcs_.capacity() * sizeof(InArc);
+}
+
 size_t TransitionModel::SampleNextCdf(size_t local, Rng& rng) const {
   const size_t begin = offsets_[local];
   const size_t end = offsets_[local + 1];
   const double target = rng.NextDouble();
+  if (cumulative_.empty()) {
+    // keep_cdf off: walk the same partial sums the stored CDF would hold.
+    // The stored version pins the row's final entry to exactly 1.0, so a
+    // target past the accumulated total likewise lands on the last arc.
+    double acc = 0.0;
+    for (size_t k = begin; k < end; ++k) {
+      acc += arcs_[k].probability;
+      if (target <= acc || k + 1 == end) return arcs_[k].target;
+    }
+    return arcs_[end - 1].target;
+  }
   auto first = cumulative_.begin() + begin;
   auto last = cumulative_.begin() + end;
   auto it = std::lower_bound(first, last, target);

@@ -12,6 +12,26 @@
 
 namespace kgaq {
 
+/// Which derived per-arc views a TransitionModel materializes beyond the
+/// outgoing CSR + alias rows (always built; they are the walk hot path).
+///
+/// The full set costs ~52 bytes/arc; walk-only models (pure sampling, no
+/// stationary solve, no CDF baseline) get by with ~28 bytes/arc.
+struct TransitionOptions {
+  /// Lemma 2 self-loop similarity injected at the walk source.
+  double self_loop_similarity = 0.001;
+  /// Materialize the per-arc cumulative distribution behind SampleNextCdf
+  /// (+8 bytes/arc). Off by default: the alias rows serve exact draws in
+  /// O(1), so only the CDF-baseline benches/tests need this. Without it
+  /// SampleNextCdf falls back to a linear row scan (same draws, slower).
+  bool keep_cdf = false;
+  /// Materialize the incoming-arc CSR (+16 bytes/arc) that the gather-based
+  /// stationary solver sweeps. On by default; walk-only uses (step sampling
+  /// without ComputeStationaryDistribution) can drop it — the solver then
+  /// falls back to a bitwise-identical serial scatter sweep if called.
+  bool build_in_csr = true;
+};
+
 /// Row-stochastic transition structure of the random walk, restricted to
 /// an n-bounded subgraph scope (§IV-A2).
 ///
@@ -52,11 +72,17 @@ class TransitionModel {
   TransitionModel(const KnowledgeGraph& g, const BoundedSubgraph& scope,
                   const PredicateSimilarityCache& sims,
                   double self_loop_similarity = 0.001);
+  TransitionModel(const KnowledgeGraph& g, const BoundedSubgraph& scope,
+                  const PredicateSimilarityCache& sims,
+                  const TransitionOptions& options);
 
   /// Builds a model with arbitrary positive arc weights (CNARW etc.).
   TransitionModel(const KnowledgeGraph& g, const BoundedSubgraph& scope,
                   const ArcWeightFn& weight_fn,
                   double self_loop_similarity = 0.001);
+  TransitionModel(const KnowledgeGraph& g, const BoundedSubgraph& scope,
+                  const ArcWeightFn& weight_fn,
+                  const TransitionOptions& options);
 
   size_t NumScopeNodes() const { return globals_.size(); }
 
@@ -83,10 +109,24 @@ class TransitionModel {
   /// Incoming arcs of `local`, ordered by source local id — the order in
   /// which a push/scatter sweep would have accumulated into `local`, so a
   /// gather over this list is bitwise-identical to the scatter result.
+  /// Empty when the model was built with TransitionOptions::build_in_csr
+  /// off (check has_in_csr()).
   std::span<const InArc> InArcs(size_t local) const {
+    if (in_offsets_.empty()) return {};
     return {in_arcs_.data() + in_offsets_[local],
             in_offsets_[local + 1] - in_offsets_[local]};
   }
+
+  /// True when the incoming-arc CSR was materialized.
+  bool has_in_csr() const { return !in_offsets_.empty(); }
+
+  /// True when the per-arc cumulative distribution was materialized
+  /// (TransitionOptions::keep_cdf).
+  bool has_cdf() const { return !cumulative_.empty(); }
+
+  /// Resident bytes of every materialized per-arc/per-node view; drives
+  /// the ROADMAP memory audit (bytes/arc before vs after gating).
+  size_t MemoryBytes() const;
 
   /// Draws the next node exactly from the categorical distribution of
   /// `local`'s arcs in O(1): one uniform slot pick plus one biased coin
@@ -102,7 +142,9 @@ class TransitionModel {
 
   /// Reference draw via binary search over per-node cumulative sums — the
   /// pre-alias O(log degree) hot path, kept as the distribution baseline
-  /// for tests and the micro bench.
+  /// for tests and the micro bench. Requires TransitionOptions::keep_cdf
+  /// for the O(log degree) path; without it a linear row scan over the
+  /// same partial sums produces the identical draw.
   size_t SampleNextCdf(size_t local, Rng& rng) const;
 
   /// Draws the next node with the paper's walking-with-rejection policy:
@@ -113,13 +155,14 @@ class TransitionModel {
 
  private:
   void BuildArcs(const KnowledgeGraph& g, const BoundedSubgraph& scope,
-                 const ArcWeightFn& weight_fn, double self_loop_similarity);
+                 const ArcWeightFn& weight_fn,
+                 const TransitionOptions& options);
 
   std::vector<NodeId> globals_;    // local -> global
   std::vector<uint32_t> locals_;   // global -> local (kInvalidId outside)
   std::vector<size_t> offsets_;    // CSR offsets into arcs_
   std::vector<Arc> arcs_;
-  std::vector<double> cumulative_;  // per-arc cumulative probability
+  std::vector<double> cumulative_;  // per-arc cumulative (keep_cdf only)
   std::vector<double> max_prob_;    // per-node max arc probability
 
   // Pooled per-node alias rows, sharing offsets_. alias_index_ entries are
@@ -128,7 +171,7 @@ class TransitionModel {
   std::vector<uint32_t> alias_index_;
 
   // Incoming-arc CSR (gather view), sharing no storage with arcs_ but the
-  // same total length.
+  // same total length. Empty unless TransitionOptions::build_in_csr.
   std::vector<size_t> in_offsets_;
   std::vector<InArc> in_arcs_;
 };

@@ -1,0 +1,114 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace kgaq {
+
+QueryService::QueryService(std::shared_ptr<const EngineContext> context,
+                           ServiceOptions options)
+    : ctx_(std::move(context)), options_(options) {}
+
+uint64_t QueryService::QuerySeed(uint64_t base_seed, size_t index) {
+  // splitmix64 over (base, index): well-separated per-query streams that
+  // any solo run can reproduce from the same pair.
+  uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z;
+}
+
+size_t QueryService::Submit(AggregateQuery query) {
+  queries_.push_back(std::move(query));
+  return queries_.size() - 1;
+}
+
+const std::vector<Result<AggregateResult>>& QueryService::RunAll() {
+  ThreadPool& pool = GlobalPool();
+  while (results_.size() < queries_.size()) {
+    results_.push_back(Status::Internal("query not yet run"));
+  }
+
+  struct Active {
+    size_t index = 0;
+    std::unique_ptr<QuerySession> session;
+  };
+  std::vector<Active> active;
+  const size_t width = std::max<size_t>(1, options_.max_concurrent);
+  size_t next = num_completed_;
+
+  while (next < queries_.size() || !active.empty()) {
+    // Admission: fill the free slots, building the new sessions as one
+    // parallel batch (ParallelFor degrades to inline execution when the
+    // service itself runs on a pool worker, so nesting cannot deadlock).
+    if (active.size() < width && next < queries_.size()) {
+      std::vector<size_t> admit;
+      while (active.size() + admit.size() < width &&
+             next < queries_.size()) {
+        admit.push_back(next++);
+      }
+      std::vector<std::unique_ptr<QuerySession>> built(admit.size());
+      std::vector<Status> build_status(admit.size());
+      ParallelFor(pool, admit.size(), [&](size_t j) {
+        const size_t i = admit[j];
+        EngineOptions opts = options_.engine;
+        opts.seed = QuerySeed(options_.base_seed, i);
+        ApproxEngine engine(ctx_, opts);
+        auto session = engine.CreateSession(queries_[i]);
+        if (session.ok()) {
+          built[j] = std::move(*session);
+        } else {
+          build_status[j] = session.status();
+        }
+      });
+      for (size_t j = 0; j < admit.size(); ++j) {
+        if (built[j] != nullptr) {
+          built[j]->BeginRun(options_.engine.error_bound);
+          active.push_back({admit[j], std::move(built[j])});
+        } else {
+          results_[admit[j]] = build_status[j];
+        }
+      }
+    }
+
+    // One scheduling tick: every unfinished session advances exactly one
+    // Algorithm-2 round, fanned out as a TaskGroup batch over the pool.
+    // Sessions are fully independent (own Rng, own sample) and context
+    // caches are synchronized memo tables over pure functions, so the
+    // interleaving affects wall-clock only — per-query results stay
+    // bitwise-identical to solo runs with the same seed.
+    ParallelFor(pool, active.size(),
+                [&](size_t a) { active[a].session->StepRound(); });
+
+    // Retire finished sessions; their slots free up for the next tick's
+    // admission.
+    size_t kept = 0;
+    for (auto& a : active) {
+      if (a.session->run_finished()) {
+        results_[a.index] = a.session->FinishRun();
+      } else {
+        active[kept++] = std::move(a);
+      }
+    }
+    active.resize(kept);
+  }
+
+  num_completed_ = queries_.size();
+  return results_;
+}
+
+std::vector<Result<AggregateResult>> QueryService::RunBatch(
+    std::shared_ptr<const EngineContext> context,
+    const std::vector<AggregateQuery>& queries, ServiceOptions options) {
+  QueryService service(std::move(context), options);
+  for (const AggregateQuery& q : queries) service.Submit(q);
+  service.RunAll();
+  return std::move(service.results_);  // service is dying; steal, don't copy
+}
+
+}  // namespace kgaq

@@ -1,0 +1,93 @@
+#ifndef KGAQ_SERVE_QUERY_SERVICE_H_
+#define KGAQ_SERVE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/approx_engine.h"
+#include "core/engine_context.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// Admission / scheduling knobs of a QueryService.
+struct ServiceOptions {
+  /// Admission width: how many queries run their rounds concurrently.
+  /// Further submissions queue and enter as earlier queries finish.
+  size_t max_concurrent = 8;
+  /// Base seed; query i draws with seed QueryService::QuerySeed(base, i),
+  /// so per-query streams are independent yet fully reproducible.
+  uint64_t base_seed = 7;
+  /// Per-query engine configuration (its `seed` field is overridden by
+  /// the derived per-query seed).
+  EngineOptions engine;
+};
+
+/// A resident front-end serving many aggregate queries over ONE shared
+/// EngineContext — the paper's interactive setting at service scale:
+/// build-once shared state, cheap per-query sessions, and round-level
+/// interleaving so no single long-running query monopolizes the pool.
+///
+///   auto ctx = EngineContext::LoadFromSnapshot("kg.snap");
+///   QueryService service(*std::move(ctx));
+///   for (const auto& q : workload) service.Submit(q);
+///   auto results = service.RunAll();
+///
+/// Scheduling: admitted sessions advance in lockstep "ticks". Each tick
+/// submits one Algorithm-2 round per unfinished session as a TaskGroup
+/// batch on GlobalPool() and joins; finished sessions retire and queued
+/// queries take their slots. Within a round a session's own parallel
+/// helpers run inline (they detect pool workers), so the pool's unit of
+/// work is one session-round.
+///
+/// Determinism: each session owns its Rng (seeded from QuerySeed) and
+/// every context cache is a synchronized memo over pure functions, so a
+/// query's result is bitwise-identical to running it alone with the same
+/// seed — concurrency and cache warmth change wall-clock, never v_hat or
+/// moe. Tested in tests/serve_test.cc.
+class QueryService {
+ public:
+  explicit QueryService(std::shared_ptr<const EngineContext> context,
+                        ServiceOptions options = {});
+
+  /// The seed query `index` samples with under base seed `base_seed`
+  /// (splitmix64 of the pair). Exposed so a solo ApproxEngine run can
+  /// reproduce a service-run query exactly.
+  static uint64_t QuerySeed(uint64_t base_seed, size_t index);
+
+  /// Enqueues a query; returns its index (position in RunAll's output).
+  size_t Submit(AggregateQuery query);
+
+  size_t num_submitted() const { return queries_.size(); }
+
+  /// Runs every submitted query to the engine's error bound and returns
+  /// their results in submission order (a reference into the service —
+  /// valid until the next Submit/RunAll). Queries that fail validation
+  /// carry their error Status. May be called again after more Submits;
+  /// already-run queries are not re-run (their results are returned
+  /// again) and indices keep counting up, so reruns stay reproducible.
+  const std::vector<Result<AggregateResult>>& RunAll();
+
+  /// One-call batch convenience.
+  static std::vector<Result<AggregateResult>> RunBatch(
+      std::shared_ptr<const EngineContext> context,
+      const std::vector<AggregateQuery>& queries,
+      ServiceOptions options = {});
+
+  const std::shared_ptr<const EngineContext>& context() const {
+    return ctx_;
+  }
+
+ private:
+  std::shared_ptr<const EngineContext> ctx_;
+  ServiceOptions options_;
+  std::vector<AggregateQuery> queries_;
+  std::vector<Result<AggregateResult>> results_;  // parallel to queries_
+  size_t num_completed_ = 0;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SERVE_QUERY_SERVICE_H_

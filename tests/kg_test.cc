@@ -246,6 +246,38 @@ TEST(TsvLoaderTest, EdgeToUndeclaredNodeFails) {
   auto g = TsvLoader::LoadString("N\tA\tT\nE\tA\tp\tGhost\n");
   EXPECT_FALSE(g.ok());
   EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  // The diagnostic names the missing node and the offending line.
+  EXPECT_NE(g.status().message().find("'Ghost'"), std::string::npos)
+      << g.status();
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos)
+      << g.status();
+}
+
+TEST(TsvLoaderTest, AttributeOnUndeclaredNodeNamesNodeAndLine) {
+  auto g = TsvLoader::LoadString(
+      "# header\nN\tA\tT\n\nA\tPhantom\tprice\t12.5\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find("'Phantom'"), std::string::npos)
+      << g.status();
+  EXPECT_NE(g.status().message().find("line 4"), std::string::npos)
+      << g.status();
+}
+
+TEST(TsvLoaderTest, DuplicateNodeDeclarationFails) {
+  // Re-declaring a name used to silently merge into the first node; it is
+  // now rejected, pointing at both declarations.
+  auto g = TsvLoader::LoadString("N\tA\tT\nN\tB\tT\nN\tA\tOther\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find("duplicate"), std::string::npos)
+      << g.status();
+  EXPECT_NE(g.status().message().find("'A'"), std::string::npos)
+      << g.status();
+  EXPECT_NE(g.status().message().find("line 3"), std::string::npos)
+      << g.status();
+  EXPECT_NE(g.status().message().find("line 1"), std::string::npos)
+      << g.status();
 }
 
 TEST(TsvLoaderTest, BadAttributeValueFails) {

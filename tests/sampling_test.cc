@@ -141,7 +141,10 @@ TEST(TransitionModelTest, DrawPoliciesPassChiSquareAgainstExactRow) {
   Fixture f = MakeFixture();
   PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
   auto scope = BoundedBfs(f.g, f.source, 3);
-  TransitionModel tm(f.g, scope, sims);
+  TransitionOptions topts;
+  topts.keep_cdf = true;  // exercise the stored-CDF binary-search path
+  TransitionModel tm(f.g, scope, sims, topts);
+  ASSERT_TRUE(tm.has_cdf());
   const size_t local = tm.SourceLocal();
   const auto arcs = tm.Arcs(local);
   ASSERT_GE(arcs.size(), 3u);
@@ -193,6 +196,82 @@ TEST(TransitionModelTest, ExactAndRejectionSamplersAgree) {
   }
   for (size_t u = 0; u < tm.NumScopeNodes(); ++u) {
     EXPECT_NEAR(freq_exact[u], freq_rej[u], 0.01);
+  }
+}
+
+TEST(TransitionModelTest, ViewGatingDropsCdfAndInCsr) {
+  // Memory audit: by default no cumulative array is materialized, and
+  // walk-only models can drop the incoming-arc CSR too. Every retained
+  // draw policy must keep producing the identical stream.
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+
+  TransitionOptions full;
+  full.keep_cdf = true;
+  TransitionModel tm_full(f.g, scope, sims, full);
+  TransitionModel tm_default(f.g, scope, sims);
+  TransitionOptions walk_only;
+  walk_only.build_in_csr = false;
+  TransitionModel tm_walk(f.g, scope, sims, walk_only);
+
+  EXPECT_TRUE(tm_full.has_cdf());
+  EXPECT_TRUE(tm_full.has_in_csr());
+  EXPECT_FALSE(tm_default.has_cdf());
+  EXPECT_TRUE(tm_default.has_in_csr());
+  EXPECT_FALSE(tm_walk.has_cdf());
+  EXPECT_FALSE(tm_walk.has_in_csr());
+  EXPECT_LT(tm_default.MemoryBytes(), tm_full.MemoryBytes());
+  EXPECT_LT(tm_walk.MemoryBytes(), tm_default.MemoryBytes());
+
+  // The alias, CDF-fallback, and rejection draws are untouched by gating:
+  // identical streams under identical seeds.
+  for (uint64_t seed : {3u, 11u}) {
+    Rng a(seed), b(seed), c(seed);
+    size_t ua = tm_full.SourceLocal(), ub = ua, uc = ua;
+    for (int i = 0; i < 500; ++i) {
+      ua = tm_full.SampleNext(ua, a);
+      ub = tm_default.SampleNext(ub, b);
+      uc = tm_walk.SampleNext(uc, c);
+      EXPECT_EQ(ua, ub);
+      EXPECT_EQ(ua, uc);
+    }
+  }
+  // SampleNextCdf without the stored CDF: same draw via the linear-scan
+  // fallback over the same partial sums.
+  {
+    Rng a(7), b(7);
+    size_t ua = tm_full.SourceLocal(), ub = ua;
+    for (int i = 0; i < 500; ++i) {
+      ua = tm_full.SampleNextCdf(ua, a);
+      ub = tm_default.SampleNextCdf(ub, b);
+      EXPECT_EQ(ua, ub);
+    }
+  }
+}
+
+TEST(StationaryTest, ScatterFallbackMatchesGatherBitwise) {
+  // A model without the in-CSR still solves for pi — through the serial
+  // scatter sweep — and every float matches the gather path exactly.
+  Fixture f = MakeFixture();
+  PredicateSimilarityCache sims(*f.embedding, f.g.PredicateIdOf("rel_hi"));
+  auto scope = BoundedBfs(f.g, f.source, 3);
+  TransitionModel tm_gather(f.g, scope, sims);
+  TransitionOptions walk_only;
+  walk_only.build_in_csr = false;
+  TransitionModel tm_scatter(f.g, scope, sims, walk_only);
+
+  StationaryOptions opts;
+  opts.max_iterations = 800;
+  opts.tolerance = 1e-10;
+  auto a = ComputeStationaryDistribution(tm_gather, opts);
+  auto b = ComputeStationaryDistribution(tm_scatter, opts);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.final_delta, b.final_delta);
+  ASSERT_EQ(a.pi.size(), b.pi.size());
+  for (size_t u = 0; u < a.pi.size(); ++u) {
+    EXPECT_EQ(a.pi[u], b.pi[u]) << "pi diverges at local " << u;
   }
 }
 

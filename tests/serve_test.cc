@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/approx_engine.h"
+#include "core/engine_context.h"
+#include "datagen/kg_generator.h"
+#include "datagen/workload_generator.h"
+#include "serve/query_service.h"
+
+namespace kgaq {
+namespace {
+
+const GeneratedDataset& MiniDataset() {
+  static GeneratedDataset* ds = [] {
+    auto r = KgGenerator::Generate(DatasetProfile::Mini(7));
+    return new GeneratedDataset(std::move(*r));
+  }();
+  return *ds;
+}
+
+// A mixed 8-query workload: simple and chain shapes, several aggregate
+// functions, across domains/hubs.
+std::vector<AggregateQuery> MixedWorkload() {
+  const auto& ds = MiniDataset();
+  std::vector<AggregateQuery> qs;
+  qs.push_back(WorkloadGenerator::SimpleQuery(ds, 0, 0,
+                                              AggregateFunction::kCount));
+  qs.push_back(WorkloadGenerator::SimpleQuery(ds, 1, 0,
+                                              AggregateFunction::kAvg));
+  qs.push_back(WorkloadGenerator::SimpleQuery(ds, 2, 1,
+                                              AggregateFunction::kSum));
+  qs.push_back(WorkloadGenerator::ChainQuery(ds, 0, 0,
+                                             AggregateFunction::kCount));
+  qs.push_back(WorkloadGenerator::SimpleQuery(ds, 1, 1,
+                                              AggregateFunction::kCount));
+  qs.push_back(WorkloadGenerator::ChainQuery(ds, 1, 0,
+                                             AggregateFunction::kAvg));
+  qs.push_back(WorkloadGenerator::SimpleQuery(ds, 0, 1,
+                                              AggregateFunction::kMax));
+  qs.push_back(WorkloadGenerator::SimpleQuery(ds, 2, 0,
+                                              AggregateFunction::kAvg));
+  return qs;
+}
+
+void ExpectResultsBitwiseEqual(const AggregateResult& a,
+                               const AggregateResult& b, size_t index) {
+  EXPECT_EQ(a.v_hat, b.v_hat) << "query " << index;
+  EXPECT_EQ(a.moe, b.moe) << "query " << index;
+  EXPECT_EQ(a.satisfied, b.satisfied) << "query " << index;
+  EXPECT_EQ(a.rounds, b.rounds) << "query " << index;
+  EXPECT_EQ(a.total_draws, b.total_draws) << "query " << index;
+  EXPECT_EQ(a.correct_draws, b.correct_draws) << "query " << index;
+  EXPECT_EQ(a.num_candidates, b.num_candidates) << "query " << index;
+  ASSERT_EQ(a.groups.size(), b.groups.size()) << "query " << index;
+  for (size_t gi = 0; gi < a.groups.size(); ++gi) {
+    EXPECT_EQ(a.groups[gi].v_hat, b.groups[gi].v_hat);
+    EXPECT_EQ(a.groups[gi].moe, b.groups[gi].moe);
+  }
+}
+
+// Acceptance criterion: 8 concurrent queries over one shared context
+// return bitwise-identical per-query results to serial solo runs (fresh
+// cold engines) with the same derived seeds.
+TEST(QueryServiceTest, ConcurrentResultsMatchSoloRunsBitwise) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  const auto workload = MixedWorkload();
+
+  ServiceOptions sopts;
+  sopts.max_concurrent = 8;
+  sopts.base_seed = 321;
+  auto served = QueryService::RunBatch(ctx, workload, sopts);
+  ASSERT_EQ(served.size(), workload.size());
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    ASSERT_TRUE(served[i].ok()) << "query " << i << ": "
+                                << served[i].status();
+    // Solo reference: a fresh engine with a private cold context.
+    EngineOptions eopts = sopts.engine;
+    eopts.seed = QueryService::QuerySeed(sopts.base_seed, i);
+    ApproxEngine solo(ds.graph(), ds.reference_embedding(), eopts);
+    auto expected = solo.Execute(workload[i]);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    ExpectResultsBitwiseEqual(*served[i], *expected, i);
+  }
+}
+
+TEST(QueryServiceTest, NarrowAdmissionWidthGivesSameResults) {
+  const auto& ds = MiniDataset();
+  const auto workload = MixedWorkload();
+
+  ServiceOptions wide;
+  wide.max_concurrent = 8;
+  wide.base_seed = 77;
+  auto ctx_a = std::make_shared<EngineContext>(ds.graph(),
+                                               ds.reference_embedding());
+  auto a = QueryService::RunBatch(ctx_a, workload, wide);
+
+  ServiceOptions narrow = wide;
+  narrow.max_concurrent = 3;  // queries queue and enter in waves
+  auto ctx_b = std::make_shared<EngineContext>(ds.graph(),
+                                               ds.reference_embedding());
+  auto b = QueryService::RunBatch(ctx_b, workload, narrow);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok());
+    ASSERT_TRUE(b[i].ok());
+    ExpectResultsBitwiseEqual(*a[i], *b[i], i);
+  }
+}
+
+TEST(QueryServiceTest, InvalidQueryFailsAloneOthersComplete) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  QueryService service(ctx);
+  auto good = WorkloadGenerator::SimpleQuery(ds, 0, 0,
+                                             AggregateFunction::kCount);
+  AggregateQuery bad = good;
+  bad.query.branches[0].specific_name = "no_such_entity_anywhere";
+  EXPECT_EQ(service.Submit(good), 0u);
+  EXPECT_EQ(service.Submit(bad), 1u);
+  EXPECT_EQ(service.Submit(good), 2u);
+  auto results = service.RunAll();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(QueryServiceTest, QuerySeedIsStableAndSpread) {
+  // The documented contract: solo reproduction depends on this mapping
+  // staying fixed.
+  EXPECT_EQ(QueryService::QuerySeed(7, 0), QueryService::QuerySeed(7, 0));
+  EXPECT_NE(QueryService::QuerySeed(7, 0), QueryService::QuerySeed(7, 1));
+  EXPECT_NE(QueryService::QuerySeed(7, 0), QueryService::QuerySeed(8, 0));
+}
+
+TEST(EngineContextTest, SharedStructuresAreReusedAcrossQueries) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  auto q = WorkloadGenerator::SimpleQuery(ds, 0, 0,
+                                          AggregateFunction::kCount);
+  EngineOptions opts;
+  ApproxEngine engine(ctx, opts);
+  ASSERT_TRUE(engine.Execute(q).ok());
+  const auto first = ctx->Stats();
+  EXPECT_GT(first.sims_misses, 0u);
+  EXPECT_GT(first.core_misses, 0u);
+
+  // The same query again (fresh session, same context): every similarity
+  // row and walk core is a cache hit, nothing new is built.
+  ASSERT_TRUE(engine.Execute(q).ok());
+  const auto second = ctx->Stats();
+  EXPECT_EQ(second.sims_misses, first.sims_misses);
+  EXPECT_EQ(second.core_misses, first.core_misses);
+  EXPECT_GT(second.sims_hits, first.sims_hits);
+  EXPECT_GT(second.core_hits, first.core_hits);
+}
+
+TEST(EngineContextTest, ChainProfilesReusedAcrossQueriesWithSameShape) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  auto q = WorkloadGenerator::ChainQuery(ds, 0, 0, AggregateFunction::kCount);
+
+  EngineOptions opts;
+  opts.seed = 5;
+  ApproxEngine engine(ctx, opts);
+  auto r1 = engine.Execute(q);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  const auto after_first = ctx->Stats();
+  ASSERT_GT(after_first.chain_entries, 0u)
+      << "chain validation produced no profiles — query too easy?";
+
+  // Second query of the same shape: every boundary-state lookup hits the
+  // promoted store; no new profile is enumerated.
+  auto r2 = engine.Execute(q);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  const auto after_second = ctx->Stats();
+  EXPECT_EQ(after_second.chain_entries, after_first.chain_entries);
+  EXPECT_EQ(after_second.chain_misses, after_first.chain_misses);
+  EXPECT_GT(after_second.chain_hits, after_first.chain_hits);
+
+  // And cache warmth never changes results.
+  EXPECT_EQ(r1->v_hat, r2->v_hat);
+  EXPECT_EQ(r1->moe, r2->moe);
+  EXPECT_EQ(r1->total_draws, r2->total_draws);
+}
+
+TEST(EngineContextTest, WarmContextMatchesColdContextBitwise) {
+  const auto& ds = MiniDataset();
+  const auto workload = MixedWorkload();
+  ServiceOptions sopts;
+  sopts.base_seed = 9;
+
+  auto warm_ctx = std::make_shared<EngineContext>(ds.graph(),
+                                                  ds.reference_embedding());
+  auto first = QueryService::RunBatch(warm_ctx, workload, sopts);
+  // Same workload through the now-warm context (fresh service).
+  auto second = QueryService::RunBatch(warm_ctx, workload, sopts);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i].ok());
+    ASSERT_TRUE(second[i].ok());
+    ExpectResultsBitwiseEqual(*first[i], *second[i], i);
+  }
+}
+
+TEST(EngineContextTest, InteractiveRefinementStillWorksThroughContext) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  ApproxEngine engine(ctx);
+  auto q = WorkloadGenerator::SimpleQuery(ds, 2, 0, AggregateFunction::kAvg);
+  auto session = engine.CreateSession(q);
+  ASSERT_TRUE(session.ok());
+  auto coarse = (*session)->RunToErrorBound(0.05);
+  auto fine = (*session)->RunToErrorBound(0.01);
+  EXPECT_GE(fine.total_draws, coarse.total_draws);
+  EXPECT_TRUE(fine.satisfied);
+}
+
+}  // namespace
+}  // namespace kgaq

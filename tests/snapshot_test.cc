@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "core/approx_engine.h"
+#include "core/engine_context.h"
+#include "datagen/kg_generator.h"
+#include "datagen/workload_generator.h"
+#include "embedding/embedding_io.h"
+#include "kg/snapshot.h"
+#include "kg/tsv_loader.h"
+
+namespace kgaq {
+namespace {
+
+const GeneratedDataset& MiniDataset() {
+  static GeneratedDataset* ds = [] {
+    auto r = KgGenerator::Generate(DatasetProfile::Mini(7));
+    return new GeneratedDataset(std::move(*r));
+  }();
+  return *ds;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Structural equality over the public API: same ids, same CSR order, same
+// dictionaries — the bit-exactness the snapshot format promises.
+void ExpectGraphsIdentical(const KnowledgeGraph& a, const KnowledgeGraph& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  ASSERT_EQ(a.NumPredicates(), b.NumPredicates());
+  ASSERT_EQ(a.NumTypes(), b.NumTypes());
+  ASSERT_EQ(a.NumAttributes(), b.NumAttributes());
+  for (uint32_t t = 0; t < a.NumTypes(); ++t) {
+    EXPECT_EQ(a.types().name(t), b.types().name(t));
+  }
+  for (uint32_t p = 0; p < a.NumPredicates(); ++p) {
+    EXPECT_EQ(a.predicates().name(p), b.predicates().name(p));
+  }
+  for (uint32_t at = 0; at < a.NumAttributes(); ++at) {
+    EXPECT_EQ(a.attributes().name(at), b.attributes().name(at));
+  }
+  for (NodeId u = 0; u < a.NumNodes(); ++u) {
+    ASSERT_EQ(a.NodeName(u), b.NodeName(u));
+    auto ta = a.NodeTypes(u);
+    auto tb = b.NodeTypes(u);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+    auto na = a.Neighbors(u);
+    auto nb = b.Neighbors(u);
+    ASSERT_EQ(na.size(), nb.size()) << "adjacency of node " << u;
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i], nb[i]) << "arc " << i << " of node " << u;
+    }
+    for (AttributeId at = 0; at < a.NumAttributes(); ++at) {
+      auto va = a.Attribute(u, at);
+      auto vb = b.Attribute(u, at);
+      ASSERT_EQ(va.has_value(), vb.has_value());
+      if (va.has_value()) {
+        EXPECT_EQ(*va, *vb);  // bitwise, not approx
+      }
+    }
+  }
+}
+
+TEST(SnapshotTest, KgRoundTripIsBitExact) {
+  const auto& g = MiniDataset().graph();
+  const std::string path = TempPath("kg_roundtrip.snap");
+  ASSERT_TRUE(SaveKgSnapshot(g, path).ok());
+  auto loaded = LoadKgSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectGraphsIdentical(g, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, EmbeddingBlobRoundTripsFloatsExactly) {
+  const auto& ds = MiniDataset();
+  const std::string path = TempPath("engine_roundtrip.snap");
+  ASSERT_TRUE(
+      SaveEngineSnapshot(ds.graph(), &ds.reference_embedding(), path).ok());
+  auto snap = LoadEngineSnapshot(path);
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  ASSERT_NE(snap->embedding, nullptr);
+  const EmbeddingModel& orig = ds.reference_embedding();
+  const EmbeddingModel& restored = *snap->embedding;
+  ASSERT_EQ(orig.num_entities(), restored.num_entities());
+  ASSERT_EQ(orig.num_predicates(), restored.num_predicates());
+  ASSERT_EQ(orig.entity_dim(), restored.entity_dim());
+  ASSERT_EQ(orig.predicate_dim(), restored.predicate_dim());
+  EXPECT_EQ(orig.name(), restored.name());
+  for (NodeId u = 0; u < orig.num_entities(); ++u) {
+    auto a = orig.EntityVector(u);
+    auto b = restored.EntityVector(u);
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  for (PredicateId p = 0; p < orig.num_predicates(); ++p) {
+    auto a = orig.PredicateVector(p);
+    auto b = restored.PredicateVector(p);
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  std::remove(path.c_str());
+}
+
+// Acceptance criterion: a TSV-loaded graph and its snapshot round trip
+// produce identical ApproxEngine estimates for fixed seeds.
+TEST(SnapshotTest, TsvLoadAndSnapshotLoadGiveIdenticalEstimates) {
+  const auto& ds = MiniDataset();
+
+  // The serving input: a TSV dump, parsed (fresh id assignment).
+  const std::string text = TsvLoader::SaveString(ds.graph());
+  auto g_tsv = TsvLoader::LoadString(text);
+  ASSERT_TRUE(g_tsv.ok()) << g_tsv.status();
+
+  // Snapshot the parsed graph and load it back.
+  const std::string path = TempPath("parity.snap");
+  ASSERT_TRUE(SaveKgSnapshot(*g_tsv, path).ok());
+  auto g_snap = LoadKgSnapshot(path);
+  ASSERT_TRUE(g_snap.ok()) << g_snap.status();
+  ExpectGraphsIdentical(*g_tsv, *g_snap);
+
+  // Re-align the planted embedding with the TSV graph's id assignment
+  // (TSV parsing re-interns names/predicates in file order).
+  const EmbeddingModel& ref = ds.reference_embedding();
+  FixedEmbedding emb("realigned", g_tsv->NumNodes(),
+                     g_tsv->NumPredicates(), ref.entity_dim(),
+                     ref.predicate_dim());
+  for (NodeId u = 0; u < g_tsv->NumNodes(); ++u) {
+    const NodeId orig = ds.graph().FindNodeByName(g_tsv->NodeName(u));
+    ASSERT_NE(orig, kInvalidId);
+    auto src = ref.EntityVector(orig);
+    auto dst = emb.MutableEntityVector(u);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  for (PredicateId p = 0; p < g_tsv->NumPredicates(); ++p) {
+    const PredicateId orig =
+        ds.graph().PredicateIdOf(g_tsv->predicates().name(p));
+    ASSERT_NE(orig, kInvalidId);
+    auto src = ref.PredicateVector(orig);
+    auto dst = emb.MutablePredicateVector(p);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+
+  auto q = WorkloadGenerator::SimpleQuery(ds, 0, 0, AggregateFunction::kAvg);
+  EngineOptions opts;
+  opts.seed = 1234;
+  ApproxEngine engine_tsv(*g_tsv, emb, opts);
+  ApproxEngine engine_snap(*g_snap, emb, opts);
+  auto r_tsv = engine_tsv.Execute(q);
+  auto r_snap = engine_snap.Execute(q);
+  ASSERT_TRUE(r_tsv.ok()) << r_tsv.status();
+  ASSERT_TRUE(r_snap.ok()) << r_snap.status();
+  EXPECT_EQ(r_tsv->v_hat, r_snap->v_hat);  // bitwise
+  EXPECT_EQ(r_tsv->moe, r_snap->moe);
+  EXPECT_EQ(r_tsv->total_draws, r_snap->total_draws);
+  EXPECT_EQ(r_tsv->correct_draws, r_snap->correct_draws);
+  EXPECT_EQ(r_tsv->rounds, r_snap->rounds);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, ContextLoadFromSnapshotServesQueries) {
+  const auto& ds = MiniDataset();
+  const std::string path = TempPath("context.snap");
+  ASSERT_TRUE(
+      SaveEngineSnapshot(ds.graph(), &ds.reference_embedding(), path).ok());
+  auto ctx = EngineContext::LoadFromSnapshot(path);
+  ASSERT_TRUE(ctx.ok()) << ctx.status();
+
+  auto q = WorkloadGenerator::SimpleQuery(ds, 0, 0, AggregateFunction::kCount);
+  EngineOptions opts;
+  opts.seed = 99;
+  ApproxEngine from_snapshot(*ctx, opts);
+  ApproxEngine from_memory(ds.graph(), ds.reference_embedding(), opts);
+  auto a = from_snapshot.Execute(q);
+  auto b = from_memory.Execute(q);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(a->v_hat, b->v_hat);
+  EXPECT_EQ(a->moe, b->moe);
+  EXPECT_EQ(a->total_draws, b->total_draws);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, GraphOnlySnapshotHasNoEmbeddingAndContextRejectsIt) {
+  const auto& ds = MiniDataset();
+  const std::string path = TempPath("graph_only.snap");
+  ASSERT_TRUE(SaveKgSnapshot(ds.graph(), path).ok());
+  auto snap = LoadEngineSnapshot(path);
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  EXPECT_EQ(snap->embedding, nullptr);
+  auto ctx = EngineContext::LoadFromSnapshot(path);
+  EXPECT_FALSE(ctx.ok());
+  EXPECT_EQ(ctx.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsBadMagicTruncationAndFutureVersion) {
+  const std::string bad_magic = TempPath("bad_magic.snap");
+  {
+    std::ofstream out(bad_magic, std::ios::binary);
+    out << "NOTASNAPxxxxxxxxxxxxxxxx";
+  }
+  EXPECT_FALSE(LoadKgSnapshot(bad_magic).ok());
+  std::remove(bad_magic.c_str());
+
+  // A valid snapshot truncated mid-stream must fail cleanly.
+  const auto& ds = MiniDataset();
+  const std::string path = TempPath("truncate.snap");
+  ASSERT_TRUE(SaveKgSnapshot(ds.graph(), path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::string cut = TempPath("truncated.snap");
+  {
+    std::ofstream out(cut, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  EXPECT_FALSE(LoadKgSnapshot(cut).ok());
+  std::remove(cut.c_str());
+
+  // Bump the version field (offset 8, u32 LE) — readers must refuse.
+  std::string versioned = bytes;
+  versioned[8] = 99;
+  const std::string future = TempPath("future.snap");
+  {
+    std::ofstream out(future, std::ios::binary);
+    out.write(versioned.data(),
+              static_cast<std::streamsize>(versioned.size()));
+  }
+  auto r = LoadKgSnapshot(future);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos)
+      << r.status();
+  std::remove(future.c_str());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(LoadKgSnapshot("/nonexistent/kg.snap").ok());
+}
+
+}  // namespace
+}  // namespace kgaq
