@@ -480,6 +480,78 @@ void BM_ServeSharedContext(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeSharedContext)->Arg(1)->Arg(8)->ArgName("width");
 
+// ---------- serving: per-query latency percentiles, async vs batch ----------
+
+double Percentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+// Async scheduler: per-query latency is submission -> terminal as seen by
+// the ticket (includes queue wait), aggregated to p50/p95/p99 across
+// every query of every iteration.
+void BM_ServeAsyncLatency(benchmark::State& state) {
+  auto& f = ServeBench();
+  ServiceOptions sopts;
+  sopts.base_seed = 5;
+  sopts.max_concurrent = static_cast<size_t>(state.range(0));
+  std::vector<double> latencies;
+  for (auto _ : state) {
+    QueryService service(f.ctx, sopts);
+    std::vector<QueryTicket> tickets;
+    tickets.reserve(f.workload.size());
+    for (const AggregateQuery& q : f.workload) {
+      QueryRequest req;
+      req.query = q;
+      tickets.push_back(service.SubmitAsync(std::move(req)));
+    }
+    for (QueryTicket& t : tickets) {
+      const QueryResponse resp = t.Wait();
+      latencies.push_back(resp.queue_ms + resp.run_ms);
+      benchmark::DoNotOptimize(resp.result.v_hat);
+    }
+  }
+  state.counters["p50_ms"] = Percentile(latencies, 0.50);
+  state.counters["p95_ms"] = Percentile(latencies, 0.95);
+  state.counters["p99_ms"] = Percentile(latencies, 0.99);
+  state.counters["queries"] = static_cast<double>(f.workload.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.workload.size()));
+}
+BENCHMARK(BM_ServeAsyncLatency)->Arg(1)->Arg(8)->ArgName("width");
+
+// Legacy batch path for comparison: RunAll exposes no per-query
+// completion times, so each query's "latency" is the whole batch wall
+// time — exactly the head-of-line cost SubmitAsync exists to remove.
+void BM_ServeBatchLatency(benchmark::State& state) {
+  auto& f = ServeBench();
+  ServiceOptions sopts;
+  sopts.base_seed = 5;
+  sopts.max_concurrent = static_cast<size_t>(state.range(0));
+  std::vector<double> latencies;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto results = QueryService::RunBatch(f.ctx, f.workload, sopts);
+    const double batch_ms = timer.ElapsedMillis();
+    for (size_t i = 0; i < results.size(); ++i) {
+      latencies.push_back(batch_ms);
+    }
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.counters["p50_ms"] = Percentile(latencies, 0.50);
+  state.counters["p95_ms"] = Percentile(latencies, 0.95);
+  state.counters["p99_ms"] = Percentile(latencies, 0.99);
+  state.counters["queries"] = static_cast<double>(f.workload.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.workload.size()));
+}
+BENCHMARK(BM_ServeBatchLatency)->Arg(1)->Arg(8)->ArgName("width");
+
 // ---------- weighted draws: alias table vs the replaced CDF path ----------
 
 const std::vector<double>& BenchWeights(size_t n) {

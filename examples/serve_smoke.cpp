@@ -144,6 +144,71 @@ int main() {
               static_cast<unsigned long long>(stats.chain_misses),
               stats.chain_entries);
 
+  // Async admission: the same workload through SubmitAsync tickets (same
+  // base seed, fresh service over the same context) must reproduce the
+  // batch results bitwise, while a deadline probe and a cancelled query
+  // retire without touching them.
+  {
+    QueryService async_service(*ctx, sopts);
+    std::vector<QueryTicket> tickets;
+    for (const AggregateQuery& q : workload) {
+      QueryRequest req;
+      req.query = q;
+      tickets.push_back(async_service.SubmitAsync(std::move(req)));
+    }
+    QueryRequest probe;
+    probe.query = workload[0];
+    probe.deadline_ms = 0.0001;  // expires before its first round
+    QueryTicket expired = async_service.SubmitAsync(std::move(probe));
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      const QueryResponse resp = tickets[i].Wait();
+      const bool same = resp.state == QueryState::kDone && served[i].ok() &&
+                        resp.result.v_hat == served[i]->v_hat &&
+                        resp.result.moe == served[i]->moe &&
+                        resp.result.total_draws == served[i]->total_draws;
+      if (!same) {
+        std::fprintf(stderr,
+                     "async q%zu (%s) mismatches the batch result\n", i,
+                     QueryStateToString(resp.state));
+        ++failures;
+      }
+    }
+    if (expired.Wait().state != QueryState::kDeadlineExceeded) {
+      std::fprintf(stderr, "deadline probe did not expire\n");
+      ++failures;
+    }
+
+    // Cancel-while-queued: a width-1 service keeps the second query
+    // queued until the first finishes; cancelling it retires it without
+    // it ever drawing.
+    ServiceOptions narrow = sopts;
+    narrow.max_concurrent = 1;
+    QueryService narrow_service(*ctx, narrow);
+    QueryRequest first, second;
+    first.query = workload[0];
+    second.query = workload[1];
+    QueryTicket t1 = narrow_service.SubmitAsync(std::move(first));
+    QueryTicket t2 = narrow_service.SubmitAsync(std::move(second));
+    t2.Cancel();
+    const QueryResponse r2 = t2.Wait();
+    if (r2.state != QueryState::kCancelled ||
+        r2.result.total_draws != 0) {
+      std::fprintf(stderr, "queued cancel ended as %s with %zu draws\n",
+                   QueryStateToString(r2.state), r2.result.total_draws);
+      ++failures;
+    }
+    if (t1.Wait().state != QueryState::kDone) {
+      std::fprintf(stderr, "width-1 survivor did not complete\n");
+      ++failures;
+    }
+    const auto astats = async_service.stats();
+    std::printf("async service: %llu done, %llu deadline-expired of %llu "
+                "submitted\n",
+                static_cast<unsigned long long>(astats.done),
+                static_cast<unsigned long long>(astats.deadline_expired),
+                static_cast<unsigned long long>(astats.submitted));
+  }
+
   std::remove(snap_path.c_str());
   std::remove(tsv_path.c_str());
   if (failures != 0) {
@@ -152,6 +217,6 @@ int main() {
     return 1;
   }
   std::printf("serve smoke OK: 8/8 concurrent results bitwise-match solo "
-              "runs\n");
+              "runs (batch and async)\n");
   return 0;
 }

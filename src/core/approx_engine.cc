@@ -11,6 +11,18 @@
 
 namespace kgaq {
 
+const char* StopCauseToString(StopCause c) {
+  switch (c) {
+    case StopCause::kNone:
+      return "none";
+    case StopCause::kCancelled:
+      return "cancelled";
+    case StopCause::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
 ApproxEngine::ApproxEngine(const KnowledgeGraph& g,
                            const EmbeddingModel& model, EngineOptions options)
     : ctx_(std::make_shared<EngineContext>(g, model)),
@@ -226,10 +238,32 @@ std::vector<SampleItem> QuerySession::GroupView(int64_t key) const {
   return view;
 }
 
+void QuerySession::SetStopControl(const std::atomic<bool>* cancel,
+                                  Deadline deadline) {
+  cancel_requested_ = cancel;
+  deadline_ = deadline;
+  stop_cause_ = StopCause::kNone;
+}
+
+bool QuerySession::ShouldStop() {
+  if (stop_cause_ != StopCause::kNone) return true;
+  if (cancel_requested_ != nullptr &&
+      cancel_requested_->load(std::memory_order_acquire)) {
+    stop_cause_ = StopCause::kCancelled;
+    return true;
+  }
+  if (deadline_.expired()) {
+    stop_cause_ = StopCause::kDeadlineExceeded;
+    return true;
+  }
+  return false;
+}
+
 void QuerySession::BeginRun(double error_bound) {
   run_ = RunState{};
   run_.error_bound = error_bound;
   run_.finished = false;
+  stop_cause_ = StopCause::kNone;
   s2_.Reset();
   s3_.Reset();
 
@@ -266,6 +300,14 @@ void QuerySession::BeginRun(double error_bound) {
 
 bool QuerySession::StepRound() {
   if (run_.finished) return true;
+
+  // Cooperative stop point: checked before the round's draws, so a
+  // cancelled or expired query consumes no further Rng stream and every
+  // completed round's sample stays intact for the partial estimate.
+  if (ShouldStop()) {
+    run_.finished = true;
+    return true;
+  }
 
   if (run_.extreme) {
     s2_.Start();

@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
+#include "common/deadline.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -111,6 +114,17 @@ struct AggregateResult {
 
 class QuerySession;
 
+/// Why a stepwise run retired before meeting its error bound. Checked at
+/// round boundaries only (cooperative), so a stopped session's already-
+/// completed rounds — and every other session's draws — are unaffected.
+enum class StopCause {
+  kNone,              ///< ran to its natural end (bound met or budget spent)
+  kCancelled,         ///< the installed cancel flag was set
+  kDeadlineExceeded,  ///< the installed deadline expired
+};
+
+const char* StopCauseToString(StopCause c);
+
 /// The sampling-estimation engine (Algorithm 2).
 ///
 ///   ApproxEngine engine(graph, embedding);
@@ -193,6 +207,19 @@ class QuerySession {
 
   bool run_finished() const { return run_.finished; }
 
+  /// Installs the cooperative stop control consulted between rounds.
+  /// `cancel` (may be null) is an external flag — typically owned by a
+  /// serving ticket — that any thread may set; `deadline` bounds the run
+  /// on the monotonic clock. StepRound re-checks both before drawing, so
+  /// a cancelled or expired session finishes at the next round boundary
+  /// with whatever sample it has; FinishRun then reports the partial
+  /// estimate and stop_cause() says why the run stopped short. The flag
+  /// must outlive the session (or be cleared with another SetStopControl).
+  void SetStopControl(const std::atomic<bool>* cancel, Deadline deadline);
+
+  /// Why the most recent run stopped (kNone when it ran to completion).
+  StopCause stop_cause() const { return stop_cause_; }
+
   const AggregateQuery& query() const { return query_; }
   size_t num_candidates() const { return candidates_.size(); }
 
@@ -207,6 +234,8 @@ class QuerySession {
 
   void DrawAndValidate(size_t k);
   std::vector<SampleItem> GroupView(int64_t key) const;
+  /// Consults the stop control; records the cause on first trigger.
+  bool ShouldStop();
 
   std::shared_ptr<const EngineContext> ctx_;
   const KnowledgeGraph* g_ = nullptr;
@@ -251,6 +280,11 @@ class QuerySession {
   RunState run_;
   StepTimer s2_;
   StepTimer s3_;
+
+  /// Cooperative stop control (see SetStopControl).
+  const std::atomic<bool>* cancel_requested_ = nullptr;
+  Deadline deadline_;  // infinite by default
+  StopCause stop_cause_ = StopCause::kNone;
 };
 
 /// Pre-refactor name for QuerySession, kept for source compatibility.

@@ -30,6 +30,17 @@ ChainValidationCache::Stats ChainValidationCache::stats() const {
   out.misses = misses_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   out.entries = profiles_.size();
+  // Approximation: key + profile struct + best_log payload per entry,
+  // plus a flat per-node allowance for the hash table's bucket/node
+  // bookkeeping. Exact malloc accounting isn't worth a trace hook here;
+  // the eviction policy this feeds needs relative magnitude, not bytes
+  // to the cent.
+  constexpr size_t kNodeOverhead = 32;
+  out.bytes = profiles_.bucket_count() * sizeof(void*);
+  for (const auto& [key, profile] : profiles_) {
+    out.bytes += sizeof(key) + sizeof(profile) + kNodeOverhead +
+                 profile.best_log.capacity() * sizeof(double);
+  }
   return out;
 }
 

@@ -51,6 +51,10 @@ class ChainValidationCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     size_t entries = 0;
+    /// Approximate resident bytes: per-profile payload plus hash-map
+    /// node overhead. Feeds EngineContext::Stats and the serving /stats
+    /// endpoint (groundwork for LRU eviction by bytes).
+    size_t bytes = 0;
   };
   Stats stats() const;
 

@@ -1,5 +1,6 @@
 #include "core/engine_context.h"
 
+#include <chrono>
 #include <utility>
 
 #include "kg/bfs.h"
@@ -137,18 +138,59 @@ std::shared_ptr<ChainValidationCache> EngineContext::ChainProfiles(
   return slot;
 }
 
+namespace {
+
+/// The cached value behind a ready future, or nullptr for a build still
+/// in flight (its promise is unfulfilled — the entry counts, its bytes
+/// don't yet). Ready futures of this codebase never carry exceptions
+/// (builders re-throw after un-claiming the key), so get() is safe.
+template <typename T>
+std::shared_ptr<T> ValueIfReady(const std::shared_future<std::shared_ptr<T>>& f) {
+  if (!f.valid() ||
+      f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    return nullptr;
+  }
+  return f.get();
+}
+
+}  // namespace
+
 EngineContext::CacheStats EngineContext::Stats() const {
   CacheStats out;
   out.sims_hits = sims_hits_.load(std::memory_order_relaxed);
   out.sims_misses = sims_misses_.load(std::memory_order_relaxed);
   out.core_hits = core_hits_.load(std::memory_order_relaxed);
   out.core_misses = core_misses_.load(std::memory_order_relaxed);
+  // Flat allowance per map node (key + value + red-black bookkeeping).
+  constexpr size_t kMapNodeOverhead = 64;
+  {
+    std::lock_guard<std::mutex> lock(sims_mu_);
+    out.sims_entries = sims_.size();
+    for (const auto& [key, future] : sims_) {
+      out.sims_bytes += kMapNodeOverhead;
+      if (auto row = ValueIfReady(future); row != nullptr) {
+        out.sims_bytes += sizeof(*row) + row->size() * sizeof(double);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(cores_mu_);
+    out.core_entries = cores_.size();
+    for (const auto& [key, future] : cores_) {
+      out.core_bytes += kMapNodeOverhead;
+      if (auto core = ValueIfReady(future); core != nullptr) {
+        out.core_bytes += sizeof(*core) + core->transitions.MemoryBytes() +
+                          core->pi.capacity() * sizeof(double);
+      }
+    }
+  }
   std::lock_guard<std::mutex> lock(chain_mu_);
   for (const auto& [sig, cache] : chain_caches_) {
     const ChainValidationCache::Stats s = cache->stats();
     out.chain_hits += s.hits;
     out.chain_misses += s.misses;
     out.chain_entries += s.entries;
+    out.chain_bytes += s.bytes + sig.capacity() + kMapNodeOverhead;
   }
   return out;
 }

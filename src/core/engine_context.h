@@ -106,16 +106,31 @@ class EngineContext {
   std::shared_ptr<ChainValidationCache> ChainProfiles(
       const std::string& branch_signature) const;
 
-  /// Aggregate cache counters, for tests / ops introspection.
+  /// Aggregate cache counters plus entry counts and approximate resident
+  /// bytes per cache, for tests / ops introspection (surfaced by the
+  /// serving layer's /stats endpoint) and as the measurement groundwork
+  /// for the roadmap's LRU-by-bytes eviction. Byte figures cover the
+  /// cached payloads and flat container-overhead allowances, not exact
+  /// allocator accounting; in-flight builds (futures not yet ready) count
+  /// as entries with zero bytes.
   struct CacheStats {
     uint64_t sims_hits = 0;
     uint64_t sims_misses = 0;
+    size_t sims_entries = 0;
+    size_t sims_bytes = 0;
     uint64_t core_hits = 0;
     uint64_t core_misses = 0;
+    size_t core_entries = 0;
+    size_t core_bytes = 0;
     /// Summed over every per-signature ChainValidationCache.
     uint64_t chain_hits = 0;
     uint64_t chain_misses = 0;
     size_t chain_entries = 0;
+    size_t chain_bytes = 0;
+
+    size_t TotalBytes() const {
+      return sims_bytes + core_bytes + chain_bytes;
+    }
   };
   CacheStats Stats() const;
 

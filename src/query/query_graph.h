@@ -16,6 +16,8 @@ struct Filter {
   std::string attribute;
   double lower;
   double upper;
+
+  bool operator==(const Filter&) const = default;
 };
 
 /// GROUP-BY on a numerical attribute of the target node (§V-A): answers
@@ -26,6 +28,8 @@ struct GroupBy {
   double bucket_width = 1.0;
 
   bool enabled() const { return !attribute.empty(); }
+
+  bool operator==(const GroupBy&) const = default;
 };
 
 /// One hop of a (possibly multi-hop) query path: an edge predicate
@@ -33,6 +37,8 @@ struct GroupBy {
 struct QueryHop {
   std::string predicate;
   std::vector<std::string> node_types;
+
+  bool operator==(const QueryHop&) const = default;
 };
 
 /// A simple or chain-shaped query path from one specific node to the
@@ -48,6 +54,8 @@ struct QueryBranch {
   const std::vector<std::string>& target_types() const {
     return hops.back().node_types;
   }
+
+  bool operator==(const QueryBranch&) const = default;
 };
 
 /// The shapes of Fig. 4 plus the simple 1-edge query.
@@ -82,6 +90,8 @@ struct QueryGraph {
   /// Unknown predicates are allowed (they simply have low similarity to
   /// everything via the embedding), but the specific node must resolve.
   Status Validate(const KnowledgeGraph& g) const;
+
+  bool operator==(const QueryGraph&) const = default;
 };
 
 /// A full aggregate query AQ_G = (Q, f_a) with optional filter / GROUP-BY
@@ -95,6 +105,8 @@ struct AggregateQuery {
   GroupBy group_by;
 
   Status Validate(const KnowledgeGraph& g) const;
+
+  bool operator==(const AggregateQuery&) const = default;
 };
 
 }  // namespace kgaq

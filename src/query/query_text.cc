@@ -1,0 +1,537 @@
+#include "query/query_text.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+#include "query/aggregate.h"
+
+namespace kgaq {
+
+namespace {
+
+bool IsBareStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsBareChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when `name` can be emitted without quotes. "x" is reserved for
+/// the target marker, so a type/predicate literally named "x" is quoted.
+bool IsBareName(const std::string& name) {
+  if (name.empty() || name == "x") return false;
+  if (!IsBareStart(name[0])) return false;
+  for (char c : name) {
+    if (!IsBareChar(c)) return false;
+  }
+  return true;
+}
+
+void AppendName(std::string& out, const std::string& name) {
+  if (IsBareName(name)) {
+    out += name;
+    return;
+  }
+  out += '"';
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void AppendTypes(std::string& out, const std::vector<std::string>& types) {
+  for (size_t i = 0; i < types.size(); ++i) {
+    if (i > 0) out += '|';
+    AppendName(out, types[i]);
+  }
+}
+
+/// The shape Parse derives when no SHAPE clause is present; Format emits
+/// the clause exactly when the stored shape differs from this.
+QueryShape DerivedShape(const QueryGraph& q) {
+  if (q.branches.size() <= 1) {
+    const bool chain =
+        !q.branches.empty() && q.branches[0].hops.size() > 1;
+    return chain ? QueryShape::kChain : QueryShape::kSimple;
+  }
+  return QueryShape::kStar;
+}
+
+const char* ShapeWord(QueryShape s) {
+  switch (s) {
+    case QueryShape::kSimple:
+      return "simple";
+    case QueryShape::kChain:
+      return "chain";
+    case QueryShape::kStar:
+      return "star";
+    case QueryShape::kCycle:
+      return "cycle";
+    case QueryShape::kFlower:
+      return "flower";
+  }
+  return "?";
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Recursive-descent cursor over the wire text. Tracks 1-based line and
+/// column so every error can point at the offending character — quoted
+/// strings may contain raw newlines, so the counters advance inside them
+/// too.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char PeekAt(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (pos_ >= text_.size()) return;
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  /// "line:col: msg" — the position every malformed-input test keys on.
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(std::to_string(line_) + ":" +
+                                   std::to_string(col_) + ": " + msg);
+  }
+
+  std::string Describe() const {
+    if (AtEnd()) return "end of input";
+    const char c = Peek();
+    if (std::isprint(static_cast<unsigned char>(c))) {
+      return std::string("'") + c + "'";
+    }
+    return "byte 0x" + std::to_string(static_cast<unsigned char>(c));
+  }
+
+  Status ExpectChar(char c, const char* what) {
+    SkipWhitespace();
+    if (Peek() != c) {
+      return Error(std::string("expected '") + c + "' " + what + ", got " +
+                   Describe());
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  /// Next bare word ([A-Za-z_][A-Za-z0-9_]*), without consuming it.
+  std::string PeekWord() {
+    SkipWhitespace();
+    std::string word;
+    size_t i = 0;
+    if (IsBareStart(Peek())) {
+      word += Peek();
+      for (i = 1; IsBareChar(PeekAt(i)); ++i) word += PeekAt(i);
+    }
+    return word;
+  }
+
+  void ConsumeWord(const std::string& word) {
+    for (size_t i = 0; i < word.size(); ++i) Advance();
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    const std::string word = PeekWord();
+    if (!EqualsIgnoreCase(word, keyword)) {
+      return Error(std::string("expected '") + keyword + "', got " +
+                   (word.empty() ? Describe() : "'" + word + "'"));
+    }
+    ConsumeWord(word);
+    return Status::OK();
+  }
+
+  /// Quoted string with \" and \\ escapes; every other byte (newlines
+  /// included) stands for itself.
+  Result<std::string> ParseQuoted(const char* what) {
+    SkipWhitespace();
+    if (Peek() != '"') {
+      return Error(std::string("expected quoted ") + what + ", got " +
+                   Describe());
+    }
+    const size_t open_line = line_;
+    const size_t open_col = col_;
+    Advance();
+    std::string out;
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == '"') {
+        Advance();
+        return out;
+      }
+      if (c == '\\') {
+        const char next = PeekAt(1);
+        if (next != '"' && next != '\\') {
+          return Error("invalid escape in quoted string (only \\\" and "
+                       "\\\\ are recognized)");
+        }
+        Advance();
+        out += next;
+        Advance();
+        continue;
+      }
+      out += c;
+      Advance();
+    }
+    return Error("unterminated quoted string (opened at " +
+                 std::to_string(open_line) + ":" +
+                 std::to_string(open_col) + ")");
+  }
+
+  /// Bare identifier or quoted string.
+  Result<std::string> ParseName(const char* what) {
+    SkipWhitespace();
+    if (Peek() == '"') return ParseQuoted(what);
+    const std::string word = PeekWord();
+    if (word.empty()) {
+      return Error(std::string("expected ") + what + " (identifier or "
+                   "quoted string), got " + Describe());
+    }
+    ConsumeWord(word);
+    return word;
+  }
+
+  Result<double> ParseNumber(const char* what) {
+    SkipWhitespace();
+    double value = 0.0;
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr == begin) {
+      return Error(std::string("expected number ") + what + ", got " +
+                   Describe());
+    }
+    // Numbers never contain newlines; advance column-wise.
+    for (const char* p = begin; p != ptr; ++p) Advance();
+    return value;
+  }
+
+  size_t line() const { return line_; }
+  size_t col() const { return col_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+/// One node spec: `(`, optional `x` target marker, optional `:` types,
+/// `)`.
+struct NodeSpec {
+  bool is_target = false;
+  std::vector<std::string> types;
+};
+
+Result<NodeSpec> ParseNodeSpec(Cursor& c) {
+  NodeSpec out;
+  KGAQ_RETURN_IF_ERROR(c.ExpectChar('(', "to open a node"));
+  c.SkipWhitespace();
+  const std::string word = c.PeekWord();
+  if (word == "x") {
+    out.is_target = true;
+    c.ConsumeWord(word);
+    c.SkipWhitespace();
+  } else if (!word.empty()) {
+    return c.Error("expected 'x', ':' or ')' in node, got '" + word +
+                   "' (only a branch's first node carries a quoted name)");
+  }
+  if (c.Peek() == ':') {
+    c.Advance();
+    c.SkipWhitespace();
+    // Allow the degenerate `(:)` / `(x:)` spelling of "no types".
+    while (c.Peek() != ')') {
+      auto type = c.ParseName("node type");
+      if (!type.ok()) return type.status();
+      out.types.push_back(std::move(*type));
+      c.SkipWhitespace();
+      if (c.Peek() == '|') {
+        c.Advance();
+        c.SkipWhitespace();
+      } else {
+        break;
+      }
+    }
+  }
+  KGAQ_RETURN_IF_ERROR(c.ExpectChar(')', "to close the node"));
+  return out;
+}
+
+Result<QueryBranch> ParseBranch(Cursor& c) {
+  QueryBranch branch;
+  KGAQ_RETURN_IF_ERROR(c.ExpectChar('(', "to open the branch's specific "
+                                         "node"));
+  auto name = c.ParseQuoted("specific-node name");
+  if (!name.ok()) return name.status();
+  branch.specific_name = std::move(*name);
+  c.SkipWhitespace();
+  if (c.Peek() == ':') {
+    c.Advance();
+    c.SkipWhitespace();
+    while (c.Peek() != ')') {
+      auto type = c.ParseName("node type");
+      if (!type.ok()) return type.status();
+      branch.specific_types.push_back(std::move(*type));
+      c.SkipWhitespace();
+      if (c.Peek() == '|') {
+        c.Advance();
+        c.SkipWhitespace();
+      } else {
+        break;
+      }
+    }
+  }
+  KGAQ_RETURN_IF_ERROR(c.ExpectChar(')', "to close the specific node"));
+
+  bool saw_target = false;
+  for (;;) {
+    c.SkipWhitespace();
+    if (c.Peek() != '-') {
+      if (branch.hops.empty()) {
+        return c.Error("expected '-[' to begin the branch's first hop, "
+                       "got " + c.Describe());
+      }
+      break;
+    }
+    if (saw_target) {
+      return c.Error("hop follows the target node — '(x...)' must be the "
+                     "branch's last node");
+    }
+    c.Advance();  // '-'
+    KGAQ_RETURN_IF_ERROR(c.ExpectChar('[', "after '-' to open the hop "
+                                           "predicate"));
+    auto pred = c.ParseName("hop predicate");
+    if (!pred.ok()) return pred.status();
+    KGAQ_RETURN_IF_ERROR(c.ExpectChar(']', "to close the hop predicate"));
+    KGAQ_RETURN_IF_ERROR(c.ExpectChar('-', "in the hop arrow ']->'"));
+    KGAQ_RETURN_IF_ERROR(c.ExpectChar('>', "in the hop arrow ']->'"));
+    auto node = ParseNodeSpec(c);
+    if (!node.ok()) return node.status();
+    saw_target = node->is_target;
+    branch.hops.push_back(QueryHop{std::move(*pred),
+                                   std::move(node->types)});
+  }
+  if (!saw_target) {
+    return c.Error("branch's last node must be the target '(x...)'");
+  }
+  return branch;
+}
+
+}  // namespace
+
+void AppendRoundTripDouble(std::string& out, double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // 64 bytes always suffice for a double
+  out.append(buf, ptr);
+}
+
+std::string FormatAggregateQuery(const AggregateQuery& query) {
+  std::string out = AggregateFunctionToString(query.function);
+  out += "(x";
+  if (!query.attribute.empty()) {
+    out += '.';
+    AppendName(out, query.attribute);
+  }
+  out += ") WHERE ";
+  const QueryGraph& q = query.query;
+  for (size_t bi = 0; bi < q.branches.size(); ++bi) {
+    if (bi > 0) out += ", ";
+    const QueryBranch& b = q.branches[bi];
+    out += "(\"";
+    for (char ch : b.specific_name) {
+      if (ch == '"' || ch == '\\') out += '\\';
+      out += ch;
+    }
+    out += '"';
+    if (!b.specific_types.empty()) {
+      out += ':';
+      AppendTypes(out, b.specific_types);
+    }
+    out += ')';
+    for (size_t hi = 0; hi < b.hops.size(); ++hi) {
+      const QueryHop& hop = b.hops[hi];
+      out += "-[";
+      AppendName(out, hop.predicate);
+      out += "]->(";
+      const bool last = hi + 1 == b.hops.size();
+      if (last) out += 'x';
+      if (!hop.node_types.empty()) {
+        out += ':';
+        AppendTypes(out, hop.node_types);
+      }
+      out += ')';
+    }
+  }
+  for (const Filter& f : query.filters) {
+    out += " FILTER ";
+    AppendName(out, f.attribute);
+    out += " IN [";
+    AppendRoundTripDouble(out, f.lower);
+    out += ',';
+    AppendRoundTripDouble(out, f.upper);
+    out += ']';
+  }
+  if (query.group_by.enabled()) {
+    out += " GROUP BY ";
+    AppendName(out, query.group_by.attribute);
+    out += " WIDTH ";
+    AppendRoundTripDouble(out, query.group_by.bucket_width);
+  }
+  if (q.shape != DerivedShape(q)) {
+    out += " SHAPE ";
+    out += ShapeWord(q.shape);
+  }
+  return out;
+}
+
+Result<AggregateQuery> ParseAggregateQuery(std::string_view text) {
+  Cursor c(text);
+  AggregateQuery out;
+
+  // Aggregate function.
+  const std::string fn_word = c.PeekWord();
+  if (fn_word.empty()) {
+    return c.Error("expected aggregate function (COUNT/SUM/AVG/MAX/MIN), "
+                   "got " + c.Describe());
+  }
+  std::string fn_upper = fn_word;
+  for (char& ch : fn_upper) {
+    ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+  }
+  auto fn = ParseAggregateFunction(fn_upper);
+  if (!fn.ok()) {
+    return c.Error("unknown aggregate function '" + fn_word + "'");
+  }
+  out.function = *fn;
+  c.ConsumeWord(fn_word);
+
+  // Target: (x) or (x.attr).
+  KGAQ_RETURN_IF_ERROR(c.ExpectChar('(', "after the aggregate function"));
+  c.SkipWhitespace();
+  const std::string target = c.PeekWord();
+  if (target != "x") {
+    return c.Error("expected the target variable 'x', got " +
+                   (target.empty() ? c.Describe() : "'" + target + "'"));
+  }
+  c.ConsumeWord(target);
+  c.SkipWhitespace();
+  if (c.Peek() == '.') {
+    c.Advance();
+    auto attr = c.ParseName("aggregate attribute");
+    if (!attr.ok()) return attr.status();
+    out.attribute = std::move(*attr);
+  }
+  KGAQ_RETURN_IF_ERROR(c.ExpectChar(')', "to close the aggregate target"));
+
+  KGAQ_RETURN_IF_ERROR(c.ExpectKeyword("WHERE"));
+
+  // Branches.
+  for (;;) {
+    auto branch = ParseBranch(c);
+    if (!branch.ok()) return branch.status();
+    out.query.branches.push_back(std::move(*branch));
+    c.SkipWhitespace();
+    if (c.Peek() == ',') {
+      c.Advance();
+    } else {
+      break;
+    }
+  }
+
+  // Trailing clauses, any order; canonical order is FILTER* GROUP? SHAPE?.
+  bool have_group = false;
+  bool have_shape = false;
+  for (;;) {
+    c.SkipWhitespace();
+    if (c.AtEnd()) break;
+    const std::string word = c.PeekWord();
+    if (EqualsIgnoreCase(word, "FILTER")) {
+      c.ConsumeWord(word);
+      Filter f;
+      auto attr = c.ParseName("filter attribute");
+      if (!attr.ok()) return attr.status();
+      f.attribute = std::move(*attr);
+      KGAQ_RETURN_IF_ERROR(c.ExpectKeyword("IN"));
+      KGAQ_RETURN_IF_ERROR(c.ExpectChar('[', "to open the filter range"));
+      auto lo = c.ParseNumber("for the filter lower bound");
+      if (!lo.ok()) return lo.status();
+      f.lower = *lo;
+      KGAQ_RETURN_IF_ERROR(c.ExpectChar(',', "between the filter bounds"));
+      auto hi = c.ParseNumber("for the filter upper bound");
+      if (!hi.ok()) return hi.status();
+      f.upper = *hi;
+      KGAQ_RETURN_IF_ERROR(c.ExpectChar(']', "to close the filter range"));
+      out.filters.push_back(std::move(f));
+    } else if (EqualsIgnoreCase(word, "GROUP")) {
+      if (have_group) return c.Error("duplicate GROUP BY clause");
+      have_group = true;
+      c.ConsumeWord(word);
+      KGAQ_RETURN_IF_ERROR(c.ExpectKeyword("BY"));
+      auto attr = c.ParseName("group-by attribute");
+      if (!attr.ok()) return attr.status();
+      out.group_by.attribute = std::move(*attr);
+      KGAQ_RETURN_IF_ERROR(c.ExpectKeyword("WIDTH"));
+      auto width = c.ParseNumber("for the group-by bucket width");
+      if (!width.ok()) return width.status();
+      out.group_by.bucket_width = *width;
+    } else if (EqualsIgnoreCase(word, "SHAPE")) {
+      if (have_shape) return c.Error("duplicate SHAPE clause");
+      have_shape = true;
+      c.ConsumeWord(word);
+      const std::string shape = c.PeekWord();
+      bool known = false;
+      for (QueryShape s :
+           {QueryShape::kSimple, QueryShape::kChain, QueryShape::kStar,
+            QueryShape::kCycle, QueryShape::kFlower}) {
+        if (EqualsIgnoreCase(shape, ShapeWord(s))) {
+          out.query.shape = s;
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return c.Error("unknown shape '" + shape +
+                       "' (simple|chain|star|cycle|flower)");
+      }
+      c.ConsumeWord(shape);
+    } else {
+      return c.Error("expected FILTER, GROUP BY, SHAPE, or end of query, "
+                     "got " + (word.empty() ? c.Describe()
+                                            : "'" + word + "'"));
+    }
+  }
+  if (!have_shape) out.query.shape = DerivedShape(out.query);
+  return out;
+}
+
+}  // namespace kgaq

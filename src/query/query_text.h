@@ -1,0 +1,67 @@
+#ifndef KGAQ_QUERY_QUERY_TEXT_H_
+#define KGAQ_QUERY_QUERY_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "query/query_graph.h"
+
+namespace kgaq {
+
+/// Textual wire format for aggregate queries — the form a query arrives
+/// in over the network (serve/http_server.h POSTs this to /query) and
+/// the form tools log and replay. One expression per query:
+///
+///   AVG(x.price) WHERE ("Germany":Country)-[product]->(x:Automobile)
+///   COUNT(x) WHERE ("UK":Country)-[hosts]->(:City)-[homeOf]->(x:Club)
+///   SUM(x.price) WHERE ("DE")-[product]->(x:Car), ("Bosch")-[supplies]->(x:Car)
+///       FILTER price IN [1000,50000] GROUP BY year WIDTH 10 SHAPE star
+///
+/// Grammar (whitespace between tokens is free; keywords are
+/// case-insensitive, canonical output is uppercase):
+///
+///   query    := aggfn '(' 'x' ('.' name)? ')' 'WHERE' branch (',' branch)*
+///               ('FILTER' name 'IN' '[' number ',' number ']')*
+///               ('GROUP' 'BY' name 'WIDTH' number)?
+///               ('SHAPE' name)?
+///   aggfn    := 'COUNT' | 'SUM' | 'AVG' | 'MAX' | 'MIN'
+///   branch   := '(' string (':' types)? ')' hop+
+///   hop      := '-[' name ']->' node
+///   node     := '(' 'x'? (':' types)? ')'     -- 'x' marks the shared
+///                                                target; it must appear
+///                                                on every branch's LAST
+///                                                node and nowhere else
+///   types    := name ('|' name)*
+///   name     := bare identifier [A-Za-z_][A-Za-z0-9_]* or quoted string
+///   string   := '"' chars '"' with \" and \\ escapes (all other bytes,
+///               including newlines, stand for themselves)
+///   number   := shortest-round-trip decimal/scientific double, or
+///               'inf' / '-inf'
+///
+/// The SHAPE clause (star | cycle | flower | simple | chain) is only
+/// needed — and only emitted — when the shape cannot be derived from the
+/// structure: one branch is simple (1 hop) or chain (2+), several
+/// branches default to star.
+///
+/// Round-trip contract: for any query `q`,
+/// ParseAggregateQuery(FormatAggregateQuery(q)) reconstructs `q` exactly
+/// (field-for-field, bit-exact doubles), and re-formatting parsed
+/// canonical text reproduces it byte-for-byte. Tested over every example
+/// workload in tests/query_text_test.cc.
+///
+/// Errors: malformed input never crashes; the returned status message is
+/// prefixed with the 1-based "line:col: " of the offending character.
+Result<AggregateQuery> ParseAggregateQuery(std::string_view text);
+
+/// Canonical single-line rendering of `query` (see grammar above).
+std::string FormatAggregateQuery(const AggregateQuery& query);
+
+/// Appends the shortest decimal rendering of `v` that parses back to
+/// exactly `v` (std::to_chars); "inf"/"-inf"/"nan" for non-finite
+/// values. Shared by the wire format and the HTTP front-end's JSON.
+void AppendRoundTripDouble(std::string& out, double v);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_QUERY_QUERY_TEXT_H_

@@ -1,0 +1,673 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "core/engine_context.h"
+#include "query/query_text.h"
+
+namespace kgaq {
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 202:
+      return "Accepted";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string MakeResponse(int code, const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
+                    ReasonPhrase(code) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string JsonError(int code, const std::string& message) {
+  std::string body = "{\"error\":";
+  AppendJsonString(body, message);
+  body += "}\n";
+  return MakeResponse(code, "application/json", body);
+}
+
+/// Splits "a=1&b=2" into pairs; no percent-decoding (every recognized
+/// parameter is numeric).
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    const std::string& qs) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t pos = 0;
+  while (pos < qs.size()) {
+    size_t amp = qs.find('&', pos);
+    if (amp == std::string::npos) amp = qs.size();
+    const std::string pair = qs.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      out.emplace_back(pair, "");
+    } else {
+      out.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+std::optional<double> ParseDoubleValue(const std::string& s) {
+  double v = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end || s.empty()) return std::nullopt;
+  return v;
+}
+
+std::optional<uint64_t> ParseUint64Value(const std::string& s) {
+  uint64_t v = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end || s.empty()) return std::nullopt;
+  return v;
+}
+
+void AppendResultJson(std::string& out, const AggregateResult& r) {
+  out += "{\"v_hat\":";
+  AppendRoundTripDouble(out, r.v_hat);
+  out += ",\"moe\":";
+  AppendRoundTripDouble(out, r.moe);
+  out += ",\"confidence_level\":";
+  AppendRoundTripDouble(out, r.confidence_level);
+  out += ",\"error_bound\":";
+  AppendRoundTripDouble(out, r.error_bound);
+  out += ",\"satisfied\":";
+  out += r.satisfied ? "true" : "false";
+  out += ",\"rounds\":" + std::to_string(r.rounds);
+  out += ",\"total_draws\":" + std::to_string(r.total_draws);
+  out += ",\"correct_draws\":" + std::to_string(r.correct_draws);
+  out += ",\"num_candidates\":" + std::to_string(r.num_candidates);
+  if (!r.groups.empty()) {
+    out += ",\"groups\":[";
+    for (size_t i = 0; i < r.groups.size(); ++i) {
+      const GroupEstimate& g = r.groups[i];
+      if (i > 0) out += ',';
+      out += "{\"bucket_lower\":";
+      AppendRoundTripDouble(out, g.bucket_lower);
+      out += ",\"v_hat\":";
+      AppendRoundTripDouble(out, g.v_hat);
+      out += ",\"moe\":";
+      AppendRoundTripDouble(out, g.moe);
+      out += ",\"support\":" + std::to_string(g.support);
+      out += ",\"satisfied\":";
+      out += g.satisfied ? "true" : "false";
+      out += '}';
+    }
+    out += ']';
+  }
+  out += '}';
+}
+
+void AppendTicketJson(std::string& out, const QueryResponse& resp) {
+  out += "{\"id\":" + std::to_string(resp.id);
+  out += ",\"state\":\"";
+  out += QueryStateToString(resp.state);
+  out += "\",\"seed_used\":" + std::to_string(resp.seed_used);
+  out += ",\"queue_ms\":";
+  AppendRoundTripDouble(out, resp.queue_ms);
+  out += ",\"run_ms\":";
+  AppendRoundTripDouble(out, resp.run_ms);
+  if (resp.state == QueryState::kFailed) {
+    out += ",\"error\":";
+    AppendJsonString(out, resp.status.ToString());
+  } else if (IsTerminalState(resp.state)) {
+    out += ",\"result\":";
+    AppendResultJson(out, resp.result);
+  }
+  out += "}\n";
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(QueryService& service, HttpServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparseable bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind " + options_.bind_address + ":" +
+                           std::to_string(options_.port) + ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: " + err);
+  }
+
+  stopping_.store(false);
+  // The accept thread works on its own copy of the fd, so Stop() never
+  // races its reads; the fd itself is closed only after the join.
+  accept_thread_ = std::thread([this, fd = listen_fd_] { AcceptLoop(fd); });
+  const size_t handlers = std::max<size_t>(1, options_.num_handler_threads);
+  handlers_.reserve(handlers);
+  for (size_t i = 0; i < handlers; ++i) {
+    handlers_.emplace_back([this] { HandlerLoop(); });
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes the blocking accept(); the close itself waits
+    // until the accept thread has joined, so the fd number cannot be
+    // recycled under a still-running accept().
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  {
+    // Taken-and-released around the flag so a handler that already
+    // evaluated its wait predicate cannot block between this store and
+    // the notify (the classic missed-wakeup race).
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    stopping_.store(true);
+  }
+  conn_available_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (std::thread& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+  handlers_.clear();
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (int fd : connections_) ::close(fd);
+  connections_.clear();
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  Stats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void HttpServer::AcceptLoop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (stopping_.load()) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.push_back(fd);
+    }
+    conn_available_.notify_one();
+  }
+}
+
+void HttpServer::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conn_available_.wait(lock, [&] {
+        return stopping_.load() || !connections_.empty();
+      });
+      if (stopping_.load() && connections_.empty()) return;
+      fd = connections_.front();
+      connections_.pop_front();
+    }
+    HandleConnection(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(options_.read_timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      static_cast<long>(options_.read_timeout_ms * 1000.0) % 1000000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::string buf;
+  size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return;  // timeout, reset, or client gave up mid-head
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+    header_end = buf.find("\r\n\r\n");
+    if (buf.size() > options_.max_request_bytes) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(fd, JsonError(413, "request exceeds limit"));
+      ::close(fd);
+      return;
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::string head = buf.substr(0, header_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    SendAll(fd, JsonError(400, "malformed request line"));
+    ::close(fd);
+    return;
+  }
+  const std::string method = request_line.substr(0, sp1);
+  const std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  // Body by Content-Length (case-insensitive header scan).
+  size_t content_length = 0;
+  {
+    std::string lower = head;
+    for (char& c : lower) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const size_t pos = lower.find("content-length:");
+    if (pos != std::string::npos) {
+      content_length = std::strtoull(head.c_str() + pos + 15, nullptr, 10);
+    }
+  }
+  if (content_length > options_.max_request_bytes) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    SendAll(fd, JsonError(413, "body exceeds limit"));
+    ::close(fd);
+    return;
+  }
+  std::string body = buf.substr(header_end + 4);
+  while (body.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      // A stalled or reset client left the body short. Never dispatch a
+      // truncated body: a wire-format prefix cut at a clause boundary is
+      // itself a valid (different) query.
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(fd, JsonError(400, "body truncated: got " +
+                                     std::to_string(body.size()) + " of " +
+                                     std::to_string(content_length) +
+                                     " Content-Length bytes"));
+      ::close(fd);
+      return;
+    }
+    body.append(chunk, static_cast<size_t>(n));
+  }
+  body.resize(content_length);
+
+  const std::string response = Dispatch(method, target, body);
+  SendAll(fd, response);
+  ::close(fd);
+}
+
+std::string HttpServer::Dispatch(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body) {
+  const size_t qmark = target.find('?');
+  const std::string path =
+      qmark == std::string::npos ? target : target.substr(0, qmark);
+  const std::string query_string =
+      qmark == std::string::npos ? "" : target.substr(qmark + 1);
+
+  auto bad = [this](int code, const std::string& msg) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return JsonError(code, msg);
+  };
+
+  if (path == "/healthz") {
+    return MakeResponse(200, "text/plain", "ok\n");
+  }
+
+  if (path == "/stats") {
+    const QueryService::ServiceStats s = service_.stats();
+    const EngineContext::CacheStats c = service_.context()->Stats();
+    std::string out = "{\"service\":{";
+    out += "\"submitted\":" + std::to_string(s.submitted);
+    out += ",\"done\":" + std::to_string(s.done);
+    out += ",\"failed\":" + std::to_string(s.failed);
+    out += ",\"cancelled\":" + std::to_string(s.cancelled);
+    out += ",\"deadline_expired\":" + std::to_string(s.deadline_expired);
+    out += ",\"queued\":" + std::to_string(s.queued);
+    out += ",\"running\":" + std::to_string(s.running);
+    out += "},\"http\":{";
+    out += "\"requests\":" +
+           std::to_string(requests_.load(std::memory_order_relaxed));
+    out += ",\"bad_requests\":" +
+           std::to_string(bad_requests_.load(std::memory_order_relaxed));
+    out += "},\"caches\":{\"sims\":{";
+    out += "\"hits\":" + std::to_string(c.sims_hits);
+    out += ",\"misses\":" + std::to_string(c.sims_misses);
+    out += ",\"entries\":" + std::to_string(c.sims_entries);
+    out += ",\"bytes\":" + std::to_string(c.sims_bytes);
+    out += "},\"cores\":{";
+    out += "\"hits\":" + std::to_string(c.core_hits);
+    out += ",\"misses\":" + std::to_string(c.core_misses);
+    out += ",\"entries\":" + std::to_string(c.core_entries);
+    out += ",\"bytes\":" + std::to_string(c.core_bytes);
+    out += "},\"chain\":{";
+    out += "\"hits\":" + std::to_string(c.chain_hits);
+    out += ",\"misses\":" + std::to_string(c.chain_misses);
+    out += ",\"entries\":" + std::to_string(c.chain_entries);
+    out += ",\"bytes\":" + std::to_string(c.chain_bytes);
+    out += "},\"total_bytes\":" + std::to_string(c.TotalBytes());
+    out += "}}\n";
+    return MakeResponse(200, "application/json", out);
+  }
+
+  if (path == "/query") {
+    if (method != "POST") {
+      return bad(405, "submit queries with POST /query");
+    }
+    auto query = ParseAggregateQuery(body);
+    if (!query.ok()) {
+      return bad(400, query.status().message());
+    }
+    QueryRequest request;
+    request.query = std::move(*query);
+    for (const auto& [key, value] : ParseQueryParams(query_string)) {
+      if (key == "eb") {
+        auto v = ParseDoubleValue(value);
+        if (!v.has_value()) return bad(400, "unparseable eb value");
+        request.error_bound = *v;
+      } else if (key == "conf") {
+        auto v = ParseDoubleValue(value);
+        if (!v.has_value()) return bad(400, "unparseable conf value");
+        request.confidence_level = *v;
+      } else if (key == "seed") {
+        auto v = ParseUint64Value(value);
+        if (!v.has_value()) return bad(400, "unparseable seed value");
+        request.seed = *v;
+      } else if (key == "max_rounds") {
+        auto v = ParseUint64Value(value);
+        if (!v.has_value()) return bad(400, "unparseable max_rounds value");
+        request.max_rounds = static_cast<size_t>(*v);
+      } else if (key == "deadline_ms") {
+        auto v = ParseDoubleValue(value);
+        if (!v.has_value()) return bad(400, "unparseable deadline_ms value");
+        request.deadline_ms = *v;
+      } else {
+        return bad(400, "unknown parameter '" + key +
+                            "' (eb, conf, seed, max_rounds, deadline_ms)");
+      }
+    }
+    const std::string canonical = FormatAggregateQuery(request.query);
+    QueryTicket ticket = service_.SubmitAsync(std::move(request));
+    {
+      std::lock_guard<std::mutex> lock(tickets_mu_);
+      tickets_.emplace(ticket.id(), ticket);
+      ticket_order_.push_back(ticket.id());
+      // Bounded registry: evict the oldest submissions (any external
+      // ticket copies stay valid; the evicted id just answers 404).
+      while (tickets_.size() > std::max<size_t>(1,
+                                                options_.max_tracked_tickets)) {
+        tickets_.erase(ticket_order_.front());
+        ticket_order_.pop_front();
+      }
+    }
+    std::string out = "{\"id\":" + std::to_string(ticket.id());
+    out += ",\"state\":\"";
+    out += QueryStateToString(ticket.Poll().state);
+    out += "\",\"query\":";
+    AppendJsonString(out, canonical);
+    out += "}\n";
+    return MakeResponse(202, "application/json", out);
+  }
+
+  auto ticket_for = [&](const std::string& prefix) -> std::optional<QueryTicket> {
+    const std::string id_text = path.substr(prefix.size());
+    auto id = ParseUint64Value(id_text);
+    if (!id.has_value()) return std::nullopt;
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    auto it = tickets_.find(*id);
+    if (it == tickets_.end()) return std::nullopt;
+    return it->second;
+  };
+
+  if (path.rfind("/result/", 0) == 0) {
+    auto ticket = ticket_for("/result/");
+    if (!ticket.has_value()) {
+      return bad(404, "unknown query id '" + path.substr(8) + "'");
+    }
+    std::string out;
+    AppendTicketJson(out, ticket->Poll());
+    return MakeResponse(200, "application/json", out);
+  }
+
+  if (path.rfind("/cancel/", 0) == 0) {
+    auto ticket = ticket_for("/cancel/");
+    if (!ticket.has_value()) {
+      return bad(404, "unknown query id '" + path.substr(8) + "'");
+    }
+    ticket->Cancel();
+    std::string out;
+    AppendTicketJson(out, ticket->Poll());
+    return MakeResponse(200, "application/json", out);
+  }
+
+  return bad(404, "no route for '" + path + "'");
+}
+
+std::string ExtractJsonField(const std::string& body,
+                             const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = body.find(needle);
+  if (pos == std::string::npos) return "";
+  size_t i = pos + needle.size();
+  if (i < body.size() && body[i] == '"') {
+    ++i;
+    std::string out;
+    while (i < body.size() && body[i] != '"') {
+      if (body[i] != '\\' || i + 1 >= body.size()) {
+        out += body[i++];
+        continue;
+      }
+      // Invert exactly what AppendJsonString emits.
+      const char esc = body[i + 1];
+      i += 2;
+      switch (esc) {
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned code = 0;
+          if (i + 4 <= body.size()) {
+            code = static_cast<unsigned>(
+                std::strtoul(body.substr(i, 4).c_str(), nullptr, 16));
+            i += 4;
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default:  // \" and \\ (and anything else) decode to the char
+          out += esc;
+      }
+    }
+    return out;
+  }
+  size_t end = i;
+  while (end < body.size() && body[end] != ',' && body[end] != '}' &&
+         body[end] != ']') {
+    ++end;
+  }
+  return body.substr(i, end - i);
+}
+
+Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host '" + host +
+                                   "' (numeric IPv4 only)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect " + host + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host + "\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  if (!SendAll(fd, request)) {
+    ::close(fd);
+    return Status::IoError("send failed");
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  HttpResponse out;
+  const size_t sp = raw.find(' ');
+  if (raw.rfind("HTTP/", 0) != 0 || sp == std::string::npos) {
+    return Status::IoError("malformed HTTP response");
+  }
+  out.status_code = std::atoi(raw.c_str() + sp + 1);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    out.body = raw.substr(header_end + 4);
+  }
+  return out;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,132 @@
+#ifndef KGAQ_SERVE_HTTP_SERVER_H_
+#define KGAQ_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/query_service.h"
+
+namespace kgaq {
+
+/// Knobs of the HTTP front-end. Defaults bind an ephemeral loopback
+/// port — ask `port()` after Start() for the one the kernel picked.
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0: ephemeral
+  int backlog = 16;
+  /// Handler threads draining accepted connections; requests are tiny
+  /// (submit / poll / cancel), the heavy lifting stays on the query
+  /// scheduler, so a handful suffices.
+  size_t num_handler_threads = 4;
+  /// Reject request heads/bodies beyond this size (413).
+  size_t max_request_bytes = 1 << 20;
+  /// Per-connection socket read timeout, so a stalled client cannot pin
+  /// a handler thread forever.
+  double read_timeout_ms = 5000.0;
+  /// The /result registry keeps at most this many tickets; beyond it the
+  /// oldest submissions are dropped (their ids answer 404) so a
+  /// long-lived server's memory stays bounded. Fetch results promptly or
+  /// raise the cap.
+  size_t max_tracked_tickets = 4096;
+};
+
+/// A minimal dependency-free HTTP/1.1 front-end over QueryService — the
+/// path a query takes from wire bytes to AggregateResult:
+///
+///   POST /query            body: textual query (query/query_text.h);
+///                          optional URL params eb, conf, seed,
+///                          max_rounds, deadline_ms override the
+///                          service's engine defaults per query.
+///                          -> 202 {"id":N,"state":"QUEUED",...}
+///   GET  /result/<id>      -> 200 with state; terminal responses carry
+///                          v_hat, moe, satisfied, rounds, draws, the
+///                          seed used and queue/run timings.
+///   GET|POST /cancel/<id>  cooperative cancel -> 200 with state.
+///   GET  /healthz          -> 200 "ok".
+///   GET  /stats            service counters + EngineContext cache
+///                          entries / approximate resident bytes.
+///
+/// One connection per request (responses close), bodies are read by
+/// Content-Length. The server owns accept + handler threads only;
+/// queries run on the service's scheduler, so a slow query never blocks
+/// the front-end. The service must outlive the server.
+class HttpServer {
+ public:
+  explicit HttpServer(QueryService& service, HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the accept/handler threads.
+  Status Start();
+
+  /// Stops accepting, joins every thread, closes every socket. Idempotent.
+  void Stop();
+
+  /// The bound port (resolved for ephemeral binds); 0 before Start().
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t bad_requests = 0;  ///< 4xx responses
+  };
+  Stats stats() const;
+
+ private:
+  void AcceptLoop(int listen_fd);
+  void HandlerLoop();
+  void HandleConnection(int fd);
+  std::string Dispatch(const std::string& method, const std::string& target,
+                       const std::string& body);
+
+  QueryService& service_;
+  HttpServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> handlers_;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_available_;
+  std::deque<int> connections_;
+
+  mutable std::mutex tickets_mu_;
+  std::unordered_map<uint64_t, QueryTicket> tickets_;
+  std::deque<uint64_t> ticket_order_;  ///< insertion order, for eviction
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+};
+
+/// Tiny blocking HTTP/1.1 client for loopback tests and smoke binaries:
+/// one request per connection, reads until the peer closes.
+struct HttpResponse {
+  int status_code = 0;
+  std::string body;
+};
+Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body = "");
+
+/// Scrapes the value after `"key":` from this server's flat JSON
+/// responses — a quoted string is unescaped, anything else is returned
+/// as its raw token, a missing key as "". A diagnostic helper for tests
+/// and smoke binaries (shared so they agree), NOT a JSON parser: it
+/// scans the flat text and does not understand nesting.
+std::string ExtractJsonField(const std::string& body,
+                             const std::string& key);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SERVE_HTTP_SERVER_H_

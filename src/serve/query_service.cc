@@ -1,15 +1,136 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <utility>
 
 #include "common/thread_pool.h"
 
 namespace kgaq {
 
+namespace serve_internal {
+
+/// Shared state behind one QueryTicket: written by the scheduler, read by
+/// any number of ticket copies. `cancel` is the flag QuerySession polls
+/// between rounds (SetStopControl), so Cancel() needs no lock to reach a
+/// running query; everything else is guarded by `mu`.
+struct TicketState {
+  using Clock = std::chrono::steady_clock;
+
+  // Immutable after SubmitAsync publishes the ticket.
+  uint64_t id = 0;
+  uint64_t seed_used = 0;
+  Deadline deadline;
+  Clock::time_point submit_time;
+
+  std::atomic<bool> cancel{false};
+  /// Consumed by the scheduler at admission.
+  QueryRequest request;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  QueryState state = QueryState::kQueued;
+  Status status;
+  AggregateResult result;
+  double queue_ms = 0.0;
+  double run_ms = 0.0;
+
+  QueryResponse Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu);
+    QueryResponse out;
+    out.id = id;
+    out.state = state;
+    out.status = status;
+    out.result = result;
+    out.seed_used = seed_used;
+    out.queue_ms = queue_ms;
+    out.run_ms = run_ms;
+    return out;
+  }
+};
+
+}  // namespace serve_internal
+
+using serve_internal::TicketState;
+
+const char* QueryStateToString(QueryState s) {
+  switch (s) {
+    case QueryState::kQueued:
+      return "QUEUED";
+    case QueryState::kRunning:
+      return "RUNNING";
+    case QueryState::kDone:
+      return "DONE";
+    case QueryState::kFailed:
+      return "FAILED";
+    case QueryState::kCancelled:
+      return "CANCELLED";
+    case QueryState::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
+
+bool IsTerminalState(QueryState s) {
+  return s != QueryState::kQueued && s != QueryState::kRunning;
+}
+
+// ---------------------------------------------------------------- ticket
+
+uint64_t QueryTicket::id() const { return state_ != nullptr ? state_->id : 0; }
+
+QueryResponse QueryTicket::Poll() const {
+  if (state_ == nullptr) return QueryResponse{};
+  return state_->Snapshot();
+}
+
+QueryResponse QueryTicket::Wait() const {
+  if (state_ == nullptr) return QueryResponse{};
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return IsTerminalState(state_->state); });
+  lock.unlock();
+  return state_->Snapshot();
+}
+
+std::optional<QueryResponse> QueryTicket::WaitFor(double timeout_ms) const {
+  if (state_ == nullptr) return QueryResponse{};
+  std::unique_lock<std::mutex> lock(state_->mu);
+  const bool terminal = state_->cv.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms),
+      [&] { return IsTerminalState(state_->state); });
+  lock.unlock();
+  if (!terminal) return std::nullopt;
+  return state_->Snapshot();
+}
+
+void QueryTicket::Cancel() {
+  if (state_ == nullptr) return;
+  state_->cancel.store(true, std::memory_order_release);
+}
+
+// --------------------------------------------------------------- service
+
 QueryService::QueryService(std::shared_ptr<const EngineContext> context,
                            ServiceOptions options)
     : ctx_(std::move(context)), options_(options) {}
+
+QueryService::~QueryService() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Queued work is cancelled outright; the scheduler sets the cancel
+    // flag on admitted sessions and drains them at their next round
+    // boundary, so this join is bounded by one round per active query.
+    for (const TicketPtr& t : queue_) {
+      t->cancel.store(true, std::memory_order_release);
+    }
+    to_join = std::move(scheduler_);
+  }
+  wake_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
 
 uint64_t QueryService::QuerySeed(uint64_t base_seed, size_t index) {
   // splitmix64 over (base, index): well-separated per-query streams that
@@ -23,83 +144,314 @@ uint64_t QueryService::QuerySeed(uint64_t base_seed, size_t index) {
   return z;
 }
 
-size_t QueryService::Submit(AggregateQuery query) {
-  queries_.push_back(std::move(query));
-  return queries_.size() - 1;
+QueryTicket QueryService::SubmitAsync(QueryRequest request) {
+  auto state = std::make_shared<TicketState>();
+  state->submit_time = TicketState::Clock::now();
+  state->deadline = request.deadline_ms > 0.0
+                        ? Deadline::AfterMillis(request.deadline_ms)
+                        : Deadline::Infinite();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state->id = next_index_++;
+    state->seed_used =
+        request.seed.has_value()
+            ? *request.seed
+            : QuerySeed(options_.base_seed, static_cast<size_t>(state->id));
+    state->request = std::move(request);
+    queue_.push_back(state);
+    ++outstanding_;
+    ++stats_.submitted;
+    if (!scheduler_.joinable()) {
+      scheduler_ = std::thread([this] { SchedulerLoop(); });
+    }
+  }
+  wake_.notify_all();
+  return QueryTicket(std::move(state));
 }
 
-const std::vector<Result<AggregateResult>>& QueryService::RunAll() {
-  ThreadPool& pool = GlobalPool();
-  while (results_.size() < queries_.size()) {
-    results_.push_back(Status::Internal("query not yet run"));
+size_t QueryService::num_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_index_;
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+QueryService::ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats out = stats_;
+  out.queued = queue_.size();
+  out.running = running_;
+  return out;
+}
+
+void QueryService::Retire(const TicketPtr& t, QueryState state,
+                          Status status, AggregateResult result) {
+  const auto now = TicketState::Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(t->mu);
+    if (IsTerminalState(t->state)) return;  // first terminal wins
+    if (t->state == QueryState::kQueued) {
+      t->queue_ms = std::chrono::duration<double, std::milli>(
+                        now - t->submit_time)
+                        .count();
+    }
+    t->state = state;
+    t->status = std::move(status);
+    t->result = std::move(result);
   }
+  t->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+    switch (state) {
+      case QueryState::kDone:
+        ++stats_.done;
+        break;
+      case QueryState::kFailed:
+        ++stats_.failed;
+        break;
+      case QueryState::kCancelled:
+        ++stats_.cancelled;
+        break;
+      case QueryState::kDeadlineExceeded:
+        ++stats_.deadline_expired;
+        break;
+      default:
+        break;
+    }
+  }
+  drained_.notify_all();
+}
+
+void QueryService::SchedulerLoop() {
+  ThreadPool& pool = GlobalPool();
 
   struct Active {
-    size_t index = 0;
+    TicketPtr ticket;
     std::unique_ptr<QuerySession> session;
+    TicketState::Clock::time_point admit_time;
   };
   std::vector<Active> active;
-  const size_t width = std::max<size_t>(1, options_.max_concurrent);
-  size_t next = num_completed_;
+  std::vector<TicketPtr> reap;
 
-  while (next < queries_.size() || !active.empty()) {
-    // Admission: fill the free slots, building the new sessions as one
-    // parallel batch (ParallelFor degrades to inline execution when the
-    // service itself runs on a pool worker, so nesting cannot deadlock).
-    if (active.size() < width && next < queries_.size()) {
-      std::vector<size_t> admit;
-      while (active.size() + admit.size() < width &&
-             next < queries_.size()) {
-        admit.push_back(next++);
+  for (;;) {
+    // Collect this tick's admissions (and notice shutdown). The wait
+    // predicate reads `active`, but that vector is only ever mutated by
+    // this thread, so the read is race-free.
+    std::vector<TicketPtr> admit;
+    bool shutting_down = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] {
+        return shutdown_ || !queue_.empty() || !active.empty();
+      });
+      shutting_down = shutdown_;
+      if (shutdown_ && queue_.empty() && active.empty()) {
+        running_ = 0;
+        return;
       }
-      std::vector<std::unique_ptr<QuerySession>> built(admit.size());
-      std::vector<Status> build_status(admit.size());
-      ParallelFor(pool, admit.size(), [&](size_t j) {
-        const size_t i = admit[j];
+      const size_t width = std::max<size_t>(1, options_.max_concurrent);
+      while (active.size() + admit.size() < width && !queue_.empty()) {
+        admit.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // Sweep the remaining queue for tickets that died waiting —
+      // cancelled or deadline-expired before a slot freed up — so their
+      // waiters unblock now rather than at some future admission.
+      for (size_t i = 0; i < queue_.size();) {
+        if (queue_[i]->cancel.load(std::memory_order_acquire) ||
+            queue_[i]->deadline.expired()) {
+          reap.push_back(std::move(queue_[i]));
+          queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    for (TicketPtr& t : reap) {
+      Retire(t,
+             t->cancel.load(std::memory_order_acquire)
+                 ? QueryState::kCancelled
+                 : QueryState::kDeadlineExceeded,
+             Status::OK(), AggregateResult{});
+    }
+    reap.clear();
+    if (shutting_down) {
+      for (Active& a : active) {
+        a.ticket->cancel.store(true, std::memory_order_release);
+      }
+    }
+
+    // Pre-admission triage: cancelled or already-expired tickets retire
+    // without ever building a session (their seeds were fixed at
+    // submission, so skipping them shifts no other query's stream).
+    std::vector<TicketPtr> build;
+    for (TicketPtr& t : admit) {
+      if (t->cancel.load(std::memory_order_acquire) || shutting_down) {
+        Retire(t, QueryState::kCancelled, Status::OK(), AggregateResult{});
+      } else if (t->deadline.expired()) {
+        Retire(t, QueryState::kDeadlineExceeded, Status::OK(),
+               AggregateResult{});
+      } else {
+        build.push_back(std::move(t));
+      }
+    }
+
+    // Admission: build the new sessions as one parallel batch
+    // (ParallelFor degrades to inline execution when the scheduler itself
+    // runs on a pool worker, so nesting cannot deadlock).
+    if (!build.empty()) {
+      // Admission is stamped BEFORE the session builds: queue_ms is pure
+      // queue wait, and a query's own setup cost (candidate enumeration,
+      // cold walk-core builds) bills to its run_ms.
+      const auto admit_time = TicketState::Clock::now();
+      std::vector<std::unique_ptr<QuerySession>> built(build.size());
+      std::vector<Status> build_status(build.size());
+      ParallelFor(pool, build.size(), [&](size_t j) {
+        const TicketPtr& t = build[j];
         EngineOptions opts = options_.engine;
-        opts.seed = QuerySeed(options_.base_seed, i);
+        opts.seed = t->seed_used;
+        const QueryRequest& req = t->request;
+        if (req.error_bound.has_value()) opts.error_bound = *req.error_bound;
+        if (req.confidence_level.has_value()) {
+          opts.confidence_level = *req.confidence_level;
+        }
+        if (req.max_rounds.has_value()) opts.max_rounds = *req.max_rounds;
         ApproxEngine engine(ctx_, opts);
-        auto session = engine.CreateSession(queries_[i]);
+        auto session = engine.CreateSession(req.query);
         if (session.ok()) {
           built[j] = std::move(*session);
+          built[j]->SetStopControl(&t->cancel, t->deadline);
+          built[j]->BeginRun(opts.error_bound);
         } else {
           build_status[j] = session.status();
         }
       });
-      for (size_t j = 0; j < admit.size(); ++j) {
-        if (built[j] != nullptr) {
-          built[j]->BeginRun(options_.engine.error_bound);
-          active.push_back({admit[j], std::move(built[j])});
-        } else {
-          results_[admit[j]] = build_status[j];
+      for (size_t j = 0; j < build.size(); ++j) {
+        if (built[j] == nullptr) {
+          Retire(build[j], QueryState::kFailed, build_status[j],
+                 AggregateResult{});
+          continue;
         }
+        {
+          std::lock_guard<std::mutex> lock(build[j]->mu);
+          build[j]->state = QueryState::kRunning;
+          build[j]->queue_ms = std::chrono::duration<double, std::milli>(
+                                   admit_time - build[j]->submit_time)
+                                   .count();
+        }
+        active.push_back(
+            {std::move(build[j]), std::move(built[j]), admit_time});
       }
+      std::lock_guard<std::mutex> lock(mu_);
+      running_ = active.size();
     }
+
+    if (active.empty()) continue;
 
     // One scheduling tick: every unfinished session advances exactly one
     // Algorithm-2 round, fanned out as a TaskGroup batch over the pool.
     // Sessions are fully independent (own Rng, own sample) and context
     // caches are synchronized memo tables over pure functions, so the
     // interleaving affects wall-clock only — per-query results stay
-    // bitwise-identical to solo runs with the same seed.
+    // bitwise-identical to solo runs with the same seed. StepRound itself
+    // re-checks each session's cancel flag and deadline before drawing.
     ParallelFor(pool, active.size(),
                 [&](size_t a) { active[a].session->StepRound(); });
 
     // Retire finished sessions; their slots free up for the next tick's
     // admission.
     size_t kept = 0;
-    for (auto& a : active) {
-      if (a.session->run_finished()) {
-        results_[a.index] = a.session->FinishRun();
-      } else {
+    for (Active& a : active) {
+      if (!a.session->run_finished()) {
         active[kept++] = std::move(a);
+        continue;
       }
+      AggregateResult result = a.session->FinishRun();
+      QueryState state = QueryState::kDone;
+      switch (a.session->stop_cause()) {
+        case StopCause::kCancelled:
+          state = QueryState::kCancelled;
+          break;
+        case StopCause::kDeadlineExceeded:
+          state = QueryState::kDeadlineExceeded;
+          break;
+        case StopCause::kNone:
+          break;
+      }
+      const double run_ms = std::chrono::duration<double, std::milli>(
+                                TicketState::Clock::now() - a.admit_time)
+                                .count();
+      {
+        std::lock_guard<std::mutex> lock(a.ticket->mu);
+        a.ticket->run_ms = run_ms;
+      }
+      Retire(a.ticket, state, Status::OK(), std::move(result));
     }
     active.resize(kept);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_ = active.size();
+    }
   }
+}
 
-  num_completed_ = queries_.size();
-  return results_;
+// ---------------------------------------------------- legacy wrapper API
+
+size_t QueryService::Submit(AggregateQuery query) {
+  QueryRequest request;
+  request.query = std::move(query);
+  QueryTicket ticket = SubmitAsync(std::move(request));
+  std::lock_guard<std::mutex> lock(mu_);
+  legacy_tickets_.push_back(ticket.state_);
+  return legacy_tickets_.size() - 1;
+}
+
+const std::vector<Result<AggregateResult>>& QueryService::RunAll() {
+  // Snapshot the tickets to wait on without holding the service lock
+  // across the (potentially long) waits.
+  std::vector<TicketPtr> pending;
+  size_t already = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    already = legacy_results_.size();
+    pending.assign(legacy_tickets_.begin() + already,
+                   legacy_tickets_.end());
+  }
+  std::vector<Result<AggregateResult>> fresh;
+  fresh.reserve(pending.size());
+  for (const TicketPtr& t : pending) {
+    QueryResponse resp = QueryTicket(t).Wait();
+    switch (resp.state) {
+      case QueryState::kDone:
+        fresh.push_back(std::move(resp.result));
+        break;
+      case QueryState::kFailed:
+        fresh.push_back(std::move(resp.status));
+        break;
+      case QueryState::kCancelled:
+        fresh.push_back(Status::FailedPrecondition(
+            "query cancelled before completion"));
+        break;
+      case QueryState::kDeadlineExceeded:
+        fresh.push_back(Status::FailedPrecondition(
+            "query deadline expired before completion"));
+        break;
+      default:
+        fresh.push_back(Status::Internal("query not yet run"));
+        break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // A concurrent RunAll may have materialized some of `pending` already;
+  // append only the tail this call still owns.
+  for (size_t i = legacy_results_.size() - already; i < fresh.size(); ++i) {
+    legacy_results_.push_back(std::move(fresh[i]));
+  }
+  return legacy_results_;
 }
 
 std::vector<Result<AggregateResult>> QueryService::RunBatch(
@@ -108,7 +460,7 @@ std::vector<Result<AggregateResult>> QueryService::RunBatch(
   QueryService service(std::move(context), options);
   for (const AggregateQuery& q : queries) service.Submit(q);
   service.RunAll();
-  return std::move(service.results_);  // service is dying; steal, don't copy
+  return std::move(service.legacy_results_);  // service is dying; steal
 }
 
 }  // namespace kgaq

@@ -1,10 +1,16 @@
 #ifndef KGAQ_SERVE_QUERY_SERVICE_H_
 #define KGAQ_SERVE_QUERY_SERVICE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/approx_engine.h"
 #include "core/engine_context.h"
@@ -12,17 +18,123 @@
 
 namespace kgaq {
 
+namespace serve_internal {
+struct TicketState;
+}  // namespace serve_internal
+
 /// Admission / scheduling knobs of a QueryService.
 struct ServiceOptions {
   /// Admission width: how many queries run their rounds concurrently.
   /// Further submissions queue and enter as earlier queries finish.
   size_t max_concurrent = 8;
-  /// Base seed; query i draws with seed QueryService::QuerySeed(base, i),
-  /// so per-query streams are independent yet fully reproducible.
+  /// Base seed; the query submitted `index`-th draws with seed
+  /// QueryService::QuerySeed(base, index) unless its request pins one, so
+  /// per-query streams are independent yet fully reproducible.
   uint64_t base_seed = 7;
-  /// Per-query engine configuration (its `seed` field is overridden by
-  /// the derived per-query seed).
+  /// Per-query engine configuration. A request's overrides (error bound,
+  /// confidence, seed, max rounds) are applied on top; the `seed` field is
+  /// otherwise overridden by the derived per-query seed.
   EngineOptions engine;
+};
+
+/// A query as it arrives at the service: the aggregate query plus the
+/// per-query knobs a caller may override without touching the service's
+/// engine defaults. This is the unit the wire format parses into — see
+/// ParseAggregateQuery (query/query_text.h) and serve/http_server.h.
+struct QueryRequest {
+  AggregateQuery query;
+  /// Engine overrides; unset fields inherit ServiceOptions::engine.
+  std::optional<double> error_bound;
+  std::optional<double> confidence_level;
+  std::optional<uint64_t> seed;  ///< pins the Rng stream (else QuerySeed)
+  std::optional<size_t> max_rounds;
+  /// Latency bound in milliseconds, measured from submission on the
+  /// monotonic clock — it covers queue wait. <= 0 means no deadline. An
+  /// expired query retires at the next round boundary with its partial
+  /// estimate (state kDeadlineExceeded).
+  double deadline_ms = 0.0;
+};
+
+/// Lifecycle of a submitted query. Terminal states are kDone, kFailed,
+/// kCancelled and kDeadlineExceeded; a ticket's state only ever moves
+/// forward (kQueued -> kRunning -> terminal, or kQueued -> terminal).
+enum class QueryState : uint8_t {
+  kQueued,
+  kRunning,
+  kDone,              ///< ran to its natural end; `result` is final
+  kFailed,            ///< admission failed; `status` carries the error
+  kCancelled,         ///< Cancel() honored; `result` holds the partial
+  kDeadlineExceeded,  ///< deadline expired; `result` holds the partial
+};
+
+/// "QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED",
+/// "DEADLINE_EXCEEDED".
+const char* QueryStateToString(QueryState s);
+
+bool IsTerminalState(QueryState s);
+
+/// Everything the service knows about one query, returned BY VALUE — a
+/// response outlives the service and is never invalidated by later
+/// submissions (unlike the legacy RunAll reference, see below).
+struct QueryResponse {
+  uint64_t id = 0;
+  QueryState state = QueryState::kQueued;
+  /// Non-OK exactly when state == kFailed.
+  Status status;
+  /// Final for kDone; the partial estimate (possibly zero-round) for
+  /// kCancelled / kDeadlineExceeded; default for kQueued / kFailed.
+  AggregateResult result;
+  /// The seed this query's Rng stream was (or will be) seeded with; a
+  /// solo ApproxEngine run with this seed reproduces the result exactly.
+  uint64_t seed_used = 0;
+  /// Submission -> admission (or -> terminal when never admitted).
+  double queue_ms = 0.0;
+  /// Admission -> retirement; 0 until admitted.
+  double run_ms = 0.0;
+};
+
+/// Handle to one asynchronously submitted query. Cheap to copy (all
+/// copies share the same ticket); default-constructed tickets are empty.
+///
+/// Lifecycle:
+///   auto ticket = service.SubmitAsync({query});
+///   ticket.Poll();          // non-blocking state snapshot
+///   ticket.Cancel();        // cooperative: takes effect between rounds
+///   auto resp = ticket.Wait();  // blocks until terminal
+///
+/// All members are safe to call from any thread, concurrently with the
+/// scheduler and with each other. A ticket keeps its state alive
+/// independently of the service, so Wait/Poll stay valid even after the
+/// service is destroyed (outstanding queries are cancelled then).
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t id() const;
+
+  /// Non-blocking snapshot of the query's current state. `result` is
+  /// meaningful only once the state is terminal.
+  QueryResponse Poll() const;
+
+  /// Blocks until the query reaches a terminal state and returns it.
+  QueryResponse Wait() const;
+
+  /// Wait with a timeout; returns the terminal response, or nullopt when
+  /// the query is still live after `timeout_ms`.
+  std::optional<QueryResponse> WaitFor(double timeout_ms) const;
+
+  /// Requests cooperative cancellation: a queued query retires without
+  /// running; a running one retires at its next round boundary with the
+  /// partial estimate. Idempotent; a no-op once terminal.
+  void Cancel();
+
+ private:
+  friend class QueryService;
+  explicit QueryTicket(std::shared_ptr<serve_internal::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<serve_internal::TicketState> state_;
 };
 
 /// A resident front-end serving many aggregate queries over ONE shared
@@ -32,42 +144,87 @@ struct ServiceOptions {
 ///
 ///   auto ctx = EngineContext::LoadFromSnapshot("kg.snap");
 ///   QueryService service(*std::move(ctx));
-///   for (const auto& q : workload) service.Submit(q);
-///   auto results = service.RunAll();
+///   auto t1 = service.SubmitAsync({q1});            // returns immediately
+///   auto t2 = service.SubmitAsync({q2, .deadline_ms = 50});
+///   t2.Cancel();                                    // or let it expire
+///   QueryResponse r1 = t1.Wait();                   // by value, stable
 ///
-/// Scheduling: admitted sessions advance in lockstep "ticks". Each tick
-/// submits one Algorithm-2 round per unfinished session as a TaskGroup
-/// batch on GlobalPool() and joins; finished sessions retire and queued
-/// queries take their slots. Within a round a session's own parallel
-/// helpers run inline (they detect pool workers), so the pool's unit of
-/// work is one session-round.
+/// Scheduling: a background scheduler thread owns the run loop. Admitted
+/// sessions advance in lockstep "ticks": each tick admits queued queries
+/// into free slots (up to max_concurrent), submits one Algorithm-2 round
+/// per unfinished session as a TaskGroup batch on GlobalPool(), joins,
+/// and retires finished / cancelled / expired sessions. Submission never
+/// blocks on running queries — SubmitAsync while a run is in flight just
+/// queues the ticket and wakes the scheduler.
 ///
-/// Determinism: each session owns its Rng (seeded from QuerySeed) and
-/// every context cache is a synchronized memo over pure functions, so a
+/// Determinism: each session owns its Rng (seeded from QuerySeed of the
+/// submission index, or the request's pinned seed) and every context
+/// cache is a synchronized memo over pure functions, so an uncancelled
 /// query's result is bitwise-identical to running it alone with the same
-/// seed — concurrency and cache warmth change wall-clock, never v_hat or
-/// moe. Tested in tests/serve_test.cc.
+/// seed — concurrency, queueing, cache warmth, and other queries being
+/// cancelled change wall-clock, never v_hat or moe. Cancellation and
+/// deadlines are checked between rounds only and per-query streams are
+/// independent, so a retiring query cannot perturb any other session's
+/// draws. Tested in tests/serve_test.cc.
 class QueryService {
  public:
   explicit QueryService(std::shared_ptr<const EngineContext> context,
                         ServiceOptions options = {});
 
-  /// The seed query `index` samples with under base seed `base_seed`
-  /// (splitmix64 of the pair). Exposed so a solo ApproxEngine run can
-  /// reproduce a service-run query exactly.
+  /// Cancels every outstanding query, drains the scheduler, and joins it.
+  /// Call Drain() first for a graceful end-of-life.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// The seed the `index`-th submitted query samples with under base seed
+  /// `base_seed` (splitmix64 of the pair). Exposed so a solo ApproxEngine
+  /// run can reproduce a service-run query exactly.
   static uint64_t QuerySeed(uint64_t base_seed, size_t index);
 
-  /// Enqueues a query; returns its index (position in RunAll's output).
+  /// Enqueues a query for asynchronous execution and returns its ticket
+  /// immediately — submission is valid while earlier queries are still
+  /// running. The ticket's id is the query's submission index (the same
+  /// index QuerySeed derives the seed from).
+  QueryTicket SubmitAsync(QueryRequest request);
+
+  /// Number of queries submitted so far (async + legacy).
+  size_t num_submitted() const;
+
+  /// Blocks until every query submitted so far is terminal.
+  void Drain();
+
+  /// Service-level counters (tickets by state), for /stats and tests.
+  struct ServiceStats {
+    uint64_t submitted = 0;
+    uint64_t done = 0;
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+    uint64_t deadline_expired = 0;
+    size_t queued = 0;   ///< currently waiting for a slot
+    size_t running = 0;  ///< currently admitted
+  };
+  ServiceStats stats() const;
+
+  // --- Legacy blocking surface (thin wrappers over the async core) -----
+
+  /// Enqueues a query with service-default options; returns its index
+  /// (position in RunAll's output). Kept for source compatibility —
+  /// prefer SubmitAsync, whose QueryResponse is returned by value.
   size_t Submit(AggregateQuery query);
 
-  size_t num_submitted() const { return queries_.size(); }
-
-  /// Runs every submitted query to the engine's error bound and returns
-  /// their results in submission order (a reference into the service —
-  /// valid until the next Submit/RunAll). Queries that fail validation
-  /// carry their error Status. May be called again after more Submits;
-  /// already-run queries are not re-run (their results are returned
-  /// again) and indices keep counting up, so reruns stay reproducible.
+  /// Blocks until every Submit()-ed query is terminal and returns their
+  /// results in submission order. LIFETIME TRAP (the reason this API is
+  /// legacy): the return is a reference into the service, and the element
+  /// it exposes for query i is invalidated by the next Submit/RunAll —
+  /// the vector reallocates as it grows. Copy out anything you keep, or
+  /// use SubmitAsync + QueryTicket::Wait, which return by value. The old
+  /// caller-driven loop is gone; this wrapper just waits on the
+  /// background scheduler. Queries that fail admission carry their error
+  /// Status. May be called again after more Submits; already-run queries
+  /// are not re-run and indices keep counting up, so reruns stay
+  /// reproducible.
   const std::vector<Result<AggregateResult>>& RunAll();
 
   /// One-call batch convenience.
@@ -81,11 +238,30 @@ class QueryService {
   }
 
  private:
+  using TicketPtr = std::shared_ptr<serve_internal::TicketState>;
+
+  void SchedulerLoop();
+  /// Marks `t` terminal under its own lock and updates service counters.
+  void Retire(const TicketPtr& t, QueryState state, Status status,
+              AggregateResult result);
+
   std::shared_ptr<const EngineContext> ctx_;
   ServiceOptions options_;
-  std::vector<AggregateQuery> queries_;
-  std::vector<Result<AggregateResult>> results_;  // parallel to queries_
-  size_t num_completed_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;     ///< wakes the scheduler
+  std::condition_variable drained_;  ///< signalled as tickets retire
+  std::deque<TicketPtr> queue_;      ///< submitted, not yet admitted
+  size_t next_index_ = 0;            ///< submission counter (ids + seeds)
+  size_t outstanding_ = 0;           ///< non-terminal tickets
+  size_t running_ = 0;               ///< admitted by the scheduler
+  bool shutdown_ = false;
+  ServiceStats stats_;
+  std::thread scheduler_;  ///< started lazily on first submission
+
+  // Legacy wrapper state: tickets in Submit order, materialized results.
+  std::vector<TicketPtr> legacy_tickets_;
+  std::vector<Result<AggregateResult>> legacy_results_;
 };
 
 }  // namespace kgaq

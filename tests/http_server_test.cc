@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/approx_engine.h"
+#include "core/engine_context.h"
+#include "datagen/kg_generator.h"
+#include "datagen/workload_generator.h"
+#include "query/query_text.h"
+#include "serve/http_server.h"
+#include "serve/query_service.h"
+
+namespace kgaq {
+namespace {
+
+const GeneratedDataset& MiniDataset() {
+  static GeneratedDataset* ds = [] {
+    auto r = KgGenerator::Generate(DatasetProfile::Mini(7));
+    return new GeneratedDataset(std::move(*r));
+  }();
+  return *ds;
+}
+
+/// Shared flat-JSON field scraper from the server library.
+std::string JsonField(const std::string& body, const std::string& key) {
+  return ExtractJsonField(body, key);
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto& ds = MiniDataset();
+    ctx_ = std::make_shared<EngineContext>(ds.graph(),
+                                           ds.reference_embedding());
+    ServiceOptions sopts;
+    sopts.base_seed = 404;
+    // Pin the per-round increment and open the draw budget so an
+    // eb=1e-9 query runs until cancelled/expired in small rounds instead
+    // of sprinting to the 500k cap before a cancel can land. The solo
+    // references below mirror these options.
+    sopts.engine.fixed_increment = 2000;
+    sopts.engine.max_total_draws = static_cast<size_t>(1) << 40;
+    engine_options_ = sopts.engine;
+    service_ = std::make_unique<QueryService>(ctx_, sopts);
+    server_ = std::make_unique<HttpServer>(*service_);
+    auto started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    server_.reset();  // Stop() joins before the service dies
+    service_.reset();
+  }
+
+  Result<HttpResponse> Fetch(const std::string& method,
+                             const std::string& target,
+                             const std::string& body = "") {
+    return HttpFetch("127.0.0.1", server_->port(), method, target, body);
+  }
+
+  /// Polls /result/<id> until the state is terminal.
+  std::string AwaitResult(const std::string& id) {
+    for (int i = 0; i < 20000; ++i) {
+      auto r = Fetch("GET", "/result/" + id);
+      EXPECT_TRUE(r.ok()) << r.status();
+      const std::string state = JsonField(r->body, "state");
+      if (state != "QUEUED" && state != "RUNNING") return r->body;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ADD_FAILURE() << "query " << id << " never reached a terminal state";
+    return "";
+  }
+
+  std::shared_ptr<EngineContext> ctx_;
+  EngineOptions engine_options_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, HealthzIsAlive) {
+  auto r = Fetch("GET", "/healthz");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->status_code, 200);
+  EXPECT_EQ(r->body, "ok\n");
+}
+
+// Acceptance criterion: every example query is servable over the HTTP
+// front-end, and the served result is bitwise-identical to a solo run
+// with the same derived seed (doubles compared via their shortest
+// round-trip renderings, which are injective).
+TEST_F(HttpServerTest, ExampleQueriesServedOverLoopbackMatchSoloBitwise) {
+  const auto& ds = MiniDataset();
+  std::vector<AggregateQuery> workload;
+  workload.push_back(
+      WorkloadGenerator::SimpleQuery(ds, 0, 0, AggregateFunction::kCount));
+  workload.push_back(
+      WorkloadGenerator::SimpleQuery(ds, 1, 0, AggregateFunction::kAvg));
+  workload.push_back(
+      WorkloadGenerator::ChainQuery(ds, 0, 0, AggregateFunction::kCount));
+  workload.push_back(
+      WorkloadGenerator::SimpleQuery(ds, 2, 1, AggregateFunction::kSum));
+
+  std::vector<std::string> ids;
+  for (const AggregateQuery& q : workload) {
+    const std::string text = FormatAggregateQuery(q);
+    auto r = Fetch("POST", "/query", text);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_EQ(r->status_code, 202) << r->body;
+    EXPECT_EQ(JsonField(r->body, "state"), "QUEUED");
+    // The submission echo is the canonical rendering.
+    EXPECT_EQ(JsonField(r->body, "query"), text);
+    ids.push_back(JsonField(r->body, "id"));
+    ASSERT_FALSE(ids.back().empty()) << r->body;
+  }
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const std::string body = AwaitResult(ids[i]);
+    ASSERT_EQ(JsonField(body, "state"), "DONE") << body;
+
+    EngineOptions eopts = engine_options_;
+    eopts.seed = QueryService::QuerySeed(404, i);
+    ApproxEngine solo(ds.graph(), ds.reference_embedding(), eopts);
+    auto expected = solo.Execute(workload[i]);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+
+    std::string v_hat, moe;
+    AppendRoundTripDouble(v_hat, expected->v_hat);
+    AppendRoundTripDouble(moe, expected->moe);
+    EXPECT_EQ(JsonField(body, "v_hat"), v_hat) << body;
+    EXPECT_EQ(JsonField(body, "moe"), moe) << body;
+    EXPECT_EQ(JsonField(body, "total_draws"),
+              std::to_string(expected->total_draws));
+    EXPECT_EQ(JsonField(body, "correct_draws"),
+              std::to_string(expected->correct_draws));
+    EXPECT_EQ(JsonField(body, "seed_used"),
+              std::to_string(QueryService::QuerySeed(404, i)));
+  }
+}
+
+TEST_F(HttpServerTest, CanonicalEchoSurvivesEscapesAndControlChars) {
+  // A name with a quote, backslash, newline and tab: the JSON echo
+  // escapes them (\" \\ \n \t) and the shared scraper must decode them
+  // back to the exact canonical wire text.
+  AggregateQuery q;
+  QueryBranch b;
+  b.specific_name = "we\"ird\\na\nme\tx";
+  b.hops.push_back({"p", {"T"}});
+  q.query = QueryGraph::Chain(b);
+  q.function = AggregateFunction::kCount;
+  const std::string text = FormatAggregateQuery(q);
+  auto r = Fetch("POST", "/query", text);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->status_code, 202) << r->body;
+  EXPECT_EQ(JsonField(r->body, "query"), text) << r->body;
+}
+
+TEST_F(HttpServerTest, MalformedQueryRejectedWithPosition) {
+  auto r = Fetch("POST", "/query", "COUNT(x WHERE oops");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->status_code, 400);
+  EXPECT_NE(r->body.find("1:9"), std::string::npos) << r->body;
+
+  auto stats = Fetch("GET", "/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(JsonField(stats->body, "bad_requests"), "0");
+}
+
+TEST_F(HttpServerTest, OverridesDeadlineAndCancelWork) {
+  const auto& ds = MiniDataset();
+  const std::string text = FormatAggregateQuery(
+      WorkloadGenerator::SimpleQuery(ds, 0, 0, AggregateFunction::kAvg));
+
+  // Unparseable override → 400.
+  auto bad = Fetch("POST", "/query?eb=banana", text);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status_code, 400);
+  // Unknown parameter → 400.
+  auto unknown = Fetch("POST", "/query?speed=9", text);
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status_code, 400);
+
+  // A microscopic deadline: expires before the first round boundary.
+  auto submitted = Fetch("POST", "/query?eb=1e-9&deadline_ms=0.0001", text);
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted->status_code, 202) << submitted->body;
+  const std::string id = JsonField(submitted->body, "id");
+  const std::string body = AwaitResult(id);
+  EXPECT_EQ(JsonField(body, "state"), "DEADLINE_EXCEEDED") << body;
+
+  // Cancel: an unsatisfiable query retires as CANCELLED.
+  auto hog = Fetch("POST", "/query?eb=1e-9&max_rounds=1000000", text);
+  ASSERT_TRUE(hog.ok());
+  const std::string hog_id = JsonField(hog->body, "id");
+  auto cancel = Fetch("POST", "/cancel/" + hog_id);
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_EQ(cancel->status_code, 200);
+  const std::string hog_body = AwaitResult(hog_id);
+  EXPECT_EQ(JsonField(hog_body, "state"), "CANCELLED") << hog_body;
+
+  // Unknown ids 404.
+  EXPECT_EQ(Fetch("GET", "/result/99999")->status_code, 404);
+  EXPECT_EQ(Fetch("POST", "/cancel/99999")->status_code, 404);
+  EXPECT_EQ(Fetch("GET", "/nope")->status_code, 404);
+  // Submitting with GET is a method error.
+  EXPECT_EQ(Fetch("GET", "/query", text)->status_code, 405);
+}
+
+TEST_F(HttpServerTest, StatsExposeServiceAndCacheState) {
+  const auto& ds = MiniDataset();
+  const std::string text = FormatAggregateQuery(
+      WorkloadGenerator::SimpleQuery(ds, 1, 1, AggregateFunction::kCount));
+  auto submitted = Fetch("POST", "/query", text);
+  ASSERT_TRUE(submitted.ok());
+  AwaitResult(JsonField(submitted->body, "id"));
+
+  auto r = Fetch("GET", "/stats");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->status_code, 200);
+  const std::string& body = r->body;
+  EXPECT_EQ(JsonField(body, "submitted"), "1") << body;
+  EXPECT_EQ(JsonField(body, "done"), "1") << body;
+  // Cache sections surface entries and resident bytes (satellite:
+  // groundwork for LRU eviction).
+  EXPECT_NE(body.find("\"caches\""), std::string::npos);
+  EXPECT_NE(JsonField(body, "total_bytes"), "0") << body;
+  const EngineContext::CacheStats cstats = ctx_->Stats();
+  EXPECT_NE(body.find("\"entries\":" +
+                      std::to_string(cstats.sims_entries)),
+            std::string::npos)
+      << body;
+}
+
+}  // namespace
+}  // namespace kgaq

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/kg_generator.h"
+#include "datagen/workload_generator.h"
+#include "query/query_graph.h"
+#include "query/query_text.h"
+
+namespace kgaq {
+namespace {
+
+const GeneratedDataset& MiniDataset() {
+  static GeneratedDataset* ds = [] {
+    auto r = KgGenerator::Generate(DatasetProfile::Mini(7));
+    return new GeneratedDataset(std::move(*r));
+  }();
+  return *ds;
+}
+
+/// Every shape and decoration the engine supports, plus the generated
+/// workload mix — the "all example queries" population of the round-trip
+/// acceptance criterion.
+std::vector<AggregateQuery> ExampleQueries() {
+  std::vector<AggregateQuery> out;
+  for (const BenchmarkQuery& bq :
+       WorkloadGenerator::Generate(MiniDataset(), WorkloadOptions{})) {
+    out.push_back(bq.query);
+  }
+
+  // The paper's quickstart query.
+  AggregateQuery quickstart;
+  quickstart.query = QueryGraph::Simple("Germany", {"Country"}, "product",
+                                        {"Automobile"});
+  quickstart.function = AggregateFunction::kAvg;
+  quickstart.attribute = "price";
+  out.push_back(quickstart);
+
+  // Filter + group-by decoration with awkward numerics.
+  AggregateQuery decorated = quickstart;
+  decorated.filters.push_back({"price", -1.5e-7, 64300.125});
+  decorated.filters.push_back({"horsepower", 100.0, 1.0 / 3.0});
+  decorated.group_by.attribute = "price";
+  decorated.group_by.bucket_width = 0.1;
+  out.push_back(decorated);
+
+  // Names needing quoting: spaces, escapes, unicode, a newline, and the
+  // reserved word "x".
+  AggregateQuery awkward;
+  QueryBranch b;
+  b.specific_name = "Lamborghini \"Miura\" P400\\SV";
+  b.specific_types = {"Sports Car", "x"};
+  b.hops.push_back({"made\nby", {"Größe", ""}});
+  awkward.query = QueryGraph::Chain(b);
+  awkward.query.branches[0].hops.push_back({"in", {"Country"}});
+  awkward.function = AggregateFunction::kCount;
+  awkward.attribute = "odd attr";  // COUNT with an attribute round-trips
+  out.push_back(awkward);
+
+  // Multi-branch shapes, including non-default SHAPE spellings.
+  QueryBranch b1 = QueryGraph::Simple("A", {}, "p", {"T"}).branches[0];
+  QueryBranch b2 = QueryGraph::Simple("B", {"U"}, "q", {"T"}).branches[0];
+  for (QueryShape s :
+       {QueryShape::kStar, QueryShape::kCycle, QueryShape::kFlower}) {
+    AggregateQuery complexq;
+    complexq.query = QueryGraph::Complex(s, {b1, b2});
+    complexq.function = AggregateFunction::kSum;
+    complexq.attribute = "v";
+    out.push_back(complexq);
+  }
+
+  // A single-branch query with a non-derivable shape tag.
+  AggregateQuery tagged = quickstart;
+  tagged.query.shape = QueryShape::kStar;
+  out.push_back(tagged);
+
+  // Untyped nodes everywhere.
+  AggregateQuery untyped;
+  QueryBranch ub;
+  ub.specific_name = "hub";
+  ub.hops.push_back({"p1", {}});
+  ub.hops.push_back({"p2", {}});
+  untyped.query = QueryGraph::Chain(ub);
+  untyped.function = AggregateFunction::kMin;
+  untyped.attribute = "a";
+  out.push_back(untyped);
+
+  return out;
+}
+
+TEST(QueryTextTest, EveryExampleQueryRoundTripsExactly) {
+  const auto queries = ExampleQueries();
+  ASSERT_GT(queries.size(), 30u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::string text = FormatAggregateQuery(queries[i]);
+    auto parsed = ParseAggregateQuery(text);
+    ASSERT_TRUE(parsed.ok()) << "query " << i << ": " << parsed.status()
+                             << "\n  text: " << text;
+    EXPECT_TRUE(*parsed == queries[i])
+        << "query " << i << " did not round-trip\n  text: " << text;
+    // Canonical text is a fixed point of Format ∘ Parse.
+    EXPECT_EQ(FormatAggregateQuery(*parsed), text) << "query " << i;
+  }
+}
+
+TEST(QueryTextTest, CanonicalRenderingMatchesGrammarDoc) {
+  AggregateQuery q;
+  q.query = QueryGraph::Simple("Germany", {"Country"}, "product",
+                               {"Automobile"});
+  q.function = AggregateFunction::kAvg;
+  q.attribute = "price";
+  EXPECT_EQ(FormatAggregateQuery(q),
+            "AVG(x.price) WHERE (\"Germany\":Country)-[product]->"
+            "(x:Automobile)");
+
+  q.filters.push_back({"price", 1000.0, 50000.0});
+  q.group_by.attribute = "year";
+  q.group_by.bucket_width = 10.0;
+  EXPECT_EQ(FormatAggregateQuery(q),
+            "AVG(x.price) WHERE (\"Germany\":Country)-[product]->"
+            "(x:Automobile) FILTER price IN [1000,50000] "
+            "GROUP BY year WIDTH 10");
+}
+
+TEST(QueryTextTest, ParsesHandwrittenVariants) {
+  // Keywords are case-insensitive and whitespace is free-form.
+  auto q = ParseAggregateQuery(
+      "  count ( x )\n where (\"UK\" : Country)\n"
+      "   -[ hosts ]-> ( : City ) -[ homeOf ]-> ( x : Club )");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->function, AggregateFunction::kCount);
+  EXPECT_EQ(q->query.shape, QueryShape::kChain);
+  ASSERT_EQ(q->query.branches.size(), 1u);
+  const QueryBranch& b = q->query.branches[0];
+  EXPECT_EQ(b.specific_name, "UK");
+  ASSERT_EQ(b.hops.size(), 2u);
+  EXPECT_EQ(b.hops[0].predicate, "hosts");
+  EXPECT_EQ(b.hops[0].node_types, std::vector<std::string>{"City"});
+  EXPECT_EQ(b.hops[1].node_types, std::vector<std::string>{"Club"});
+
+  // Quoted identifiers are accepted anywhere a name is expected.
+  auto q2 = ParseAggregateQuery(
+      "SUM(x.\"price\") WHERE (\"A\")-[\"p q\"]->(x:\"T 1\"|U)");
+  ASSERT_TRUE(q2.ok()) << q2.status();
+  EXPECT_EQ(q2->attribute, "price");
+  EXPECT_EQ(q2->query.branches[0].hops[0].predicate, "p q");
+  EXPECT_EQ(q2->query.branches[0].hops[0].node_types,
+            (std::vector<std::string>{"T 1", "U"}));
+}
+
+TEST(QueryTextTest, ErrorsCarryPrecisePositions) {
+  struct Case {
+    const char* text;
+    const char* position;  // expected "line:col" prefix
+    const char* fragment;  // expected message substring
+  };
+  const Case cases[] = {
+      {"", "1:1", "aggregate function"},
+      {"MEAN(x) WHERE (\"A\")-[p]->(x)", "1:1", "unknown aggregate"},
+      {"COUNT x) WHERE (\"A\")-[p]->(x)", "1:7", "expected '('"},
+      {"COUNT(y) WHERE (\"A\")-[p]->(x)", "1:7", "target variable 'x'"},
+      {"COUNT(x WHERE (\"A\")-[p]->(x)", "1:9", "expected ')'"},
+      {"COUNT(x) WHEN (\"A\")-[p]->(x)", "1:10", "expected 'WHERE'"},
+      {"COUNT(x) WHERE (A)-[p]->(x)", "1:17", "quoted specific-node"},
+      {"COUNT(x) WHERE (\"A)-[p]->(x)", "1:29", "unterminated"},
+      {"COUNT(x) WHERE (\"A\")", "1:21", "first hop"},
+      {"COUNT(x) WHERE (\"A\")-[p]->(y)", "1:28", "expected 'x'"},
+      {"COUNT(x) WHERE (\"A\")-[p]->()", "1:29", "target"},
+      {"COUNT(x) WHERE (\"A\")-[p]->(x)-[q]->(x)", "1:30", "last node"},
+      {"COUNT(x) WHERE (\"A\")-[p]->(x) FILTER a IN [1 2]", "1:46",
+       "expected ','"},
+      {"COUNT(x) WHERE (\"A\")-[p]->(x) FILTER a IN [1,zz]", "1:46",
+       "expected number"},
+      {"COUNT(x) WHERE (\"A\")-[p]->(x) SHAPE blob", "1:37", "unknown shape"},
+      {"COUNT(x) WHERE (\"A\")-[p]->(x) BANANA", "1:31", "expected FILTER"},
+      {"COUNT(x) WHERE\n(\"A\")\n-[p->(x)", "3:4", "expected ']'"},
+  };
+  for (const Case& c : cases) {
+    auto parsed = ParseAggregateQuery(c.text);
+    ASSERT_FALSE(parsed.ok()) << "unexpectedly parsed: " << c.text;
+    const std::string& msg = parsed.status().message();
+    EXPECT_EQ(msg.rfind(std::string(c.position) + ":", 0), 0u)
+        << "text: " << c.text << "\n  error: " << msg
+        << "\n  expected position " << c.position;
+    EXPECT_NE(msg.find(c.fragment), std::string::npos)
+        << "text: " << c.text << "\n  error: " << msg;
+  }
+}
+
+// Acceptance criterion: malformed input never crashes, and every parse
+// error points at a line:col position. Mutates canonical renderings of
+// real queries — deletions, insertions, replacements, truncations —
+// through a seeded Rng, so the corpus is adversarial-ish yet fully
+// reproducible.
+TEST(QueryTextTest, MutatedInputNeverCrashesAndErrorsCarryPositions) {
+  const auto queries = ExampleQueries();
+  std::vector<std::string> corpus;
+  for (const auto& q : queries) corpus.push_back(FormatAggregateQuery(q));
+
+  Rng rng(20260730);
+  const char alphabet[] =
+      "()[]{}<>-|,:.\"\\x aggcountwhereFILTERGROUPBYSHAPE0123456789eE+-\n\t";
+  size_t parsed_ok = 0;
+  size_t parse_errors = 0;
+  for (size_t iter = 0; iter < 4000; ++iter) {
+    std::string s = corpus[rng.NextBounded(corpus.size())];
+    const size_t edits = 1 + rng.NextBounded(4);
+    for (size_t e = 0; e < edits && !s.empty(); ++e) {
+      const size_t pos = rng.NextBounded(s.size());
+      switch (rng.NextBounded(4)) {
+        case 0:
+          s.erase(pos, 1 + rng.NextBounded(3));
+          break;
+        case 1:
+          s.insert(pos, 1,
+                   alphabet[rng.NextBounded(sizeof(alphabet) - 1)]);
+          break;
+        case 2:
+          s[pos] = alphabet[rng.NextBounded(sizeof(alphabet) - 1)];
+          break;
+        case 3:
+          s.resize(pos);
+          break;
+      }
+    }
+    auto parsed = ParseAggregateQuery(s);
+    if (parsed.ok()) {
+      // A mutation that stays well-formed must still round-trip through
+      // the canonical renderer.
+      auto again = ParseAggregateQuery(FormatAggregateQuery(*parsed));
+      ASSERT_TRUE(again.ok()) << FormatAggregateQuery(*parsed);
+      EXPECT_TRUE(*again == *parsed);
+      ++parsed_ok;
+      continue;
+    }
+    ++parse_errors;
+    const std::string& msg = parsed.status().message();
+    // "line:col: " prefix, both 1-based.
+    size_t i = 0;
+    while (i < msg.size() && std::isdigit(static_cast<unsigned char>(msg[i]))) {
+      ++i;
+    }
+    ASSERT_GT(i, 0u) << "no line number in: " << msg << "\n  input: " << s;
+    ASSERT_LT(i, msg.size());
+    ASSERT_EQ(msg[i], ':') << msg;
+    size_t j = i + 1;
+    while (j < msg.size() && std::isdigit(static_cast<unsigned char>(msg[j]))) {
+      ++j;
+    }
+    ASSERT_GT(j, i + 1) << "no column number in: " << msg;
+    ASSERT_LT(j + 1, msg.size());
+    EXPECT_EQ(msg.substr(j, 2), ": ") << msg;
+  }
+  // The mutator must actually exercise the error paths (and some valid
+  // reparses) for the property to mean anything.
+  EXPECT_GT(parse_errors, 1000u);
+  EXPECT_GT(parsed_ok, 10u);
+}
+
+TEST(QueryTextTest, RoundTripDoubleIsShortestExact) {
+  for (double v : {0.0, -0.0, 1.0, 0.1, 1.0 / 3.0, -1.5e-7, 64300.125,
+                   1e300, -2.2250738585072014e-308}) {
+    std::string s;
+    AppendRoundTripDouble(s, v);
+    auto q = ParseAggregateQuery(
+        "COUNT(x) WHERE (\"A\")-[p]->(x) FILTER a IN [" + s + "," + s + "]");
+    ASSERT_TRUE(q.ok()) << s << ": " << q.status();
+    EXPECT_EQ(q->filters[0].lower, v) << s;
+  }
+}
+
+}  // namespace
+}  // namespace kgaq

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/approx_engine.h"
@@ -210,6 +212,267 @@ TEST(EngineContextTest, WarmContextMatchesColdContextBitwise) {
     ASSERT_TRUE(second[i].ok());
     ExpectResultsBitwiseEqual(*first[i], *second[i], i);
   }
+}
+
+// A request the engine can never satisfy (eb below any reachable moe)
+// with budgets opened wide: it keeps drawing until cancelled or expired,
+// which the async tests rely on for deterministic mid-run control.
+QueryRequest UnsatisfiableRequest(const GeneratedDataset& ds) {
+  QueryRequest req;
+  req.query = WorkloadGenerator::SimpleQuery(ds, 0, 0,
+                                             AggregateFunction::kAvg);
+  req.error_bound = 1e-12;
+  req.max_rounds = 1000000;
+  return req;
+}
+
+ServiceOptions LongRunServiceOptions() {
+  ServiceOptions sopts;
+  // Make the 500k-draw cap unreachable in test time AND pin the
+  // per-round increment, so an unsatisfiable query runs until stopped in
+  // small, frequently-checkpointed rounds (Eq. 12 would otherwise jump
+  // the target straight to the cap in one giant draw).
+  sopts.engine.max_total_draws = static_cast<size_t>(1) << 40;
+  sopts.engine.fixed_increment = 2000;
+  return sopts;
+}
+
+// Acceptance criterion: 8 concurrent SubmitAsync queries (no deadline,
+// no cancel) return bitwise-identical results to solo cold-engine runs
+// with the same derived seeds, while a concurrently cancelled 9th query
+// retires without changing them.
+TEST(AsyncQueryServiceTest, EightAsyncQueriesMatchSoloWhileNinthCancelled) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  const auto workload = MixedWorkload();
+
+  ServiceOptions sopts = LongRunServiceOptions();
+  sopts.max_concurrent = 9;
+  sopts.base_seed = 321;
+  QueryService service(ctx, sopts);
+
+  std::vector<QueryTicket> tickets;
+  for (const AggregateQuery& q : workload) {
+    QueryRequest req;
+    req.query = q;
+    tickets.push_back(service.SubmitAsync(std::move(req)));
+  }
+  // The 9th: unsatisfiable, cancelled once seen running.
+  QueryTicket ninth = service.SubmitAsync(UnsatisfiableRequest(ds));
+  EXPECT_EQ(ninth.id(), 8u);
+  while (ninth.Poll().state == QueryState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ninth.Cancel();
+  const QueryResponse ninth_resp = ninth.Wait();
+  EXPECT_EQ(ninth_resp.state, QueryState::kCancelled);
+  EXPECT_FALSE(ninth_resp.result.satisfied);
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const QueryResponse resp = tickets[i].Wait();
+    ASSERT_EQ(resp.state, QueryState::kDone)
+        << "query " << i << ": " << resp.status;
+    EXPECT_EQ(resp.id, i);
+    EXPECT_EQ(resp.seed_used, QueryService::QuerySeed(sopts.base_seed, i));
+    EXPECT_GE(resp.run_ms, 0.0);
+    // Solo reference: a fresh engine with a private cold context and the
+    // same derived seed.
+    EngineOptions eopts = sopts.engine;
+    eopts.seed = resp.seed_used;
+    ApproxEngine solo(ds.graph(), ds.reference_embedding(), eopts);
+    auto expected = solo.Execute(workload[i]);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    ExpectResultsBitwiseEqual(resp.result, *expected, i);
+  }
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 9u);
+  EXPECT_EQ(stats.done, 8u);
+  EXPECT_EQ(stats.cancelled, 1u);
+}
+
+TEST(AsyncQueryServiceTest, MidRunCancelRetiresWithPartialEstimate) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  QueryService service(ctx, LongRunServiceOptions());
+
+  QueryTicket ticket = service.SubmitAsync(UnsatisfiableRequest(ds));
+  while (ticket.Poll().state == QueryState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Let it complete at least one round so the partial carries draws.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ticket.Cancel();
+  const QueryResponse resp = ticket.Wait();
+  EXPECT_EQ(resp.state, QueryState::kCancelled);
+  EXPECT_TRUE(resp.status.ok());
+  EXPECT_FALSE(resp.result.satisfied);
+  EXPECT_GT(resp.result.total_draws, 0u);  // partial sample retained
+  EXPECT_GT(resp.run_ms, 0.0);
+  // Cancel is idempotent and the state stays terminal.
+  ticket.Cancel();
+  EXPECT_EQ(ticket.Poll().state, QueryState::kCancelled);
+}
+
+TEST(AsyncQueryServiceTest, MidRunDeadlineExpiresBetweenRounds) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  QueryService service(ctx, LongRunServiceOptions());
+
+  QueryRequest req = UnsatisfiableRequest(ds);
+  req.deadline_ms = 40.0;
+  QueryTicket ticket = service.SubmitAsync(std::move(req));
+  const QueryResponse resp = ticket.Wait();
+  EXPECT_EQ(resp.state, QueryState::kDeadlineExceeded);
+  EXPECT_TRUE(resp.status.ok());
+  EXPECT_FALSE(resp.result.satisfied);
+  EXPECT_GE(resp.queue_ms + resp.run_ms, 40.0 * 0.5);  // timer sanity
+}
+
+TEST(AsyncQueryServiceTest, QueuedQueryExpiresWithoutEverRunning) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  ServiceOptions sopts = LongRunServiceOptions();
+  sopts.max_concurrent = 1;  // the long query monopolizes the only slot
+  QueryService service(ctx, sopts);
+
+  QueryTicket hog = service.SubmitAsync(UnsatisfiableRequest(ds));
+  while (hog.Poll().state == QueryState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  QueryRequest starved = UnsatisfiableRequest(ds);
+  starved.deadline_ms = 5.0;
+  QueryTicket ticket = service.SubmitAsync(std::move(starved));
+  const QueryResponse resp = ticket.Wait();  // retired by the queue sweep
+  EXPECT_EQ(resp.state, QueryState::kDeadlineExceeded);
+  EXPECT_EQ(resp.result.total_draws, 0u);
+  EXPECT_EQ(resp.run_ms, 0.0);
+  EXPECT_GE(resp.queue_ms, 5.0 * 0.5);
+  hog.Cancel();
+  EXPECT_EQ(hog.Wait().state, QueryState::kCancelled);
+}
+
+TEST(AsyncQueryServiceTest, RequestOverridesAndPinnedSeedReproduceSolo) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  QueryService service(ctx);
+
+  QueryRequest req;
+  req.query = WorkloadGenerator::SimpleQuery(ds, 1, 0,
+                                             AggregateFunction::kAvg);
+  req.error_bound = 0.04;
+  req.confidence_level = 0.9;
+  req.seed = 987654321;
+  const QueryResponse resp = service.SubmitAsync(req).Wait();
+  ASSERT_EQ(resp.state, QueryState::kDone) << resp.status;
+  EXPECT_EQ(resp.seed_used, 987654321u);
+  EXPECT_EQ(resp.result.error_bound, 0.04);
+  EXPECT_EQ(resp.result.confidence_level, 0.9);
+
+  EngineOptions eopts;
+  eopts.error_bound = 0.04;
+  eopts.confidence_level = 0.9;
+  eopts.seed = 987654321;
+  ApproxEngine solo(ds.graph(), ds.reference_embedding(), eopts);
+  auto expected = solo.Execute(req.query);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ExpectResultsBitwiseEqual(resp.result, *expected, 0);
+}
+
+TEST(AsyncQueryServiceTest, WaitForTimesOutOnLiveQueryThenResolves) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  QueryService service(ctx, LongRunServiceOptions());
+  QueryTicket ticket = service.SubmitAsync(UnsatisfiableRequest(ds));
+  EXPECT_FALSE(ticket.WaitFor(5.0).has_value());  // still running
+  ticket.Cancel();
+  auto resp = ticket.WaitFor(60000.0);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->state, QueryState::kCancelled);
+}
+
+TEST(AsyncQueryServiceTest, DestructorCancelsOutstandingWork) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  QueryTicket running, queued;
+  {
+    ServiceOptions sopts = LongRunServiceOptions();
+    sopts.max_concurrent = 1;
+    QueryService service(ctx, sopts);
+    running = service.SubmitAsync(UnsatisfiableRequest(ds));
+    queued = service.SubmitAsync(UnsatisfiableRequest(ds));
+  }
+  // Tickets outlive the service; both were cancelled by teardown.
+  EXPECT_EQ(running.Poll().state, QueryState::kCancelled);
+  EXPECT_EQ(queued.Poll().state, QueryState::kCancelled);
+}
+
+// The satellite fix in action: the legacy RunAll reference is documented
+// as invalidated by growth, while QueryResponse is a stable value.
+TEST(QueryServiceTest, LegacyReferenceVersusByValueResponse) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  ServiceOptions sopts;
+  sopts.base_seed = 55;
+  QueryService service(ctx, sopts);
+  const auto q0 = WorkloadGenerator::SimpleQuery(ds, 0, 0,
+                                                 AggregateFunction::kCount);
+
+  EXPECT_EQ(service.Submit(q0), 0u);
+  const auto& ref = service.RunAll();
+  ASSERT_EQ(ref.size(), 1u);
+  ASSERT_TRUE(ref[0].ok());
+  const double v0 = ref[0]->v_hat;
+
+  // Same query as an async request with the legacy-derived seed pinned:
+  // the by-value response reproduces the legacy result...
+  QueryRequest req;
+  req.query = q0;
+  req.seed = QueryService::QuerySeed(sopts.base_seed, 0);
+  const QueryResponse by_value = service.SubmitAsync(req).Wait();
+  ASSERT_EQ(by_value.state, QueryState::kDone) << by_value.status;
+  EXPECT_EQ(by_value.result.v_hat, v0);
+
+  // ...and stays intact while the legacy vector grows underneath its
+  // old element references (the documented lifetime trap: `ref[0]` from
+  // before this Submit may now dangle — don't hold element references).
+  EXPECT_EQ(service.Submit(q0), 1u);
+  const auto& again = service.RunAll();
+  EXPECT_EQ(&again, &ref) << "RunAll returns the same live vector";
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(by_value.result.v_hat, v0);
+}
+
+TEST(EngineContextTest, CacheStatsReportEntriesAndResidentBytes) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  const auto before = ctx->Stats();
+  EXPECT_EQ(before.sims_entries, 0u);
+  EXPECT_EQ(before.TotalBytes(), 0u);
+
+  ApproxEngine engine(ctx);
+  auto chain = WorkloadGenerator::ChainQuery(ds, 0, 0,
+                                             AggregateFunction::kCount);
+  ASSERT_TRUE(engine.Execute(chain).ok());
+  const auto after = ctx->Stats();
+  EXPECT_GT(after.sims_entries, 0u);
+  EXPECT_GT(after.sims_bytes, 0u);
+  EXPECT_GT(after.core_entries, 0u);
+  // Walk cores dominate: alias rows + CSR over every scope arc.
+  EXPECT_GT(after.core_bytes, after.sims_bytes);
+  EXPECT_GT(after.chain_entries, 0u);
+  EXPECT_GT(after.chain_bytes, after.chain_entries * sizeof(uint64_t));
+  EXPECT_EQ(after.TotalBytes(),
+            after.sims_bytes + after.core_bytes + after.chain_bytes);
 }
 
 TEST(EngineContextTest, InteractiveRefinementStillWorksThroughContext) {
