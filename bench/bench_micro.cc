@@ -9,6 +9,8 @@
 #include "bench/bench_common.h"
 #include "common/thread_pool.h"
 #include "core/engine_context.h"
+#include "embedding/trainer.h"
+#include "embedding/trainer_internal.h"
 #include "embedding/vector_ops.h"
 #include "estimate/bootstrap.h"
 #include "estimate/ht_estimator.h"
@@ -677,6 +679,170 @@ void BM_CosineSimilarityMany(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rows);
 }
 BENCHMARK(BM_CosineSimilarityMany)->Arg(100)->Arg(1000);
+
+// ---------- embedding training: legacy scalar step vs fused kernels ----------
+
+using embedding_internal::CorruptTriple;
+using embedding_internal::Triple;
+
+struct TransEKernelFixture {
+  std::unique_ptr<FixedEmbedding> emb;
+  std::vector<Triple> triples;
+  std::vector<Triple> negatives;  // pre-drawn so rng cost stays out
+};
+
+TransEKernelFixture& TransEKernel() {
+  static TransEKernelFixture* f = [] {
+    auto* out = new TransEKernelFixture;
+    const auto& ds = Dataset("DBpedia");
+    out->triples = embedding_internal::ExtractTriples(ds.graph());
+    constexpr size_t kDim = 32;  // the EmbeddingTrainConfig default
+    out->emb = std::make_unique<FixedEmbedding>(
+        "bench", ds.graph().NumNodes(), ds.graph().NumPredicates(), kDim,
+        kDim);
+    Rng rng(51);
+    for (NodeId u = 0; u < ds.graph().NumNodes(); ++u) {
+      auto v = out->emb->MutableEntityVector(u);
+      for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+      NormalizeInPlace(v);
+    }
+    for (PredicateId p = 0; p < ds.graph().NumPredicates(); ++p) {
+      auto v = out->emb->MutablePredicateVector(p);
+      for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+      NormalizeInPlace(v);
+    }
+    out->negatives.reserve(out->triples.size());
+    for (const Triple& t : out->triples) {
+      out->negatives.push_back(
+          CorruptTriple(t, out->emb->num_entities(), rng));
+    }
+    return out;
+  }();
+  return *f;
+}
+
+// The pre-refactor scalar inner loop, kept verbatim as the baseline the
+// fused SquaredL2Diff / SaxpyTriple kernels are measured against.
+double LegacyTransEDistance(FixedEmbedding& m, const Triple& t) {
+  auto h = m.EntityVector(t.head);
+  auto r = m.PredicateVector(t.relation);
+  auto tt = m.EntityVector(t.tail);
+  double acc = 0.0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    const double d = static_cast<double>(h[i]) + r[i] - tt[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void LegacyTransEStep(FixedEmbedding& m, const Triple& t, double lr,
+                      double sign) {
+  auto h = m.MutableEntityVector(t.head);
+  auto r = m.MutablePredicateVector(t.relation);
+  auto tt = m.MutableEntityVector(t.tail);
+  const size_t d = h.size();
+  for (size_t i = 0; i < d; ++i) {
+    const double g = 2.0 * (static_cast<double>(h[i]) + r[i] - tt[i]);
+    const double step = lr * sign * g;
+    h[i] -= static_cast<float>(step);
+    r[i] -= static_cast<float>(step);
+    tt[i] += static_cast<float>(step);
+  }
+}
+
+// One margin-ranking pair exactly as the trainer executes it: corrupt,
+// two distances, hinge, and (when active) the two SGD steps.
+void BM_TransEStepScalar(benchmark::State& state) {
+  auto& f = TransEKernel();
+  constexpr double kMargin = 1.0, kLr = 0.05;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Triple& pos = f.triples[i];
+    const Triple& neg = f.negatives[i];
+    i = i + 1 == f.triples.size() ? 0 : i + 1;
+    const double dp = LegacyTransEDistance(*f.emb, pos);
+    const double dn = LegacyTransEDistance(*f.emb, neg);
+    const double loss = kMargin + dp - dn;
+    if (loss > 0.0) {
+      LegacyTransEStep(*f.emb, pos, kLr, +1.0);
+      LegacyTransEStep(*f.emb, neg, kLr, -1.0);
+    }
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransEStepScalar);
+
+void BM_TransEStepVectorized(benchmark::State& state) {
+  auto& f = TransEKernel();
+  constexpr double kMargin = 1.0, kLr = 0.05;
+  std::vector<double> resid(f.emb->entity_dim());
+  size_t i = 0;
+  for (auto _ : state) {
+    const Triple& pos = f.triples[i];
+    const Triple& neg = f.negatives[i];
+    i = i + 1 == f.triples.size() ? 0 : i + 1;
+    // The trainer's hoisted-span + fused-kernel path: the positive's
+    // residual is computed once by the distance and reused by its step.
+    auto ph = f.emb->MutableEntityVector(pos.head);
+    auto pr = f.emb->MutablePredicateVector(pos.relation);
+    auto pt = f.emb->MutableEntityVector(pos.tail);
+    auto nh = f.emb->MutableEntityVector(neg.head);
+    auto nr = f.emb->MutablePredicateVector(neg.relation);
+    auto nt = f.emb->MutableEntityVector(neg.tail);
+    const double dp = SquaredL2DiffResidual(ph, pr, pt, resid);
+    const double dn = SquaredL2Diff(nh, nr, nt);
+    const double loss = kMargin + dp - dn;
+    if (loss > 0.0) {
+      SaxpyTripleFromResidual(ph, pr, pt, resid, kLr);
+      SaxpyTriple(nh, nr, nt, -kLr);
+    }
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransEStepVectorized);
+
+// Whole-trainer throughput across the scheduling modes (TransE, Table
+// XIII dim): 0 = sequential legacy recipe, 1 = deterministic mini-batch
+// on the serial fallback, 2 = deterministic mini-batch over GlobalPool(),
+// 3 = hogwild over GlobalPool(). On a 1-core runner 1 vs 2 measures the
+// pool overhead (expected neutral); with real cores 2 and 3 scale.
+void BM_EmbeddingTrainModes(benchmark::State& state) {
+  const auto& ds = Dataset("DBpedia");
+  EmbeddingTrainConfig cfg;
+  cfg.dim = 24;
+  cfg.epochs = 2;
+  cfg.negatives_per_positive = 2;
+  switch (state.range(0)) {
+    case 0:
+      break;
+    case 1:
+      cfg.minibatch.batch_size = 2048;
+      cfg.minibatch.min_parallel_triples = static_cast<size_t>(-1);
+      break;
+    case 2:
+      cfg.minibatch.batch_size = 2048;
+      cfg.minibatch.min_parallel_triples = 0;
+      break;
+    case 3:
+      cfg.minibatch.mode = TrainMode::kHogwild;
+      cfg.minibatch.min_parallel_triples = 0;
+      break;
+  }
+  EmbeddingTrainStats stats;
+  for (auto _ : state) {
+    auto model = TrainTransE(ds.graph(), cfg, &stats);
+    benchmark::DoNotOptimize(model.ok());
+  }
+  state.counters["triples_per_s"] = stats.triples_per_second;
+  state.counters["threads_used"] = static_cast<double>(stats.threads_used);
+  state.counters["pool_threads"] =
+      static_cast<double>(GlobalPool().num_threads());
+  state.counters["num_triples"] = static_cast<double>(stats.num_triples);
+}
+BENCHMARK(BM_EmbeddingTrainModes)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->ArgName("mode");
 
 std::vector<SampleItem> MakeItems(size_t n) {
   Rng rng(3);

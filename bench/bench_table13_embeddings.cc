@@ -17,8 +17,8 @@ int main() {
   const GeneratedDataset& ds = Dataset("DBpedia");
 
   PrintHeader("Table XIII: effect of KG embedding models (DBpedia)");
-  std::printf("%-8s %12s %12s %10s %12s\n", "Model", "train (s)",
-              "memory (MB)", "tau*", "HA error %");
+  std::printf("%-8s %12s %12s %12s %8s %10s %12s\n", "Model", "train (s)",
+              "memory (MB)", "triples/s", "threads", "tau*", "HA error %");
 
   for (const char* name : {"TransE", "TransH", "TransD", "RESCAL", "SE"}) {
     EmbeddingTrainConfig cfg;
@@ -54,9 +54,10 @@ int main() {
       err += RelativeErrorPct(res->v_hat, *ha);
       ++n;
     }
-    std::printf("%-8s %12.2f %12.2f %10.2f %12.2f\n", name,
+    std::printf("%-8s %12.2f %12.2f %12.0f %8zu %10.2f %12.2f\n", name,
                 stats.train_seconds,
-                stats.memory_bytes / (1024.0 * 1024.0), tau_v,
+                stats.memory_bytes / (1024.0 * 1024.0),
+                stats.triples_per_second, stats.threads_used, tau_v,
                 n == 0 ? -1.0 : err / n);
   }
   std::printf(

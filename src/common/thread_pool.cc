@@ -42,6 +42,23 @@ thread_local bool t_on_pool_worker = false;
 
 bool ThreadPool::OnPoolWorker() { return t_on_pool_worker; }
 
+namespace {
+// Marks the current thread as executing a pool task for the duration of
+// a TaskGroup task run by a helping waiter, so OnPoolWorker() answers
+// "am I inside a pool task?" identically whether the task landed on a
+// worker or on the thread draining its own group — keeping granularity
+// guards (e.g. the stationary sweep's) deterministic, not schedule-
+// dependent.
+class ScopedPoolTaskMark {
+ public:
+  ScopedPoolTaskMark() : prev_(t_on_pool_worker) { t_on_pool_worker = true; }
+  ~ScopedPoolTaskMark() { t_on_pool_worker = prev_; }
+
+ private:
+  bool prev_;
+};
+}  // namespace
+
 void ThreadPool::WorkerLoop() {
   t_on_pool_worker = true;
   for (;;) {
@@ -71,34 +88,62 @@ ThreadPool& GlobalPool() {
   return *pool;
 }
 
+TaskGroup::TaskGroup(ThreadPool& pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+bool TaskGroup::RunOne(State& state) {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    if (state.queue.empty()) return false;
+    task = std::move(state.queue.front());
+    state.queue.pop_front();
+  }
+  {
+    ScopedPoolTaskMark mark;
+    task();
+  }
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    if (--state.pending == 0) state.done.notify_all();
+  }
+  return true;
+}
+
 void TaskGroup::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    ++pending_;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->queue.push_back(std::move(task));
+    ++state_->pending;
+    // A helper blocked in Wait must see newly queued work, not just
+    // completion.
+    state_->done.notify_one();
   }
-  pool_.Submit([this, task = std::move(task)] {
-    task();
-    std::unique_lock<std::mutex> lock(mu_);
-    if (--pending_ == 0) done_.notify_all();
-  });
+  // The runner holds the state alive: it may be dequeued by the pool after
+  // a helping waiter already drained its task and destroyed the group.
+  pool_.Submit([state = state_] { RunOne(*state); });
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_.wait(lock, [this] { return pending_ == 0; });
+  State& state = *state_;
+  for (;;) {
+    // Help: drain this group's queued tasks on the waiting thread. Any
+    // task popped here is one no pool worker has started, so running it
+    // inline is a valid fork-join schedule — and the reason a pool task
+    // waiting on its own nested group always makes progress.
+    while (RunOne(state)) {
+    }
+    std::unique_lock<std::mutex> lock(state.mu);
+    if (state.pending == 0) return;
+    state.done.wait(lock, [&state] {
+      return state.pending == 0 || !state.queue.empty();
+    });
+    if (state.pending == 0) return;
+  }
 }
 
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& body) {
-  if (ThreadPool::OnPoolWorker()) {
-    // Already on a worker: run inline. TaskGroup::Wait does not steal
-    // work, so forking from a worker can deadlock once every worker
-    // blocks in a nested Wait; inline execution is a valid fork-join
-    // schedule and keeps nested callers (chain stage builds issuing
-    // sweeps, sessions driven from pool tasks) safe by construction.
-    for (size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
   TaskGroup group(pool);
   for (size_t i = 0; i < n; ++i) {
     group.Submit([i, &body] { body(i); });

@@ -3,7 +3,9 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -36,11 +38,15 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// True when the calling thread is a kgaq pool worker (of any pool).
-  /// TaskGroup::Wait does not steal work, so fork-join issued from inside a
-  /// pool task can deadlock once every worker blocks in a nested Wait;
-  /// parallel helpers (stationary sweeps, sharded validation) check this
-  /// and fall back to serial execution on worker threads.
+  /// True while the calling thread is executing a pool task — on a worker
+  /// thread of any pool, or on a thread running a group task inside a
+  /// helping TaskGroup::Wait (so the answer depends on call context, never
+  /// on which thread the scheduler happened to pick). TaskGroup::Wait
+  /// drains its own group's queued tasks while waiting, so nested
+  /// fork-join cannot deadlock; some parallel helpers still check this to
+  /// pick a serial schedule inside pool tasks where the outer parallelism
+  /// is already at the right granularity (stationary sweeps inside chain
+  /// stage builds).
   static bool OnPoolWorker();
 
  private:
@@ -65,10 +71,16 @@ ThreadPool& GlobalPool();
 
 /// Fork-join scope over a (possibly shared) pool: counts only its own
 /// tasks, so concurrent TaskGroups on GlobalPool() wait independently.
-/// Do not call Wait() from inside a task running on the same pool.
+///
+/// Wait() is work-helping: while the group still has queued (not yet
+/// started) tasks, the waiting thread pops and runs them itself instead of
+/// blocking. This makes nested fork-join deadlock-free by construction —
+/// a pool task that creates a group and Waits drains that group's queue
+/// inline even when every pool worker is busy, so the old
+/// OnPoolWorker()-guarded serial fallback in ParallelFor is gone.
 class TaskGroup {
  public:
-  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  explicit TaskGroup(ThreadPool& pool);
   ~TaskGroup() { Wait(); }
 
   TaskGroup(const TaskGroup&) = delete;
@@ -77,20 +89,33 @@ class TaskGroup {
   /// Enqueues `task` on the pool and tracks it in this group.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted through THIS group has finished.
+  /// Blocks until every task submitted through THIS group has finished,
+  /// helping to run the group's own queued tasks while it waits.
   void Wait();
 
  private:
+  // Shared with the pool runners so a runner scheduled after the group's
+  // destruction (its task was already drained by a helping waiter) still
+  // has valid state to inspect.
+  struct State {
+    std::mutex mu;
+    std::condition_variable done;
+    std::deque<std::function<void()>> queue;
+    size_t pending = 0;
+  };
+
+  // Pops and runs one queued task of `state`; returns false when the
+  // queue is empty.
+  static bool RunOne(State& state);
+
   ThreadPool& pool_;
-  std::mutex mu_;
-  std::condition_variable done_;
-  size_t pending_ = 0;
+  std::shared_ptr<State> state_;
 };
 
 /// Runs body(i) for i in [0, n) across the pool and joins. Safe on the
-/// shared GlobalPool(): only its own iterations are awaited. When called
-/// from a pool worker it runs the iterations inline instead of forking
-/// (see OnPoolWorker), so nested fork-join can never deadlock.
+/// shared GlobalPool(): only its own iterations are awaited, and the
+/// helping Wait makes it safe to call from inside a pool task (nested
+/// fork-join drains its own iterations instead of deadlocking).
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& body);
 

@@ -96,8 +96,8 @@ std::vector<GreedyValidator::Match> GreedyValidator::ComputeAllMatches(
   // Dispatch on configuration only — never on pool width or calling
   // context — so which algorithm (and therefore which result, when the
   // expansion cap binds) is fixed by the options on every machine.
-  // Nested-fork-join safety is ParallelFor's job: on a pool worker it
-  // degrades to inline execution, which cannot change sharded results.
+  // Nested-fork-join safety is TaskGroup's job: its helping Wait drains
+  // queued shard tasks inline, which cannot change sharded results.
   if (model_->NumScopeNodes() >= options_.shard_min_scope &&
       options_.num_shards > 1) {
     return ComputeAllMatchesSharded(max_expansions, options_.num_shards);

@@ -1,9 +1,9 @@
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
-#include "common/timer.h"
 #include "embedding/embedding_model.h"
 #include "embedding/trainer.h"
 #include "embedding/trainer_internal.h"
@@ -13,8 +13,7 @@ namespace kgaq {
 
 namespace {
 
-using embedding_internal::CorruptTriple;
-using embedding_internal::ExtractTriples;
+using embedding_internal::DeltaStore;
 using embedding_internal::GaussianInit;
 using embedding_internal::Triple;
 
@@ -58,14 +57,11 @@ class RescalModel : public EmbeddingModel {
     auto hv = EntityVector(h);
     auto tv = EntityVector(t);
     auto m = PredicateVector(r);
+    // h^T M t as batched row dots: acc_i h[i] * (row_i . t).
     double acc = 0.0;
     for (size_t i = 0; i < dim_; ++i) {
-      double row = 0.0;
-      const float* mrow = m.data() + i * dim_;
-      for (size_t j = 0; j < dim_; ++j) {
-        row += static_cast<double>(mrow[j]) * tv[j];
-      }
-      acc += static_cast<double>(hv[i]) * row;
+      acc += static_cast<double>(hv[i]) *
+             Dot(m.subspan(i * dim_, dim_), tv);
     }
     return acc;
   }
@@ -86,86 +82,117 @@ class RescalModel : public EmbeddingModel {
   std::vector<float> matrices_;
 };
 
-// One SGD step; sign = +1 raises the triple's score, -1 lowers it.
-void SgdStep(RescalModel& m, const Triple& t, double lr, double sign) {
-  const size_t dim = m.entity_dim();
-  auto h = m.Entity(t.head);
-  auto tt = m.Entity(t.tail);
-  auto mat = m.Matrix(t.relation);
+struct RescalPolicy {
+  using Model = RescalModel;
+  static constexpr size_t kEntities = 0;
+  /// Matrix rows are addressed as delta row p * dim + i so a shard only
+  /// accumulates the d-float rows its triples actually touch.
+  static constexpr size_t kMatrixRows = 1;
 
-  // Cache M t and M^T h before mutating.
-  std::vector<double> mt(dim, 0.0), mth(dim, 0.0);
-  for (size_t i = 0; i < dim; ++i) {
-    const float* row = mat.data() + i * dim;
-    for (size_t j = 0; j < dim; ++j) {
-      mt[i] += static_cast<double>(row[j]) * tt[j];
-      mth[j] += static_cast<double>(row[j]) * h[i];
+  struct Ref {
+    std::span<float> h, t, mat;
+  };
+  struct Scratch {
+    explicit Scratch(size_t dim) : mt(dim), mth(dim) {}
+    std::vector<double> mt;   // M t
+    std::vector<double> mth;  // M^T h
+  };
+
+  static std::unique_ptr<Model> Init(const KnowledgeGraph& graph,
+                                     const EmbeddingTrainConfig& config,
+                                     Rng& rng) {
+    auto model = std::make_unique<RescalModel>(
+        graph.NumNodes(), graph.NumPredicates(), config.dim);
+    GaussianInit(model->entities(), config.dim, rng);
+    GaussianInit(model->matrices(), config.dim, rng);
+    return model;
+  }
+
+  static std::span<float> EntityRow(Model& m, NodeId u) {
+    return m.Entity(u);
+  }
+
+  static Ref Bind(Model& m, const Triple& t) {
+    return {m.Entity(t.head), m.Entity(t.tail), m.Matrix(t.relation)};
+  }
+
+  /// RESCAL scores by plausibility, so the margin-ranking distance is the
+  /// negated bilinear form.
+  static double Distance(const Ref& ref) {
+    const size_t dim = ref.h.size();
+    double acc = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      acc += static_cast<double>(ref.h[i]) *
+             Dot(std::span<const float>(ref.mat).subspan(i * dim, dim),
+                 ref.t);
+    }
+    return -acc;
+  }
+
+  static double DistancePos(const Ref& ref, Scratch&) {
+    return Distance(ref);
+  }
+
+  static void StepPair(const Ref& pos, const Ref& neg, double lr,
+                       Scratch& scratch) {
+    Step(pos, lr, scratch);
+    Step(neg, -lr, scratch);
+  }
+
+  static void Step(const Ref& ref, double lr_signed, Scratch& scratch) {
+    const size_t dim = ref.h.size();
+    // Gradient ascent on the score: dS/dM = h t^T, dS/dh = M t,
+    // dS/dt = M^T h; cache the products before mutating. The driver's
+    // +lr/-lr convention (distance descent) is exactly the legacy
+    // step = lr * sign with score ascent.
+    MatVecRows(ref.mat, ref.t, scratch.mt);
+    MatTVecRows(ref.mat, ref.h, scratch.mth);
+    const double s = lr_signed;
+    for (size_t i = 0; i < dim; ++i) {
+      AddScaled(ref.mat.subspan(i * dim, dim), ref.t, s * ref.h[i]);
+    }
+    for (size_t i = 0; i < dim; ++i) {
+      ref.h[i] += static_cast<float>(s * scratch.mt[i]);
+      ref.t[i] += static_cast<float>(s * scratch.mth[i]);
     }
   }
 
-  const double step = lr * sign;
-  for (size_t i = 0; i < dim; ++i) {
-    float* row = mat.data() + i * dim;
-    for (size_t j = 0; j < dim; ++j) {
-      row[j] += static_cast<float>(step * h[i] * tt[j]);  // dS/dM = h t^T
+  static void RegisterDeltaArrays(Model& m, DeltaStore& store) {
+    store.RegisterArray(m.entities().data(), m.entity_dim(),
+                        m.num_entities());
+    store.RegisterArray(m.matrices().data(), m.entity_dim(),
+                        m.num_predicates() * m.entity_dim());
+  }
+
+  static void StepDelta(const Ref& ref, const Triple& t, double lr_signed,
+                        DeltaStore& store, Scratch& scratch) {
+    const size_t dim = ref.h.size();
+    MatVecRows(ref.mat, ref.t, scratch.mt);
+    MatTVecRows(ref.mat, ref.h, scratch.mth);
+    const double s = lr_signed;
+    for (size_t i = 0; i < dim; ++i) {
+      auto drow = store.Row(kMatrixRows,
+                            static_cast<size_t>(t.relation) * dim + i);
+      const double sh = s * ref.h[i];
+      for (size_t j = 0; j < dim; ++j) drow[j] += sh * ref.t[j];
+    }
+    auto dh = store.Row(kEntities, t.head);
+    auto dt = store.Row(kEntities, t.tail);
+    for (size_t i = 0; i < dim; ++i) {
+      dh[i] += s * scratch.mt[i];
+      dt[i] += s * scratch.mth[i];
     }
   }
-  for (size_t i = 0; i < dim; ++i) {
-    h[i] += static_cast<float>(step * mt[i]);    // dS/dh = M t
-    tt[i] += static_cast<float>(step * mth[i]);  // dS/dt = M^T h
-  }
-}
+
+  static void PostBatchApply(Model&, const std::vector<DeltaStore>&) {}
+};
 
 }  // namespace
 
 Result<std::unique_ptr<EmbeddingModel>> TrainRescal(
     const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
     EmbeddingTrainStats* stats) {
-  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
-  auto triples = ExtractTriples(g);
-  if (triples.empty()) {
-    return Status::FailedPrecondition("graph has no edges to train on");
-  }
-
-  WallTimer timer;
-  Rng rng(config.seed);
-  auto model = std::make_unique<RescalModel>(g.NumNodes(), g.NumPredicates(),
-                                             config.dim);
-  GaussianInit(model->entities(), config.dim, rng);
-  GaussianInit(model->matrices(), config.dim, rng);
-
-  double avg_loss = 0.0;
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    for (NodeId u = 0; u < g.NumNodes(); ++u) {
-      NormalizeInPlace(model->Entity(u));
-    }
-    Shuffle(triples, rng);
-    double epoch_loss = 0.0;
-    size_t updates = 0;
-    for (const Triple& pos : triples) {
-      for (size_t k = 0; k < config.negatives_per_positive; ++k) {
-        Triple neg = CorruptTriple(pos, g.NumNodes(), rng);
-        const double sp = model->ScoreTriple(pos.head, pos.relation, pos.tail);
-        const double sn = model->ScoreTriple(neg.head, neg.relation, neg.tail);
-        const double loss = config.margin - sp + sn;
-        if (loss > 0.0) {
-          epoch_loss += loss;
-          ++updates;
-          SgdStep(*model, pos, config.learning_rate, +1.0);
-          SgdStep(*model, neg, config.learning_rate, -1.0);
-        }
-      }
-    }
-    avg_loss = updates == 0 ? 0.0 : epoch_loss / static_cast<double>(updates);
-  }
-
-  if (stats != nullptr) {
-    stats->final_avg_loss = avg_loss;
-    stats->train_seconds = timer.ElapsedSeconds();
-    stats->num_triples = triples.size();
-    stats->memory_bytes = model->MemoryBytes();
-  }
-  return std::unique_ptr<EmbeddingModel>(std::move(model));
+  return embedding_internal::TrainWithDriver<RescalPolicy>(g, config, stats);
 }
 
 }  // namespace kgaq

@@ -1,9 +1,9 @@
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
-#include "common/timer.h"
 #include "embedding/embedding_model.h"
 #include "embedding/trainer.h"
 #include "embedding/trainer_internal.h"
@@ -13,8 +13,7 @@ namespace kgaq {
 
 namespace {
 
-using embedding_internal::CorruptTriple;
-using embedding_internal::ExtractTriples;
+using embedding_internal::DeltaStore;
 using embedding_internal::GaussianInit;
 using embedding_internal::Triple;
 
@@ -64,15 +63,11 @@ class SeModel : public EmbeddingModel {
     auto tv = EntityVector(t);
     auto m1 = Matrix(r, 0);
     auto m2 = Matrix(r, 1);
+    // ||M1 h - M2 t||^2 as batched row dots.
     double acc = 0.0;
     for (size_t i = 0; i < dim_; ++i) {
-      double a = 0.0, b = 0.0;
-      const float* r1 = m1.data() + i * dim_;
-      const float* r2 = m2.data() + i * dim_;
-      for (size_t j = 0; j < dim_; ++j) {
-        a += static_cast<double>(r1[j]) * hv[j];
-        b += static_cast<double>(r2[j]) * tv[j];
-      }
+      const double a = Dot(m1.subspan(i * dim_, dim_), hv);
+      const double b = Dot(m2.subspan(i * dim_, dim_), tv);
       const double d = a - b;
       acc += d * d;
     }
@@ -95,105 +90,147 @@ class SeModel : public EmbeddingModel {
   std::vector<float> matrices_;
 };
 
-double Distance(const SeModel& m, const Triple& t) {
-  return -m.ScoreTriple(t.head, t.relation, t.tail);
-}
+struct SePolicy {
+  using Model = SeModel;
+  static constexpr size_t kEntities = 0;
+  /// Delta row (p * 2 + which) * dim + i addresses row i of relation p's
+  /// head (which=0) / tail (which=1) matrix.
+  static constexpr size_t kMatrixRows = 1;
 
-void SgdStep(SeModel& m, const Triple& t, double lr, double sign) {
-  const size_t dim = m.entity_dim();
-  auto h = m.Entity(t.head);
-  auto tt = m.Entity(t.tail);
-  auto m1 = m.Matrix(t.relation, 0);
-  auto m2 = m.Matrix(t.relation, 1);
+  struct Ref {
+    std::span<float> h, t, m1, m2;
+  };
+  struct Scratch {
+    explicit Scratch(size_t dim) : g(dim), m1tg(dim), m2tg(dim) {}
+    std::vector<double> g;     // 2 (M1 h - M2 t)
+    std::vector<double> m1tg;  // M1^T g
+    std::vector<double> m2tg;  // M2^T g
+  };
 
-  // g = 2 (M1 h - M2 t).
-  std::vector<double> g(dim, 0.0);
-  for (size_t i = 0; i < dim; ++i) {
-    double a = 0.0, b = 0.0;
-    const float* r1 = m1.data() + i * dim;
-    const float* r2 = m2.data() + i * dim;
-    for (size_t j = 0; j < dim; ++j) {
-      a += static_cast<double>(r1[j]) * h[j];
-      b += static_cast<double>(r2[j]) * tt[j];
+  static std::unique_ptr<Model> Init(const KnowledgeGraph& graph,
+                                     const EmbeddingTrainConfig& config,
+                                     Rng& rng) {
+    auto model = std::make_unique<SeModel>(graph.NumNodes(),
+                                           graph.NumPredicates(), config.dim);
+    GaussianInit(model->entities(), config.dim, rng);
+    GaussianInit(model->matrices(), config.dim, rng);
+    return model;
+  }
+
+  static std::span<float> EntityRow(Model& m, NodeId u) {
+    return m.Entity(u);
+  }
+
+  static Ref Bind(Model& m, const Triple& t) {
+    return {m.Entity(t.head), m.Entity(t.tail), m.Matrix(t.relation, 0),
+            m.Matrix(t.relation, 1)};
+  }
+
+  static double Distance(const Ref& ref) {
+    const size_t dim = ref.h.size();
+    double acc = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      const double a =
+          Dot(std::span<const float>(ref.m1).subspan(i * dim, dim), ref.h);
+      const double b =
+          Dot(std::span<const float>(ref.m2).subspan(i * dim, dim), ref.t);
+      const double d = a - b;
+      acc += d * d;
     }
-    g[i] = 2.0 * (a - b);
+    return acc;
   }
 
-  // Cache M1^T g and M2^T g before mutating the matrices.
-  std::vector<double> m1tg(dim, 0.0), m2tg(dim, 0.0);
-  for (size_t i = 0; i < dim; ++i) {
-    const float* r1 = m1.data() + i * dim;
-    const float* r2 = m2.data() + i * dim;
+  // g = 2 (M1 h - M2 t); m1tg = M1^T g, m2tg = M2^T g, all cached before
+  // any parameter mutates.
+  static void Gradient(const Ref& ref, Scratch& scratch) {
+    const size_t dim = ref.h.size();
+    for (size_t i = 0; i < dim; ++i) {
+      const double a =
+          Dot(std::span<const float>(ref.m1).subspan(i * dim, dim), ref.h);
+      const double b =
+          Dot(std::span<const float>(ref.m2).subspan(i * dim, dim), ref.t);
+      scratch.g[i] = 2.0 * (a - b);
+    }
     for (size_t j = 0; j < dim; ++j) {
-      m1tg[j] += static_cast<double>(r1[j]) * g[i];
-      m2tg[j] += static_cast<double>(r2[j]) * g[i];
+      scratch.m1tg[j] = 0.0;
+      scratch.m2tg[j] = 0.0;
+    }
+    for (size_t i = 0; i < dim; ++i) {
+      const float* r1 = ref.m1.data() + i * dim;
+      const float* r2 = ref.m2.data() + i * dim;
+      const double gi = scratch.g[i];
+      for (size_t j = 0; j < dim; ++j) {
+        scratch.m1tg[j] += gi * r1[j];
+        scratch.m2tg[j] += gi * r2[j];
+      }
     }
   }
 
-  const double step = lr * sign;
-  for (size_t i = 0; i < dim; ++i) {
-    float* r1 = m1.data() + i * dim;
-    float* r2 = m2.data() + i * dim;
+  static double DistancePos(const Ref& ref, Scratch&) {
+    return Distance(ref);
+  }
+
+  static void StepPair(const Ref& pos, const Ref& neg, double lr,
+                       Scratch& scratch) {
+    Step(pos, lr, scratch);
+    Step(neg, -lr, scratch);
+  }
+
+  static void Step(const Ref& ref, double lr_signed, Scratch& scratch) {
+    Gradient(ref, scratch);
+    const size_t dim = ref.h.size();
+    const double s = lr_signed;
+    for (size_t i = 0; i < dim; ++i) {
+      // d/dM1 = g h^T (descent), d/dM2 = -g t^T.
+      AddScaled(ref.m1.subspan(i * dim, dim), ref.h, -(s * scratch.g[i]));
+      AddScaled(ref.m2.subspan(i * dim, dim), ref.t, s * scratch.g[i]);
+    }
     for (size_t j = 0; j < dim; ++j) {
-      r1[j] -= static_cast<float>(step * g[i] * h[j]);   // d/dM1 = g h^T
-      r2[j] += static_cast<float>(step * g[i] * tt[j]);  // d/dM2 = -g t^T
+      ref.h[j] -= static_cast<float>(s * scratch.m1tg[j]);
+      ref.t[j] += static_cast<float>(s * scratch.m2tg[j]);
     }
   }
-  for (size_t j = 0; j < dim; ++j) {
-    h[j] -= static_cast<float>(step * m1tg[j]);   // d/dh = M1^T g
-    tt[j] += static_cast<float>(step * m2tg[j]);  // d/dt = -M2^T g
+
+  static void RegisterDeltaArrays(Model& m, DeltaStore& store) {
+    store.RegisterArray(m.entities().data(), m.entity_dim(),
+                        m.num_entities());
+    store.RegisterArray(m.matrices().data(), m.entity_dim(),
+                        m.num_predicates() * 2 * m.entity_dim());
   }
-}
+
+  static void StepDelta(const Ref& ref, const Triple& t, double lr_signed,
+                        DeltaStore& store, Scratch& scratch) {
+    Gradient(ref, scratch);
+    const size_t dim = ref.h.size();
+    const double s = lr_signed;
+    const size_t base1 = static_cast<size_t>(t.relation) * 2 * dim;
+    const size_t base2 = base1 + dim;
+    for (size_t i = 0; i < dim; ++i) {
+      auto d1 = store.Row(kMatrixRows, base1 + i);
+      auto d2 = store.Row(kMatrixRows, base2 + i);
+      const double sg = s * scratch.g[i];
+      for (size_t j = 0; j < dim; ++j) {
+        d1[j] -= sg * ref.h[j];
+        d2[j] += sg * ref.t[j];
+      }
+    }
+    auto dh = store.Row(kEntities, t.head);
+    auto dt = store.Row(kEntities, t.tail);
+    for (size_t j = 0; j < dim; ++j) {
+      dh[j] -= s * scratch.m1tg[j];
+      dt[j] += s * scratch.m2tg[j];
+    }
+  }
+
+  static void PostBatchApply(Model&, const std::vector<DeltaStore>&) {}
+};
 
 }  // namespace
 
 Result<std::unique_ptr<EmbeddingModel>> TrainSe(
     const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
     EmbeddingTrainStats* stats) {
-  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
-  auto triples = ExtractTriples(g);
-  if (triples.empty()) {
-    return Status::FailedPrecondition("graph has no edges to train on");
-  }
-
-  WallTimer timer;
-  Rng rng(config.seed);
-  auto model =
-      std::make_unique<SeModel>(g.NumNodes(), g.NumPredicates(), config.dim);
-  GaussianInit(model->entities(), config.dim, rng);
-  GaussianInit(model->matrices(), config.dim, rng);
-
-  double avg_loss = 0.0;
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    for (NodeId u = 0; u < g.NumNodes(); ++u) {
-      NormalizeInPlace(model->Entity(u));
-    }
-    Shuffle(triples, rng);
-    double epoch_loss = 0.0;
-    size_t updates = 0;
-    for (const Triple& pos : triples) {
-      for (size_t k = 0; k < config.negatives_per_positive; ++k) {
-        Triple neg = CorruptTriple(pos, g.NumNodes(), rng);
-        const double loss =
-            config.margin + Distance(*model, pos) - Distance(*model, neg);
-        if (loss > 0.0) {
-          epoch_loss += loss;
-          ++updates;
-          SgdStep(*model, pos, config.learning_rate, +1.0);
-          SgdStep(*model, neg, config.learning_rate, -1.0);
-        }
-      }
-    }
-    avg_loss = updates == 0 ? 0.0 : epoch_loss / static_cast<double>(updates);
-  }
-
-  if (stats != nullptr) {
-    stats->final_avg_loss = avg_loss;
-    stats->train_seconds = timer.ElapsedSeconds();
-    stats->num_triples = triples.size();
-    stats->memory_bytes = model->MemoryBytes();
-  }
-  return std::unique_ptr<EmbeddingModel>(std::move(model));
+  return embedding_internal::TrainWithDriver<SePolicy>(g, config, stats);
 }
 
 Result<std::unique_ptr<EmbeddingModel>> TrainModelByName(

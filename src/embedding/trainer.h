@@ -11,6 +11,50 @@
 
 namespace kgaq {
 
+class ThreadPool;
+
+/// How the shared epoch harness schedules SGD updates across the pool
+/// (see docs/embedding_training.md for the determinism contract).
+enum class TrainMode {
+  /// Mini-batch gradient descent: each shuffled mini-batch is split into a
+  /// config-fixed number of shards, every shard accumulates gradient
+  /// deltas against the batch-start parameter snapshot into preallocated
+  /// scratch, and deltas apply in shard order. Bitwise-reproducible at any
+  /// thread count. batch_size == 1 degenerates to the classic sequential
+  /// recipe of Bordes et al.: the same update arithmetic bit for bit, with
+  /// only the distance accumulation lane-reordered (so a hinge decision an
+  /// ulp from zero could in principle flip) — golden-tested against the
+  /// pre-refactor trainer.
+  kDeterministic,
+  /// Hogwild! (Recht et al., NIPS'11): workers update the shared
+  /// parameters in place, lock-free, each from a forked Rng. Fastest on
+  /// real cores, but the final embedding depends on thread interleaving —
+  /// statistically validated only, never bitwise-reproducible.
+  kHogwild,
+};
+
+/// Mini-batch scheduling knobs for the shared training engine.
+struct MiniBatchOptions {
+  /// Positive triples per mini-batch. 1 (the default) is classic
+  /// sequential SGD — every update sees all previous ones, the legacy
+  /// recipe; larger values trade per-update freshness for sharded
+  /// parallel gradient accumulation.
+  size_t batch_size = 1;
+  TrainMode mode = TrainMode::kDeterministic;
+  /// Minimum (positive, negative) pairs a unit of work needs before it is
+  /// fanned over the pool: a deterministic mini-batch below this runs on
+  /// the submitting thread, and a hogwild epoch below this stays serial —
+  /// fork-join overhead dominates under it.
+  size_t min_parallel_triples = 4096;
+  /// Shards per mini-batch in deterministic mode. Fixed by config, never
+  /// derived from the pool width, so results are bitwise-stable on any
+  /// thread count. 0 = auto (8, capped by the batch's pair count).
+  size_t shards = 0;
+  /// Pool override, mainly for thread-count parity tests; nullptr uses
+  /// the process-wide GlobalPool().
+  ThreadPool* pool = nullptr;
+};
+
 /// Hyper-parameters shared by all embedding trainers.
 ///
 /// Defaults are scaled to the synthetic datasets (d=32 vs the paper's
@@ -25,6 +69,7 @@ struct EmbeddingTrainConfig {
   /// Negative triples sampled per positive per epoch.
   size_t negatives_per_positive = 1;
   uint64_t seed = 42;
+  MiniBatchOptions minibatch;
 };
 
 /// Training telemetry reported by the trainers (Table XIII columns).
@@ -33,6 +78,12 @@ struct EmbeddingTrainStats {
   double train_seconds = 0.0;
   size_t num_triples = 0;
   size_t memory_bytes = 0;
+  /// (positive, negative) pairs processed per wall-clock second across the
+  /// whole run: epochs * num_triples * negatives_per_positive / seconds.
+  double triples_per_second = 0.0;
+  /// Worker threads the epoch loop actually fanned out over (1 when the
+  /// run stayed serial).
+  size_t threads_used = 1;
 };
 
 /// Trains a TransE model (Bordes et al., NIPS'13): h + r ~ t.

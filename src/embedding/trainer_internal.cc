@@ -34,4 +34,48 @@ void GaussianInit(std::vector<float>& data, size_t dim, Rng& rng) {
   }
 }
 
+size_t DeltaStore::RegisterArray(float* base, size_t row_dim,
+                                 size_t num_rows) {
+  arrays_.push_back(
+      ArrayInfo{base, row_dim, std::vector<uint32_t>(num_rows, kNoSlot)});
+  return arrays_.size() - 1;
+}
+
+std::span<double> DeltaStore::Row(size_t array, size_t row) {
+  ArrayInfo& info = arrays_[array];
+  uint32_t& slot_id = info.slot_of_row[row];
+  if (slot_id == kNoSlot) {
+    slot_id = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(Slot{array, row, std::vector<double>(info.row_dim, 0.0),
+                          /*active=*/false});
+  }
+  Slot& slot = slots_[slot_id];
+  if (!slot.active) {
+    slot.active = true;
+    active_.push_back(slot_id);
+  }
+  return slot.delta;
+}
+
+void DeltaStore::Apply() {
+  for (size_t idx : active_) {
+    Slot& slot = slots_[idx];
+    const ArrayInfo& info = arrays_[slot.array];
+    float* out = info.base + slot.row * info.row_dim;
+    for (size_t i = 0; i < info.row_dim; ++i) {
+      out[i] = static_cast<float>(static_cast<double>(out[i]) +
+                                  slot.delta[i]);
+    }
+  }
+}
+
+void DeltaStore::Clear() {
+  for (size_t idx : active_) {
+    Slot& slot = slots_[idx];
+    for (double& d : slot.delta) d = 0.0;
+    slot.active = false;
+  }
+  active_.clear();
+}
+
 }  // namespace kgaq::embedding_internal

@@ -1,9 +1,21 @@
 #ifndef KGAQ_EMBEDDING_TRAINER_INTERNAL_H_
 #define KGAQ_EMBEDDING_TRAINER_INTERNAL_H_
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "embedding/embedding_model.h"
+#include "embedding/trainer.h"
+#include "embedding/vector_ops.h"
 #include "kg/knowledge_graph.h"
 #include "kg/types.h"
 
@@ -24,6 +36,396 @@ Triple CorruptTriple(const Triple& t, size_t num_entities, Rng& rng);
 
 /// Fills `data` with N(0, 1/sqrt(dim)) noise.
 void GaussianInit(std::vector<float>& data, size_t dim, Rng& rng);
+
+/// Sparse per-shard gradient accumulator for deterministic mini-batch
+/// training.
+///
+/// A shard computes its pairs' gradients against the batch-start parameter
+/// snapshot and accumulates them here (double precision, keyed by
+/// (array, row)); after the fork-join the driver folds each shard's rows
+/// back into the float parameters in shard order, then row-touch order —
+/// both orders are fixed by the batch content, never by thread count, which
+/// is what makes deterministic mode bitwise-reproducible on any pool.
+///
+/// Row storage is persistent across batches (entity rows recur constantly);
+/// Clear() re-zeroes only the rows the last batch touched. Spans returned
+/// by Row() stay valid until Clear(): slot vectors may be relocated as new
+/// rows register, but each row's heap buffer is stable.
+///
+/// Memory bound: slots are never freed, so over a long run each shard's
+/// store converges toward a double-precision copy of every parameter row
+/// its pairs ever touch — worst case num_shards * 2x the float model size.
+/// Fine for the entity/relation tables trained here; for very large
+/// matrix-relation models prefer fewer shards (or hogwild mode, which
+/// needs no delta storage).
+class DeltaStore {
+ public:
+  /// Registers a parameter array (row-major, `num_rows` rows of `row_dim`
+  /// floats). Returns the array id used by Row(). Call once per array, in
+  /// a fixed order shared by every shard's store. The flat row->slot index
+  /// is preallocated here so the hot Row() lookup is a single array load.
+  size_t RegisterArray(float* base, size_t row_dim, size_t num_rows);
+
+  /// The accumulation buffer for `row` of `array`, zeroed on first touch
+  /// per batch. Touch order defines the apply order within this store.
+  std::span<double> Row(size_t array, size_t row);
+
+  /// Folds every touched row into its float array (double add, then
+  /// truncate per element — one rounding per batch instead of one per
+  /// pair). Touched-row bookkeeping survives until Clear() so
+  /// PostBatchApply hooks can see what the batch updated.
+  void Apply();
+
+  /// Zeroes the touched rows' buffers and forgets the touch list, readying
+  /// the store for the next batch.
+  void Clear();
+
+  /// Invokes fn(array, row) for every row the current batch touched, in
+  /// touch order.
+  template <typename Fn>
+  void ForEachActive(Fn&& fn) const {
+    for (size_t idx : active_) {
+      fn(slots_[idx].array, slots_[idx].row);
+    }
+  }
+
+  /// Touched rows in the current batch (test / introspection hook).
+  size_t ActiveRows() const { return active_.size(); }
+
+ private:
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
+  struct ArrayInfo {
+    float* base;
+    size_t row_dim;
+    std::vector<uint32_t> slot_of_row;
+  };
+  struct Slot {
+    size_t array;
+    size_t row;
+    std::vector<double> delta;
+    bool active = false;
+  };
+
+  std::vector<ArrayInfo> arrays_;
+  std::vector<Slot> slots_;
+  std::vector<size_t> active_;  // touch order of the current batch
+};
+
+/// One (positive, negative) hinge pair; negatives are pre-drawn serially
+/// from the epoch Rng so the stream never depends on scheduling.
+struct TrainPair {
+  Triple pos;
+  Triple neg;
+};
+
+// ---------------------------------------------------------------------------
+// The shared epoch harness. Each model family plugs in as a Policy:
+//
+//   struct Policy {
+//     using Model = ...;                       // concrete EmbeddingModel
+//     struct Ref { std::span<float> ...; };    // one triple's param rows
+//     struct Scratch { explicit Scratch(size_t dim); ... };
+//     static std::unique_ptr<Model> Init(g, config, rng);
+//     static std::span<float> EntityRow(Model&, NodeId);
+//     static Ref Bind(Model&, const Triple&);  // row lookups, hoistable
+//     static double Distance(const Ref&);      // margin-ranking distance
+//     static double DistancePos(const Ref&, Scratch&);
+//         // like Distance, but may cache per-pair state (e.g. the TransE
+//         // residual) that StepPair reuses for the positive's update
+//     static void StepPair(const Ref& pos, const Ref& neg, double lr,
+//                          Scratch&);
+//         // the hinge-active update: +lr on pos (rows still exactly as
+//         // DistancePos saw them), then -lr on neg recomputed from the
+//         // post-positive rows — the legacy sequential order
+//     static void RegisterDeltaArrays(Model&, DeltaStore&);
+//     static void StepDelta(const Ref&, const Triple&, double lr_signed,
+//                           DeltaStore&, Scratch&);
+//     static void PostBatchApply(Model&, const std::vector<DeltaStore>&);
+//         // after the batch's deltas fold in, before the stores clear;
+//         // the stores still enumerate the touched rows (e.g. TransH
+//         // renormalizes exactly the updated hyperplane normals)
+//   };
+//
+// StepDelta receives the signed learning rate (+lr tightens the positive,
+// -lr loosens the negative), matching the legacy lr * sign product bit for
+// bit. Distance and Bind only ever read the model; StepDelta reads the
+// (frozen) model rows via Ref and writes the store.
+// ---------------------------------------------------------------------------
+
+/// Per-epoch entity renormalization (the Bordes et al. norm-growth guard),
+/// fanned over the pool in fixed blocks. Each row only depends on itself,
+/// so the partition cannot change any float: serial == parallel bitwise.
+template <typename Policy>
+void RenormalizeEntities(typename Policy::Model& model, size_t num_entities,
+                         ThreadPool& pool, bool parallel) {
+  constexpr size_t kBlock = 1024;
+  if (!parallel || num_entities < 2 * kBlock) {
+    for (NodeId u = 0; u < num_entities; ++u) {
+      NormalizeInPlace(Policy::EntityRow(model, u));
+    }
+    return;
+  }
+  const size_t num_blocks = (num_entities + kBlock - 1) / kBlock;
+  ParallelFor(pool, num_blocks, [&](size_t b) {
+    const size_t lo = b * kBlock;
+    const size_t hi = std::min(lo + kBlock, num_entities);
+    for (size_t u = lo; u < hi; ++u) {
+      NormalizeInPlace(Policy::EntityRow(model, static_cast<NodeId>(u)));
+    }
+  });
+}
+
+/// The classic sequential recipe (batch_size == 1): every update is visible
+/// to the next distance computation, exactly the loop the five trainers
+/// used to duplicate — golden-tested against the pre-refactor TransE.
+/// The positive's rows are bound once per positive (they used to be
+/// re-fetched for every negative).
+template <typename Policy>
+void SequentialEpoch(typename Policy::Model& model,
+                     const std::vector<Triple>& triples,
+                     const EmbeddingTrainConfig& config, size_t num_entities,
+                     Rng& rng, typename Policy::Scratch& scratch,
+                     double& epoch_loss, size_t& updates) {
+  for (const Triple& pos : triples) {
+    const typename Policy::Ref pos_ref = Policy::Bind(model, pos);
+    for (size_t k = 0; k < config.negatives_per_positive; ++k) {
+      const Triple neg = CorruptTriple(pos, num_entities, rng);
+      const typename Policy::Ref neg_ref = Policy::Bind(model, neg);
+      const double dp = Policy::DistancePos(pos_ref, scratch);
+      const double dn = Policy::Distance(neg_ref);
+      const double loss = config.margin + dp - dn;
+      if (loss > 0.0) {
+        epoch_loss += loss;
+        ++updates;
+        Policy::StepPair(pos_ref, neg_ref, config.learning_rate, scratch);
+      }
+    }
+  }
+}
+
+/// Deterministic mini-batch epoch: negatives for the batch are pre-drawn
+/// serially, the pair list is split into stores.size() contiguous shards
+/// (a config constant), each shard accumulates hinge gradients against the
+/// batch-start snapshot, and the driver applies the stores in shard order.
+template <typename Policy>
+void BatchedEpoch(typename Policy::Model& model,
+                  const std::vector<Triple>& triples,
+                  const EmbeddingTrainConfig& config, size_t num_entities,
+                  ThreadPool& pool, bool fork, Rng& rng,
+                  std::vector<DeltaStore>& stores,
+                  std::vector<typename Policy::Scratch>& scratches,
+                  std::vector<TrainPair>& pairs, double& epoch_loss,
+                  size_t& updates) {
+  const size_t batch = std::max<size_t>(1, config.minibatch.batch_size);
+  const size_t num_shards = stores.size();
+  std::vector<double> shard_loss(num_shards);
+  std::vector<size_t> shard_updates(num_shards);
+  for (size_t start = 0; start < triples.size(); start += batch) {
+    const size_t end = std::min(start + batch, triples.size());
+    pairs.clear();
+    for (size_t i = start; i < end; ++i) {
+      for (size_t k = 0; k < config.negatives_per_positive; ++k) {
+        pairs.push_back(
+            {triples[i], CorruptTriple(triples[i], num_entities, rng)});
+      }
+    }
+    std::fill(shard_loss.begin(), shard_loss.end(), 0.0);
+    std::fill(shard_updates.begin(), shard_updates.end(), size_t{0});
+    auto run_shard = [&](size_t s) {
+      const size_t lo = pairs.size() * s / num_shards;
+      const size_t hi = pairs.size() * (s + 1) / num_shards;
+      DeltaStore& store = stores[s];
+      typename Policy::Scratch& scratch = scratches[s];
+      for (size_t p = lo; p < hi; ++p) {
+        const typename Policy::Ref pos_ref = Policy::Bind(model, pairs[p].pos);
+        const typename Policy::Ref neg_ref = Policy::Bind(model, pairs[p].neg);
+        const double dp = Policy::Distance(pos_ref);
+        const double dn = Policy::Distance(neg_ref);
+        const double loss = config.margin + dp - dn;
+        if (loss > 0.0) {
+          shard_loss[s] += loss;
+          ++shard_updates[s];
+          Policy::StepDelta(pos_ref, pairs[p].pos, config.learning_rate,
+                            store, scratch);
+          Policy::StepDelta(neg_ref, pairs[p].neg, -config.learning_rate,
+                            store, scratch);
+        }
+      }
+    };
+    if (fork && num_shards > 1) {
+      // Group the fixed shards into one strided task per worker: fewer
+      // queue round-trips per batch, and the grouping cannot change any
+      // result — each shard still writes only its own store and loss
+      // slot, and the apply below walks shards in index order regardless.
+      const size_t num_tasks = std::min(num_shards, pool.num_threads());
+      ParallelFor(pool, num_tasks, [&](size_t task) {
+        for (size_t s = task; s < num_shards; s += num_tasks) run_shard(s);
+      });
+    } else {
+      for (size_t s = 0; s < num_shards; ++s) run_shard(s);
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      stores[s].Apply();
+      epoch_loss += shard_loss[s];
+      updates += shard_updates[s];
+    }
+    // Post-apply fixups run while the stores still know which rows the
+    // batch touched (e.g. TransH renormalizes exactly the updated
+    // hyperplane normals), then the stores reset for the next batch.
+    Policy::PostBatchApply(model, stores);
+    for (size_t s = 0; s < num_shards; ++s) stores[s].Clear();
+  }
+}
+
+/// Hogwild! epoch: fixed contiguous chunks per worker, in-place lock-free
+/// updates, one forked Rng per worker (seeds are deterministic; the final
+/// floats are not — quality is gated statistically, not bitwise).
+template <typename Policy>
+void HogwildEpoch(typename Policy::Model& model,
+                  const std::vector<Triple>& triples,
+                  const EmbeddingTrainConfig& config, size_t num_entities,
+                  ThreadPool& pool, Rng& rng, double& epoch_loss,
+                  size_t& updates) {
+  const size_t workers =
+      std::min(pool.num_threads(), std::max<size_t>(1, triples.size()));
+  std::vector<Rng> rngs;
+  rngs.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) rngs.push_back(rng.Fork());
+  std::vector<double> worker_loss(workers, 0.0);
+  std::vector<size_t> worker_updates(workers, 0);
+  const size_t chunk = (triples.size() + workers - 1) / workers;
+  TaskGroup group(pool);
+  for (size_t w = 0; w < workers; ++w) {
+    group.Submit([&, w] {
+      typename Policy::Scratch scratch(config.dim);
+      Rng& wrng = rngs[w];
+      const size_t lo = w * chunk;
+      const size_t hi = std::min(lo + chunk, triples.size());
+      for (size_t i = lo; i < hi; ++i) {
+        const Triple& pos = triples[i];
+        const typename Policy::Ref pos_ref = Policy::Bind(model, pos);
+        for (size_t k = 0; k < config.negatives_per_positive; ++k) {
+          const Triple neg = CorruptTriple(pos, num_entities, wrng);
+          const typename Policy::Ref neg_ref = Policy::Bind(model, neg);
+          const double dp = Policy::DistancePos(pos_ref, scratch);
+          const double dn = Policy::Distance(neg_ref);
+          const double loss = config.margin + dp - dn;
+          if (loss > 0.0) {
+            worker_loss[w] += loss;
+            ++worker_updates[w];
+            Policy::StepPair(pos_ref, neg_ref, config.learning_rate,
+                             scratch);
+          }
+        }
+      }
+    });
+  }
+  group.Wait();
+  for (size_t w = 0; w < workers; ++w) {
+    epoch_loss += worker_loss[w];
+    updates += worker_updates[w];
+  }
+}
+
+/// The driver owning everything the five trainers used to duplicate:
+/// validation, triple extraction, init, per-epoch renormalization +
+/// shuffle + scheduling mode dispatch, loss accounting, and stats.
+template <typename Policy>
+Result<std::unique_ptr<EmbeddingModel>> TrainWithDriver(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats) {
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  auto triples = ExtractTriples(g);
+  if (triples.empty()) {
+    return Status::FailedPrecondition("graph has no edges to train on");
+  }
+
+  WallTimer timer;
+  Rng rng(config.seed);
+  std::unique_ptr<typename Policy::Model> model =
+      Policy::Init(g, config, rng);
+
+  const MiniBatchOptions& mb = config.minibatch;
+  ThreadPool& pool = mb.pool != nullptr ? *mb.pool : GlobalPool();
+  const size_t pairs_per_epoch =
+      triples.size() * config.negatives_per_positive;
+  const bool parallel = pairs_per_epoch >= mb.min_parallel_triples &&
+                        pool.num_threads() > 1;
+  const bool batched =
+      mb.mode == TrainMode::kDeterministic && mb.batch_size > 1;
+  const bool hogwild = mb.mode == TrainMode::kHogwild && parallel;
+  // A mini-batch forks only when it carries enough pairs to amortize the
+  // fork-join; the decision depends on config alone, so it cannot differ
+  // between machines with different pools.
+  const bool batched_forks =
+      batched && pool.num_threads() > 1 &&
+      mb.batch_size * config.negatives_per_positive >=
+          mb.min_parallel_triples;
+
+  // Per-shard state for deterministic batched mode, allocated once.
+  std::vector<DeltaStore> stores;
+  std::vector<typename Policy::Scratch> scratches;
+  std::vector<TrainPair> pairs;
+  if (batched) {
+    const size_t max_pairs =
+        std::max<size_t>(1, mb.batch_size * config.negatives_per_positive);
+    const size_t num_shards = std::max<size_t>(
+        1, std::min(mb.shards != 0 ? mb.shards : size_t{8}, max_pairs));
+    stores.resize(num_shards);
+    scratches.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      Policy::RegisterDeltaArrays(*model, stores[s]);
+      scratches.emplace_back(config.dim);
+    }
+    pairs.reserve(max_pairs);
+  }
+  typename Policy::Scratch sequential_scratch(config.dim);
+
+  double avg_loss = 0.0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Entity vectors are re-normalized each epoch (the Bordes et al. trick
+    // preventing trivial loss minimization by norm growth).
+    RenormalizeEntities<Policy>(*model, g.NumNodes(), pool, parallel);
+    Shuffle(triples, rng);
+    double epoch_loss = 0.0;
+    size_t updates = 0;
+    if (hogwild) {
+      HogwildEpoch<Policy>(*model, triples, config, g.NumNodes(), pool, rng,
+                           epoch_loss, updates);
+    } else if (batched) {
+      BatchedEpoch<Policy>(*model, triples, config, g.NumNodes(), pool,
+                           batched_forks, rng, stores, scratches, pairs,
+                           epoch_loss, updates);
+    } else {
+      SequentialEpoch<Policy>(*model, triples, config, g.NumNodes(), rng,
+                              sequential_scratch, epoch_loss, updates);
+    }
+    avg_loss = updates == 0 ? 0.0 : epoch_loss / static_cast<double>(updates);
+  }
+
+  if (stats != nullptr) {
+    stats->final_avg_loss = avg_loss;
+    stats->train_seconds = timer.ElapsedSeconds();
+    stats->num_triples = triples.size();
+    stats->memory_bytes = model->MemoryBytes();
+    const double pairs_total = static_cast<double>(config.epochs) *
+                               static_cast<double>(pairs_per_epoch);
+    stats->triples_per_second =
+        stats->train_seconds > 0.0 ? pairs_total / stats->train_seconds : 0.0;
+    // The fan-out actually used, not the pool width: hogwild runs one
+    // worker per chunk, batched mode one strided task per shard at most.
+    if (hogwild) {
+      stats->threads_used =
+          std::min(pool.num_threads(), std::max<size_t>(1, triples.size()));
+    } else if (batched_forks) {
+      stats->threads_used = std::min(stores.size(), pool.num_threads());
+    } else {
+      stats->threads_used = 1;
+    }
+  }
+  return std::unique_ptr<EmbeddingModel>(std::move(model));
+}
 
 }  // namespace kgaq::embedding_internal
 

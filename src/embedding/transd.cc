@@ -1,9 +1,9 @@
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
-#include "common/timer.h"
 #include "embedding/embedding_model.h"
 #include "embedding/trainer.h"
 #include "embedding/trainer_internal.h"
@@ -13,8 +13,7 @@ namespace kgaq {
 
 namespace {
 
-using embedding_internal::CorruptTriple;
-using embedding_internal::ExtractTriples;
+using embedding_internal::DeltaStore;
 using embedding_internal::GaussianInit;
 using embedding_internal::Triple;
 
@@ -106,97 +105,148 @@ class TransDModel : public EmbeddingModel {
   std::vector<float> relation_proj_;
 };
 
-double Distance(const TransDModel& m, const Triple& t) {
-  return -m.ScoreTriple(t.head, t.relation, t.tail);
-}
+struct TransDPolicy {
+  using Model = TransDModel;
+  static constexpr size_t kEntities = 0;
+  static constexpr size_t kEntityProj = 1;
+  static constexpr size_t kRelations = 2;
+  static constexpr size_t kRelationProj = 3;
 
-void SgdStep(TransDModel& m, const Triple& t, double lr, double sign) {
-  const size_t dim = m.entity_dim();
-  auto h = m.Entity(t.head);
-  auto tt = m.Entity(t.tail);
-  auto hp = m.EntityProj(t.head);
-  auto tp = m.EntityProj(t.tail);
-  auto r = m.Relation(t.relation);
-  auto rp = m.RelationProj(t.relation);
-  const double ch = Dot(std::span<const float>(hp), h);
-  const double ct = Dot(std::span<const float>(tp), tt);
+  struct Ref {
+    std::span<float> h, t, hp, tp, r, rp;
+  };
+  struct Scratch {
+    explicit Scratch(size_t dim) : g(dim) {}
+    std::vector<double> g;
+  };
 
-  std::vector<double> g(dim);
-  for (size_t i = 0; i < dim; ++i) {
-    const double hperp = h[i] + ch * rp[i];
-    const double tperp = tt[i] + ct * rp[i];
-    g[i] = 2.0 * (hperp + r[i] - tperp);
+  static std::unique_ptr<Model> Init(const KnowledgeGraph& graph,
+                                     const EmbeddingTrainConfig& config,
+                                     Rng& rng) {
+    auto model = std::make_unique<TransDModel>(
+        graph.NumNodes(), graph.NumPredicates(), config.dim);
+    GaussianInit(model->entities(), config.dim, rng);
+    GaussianInit(model->entity_proj(), config.dim, rng);
+    GaussianInit(model->relations(), config.dim, rng);
+    GaussianInit(model->relation_proj(), config.dim, rng);
+    return model;
   }
-  double grp = 0.0;  // g . r_p
-  for (size_t i = 0; i < dim; ++i) grp += g[i] * rp[i];
 
-  const double step = lr * sign;
-  for (size_t i = 0; i < dim; ++i) {
-    const double grad_h = g[i] + grp * hp[i];
-    const double grad_t = -(g[i] + grp * tp[i]);
-    const double grad_hp = grp * h[i];
-    const double grad_tp = -grp * tt[i];
-    const double grad_rp = ch * g[i] - ct * g[i];
-    h[i] -= static_cast<float>(step * grad_h);
-    tt[i] -= static_cast<float>(step * grad_t);
-    hp[i] -= static_cast<float>(step * grad_hp);
-    tp[i] -= static_cast<float>(step * grad_tp);
-    r[i] -= static_cast<float>(step * g[i]);
-    rp[i] -= static_cast<float>(step * grad_rp);
+  static std::span<float> EntityRow(Model& m, NodeId u) {
+    return m.Entity(u);
   }
-}
+
+  static Ref Bind(Model& m, const Triple& t) {
+    return {m.Entity(t.head),        m.Entity(t.tail),
+            m.EntityProj(t.head),    m.EntityProj(t.tail),
+            m.Relation(t.relation),  m.RelationProj(t.relation)};
+  }
+
+  static double Distance(const Ref& ref) {
+    const double ch = Dot(ref.hp, ref.h);
+    const double ct = Dot(ref.tp, ref.t);
+    const size_t dim = ref.h.size();
+    double acc = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      const double hperp = ref.h[i] + ch * ref.rp[i];
+      const double tperp = ref.t[i] + ct * ref.rp[i];
+      const double d = hperp + ref.r[i] - tperp;
+      acc += d * d;
+    }
+    return acc;
+  }
+
+  // g = 2 * (h_perp + r - t_perp); returns (g . r_p, c_h, c_t).
+  struct Grad {
+    double grp, ch, ct;
+  };
+  static Grad Gradient(const Ref& ref, Scratch& scratch) {
+    const size_t dim = ref.h.size();
+    const double ch = Dot(ref.hp, ref.h);
+    const double ct = Dot(ref.tp, ref.t);
+    for (size_t i = 0; i < dim; ++i) {
+      const double hperp = ref.h[i] + ch * ref.rp[i];
+      const double tperp = ref.t[i] + ct * ref.rp[i];
+      scratch.g[i] = 2.0 * (hperp + ref.r[i] - tperp);
+    }
+    double grp = 0.0;
+    for (size_t i = 0; i < dim; ++i) grp += scratch.g[i] * ref.rp[i];
+    return {grp, ch, ct};
+  }
+
+  static double DistancePos(const Ref& ref, Scratch&) {
+    return Distance(ref);
+  }
+
+  static void StepPair(const Ref& pos, const Ref& neg, double lr,
+                       Scratch& scratch) {
+    Step(pos, lr, scratch);
+    Step(neg, -lr, scratch);
+  }
+
+  static void Step(const Ref& ref, double lr_signed, Scratch& scratch) {
+    const Grad gr = Gradient(ref, scratch);
+    const size_t dim = ref.h.size();
+    for (size_t i = 0; i < dim; ++i) {
+      const double grad_h = scratch.g[i] + gr.grp * ref.hp[i];
+      const double grad_t = -(scratch.g[i] + gr.grp * ref.tp[i]);
+      const double grad_hp = gr.grp * ref.h[i];
+      const double grad_tp = -gr.grp * ref.t[i];
+      const double grad_rp = gr.ch * scratch.g[i] - gr.ct * scratch.g[i];
+      ref.h[i] -= static_cast<float>(lr_signed * grad_h);
+      ref.t[i] -= static_cast<float>(lr_signed * grad_t);
+      ref.hp[i] -= static_cast<float>(lr_signed * grad_hp);
+      ref.tp[i] -= static_cast<float>(lr_signed * grad_tp);
+      ref.r[i] -= static_cast<float>(lr_signed * scratch.g[i]);
+      ref.rp[i] -= static_cast<float>(lr_signed * grad_rp);
+    }
+  }
+
+  static void RegisterDeltaArrays(Model& m, DeltaStore& store) {
+    store.RegisterArray(m.entities().data(), m.entity_dim(),
+                        m.num_entities());
+    store.RegisterArray(m.entity_proj().data(), m.entity_dim(),
+                        m.num_entities());
+    store.RegisterArray(m.relations().data(), m.entity_dim(),
+                        m.num_predicates());
+    store.RegisterArray(m.relation_proj().data(), m.entity_dim(),
+                        m.num_predicates());
+  }
+
+  static void StepDelta(const Ref& ref, const Triple& t, double lr_signed,
+                        DeltaStore& store, Scratch& scratch) {
+    const Grad gr = Gradient(ref, scratch);
+    auto dh = store.Row(kEntities, t.head);
+    auto dt = store.Row(kEntities, t.tail);
+    auto dhp = store.Row(kEntityProj, t.head);
+    auto dtp = store.Row(kEntityProj, t.tail);
+    auto dr = store.Row(kRelations, t.relation);
+    auto drp = store.Row(kRelationProj, t.relation);
+    const size_t dim = ref.h.size();
+    for (size_t i = 0; i < dim; ++i) {
+      const double grad_h = scratch.g[i] + gr.grp * ref.hp[i];
+      const double grad_t = -(scratch.g[i] + gr.grp * ref.tp[i]);
+      const double grad_hp = gr.grp * ref.h[i];
+      const double grad_tp = -gr.grp * ref.t[i];
+      const double grad_rp = gr.ch * scratch.g[i] - gr.ct * scratch.g[i];
+      dh[i] -= lr_signed * grad_h;
+      dt[i] -= lr_signed * grad_t;
+      dhp[i] -= lr_signed * grad_hp;
+      dtp[i] -= lr_signed * grad_tp;
+      dr[i] -= lr_signed * scratch.g[i];
+      drp[i] -= lr_signed * grad_rp;
+    }
+  }
+
+  static void PostBatchApply(Model&, const std::vector<DeltaStore>&) {}
+};
 
 }  // namespace
 
 Result<std::unique_ptr<EmbeddingModel>> TrainTransD(
     const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
     EmbeddingTrainStats* stats) {
-  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
-  auto triples = ExtractTriples(g);
-  if (triples.empty()) {
-    return Status::FailedPrecondition("graph has no edges to train on");
-  }
-
-  WallTimer timer;
-  Rng rng(config.seed);
-  auto model = std::make_unique<TransDModel>(g.NumNodes(), g.NumPredicates(),
-                                             config.dim);
-  GaussianInit(model->entities(), config.dim, rng);
-  GaussianInit(model->entity_proj(), config.dim, rng);
-  GaussianInit(model->relations(), config.dim, rng);
-  GaussianInit(model->relation_proj(), config.dim, rng);
-
-  double avg_loss = 0.0;
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    for (NodeId u = 0; u < g.NumNodes(); ++u) {
-      NormalizeInPlace(model->Entity(u));
-    }
-    Shuffle(triples, rng);
-    double epoch_loss = 0.0;
-    size_t updates = 0;
-    for (const Triple& pos : triples) {
-      for (size_t k = 0; k < config.negatives_per_positive; ++k) {
-        Triple neg = CorruptTriple(pos, g.NumNodes(), rng);
-        const double loss =
-            config.margin + Distance(*model, pos) - Distance(*model, neg);
-        if (loss > 0.0) {
-          epoch_loss += loss;
-          ++updates;
-          SgdStep(*model, pos, config.learning_rate, +1.0);
-          SgdStep(*model, neg, config.learning_rate, -1.0);
-        }
-      }
-    }
-    avg_loss = updates == 0 ? 0.0 : epoch_loss / static_cast<double>(updates);
-  }
-
-  if (stats != nullptr) {
-    stats->final_avg_loss = avg_loss;
-    stats->train_seconds = timer.ElapsedSeconds();
-    stats->num_triples = triples.size();
-    stats->memory_bytes = model->MemoryBytes();
-  }
-  return std::unique_ptr<EmbeddingModel>(std::move(model));
+  return embedding_internal::TrainWithDriver<TransDPolicy>(g, config, stats);
 }
 
 }  // namespace kgaq

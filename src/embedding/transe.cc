@@ -1,8 +1,9 @@
 #include <cmath>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/random.h"
-#include "common/timer.h"
 #include "embedding/embedding_model.h"
 #include "embedding/trainer.h"
 #include "embedding/trainer_internal.h"
@@ -12,57 +13,35 @@ namespace kgaq {
 
 namespace {
 
-using embedding_internal::CorruptTriple;
-using embedding_internal::ExtractTriples;
+using embedding_internal::DeltaStore;
 using embedding_internal::Triple;
 
-// d(h, r, t) = ||h + r - t||^2, lower = more plausible.
-double TripleDistance(FixedEmbedding& m, const Triple& t) {
-  auto h = m.EntityVector(t.head);
-  auto r = m.PredicateVector(t.relation);
-  auto tt = m.EntityVector(t.tail);
-  double acc = 0.0;
-  for (size_t i = 0; i < h.size(); ++i) {
-    const double d = static_cast<double>(h[i]) + r[i] - tt[i];
-    acc += d * d;
-  }
-  return acc;
-}
+/// TransE (Bordes et al., NIPS'13): d(h, r, t) = ||h + r - t||^2 on a
+/// FixedEmbedding. The epoch loop lives in TrainWithDriver; this policy is
+/// only the init recipe and the distance / step kernels. The sequential
+/// path is golden-tested against the pre-refactor trainer, so Step must
+/// stay bitwise-equal to the legacy per-element recipe (SaxpyTriple is).
+struct TransEPolicy {
+  using Model = FixedEmbedding;
+  static constexpr size_t kEntities = 0;
+  static constexpr size_t kPredicates = 1;
 
-// Applies a single SGD step on (h, r, t) with sign: -1 pulls the triple
-// together (positive), +1 pushes it apart (negative).
-void SgdStep(FixedEmbedding& m, const Triple& t, double lr, double sign) {
-  auto h = m.MutableEntityVector(t.head);
-  auto r = m.MutablePredicateVector(t.relation);
-  auto tt = m.MutableEntityVector(t.tail);
-  const size_t d = h.size();
-  for (size_t i = 0; i < d; ++i) {
-    const double g = 2.0 * (static_cast<double>(h[i]) + r[i] - tt[i]);
-    const double step = lr * sign * g;
-    h[i] -= static_cast<float>(step);
-    r[i] -= static_cast<float>(step);
-    tt[i] += static_cast<float>(step);
-  }
-}
+  struct Ref {
+    std::span<float> h, r, t;
+  };
+  struct Scratch {
+    explicit Scratch(size_t dim) : resid(dim) {}
+    // Residual h + r - t cached by DistancePos, reused by StepPair for
+    // the positive's update (rows are unchanged in between).
+    std::vector<double> resid;
+  };
 
-}  // namespace
-
-Result<std::unique_ptr<EmbeddingModel>> TrainTransE(
-    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
-    EmbeddingTrainStats* stats) {
-  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
-  auto triples = ExtractTriples(g);
-  if (triples.empty()) {
-    return Status::FailedPrecondition("graph has no edges to train on");
-  }
-
-  WallTimer timer;
-  Rng rng(config.seed);
-  auto model = std::make_unique<FixedEmbedding>(
-      "TransE", g.NumNodes(), g.NumPredicates(), config.dim, config.dim);
-
-  // Uniform(-6/sqrt(d), 6/sqrt(d)) init per Bordes et al.
-  {
+  static std::unique_ptr<Model> Init(const KnowledgeGraph& g,
+                                     const EmbeddingTrainConfig& config,
+                                     Rng& rng) {
+    auto model = std::make_unique<FixedEmbedding>(
+        "TransE", g.NumNodes(), g.NumPredicates(), config.dim, config.dim);
+    // Uniform(-6/sqrt(d), 6/sqrt(d)) init per Bordes et al.
     const double b = 6.0 / std::sqrt(static_cast<double>(config.dim));
     for (NodeId u = 0; u < g.NumNodes(); ++u) {
       for (auto& x : model->MutableEntityVector(u)) {
@@ -76,42 +55,64 @@ Result<std::unique_ptr<EmbeddingModel>> TrainTransE(
       }
       NormalizeInPlace(r);
     }
+    return model;
   }
 
-  double avg_loss = 0.0;
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    // Entity vectors are re-normalized each epoch (the Bordes et al. trick
-    // preventing trivial loss minimization by norm growth).
-    for (NodeId u = 0; u < g.NumNodes(); ++u) {
-      NormalizeInPlace(model->MutableEntityVector(u));
-    }
-    Shuffle(triples, rng);
-    double epoch_loss = 0.0;
-    size_t updates = 0;
-    for (const Triple& pos : triples) {
-      for (size_t k = 0; k < config.negatives_per_positive; ++k) {
-        Triple neg = CorruptTriple(pos, g.NumNodes(), rng);
-        const double dp = TripleDistance(*model, pos);
-        const double dn = TripleDistance(*model, neg);
-        const double loss = config.margin + dp - dn;
-        if (loss > 0.0) {
-          epoch_loss += loss;
-          ++updates;
-          SgdStep(*model, pos, config.learning_rate, +1.0);
-          SgdStep(*model, neg, config.learning_rate, -1.0);
-        }
-      }
-    }
-    avg_loss = updates == 0 ? 0.0 : epoch_loss / static_cast<double>(updates);
+  static std::span<float> EntityRow(Model& m, NodeId u) {
+    return m.MutableEntityVector(u);
   }
 
-  if (stats != nullptr) {
-    stats->final_avg_loss = avg_loss;
-    stats->train_seconds = timer.ElapsedSeconds();
-    stats->num_triples = triples.size();
-    stats->memory_bytes = model->MemoryBytes();
+  static Ref Bind(Model& m, const Triple& t) {
+    return {m.MutableEntityVector(t.head),
+            m.MutablePredicateVector(t.relation),
+            m.MutableEntityVector(t.tail)};
   }
-  return std::unique_ptr<EmbeddingModel>(std::move(model));
+
+  static double Distance(const Ref& ref) {
+    return SquaredL2Diff(ref.h, ref.r, ref.t);
+  }
+
+  static double DistancePos(const Ref& ref, Scratch& scratch) {
+    return SquaredL2DiffResidual(ref.h, ref.r, ref.t, scratch.resid);
+  }
+
+  static void StepPair(const Ref& pos, const Ref& neg, double lr,
+                       Scratch& scratch) {
+    SaxpyTripleFromResidual(pos.h, pos.r, pos.t, scratch.resid, lr);
+    SaxpyTriple(neg.h, neg.r, neg.t, -lr);
+  }
+
+  static void RegisterDeltaArrays(Model& m, DeltaStore& store) {
+    store.RegisterArray(m.MutableEntityVector(0).data(), m.entity_dim(),
+                        m.num_entities());
+    store.RegisterArray(m.MutablePredicateVector(0).data(),
+                        m.predicate_dim(), m.num_predicates());
+  }
+
+  static void StepDelta(const Ref& ref, const Triple& t, double lr_signed,
+                        DeltaStore& store, Scratch&) {
+    auto dh = store.Row(kEntities, t.head);
+    auto dr = store.Row(kPredicates, t.relation);
+    auto dt = store.Row(kEntities, t.tail);
+    for (size_t i = 0; i < ref.h.size(); ++i) {
+      const double g =
+          2.0 * (static_cast<double>(ref.h[i]) + ref.r[i] - ref.t[i]);
+      const double s = lr_signed * g;
+      dh[i] -= s;
+      dr[i] -= s;
+      dt[i] += s;
+    }
+  }
+
+  static void PostBatchApply(Model&, const std::vector<DeltaStore>&) {}
+};
+
+}  // namespace
+
+Result<std::unique_ptr<EmbeddingModel>> TrainTransE(
+    const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
+    EmbeddingTrainStats* stats) {
+  return embedding_internal::TrainWithDriver<TransEPolicy>(g, config, stats);
 }
 
 }  // namespace kgaq

@@ -1,10 +1,10 @@
 #include <cmath>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
-#include "common/timer.h"
 #include "embedding/embedding_model.h"
 #include "embedding/trainer.h"
 #include "embedding/trainer_internal.h"
@@ -14,8 +14,7 @@ namespace kgaq {
 
 namespace {
 
-using embedding_internal::CorruptTriple;
-using embedding_internal::ExtractTriples;
+using embedding_internal::DeltaStore;
 using embedding_internal::GaussianInit;
 using embedding_internal::Triple;
 
@@ -94,100 +93,154 @@ class TransHModel : public EmbeddingModel {
   std::vector<float> normals_;
 };
 
-double Distance(const TransHModel& m, const Triple& t) {
-  return -m.ScoreTriple(t.head, t.relation, t.tail);
-}
+struct TransHPolicy {
+  using Model = TransHModel;
+  static constexpr size_t kEntities = 0;
+  static constexpr size_t kTranslations = 1;
+  static constexpr size_t kNormals = 2;
 
-// One SGD step; sign = +1 tightens a positive triple, -1 loosens a negative.
-void SgdStep(TransHModel& m, const Triple& t, double lr, double sign) {
-  const size_t dim = m.entity_dim();
-  auto h = m.Entity(t.head);
-  auto tt = m.Entity(t.tail);
-  auto d = m.Translation(t.relation);
-  auto w = m.Normal(t.relation);
-  const double wh = Dot(w, h);
-  const double wt = Dot(w, tt);
+  struct Ref {
+    std::span<float> h, t, d, w;
+  };
+  struct Scratch {
+    explicit Scratch(size_t dim) : g(dim) {}
+    std::vector<double> g;
+  };
 
-  // g = 2 * (proj(h) + d - proj(t)); u = h - t.
-  std::vector<double> g(dim);
-  for (size_t i = 0; i < dim; ++i) {
-    const double hp = h[i] - wh * w[i];
-    const double tp = tt[i] - wt * w[i];
-    g[i] = 2.0 * (hp + d[i] - tp);
+  static std::unique_ptr<Model> Init(const KnowledgeGraph& graph,
+                                     const EmbeddingTrainConfig& config,
+                                     Rng& rng) {
+    auto model = std::make_unique<TransHModel>(
+        graph.NumNodes(), graph.NumPredicates(), config.dim);
+    GaussianInit(model->entities(), config.dim, rng);
+    GaussianInit(model->translations(), config.dim, rng);
+    GaussianInit(model->normals(), config.dim, rng);
+    for (PredicateId p = 0; p < graph.NumPredicates(); ++p) {
+      NormalizeInPlace(model->Normal(p));
+    }
+    return model;
   }
-  const double gw = [&] {
+
+  static std::span<float> EntityRow(Model& m, NodeId u) {
+    return m.Entity(u);
+  }
+
+  static Ref Bind(Model& m, const Triple& t) {
+    return {m.Entity(t.head), m.Entity(t.tail), m.Translation(t.relation),
+            m.Normal(t.relation)};
+  }
+
+  static double Distance(const Ref& ref) {
+    const double wh = Dot(ref.w, ref.h);
+    const double wt = Dot(ref.w, ref.t);
+    const size_t dim = ref.h.size();
     double acc = 0.0;
-    for (size_t i = 0; i < dim; ++i) acc += g[i] * w[i];
+    for (size_t i = 0; i < dim; ++i) {
+      const double hp = ref.h[i] - wh * ref.w[i];
+      const double tp = ref.t[i] - wt * ref.w[i];
+      const double d = hp + ref.d[i] - tp;
+      acc += d * d;
+    }
     return acc;
-  }();
-  const double wu = wh - wt;
-
-  for (size_t i = 0; i < dim; ++i) {
-    const double u = static_cast<double>(h[i]) - tt[i];
-    const double grad_h = g[i] - gw * w[i];
-    const double grad_w = -(gw * u + wu * g[i]);
-    const double step = lr * sign;
-    h[i] -= static_cast<float>(step * grad_h);
-    tt[i] += static_cast<float>(step * grad_h);
-    d[i] -= static_cast<float>(step * g[i]);
-    w[i] -= static_cast<float>(step * grad_w);
   }
-  NormalizeInPlace(w);
-}
+
+  // g = 2 * (proj(h) + d - proj(t)); shared by Step and StepDelta. Returns
+  // (g . w, wh - wt) needed for the normal's gradient.
+  static std::pair<double, double> Gradient(const Ref& ref, Scratch& scratch) {
+    const size_t dim = ref.h.size();
+    const double wh = Dot(ref.w, ref.h);
+    const double wt = Dot(ref.w, ref.t);
+    for (size_t i = 0; i < dim; ++i) {
+      const double hp = ref.h[i] - wh * ref.w[i];
+      const double tp = ref.t[i] - wt * ref.w[i];
+      scratch.g[i] = 2.0 * (hp + ref.d[i] - tp);
+    }
+    double gw = 0.0;
+    for (size_t i = 0; i < dim; ++i) gw += scratch.g[i] * ref.w[i];
+    return {gw, wh - wt};
+  }
+
+  static double DistancePos(const Ref& ref, Scratch&) {
+    return Distance(ref);
+  }
+
+  static void StepPair(const Ref& pos, const Ref& neg, double lr,
+                       Scratch& scratch) {
+    Step(pos, lr, scratch);
+    Step(neg, -lr, scratch);
+  }
+
+  static void Step(const Ref& ref, double lr_signed, Scratch& scratch) {
+    const auto [gw, wu] = Gradient(ref, scratch);
+    const size_t dim = ref.h.size();
+    for (size_t i = 0; i < dim; ++i) {
+      const double u = static_cast<double>(ref.h[i]) - ref.t[i];
+      const double grad_h = scratch.g[i] - gw * ref.w[i];
+      const double grad_w = -(gw * u + wu * scratch.g[i]);
+      ref.h[i] -= static_cast<float>(lr_signed * grad_h);
+      ref.t[i] += static_cast<float>(lr_signed * grad_h);
+      ref.d[i] -= static_cast<float>(lr_signed * scratch.g[i]);
+      ref.w[i] -= static_cast<float>(lr_signed * grad_w);
+    }
+    NormalizeInPlace(ref.w);
+  }
+
+  static void RegisterDeltaArrays(Model& m, DeltaStore& store) {
+    store.RegisterArray(m.entities().data(), m.entity_dim(),
+                        m.num_entities());
+    store.RegisterArray(m.translations().data(), m.entity_dim(),
+                        m.num_predicates());
+    store.RegisterArray(m.normals().data(), m.entity_dim(),
+                        m.num_predicates());
+  }
+
+  static void StepDelta(const Ref& ref, const Triple& t, double lr_signed,
+                        DeltaStore& store, Scratch& scratch) {
+    const auto [gw, wu] = Gradient(ref, scratch);
+    auto dh = store.Row(kEntities, t.head);
+    auto dt = store.Row(kEntities, t.tail);
+    auto dd = store.Row(kTranslations, t.relation);
+    auto dw = store.Row(kNormals, t.relation);
+    const size_t dim = ref.h.size();
+    for (size_t i = 0; i < dim; ++i) {
+      const double u = static_cast<double>(ref.h[i]) - ref.t[i];
+      const double grad_h = scratch.g[i] - gw * ref.w[i];
+      const double grad_w = -(gw * u + wu * scratch.g[i]);
+      dh[i] -= lr_signed * grad_h;
+      dt[i] += lr_signed * grad_h;
+      dd[i] -= lr_signed * scratch.g[i];
+      dw[i] -= lr_signed * grad_w;
+    }
+  }
+
+  // Hyperplane normals must stay unit; the sequential step renormalizes
+  // after every update, the batched recipe once per batch apply — but only
+  // the normals the batch actually touched (renormalizing an untouched
+  // near-unit vector would still perturb its low bits, and a full
+  // num_predicates pass per batch is pure overhead). Rows are deduped and
+  // sorted, so the order is fixed by batch content, never by threads.
+  static void PostBatchApply(Model& m, const std::vector<DeltaStore>& stores) {
+    std::vector<size_t> touched;
+    for (const DeltaStore& store : stores) {
+      store.ForEachActive([&](size_t array, size_t row) {
+        if (array == kNormals) touched.push_back(row);
+      });
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    for (size_t row : touched) {
+      NormalizeInPlace(m.Normal(static_cast<PredicateId>(row)));
+    }
+  }
+};
 
 }  // namespace
 
 Result<std::unique_ptr<EmbeddingModel>> TrainTransH(
     const KnowledgeGraph& g, const EmbeddingTrainConfig& config,
     EmbeddingTrainStats* stats) {
-  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
-  auto triples = ExtractTriples(g);
-  if (triples.empty()) {
-    return Status::FailedPrecondition("graph has no edges to train on");
-  }
-
-  WallTimer timer;
-  Rng rng(config.seed);
-  auto model = std::make_unique<TransHModel>(g.NumNodes(), g.NumPredicates(),
-                                             config.dim);
-  GaussianInit(model->entities(), config.dim, rng);
-  GaussianInit(model->translations(), config.dim, rng);
-  GaussianInit(model->normals(), config.dim, rng);
-  for (PredicateId p = 0; p < g.NumPredicates(); ++p) {
-    NormalizeInPlace(model->Normal(p));
-  }
-
-  double avg_loss = 0.0;
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    for (NodeId u = 0; u < g.NumNodes(); ++u) {
-      NormalizeInPlace(model->Entity(u));
-    }
-    Shuffle(triples, rng);
-    double epoch_loss = 0.0;
-    size_t updates = 0;
-    for (const Triple& pos : triples) {
-      for (size_t k = 0; k < config.negatives_per_positive; ++k) {
-        Triple neg = CorruptTriple(pos, g.NumNodes(), rng);
-        const double loss =
-            config.margin + Distance(*model, pos) - Distance(*model, neg);
-        if (loss > 0.0) {
-          epoch_loss += loss;
-          ++updates;
-          SgdStep(*model, pos, config.learning_rate, +1.0);
-          SgdStep(*model, neg, config.learning_rate, -1.0);
-        }
-      }
-    }
-    avg_loss = updates == 0 ? 0.0 : epoch_loss / static_cast<double>(updates);
-  }
-
-  if (stats != nullptr) {
-    stats->final_avg_loss = avg_loss;
-    stats->train_seconds = timer.ElapsedSeconds();
-    stats->num_triples = triples.size();
-    stats->memory_bytes = model->MemoryBytes();
-  }
-  return std::unique_ptr<EmbeddingModel>(std::move(model));
+  return embedding_internal::TrainWithDriver<TransHPolicy>(g, config, stats);
 }
 
 }  // namespace kgaq

@@ -201,6 +201,32 @@ void AddScaled(std::span<float> a, std::span<const float> b, double scale) {
   }
 }
 
+void MatVecRows(std::span<const float> m, std::span<const float> x,
+                std::span<double> out) {
+  const size_t dim = x.size();
+  for (size_t r = 0; r < out.size(); ++r) {
+    out[r] = DotN(m.data() + r * dim, x.data(), dim);
+  }
+}
+
+void MatTVecRows(std::span<const float> m, std::span<const float> x,
+                 std::span<double> out) {
+  const size_t dim = out.size();
+  for (double& v : out) v = 0.0;
+  for (size_t r = 0; r < x.size(); ++r) {
+    const float* row = m.data() + r * dim;
+    const double xr = x[r];
+    size_t j = 0;
+    for (; j + 4 <= dim; j += 4) {
+      out[j] += xr * row[j];
+      out[j + 1] += xr * row[j + 1];
+      out[j + 2] += xr * row[j + 2];
+      out[j + 3] += xr * row[j + 3];
+    }
+    for (; j < dim; ++j) out[j] += xr * row[j];
+  }
+}
+
 namespace scalar {
 
 double Dot(std::span<const float> a, std::span<const float> b) {
@@ -225,6 +251,52 @@ double CosineSimilarity(std::span<const float> a, std::span<const float> b) {
   const double nb = std::sqrt(Dot(b, b));
   if (na < 1e-12 || nb < 1e-12) return 0.0;
   return Dot(a, b) / (na * nb);
+}
+
+double SquaredL2Diff(std::span<const float> a, std::span<const float> b,
+                     std::span<const float> c) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) + b[i] - c[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void SaxpyTriple(std::span<float> a, std::span<float> b, std::span<float> c,
+                 double scale) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double g = 2.0 * (static_cast<double>(a[i]) + b[i] - c[i]);
+    const double s = scale * g;
+    a[i] -= static_cast<float>(s);
+    b[i] -= static_cast<float>(s);
+    c[i] += static_cast<float>(s);
+  }
+}
+
+void MatVecRows(std::span<const float> m, std::span<const float> x,
+                std::span<double> out) {
+  const size_t dim = x.size();
+  for (size_t r = 0; r < out.size(); ++r) {
+    double acc = 0.0;
+    const float* row = m.data() + r * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      acc += static_cast<double>(row[j]) * x[j];
+    }
+    out[r] = acc;
+  }
+}
+
+void MatTVecRows(std::span<const float> m, std::span<const float> x,
+                 std::span<double> out) {
+  const size_t dim = out.size();
+  for (double& v : out) v = 0.0;
+  for (size_t r = 0; r < x.size(); ++r) {
+    const float* row = m.data() + r * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      out[j] += static_cast<double>(x[r]) * row[j];
+    }
+  }
 }
 
 }  // namespace scalar

@@ -4,6 +4,10 @@
 #include <cstddef>
 #include <span>
 
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
 namespace kgaq {
 
 /// Dot product with double accumulation. 4-way unrolled (AVX2 when the
@@ -35,12 +39,179 @@ void NormalizeInPlace(std::span<float> a);
 /// a += scale * b (element-wise, sizes must match).
 void AddScaled(std::span<float> a, std::span<const float> b, double scale);
 
+// The fused TransE-step kernels below are defined inline: they sit on the
+// innermost SGD loop (two distances + up to two updates per pair), where a
+// call through the TU boundary costs a measurable fraction of the kernel
+// itself. See BM_TransEStep{Scalar,Vectorized}.
+
+#ifdef __AVX2__
+namespace vector_ops_detail {
+inline double HorizontalSumPd(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2)));
+}
+}  // namespace vector_ops_detail
+#endif
+
+/// Fused margin-ranking distance for translation models:
+/// sum_i ((double)a[i] + b[i] - c[i])^2 — the TransE ||h + r - t||^2 in one
+/// pass over the three rows. Lane-split double accumulation (AVX2-gated
+/// like Dot); per-element math matches the scalar reference exactly, only
+/// the accumulation order differs.
+inline double SquaredL2Diff(std::span<const float> a,
+                            std::span<const float> b,
+                            std::span<const float> c) {
+  const size_t n = a.size();
+  size_t i = 0;
+  double acc = 0.0;
+#ifdef __AVX2__
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  for (; i + 8 <= n; i += 8) {
+    const __m256 af = _mm256_loadu_ps(a.data() + i);
+    const __m256 bf = _mm256_loadu_ps(b.data() + i);
+    const __m256 cf = _mm256_loadu_ps(c.data() + i);
+    const __m256d dlo = _mm256_sub_pd(
+        _mm256_add_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(af)),
+                      _mm256_cvtps_pd(_mm256_castps256_ps128(bf))),
+        _mm256_cvtps_pd(_mm256_castps256_ps128(cf)));
+    const __m256d dhi = _mm256_sub_pd(
+        _mm256_add_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(af, 1)),
+                      _mm256_cvtps_pd(_mm256_extractf128_ps(bf, 1))),
+        _mm256_cvtps_pd(_mm256_extractf128_ps(cf, 1)));
+#ifdef __FMA__
+    acc0 = _mm256_fmadd_pd(dlo, dlo, acc0);
+    acc1 = _mm256_fmadd_pd(dhi, dhi, acc1);
+#else
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(dlo, dlo));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(dhi, dhi));
+#endif
+  }
+  acc = vector_ops_detail::HorizontalSumPd(_mm256_add_pd(acc0, acc1));
+#else
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = static_cast<double>(a[i]) + b[i] - c[i];
+    const double d1 = static_cast<double>(a[i + 1]) + b[i + 1] - c[i + 1];
+    const double d2 = static_cast<double>(a[i + 2]) + b[i + 2] - c[i + 2];
+    const double d3 = static_cast<double>(a[i + 3]) + b[i + 3] - c[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  acc = (s0 + s1) + (s2 + s3);
+#endif
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) + b[i] - c[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// SquaredL2Diff that also stores the residual d_i = (double)a[i] + b[i] -
+/// c[i] into `resid` (same length as a). Accumulates with the 4-lane
+/// unrolled structure (bitwise-equal to SquaredL2Diff in non-AVX2 builds);
+/// the residual lets the following SGD step on the SAME, still-unchanged
+/// rows skip recomputing the difference (SaxpyTripleFromResidual).
+inline double SquaredL2DiffResidual(std::span<const float> a,
+                                    std::span<const float> b,
+                                    std::span<const float> c,
+                                    std::span<double> resid) {
+  const size_t n = a.size();
+  size_t i = 0;
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = static_cast<double>(a[i]) + b[i] - c[i];
+    const double d1 = static_cast<double>(a[i + 1]) + b[i + 1] - c[i + 1];
+    const double d2 = static_cast<double>(a[i + 2]) + b[i + 2] - c[i + 2];
+    const double d3 = static_cast<double>(a[i + 3]) + b[i + 3] - c[i + 3];
+    resid[i] = d0;
+    resid[i + 1] = d1;
+    resid[i + 2] = d2;
+    resid[i + 3] = d3;
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double acc = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) + b[i] - c[i];
+    resid[i] = d;
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Fused TransE SGD step: per element g = 2 * ((double)a[i] + b[i] - c[i]),
+/// step = scale * g, then a[i] -= step, b[i] -= step, c[i] += step (each
+/// truncated to float). Deliberately NOT manually unrolled: this loop is
+/// store-bound, and batching four elements' loads ahead of their stores
+/// forces the compiler to assume the float rows alias, serializing the
+/// schedule (measured ~2x slower). The straight-line form is also exactly
+/// the legacy recipe, including the read-modify-write order when `a` and
+/// `c` are the same row (a corrupted triple with head == tail) — which is
+/// what keeps the refactored trainer on the pinned golden loss.
+inline void SaxpyTriple(std::span<float> a, std::span<float> b,
+                        std::span<float> c, double scale) {
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double s =
+        scale * (2.0 * (static_cast<double>(a[i]) + b[i] - c[i]));
+    a[i] -= static_cast<float>(s);
+    b[i] -= static_cast<float>(s);
+    c[i] += static_cast<float>(s);
+  }
+}
+
+/// SaxpyTriple with the residual already computed by SquaredL2DiffResidual
+/// over the same (unchanged) rows: step = scale * (2 * resid[i]).
+/// Bitwise-identical to SaxpyTriple under that precondition (resid holds
+/// the same pre-update differences the direct kernel would recompute), and
+/// ~2x faster: the double residual loads cannot alias the float stores, so
+/// the loop pipelines freely.
+inline void SaxpyTripleFromResidual(std::span<float> a, std::span<float> b,
+                                    std::span<float> c,
+                                    std::span<const double> resid,
+                                    double scale) {
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double s = scale * (2.0 * resid[i]);
+    a[i] -= static_cast<float>(s);
+    b[i] -= static_cast<float>(s);
+    c[i] += static_cast<float>(s);
+  }
+}
+
+/// Row-major matrix-vector product as batched row dots:
+/// out[r] = Dot(row r of m, x) where m holds out.size() contiguous rows of
+/// x.size() floats. The RESCAL / SE "M v" building block.
+void MatVecRows(std::span<const float> m, std::span<const float> x,
+                std::span<double> out);
+
+/// Transposed product out[j] = sum_r x[r] * m[r][j] (m row-major,
+/// x.size() rows of out.size() floats). Overwrites `out`. One unrolled
+/// axpy pass per row — the RESCAL / SE "M^T v" building block.
+void MatTVecRows(std::span<const float> m, std::span<const float> x,
+                 std::span<double> out);
+
 /// Straight-line reference implementations, kept for parity tests and the
 /// scalar-vs-vectorized microbenchmarks. Not for hot paths.
 namespace scalar {
 double Dot(std::span<const float> a, std::span<const float> b);
 double SquaredDistance(std::span<const float> a, std::span<const float> b);
 double CosineSimilarity(std::span<const float> a, std::span<const float> b);
+double SquaredL2Diff(std::span<const float> a, std::span<const float> b,
+                     std::span<const float> c);
+void SaxpyTriple(std::span<float> a, std::span<float> b, std::span<float> c,
+                 double scale);
+void MatVecRows(std::span<const float> m, std::span<const float> x,
+                std::span<double> out);
+void MatTVecRows(std::span<const float> m, std::span<const float> x,
+                 std::span<double> out);
 }  // namespace scalar
 
 }  // namespace kgaq

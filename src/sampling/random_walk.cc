@@ -113,9 +113,10 @@ StationaryResult ComputeStationaryDistribution(
 
   const size_t block = std::max<size_t>(1, options.block_width);
   const size_t num_blocks = (n + block - 1) / block;
-  // Never fork from a pool worker (nested TaskGroup::Wait can deadlock);
-  // chain builds already parallelize at the stage-unit level, so per-unit
-  // serial sweeps are the right granularity there anyway.
+  // Don't fork from a pool worker (TaskGroup::Wait now helps drain nested
+  // groups, so this is a granularity choice, not a deadlock guard): chain
+  // builds already parallelize at the stage-unit level, so per-unit serial
+  // sweeps avoid oversubscribing the pool with tiny block tasks.
   const bool use_pool = options.parallel && num_blocks > 1 &&
                         model.NumArcs() >= options.min_parallel_arcs &&
                         !ThreadPool::OnPoolWorker() &&

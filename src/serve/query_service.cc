@@ -300,9 +300,9 @@ void QueryService::SchedulerLoop() {
       }
     }
 
-    // Admission: build the new sessions as one parallel batch
-    // (ParallelFor degrades to inline execution when the scheduler itself
-    // runs on a pool worker, so nesting cannot deadlock).
+    // Admission: build the new sessions as one parallel batch (TaskGroup's
+    // helping Wait drains nested fork-join, so this is safe even when the
+    // scheduler itself runs on a pool worker).
     if (!build.empty()) {
       // Admission is stamped BEFORE the session builds: queue_ms is pure
       // queue wait, and a query's own setup cost (candidate enumeration,

@@ -292,6 +292,62 @@ TEST(TaskGroupTest, WaitsOnlyForOwnTasks) {
   EXPECT_EQ(slow_done.load(), 1);
 }
 
+TEST(TaskGroupTest, WaitHelpsDrainOwnQueueWhileWorkersAreBusy) {
+  // The pool's only worker is parked on a blocker task, so nothing else
+  // can run pool-side: Wait() must execute the group's queued tasks on
+  // the waiting thread itself.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  TaskGroup blocker(pool);
+  blocker.Submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i) {
+      group.Submit([&done] { done.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(done.load(), 8);
+  }
+  release.store(true);
+  blocker.Wait();
+}
+
+TEST(TaskGroupTest, NestedGroupsInsideWorkerTasksComplete) {
+  // Fork-join from inside pool tasks used to require ParallelFor's serial
+  // fallback; the helping Wait makes the nested groups drain themselves
+  // even when every worker is occupied by an outer task.
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.Submit([&] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 4; ++j) {
+        inner.Submit([&leaf] { leaf.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(leaf.load(), 16);
+}
+
+TEST(TaskGroupTest, DeeplyNestedParallelForOnSingleThreadPool) {
+  // Three levels of nested fork-join on a 1-worker pool: only possible
+  // because every Wait drains its own group's queue inline.
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  ParallelFor(pool, 3, [&](size_t) {
+    ParallelFor(pool, 3, [&](size_t) {
+      ParallelFor(pool, 3, [&](size_t) { total.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(total.load(), 27);
+}
+
 TEST(TaskGroupTest, ConcurrentParallelForsOnSharedPool) {
   ThreadPool& pool = GlobalPool();
   std::atomic<int> total{0};
