@@ -1,0 +1,198 @@
+// Chaos soak for the overload-safe serving stack, run by CI under
+// Debug + ASan:
+//
+//   1. generate a small synthetic KG + planted embedding,
+//   2. stand up a bounded QueryService behind the HTTP front-end,
+//   3. enable deterministic fault injection (p = 0.05 on admission,
+//      round execution, server reads, and client reads),
+//   4. hammer it with mixed traffic — plain queries, tight deadlines,
+//      cancels, stats/healthz probes — through the retrying client for
+//      --seconds wall-clock seconds,
+//   5. verify at the end that every submission is accounted for in
+//      exactly one terminal bucket and nothing crashed, hung, or leaked.
+//
+// Exits non-zero on any accounting violation, making it a cheap
+// robustness gate: with ASan underneath, "the identity holds and the
+// process is still alive" covers a lot of failure modes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/timer.h"
+#include "core/engine_context.h"
+#include "datagen/kg_generator.h"
+#include "datagen/workload_generator.h"
+#include "query/query_text.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "serve/query_service.h"
+
+using namespace kgaq;
+
+int main(int argc, char** argv) {
+  double seconds = 10.0;
+  uint64_t seed = 2024;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atof(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seconds=N] [--seed=N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  auto generated = KgGenerator::Generate(DatasetProfile::Mini(7));
+  if (!generated.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const GeneratedDataset& ds = *generated;
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+
+  ServiceOptions sopts;
+  sopts.base_seed = seed;
+  sopts.max_concurrent = 4;
+  sopts.max_queue_depth = 8;
+  sopts.max_queue_wait_ms = 250.0;
+  sopts.engine.fixed_increment = 2000;
+  sopts.engine.max_total_draws = static_cast<size_t>(1) << 40;
+  QueryService service(ctx, sopts);
+  HttpServer server(service);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  fault_injection::Enable(seed);
+  fault_injection::Arm("serve.admit.queue_full", 0.05);
+  fault_injection::Arm("serve.round.slow", 0.05);
+  fault_injection::Arm("http.conn.read_error", 0.05);
+  fault_injection::Arm("http.client.recv_error", 0.05);
+
+  RetryOptions ropts;
+  ropts.max_attempts = 3;
+  ropts.initial_backoff_ms = 5.0;
+  ropts.max_backoff_ms = 200.0;
+  ropts.seed = seed ^ 0xD1CEULL;
+  RetryingHttpClient client(ropts);
+
+  std::vector<std::string> texts;
+  texts.push_back(FormatAggregateQuery(
+      WorkloadGenerator::SimpleQuery(ds, 0, 0, AggregateFunction::kCount)));
+  texts.push_back(FormatAggregateQuery(
+      WorkloadGenerator::SimpleQuery(ds, 1, 0, AggregateFunction::kAvg)));
+  texts.push_back(FormatAggregateQuery(
+      WorkloadGenerator::ChainQuery(ds, 0, 0, AggregateFunction::kAvg)));
+  texts.push_back(FormatAggregateQuery(
+      WorkloadGenerator::SimpleQuery(ds, 2, 1, AggregateFunction::kSum)));
+
+  WallTimer clock;
+  uint64_t sent = 0, accepted = 0, rejected_http = 0, transport_errors = 0;
+  uint64_t probes = 0;
+  std::vector<std::string> open_ids;
+  while (clock.ElapsedMillis() < seconds * 1000.0) {
+    const uint64_t turn = sent++;
+    std::string target = "/query";
+    switch (turn % 5) {
+      case 1:
+        target += "?eb=1e-9&max_rounds=1000000&deadline_ms=25";
+        break;
+      case 3:
+        // Cancelled below; the deadline is a backstop so a cancel lost
+        // to an injected read error cannot wedge the final Drain().
+        target += "?eb=1e-9&max_rounds=1000000&deadline_ms=3000";
+        break;
+      default:
+        break;  // run to completion with default bounds
+    }
+    auto resp = client.Fetch("127.0.0.1", server.port(), "POST", target,
+                             texts[turn % texts.size()]);
+    if (!resp.ok()) {
+      // A POST whose read died is indeterminate by design; the server
+      // side still accounts for whatever actually arrived.
+      ++transport_errors;
+    } else if (resp->status_code == 202) {
+      ++accepted;
+      const std::string id = ExtractJsonField(resp->body, "id");
+      if (turn % 5 == 3 && !id.empty()) {
+        (void)client.Fetch("127.0.0.1", server.port(), "POST",
+                           "/cancel/" + id);
+      } else if (!id.empty()) {
+        open_ids.push_back(id);
+      }
+    } else if (resp->status_code == 429 || resp->status_code == 503) {
+      ++rejected_http;
+    }
+    if (turn % 7 == 0) {
+      ++probes;
+      (void)client.Fetch("127.0.0.1", server.port(), "GET",
+                         turn % 14 == 0 ? "/healthz" : "/stats");
+    }
+    // Poll a few open tickets so the result path sees fault traffic too.
+    if (turn % 11 == 0 && !open_ids.empty()) {
+      (void)client.Fetch("127.0.0.1", server.port(), "GET",
+                         "/result/" + open_ids[turn % open_ids.size()]);
+    }
+  }
+
+  // Quiesce: stop injecting, let every in-flight query retire.
+  fault_injection::Disable();
+  service.Drain();
+  server.Stop();
+
+  const auto stats = service.stats();
+  std::printf(
+      "soak: %.1fs, %llu requests sent (%llu accepted, %llu rejected "
+      "over HTTP, %llu transport errors, %llu probes)\n",
+      seconds, static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(rejected_http),
+      static_cast<unsigned long long>(transport_errors),
+      static_cast<unsigned long long>(probes));
+  std::printf(
+      "service: submitted=%llu done=%llu failed=%llu cancelled=%llu "
+      "deadline=%llu rejected=%llu shed=%llu degraded=%llu\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.done),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.deadline_expired),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.degraded));
+  for (const auto& p : fault_injection::Snapshot()) {
+    std::printf("fault %-28s hits=%llu failures=%llu\n", p.name.c_str(),
+                static_cast<unsigned long long>(p.hits),
+                static_cast<unsigned long long>(p.failures));
+  }
+
+  // The accounting identity: every submission ended in exactly one
+  // terminal bucket. This is the soak's pass/fail line.
+  const uint64_t buckets = stats.done + stats.failed + stats.cancelled +
+                           stats.deadline_expired + stats.rejected +
+                           stats.shed;
+  if (stats.submitted != buckets) {
+    std::fprintf(stderr,
+                 "ACCOUNTING VIOLATION: submitted=%llu != buckets=%llu\n",
+                 static_cast<unsigned long long>(stats.submitted),
+                 static_cast<unsigned long long>(buckets));
+    return 1;
+  }
+  if (stats.queued != 0 || stats.running != 0) {
+    std::fprintf(stderr, "DRAIN VIOLATION: queued=%zu running=%zu\n",
+                 stats.queued, stats.running);
+    return 1;
+  }
+  std::printf("chaos soak passed: accounting identity holds\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+namespace kgaq {
+namespace fault_injection {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct Point {
+  double probability = 0.0;
+  uint64_t fail_next = 0;  ///< unconditional failures left (ArmCount)
+  uint64_t hits = 0;
+  uint64_t failures = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  uint64_t seed = 0;
+  // Keys are the string_view literals' contents, owned by the map.
+  std::unordered_map<std::string, Point> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: outlives every test
+  return *r;
+}
+
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z;
+}
+
+uint64_t HashName(std::string_view name) {
+  // FNV-1a: stable across platforms so a seed reproduces everywhere.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Enable(uint64_t seed) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.seed = seed;
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Disable() {
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Reset() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+  r.points.clear();
+  r.seed = 0;
+}
+
+void Arm(std::string_view point, double probability) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Point& p = r.points[std::string(point)];
+  p.probability = std::clamp(probability, 0.0, 1.0);
+  p.fail_next = 0;
+}
+
+void ArmCount(std::string_view point, uint64_t times) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Point& p = r.points[std::string(point)];
+  p.probability = 0.0;
+  p.fail_next = times;
+}
+
+bool ShouldFail(std::string_view point) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Point& p = r.points[std::string(point)];
+  const uint64_t hit = p.hits++;
+  bool fail = false;
+  if (p.fail_next > 0) {
+    --p.fail_next;
+    fail = true;
+  } else if (p.probability > 0.0) {
+    // The i-th hit's decision is a pure function of (seed, name, i):
+    // same seed → same failing hit indices, independent of schedule.
+    const uint64_t draw = SplitMix64(r.seed ^ HashName(point) ^ hit);
+    // Top 53 bits → uniform double in [0, 1).
+    const double u =
+        static_cast<double>(draw >> 11) * 0x1.0p-53;
+    fail = u < p.probability;
+  }
+  if (fail) ++p.failures;
+  return fail;
+}
+
+uint64_t HitCount(std::string_view point) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(std::string(point));
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailCount(std::string_view point) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(std::string(point));
+  return it == r.points.end() ? 0 : it->second.failures;
+}
+
+std::vector<PointStats> Snapshot() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<PointStats> out;
+  out.reserve(r.points.size());
+  for (const auto& [name, p] : r.points) {
+    out.push_back({name, p.hits, p.failures});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PointStats& a, const PointStats& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace fault_injection
+}  // namespace kgaq

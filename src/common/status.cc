@@ -22,8 +22,38 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+      return 409;
+    case StatusCode::kFailedPrecondition:
+      return 412;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+      return 500;
+  }
+  return 500;
 }
 
 std::string Status::ToString() const {

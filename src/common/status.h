@@ -21,10 +21,26 @@ enum class StatusCode : uint8_t {
   kInternal = 6,
   kIoError = 7,
   kUnimplemented = 8,
+  /// A bounded resource (admission queue, budget, quota) is full; the
+  /// operation was rejected without side effects and may be retried
+  /// later. The serving layer maps this to HTTP 429.
+  kResourceExhausted = 9,
+  /// The service cannot take the request right now (shutting down,
+  /// connection-level failure); safe to retry against the same or
+  /// another instance. The serving layer maps this to HTTP 503.
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for a status code.
 const char* StatusCodeToString(StatusCode code);
+
+/// The single place status codes translate to HTTP response codes, shared
+/// by the HTTP front-end and the retrying client so the wire taxonomy
+/// cannot drift: kOk→200, kInvalidArgument/kOutOfRange→400,
+/// kFailedPrecondition→412, kNotFound→404, kAlreadyExists→409,
+/// kResourceExhausted→429, kUnavailable→503, kUnimplemented→501,
+/// kInternal/kIoError→500.
+int HttpStatusForCode(StatusCode code);
 
 /// A lightweight status object carrying a code and an optional message.
 ///
@@ -67,6 +83,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

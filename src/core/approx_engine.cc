@@ -19,6 +19,8 @@ const char* StopCauseToString(StopCause c) {
       return "cancelled";
     case StopCause::kDeadlineExceeded:
       return "deadline_exceeded";
+    case StopCause::kShed:
+      return "shed";
   }
   return "unknown";
 }
@@ -242,6 +244,7 @@ void QuerySession::SetStopControl(const std::atomic<bool>* cancel,
                                   Deadline deadline) {
   cancel_requested_ = cancel;
   deadline_ = deadline;
+  shed_requested_.store(false, std::memory_order_release);
   stop_cause_ = StopCause::kNone;
 }
 
@@ -254,6 +257,10 @@ bool QuerySession::ShouldStop() {
   }
   if (deadline_.expired()) {
     stop_cause_ = StopCause::kDeadlineExceeded;
+    return true;
+  }
+  if (shed_requested_.load(std::memory_order_acquire)) {
+    stop_cause_ = StopCause::kShed;
     return true;
   }
   return false;

@@ -121,6 +121,7 @@ enum class StopCause {
   kNone,              ///< ran to its natural end (bound met or budget spent)
   kCancelled,         ///< the installed cancel flag was set
   kDeadlineExceeded,  ///< the installed deadline expired
+  kShed,              ///< RequestShed(): overload asked the run to retire
 };
 
 const char* StopCauseToString(StopCause c);
@@ -217,8 +218,22 @@ class QuerySession {
   /// must outlive the session (or be cleared with another SetStopControl).
   void SetStopControl(const std::atomic<bool>* cancel, Deadline deadline);
 
+  /// Asks the run to retire at its next round boundary with the sample it
+  /// already holds — the overload ("load shedding") analogue of Cancel,
+  /// distinguishable from it via stop_cause() == kShed so the serving
+  /// layer can report a *degraded completion* rather than a cancellation.
+  /// Lowest priority of the three stop signals: a concurrent cancel or
+  /// expired deadline wins attribution. Safe to call from any thread
+  /// between rounds (the serve scheduler calls it at tick boundaries).
+  void RequestShed() { shed_requested_.store(true, std::memory_order_release); }
+
   /// Why the most recent run stopped (kNone when it ran to completion).
   StopCause stop_cause() const { return stop_cause_; }
+
+  /// Rounds completed across the session's lifetime (all runs). The
+  /// scheduler uses this to guarantee "never shed a query that has not
+  /// yet produced a single-round estimate".
+  size_t rounds_completed() const { return rounds_total_; }
 
   const AggregateQuery& query() const { return query_; }
   size_t num_candidates() const { return candidates_.size(); }
@@ -281,9 +296,10 @@ class QuerySession {
   StepTimer s2_;
   StepTimer s3_;
 
-  /// Cooperative stop control (see SetStopControl).
+  /// Cooperative stop control (see SetStopControl / RequestShed).
   const std::atomic<bool>* cancel_requested_ = nullptr;
   Deadline deadline_;  // infinite by default
+  std::atomic<bool> shed_requested_{false};
   StopCause stop_cause_ = StopCause::kNone;
 };
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/binary_io.h"
+#include "common/fault_injection.h"
 #include "embedding/embedding_io.h"
 #include "kg/dictionary.h"
 
@@ -248,13 +249,22 @@ Status SaveEngineSnapshot(const KnowledgeGraph& g,
 }
 
 Result<EngineSnapshot> LoadEngineSnapshot(const std::string& path) {
+  if (KGAQ_FAULT_POINT("snapshot.read.short")) {
+    return Status::IoError("injected short read loading '" + path + "'");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
   // Total file size: the upper bound handed to every array reader, so a
   // corrupt count field can never drive an allocation past the payload
   // that actually exists.
   in.seekg(0, std::ios::end);
-  const uint64_t file_bytes = static_cast<uint64_t>(in.tellg());
+  const std::streamoff end_pos = in.tellg();
+  if (!in.good() || end_pos < 0) {
+    // e.g. the path names a directory: it opens, but cannot be sized —
+    // without this check the -1 would cast to a 2^64 byte "bound".
+    return Status::IoError("cannot determine size of '" + path + "'");
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(end_pos);
   in.seekg(0);
   char magic[sizeof(kMagic)] = {};
   in.read(magic, sizeof(magic));

@@ -1,0 +1,99 @@
+#include "serve/http_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace kgaq {
+
+namespace {
+
+bool IsIdempotentMethod(const std::string& method) {
+  return method == "GET" || method == "HEAD";
+}
+
+bool IsRetryableHttpStatus(int code) { return code == 429 || code == 503; }
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z;
+}
+
+double UniformDouble(uint64_t& state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+RetryingHttpClient::RetryingHttpClient(RetryOptions options)
+    : RetryingHttpClient(
+          options,
+          [](const std::string& host, uint16_t port,
+             const std::string& method, const std::string& target,
+             const std::string& body) {
+            return HttpFetch(host, port, method, target, body);
+          },
+          [](double ms) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(ms));
+          }) {}
+
+RetryingHttpClient::RetryingHttpClient(RetryOptions options, FetchFn fetch,
+                                       SleepFn sleep)
+    : options_(options),
+      fetch_(std::move(fetch)),
+      sleep_(std::move(sleep)),
+      rng_state_(options.seed) {}
+
+Result<HttpResponse> RetryingHttpClient::Fetch(const std::string& host,
+                                               uint16_t port,
+                                               const std::string& method,
+                                               const std::string& target,
+                                               const std::string& body) {
+  ++stats_.requests;
+  const int attempts = std::max(1, options_.max_attempts);
+  const double base = std::max(1.0, options_.initial_backoff_ms);
+  const double cap = std::max(base, options_.max_backoff_ms);
+  double prev_sleep = base;
+
+  Result<HttpResponse> last = Status::Internal("no attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Decorrelated jitter: next sleep is uniform in [base, 3*prev],
+      // capped. Unlike plain exponential doubling, concurrent clients
+      // that failed together do not wake together.
+      double sleep_ms =
+          base + UniformDouble(rng_state_) * (3.0 * prev_sleep - base);
+      sleep_ms = std::min(cap, std::max(base, sleep_ms));
+      if (options_.honor_retry_after && last.ok() &&
+          last->retry_after_s > 0.0) {
+        sleep_ms = std::min(
+            cap, std::max(sleep_ms, last->retry_after_s * 1000.0));
+      }
+      prev_sleep = sleep_ms;
+      sleep_(sleep_ms);
+      ++stats_.retries;
+    }
+
+    last = fetch_(host, port, method, target, body);
+    if (!last.ok()) {
+      const StatusCode code = last.status().code();
+      if (code == StatusCode::kUnavailable) continue;  // nothing was sent
+      if (code == StatusCode::kIoError && IsIdempotentMethod(method)) {
+        continue;  // mid-flight death; safe to replay a GET
+      }
+      return last;  // non-retryable transport or non-idempotent replay
+    }
+    if (!IsRetryableHttpStatus(last->status_code)) return last;
+    // 429/503: rejected before any work — loop for every method.
+  }
+  return last;  // attempts exhausted; hand back the final outcome
+}
+
+}  // namespace kgaq

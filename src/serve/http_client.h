@@ -1,0 +1,89 @@
+#ifndef KGAQ_SERVE_HTTP_CLIENT_H_
+#define KGAQ_SERVE_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "serve/http_server.h"
+
+namespace kgaq {
+
+/// Retry policy for RetryingHttpClient: capped exponential backoff with
+/// decorrelated jitter. All sleeps are deterministic given `seed` — the
+/// i-th backoff depends only on the seed and the previous sleep — so
+/// tests can assert the exact schedule through an injected sleep fn.
+struct RetryOptions {
+  /// Total tries including the first; 1 disables retry entirely.
+  int max_attempts = 4;
+  /// First backoff's lower bound and the jitter floor for later ones.
+  double initial_backoff_ms = 100.0;
+  /// Hard ceiling on any single sleep.
+  double max_backoff_ms = 5000.0;
+  /// Seeds the jitter stream; same seed, same failures -> same schedule.
+  uint64_t seed = 1;
+  /// When a 429/503 carries Retry-After, sleep at least that long
+  /// (still capped by max_backoff_ms).
+  bool honor_retry_after = true;
+};
+
+/// A thin, dependency-free retrying wrapper over HttpFetch for loopback
+/// tests, smoke binaries, and the chaos soak. What it retries:
+///
+///   - kUnavailable transport errors: the connect itself failed, so no
+///     request bytes reached a server — always safe to retry.
+///   - kIoError transport errors (send/recv died mid-flight): the server
+///     MAY have executed the request, so these retry only for idempotent
+///     methods (GET / HEAD). A POST /query that dies mid-read is
+///     surfaced to the caller rather than silently submitted twice.
+///   - HTTP 429 and 503: the server explicitly said "later"; the
+///     request was rejected before any work, so retrying is safe for
+///     every method. Retry-After, when present, paces the wait.
+///
+/// Everything else — 4xx/5xx responses, parse failures — returns
+/// immediately: retrying a deterministic failure only adds load.
+///
+/// Backoff between tries is decorrelated jitter (Brooker/AWS):
+///   sleep_i = min(cap, uniform(base, 3 * sleep_{i-1}))
+/// which spreads a thundering herd across time instead of synchronizing
+/// it the way plain doubling does.
+class RetryingHttpClient {
+ public:
+  /// Injection seams for tests: a fake fetch scripts server behavior and
+  /// a fake sleep records the backoff schedule without waiting.
+  using FetchFn = std::function<Result<HttpResponse>(
+      const std::string& host, uint16_t port, const std::string& method,
+      const std::string& target, const std::string& body)>;
+  using SleepFn = std::function<void(double ms)>;
+
+  explicit RetryingHttpClient(RetryOptions options = {});
+  /// Test constructor: custom transport and/or clockless sleep.
+  RetryingHttpClient(RetryOptions options, FetchFn fetch, SleepFn sleep);
+
+  /// Fetches with retries per the class contract. On success the LAST
+  /// response is returned (even a 4xx — only transport errors and
+  /// retryable statuses loop). On exhaustion, the last transport error
+  /// or the final 429/503 response is returned as-is.
+  Result<HttpResponse> Fetch(const std::string& host, uint16_t port,
+                             const std::string& method,
+                             const std::string& target,
+                             const std::string& body = "");
+
+  struct Stats {
+    uint64_t requests = 0;  ///< Fetch() calls
+    uint64_t retries = 0;   ///< extra attempts beyond each first try
+  };
+  Stats stats() const { return stats_; }
+
+ private:
+  RetryOptions options_;
+  FetchFn fetch_;
+  SleepFn sleep_;
+  uint64_t rng_state_;
+  Stats stats_;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SERVE_HTTP_CLIENT_H_

@@ -10,12 +10,15 @@
 #include <cctype>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "core/engine_context.h"
 #include "query/query_text.h"
 
@@ -68,29 +71,54 @@ const char* ReasonPhrase(int code) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 409:
+      return "Conflict";
+    case 412:
+      return "Precondition Failed";
     case 413:
       return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Internal Server Error";
   }
 }
 
+/// `extra_headers` must be "" or complete "Name: value\r\n" lines.
 std::string MakeResponse(int code, const std::string& content_type,
-                         const std::string& body) {
+                         const std::string& body,
+                         const std::string& extra_headers = "") {
   std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
                     ReasonPhrase(code) + "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += extra_headers;
   out += "Connection: close\r\n\r\n";
   out += body;
   return out;
 }
 
-std::string JsonError(int code, const std::string& message) {
+std::string JsonError(int code, const std::string& message,
+                      const std::string& extra_headers = "") {
   std::string body = "{\"error\":";
   AppendJsonString(body, message);
   body += "}\n";
-  return MakeResponse(code, "application/json", body);
+  return MakeResponse(code, "application/json", body, extra_headers);
+}
+
+/// Retry-After takes integral seconds; round up so a client never
+/// returns before the estimated drain instant.
+std::string RetryAfterHeader(double retry_after_ms) {
+  const auto secs = static_cast<uint64_t>(
+      std::ceil(std::max(retry_after_ms, 0.0) / 1000.0));
+  return "Retry-After: " + std::to_string(std::max<uint64_t>(secs, 1)) +
+         "\r\n";
 }
 
 /// Splits "a=1&b=2" into pairs; no percent-decoding (every recognized
@@ -177,6 +205,13 @@ void AppendTicketJson(std::string& out, const QueryResponse& resp) {
   AppendRoundTripDouble(out, resp.queue_ms);
   out += ",\"run_ms\":";
   AppendRoundTripDouble(out, resp.run_ms);
+  if (resp.degraded) {
+    // Partial answer: the run was retired early (overload shed or
+    // deadline) and result.error_bound is the achieved, not requested,
+    // bound. Only emitted when set, so non-degraded responses keep
+    // their exact pre-overload wire shape.
+    out += ",\"degraded\":true";
+  }
   if (resp.state == QueryState::kFailed) {
     out += ",\"error\":";
     AppendJsonString(out, resp.status.ToString());
@@ -328,18 +363,34 @@ void HttpServer::HandlerLoop() {
 }
 
 void HttpServer::HandleConnection(int fd) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(options_.read_timeout_ms / 1000.0);
-  tv.tv_usec = static_cast<suseconds_t>(
-      static_cast<long>(options_.read_timeout_ms * 1000.0) % 1000000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const auto set_timeout = [fd](int which, double ms) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(static_cast<long>(ms * 1000.0) %
+                                          1000000);
+    ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
+  };
+  set_timeout(SO_RCVTIMEO, options_.read_timeout_ms);
+  set_timeout(SO_SNDTIMEO, options_.write_timeout_ms);
+
+  // Per-recv timeouts alone don't stop a slow-loris client that feeds a
+  // byte every few seconds; the whole connection also runs against one
+  // wall-clock deadline.
+  const auto conn_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              options_.connection_deadline_ms));
+  const auto past_deadline = [&conn_deadline] {
+    return std::chrono::steady_clock::now() >= conn_deadline;
+  };
 
   std::string buf;
   size_t header_end = std::string::npos;
   char chunk[4096];
   while (header_end == std::string::npos) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
+    if (n <= 0 || KGAQ_FAULT_POINT("http.conn.read_error")) {
       ::close(fd);
       return;  // timeout, reset, or client gave up mid-head
     }
@@ -349,6 +400,13 @@ void HttpServer::HandleConnection(int fd) {
       requests_.fetch_add(1, std::memory_order_relaxed);
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       SendAll(fd, JsonError(413, "request exceeds limit"));
+      ::close(fd);
+      return;
+    }
+    if (header_end == std::string::npos && past_deadline()) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(fd, JsonError(408, "connection deadline exceeded mid-head"));
       ::close(fd);
       return;
     }
@@ -393,8 +451,14 @@ void HttpServer::HandleConnection(int fd) {
   }
   std::string body = buf.substr(header_end + 4);
   while (body.size() < content_length) {
+    if (past_deadline()) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(fd, JsonError(408, "connection deadline exceeded mid-body"));
+      ::close(fd);
+      return;
+    }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
+    if (n <= 0 || KGAQ_FAULT_POINT("http.conn.read_error")) {
       // A stalled or reset client left the body short. Never dispatch a
       // truncated body: a wire-format prefix cut at a clause boundary is
       // itself a valid (different) query.
@@ -430,6 +494,19 @@ std::string HttpServer::Dispatch(const std::string& method,
   };
 
   if (path == "/healthz") {
+    // Healthy keeps the historical "ok" body; load balancers checking
+    // for 200 see Saturated replicas as alive but can read the body to
+    // deprioritize them, and Shedding replicas drain via plain 503.
+    switch (service_.overload_state()) {
+      case OverloadState::kHealthy:
+        return MakeResponse(200, "text/plain", "ok\n");
+      case OverloadState::kSaturated:
+        return MakeResponse(200, "text/plain", "saturated\n");
+      case OverloadState::kShedding:
+        return MakeResponse(
+            503, "text/plain", "shedding\n",
+            RetryAfterHeader(service_.stats().retry_after_ms));
+    }
     return MakeResponse(200, "text/plain", "ok\n");
   }
 
@@ -442,8 +519,15 @@ std::string HttpServer::Dispatch(const std::string& method,
     out += ",\"failed\":" + std::to_string(s.failed);
     out += ",\"cancelled\":" + std::to_string(s.cancelled);
     out += ",\"deadline_expired\":" + std::to_string(s.deadline_expired);
+    out += ",\"rejected\":" + std::to_string(s.rejected);
+    out += ",\"shed\":" + std::to_string(s.shed);
+    out += ",\"degraded\":" + std::to_string(s.degraded);
     out += ",\"queued\":" + std::to_string(s.queued);
     out += ",\"running\":" + std::to_string(s.running);
+    out += ",\"overload\":\"";
+    out += OverloadStateToString(s.overload);
+    out += "\",\"retry_after_ms\":";
+    AppendRoundTripDouble(out, s.retry_after_ms);
     out += "},\"http\":{";
     out += "\"requests\":" +
            std::to_string(requests_.load(std::memory_order_relaxed));
@@ -507,6 +591,22 @@ std::string HttpServer::Dispatch(const std::string& method,
     }
     const std::string canonical = FormatAggregateQuery(request.query);
     QueryTicket ticket = service_.SubmitAsync(std::move(request));
+    {
+      // A rejected submission comes back already terminal (bounded queue
+      // full, shedding, or shutdown). Map its status through the shared
+      // taxonomy — 429 or 503 — with a Retry-After paced to the queue's
+      // observed drain rate, and never register it: the id is spent and
+      // there is nothing to poll.
+      const QueryResponse birth = ticket.Poll();
+      if (birth.state == QueryState::kFailed &&
+          (birth.status.code() == StatusCode::kResourceExhausted ||
+           birth.status.code() == StatusCode::kUnavailable)) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        return JsonError(HttpStatusForCode(birth.status.code()),
+                         birth.status.message(),
+                         RetryAfterHeader(service_.stats().retry_after_ms));
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(tickets_mu_);
       tickets_.emplace(ticket.id(), ticket);
@@ -629,11 +729,14 @@ Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
     return Status::InvalidArgument("unparseable host '" + host +
                                    "' (numeric IPv4 only)");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      KGAQ_FAULT_POINT("http.client.connect_error")) {
     const std::string err = std::strerror(errno);
     ::close(fd);
-    return Status::IoError("connect " + host + ":" + std::to_string(port) +
-                           ": " + err);
+    // kUnavailable, not kIoError: no request bytes reached a server, so
+    // the call is safe to retry regardless of the method's idempotency.
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " + err);
   }
   std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Host: " + host + "\r\n";
@@ -648,8 +751,11 @@ Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
   char chunk[4096];
   for (;;) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
+    if (n < 0 || KGAQ_FAULT_POINT("http.client.recv_error")) {
       ::close(fd);
+      // The request may have reached the server before the read died, so
+      // this is NOT blindly retryable: kIoError, and the retry policy
+      // decides by idempotency.
       return Status::IoError(std::string("recv: ") + std::strerror(errno));
     }
     if (n == 0) break;
@@ -666,6 +772,15 @@ Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
   const size_t header_end = raw.find("\r\n\r\n");
   if (header_end != std::string::npos) {
     out.body = raw.substr(header_end + 4);
+    // Case-insensitive Retry-After scan over the header block only.
+    std::string head = raw.substr(0, header_end);
+    for (char& c : head) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const size_t ra = head.find("retry-after:");
+    if (ra != std::string::npos) {
+      out.retry_after_s = std::strtod(raw.c_str() + ra + 12, nullptr);
+    }
   }
   return out;
 }

@@ -28,9 +28,17 @@ struct HttpServerOptions {
   size_t num_handler_threads = 4;
   /// Reject request heads/bodies beyond this size (413).
   size_t max_request_bytes = 1 << 20;
-  /// Per-connection socket read timeout, so a stalled client cannot pin
-  /// a handler thread forever.
+  /// Per-recv socket read timeout, so a stalled client cannot pin a
+  /// handler thread forever.
   double read_timeout_ms = 5000.0;
+  /// Per-send socket write timeout: a client that stops draining its
+  /// receive window cannot wedge a handler in send().
+  double write_timeout_ms = 5000.0;
+  /// Total wall-clock budget for one connection (read + dispatch + write).
+  /// Defeats slow-loris clients that trickle one byte per read_timeout:
+  /// each recv may beat the per-recv clock, but the connection as a whole
+  /// is still bounded. Exceeding it answers 408 and closes.
+  double connection_deadline_ms = 15000.0;
   /// The /result registry keeps at most this many tickets; beyond it the
   /// oldest submissions are dropped (their ids answer 404) so a
   /// long-lived server's memory stays bounded. Fetch results promptly or
@@ -50,9 +58,19 @@ struct HttpServerOptions {
 ///                          v_hat, moe, satisfied, rounds, draws, the
 ///                          seed used and queue/run timings.
 ///   GET|POST /cancel/<id>  cooperative cancel -> 200 with state.
-///   GET  /healthz          -> 200 "ok".
-///   GET  /stats            service counters + EngineContext cache
+///   GET  /healthz          -> 200 "ok" (Healthy), 200 "saturated"
+///                          (Saturated), 503 "shedding" + Retry-After
+///                          (Shedding) — load balancers can drain a
+///                          shedding replica without parsing JSON.
+///   GET  /stats            service counters (incl. overload state and
+///                          retry_after_ms) + EngineContext cache
 ///                          entries / approximate resident bytes.
+///
+/// Overload: when the service rejects a submit (bounded queue full or
+/// Shedding), POST /query answers 429 Too Many Requests — 503 while
+/// shutting down — with a Retry-After header derived from the observed
+/// queue drain rate. Clients honoring it (see serve/http_client.h)
+/// converge instead of hammering a saturated replica.
 ///
 /// One connection per request (responses close), bodies are read by
 /// Content-Length. The server owns accept + handler threads only;
@@ -113,6 +131,10 @@ class HttpServer {
 struct HttpResponse {
   int status_code = 0;
   std::string body;
+  /// Parsed Retry-After header (seconds); 0 when absent. 429/503
+  /// responses from HttpServer carry it so retrying clients can pace
+  /// themselves to the server's drain rate.
+  double retry_after_s = 0.0;
 };
 Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
                                const std::string& method,

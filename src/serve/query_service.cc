@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 
 namespace kgaq {
@@ -33,6 +36,7 @@ struct TicketState {
   QueryState state = QueryState::kQueued;
   Status status;
   AggregateResult result;
+  bool degraded = false;
   double queue_ms = 0.0;
   double run_ms = 0.0;
 
@@ -44,6 +48,7 @@ struct TicketState {
     out.status = status;
     out.result = result;
     out.seed_used = seed_used;
+    out.degraded = degraded;
     out.queue_ms = queue_ms;
     out.run_ms = run_ms;
     return out;
@@ -74,6 +79,18 @@ const char* QueryStateToString(QueryState s) {
 
 bool IsTerminalState(QueryState s) {
   return s != QueryState::kQueued && s != QueryState::kRunning;
+}
+
+const char* OverloadStateToString(OverloadState s) {
+  switch (s) {
+    case OverloadState::kHealthy:
+      return "healthy";
+    case OverloadState::kSaturated:
+      return "saturated";
+    case OverloadState::kShedding:
+      return "shedding";
+  }
+  return "unknown";
 }
 
 // ---------------------------------------------------------------- ticket
@@ -158,9 +175,35 @@ QueryTicket QueryService::SubmitAsync(QueryRequest request) {
             ? *request.seed
             : QuerySeed(options_.base_seed, static_cast<size_t>(state->id));
     state->request = std::move(request);
+    ++stats_.submitted;
+    // Re-evaluate overload BEFORE the admission decision so a queue the
+    // scheduler has already drained lets us exit Shedding on this very
+    // submit instead of rejecting against stale state.
+    UpdateOverloadLocked();
+    Status reject;
+    if (shutdown_) {
+      reject = Status::Unavailable("service shutting down");
+    } else if (KGAQ_FAULT_POINT("serve.admit.queue_full") ||
+               (options_.max_queue_depth > 0 &&
+                queue_.size() >= options_.max_queue_depth) ||
+               overload_ == OverloadState::kShedding) {
+      reject = Status::ResourceExhausted(
+          "admission queue full; retry after " +
+          std::to_string(static_cast<uint64_t>(RetryAfterMsLocked())) + " ms");
+    }
+    if (!reject.ok()) {
+      // Rejected tickets are born terminal: they consumed a submission
+      // index (and a seed) but never touch queue_, outstanding_, or
+      // Retire, so Drain() does not wait on them. No lock on state->mu is
+      // needed — the ticket has not been published yet.
+      state->state = QueryState::kFailed;
+      state->status = std::move(reject);
+      ++stats_.rejected;
+      return QueryTicket(std::move(state));
+    }
     queue_.push_back(state);
     ++outstanding_;
-    ++stats_.submitted;
+    UpdateOverloadLocked();  // this push may cross an enter threshold
     if (!scheduler_.joinable()) {
       scheduler_ = std::thread([this] { SchedulerLoop(); });
     }
@@ -184,12 +227,71 @@ QueryService::ServiceStats QueryService::stats() const {
   ServiceStats out = stats_;
   out.queued = queue_.size();
   out.running = running_;
+  out.overload = overload_;
+  out.retry_after_ms = RetryAfterMsLocked();
   return out;
 }
 
+OverloadState QueryService::overload_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overload_;
+}
+
+void QueryService::UpdateOverloadLocked() {
+  if (options_.max_queue_depth == 0) {
+    overload_ = OverloadState::kHealthy;
+    return;
+  }
+  const double q = static_cast<double>(queue_.size()) /
+                   static_cast<double>(options_.max_queue_depth);
+  // Hysteresis: enter thresholds are strictly above the matching exit
+  // thresholds, so small oscillations around one boundary cannot flap
+  // the state (and with it /healthz) on every submit/retire.
+  switch (overload_) {
+    case OverloadState::kHealthy:
+      if (q >= options_.shedding_enter) {
+        overload_ = OverloadState::kShedding;
+      } else if (q >= options_.saturated_enter) {
+        overload_ = OverloadState::kSaturated;
+      }
+      break;
+    case OverloadState::kSaturated:
+      if (q >= options_.shedding_enter) {
+        overload_ = OverloadState::kShedding;
+      } else if (q <= options_.saturated_exit) {
+        overload_ = OverloadState::kHealthy;
+      }
+      break;
+    case OverloadState::kShedding:
+      if (q <= options_.shedding_exit) {
+        overload_ = q <= options_.saturated_exit ? OverloadState::kHealthy
+                                                 : OverloadState::kSaturated;
+      }
+      break;
+  }
+}
+
+double QueryService::RetryAfterMsLocked() const {
+  // Expected time for the queue to drain at the observed retirement
+  // rate. Before any retirement there is no rate, so fall back to one
+  // second — long enough to matter, short enough to re-probe quickly.
+  const double interval =
+      (any_retired_ && drain_interval_ms_ > 0.0) ? drain_interval_ms_
+                                                 : 1000.0;
+  const double queued = static_cast<double>(queue_.size());
+  const double estimate = queued > 0.0 ? queued * interval : interval;
+  return std::clamp(estimate, 1.0, 60000.0);
+}
+
 void QueryService::Retire(const TicketPtr& t, QueryState state,
-                          Status status, AggregateResult result) {
+                          Status status, AggregateResult result,
+                          bool degraded, bool shed_from_queue) {
   const auto now = TicketState::Clock::now();
+  if (degraded && result.rounds > 0 && std::abs(result.v_hat) > 0.0) {
+    // A degraded answer reports what it achieved, not what was asked:
+    // the relative half-width of the confidence interval actually built.
+    result.error_bound = result.moe / std::abs(result.v_hat);
+  }
   {
     std::lock_guard<std::mutex> lock(t->mu);
     if (IsTerminalState(t->state)) return;  // first terminal wins
@@ -201,27 +303,44 @@ void QueryService::Retire(const TicketPtr& t, QueryState state,
     t->state = state;
     t->status = std::move(status);
     t->result = std::move(result);
+    t->degraded = degraded;
   }
   t->cv.notify_all();
   {
     std::lock_guard<std::mutex> lock(mu_);
     --outstanding_;
-    switch (state) {
-      case QueryState::kDone:
-        ++stats_.done;
-        break;
-      case QueryState::kFailed:
-        ++stats_.failed;
-        break;
-      case QueryState::kCancelled:
-        ++stats_.cancelled;
-        break;
-      case QueryState::kDeadlineExceeded:
-        ++stats_.deadline_expired;
-        break;
-      default:
-        break;
+    if (any_retired_) {
+      const double dt =
+          std::chrono::duration<double, std::milli>(now - last_retire_)
+              .count();
+      // EWMA of inter-retirement gaps: the drain rate Retry-After is
+      // computed from. 0.2 weight smooths bursty tick retirements.
+      drain_interval_ms_ = 0.8 * drain_interval_ms_ + 0.2 * dt;
     }
+    any_retired_ = true;
+    last_retire_ = now;
+    if (shed_from_queue) {
+      ++stats_.shed;
+    } else {
+      switch (state) {
+        case QueryState::kDone:
+          ++stats_.done;
+          break;
+        case QueryState::kFailed:
+          ++stats_.failed;
+          break;
+        case QueryState::kCancelled:
+          ++stats_.cancelled;
+          break;
+        case QueryState::kDeadlineExceeded:
+          ++stats_.deadline_expired;
+          break;
+        default:
+          break;
+      }
+    }
+    if (degraded) ++stats_.degraded;
+    UpdateOverloadLocked();
   }
   drained_.notify_all();
 }
@@ -234,8 +353,13 @@ void QueryService::SchedulerLoop() {
     std::unique_ptr<QuerySession> session;
     TicketState::Clock::time_point admit_time;
   };
+  enum class ReapWhy : uint8_t { kCancel, kDeadline, kShed };
+  struct Reaped {
+    TicketPtr ticket;
+    ReapWhy why;
+  };
   std::vector<Active> active;
-  std::vector<TicketPtr> reap;
+  std::vector<Reaped> reap;
 
   for (;;) {
     // Collect this tick's admissions (and notice shutdown). The wait
@@ -259,26 +383,69 @@ void QueryService::SchedulerLoop() {
         queue_.pop_front();
       }
       // Sweep the remaining queue for tickets that died waiting —
-      // cancelled or deadline-expired before a slot freed up — so their
-      // waiters unblock now rather than at some future admission.
+      // cancelled, deadline-expired, or queued past max_queue_wait — so
+      // their waiters unblock now rather than at some future admission.
+      // Precedence cancel > deadline > shed: the destructor cancels all
+      // queued tickets, so shutdown outcomes stay deterministic.
+      const auto sweep_now = TicketState::Clock::now();
       for (size_t i = 0; i < queue_.size();) {
-        if (queue_[i]->cancel.load(std::memory_order_acquire) ||
-            queue_[i]->deadline.expired()) {
-          reap.push_back(std::move(queue_[i]));
+        const TicketPtr& q = queue_[i];
+        ReapWhy why = ReapWhy::kShed;
+        bool dead = true;
+        if (q->cancel.load(std::memory_order_acquire)) {
+          why = ReapWhy::kCancel;
+        } else if (q->deadline.expired()) {
+          why = ReapWhy::kDeadline;
+        } else if (options_.max_queue_wait_ms > 0.0 &&
+                   std::chrono::duration<double, std::milli>(
+                       sweep_now - q->submit_time)
+                           .count() > options_.max_queue_wait_ms) {
+          why = ReapWhy::kShed;
+        } else {
+          dead = false;
+        }
+        if (dead) {
+          reap.push_back({std::move(queue_[i]), why});
           queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
         } else {
           ++i;
         }
       }
+      UpdateOverloadLocked();  // admission + sweep just drained the queue
     }
-    for (TicketPtr& t : reap) {
-      Retire(t,
-             t->cancel.load(std::memory_order_acquire)
-                 ? QueryState::kCancelled
-                 : QueryState::kDeadlineExceeded,
-             Status::OK(), AggregateResult{});
+    for (Reaped& r : reap) {
+      switch (r.why) {
+        case ReapWhy::kCancel:
+          Retire(r.ticket, QueryState::kCancelled, Status::OK(),
+                 AggregateResult{});
+          break;
+        case ReapWhy::kDeadline:
+          Retire(r.ticket, QueryState::kDeadlineExceeded, Status::OK(),
+                 AggregateResult{});
+          break;
+        case ReapWhy::kShed:
+          Retire(r.ticket, QueryState::kFailed,
+                 Status::ResourceExhausted(
+                     "shed from admission queue: waited past "
+                     "max_queue_wait_ms"),
+                 AggregateResult{}, /*degraded=*/false,
+                 /*shed_from_queue=*/true);
+          break;
+      }
     }
     reap.clear();
+
+    // Fault point for the shutdown-during-tick regression test: park the
+    // scheduler here so ~QueryService can run mid-tick, then re-read the
+    // shutdown flag so this tick reacts to it instead of a stale snapshot
+    // taken before the stall.
+    if (KGAQ_FAULT_POINT("serve.scheduler.stall")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutting_down = shutdown_;
+    }
     if (shutting_down) {
       for (Active& a : active) {
         a.ticket->cancel.store(true, std::memory_order_release);
@@ -352,6 +519,21 @@ void QueryService::SchedulerLoop() {
 
     if (active.empty()) continue;
 
+    // Under Shedding, ask every in-flight session that already holds at
+    // least one completed round to retire with its partial estimate at
+    // the next round boundary. Zero-round sessions are left to finish a
+    // first round so no admitted query ever returns without an answer.
+    bool shedding = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shedding = overload_ == OverloadState::kShedding;
+    }
+    if (shedding) {
+      for (Active& a : active) {
+        if (a.session->rounds_completed() >= 1) a.session->RequestShed();
+      }
+    }
+
     // One scheduling tick: every unfinished session advances exactly one
     // Algorithm-2 round, fanned out as a TaskGroup batch over the pool.
     // Sessions are fully independent (own Rng, own sample) and context
@@ -359,25 +541,50 @@ void QueryService::SchedulerLoop() {
     // interleaving affects wall-clock only — per-query results stay
     // bitwise-identical to solo runs with the same seed. StepRound itself
     // re-checks each session's cancel flag and deadline before drawing.
-    ParallelFor(pool, active.size(),
-                [&](size_t a) { active[a].session->StepRound(); });
+    ParallelFor(pool, active.size(), [&](size_t a) {
+      if (KGAQ_FAULT_POINT("serve.round.slow")) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      active[a].session->StepRound();
+    });
 
     // Retire finished sessions; their slots free up for the next tick's
-    // admission.
+    // admission. running_ is updated BEFORE the retirements: Retire on
+    // the last outstanding ticket wakes Drain(), and a drainer's stats()
+    // snapshot must not see the retired sessions still counted running.
     size_t kept = 0;
+    std::vector<Active> finished;
     for (Active& a : active) {
       if (!a.session->run_finished()) {
         active[kept++] = std::move(a);
-        continue;
+      } else {
+        finished.push_back(std::move(a));
       }
+    }
+    active.resize(kept);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_ = active.size();
+    }
+    for (Active& a : finished) {
       AggregateResult result = a.session->FinishRun();
       QueryState state = QueryState::kDone;
+      bool degraded = false;
       switch (a.session->stop_cause()) {
         case StopCause::kCancelled:
           state = QueryState::kCancelled;
           break;
         case StopCause::kDeadlineExceeded:
           state = QueryState::kDeadlineExceeded;
+          // A deadline that fired mid-run still hands back everything the
+          // rounds so far earned; only 0-round expiries return empty.
+          degraded = result.rounds >= 1;
+          break;
+        case StopCause::kShed:
+          // Shed sessions complete with a partial answer: state kDone,
+          // degraded flag set, error_bound rewritten to the achieved
+          // bound in Retire.
+          degraded = true;
           break;
         case StopCause::kNone:
           break;
@@ -389,12 +596,7 @@ void QueryService::SchedulerLoop() {
         std::lock_guard<std::mutex> lock(a.ticket->mu);
         a.ticket->run_ms = run_ms;
       }
-      Retire(a.ticket, state, Status::OK(), std::move(result));
-    }
-    active.resize(kept);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      running_ = active.size();
+      Retire(a.ticket, state, Status::OK(), std::move(result), degraded);
     }
   }
 }

@@ -22,6 +22,23 @@ namespace serve_internal {
 struct TicketState;
 }  // namespace serve_internal
 
+/// Overload state of a QueryService under bounded admission — a
+/// three-state machine over the queue-depth fraction q = queued /
+/// max_queue_depth, with hysteresis so the state cannot flap on every
+/// submit/retire (see ServiceOptions thresholds):
+///
+///   Healthy ──q ≥ saturated_enter──▶ Saturated ──q ≥ shedding_enter──▶ Shedding
+///      ▲◀──q ≤ saturated_exit─────────┘  ▲◀──────q ≤ shedding_exit───────┘
+///
+/// Shedding rejects new submissions outright (429 upstream) and retires
+/// in-flight queries that already hold a ≥1-round estimate with a
+/// degraded response, so the queue drains instead of collapsing.
+/// Unbounded services (max_queue_depth == 0) are always Healthy.
+enum class OverloadState : uint8_t { kHealthy, kSaturated, kShedding };
+
+/// "healthy", "saturated", "shedding".
+const char* OverloadStateToString(OverloadState s);
+
 /// Admission / scheduling knobs of a QueryService.
 struct ServiceOptions {
   /// Admission width: how many queries run their rounds concurrently.
@@ -31,6 +48,24 @@ struct ServiceOptions {
   /// QueryService::QuerySeed(base, index) unless its request pins one, so
   /// per-query streams are independent yet fully reproducible.
   uint64_t base_seed = 7;
+  /// Bounded admission: maximum tickets waiting for a slot. 0 keeps the
+  /// legacy unbounded queue. A full queue rejects at submit with
+  /// StatusCode::kResourceExhausted (ticket lands terminal kFailed,
+  /// never queued; the HTTP front-end answers 429 + Retry-After).
+  size_t max_queue_depth = 0;
+  /// Maximum time a ticket may wait in the queue before the scheduler
+  /// sheds it (kFailed + kResourceExhausted, counted in stats().shed).
+  /// 0 means wait forever. A shed-in-queue query never ran, so it holds
+  /// no partial estimate — bound queue *depth* too if you want arrivals
+  /// rejected up front instead.
+  double max_queue_wait_ms = 0.0;
+  /// Overload state-machine thresholds, as fractions of max_queue_depth
+  /// (ignored when the queue is unbounded). Enter thresholds must sit
+  /// above their exit thresholds — the gap is the hysteresis band.
+  double saturated_enter = 0.50;
+  double saturated_exit = 0.25;
+  double shedding_enter = 0.90;
+  double shedding_exit = 0.50;
   /// Per-query engine configuration. A request's overrides (error bound,
   /// confidence, seed, max rounds) are applied on top; the `seed` field is
   /// otherwise overridden by the derived per-query seed.
@@ -87,6 +122,15 @@ struct QueryResponse {
   /// The seed this query's Rng stream was (or will be) seeded with; a
   /// solo ApproxEngine run with this seed reproduces the result exactly.
   uint64_t seed_used = 0;
+  /// Graceful degradation marker: true when the run was stopped short by
+  /// overload shedding or an expired deadline *after* completing at
+  /// least one round — `result` then carries a valid partial estimate
+  /// whose `error_bound` field is rewritten to the ACHIEVED relative
+  /// bound (moe / |v_hat|) instead of the requested one. A degraded
+  /// response is an answer, not an error: `status` stays OK. Queries
+  /// stopped before their first round are never marked degraded (their
+  /// estimate would be vacuous).
+  bool degraded = false;
   /// Submission -> admission (or -> terminal when never admitted).
   double queue_ms = 0.0;
   /// Admission -> retirement; 0 until admitted.
@@ -166,6 +210,18 @@ class QueryTicket {
 /// deadlines are checked between rounds only and per-query streams are
 /// independent, so a retiring query cannot perturb any other session's
 /// draws. Tested in tests/serve_test.cc.
+///
+/// Overload protection (opt-in via ServiceOptions::max_queue_depth): a
+/// full queue rejects at submit (kResourceExhausted — the ticket comes
+/// back already terminal), queued tickets older than max_queue_wait_ms
+/// are shed, and the Healthy/Saturated/Shedding state machine (with
+/// hysteresis) drives graceful degradation: while Shedding, new
+/// submissions are refused and in-flight queries that already completed
+/// ≥1 round retire at the next round boundary with a *degraded* partial
+/// estimate (QueryResponse::degraded, achieved error bound) rather than
+/// an error. The anytime estimator makes this loss-free: every accepted
+/// query that ran at least one round always gets an answer. Tested in
+/// tests/overload_test.cc.
 class QueryService {
  public:
   explicit QueryService(std::shared_ptr<const EngineContext> context,
@@ -196,16 +252,32 @@ class QueryService {
   void Drain();
 
   /// Service-level counters (tickets by state), for /stats and tests.
+  /// Every submission ends in exactly one of the five terminal buckets:
+  ///   submitted == done + failed + cancelled + deadline_expired
+  ///                + rejected + shed        (once all tickets retire)
+  /// `degraded` is an overlay, not a bucket: it counts the done /
+  /// deadline_expired tickets whose response carried a degraded partial.
   struct ServiceStats {
     uint64_t submitted = 0;
     uint64_t done = 0;
     uint64_t failed = 0;
     uint64_t cancelled = 0;
     uint64_t deadline_expired = 0;
+    uint64_t rejected = 0;  ///< refused at submit (queue full / shedding)
+    uint64_t shed = 0;      ///< evicted from the queue (max_queue_wait_ms)
+    uint64_t degraded = 0;  ///< retired with a degraded partial estimate
     size_t queued = 0;   ///< currently waiting for a slot
     size_t running = 0;  ///< currently admitted
+    OverloadState overload = OverloadState::kHealthy;
+    /// Suggested client wait before resubmitting, from the observed
+    /// queue drain rate (EWMA of inter-retirement gaps x queue depth).
+    /// The HTTP front-end rounds this up into 429 Retry-After.
+    double retry_after_ms = 0.0;
   };
   ServiceStats stats() const;
+
+  /// Current overload state (see OverloadState).
+  OverloadState overload_state() const;
 
   // --- Legacy blocking surface (thin wrappers over the async core) -----
 
@@ -242,8 +314,18 @@ class QueryService {
 
   void SchedulerLoop();
   /// Marks `t` terminal under its own lock and updates service counters.
+  /// `degraded` tags the response as a degraded partial (see
+  /// QueryResponse::degraded) and rewrites result.error_bound to the
+  /// achieved bound; `shed_from_queue` routes the kFailed count into
+  /// stats().shed instead of stats().failed.
   void Retire(const TicketPtr& t, QueryState state, Status status,
-              AggregateResult result);
+              AggregateResult result, bool degraded = false,
+              bool shed_from_queue = false);
+  /// Re-evaluates the overload state machine from the current queue
+  /// depth. Caller holds mu_.
+  void UpdateOverloadLocked();
+  /// Suggested client backoff from the drain-rate EWMA. Caller holds mu_.
+  double RetryAfterMsLocked() const;
 
   std::shared_ptr<const EngineContext> ctx_;
   ServiceOptions options_;
@@ -257,6 +339,12 @@ class QueryService {
   size_t running_ = 0;               ///< admitted by the scheduler
   bool shutdown_ = false;
   ServiceStats stats_;
+  OverloadState overload_ = OverloadState::kHealthy;
+  /// Drain-rate estimate: EWMA of the gap between consecutive
+  /// retirements, in ms. 0 until two retirements have been observed.
+  double drain_interval_ms_ = 0.0;
+  std::chrono::steady_clock::time_point last_retire_;
+  bool any_retired_ = false;
   std::thread scheduler_;  ///< started lazily on first submission
 
   // Legacy wrapper state: tickets in Submit order, materialized results.

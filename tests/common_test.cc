@@ -31,9 +31,34 @@ TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= 8; ++c) {
+  for (int c = 0; c <= 10; ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusTest, OverloadFactoriesCarryTheirCodes) {
+  EXPECT_EQ(Status::ResourceExhausted("queue full").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("shutting down").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("q").ToString(),
+            "ResourceExhausted: q");
+}
+
+// The one shared Status -> HTTP mapping the server, client, and tests
+// all agree on.
+TEST(StatusTest, HttpStatusMappingCoversEveryCode) {
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kOk), 200);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kOutOfRange), 400);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kNotFound), 404);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kAlreadyExists), 409);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kFailedPrecondition), 412);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kResourceExhausted), 429);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kUnimplemented), 501);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kUnavailable), 503);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kInternal), 500);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kIoError), 500);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

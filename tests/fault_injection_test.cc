@@ -1,0 +1,130 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace kgaq {
+namespace {
+
+namespace fi = fault_injection;
+
+/// Every test begins and ends with a clean, disabled registry: the rest
+/// of the suite (and any other test binary sharing this process) must
+/// never see a stray armed point.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fi::Reset(); }
+  void TearDown() override { fi::Reset(); }
+};
+
+TEST_F(FaultInjectionTest, DisabledMacroNeverFiresAndCountsNothing) {
+  fi::Arm("test.point", 1.0);  // armed but NOT enabled
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(KGAQ_FAULT_POINT("test.point"));
+  }
+  // The macro short-circuits on the enabled flag, so hits aren't counted.
+  EXPECT_EQ(fi::HitCount("test.point"), 0u);
+}
+
+TEST_F(FaultInjectionTest, UnarmedPointCountsHitsButNeverFails) {
+  fi::Enable(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(KGAQ_FAULT_POINT("test.unarmed"));
+  }
+  EXPECT_EQ(fi::HitCount("test.unarmed"), 50u);
+  EXPECT_EQ(fi::FailCount("test.unarmed"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityOneAlwaysFailsZeroNeverDoes) {
+  fi::Enable(7);
+  fi::Arm("test.always", 1.0);
+  fi::Arm("test.never", 0.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(KGAQ_FAULT_POINT("test.always"));
+    EXPECT_FALSE(KGAQ_FAULT_POINT("test.never"));
+  }
+}
+
+TEST_F(FaultInjectionTest, ArmCountFailsExactlyNTimesThenStops) {
+  fi::Enable(7);
+  fi::ArmCount("test.counted", 3);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (KGAQ_FAULT_POINT("test.counted")) ++failures;
+  }
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(fi::FailCount("test.counted"), 3u);
+  EXPECT_EQ(fi::HitCount("test.counted"), 10u);
+}
+
+TEST_F(FaultInjectionTest, SameSeedGivesSameFailingHitIndices) {
+  auto failing_indices = [](uint64_t seed) {
+    fi::Reset();
+    fi::Enable(seed);
+    fi::Arm("test.seeded", 0.3);
+    std::vector<int> out;
+    for (int i = 0; i < 200; ++i) {
+      if (KGAQ_FAULT_POINT("test.seeded")) out.push_back(i);
+    }
+    return out;
+  };
+  const auto a = failing_indices(42);
+  const auto b = failing_indices(42);
+  const auto c = failing_indices(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide over 200 draws
+  EXPECT_FALSE(a.empty());
+  EXPECT_LT(a.size(), 200u);
+}
+
+TEST_F(FaultInjectionTest, FailureCountIsScheduleIndependent) {
+  // The i-th hit's decision depends only on (seed, name, i), so the
+  // TOTAL number of injected failures over N hits is the same whether
+  // one thread makes them all or eight race for them.
+  auto total_failures = [](int num_threads) {
+    fi::Reset();
+    fi::Enable(99);
+    fi::Arm("test.threads", 0.25);
+    constexpr int kHitsTotal = 400;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < kHitsTotal / 4; ++i) {
+          (void)KGAQ_FAULT_POINT("test.threads");
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    return fi::FailCount("test.threads");
+  };
+  EXPECT_EQ(total_failures(4), total_failures(4));
+}
+
+TEST_F(FaultInjectionTest, SnapshotListsEveryPointSorted) {
+  fi::Enable(1);
+  fi::Arm("b.point", 1.0);
+  (void)KGAQ_FAULT_POINT("b.point");
+  (void)KGAQ_FAULT_POINT("a.point");
+  const auto snap = fi::Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "a.point");
+  EXPECT_EQ(snap[0].hits, 1u);
+  EXPECT_EQ(snap[0].failures, 0u);
+  EXPECT_EQ(snap[1].name, "b.point");
+  EXPECT_EQ(snap[1].failures, 1u);
+}
+
+TEST_F(FaultInjectionTest, ResetForgetsPointsAndDisables) {
+  fi::Enable(1);
+  fi::Arm("test.reset", 1.0);
+  EXPECT_TRUE(KGAQ_FAULT_POINT("test.reset"));
+  fi::Reset();
+  EXPECT_FALSE(fi::Enabled());
+  EXPECT_EQ(fi::HitCount("test.reset"), 0u);
+  EXPECT_FALSE(KGAQ_FAULT_POINT("test.reset"));
+}
+
+}  // namespace
+}  // namespace kgaq

@@ -1,0 +1,200 @@
+#include "serve/http_client.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kgaq {
+namespace {
+
+/// Scripts a sequence of transport outcomes and records every attempt;
+/// the paired sleep fn records the backoff schedule without waiting.
+struct FakeTransport {
+  std::vector<Result<HttpResponse>> script;
+  size_t calls = 0;
+  std::vector<double> sleeps;
+
+  RetryingHttpClient Client(RetryOptions options) {
+    return RetryingHttpClient(
+        options,
+        [this](const std::string&, uint16_t, const std::string&,
+               const std::string&, const std::string&) {
+          const size_t i = calls++;
+          return i < script.size() ? script[i] : script.back();
+        },
+        [this](double ms) { sleeps.push_back(ms); });
+  }
+};
+
+HttpResponse Ok200(const std::string& body) {
+  HttpResponse r;
+  r.status_code = 200;
+  r.body = body;
+  return r;
+}
+
+HttpResponse Busy429(double retry_after_s) {
+  HttpResponse r;
+  r.status_code = 429;
+  r.retry_after_s = retry_after_s;
+  return r;
+}
+
+TEST(RetryingHttpClientTest, FirstTrySuccessNeverSleeps) {
+  FakeTransport ft;
+  ft.script.push_back(Ok200("hi"));
+  auto client = ft.Client({});
+  auto resp = client.Fetch("127.0.0.1", 1, "GET", "/x");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "hi");
+  EXPECT_EQ(ft.calls, 1u);
+  EXPECT_TRUE(ft.sleeps.empty());
+  EXPECT_EQ(client.stats().retries, 0u);
+}
+
+TEST(RetryingHttpClientTest, UnavailableRetriesEvenForPost) {
+  FakeTransport ft;
+  ft.script.push_back(Status::Unavailable("connect refused"));
+  ft.script.push_back(Status::Unavailable("connect refused"));
+  ft.script.push_back(Ok200("finally"));
+  auto client = ft.Client({});
+  auto resp = client.Fetch("127.0.0.1", 1, "POST", "/query", "COUNT ...");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "finally");
+  EXPECT_EQ(ft.calls, 3u);
+  EXPECT_EQ(ft.sleeps.size(), 2u);
+  EXPECT_EQ(client.stats().retries, 2u);
+}
+
+TEST(RetryingHttpClientTest, IoErrorRetriesGetButNotPost) {
+  {
+    FakeTransport ft;
+    ft.script.push_back(Status::IoError("recv: reset"));
+    ft.script.push_back(Ok200("again"));
+    auto client = ft.Client({});
+    auto resp = client.Fetch("127.0.0.1", 1, "GET", "/result/1");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(ft.calls, 2u);
+  }
+  {
+    // A POST that died mid-read MAY have executed server-side; replaying
+    // it could submit the query twice, so the error surfaces instead.
+    FakeTransport ft;
+    ft.script.push_back(Status::IoError("recv: reset"));
+    ft.script.push_back(Ok200("never reached"));
+    auto client = ft.Client({});
+    auto resp = client.Fetch("127.0.0.1", 1, "POST", "/query", "COUNT ...");
+    ASSERT_FALSE(resp.ok());
+    EXPECT_EQ(resp.status().code(), StatusCode::kIoError);
+    EXPECT_EQ(ft.calls, 1u);
+    EXPECT_TRUE(ft.sleeps.empty());
+  }
+}
+
+TEST(RetryingHttpClientTest, Retries429AndStopsAtMaxAttempts) {
+  FakeTransport ft;
+  ft.script.push_back(Busy429(0.0));
+  RetryOptions opts;
+  opts.max_attempts = 3;
+  auto client = ft.Client(opts);
+  auto resp = client.Fetch("127.0.0.1", 1, "POST", "/query", "COUNT ...");
+  ASSERT_TRUE(resp.ok());  // exhausted: final 429 handed back as-is
+  EXPECT_EQ(resp->status_code, 429);
+  EXPECT_EQ(ft.calls, 3u);
+  EXPECT_EQ(ft.sleeps.size(), 2u);
+}
+
+TEST(RetryingHttpClientTest, NonRetryableStatusesReturnImmediately) {
+  for (int code : {400, 404, 500}) {
+    FakeTransport ft;
+    HttpResponse r;
+    r.status_code = code;
+    ft.script.push_back(r);
+    auto client = ft.Client({});
+    auto resp = client.Fetch("127.0.0.1", 1, "GET", "/x");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status_code, code);
+    EXPECT_EQ(ft.calls, 1u) << "status " << code;
+    EXPECT_TRUE(ft.sleeps.empty());
+  }
+}
+
+// The backoff schedule is a pure function of the seed: same seed, same
+// failure sequence -> the exact same sleeps, run to run. Different seed
+// -> a different (jittered) schedule within the same bounds.
+TEST(RetryingHttpClientTest, BackoffScheduleIsDeterministicPerSeed) {
+  auto schedule = [](uint64_t seed) {
+    FakeTransport ft;
+    ft.script.push_back(Status::Unavailable("down"));
+    RetryOptions opts;
+    opts.max_attempts = 6;
+    opts.initial_backoff_ms = 100.0;
+    opts.max_backoff_ms = 2000.0;
+    opts.seed = seed;
+    auto client = ft.Client(opts);
+    EXPECT_FALSE(client.Fetch("127.0.0.1", 1, "GET", "/x").ok());
+    return ft.sleeps;
+  };
+  const auto a = schedule(5);
+  const auto b = schedule(5);
+  const auto c = schedule(6);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Decorrelated-jitter bounds: every sleep in [base, cap], and each is
+  // at most 3x its predecessor.
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], 100.0);
+    EXPECT_LE(a[i], 2000.0);
+    if (i > 0) {
+      EXPECT_LE(a[i], 3.0 * a[i - 1] + 1e-9);
+    }
+  }
+}
+
+TEST(RetryingHttpClientTest, HonorsRetryAfterAsSleepFloor) {
+  FakeTransport ft;
+  ft.script.push_back(Busy429(1.5));  // server says: wait 1.5 s
+  ft.script.push_back(Ok200("done"));
+  RetryOptions opts;
+  opts.initial_backoff_ms = 10.0;  // jitter alone would sleep far less
+  opts.max_backoff_ms = 5000.0;
+  auto client = ft.Client(opts);
+  auto resp = client.Fetch("127.0.0.1", 1, "POST", "/query", "COUNT ...");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 200);
+  ASSERT_EQ(ft.sleeps.size(), 1u);
+  EXPECT_GE(ft.sleeps[0], 1500.0);
+  EXPECT_LE(ft.sleeps[0], 5000.0);
+}
+
+TEST(RetryingHttpClientTest, RetryAfterStillCappedByMaxBackoff) {
+  FakeTransport ft;
+  ft.script.push_back(Busy429(60.0));  // absurd server ask
+  ft.script.push_back(Ok200("done"));
+  RetryOptions opts;
+  opts.max_backoff_ms = 2000.0;
+  auto client = ft.Client(opts);
+  ASSERT_TRUE(client.Fetch("127.0.0.1", 1, "GET", "/x").ok());
+  ASSERT_EQ(ft.sleeps.size(), 1u);
+  EXPECT_LE(ft.sleeps[0], 2000.0);
+}
+
+TEST(RetryingHttpClientTest, MaxAttemptsOneDisablesRetry) {
+  FakeTransport ft;
+  ft.script.push_back(Status::Unavailable("down"));
+  RetryOptions opts;
+  opts.max_attempts = 1;
+  auto client = ft.Client(opts);
+  auto resp = client.Fetch("127.0.0.1", 1, "GET", "/x");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ft.calls, 1u);
+  EXPECT_TRUE(ft.sleeps.empty());
+}
+
+}  // namespace
+}  // namespace kgaq

@@ -235,5 +235,176 @@ TEST_F(HttpServerTest, StatsExposeServiceAndCacheState) {
       << body;
 }
 
+/// Server + bounded service wired together for the overload tests; the
+/// member order gives the required destruction order (server first).
+struct BoundedStack {
+  std::shared_ptr<EngineContext> ctx;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<HttpServer> server;
+
+  explicit BoundedStack(ServiceOptions sopts) {
+    const auto& ds = MiniDataset();
+    ctx = std::make_shared<EngineContext>(ds.graph(),
+                                          ds.reference_embedding());
+    sopts.engine.fixed_increment = 2000;
+    sopts.engine.max_total_draws = static_cast<size_t>(1) << 40;
+    service = std::make_unique<QueryService>(ctx, sopts);
+    server = std::make_unique<HttpServer>(*service);
+    auto started = server->Start();
+    EXPECT_TRUE(started.ok()) << started;
+  }
+  ~BoundedStack() {
+    server.reset();
+    service.reset();
+  }
+
+  Result<HttpResponse> Fetch(const std::string& method,
+                             const std::string& target,
+                             const std::string& body = "") {
+    return HttpFetch("127.0.0.1", server->port(), method, target, body);
+  }
+};
+
+std::string UnsatisfiableText() {
+  return FormatAggregateQuery(WorkloadGenerator::SimpleQuery(
+      MiniDataset(), 0, 0, AggregateFunction::kAvg));
+}
+
+// Backpressure end-to-end: a full bounded queue turns POST /query into
+// 429 Too Many Requests with a Retry-After header the client can parse.
+// shedding_enter is parked out of reach so the rejection is purely the
+// deterministic queue-full path.
+TEST(HttpOverloadTest, FullQueueAnswers429WithRetryAfterOverLoopback) {
+  ServiceOptions sopts;
+  sopts.base_seed = 505;
+  sopts.max_concurrent = 1;
+  sopts.max_queue_depth = 2;
+  sopts.shedding_enter = 10.0;  // never shed: isolate the queue-full path
+  BoundedStack stack(sopts);
+
+  const std::string text = UnsatisfiableText();
+  const std::string params = "?eb=1e-9&max_rounds=1000000";
+  // One running (await it), two queued: the queue is now at depth.
+  auto running = stack.Fetch("POST", "/query" + params, text);
+  ASSERT_TRUE(running.ok());
+  ASSERT_EQ(running->status_code, 202) << running->body;
+  const std::string running_id = JsonField(running->body, "id");
+  for (int i = 0; i < 2000; ++i) {
+    auto r = stack.Fetch("GET", "/result/" + running_id);
+    ASSERT_TRUE(r.ok());
+    if (JsonField(r->body, "state") == "RUNNING") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto r = stack.Fetch("POST", "/query" + params, text);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->status_code, 202) << r->body;
+  }
+
+  auto rejected = stack.Fetch("POST", "/query" + params, text);
+  ASSERT_TRUE(rejected.ok()) << rejected.status();
+  EXPECT_EQ(rejected->status_code, 429) << rejected->body;
+  EXPECT_GE(rejected->retry_after_s, 1.0);  // header present and parsed
+  EXPECT_NE(rejected->body.find("error"), std::string::npos);
+
+  auto stats = stack.Fetch("GET", "/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(JsonField(stats->body, "rejected"), "1") << stats->body;
+  EXPECT_EQ(JsonField(stats->body, "submitted"), "4") << stats->body;
+}
+
+// /healthz mirrors the overload state machine. Thresholds are pinned so
+// each state is a steady fixture, not a race: enter values of 0 make the
+// state unconditional, exits below 0 make it sticky.
+TEST(HttpOverloadTest, HealthzReflectsOverloadState) {
+  {
+    ServiceOptions healthy;
+    healthy.max_queue_depth = 8;
+    BoundedStack stack(healthy);
+    auto r = stack.Fetch("GET", "/healthz");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status_code, 200);
+    EXPECT_EQ(r->body, "ok\n");
+  }
+  {
+    ServiceOptions saturated;
+    saturated.max_queue_depth = 8;
+    saturated.saturated_enter = 0.0;  // q >= 0 always: pinned Saturated
+    saturated.saturated_exit = -1.0;
+    saturated.shedding_enter = 10.0;
+    BoundedStack stack(saturated);
+    // The state machine is evaluated at submit/retire; one (failing)
+    // submit is enough to move it off its initial Healthy.
+    (void)stack.service->SubmitAsync(QueryRequest{});
+    stack.service->Drain();
+    auto r = stack.Fetch("GET", "/healthz");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status_code, 200);
+    EXPECT_EQ(r->body, "saturated\n");
+  }
+  {
+    ServiceOptions shedding;
+    shedding.max_queue_depth = 8;
+    shedding.shedding_enter = 0.0;  // q >= 0 always: pinned Shedding
+    shedding.shedding_exit = -1.0;
+    BoundedStack stack(shedding);
+    auto first = stack.Fetch("POST", "/query", UnsatisfiableText());
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first->status_code, 429) << first->body;  // shedding rejects
+    auto r = stack.Fetch("GET", "/healthz");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status_code, 503);
+    EXPECT_EQ(r->body, "shedding\n");
+    EXPECT_GE(r->retry_after_s, 1.0);
+    auto stats = stack.Fetch("GET", "/stats");
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(JsonField(stats->body, "overload"), "shedding");
+  }
+}
+
+// A query shed mid-run completes over the wire as DONE with
+// "degraded":true and the achieved (not requested) error bound.
+TEST(HttpOverloadTest, ShedQueryServesDegradedPartialResult) {
+  ServiceOptions sopts;
+  sopts.base_seed = 506;
+  sopts.max_concurrent = 1;
+  sopts.max_queue_depth = 2;  // default thresholds: 2/2 queued -> Shedding
+  BoundedStack stack(sopts);
+
+  const std::string text = UnsatisfiableText();
+  const std::string params = "?eb=1e-9&max_rounds=1000000";
+  auto first = stack.Fetch("POST", "/query" + params, text);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->status_code, 202) << first->body;
+  const std::string id = JsonField(first->body, "id");
+  for (int i = 0; i < 2000; ++i) {
+    auto r = stack.Fetch("GET", "/result/" + id);
+    ASSERT_TRUE(r.ok());
+    if (JsonField(r->body, "state") == "RUNNING") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Fill the queue; the service enters Shedding and retires `first` at
+  // its next round boundary with a partial answer.
+  for (int i = 0; i < 2; ++i) {
+    auto r = stack.Fetch("POST", "/query" + params, text);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->status_code, 202) << r->body;
+  }
+
+  std::string body;
+  for (int i = 0; i < 20000; ++i) {
+    auto r = stack.Fetch("GET", "/result/" + id);
+    ASSERT_TRUE(r.ok());
+    body = r->body;
+    const std::string state = JsonField(body, "state");
+    if (state != "QUEUED" && state != "RUNNING") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(JsonField(body, "state"), "DONE") << body;
+  EXPECT_EQ(JsonField(body, "degraded"), "true") << body;
+  EXPECT_EQ(JsonField(body, "satisfied"), "false") << body;
+  EXPECT_NE(JsonField(body, "rounds"), "0") << body;
+}
+
 }  // namespace
 }  // namespace kgaq

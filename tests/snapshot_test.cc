@@ -6,6 +6,7 @@
 #include <iterator>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "core/approx_engine.h"
 #include "core/engine_context.h"
 #include "datagen/kg_generator.h"
@@ -242,6 +243,82 @@ TEST(SnapshotTest, RejectsBadMagicTruncationAndFutureVersion) {
   std::remove(path.c_str());
 
   EXPECT_FALSE(LoadKgSnapshot("/nonexistent/kg.snap").ok());
+}
+
+// Robustness sweep: single-byte flips and truncations at many offsets
+// across a full (graph + embedding) snapshot. Every mutation must come
+// back as a value or a clean Status — never a crash, hang, or sanitizer
+// report. Run under ASan/UBSan in CI, this is the memory-safety gate
+// for the whole deserialization path.
+TEST(SnapshotTest, CorruptionSweepNeverCrashesAlwaysCleanStatus) {
+  const auto& ds = MiniDataset();
+  const std::string path = TempPath("sweep_src.snap");
+  ASSERT_TRUE(
+      SaveEngineSnapshot(ds.graph(), &ds.reference_embedding(), path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  std::remove(path.c_str());
+  ASSERT_GT(bytes.size(), 64u);
+
+  const std::string mutated = TempPath("sweep_mut.snap");
+  auto load_mutation = [&](const std::string& contents) {
+    {
+      std::ofstream out(mutated, std::ios::binary | std::ios::trunc);
+      out.write(contents.data(),
+                static_cast<std::streamsize>(contents.size()));
+    }
+    auto r = LoadEngineSnapshot(mutated);
+    // A flip may land in a don't-care byte (e.g. inside a node name), so
+    // success is legal; failure must carry a real message.
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty());
+      EXPECT_NE(r.status().code(), StatusCode::kOk);
+    }
+  };
+
+  // ~64 byte flips spread over the file, plus every header byte.
+  const size_t stride = std::max<size_t>(1, bytes.size() / 64);
+  for (size_t off = 0; off < bytes.size();
+       off += (off < 17 ? 1 : stride)) {
+    std::string flipped = bytes;
+    flipped[off] = static_cast<char>(flipped[off] ^ 0x5A);
+    load_mutation(flipped);
+  }
+  // ~32 truncation points, including the pathological tiny ones.
+  for (size_t keep : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                      size_t{12}, size_t{16}, size_t{17}}) {
+    load_mutation(bytes.substr(0, keep));
+  }
+  for (size_t i = 1; i < 32; ++i) {
+    load_mutation(bytes.substr(0, bytes.size() * i / 32));
+  }
+  // Trailing garbage after a valid payload parses (readers are bounded
+  // by their counts, not EOF) — it must at least not crash.
+  load_mutation(bytes + std::string(128, '\x7f'));
+  std::remove(mutated.c_str());
+}
+
+TEST(SnapshotTest, ShortReadFaultPointInjectsCleanIoError) {
+  const auto& ds = MiniDataset();
+  const std::string path = TempPath("faulted.snap");
+  ASSERT_TRUE(SaveKgSnapshot(ds.graph(), path).ok());
+
+  fault_injection::Reset();
+  fault_injection::Enable(3);
+  fault_injection::ArmCount("snapshot.read.short", 1);
+  auto failed = LoadEngineSnapshot(path);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  EXPECT_NE(failed.status().message().find("injected"), std::string::npos);
+
+  // The armed count is spent: the very next load succeeds.
+  auto retried = LoadEngineSnapshot(path);
+  EXPECT_TRUE(retried.ok()) << retried.status();
+  fault_injection::Reset();
+  std::remove(path.c_str());
 }
 
 }  // namespace
