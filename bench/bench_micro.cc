@@ -482,6 +482,45 @@ void BM_ServeSharedContext(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeSharedContext)->Arg(1)->Arg(8)->ArgName("width");
 
+// ---------- memory governance: governed-cache churn overhead ----------
+
+// Hot-path cost of the governed cache (core/cache_governor.h) under
+// steady-state churn: a working set of 256 ~8 KB entries cycled through
+// a cache whose budget holds either all of them (arg 0: pure hit path +
+// budget bookkeeping) or a quarter (arg 1: cyclic scans are LRU's worst
+// case, so nearly every access evicts and rebuilds at the margin).
+void BM_GovernedCacheChurn(benchmark::State& state) {
+  constexpr size_t kEntries = 256;
+  constexpr size_t kDoubles = 1024;  // 8 KB payload per entry
+  const bool tight = state.range(0) != 0;
+  CacheBudgetOptions bopts;
+  bopts.budget_bytes =
+      tight ? kEntries * kDoubles * sizeof(double) / 4 : 0;
+  auto budget = std::make_shared<CacheBudget>(bopts);
+  GovernedCache<int, std::vector<double>> cache(
+      budget,
+      [](const std::vector<double>& v) { return v.size() * sizeof(double); });
+  uint64_t builds = 0;
+  int key = 0;
+  for (auto _ : state) {
+    auto v = cache.GetOrBuild(key, [&] {
+      ++builds;
+      return std::make_shared<std::vector<double>>(kDoubles, 1.0);
+    });
+    benchmark::DoNotOptimize(v->size());
+    key = (key + 1) % static_cast<int>(kEntries);
+  }
+  const auto cstats = cache.Stats();
+  state.counters["rebuild_rate"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(builds) /
+                static_cast<double>(state.iterations());
+  state.counters["evictions"] = static_cast<double>(cstats.evictions);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GovernedCacheChurn)->Arg(0)->Arg(1)->ArgName("tight_budget");
+
 // ---------- serving: per-query latency percentiles, async vs batch ----------
 
 double Percentile(std::vector<double>& samples, double p) {

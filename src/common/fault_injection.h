@@ -36,6 +36,16 @@ namespace fault_injection {
 /// concurrently with tests that assume it is off (gtest runs tests in
 /// one thread, so this only matters for hand-rolled multithreaded
 /// drivers, which should Enable once up front).
+///
+/// Points are string-keyed and need no registration. Current sites:
+/// serving (`serve.admit.queue_full`, `serve.round.slow`,
+/// `serve.scheduler.stall`), HTTP (`http.conn.read_error`,
+/// `http.client.connect_error`, `http.client.recv_error`), snapshot
+/// loading (`snapshot.read.short`),
+/// and the governed caches (`core.cache.build` — the builder throws,
+/// the claim is released so the cache is never poisoned;
+/// `core.cache.alloc` — materialization fails, the caller gets the
+/// value ephemerally). Grep KGAQ_FAULT_POINT for the authoritative list.
 
 namespace internal {
 extern std::atomic<bool> g_enabled;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <map>
 #include <set>
 
@@ -54,10 +55,19 @@ Result<std::unique_ptr<QuerySession>> ApproxEngine::CreateSession(
   session->rng_ = Rng(options_.seed);
 
   WallTimer s1_timer;
-  for (const QueryBranch& branch : query.query.branches) {
-    auto bs = BranchSampler::Build(*ctx_, branch, options_.branch);
-    if (!bs.ok()) return bs.status();
-    session->branches_.push_back(std::move(*bs));
+  // Serial pieces of a branch build (hop similarity rows, chain-profile
+  // store admission) throw on failure — e.g. an injected cache fault —
+  // rather than returning Status; convert here so a failed build retires
+  // the ticket as kFailed instead of unwinding through the scheduler.
+  try {
+    for (const QueryBranch& branch : query.query.branches) {
+      auto bs = BranchSampler::Build(*ctx_, branch, options_.branch,
+                                     &session->pins_);
+      if (!bs.ok()) return bs.status();
+      session->branches_.push_back(std::move(*bs));
+    }
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("session build failed: ") + e.what());
   }
 
   // Combined candidate distribution.
@@ -414,6 +424,12 @@ bool QuerySession::StepRound() {
 
 AggregateResult QuerySession::FinishRun() {
   run_.finished = true;
+
+  // The borrow epoch ends here: unpin everything acquired at session
+  // build (idempotent across repeated runs) and give a governed context
+  // the chance to reclaim the newly unpinned bytes right away.
+  pins_.Release();
+  if (ctx_ != nullptr) ctx_->EvictToBudget();
 
   if (run_.extreme) {
     s2_.Start();

@@ -235,6 +235,12 @@ class QuerySession {
   /// yet produced a single-round estimate".
   size_t rounds_completed() const { return rounds_total_; }
 
+  /// True when a cache build this session needed was declined under
+  /// Critical memory pressure — the query ran on ephemeral structures
+  /// (identical results, nothing cached). The serving layer reports such
+  /// completions degraded, mirroring shed runs.
+  bool cache_builds_shed() const { return pins_.shed_builds() > 0; }
+
   const AggregateQuery& query() const { return query_; }
   size_t num_candidates() const { return candidates_.size(); }
 
@@ -257,6 +263,11 @@ class QuerySession {
   EngineOptions options_;
   AggregateQuery query_;
   Rng rng_{0};
+
+  /// Borrow epoch over the context's governed caches: every structure the
+  /// session's branch builds acquire stays pinned (never evicted) until
+  /// FinishRun releases the scope (the destructor is the backstop).
+  CachePinScope pins_;
 
   std::vector<std::unique_ptr<BranchSampler>> branches_;
   // Combined candidate distribution (single branch: that branch's own;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <limits>
 #include <queue>
 #include <unordered_set>
@@ -36,7 +37,7 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
 
 Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
     const EngineContext& ctx, const QueryBranch& branch,
-    const BranchSamplerOptions& options) {
+    const BranchSamplerOptions& options, CachePinScope* pins) {
   WallTimer timer;
   const KnowledgeGraph& g = ctx.graph();
   const NodeId us = g.FindNodeByName(branch.specific_name);
@@ -64,7 +65,8 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
                               "' is unknown to the KG embedding");
     }
     rh.types = ResolveTypes(g, hop.node_types);
-    rh.sims = ctx.PredicateSimilarities(rh.predicate);
+    rh.sims = ctx.PredicateSimilarities(
+        rh.predicate, PredicateSimilarityCache::kDefaultFloor, pins);
     sampler->hops_.push_back(std::move(rh));
   }
 
@@ -82,7 +84,7 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
       sig += ";p:" + std::to_string(rh.predicate) + ":";
       for (TypeId t : rh.types) sig += std::to_string(t) + ",";
     }
-    sampler->chain_cache_ = ctx.ChainProfiles(sig);
+    sampler->chain_cache_ = ctx.ChainProfiles(sig, pins);
   }
 
   // Stage roots start as the single specific node with full weight.
@@ -116,8 +118,12 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
 
     // Each unit's scoping + convergence + extraction is independent; the
     // chain case runs them as parallel tasks on the shared pool (§V-B:
-    // "each second sampling is run as a thread").
-    auto build_unit = [&](size_t ui) {
+    // "each second sampling is run as a thread"). The pool has no
+    // exception handling (a throwing task would terminate the process),
+    // so each unit captures its own failure — e.g. an injected
+    // core.cache.build fault — and Build converts the first into Status.
+    std::vector<std::exception_ptr> unit_errors(units.size());
+    auto build_unit_impl = [&](size_t ui) {
       StageUnit& unit = units[ui];
       EngineContext::WalkCoreKey core_key;
       core_key.root = unit.root;
@@ -126,7 +132,7 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
       core_key.self_loop_similarity = options.self_loop_similarity;
       core_key.sims_floor = PredicateSimilarityCache::kDefaultFloor;
       core_key.stationary_max_iterations = options.stationary_max_iterations;
-      unit.core = ctx.ScopedWalkCore(core_key);
+      unit.core = ctx.ScopedWalkCore(core_key, pins);
       GreedyValidator::Options v_opts;
       v_opts.repeat_factor = options.repeat_factor;
       v_opts.max_hops = options.n_hops;
@@ -178,11 +184,29 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
         }
       }
     };
+    auto build_unit = [&](size_t ui) {
+      try {
+        build_unit_impl(ui);
+      } catch (...) {
+        unit_errors[ui] = std::current_exception();
+      }
+    };
 
     if (units.size() > 1) {
       ParallelFor(GlobalPool(), units.size(), build_unit);
     } else {
       for (size_t ui = 0; ui < units.size(); ++ui) build_unit(ui);
+    }
+    for (const std::exception_ptr& err : unit_errors) {
+      if (!err) continue;
+      try {
+        std::rethrow_exception(err);
+      } catch (const std::exception& e) {
+        return Status::Internal(std::string("branch stage build failed: ") +
+                                e.what());
+      } catch (...) {
+        return Status::Internal("branch stage build failed");
+      }
     }
 
     if (last) {

@@ -55,12 +55,15 @@ class BranchSampler {
   /// Builds everything against a shared EngineContext: similarity rows,
   /// per-stage walk cores and the chain-validation profile store come
   /// from (and persist in) the context's caches, so branches of later
-  /// queries that share structure reuse them. The returned object is
-  /// immutable apart from the validation cache. Fails when the specific
-  /// node cannot be resolved.
+  /// queries that share structure reuse them. With `pins` attached (a
+  /// QuerySession's borrow epoch), every borrowed structure is pinned —
+  /// a governed context's eviction cannot reclaim it until the scope
+  /// releases. The returned object is immutable apart from the
+  /// validation cache. Fails when the specific node cannot be resolved
+  /// or a stage build throws (e.g. an injected cache fault).
   static Result<std::unique_ptr<BranchSampler>> Build(
       const EngineContext& ctx, const QueryBranch& branch,
-      const BranchSamplerOptions& options);
+      const BranchSamplerOptions& options, CachePinScope* pins = nullptr);
 
   /// Standalone build: derives everything through an ephemeral context
   /// (the shared structures live on inside this sampler, nothing is

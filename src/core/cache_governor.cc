@@ -1,0 +1,123 @@
+#include "core/cache_governor.h"
+
+namespace kgaq {
+
+const char* MemoryPressureToString(MemoryPressure p) {
+  switch (p) {
+    case MemoryPressure::kHealthy:
+      return "healthy";
+    case MemoryPressure::kPressured:
+      return "pressured";
+    case MemoryPressure::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+CacheBudget::CacheBudget(CacheBudgetOptions options) : options_(options) {}
+
+void CacheBudget::Charge(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  charged_ += bytes;
+}
+
+void CacheBudget::Release(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  charged_ = bytes <= charged_ ? charged_ - bytes : 0;
+}
+
+void CacheBudget::PinCharge(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_ += bytes;
+  UpdatePressureLocked();
+}
+
+void CacheBudget::PinRelease(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_ = bytes <= pinned_ ? pinned_ - bytes : 0;
+  UpdatePressureLocked();
+}
+
+size_t CacheBudget::charged_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charged_;
+}
+
+size_t CacheBudget::pinned_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_;
+}
+
+MemoryPressure CacheBudget::pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pressure_;
+}
+
+bool CacheBudget::OverBudget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.budget_bytes > 0 && charged_ > options_.budget_bytes;
+}
+
+void CacheBudget::UpdatePressureLocked() {
+  if (options_.budget_bytes == 0) {
+    pressure_ = MemoryPressure::kHealthy;
+    return;
+  }
+  const double fill = static_cast<double>(pinned_) /
+                      static_cast<double>(options_.budget_bytes);
+  // Hysteresis: enter thresholds sit strictly above the matching exits,
+  // so pin churn around one boundary cannot flap the state (and with it
+  // the admission policy) on every borrow/release.
+  switch (pressure_) {
+    case MemoryPressure::kHealthy:
+      if (fill >= options_.critical_enter) {
+        pressure_ = MemoryPressure::kCritical;
+      } else if (fill >= options_.pressured_enter) {
+        pressure_ = MemoryPressure::kPressured;
+      }
+      break;
+    case MemoryPressure::kPressured:
+      if (fill >= options_.critical_enter) {
+        pressure_ = MemoryPressure::kCritical;
+      } else if (fill <= options_.pressured_exit) {
+        pressure_ = MemoryPressure::kHealthy;
+      }
+      break;
+    case MemoryPressure::kCritical:
+      if (fill <= options_.critical_exit) {
+        pressure_ = fill <= options_.pressured_exit
+                        ? MemoryPressure::kHealthy
+                        : MemoryPressure::kPressured;
+      }
+      break;
+  }
+}
+
+void CacheBudget::RegisterReclaimer(Reclaimer fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reclaimers_.push_back(std::move(fn));
+}
+
+void CacheBudget::Rebalance() {
+  if (!bounded()) return;
+  // Losers of the try-lock return immediately: the winner is already
+  // evicting toward the same budget, and blocking here would stall a
+  // build-completion path on another cache's sweep.
+  std::unique_lock<std::mutex> guard(rebalance_mu_, std::try_to_lock);
+  if (!guard.owns_lock()) return;
+  std::vector<Reclaimer> reclaimers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reclaimers = reclaimers_;
+  }
+  while (OverBudget()) {
+    size_t progress = 0;
+    for (const Reclaimer& fn : reclaimers) progress += fn();
+    // No progress with the charge still over budget means everything
+    // left is pinned or in flight — Critical pressure takes over (new
+    // builds shed) until scopes release.
+    if (progress == 0) break;
+  }
+}
+
+}  // namespace kgaq

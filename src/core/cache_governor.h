@@ -1,0 +1,516 @@
+#ifndef KGAQ_CORE_CACHE_GOVERNOR_H_
+#define KGAQ_CORE_CACHE_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+
+namespace kgaq {
+
+/// Memory-pressure state of a CacheBudget — a three-state machine over
+/// the *pinned* budget fill (pinned_bytes / budget_bytes), with
+/// hysteresis exactly like the serving layer's OverloadState:
+///
+///   Healthy ──fill ≥ pressured_enter──▶ Pressured ──fill ≥ critical_enter──▶ Critical
+///      ▲◀──fill ≤ pressured_exit──────────┘  ▲◀─────fill ≤ critical_exit──────┘
+///
+/// The fill is measured over PINNED bytes, not total resident bytes: a
+/// full cache of evictable entries is the normal steady state of LRU
+/// operation (eviction can always make room), so it is not pressure.
+/// Pressure means demand that eviction cannot satisfy — bytes borrowed
+/// by in-flight sessions that provably may not be reclaimed. Under
+/// Critical, GovernedCache stops admitting new builds (queries run with
+/// ephemeral structures, marked degraded upstream) instead of growing
+/// past the budget or evicting someone's live state.
+enum class MemoryPressure : uint8_t { kHealthy, kPressured, kCritical };
+
+/// "healthy", "pressured", "critical".
+const char* MemoryPressureToString(MemoryPressure p);
+
+/// Knobs of one shared cache budget. budget_bytes == 0 disables
+/// governance entirely: nothing is evicted, pressure is always Healthy,
+/// and every build is admitted — the pre-governor behavior.
+struct CacheBudgetOptions {
+  size_t budget_bytes = 0;
+  /// Pressure thresholds as fractions of budget_bytes over pinned fill.
+  /// Enter thresholds must sit above their exits (the hysteresis band).
+  double pressured_enter = 0.70;
+  double pressured_exit = 0.50;
+  double critical_enter = 0.90;
+  double critical_exit = 0.70;
+};
+
+/// One byte budget shared by every GovernedCache of an EngineContext.
+/// Tracks resident (charged) and pinned bytes, derives the pressure
+/// state, and coordinates eviction: caches register a reclaimer, and
+/// Rebalance() drives them round-robin until the charge fits the budget
+/// or nothing unpinned remains.
+///
+/// Lock hierarchy (a thread may only take locks downward):
+///   GovernedCache::mu_  >  EntryControl::mu  >  CacheBudget::mu_
+/// Rebalance() itself holds none of these while calling reclaimers (it
+/// serializes concurrent rebalancers with a dedicated try-lock).
+class CacheBudget {
+ public:
+  explicit CacheBudget(CacheBudgetOptions options = {});
+
+  bool bounded() const { return options_.budget_bytes > 0; }
+  size_t budget_bytes() const { return options_.budget_bytes; }
+
+  /// Resident-byte accounting (called by GovernedCache under its locks).
+  void Charge(size_t bytes);
+  void Release(size_t bytes);
+  /// Pinned-byte accounting: the subset of charged bytes some live
+  /// CachePinScope holds. Drives the pressure state.
+  void PinCharge(size_t bytes);
+  void PinRelease(size_t bytes);
+
+  size_t charged_bytes() const;
+  size_t pinned_bytes() const;
+  MemoryPressure pressure() const;
+  bool OverBudget() const;
+  /// True while Critical: new cache builds should run ephemeral.
+  bool ShouldShedBuilds() const {
+    return pressure() == MemoryPressure::kCritical;
+  }
+
+  /// A reclaimer evicts unpinned entries toward the budget and returns
+  /// the bytes it freed. Registered once per cache at construction.
+  using Reclaimer = std::function<size_t()>;
+  void RegisterReclaimer(Reclaimer fn);
+
+  /// Runs reclaimers while the charge exceeds the budget and progress is
+  /// being made. Safe to call from any thread holding NO governor locks;
+  /// concurrent calls coalesce (losers return immediately — the winner
+  /// is already evicting on their behalf). No-op when unbounded.
+  void Rebalance();
+
+ private:
+  void UpdatePressureLocked();
+
+  const CacheBudgetOptions options_;
+  mutable std::mutex mu_;
+  size_t charged_ = 0;
+  size_t pinned_ = 0;
+  MemoryPressure pressure_ = MemoryPressure::kHealthy;
+  std::vector<Reclaimer> reclaimers_;
+
+  std::mutex rebalance_mu_;  ///< serializes Rebalance bodies (try-lock)
+};
+
+namespace governor_internal {
+
+/// Shared bookkeeping of one cached entry, referenced by its cache's
+/// slot and by every CachePinScope currently borrowing the entry. It
+/// outlives eviction (scopes may still hold it), so eviction marks it
+/// non-resident instead of destroying it; the value itself stays alive
+/// through the consumers' shared_ptrs — eviction frees future lookups,
+/// never live state.
+struct EntryControl {
+  explicit EntryControl(std::shared_ptr<CacheBudget> b)
+      : budget(std::move(b)) {}
+
+  /// Grows the entry's byte cost (chain-profile stores report Insert
+  /// deltas through this) and rebalances. Call with no governor locks.
+  void Grow(size_t delta) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      bytes += delta;
+      if (resident) {
+        budget->Charge(delta);
+        if (pins > 0) budget->PinCharge(delta);
+      }
+    }
+    budget->Rebalance();
+  }
+
+  const std::shared_ptr<CacheBudget> budget;
+  std::mutex mu;  ///< guards bytes/pins/resident
+  size_t bytes = 0;
+  uint32_t pins = 0;
+  bool resident = false;
+};
+
+}  // namespace governor_internal
+
+/// RAII borrow epoch: everything a QuerySession acquires through a
+/// GovernedCache with a pin scope attached stays pinned — provably never
+/// evicted — until Release() (called by QuerySession::FinishRun, and by
+/// the destructor as a backstop). Pinning is about honesty, not
+/// correctness: consumers hold shared_ptrs, so evicting a borrowed entry
+/// could never corrupt a result — but it would free no memory while
+/// destroying hit-sharing and the budget's accounting of what is
+/// actually reclaimable. Thread-safe (branch builds pin concurrently
+/// from pool workers).
+class CachePinScope {
+ public:
+  CachePinScope() = default;
+  ~CachePinScope() { Release(); }
+  CachePinScope(const CachePinScope&) = delete;
+  CachePinScope& operator=(const CachePinScope&) = delete;
+
+  /// Unpins every held entry. Idempotent. The caller should follow with
+  /// CacheBudget::Rebalance() (or EngineContext::EvictToBudget()) so
+  /// newly unpinned bytes become reclaimable immediately.
+  void Release() {
+    std::vector<std::shared_ptr<governor_internal::EntryControl>> held;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      held.swap(pins_);
+    }
+    for (const auto& control : held) {
+      std::lock_guard<std::mutex> elock(control->mu);
+      --control->pins;
+      if (control->pins == 0 && control->resident) {
+        control->budget->PinRelease(control->bytes);
+      }
+    }
+  }
+
+  /// Builds declined under Critical pressure while this scope was
+  /// attached — the session ran with ephemeral structures and should be
+  /// reported degraded.
+  uint64_t shed_builds() const {
+    return shed_builds_.load(std::memory_order_relaxed);
+  }
+  void NoteShedBuild() {
+    shed_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  template <typename K, typename V>
+  friend class GovernedCache;
+
+  void Add(std::shared_ptr<governor_internal::EntryControl> control) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pins_.push_back(std::move(control));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<governor_internal::EntryControl>> pins_;
+  std::atomic<uint64_t> shed_builds_{0};
+};
+
+/// Counters of one GovernedCache (all since construction).
+struct GovernedCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  size_t entries = 0;       ///< resident + in-flight
+  size_t bytes = 0;         ///< resident, materialized
+  size_t pinned_bytes = 0;  ///< subset of bytes some live scope pins
+  uint64_t evictions = 0;
+  uint64_t admission_rejects = 0;  ///< frequency-declined (cold keys)
+  uint64_t shed_builds = 0;        ///< pressure-declined (Critical)
+  uint64_t alloc_failures = 0;     ///< core.cache.alloc fired at insert
+  uint64_t build_failures = 0;     ///< builder threw (core.cache.build)
+};
+
+/// A budgeted, internally synchronized memo cache over a pure function
+/// of its key: byte-cost LRU eviction against a shared CacheBudget,
+/// epoch pinning (CachePinScope), frequency-based admission (SamGraph's
+/// hot-set discipline: only keys requested >= admission_min_requests
+/// times get cached — one-off scans build ephemeral values and cannot
+/// thrash the hot set), in-flight build deduplication via shared
+/// futures, and deterministic fault points in the build path:
+///
+///   core.cache.build — the builder itself fails (throws); the claim is
+///     released so the next request rebuilds (the cache is never
+///     poisoned by a failed build).
+///   core.cache.alloc — the build succeeds but inserting/charging the
+///     entry fails; the caller (and every deduplicated waiter) still
+///     receives the built value, it just never becomes resident.
+///
+/// Every declined admission (cold key, Critical pressure, injected
+/// alloc failure) degrades to an ephemeral build of the same pure
+/// function — so governance changes wall-clock and memory, never any
+/// result. That is the substrate-level half of the engine's bitwise
+/// determinism contract.
+template <typename K, typename V>
+class GovernedCache {
+ public:
+  struct Options {
+    /// Cache a key only once it has been requested this many times
+    /// (counting the request that builds). 1 = always admit.
+    uint64_t admission_min_requests = 1;
+    /// Bound on the admission counter table; exceeding it halves every
+    /// count and drops zeros, so the tracker itself cannot leak.
+    size_t max_tracked_keys = 65536;
+  };
+
+  using ValuePtr = std::shared_ptr<V>;
+  using Builder = std::function<ValuePtr()>;
+  /// Byte cost of a materialized value (the MemoryBytes/Stats-style
+  /// accounting the budget charges).
+  using Sizer = std::function<size_t(const V&)>;
+  /// Called once per admitted value right before it becomes resident;
+  /// lets the owner wire live byte-growth sinks (chain-profile stores)
+  /// to the entry's control.
+  using MaterializeHook = std::function<void(
+      V&, const std::shared_ptr<governor_internal::EntryControl>&)>;
+
+  GovernedCache(std::shared_ptr<CacheBudget> budget, Sizer sizer,
+                Options options = {})
+      : budget_(std::move(budget)),
+        sizer_(std::move(sizer)),
+        options_(options) {
+    budget_->RegisterReclaimer([this] { return EvictTowardBudget(); });
+  }
+
+  GovernedCache(const GovernedCache&) = delete;
+  GovernedCache& operator=(const GovernedCache&) = delete;
+
+  void set_materialize_hook(MaterializeHook hook) {
+    materialize_hook_ = std::move(hook);
+  }
+
+  /// The value for `key`, building it via `build` on a miss. Concurrent
+  /// first requests deduplicate in flight (one builds, the rest wait on
+  /// its future). With `pins` attached, the entry is pinned into the
+  /// scope (hits and builds alike) and survives every eviction sweep
+  /// until the scope releases. Returns an ephemeral (uncached) value
+  /// when admission declines — see the class comment. Throws what the
+  /// builder throws; a failed build un-claims the key.
+  ValuePtr GetOrBuild(const K& key, const Builder& build,
+                      CachePinScope* pins = nullptr) {
+    std::promise<ValuePtr> promise;
+    std::shared_future<ValuePtr> future;
+    bool admit = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const uint64_t requests = RecordRequestLocked(key);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        ++hits_;
+        if (it->second.in_lru) {
+          lru_.splice(lru_.begin(), lru_, it->second.lru);
+        }
+        future = it->second.future;
+      } else {
+        ++misses_;
+        if (budget_->ShouldShedBuilds()) {
+          ++shed_builds_;
+          if (pins != nullptr) pins->NoteShedBuild();
+        } else if (requests < options_.admission_min_requests) {
+          ++admission_rejects_;
+        } else {
+          admit = true;
+          Slot slot;
+          slot.future = promise.get_future().share();
+          map_.emplace(key, std::move(slot));
+        }
+      }
+    }
+
+    if (future.valid()) {
+      ValuePtr value = future.get();  // built, or blocks on the builder
+      if (pins != nullptr) PinIfResident(key, pins);
+      return value;
+    }
+
+    // Build outside every lock. Values are pure functions of the key (on
+    // top of the owner's fixed inputs), so whether this build lands in
+    // the cache or stays ephemeral can never change any result.
+    ValuePtr value;
+    try {
+      if (KGAQ_FAULT_POINT("core.cache.build")) {
+        throw std::runtime_error(
+            "injected: cache build failure (core.cache.build)");
+      }
+      value = build();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++build_failures_;
+        if (admit) map_.erase(key);  // un-claim: next request rebuilds
+      }
+      if (admit) promise.set_exception(std::current_exception());
+      throw;
+    }
+
+    if (!admit) return value;  // ephemeral by admission policy
+
+    // Materialize: charge the budget and publish the resident entry —
+    // unless the allocation fault fires, in which case this caller and
+    // every waiter still get the built value, it just never becomes
+    // resident (the "cache storage allocation failed" path).
+    if (KGAQ_FAULT_POINT("core.cache.alloc")) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++alloc_failures_;
+        map_.erase(key);
+      }
+      promise.set_value(value);
+      return value;
+    }
+
+    const size_t bytes = sizer_(*value);
+    auto control =
+        std::make_shared<governor_internal::EntryControl>(budget_);
+    if (materialize_hook_) materialize_hook_(*value, control);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);  // present: in-flight slots never evict
+      lru_.push_front(&it->first);
+      it->second.lru = lru_.begin();
+      it->second.in_lru = true;
+      it->second.control = control;
+      std::lock_guard<std::mutex> elock(control->mu);
+      control->bytes = bytes;
+      control->resident = true;
+      budget_->Charge(bytes);
+      if (pins != nullptr) {
+        control->pins = 1;
+        budget_->PinCharge(bytes);
+      }
+    }
+    if (pins != nullptr) pins->Add(control);
+    promise.set_value(value);
+    budget_->Rebalance();
+    return value;
+  }
+
+  /// Evicts unpinned entries in LRU order until the shared budget fits
+  /// (or nothing evictable remains). Skips in-flight builds and pinned
+  /// entries — the pinning contract eviction provably honors, enforced
+  /// under both the map lock and the entry lock. Returns bytes freed.
+  size_t EvictTowardBudget() {
+    size_t freed = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = lru_.end();
+    while (it != lru_.begin() && budget_->OverBudget()) {
+      --it;
+      auto mit = map_.find(**it);
+      const std::shared_ptr<governor_internal::EntryControl>& control =
+          mit->second.control;
+      size_t bytes = 0;
+      {
+        std::lock_guard<std::mutex> elock(control->mu);
+        if (control->pins > 0) continue;  // pinned: never reclaimed
+        control->resident = false;
+        bytes = control->bytes;
+      }
+      budget_->Release(bytes);
+      freed += bytes;
+      ++evictions_;
+      it = lru_.erase(it);
+      map_.erase(mit);
+    }
+    return freed;
+  }
+
+  GovernedCacheStats Stats() const {
+    GovernedCacheStats out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.hits = hits_;
+    out.misses = misses_;
+    out.entries = map_.size();
+    out.evictions = evictions_;
+    out.admission_rejects = admission_rejects_;
+    out.shed_builds = shed_builds_;
+    out.alloc_failures = alloc_failures_;
+    out.build_failures = build_failures_;
+    for (const auto& [key, slot] : map_) {
+      if (slot.control == nullptr) continue;  // in flight: entry only
+      std::lock_guard<std::mutex> elock(slot.control->mu);
+      out.bytes += slot.control->bytes;
+      if (slot.control->pins > 0) out.pinned_bytes += slot.control->bytes;
+    }
+    return out;
+  }
+
+  /// Snapshot of every materialized value (for owners that aggregate
+  /// value-level stats, e.g. per-signature chain-profile counters).
+  std::vector<ValuePtr> Values() const {
+    std::vector<std::shared_future<ValuePtr>> futures;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      futures.reserve(map_.size());
+      for (const auto& [key, slot] : map_) futures.push_back(slot.future);
+    }
+    std::vector<ValuePtr> out;
+    for (const auto& f : futures) {
+      if (f.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        out.push_back(f.get());
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::shared_future<ValuePtr> future;
+    std::shared_ptr<governor_internal::EntryControl> control;  // null in flight
+    typename std::list<const K*>::iterator lru;
+    bool in_lru = false;
+  };
+
+  /// Bumps the admission counter for `key` and returns its value. The
+  /// table is aged (halve + drop zeros) whenever it outgrows
+  /// max_tracked_keys, so cold one-off keys decay out instead of
+  /// accumulating — the counter map itself obeys a budget. Caller holds
+  /// mu_. Tracking is skipped entirely at threshold 1 (always admit).
+  uint64_t RecordRequestLocked(const K& key) {
+    if (options_.admission_min_requests <= 1) return 1;
+    const uint64_t count = ++freq_[key];
+    if (freq_.size() > options_.max_tracked_keys) {
+      for (auto it = freq_.begin(); it != freq_.end();) {
+        it->second /= 2;
+        it = it->second == 0 ? freq_.erase(it) : std::next(it);
+      }
+    }
+    return count;
+  }
+
+  /// Pins a hit entry into `scope`. Looks the slot up again under the
+  /// map lock (the entry may have been evicted between the hit and this
+  /// call — then there is nothing resident to pin; the caller's
+  /// shared_ptr keeps its value alive regardless).
+  void PinIfResident(const K& key, CachePinScope* scope) {
+    std::shared_ptr<governor_internal::EntryControl> control;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      if (it == map_.end() || it->second.control == nullptr) return;
+      control = it->second.control;
+      std::lock_guard<std::mutex> elock(control->mu);
+      ++control->pins;
+      if (control->pins == 1 && control->resident) {
+        budget_->PinCharge(control->bytes);
+      }
+    }
+    scope->Add(std::move(control));
+  }
+
+  const std::shared_ptr<CacheBudget> budget_;
+  const Sizer sizer_;
+  const Options options_;
+  MaterializeHook materialize_hook_;
+
+  mutable std::mutex mu_;
+  std::map<K, Slot> map_;
+  std::list<const K*> lru_;  ///< front = most recent; back = eviction end
+  std::map<K, uint64_t> freq_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t admission_rejects_ = 0;
+  uint64_t shed_builds_ = 0;
+  uint64_t alloc_failures_ = 0;
+  uint64_t build_failures_ = 0;
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_CORE_CACHE_GOVERNOR_H_

@@ -15,13 +15,57 @@ const ChainCompletionProfile* ChainValidationCache::Find(uint64_t key) {
   return &it->second;
 }
 
+namespace {
+
+/// Per-entry byte cost, shared by stats() and the growth sink so the
+/// budget's incremental charges and the introspected total agree.
+constexpr size_t kNodeOverhead = 32;
+
+size_t EntryBytes(const ChainCompletionProfile& profile) {
+  return sizeof(uint64_t) + sizeof(profile) + kNodeOverhead +
+         profile.best_log.capacity() * sizeof(double);
+}
+
+}  // namespace
+
 const ChainCompletionProfile* ChainValidationCache::Insert(
     uint64_t key, ChainCompletionProfile profile) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Concurrent sessions may race to the same boundary state; both computed
-  // the identical profile, first insert wins.
-  auto [it, unused] = profiles_.emplace(key, std::move(profile));
-  return &it->second;
+  const ChainCompletionProfile* resident;
+  size_t grown = 0;
+  std::function<void(size_t)> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Concurrent sessions may race to the same boundary state; both
+    // computed the identical profile, first insert wins (and only the
+    // winner's bytes are charged).
+    auto [it, inserted] = profiles_.emplace(key, std::move(profile));
+    resident = &it->second;
+    if (inserted && byte_sink_) {
+      grown = EntryBytes(it->second);
+      sink = byte_sink_;
+    }
+  }
+  // The sink charges the shared budget and may trigger an eviction
+  // sweep; call it outside mu_ so the governor's lock hierarchy (cache
+  // map > entry > budget, never through a value's own lock) holds.
+  if (sink) sink(grown);
+  return resident;
+}
+
+void ChainValidationCache::SetByteSink(
+    std::function<void(size_t delta)> sink) {
+  size_t backlog = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    byte_sink_ = std::move(sink);
+    // Report anything inserted before the sink existed (profiles landed
+    // between construction and admission), so the budget never
+    // undercounts an already-growing store.
+    for (const auto& [key, profile] : profiles_) {
+      backlog += EntryBytes(profile);
+    }
+  }
+  if (backlog > 0) byte_sink_(backlog);
 }
 
 ChainValidationCache::Stats ChainValidationCache::stats() const {
@@ -30,16 +74,14 @@ ChainValidationCache::Stats ChainValidationCache::stats() const {
   out.misses = misses_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   out.entries = profiles_.size();
-  // Approximation: key + profile struct + best_log payload per entry,
-  // plus a flat per-node allowance for the hash table's bucket/node
-  // bookkeeping. Exact malloc accounting isn't worth a trace hook here;
-  // the eviction policy this feeds needs relative magnitude, not bytes
-  // to the cent.
-  constexpr size_t kNodeOverhead = 32;
+  // Approximation: key + profile struct + best_log payload per entry
+  // (EntryBytes — the same figure the byte sink charges incrementally),
+  // plus the hash table's bucket array. Exact malloc accounting isn't
+  // worth a trace hook here; eviction needs relative magnitude, not
+  // bytes to the cent.
   out.bytes = profiles_.bucket_count() * sizeof(void*);
   for (const auto& [key, profile] : profiles_) {
-    out.bytes += sizeof(key) + sizeof(profile) + kNodeOverhead +
-                 profile.best_log.capacity() * sizeof(double);
+    out.bytes += EntryBytes(profile);
   }
   return out;
 }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -53,16 +54,27 @@ class ChainValidationCache {
     size_t entries = 0;
     /// Approximate resident bytes: per-profile payload plus hash-map
     /// node overhead. Feeds EngineContext::Stats and the serving /stats
-    /// endpoint (groundwork for LRU eviction by bytes).
+    /// endpoint (the accounting the cache governor's eviction charges).
     size_t bytes = 0;
   };
   Stats stats() const;
+
+  /// Installs a live byte-growth sink: every Insert that actually lands
+  /// a new profile reports its approximate byte cost (the same per-entry
+  /// figure stats() uses), called with NO internal lock held — the
+  /// governor charges the shared budget through it, so a store that
+  /// keeps growing after admission stays visible to eviction instead of
+  /// being billed only at build time. At most one sink; installed by the
+  /// owning GovernedCache at materialization, before the store is
+  /// published to any session.
+  void SetByteSink(std::function<void(size_t delta)> sink);
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, ChainCompletionProfile> profiles_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::function<void(size_t)> byte_sink_;
 };
 
 }  // namespace kgaq

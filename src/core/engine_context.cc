@@ -1,6 +1,5 @@
 #include "core/engine_context.h"
 
-#include <chrono>
 #include <utility>
 
 #include "kg/bfs.h"
@@ -8,19 +7,90 @@
 
 namespace kgaq {
 
+namespace {
+
+/// Flat allowance per cache-map node (key + slot + red-black
+/// bookkeeping), folded into each sizer so the governed byte figures
+/// stay comparable to the pre-governor Stats() accounting.
+constexpr size_t kMapNodeOverhead = 64;
+
+}  // namespace
+
 EngineContext::EngineContext(const KnowledgeGraph& g,
-                             const EmbeddingModel& model)
-    : g_(&g), model_(&model) {}
+                             const EmbeddingModel& model,
+                             EngineCacheOptions cache_options)
+    : g_(&g), model_(&model), cache_options_(cache_options) {
+  InitCaches();
+}
 
 EngineContext::EngineContext(KnowledgeGraph graph,
-                             std::unique_ptr<EmbeddingModel> model)
-    : owned_graph_(std::move(graph)), owned_model_(std::move(model)) {
+                             std::unique_ptr<EmbeddingModel> model,
+                             EngineCacheOptions cache_options)
+    : owned_graph_(std::move(graph)),
+      owned_model_(std::move(model)),
+      cache_options_(cache_options) {
   g_ = &*owned_graph_;
   model_ = owned_model_.get();
+  InitCaches();
+}
+
+void EngineContext::InitCaches() {
+  CacheBudgetOptions b;
+  b.budget_bytes = cache_options_.budget_bytes;
+  b.pressured_enter = cache_options_.pressured_enter;
+  b.pressured_exit = cache_options_.pressured_exit;
+  b.critical_enter = cache_options_.critical_enter;
+  b.critical_exit = cache_options_.critical_exit;
+  budget_ = std::make_shared<CacheBudget>(b);
+
+  // Similarity rows are always admitted: they are tiny relative to walk
+  // cores, and every core build for the predicate needs one anyway.
+  GovernedCache<SimsKey, const PredicateSimilarityCache>::Options sims_opts;
+  sims_opts.max_tracked_keys = cache_options_.max_tracked_keys;
+  sims_ = std::make_unique<
+      GovernedCache<SimsKey, const PredicateSimilarityCache>>(
+      budget_,
+      [](const PredicateSimilarityCache& row) {
+        return sizeof(row) + row.size() * sizeof(double) + kMapNodeOverhead;
+      },
+      sims_opts);
+
+  GovernedCache<WalkCoreKey, const WalkCore>::Options core_opts;
+  core_opts.admission_min_requests =
+      cache_options_.core_admission_min_requests;
+  core_opts.max_tracked_keys = cache_options_.max_tracked_keys;
+  cores_ = std::make_unique<GovernedCache<WalkCoreKey, const WalkCore>>(
+      budget_,
+      [](const WalkCore& core) {
+        return sizeof(core) + core.transitions.MemoryBytes() +
+               core.pi.capacity() * sizeof(double) + kMapNodeOverhead;
+      },
+      core_opts);
+
+  GovernedCache<std::string, ChainValidationCache>::Options chain_opts;
+  chain_opts.admission_min_requests =
+      cache_options_.chain_admission_min_requests;
+  chain_opts.max_tracked_keys = cache_options_.max_tracked_keys;
+  chain_ = std::make_unique<GovernedCache<std::string, ChainValidationCache>>(
+      budget_,
+      [](const ChainValidationCache& store) {
+        // Baseline only: a store is empty at admission and reports every
+        // profile it later lands through its byte sink.
+        return sizeof(store) + kMapNodeOverhead;
+      },
+      chain_opts);
+  // Wire each admitted store's live growth into its entry control, so
+  // profiles inserted after admission keep the budget honest (and the
+  // store evictable at its true cost).
+  chain_->set_materialize_hook(
+      [](ChainValidationCache& store,
+         const std::shared_ptr<governor_internal::EntryControl>& control) {
+        store.SetByteSink([control](size_t delta) { control->Grow(delta); });
+      });
 }
 
 Result<std::shared_ptr<EngineContext>> EngineContext::LoadFromSnapshot(
-    const std::string& path) {
+    const std::string& path, EngineCacheOptions cache_options) {
   auto snap = LoadEngineSnapshot(path);
   if (!snap.ok()) return snap.status();
   if (snap->embedding == nullptr) {
@@ -42,156 +112,97 @@ Result<std::shared_ptr<EngineContext>> EngineContext::LoadFromSnapshot(
         std::to_string(snap->graph.NumPredicates()) +
         " predicates — it was trained for a different graph");
   }
-  return std::make_shared<EngineContext>(std::move(snap->graph),
-                                         std::move(snap->embedding));
+  return std::make_shared<EngineContext>(
+      std::move(snap->graph), std::move(snap->embedding), cache_options);
 }
 
 std::shared_ptr<const PredicateSimilarityCache>
-EngineContext::PredicateSimilarities(PredicateId query_predicate,
-                                     double floor) const {
+EngineContext::PredicateSimilarities(PredicateId query_predicate, double floor,
+                                     CachePinScope* pins) const {
   const SimsKey key{query_predicate, floor};
-  std::promise<std::shared_ptr<const PredicateSimilarityCache>> promise;
-  std::shared_future<std::shared_ptr<const PredicateSimilarityCache>> future;
-  {
-    std::lock_guard<std::mutex> lock(sims_mu_);
-    auto it = sims_.find(key);
-    if (it != sims_.end()) {
-      sims_hits_.fetch_add(1, std::memory_order_relaxed);
-      future = it->second;
-    } else {
-      sims_.emplace(key, promise.get_future().share());
-    }
-  }
-  if (future.valid()) return future.get();  // built, or in flight
-
-  sims_misses_.fetch_add(1, std::memory_order_relaxed);
-  try {
-    auto built = std::make_shared<const PredicateSimilarityCache>(
-        *model_, query_predicate, floor);
-    promise.set_value(built);
-    return built;
-  } catch (...) {
-    // Un-claim the key so a later request can retry instead of hitting a
-    // permanently broken promise.
-    {
-      std::lock_guard<std::mutex> lock(sims_mu_);
-      sims_.erase(key);
-    }
-    promise.set_exception(std::current_exception());
-    throw;
-  }
+  return sims_->GetOrBuild(
+      key,
+      [&] {
+        return std::make_shared<const PredicateSimilarityCache>(
+            *model_, query_predicate, floor);
+      },
+      pins);
 }
 
 std::shared_ptr<const EngineContext::WalkCore> EngineContext::ScopedWalkCore(
-    const WalkCoreKey& key) const {
-  std::promise<std::shared_ptr<const WalkCore>> promise;
-  std::shared_future<std::shared_ptr<const WalkCore>> future;
-  {
-    std::lock_guard<std::mutex> lock(cores_mu_);
-    auto it = cores_.find(key);
-    if (it != cores_.end()) {
-      core_hits_.fetch_add(1, std::memory_order_relaxed);
-      future = it->second;
-    } else {
-      // Claim the key: later requesters find the future and wait for
-      // this thread's build instead of duplicating it.
-      cores_.emplace(key, promise.get_future().share());
-    }
-  }
-  if (future.valid()) return future.get();  // built, or in flight
-
-  core_misses_.fetch_add(1, std::memory_order_relaxed);
-  // Build outside the lock: cores are pure functions of (graph, model,
-  // key), so concurrent requests for other keys proceed, and waiters on
-  // this key observe exactly the value they would have computed.
-  try {
-    auto sims = PredicateSimilarities(key.query_predicate, key.sims_floor);
-    const BoundedSubgraph scope = BoundedBfs(*g_, key.root, key.n_hops);
-    TransitionOptions t_opts;
-    t_opts.self_loop_similarity = key.self_loop_similarity;
-    TransitionModel transitions(*g_, scope, *sims, t_opts);
-    StationaryOptions st_opts;
-    st_opts.max_iterations = key.stationary_max_iterations;
-    std::vector<double> pi =
-        ComputeStationaryDistribution(transitions, st_opts).pi;
-    auto built = std::make_shared<const WalkCore>(std::move(transitions),
-                                                  std::move(pi));
-    promise.set_value(built);
-    return built;
-  } catch (...) {
-    // Un-claim the key so a later request can retry instead of hitting a
-    // permanently broken promise.
-    {
-      std::lock_guard<std::mutex> lock(cores_mu_);
-      cores_.erase(key);
-    }
-    promise.set_exception(std::current_exception());
-    throw;
-  }
+    const WalkCoreKey& key, CachePinScope* pins) const {
+  return cores_->GetOrBuild(
+      key,
+      [&] {
+        // The similarity row is only read during TransitionModel
+        // construction (nothing in the finished core references it), so
+        // the internal lookup borrows without the caller's pin scope.
+        auto sims =
+            PredicateSimilarities(key.query_predicate, key.sims_floor);
+        const BoundedSubgraph scope = BoundedBfs(*g_, key.root, key.n_hops);
+        TransitionOptions t_opts;
+        t_opts.self_loop_similarity = key.self_loop_similarity;
+        TransitionModel transitions(*g_, scope, *sims, t_opts);
+        StationaryOptions st_opts;
+        st_opts.max_iterations = key.stationary_max_iterations;
+        std::vector<double> pi =
+            ComputeStationaryDistribution(transitions, st_opts).pi;
+        return std::make_shared<const WalkCore>(std::move(transitions),
+                                                std::move(pi));
+      },
+      pins);
 }
 
 std::shared_ptr<ChainValidationCache> EngineContext::ChainProfiles(
-    const std::string& branch_signature) const {
-  std::lock_guard<std::mutex> lock(chain_mu_);
-  auto& slot = chain_caches_[branch_signature];
-  if (slot == nullptr) slot = std::make_shared<ChainValidationCache>();
-  return slot;
+    const std::string& branch_signature, CachePinScope* pins) const {
+  // A declined admission hands back a fresh ephemeral store (no byte
+  // sink): the query still memoizes its own backward searches, it just
+  // doesn't share them — profiles are pure functions of their key, so
+  // results are identical either way.
+  return chain_->GetOrBuild(
+      branch_signature, [] { return std::make_shared<ChainValidationCache>(); },
+      pins);
 }
-
-namespace {
-
-/// The cached value behind a ready future, or nullptr for a build still
-/// in flight (its promise is unfulfilled — the entry counts, its bytes
-/// don't yet). Ready futures of this codebase never carry exceptions
-/// (builders re-throw after un-claiming the key), so get() is safe.
-template <typename T>
-std::shared_ptr<T> ValueIfReady(const std::shared_future<std::shared_ptr<T>>& f) {
-  if (!f.valid() ||
-      f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
-    return nullptr;
-  }
-  return f.get();
-}
-
-}  // namespace
 
 EngineContext::CacheStats EngineContext::Stats() const {
   CacheStats out;
-  out.sims_hits = sims_hits_.load(std::memory_order_relaxed);
-  out.sims_misses = sims_misses_.load(std::memory_order_relaxed);
-  out.core_hits = core_hits_.load(std::memory_order_relaxed);
-  out.core_misses = core_misses_.load(std::memory_order_relaxed);
-  // Flat allowance per map node (key + value + red-black bookkeeping).
-  constexpr size_t kMapNodeOverhead = 64;
-  {
-    std::lock_guard<std::mutex> lock(sims_mu_);
-    out.sims_entries = sims_.size();
-    for (const auto& [key, future] : sims_) {
-      out.sims_bytes += kMapNodeOverhead;
-      if (auto row = ValueIfReady(future); row != nullptr) {
-        out.sims_bytes += sizeof(*row) + row->size() * sizeof(double);
-      }
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(cores_mu_);
-    out.core_entries = cores_.size();
-    for (const auto& [key, future] : cores_) {
-      out.core_bytes += kMapNodeOverhead;
-      if (auto core = ValueIfReady(future); core != nullptr) {
-        out.core_bytes += sizeof(*core) + core->transitions.MemoryBytes() +
-                          core->pi.capacity() * sizeof(double);
-      }
-    }
-  }
-  std::lock_guard<std::mutex> lock(chain_mu_);
-  for (const auto& [sig, cache] : chain_caches_) {
-    const ChainValidationCache::Stats s = cache->stats();
+  const GovernedCacheStats sims = sims_->Stats();
+  const GovernedCacheStats cores = cores_->Stats();
+  const GovernedCacheStats chain = chain_->Stats();
+
+  out.sims_hits = sims.hits;
+  out.sims_misses = sims.misses;
+  out.sims_entries = sims.entries;
+  out.sims_bytes = sims.bytes;
+  out.core_hits = cores.hits;
+  out.core_misses = cores.misses;
+  out.core_entries = cores.entries;
+  out.core_bytes = cores.bytes;
+
+  // Chain hits/misses/entries keep their pre-governor meaning: profile-
+  // level reuse summed over every resident per-signature store. The byte
+  // figure is the governed accounting (baseline + sink-reported growth),
+  // i.e. exactly what the shared budget was charged for these stores.
+  for (const auto& store : chain_->Values()) {
+    const ChainValidationCache::Stats s = store->stats();
     out.chain_hits += s.hits;
     out.chain_misses += s.misses;
     out.chain_entries += s.entries;
-    out.chain_bytes += s.bytes + sig.capacity() + kMapNodeOverhead;
   }
+  out.chain_bytes = chain.bytes;
+
+  out.budget_bytes = budget_->budget_bytes();
+  out.charged_bytes = budget_->charged_bytes();
+  out.pinned_bytes = budget_->pinned_bytes();
+  out.evictions = sims.evictions + cores.evictions + chain.evictions;
+  out.admission_rejects = sims.admission_rejects + cores.admission_rejects +
+                          chain.admission_rejects;
+  out.shed_builds = sims.shed_builds + cores.shed_builds + chain.shed_builds;
+  out.alloc_failures =
+      sims.alloc_failures + cores.alloc_failures + chain.alloc_failures;
+  out.build_failures =
+      sims.build_failures + cores.build_failures + chain.build_failures;
+  out.pressure = budget_->pressure();
   return out;
 }
 

@@ -496,18 +496,28 @@ std::string HttpServer::Dispatch(const std::string& method,
   if (path == "/healthz") {
     // Healthy keeps the historical "ok" body; load balancers checking
     // for 200 see Saturated replicas as alive but can read the body to
-    // deprioritize them, and Shedding replicas drain via plain 503.
+    // deprioritize them, and Shedding replicas drain via plain 503. A
+    // non-Healthy memory-pressure state is appended as a body suffix
+    // (" memory:pressured" / " memory:critical") without changing the
+    // status code — pressure degrades cache builds, not availability.
+    std::string memory_suffix;
+    const MemoryPressure pressure = service_.context()->memory_pressure();
+    if (pressure != MemoryPressure::kHealthy) {
+      memory_suffix =
+          std::string(" memory:") + MemoryPressureToString(pressure);
+    }
     switch (service_.overload_state()) {
       case OverloadState::kHealthy:
-        return MakeResponse(200, "text/plain", "ok\n");
+        return MakeResponse(200, "text/plain", "ok" + memory_suffix + "\n");
       case OverloadState::kSaturated:
-        return MakeResponse(200, "text/plain", "saturated\n");
+        return MakeResponse(200, "text/plain",
+                            "saturated" + memory_suffix + "\n");
       case OverloadState::kShedding:
         return MakeResponse(
-            503, "text/plain", "shedding\n",
+            503, "text/plain", "shedding" + memory_suffix + "\n",
             RetryAfterHeader(service_.stats().retry_after_ms));
     }
-    return MakeResponse(200, "text/plain", "ok\n");
+    return MakeResponse(200, "text/plain", "ok" + memory_suffix + "\n");
   }
 
   if (path == "/stats") {
@@ -528,7 +538,12 @@ std::string HttpServer::Dispatch(const std::string& method,
     out += OverloadStateToString(s.overload);
     out += "\",\"retry_after_ms\":";
     AppendRoundTripDouble(out, s.retry_after_ms);
-    out += "},\"http\":{";
+    out += ",\"last_tick_age_ms\":";
+    AppendRoundTripDouble(out, s.last_tick_age_ms);
+    out += ",\"watchdog_stalls\":" + std::to_string(s.watchdog_stalls);
+    out += ",\"memory_pressure\":\"";
+    out += MemoryPressureToString(s.memory_pressure);
+    out += "\"},\"http\":{";
     out += "\"requests\":" +
            std::to_string(requests_.load(std::memory_order_relaxed));
     out += ",\"bad_requests\":" +
@@ -548,6 +563,17 @@ std::string HttpServer::Dispatch(const std::string& method,
     out += ",\"misses\":" + std::to_string(c.chain_misses);
     out += ",\"entries\":" + std::to_string(c.chain_entries);
     out += ",\"bytes\":" + std::to_string(c.chain_bytes);
+    out += "},\"governor\":{";
+    out += "\"budget_bytes\":" + std::to_string(c.budget_bytes);
+    out += ",\"charged_bytes\":" + std::to_string(c.charged_bytes);
+    out += ",\"pinned_bytes\":" + std::to_string(c.pinned_bytes);
+    out += ",\"pressure\":\"";
+    out += MemoryPressureToString(c.pressure);
+    out += "\",\"evictions\":" + std::to_string(c.evictions);
+    out += ",\"admission_rejects\":" + std::to_string(c.admission_rejects);
+    out += ",\"shed_builds\":" + std::to_string(c.shed_builds);
+    out += ",\"alloc_failures\":" + std::to_string(c.alloc_failures);
+    out += ",\"build_failures\":" + std::to_string(c.build_failures);
     out += "},\"total_bytes\":" + std::to_string(c.TotalBytes());
     out += "}}\n";
     return MakeResponse(200, "application/json", out);

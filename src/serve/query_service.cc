@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -229,6 +230,24 @@ QueryService::ServiceStats QueryService::stats() const {
   out.running = running_;
   out.overload = overload_;
   out.retry_after_ms = RetryAfterMsLocked();
+  if (tick_in_progress_) {
+    out.last_tick_age_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - tick_start_)
+                               .count();
+    // A probe may observe a stall while the tick is still running; count
+    // it here (once — the scheduler skips it when closing the tick).
+    if (options_.watchdog_warn_ms > 0.0 &&
+        out.last_tick_age_ms > options_.watchdog_warn_ms && !tick_warned_) {
+      tick_warned_ = true;
+      ++watchdog_stalls_;
+      std::fprintf(stderr,
+                   "[kgaq.serve] watchdog: scheduler tick running for "
+                   "%.1f ms (threshold %.1f ms)\n",
+                   out.last_tick_age_ms, options_.watchdog_warn_ms);
+    }
+  }
+  out.watchdog_stalls = watchdog_stalls_;
+  out.memory_pressure = ctx_->memory_pressure();
   return out;
 }
 
@@ -269,6 +288,23 @@ void QueryService::UpdateOverloadLocked() {
       }
       break;
   }
+}
+
+void QueryService::NoteTickEndLocked() {
+  if (!tick_in_progress_) return;
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - tick_start_)
+                        .count();
+  if (options_.watchdog_warn_ms > 0.0 && ms > options_.watchdog_warn_ms &&
+      !tick_warned_) {
+    ++watchdog_stalls_;
+    std::fprintf(stderr,
+                 "[kgaq.serve] watchdog: scheduler tick took %.1f ms "
+                 "(threshold %.1f ms)\n",
+                 ms, options_.watchdog_warn_ms);
+  }
+  tick_in_progress_ = false;
+  tick_warned_ = false;
 }
 
 double QueryService::RetryAfterMsLocked() const {
@@ -369,12 +405,16 @@ void QueryService::SchedulerLoop() {
     bool shutting_down = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      NoteTickEndLocked();  // close the previous tick before blocking
       wake_.wait(lock, [&] {
         return shutdown_ || !queue_.empty() || !active.empty();
       });
+      tick_start_ = std::chrono::steady_clock::now();
+      tick_in_progress_ = true;
       shutting_down = shutdown_;
       if (shutdown_ && queue_.empty() && active.empty()) {
         running_ = 0;
+        tick_in_progress_ = false;  // the scheduler is gone, not stalled
         return;
       }
       const size_t width = std::max<size_t>(1, options_.max_concurrent);
@@ -588,6 +628,13 @@ void QueryService::SchedulerLoop() {
           break;
         case StopCause::kNone:
           break;
+      }
+      // Critical memory pressure declined this session's cache builds:
+      // it ran on ephemeral structures (identical estimate, nothing
+      // cached for successors) — a degraded completion, same as a shed
+      // run. Never fires for an ungoverned context.
+      if (a.session->cache_builds_shed() && result.rounds >= 1) {
+        degraded = true;
       }
       const double run_ms = std::chrono::duration<double, std::milli>(
                                 TicketState::Clock::now() - a.admit_time)

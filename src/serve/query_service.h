@@ -66,6 +66,12 @@ struct ServiceOptions {
   double saturated_exit = 0.25;
   double shedding_enter = 0.90;
   double shedding_exit = 0.50;
+  /// Scheduler watchdog: a tick (one admit + step + retire cycle) that
+  /// runs longer than this logs a debug warning to stderr and counts in
+  /// stats().watchdog_stalls; stats().last_tick_age_ms exposes the age
+  /// of the tick currently in progress so an operator probing /stats can
+  /// see a stall while it is happening. 0 disables the warning.
+  double watchdog_warn_ms = 1000.0;
   /// Per-query engine configuration. A request's overrides (error bound,
   /// confidence, seed, max rounds) are applied on top; the `seed` field is
   /// otherwise overridden by the derived per-query seed.
@@ -273,6 +279,17 @@ class QueryService {
     /// queue drain rate (EWMA of inter-retirement gaps x queue depth).
     /// The HTTP front-end rounds this up into 429 Retry-After.
     double retry_after_ms = 0.0;
+    /// Scheduler watchdog (see ServiceOptions::watchdog_warn_ms): age of
+    /// the tick currently in progress (0 when the scheduler is idle or
+    /// between ticks), and how many ticks have stalled past the
+    /// threshold since construction.
+    double last_tick_age_ms = 0.0;
+    uint64_t watchdog_stalls = 0;
+    /// Memory-pressure state of the shared EngineContext budget (always
+    /// kHealthy for an ungoverned context). Under kCritical the engine
+    /// sheds new cache builds — queries still run, on ephemeral
+    /// structures, and come back marked degraded. See docs/memory.md.
+    MemoryPressure memory_pressure = MemoryPressure::kHealthy;
   };
   ServiceStats stats() const;
 
@@ -324,6 +341,10 @@ class QueryService {
   /// Re-evaluates the overload state machine from the current queue
   /// depth. Caller holds mu_.
   void UpdateOverloadLocked();
+  /// Closes the scheduler tick in progress: warns + counts a watchdog
+  /// stall when it overran watchdog_warn_ms (unless a concurrent stats()
+  /// probe already did). Caller holds mu_.
+  void NoteTickEndLocked();
   /// Suggested client backoff from the drain-rate EWMA. Caller holds mu_.
   double RetryAfterMsLocked() const;
 
@@ -345,6 +366,13 @@ class QueryService {
   double drain_interval_ms_ = 0.0;
   std::chrono::steady_clock::time_point last_retire_;
   bool any_retired_ = false;
+  /// Scheduler watchdog state (guarded by mu_). `tick_warned_` and
+  /// `watchdog_stalls_` are mutable because a stats() probe may be the
+  /// first observer of a stall still in progress and records it there.
+  std::chrono::steady_clock::time_point tick_start_;
+  bool tick_in_progress_ = false;
+  mutable bool tick_warned_ = false;
+  mutable uint64_t watchdog_stalls_ = 0;
   std::thread scheduler_;  ///< started lazily on first submission
 
   // Legacy wrapper state: tickets in Submit order, materialized results.

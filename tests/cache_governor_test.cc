@@ -1,0 +1,243 @@
+#include "core/cache_governor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/chain_validation_cache.h"
+
+namespace kgaq {
+namespace {
+
+using Vec = std::vector<double>;
+using VecCache = GovernedCache<int, Vec>;
+
+std::shared_ptr<CacheBudget> MakeBudget(size_t bytes) {
+  CacheBudgetOptions opts;
+  opts.budget_bytes = bytes;
+  return std::make_shared<CacheBudget>(opts);
+}
+
+/// Sizer: payload bytes only, so test arithmetic stays round.
+size_t VecBytes(const Vec& v) { return v.size() * sizeof(double); }
+
+TEST(CacheBudgetTest, PressureHysteresisOverPinnedFill) {
+  auto budget = MakeBudget(1000);  // default thresholds .70/.50, .90/.70
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kHealthy);
+
+  budget->PinCharge(600);  // fill .60 < enter .70
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kHealthy);
+  budget->PinCharge(100);  // fill .70 >= enter .70
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kPressured);
+  budget->PinRelease(100);  // fill .60 > exit .50: hysteresis holds
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kPressured);
+  budget->PinRelease(100);  // fill .50 <= exit .50
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kHealthy);
+
+  budget->PinCharge(400);  // fill .90 >= critical enter .90
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kCritical);
+  EXPECT_TRUE(budget->ShouldShedBuilds());
+  budget->PinRelease(100);  // fill .80 > critical exit .70
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kCritical);
+  budget->PinRelease(100);  // fill .70 <= critical exit, > pressured exit
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kPressured);
+  budget->PinRelease(200);  // fill .50 <= pressured exit
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kHealthy);
+  EXPECT_FALSE(budget->ShouldShedBuilds());
+}
+
+TEST(CacheBudgetTest, UnboundedBudgetNeverPressured) {
+  auto budget = MakeBudget(0);
+  budget->Charge(1 << 30);
+  budget->PinCharge(1 << 30);
+  EXPECT_FALSE(budget->OverBudget());
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kHealthy);
+  EXPECT_FALSE(budget->ShouldShedBuilds());
+}
+
+TEST(GovernedCacheTest, EvictsLeastRecentlyUsedTowardBudget) {
+  // Budget fits two 40-byte vectors, not three.
+  auto budget = MakeBudget(100);
+  VecCache cache(budget, VecBytes);
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return std::make_shared<Vec>(5, 1.0);
+  };
+
+  cache.GetOrBuild(1, build);
+  cache.GetOrBuild(2, build);
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.Stats().entries, 2u);
+  EXPECT_EQ(budget->charged_bytes(), 80u);
+
+  cache.GetOrBuild(3, build);  // 120 > 100: key 1 (LRU) goes
+  EXPECT_EQ(cache.Stats().entries, 2u);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_LE(budget->charged_bytes(), 100u);
+
+  cache.GetOrBuild(2, build);  // hit; moves 2 to the front
+  EXPECT_EQ(builds, 3);
+  cache.GetOrBuild(4, build);  // now 3 is the LRU victim
+  EXPECT_EQ(cache.Stats().evictions, 2u);
+  EXPECT_EQ(builds, 4);
+  cache.GetOrBuild(2, build);  // 2 must have survived both sweeps
+  EXPECT_EQ(builds, 4);
+  cache.GetOrBuild(3, build);  // 3 was evicted: rebuilt
+  EXPECT_EQ(builds, 5);
+}
+
+TEST(GovernedCacheTest, FrequencyAdmissionCachesOnlyRepeatedKeys) {
+  auto budget = MakeBudget(0);
+  VecCache::Options opts;
+  opts.admission_min_requests = 2;
+  VecCache cache(budget, VecBytes, opts);
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return std::make_shared<Vec>(5, 1.0);
+  };
+
+  // First request: built ephemeral, not cached.
+  auto first = cache.GetOrBuild(7, build);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().admission_rejects, 1u);
+
+  // Second request crosses the threshold: built again, now resident.
+  cache.GetOrBuild(7, build);
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+
+  // Third request is a pure hit.
+  cache.GetOrBuild(7, build);
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.Stats().hits, 1u);
+}
+
+TEST(GovernedCacheTest, PinnedEntrySurvivesEvictionAndCriticalSheds) {
+  // Budget smaller than one entry: the pinned entry alone overflows it.
+  auto budget = MakeBudget(30);
+  VecCache cache(budget, VecBytes);
+  auto build = [] { return std::make_shared<Vec>(5, 1.0); };  // 40 bytes
+
+  CachePinScope scope;
+  auto pinned = cache.GetOrBuild(1, build, &scope);
+  EXPECT_EQ(budget->pinned_bytes(), 40u);
+  // Pinned fill 40/30 > critical enter: the budget is under pressure
+  // demand eviction cannot satisfy.
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kCritical);
+
+  // Eviction sweeps cannot reclaim the pinned entry...
+  budget->Rebalance();
+  EXPECT_EQ(cache.Stats().evictions, 0u);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  auto again = cache.GetOrBuild(1, build, &scope);
+  EXPECT_EQ(again.get(), pinned.get());  // same resident object: a hit
+
+  // ...and new builds are shed under Critical (ephemeral, degraded).
+  CachePinScope other;
+  auto shed = cache.GetOrBuild(2, build, &other);
+  ASSERT_NE(shed, nullptr);
+  EXPECT_EQ(cache.Stats().shed_builds, 1u);
+  EXPECT_EQ(other.shed_builds(), 1u);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+
+  // Releasing the epoch makes the entry reclaimable again.
+  scope.Release();
+  EXPECT_EQ(budget->pinned_bytes(), 0u);
+  EXPECT_EQ(budget->pressure(), MemoryPressure::kHealthy);
+  budget->Rebalance();
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(budget->charged_bytes(), 0u);
+  // The consumer's shared_ptr kept the value alive through eviction.
+  EXPECT_EQ(pinned->size(), 5u);
+}
+
+TEST(GovernedCacheTest, BuildFaultLeavesCacheUnpoisoned) {
+  fault_injection::Reset();
+  fault_injection::Enable(1234);
+  fault_injection::ArmCount("core.cache.build", 1);
+
+  auto budget = MakeBudget(0);
+  VecCache cache(budget, VecBytes);
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return std::make_shared<Vec>(5, 1.0);
+  };
+
+  EXPECT_THROW(cache.GetOrBuild(1, build), std::runtime_error);
+  EXPECT_EQ(builds, 0);
+  EXPECT_EQ(cache.Stats().build_failures, 1u);
+  EXPECT_EQ(cache.Stats().entries, 0u);  // claim released, not poisoned
+
+  // The very next request rebuilds and caches normally.
+  auto value = cache.GetOrBuild(1, build);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  fault_injection::Reset();
+}
+
+TEST(GovernedCacheTest, AllocFaultDegradesToEphemeralValue) {
+  fault_injection::Reset();
+  fault_injection::Enable(1234);
+  fault_injection::ArmCount("core.cache.alloc", 1);
+
+  auto budget = MakeBudget(0);
+  VecCache cache(budget, VecBytes);
+  auto build = [] { return std::make_shared<Vec>(5, 2.0); };
+
+  // The build succeeds; only materialization fails. The caller still
+  // gets the value, nothing is charged, nothing is resident.
+  auto value = cache.GetOrBuild(1, build);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ((*value)[0], 2.0);
+  EXPECT_EQ(cache.Stats().alloc_failures, 1u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(budget->charged_bytes(), 0u);
+
+  // With the fault exhausted the next request becomes resident.
+  cache.GetOrBuild(1, build);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  EXPECT_GT(budget->charged_bytes(), 0u);
+  fault_injection::Reset();
+}
+
+TEST(ChainValidationCacheTest, ByteSinkReportsInsertGrowthAndBacklog) {
+  ChainValidationCache store;
+  ChainCompletionProfile p1;
+  p1.best_log.assign(4, -1.0);
+  p1.valid = true;
+  store.Insert(1, p1);  // lands before any sink exists
+
+  size_t reported = 0;
+  store.SetByteSink([&](size_t delta) { reported += delta; });
+  const size_t backlog = reported;
+  EXPECT_GT(backlog, 0u) << "pre-sink insert must be reported as backlog";
+
+  ChainCompletionProfile p2;
+  p2.best_log.assign(8, -2.0);
+  p2.valid = true;
+  store.Insert(2, p2);
+  EXPECT_GT(reported, backlog);
+
+  // A losing duplicate insert charges nothing.
+  const size_t before = reported;
+  store.Insert(2, p2);
+  EXPECT_EQ(reported, before);
+
+  // The sink's incremental charges agree with stats() up to the hash
+  // table's bucket array (the only non-per-entry term).
+  const auto s = store.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_GE(s.bytes, reported);
+}
+
+}  // namespace
+}  // namespace kgaq

@@ -233,6 +233,17 @@ TEST_F(HttpServerTest, StatsExposeServiceAndCacheState) {
                       std::to_string(cstats.sims_entries)),
             std::string::npos)
       << body;
+  // Governance surface: the governor object (an unbounded context still
+  // reports its zero budget and counters), the scheduler watchdog, and
+  // the memory-pressure state.
+  EXPECT_NE(body.find("\"governor\""), std::string::npos) << body;
+  EXPECT_EQ(JsonField(body, "budget_bytes"), "0") << body;
+  EXPECT_EQ(JsonField(body, "evictions"), "0") << body;
+  EXPECT_NE(body.find("\"memory_pressure\":\"healthy\""),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"last_tick_age_ms\""), std::string::npos) << body;
+  EXPECT_EQ(JsonField(body, "watchdog_stalls"), "0") << body;
 }
 
 /// Server + bounded service wired together for the overload tests; the
