@@ -4,9 +4,12 @@
 //   1. generate a small synthetic KG + planted embedding,
 //   2. stand up a bounded QueryService behind the HTTP front-end,
 //   3. enable deterministic fault injection (p = 0.05 on admission,
-//      round execution, server reads, and client reads),
+//      round execution, server reads, client reads, and event-loop
+//      wakeup delivery),
 //   4. hammer it with mixed traffic — plain queries, tight deadlines,
-//      cancels, stats/healthz probes — through the retrying client for
+//      cancels, stats/healthz probes — through the retrying client
+//      (pooled keep-alive connections, so the soak also covers reuse,
+//      server-side idle reaps, and the stale-connection retry path) for
 //      --seconds wall-clock seconds,
 //   5. verify at the end that every submission is accounted for in
 //      exactly one terminal bucket and nothing crashed, hung, or leaked.
@@ -78,6 +81,10 @@ int main(int argc, char** argv) {
   fault_injection::Arm("serve.round.slow", 0.05);
   fault_injection::Arm("http.conn.read_error", 0.05);
   fault_injection::Arm("http.client.recv_error", 0.05);
+  // Dropped event-loop wakeups: level-triggered pollers re-deliver the
+  // undrained wakeup fd next tick, so these delay work but cannot lose
+  // it — the identity below is the proof.
+  fault_injection::Arm("serve.loop.wakeup", 0.05);
 
   RetryOptions ropts;
   ropts.max_attempts = 3;

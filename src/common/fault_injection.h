@@ -39,7 +39,9 @@ namespace fault_injection {
 ///
 /// Points are string-keyed and need no registration. Current sites:
 /// serving (`serve.admit.queue_full`, `serve.round.slow`,
-/// `serve.scheduler.stall`), HTTP (`http.conn.read_error`,
+/// `serve.scheduler.stall`, `serve.loop.wakeup` — an event-loop wakeup
+/// is dropped undrained; level-triggered pollers re-deliver it next
+/// tick), HTTP (`http.conn.read_error`,
 /// `http.client.connect_error`, `http.client.recv_error`), snapshot
 /// loading (`snapshot.read.short`),
 /// and the governed caches (`core.cache.build` — the builder throws,

@@ -32,17 +32,13 @@ double UniformDouble(uint64_t& state) {
 }  // namespace
 
 RetryingHttpClient::RetryingHttpClient(RetryOptions options)
-    : RetryingHttpClient(
-          options,
-          [](const std::string& host, uint16_t port,
-             const std::string& method, const std::string& target,
-             const std::string& body) {
-            return HttpFetch(host, port, method, target, body);
-          },
-          [](double ms) {
-            std::this_thread::sleep_for(
-                std::chrono::duration<double, std::milli>(ms));
-          }) {}
+    : options_(options),
+      fetch_(nullptr),  // null fetch_ selects the pooled transport
+      sleep_([](double ms) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+      }),
+      rng_state_(options.seed) {}
 
 RetryingHttpClient::RetryingHttpClient(RetryOptions options, FetchFn fetch,
                                        SleepFn sleep)
@@ -50,6 +46,24 @@ RetryingHttpClient::RetryingHttpClient(RetryOptions options, FetchFn fetch,
       fetch_(std::move(fetch)),
       sleep_(std::move(sleep)),
       rng_state_(options.seed) {}
+
+Result<HttpResponse> RetryingHttpClient::PooledFetch(
+    const std::string& host, uint16_t port, const std::string& method,
+    const std::string& target, const std::string& body) {
+  const std::string key = host + ":" + std::to_string(port);
+  HttpClientConnection& conn = pool_[key];
+  if (conn.connected()) {
+    ++stats_.reuses;
+  } else {
+    Status st = conn.Connect(host, port);
+    if (!st.ok()) return st;
+    ++stats_.reconnects;
+  }
+  // RoundTrip closes the socket itself on every transport error and on
+  // Connection: close responses, so the pool never retains a connection
+  // whose framing state is unknown; the next attempt reconnects.
+  return conn.RoundTrip(method, target, body, /*keep_alive=*/true);
+}
 
 Result<HttpResponse> RetryingHttpClient::Fetch(const std::string& host,
                                                uint16_t port,
@@ -81,7 +95,8 @@ Result<HttpResponse> RetryingHttpClient::Fetch(const std::string& host,
       ++stats_.retries;
     }
 
-    last = fetch_(host, port, method, target, body);
+    last = fetch_ ? fetch_(host, port, method, target, body)
+                  : PooledFetch(host, port, method, target, body);
     if (!last.ok()) {
       const StatusCode code = last.status().code();
       if (code == StatusCode::kUnavailable) continue;  // nothing was sent

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 
 #include "common/status.h"
 #include "serve/http_server.h"
@@ -28,15 +29,24 @@ struct RetryOptions {
   bool honor_retry_after = true;
 };
 
-/// A thin, dependency-free retrying wrapper over HttpFetch for loopback
-/// tests, smoke binaries, and the chaos soak. What it retries:
+/// A thin, dependency-free retrying client for loopback tests, smoke
+/// binaries, and the chaos soak. The default constructor POOLS
+/// transport connections: one persistent keep-alive HttpClientConnection
+/// per host:port, reused across Fetch calls, reconnected transparently
+/// when the server closes it (idle reap, max_keepalive_requests, or a
+/// transport error). What it retries:
 ///
-///   - kUnavailable transport errors: the connect itself failed, so no
-///     request bytes reached a server — always safe to retry.
-///   - kIoError transport errors (send/recv died mid-flight): the server
-///     MAY have executed the request, so these retry only for idempotent
-///     methods (GET / HEAD). A POST /query that dies mid-read is
-///     surfaced to the caller rather than silently submitted twice.
+///   - kUnavailable transport errors: either the connect itself failed
+///     or a REUSED pooled connection died before yielding a single
+///     response byte (the server reaped it while we were idle) — in
+///     both cases no request executed, so retrying is safe for every
+///     method; the retry reconnects.
+///   - kIoError transport errors (send/recv died mid-flight on a fresh
+///     connection): the server MAY have executed the request, so these
+///     retry only for idempotent methods (GET / HEAD). A POST /query
+///     that dies mid-read is surfaced to the caller rather than
+///     silently submitted twice. The pooled connection is dropped, so
+///     a retry (when allowed) starts on a fresh socket.
 ///   - HTTP 429 and 503: the server explicitly said "later"; the
 ///     request was rejected before any work, so retrying is safe for
 ///     every method. Retry-After, when present, paces the wait.
@@ -48,6 +58,8 @@ struct RetryOptions {
 ///   sleep_i = min(cap, uniform(base, 3 * sleep_{i-1}))
 /// which spreads a thundering herd across time instead of synchronizing
 /// it the way plain doubling does.
+///
+/// Not thread-safe: one client per thread (each gets its own pool).
 class RetryingHttpClient {
  public:
   /// Injection seams for tests: a fake fetch scripts server behavior and
@@ -57,8 +69,11 @@ class RetryingHttpClient {
       const std::string& target, const std::string& body)>;
   using SleepFn = std::function<void(double ms)>;
 
+  /// Pooled keep-alive transport (see class comment).
   explicit RetryingHttpClient(RetryOptions options = {});
-  /// Test constructor: custom transport and/or clockless sleep.
+  /// Test constructor: custom transport and/or clockless sleep. An
+  /// injected transport is NOT pooled — the fetch fn owns connection
+  /// lifetime.
   RetryingHttpClient(RetryOptions options, FetchFn fetch, SleepFn sleep);
 
   /// Fetches with retries per the class contract. On success the LAST
@@ -73,15 +88,33 @@ class RetryingHttpClient {
   struct Stats {
     uint64_t requests = 0;  ///< Fetch() calls
     uint64_t retries = 0;   ///< extra attempts beyond each first try
+    /// Attempts served over an already-open pooled connection — the
+    /// keep-alive win; reuses / requests ~ 1 means churn is gone.
+    uint64_t reuses = 0;
+    /// Pooled connections (re)established: first contact per host plus
+    /// one per server-side close observed. Always 0 with an injected
+    /// transport.
+    uint64_t reconnects = 0;
   };
   Stats stats() const { return stats_; }
 
  private:
+  /// One attempt over the per-host pooled keep-alive connection.
+  Result<HttpResponse> PooledFetch(const std::string& host, uint16_t port,
+                                   const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body);
+
   RetryOptions options_;
-  FetchFn fetch_;
+  FetchFn fetch_;  ///< injected transport; null in pooled mode
   SleepFn sleep_;
   uint64_t rng_state_;
   Stats stats_;
+  /// host:port -> persistent connection (pooled mode only). RoundTrip
+  /// closes the socket on every transport error and every
+  /// `Connection: close` response, so a pooled entry is never left in
+  /// an unknown framing state — the next Fetch just reconnects.
+  std::unordered_map<std::string, HttpClientConnection> pool_;
 };
 
 }  // namespace kgaq

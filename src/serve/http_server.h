@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -16,28 +17,68 @@
 
 namespace kgaq {
 
+/// Connection-handling model of the HTTP front-end.
+///
+///   kEventLoop (default): an acceptor plus N event-loop threads own all
+///   sockets via epoll (poll fallback). Connections are HTTP/1.1
+///   keep-alive with pipelining; requests are parsed incrementally from
+///   per-connection buffers, so no thread is ever parked per connection
+///   and thousands of concurrent connections cost file descriptors, not
+///   threads.
+///
+///   kBlockingThreads: the pre-event-loop model — accept thread plus a
+///   small pool of blocking handler threads, one connection per request,
+///   Connection: close on every response. Kept as the measured baseline
+///   for the loadgen front-door comparison (examples/loadgen.cpp) and as
+///   a conservative fallback.
+enum class ServerModel : uint8_t { kEventLoop, kBlockingThreads };
+
 /// Knobs of the HTTP front-end. Defaults bind an ephemeral loopback
 /// port — ask `port()` after Start() for the one the kernel picked.
 struct HttpServerOptions {
   std::string bind_address = "127.0.0.1";
   uint16_t port = 0;  ///< 0: ephemeral
-  int backlog = 16;
-  /// Handler threads draining accepted connections; requests are tiny
-  /// (submit / poll / cancel), the heavy lifting stays on the query
+  /// Listen backlog. A keep-alive front door sees connection bursts only
+  /// at client start-up, but those bursts can be thousands deep.
+  int backlog = 128;
+  ServerModel model = ServerModel::kEventLoop;
+
+  // --- event-loop model ---------------------------------------------
+  /// Event-loop threads sharing the connection population (round-robin
+  /// assignment at accept; a connection lives on one loop for life, so
+  /// its state needs no locks).
+  size_t event_threads = 2;
+  /// Close a connection after this many requests (0 = unlimited). The
+  /// final response carries `Connection: close`.
+  size_t max_keepalive_requests = 0;
+  /// Reap keep-alive connections idle (no partial request buffered)
+  /// longer than this. Idle reaping closes silently — the client simply
+  /// reconnects; a connection stalled MID-request is instead answered
+  /// 408 after `connection_deadline_ms` (slow-loris defense, now driven
+  /// by loop timers instead of per-socket timeouts). 0 disables.
+  double idle_timeout_ms = 5000.0;
+  /// A request head (everything before the blank line) larger than this
+  /// answers 431 Request Header Fields Too Large and closes.
+  size_t max_header_bytes = 16 << 10;
+  /// Debug/portability escape hatch: use the poll(2) backend even where
+  /// epoll is available (non-Linux builds always use poll).
+  bool force_poll_backend = false;
+
+  // --- blocking model (and shared limits) ---------------------------
+  /// Handler threads draining accepted connections (kBlockingThreads
+  /// only); requests are tiny, the heavy lifting stays on the query
   /// scheduler, so a handful suffices.
   size_t num_handler_threads = 4;
-  /// Reject request heads/bodies beyond this size (413).
+  /// Reject request bodies beyond this size (413).
   size_t max_request_bytes = 1 << 20;
-  /// Per-recv socket read timeout, so a stalled client cannot pin a
-  /// handler thread forever.
+  /// Per-recv socket read timeout (kBlockingThreads only).
   double read_timeout_ms = 5000.0;
-  /// Per-send socket write timeout: a client that stops draining its
-  /// receive window cannot wedge a handler in send().
+  /// Per-send socket write timeout (kBlockingThreads only).
   double write_timeout_ms = 5000.0;
-  /// Total wall-clock budget for one connection (read + dispatch + write).
-  /// Defeats slow-loris clients that trickle one byte per read_timeout:
-  /// each recv may beat the per-recv clock, but the connection as a whole
-  /// is still bounded. Exceeding it answers 408 and closes.
+  /// Wall-clock budget for receiving one full request. Defeats
+  /// slow-loris clients that trickle one byte at a time: exceeding it
+  /// answers 408 and closes. Under kBlockingThreads this bounds the
+  /// whole connection (read + dispatch + write), as before.
   double connection_deadline_ms = 15000.0;
   /// The /result registry keeps at most this many tickets; beyond it the
   /// oldest submissions are dropped (their ids answer 404) so a
@@ -56,15 +97,33 @@ struct HttpServerOptions {
 ///                          -> 202 {"id":N,"state":"QUEUED",...}
 ///   GET  /result/<id>      -> 200 with state; terminal responses carry
 ///                          v_hat, moe, satisfied, rounds, draws, the
-///                          seed used and queue/run timings.
+///                          seed used and queue/run timings. An optional
+///                          ?wait=<ms> long-polls: the response is
+///                          deferred until the query retires (completions
+///                          are pushed to the owning event loop through
+///                          an eventfd wakeup — no thread parks) or the
+///                          wait expires, which answers with the live
+///                          non-terminal snapshot.
 ///   GET|POST /cancel/<id>  cooperative cancel -> 200 with state.
 ///   GET  /healthz          -> 200 "ok" (Healthy), 200 "saturated"
 ///                          (Saturated), 503 "shedding" + Retry-After
 ///                          (Shedding) — load balancers can drain a
 ///                          shedding replica without parsing JSON.
 ///   GET  /stats            service counters (incl. overload state and
-///                          retry_after_ms) + EngineContext cache
-///                          entries / approximate resident bytes.
+///                          retry_after_ms), a `server` object (open
+///                          connections, keep-alive reuse, requests
+///                          parsed, event-loop wakeups, per-loop queue
+///                          depths) + EngineContext cache entries /
+///                          approximate resident bytes.
+///
+/// Under the default event-loop model connections are keep-alive:
+/// responses carry `Connection: keep-alive` and the socket serves any
+/// number of requests (HttpServerOptions::max_keepalive_requests caps
+/// it), including pipelined requests parsed back-to-back from one read.
+/// All POST /query submissions that complete parsing within one loop
+/// drain cycle are submitted to the QueryService as ONE admission wave
+/// (QueryService::SubmitBatch), so a thousand connections submitting at
+/// once cost one scheduler wakeup, not a thousand.
 ///
 /// Overload: when the service rejects a submit (bounded queue full or
 /// Shedding), POST /query answers 429 Too Many Requests — 503 while
@@ -72,10 +131,9 @@ struct HttpServerOptions {
 /// queue drain rate. Clients honoring it (see serve/http_client.h)
 /// converge instead of hammering a saturated replica.
 ///
-/// One connection per request (responses close), bodies are read by
-/// Content-Length. The server owns accept + handler threads only;
-/// queries run on the service's scheduler, so a slow query never blocks
-/// the front-end. The service must outlive the server.
+/// The server owns the acceptor and event-loop (or handler) threads
+/// only; queries run on the service's scheduler, so a slow query never
+/// blocks the front-end. The service must outlive the server.
 class HttpServer {
  public:
   explicit HttpServer(QueryService& service, HttpServerOptions options = {});
@@ -84,7 +142,8 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens, and spawns the accept/handler threads.
+  /// Binds, listens, and spawns the accept + event-loop (or handler)
+  /// threads.
   Status Start();
 
   /// Stops accepting, joins every thread, closes every socket. Idempotent.
@@ -94,17 +153,57 @@ class HttpServer {
   uint16_t port() const { return port_; }
 
   struct Stats {
-    uint64_t requests = 0;
+    uint64_t requests = 0;      ///< responses generated (any status)
     uint64_t bad_requests = 0;  ///< 4xx responses
+    // --- event-loop model front-door counters -----------------------
+    uint64_t connections_accepted = 0;
+    size_t open_connections = 0;  ///< currently owned by the loops
+    /// Requests served on a connection beyond its first — the keep-alive
+    /// win. reuse / requests_parsed ~ 1 means churn is gone.
+    uint64_t keepalive_reuses = 0;
+    uint64_t requests_parsed = 0;  ///< complete requests framed
+    uint64_t loop_wakeups = 0;     ///< poller returns with ready events
+    /// Per-loop pending cross-thread work (new fds + long-poll
+    /// completions not yet drained) — the per-stage queue-depth probe.
+    std::vector<size_t> loop_queue_depths;
+    std::vector<size_t> loop_connections;  ///< per-loop open connections
   };
   Stats stats() const;
 
  private:
-  void AcceptLoop(int listen_fd);
+  class EventLoop;
+
+  // --- blocking model ------------------------------------------------
+  void AcceptLoopBlocking(int listen_fd);
   void HandlerLoop();
   void HandleConnection(int fd);
+
+  // --- event-loop model ----------------------------------------------
+  void AcceptLoopEvented(int listen_fd);
+
+  // --- shared dispatch ------------------------------------------------
+  /// Everything needed to finish a POST /query after parsing: either the
+  /// ready-to-send error response (parse/param failure) or the validated
+  /// request plus its canonical echo, to be submitted — possibly as part
+  /// of a batch — and finished by FinishSubmit.
+  struct PreparedSubmit {
+    bool ok = false;
+    std::string error_response;  ///< complete response when !ok
+    QueryRequest request;
+    std::string canonical;
+  };
+  PreparedSubmit PrepareSubmit(const std::string& query_string,
+                               const std::string& body);
+  std::string FinishSubmit(const PreparedSubmit& prep, QueryTicket ticket,
+                           bool keep_alive);
+  /// Routes everything except the deferred paths (batched /query,
+  /// long-poll /result) — and those too under kBlockingThreads, where
+  /// blocking inline is fine.
   std::string Dispatch(const std::string& method, const std::string& target,
-                       const std::string& body);
+                       const std::string& body, bool keep_alive);
+  /// Registry lookup; nullopt for unknown/evicted ids.
+  std::optional<QueryTicket> FindTicket(const std::string& id_text);
+  void RegisterTicket(const QueryTicket& ticket);
 
   QueryService& service_;
   HttpServerOptions options_;
@@ -113,6 +212,7 @@ class HttpServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::vector<std::thread> handlers_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
 
   std::mutex conn_mu_;
   std::condition_variable conn_available_;
@@ -124,10 +224,12 @@ class HttpServer {
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> keepalive_reuses_{0};
+  std::atomic<uint64_t> requests_parsed_{0};
 };
 
-/// Tiny blocking HTTP/1.1 client for loopback tests and smoke binaries:
-/// one request per connection, reads until the peer closes.
+/// One HTTP response as the clients below parse it.
 struct HttpResponse {
   int status_code = 0;
   std::string body;
@@ -136,6 +238,57 @@ struct HttpResponse {
   /// themselves to the server's drain rate.
   double retry_after_s = 0.0;
 };
+
+/// A blocking HTTP/1.1 client connection that speaks keep-alive: one
+/// socket, any number of sequential RoundTrip calls, responses framed by
+/// Content-Length (read-until-close only when the server says
+/// `Connection: close` without a length). This is the transport under
+/// HttpFetch, RetryingHttpClient's per-host connection pool, and the
+/// loadgen/loopback tests. Not thread-safe; one thread per connection.
+class HttpClientConnection {
+ public:
+  HttpClientConnection() = default;
+  ~HttpClientConnection();
+  HttpClientConnection(HttpClientConnection&& other) noexcept;
+  HttpClientConnection& operator=(HttpClientConnection&& other) noexcept;
+  HttpClientConnection(const HttpClientConnection&) = delete;
+  HttpClientConnection& operator=(const HttpClientConnection&) = delete;
+
+  /// Connects (numeric IPv4 only). kUnavailable on failure — no request
+  /// bytes were sent, always safe to retry.
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request and reads one response. `keep_alive` picks the
+  /// Connection header; after a `Connection: close` response (or
+  /// keep_alive=false) the socket is closed and Connect must be called
+  /// again. Error taxonomy, which RetryingHttpClient's replay rules rely
+  /// on:
+  ///   - kUnavailable: it is certain the server did no work — connect
+  ///     failed, or a REUSED connection died before yielding a single
+  ///     response byte (the server reaped it while idle; raced sends
+  ///     land on a dead socket). Safe to retry for any method.
+  ///   - kIoError: a FRESH connection died mid-flight — the request may
+  ///     have executed. Retried only for idempotent methods.
+  Result<HttpResponse> RoundTrip(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body = "",
+                                 bool keep_alive = true);
+
+  /// Requests completed on this transport connection since Connect.
+  uint64_t requests_sent() const { return requests_sent_; }
+
+ private:
+  int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
+  uint64_t requests_sent_ = 0;
+};
+
+/// One-shot convenience for tests and smoke binaries: connect, send with
+/// `Connection: close`, read the response, close. Same wire behavior as
+/// before keep-alive existed; use HttpClientConnection to reuse sockets.
 Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
                                const std::string& method,
                                const std::string& target,

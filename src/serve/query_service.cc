@@ -40,6 +40,9 @@ struct TicketState {
   bool degraded = false;
   double queue_ms = 0.0;
   double run_ms = 0.0;
+  /// Completion callbacks (QueryTicket::OnTerminal), fired exactly once
+  /// by Retire — moved out under `mu`, invoked outside it.
+  std::vector<std::function<void(const QueryResponse&)>> callbacks;
 
   QueryResponse Snapshot() const {
     std::lock_guard<std::mutex> lock(mu);
@@ -127,6 +130,20 @@ void QueryTicket::Cancel() {
   state_->cancel.store(true, std::memory_order_release);
 }
 
+void QueryTicket::OnTerminal(std::function<void(const QueryResponse&)> fn) {
+  if (state_ == nullptr || fn == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!IsTerminalState(state_->state)) {
+      state_->callbacks.push_back(std::move(fn));
+      return;
+    }
+  }
+  // Already terminal (including tickets born rejected, which never pass
+  // through Retire): invoke on the caller's thread, outside the lock.
+  fn(state_->Snapshot());
+}
+
 // --------------------------------------------------------------- service
 
 QueryService::QueryService(std::shared_ptr<const EngineContext> context,
@@ -163,54 +180,84 @@ uint64_t QueryService::QuerySeed(uint64_t base_seed, size_t index) {
 }
 
 QueryTicket QueryService::SubmitAsync(QueryRequest request) {
-  auto state = std::make_shared<TicketState>();
-  state->submit_time = TicketState::Clock::now();
-  state->deadline = request.deadline_ms > 0.0
-                        ? Deadline::AfterMillis(request.deadline_ms)
-                        : Deadline::Infinite();
+  std::vector<QueryRequest> wave;
+  wave.push_back(std::move(request));
+  return SubmitBatch(std::move(wave)).front();
+}
+
+std::vector<QueryTicket> QueryService::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<QueryTicket> out;
+  out.reserve(requests.size());
+  bool notify = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    state->id = next_index_++;
-    state->seed_used =
-        request.seed.has_value()
-            ? *request.seed
-            : QuerySeed(options_.base_seed, static_cast<size_t>(state->id));
-    state->request = std::move(request);
-    ++stats_.submitted;
-    // Re-evaluate overload BEFORE the admission decision so a queue the
-    // scheduler has already drained lets us exit Shedding on this very
-    // submit instead of rejecting against stale state.
-    UpdateOverloadLocked();
-    Status reject;
-    if (shutdown_) {
-      reject = Status::Unavailable("service shutting down");
-    } else if (KGAQ_FAULT_POINT("serve.admit.queue_full") ||
-               (options_.max_queue_depth > 0 &&
-                queue_.size() >= options_.max_queue_depth) ||
-               overload_ == OverloadState::kShedding) {
-      reject = Status::ResourceExhausted(
-          "admission queue full; retry after " +
-          std::to_string(static_cast<uint64_t>(RetryAfterMsLocked())) + " ms");
+    const auto now = TicketState::Clock::now();
+    bool any_queued = false;
+    for (QueryRequest& request : requests) {
+      auto state = std::make_shared<TicketState>();
+      state->submit_time = now;
+      state->deadline = request.deadline_ms > 0.0
+                            ? Deadline::AfterMillis(request.deadline_ms)
+                            : Deadline::Infinite();
+      state->id = next_index_++;
+      state->seed_used =
+          request.seed.has_value()
+              ? *request.seed
+              : QuerySeed(options_.base_seed, static_cast<size_t>(state->id));
+      state->request = std::move(request);
+      ++stats_.submitted;
+      // Re-evaluate overload BEFORE the admission decision so a queue the
+      // scheduler has already drained lets us exit Shedding on this very
+      // submit instead of rejecting against stale state. Evaluated per
+      // request, in order, so a batch makes exactly the same admission
+      // decisions as the equivalent sequence of SubmitAsync calls.
+      UpdateOverloadLocked();
+      Status reject;
+      if (shutdown_) {
+        reject = Status::Unavailable("service shutting down");
+      } else if (KGAQ_FAULT_POINT("serve.admit.queue_full") ||
+                 (options_.max_queue_depth > 0 &&
+                  queue_.size() >= options_.max_queue_depth) ||
+                 overload_ == OverloadState::kShedding) {
+        reject = Status::ResourceExhausted(
+            "admission queue full; retry after " +
+            std::to_string(static_cast<uint64_t>(RetryAfterMsLocked())) +
+            " ms");
+      }
+      if (!reject.ok()) {
+        // Rejected tickets are born terminal: they consumed a submission
+        // index (and a seed) but never touch queue_, outstanding_, or
+        // Retire, so Drain() does not wait on them. No lock on state->mu
+        // is needed — the ticket has not been published yet.
+        state->state = QueryState::kFailed;
+        state->status = std::move(reject);
+        ++stats_.rejected;
+        out.push_back(QueryTicket(std::move(state)));
+        continue;
+      }
+      queue_.push_back(state);
+      ++outstanding_;
+      any_queued = true;
+      UpdateOverloadLocked();  // this push may cross an enter threshold
+      out.push_back(QueryTicket(std::move(state)));
     }
-    if (!reject.ok()) {
-      // Rejected tickets are born terminal: they consumed a submission
-      // index (and a seed) but never touch queue_, outstanding_, or
-      // Retire, so Drain() does not wait on them. No lock on state->mu is
-      // needed — the ticket has not been published yet.
-      state->state = QueryState::kFailed;
-      state->status = std::move(reject);
-      ++stats_.rejected;
-      return QueryTicket(std::move(state));
-    }
-    queue_.push_back(state);
-    ++outstanding_;
-    UpdateOverloadLocked();  // this push may cross an enter threshold
-    if (!scheduler_.joinable()) {
-      scheduler_ = std::thread([this] { SchedulerLoop(); });
+    if (any_queued) {
+      if (!scheduler_.joinable()) {
+        scheduler_ = std::thread([this] { SchedulerLoop(); });
+      }
+      // Wakeup coalescing: only signal when the scheduler is actually
+      // parked. A scheduler mid-tick re-reads the queue before blocking,
+      // so skipping the notify is safe — and a whole admission wave
+      // costs at most one futex wake instead of one per request.
+      if (scheduler_waiting_) {
+        notify = true;
+        ++stats_.scheduler_wakeups;
+      }
     }
   }
-  wake_.notify_all();
-  return QueryTicket(std::move(state));
+  if (notify) wake_.notify_all();
+  return out;
 }
 
 size_t QueryService::num_submitted() const {
@@ -328,6 +375,7 @@ void QueryService::Retire(const TicketPtr& t, QueryState state,
     // the relative half-width of the confidence interval actually built.
     result.error_bound = result.moe / std::abs(result.v_hat);
   }
+  std::vector<std::function<void(const QueryResponse&)>> callbacks;
   {
     std::lock_guard<std::mutex> lock(t->mu);
     if (IsTerminalState(t->state)) return;  // first terminal wins
@@ -340,8 +388,17 @@ void QueryService::Retire(const TicketPtr& t, QueryState state,
     t->status = std::move(status);
     t->result = std::move(result);
     t->degraded = degraded;
+    callbacks = std::move(t->callbacks);
+    t->callbacks.clear();
   }
   t->cv.notify_all();
+  if (!callbacks.empty()) {
+    // OnTerminal contract: exactly once, outside the ticket lock, with
+    // the terminal snapshot. Callbacks run on this (scheduler) thread,
+    // so they must stay cheap — see QueryTicket::OnTerminal.
+    const QueryResponse snapshot = t->Snapshot();
+    for (auto& fn : callbacks) fn(snapshot);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     --outstanding_;
@@ -406,9 +463,11 @@ void QueryService::SchedulerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       NoteTickEndLocked();  // close the previous tick before blocking
+      scheduler_waiting_ = true;  // submissions must notify to unpark us
       wake_.wait(lock, [&] {
         return shutdown_ || !queue_.empty() || !active.empty();
       });
+      scheduler_waiting_ = false;
       tick_start_ = std::chrono::steady_clock::now();
       tick_in_progress_ = true;
       shutting_down = shutdown_;

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -179,6 +180,16 @@ class QueryTicket {
   /// partial estimate. Idempotent; a no-op once terminal.
   void Cancel();
 
+  /// Registers a completion callback: `fn` is invoked exactly once with
+  /// the terminal QueryResponse — immediately (on the calling thread) if
+  /// the ticket is already terminal, otherwise from the scheduler thread
+  /// at retirement. Callbacks must be cheap and non-blocking (post to a
+  /// queue, signal an eventfd): they run inside the scheduler's retire
+  /// path. This is the push half of the ticket API — the HTTP front-end's
+  /// event loops use it to answer long-poll result fetches without
+  /// parking a thread per waiter.
+  void OnTerminal(std::function<void(const QueryResponse&)> fn);
+
  private:
   friend class QueryService;
   explicit QueryTicket(std::shared_ptr<serve_internal::TicketState> state)
@@ -251,6 +262,17 @@ class QueryService {
   /// index QuerySeed derives the seed from).
   QueryTicket SubmitAsync(QueryRequest request);
 
+  /// Batching shim for high-QPS front doors: submits a whole wave of
+  /// requests under ONE lock acquisition and at most ONE scheduler
+  /// wakeup, so N requests arriving within one event-loop drain cycle
+  /// cost one admission wave instead of N per-request wakeups. Tickets
+  /// come back in request order with consecutive submission indices —
+  /// identical ids, seeds, and admission decisions to submitting the
+  /// same requests one by one (tested in serve_test.cc). Rejections
+  /// (queue full / shedding / shutdown) are evaluated per request, in
+  /// order, exactly as SubmitAsync would.
+  std::vector<QueryTicket> SubmitBatch(std::vector<QueryRequest> requests);
+
   /// Number of queries submitted so far (async + legacy).
   size_t num_submitted() const;
 
@@ -279,6 +301,12 @@ class QueryService {
     /// queue drain rate (EWMA of inter-retirement gaps x queue depth).
     /// The HTTP front-end rounds this up into 429 Retry-After.
     double retry_after_ms = 0.0;
+    /// Scheduler wakeups actually signalled by submissions. Wakeups are
+    /// coalesced: a submission only notifies when the scheduler is
+    /// parked, and SubmitBatch signals at most once per wave, so under a
+    /// high-QPS front door this grows far slower than `submitted` (the
+    /// tick-batching shim at work — compare the two to see it).
+    uint64_t scheduler_wakeups = 0;
     /// Scheduler watchdog (see ServiceOptions::watchdog_warn_ms): age of
     /// the tick currently in progress (0 when the scheduler is idle or
     /// between ticks), and how many ticks have stalled past the
@@ -358,6 +386,7 @@ class QueryService {
   size_t next_index_ = 0;            ///< submission counter (ids + seeds)
   size_t outstanding_ = 0;           ///< non-terminal tickets
   size_t running_ = 0;               ///< admitted by the scheduler
+  bool scheduler_waiting_ = false;   ///< parked in wake_.wait (coalescing)
   bool shutdown_ = false;
   ServiceStats stats_;
   OverloadState overload_ = OverloadState::kHealthy;

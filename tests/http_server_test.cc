@@ -1,16 +1,26 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 
+#include "common/fault_injection.h"
 #include "core/approx_engine.h"
 #include "core/engine_context.h"
 #include "datagen/kg_generator.h"
 #include "datagen/workload_generator.h"
 #include "query/query_text.h"
+#include "serve/http_client.h"
 #include "serve/http_server.h"
 #include "serve/query_service.h"
 
@@ -253,14 +263,14 @@ struct BoundedStack {
   std::unique_ptr<QueryService> service;
   std::unique_ptr<HttpServer> server;
 
-  explicit BoundedStack(ServiceOptions sopts) {
+  explicit BoundedStack(ServiceOptions sopts, HttpServerOptions hopts = {}) {
     const auto& ds = MiniDataset();
     ctx = std::make_shared<EngineContext>(ds.graph(),
                                           ds.reference_embedding());
     sopts.engine.fixed_increment = 2000;
     sopts.engine.max_total_draws = static_cast<size_t>(1) << 40;
     service = std::make_unique<QueryService>(ctx, sopts);
-    server = std::make_unique<HttpServer>(*service);
+    server = std::make_unique<HttpServer>(*service, hopts);
     auto started = server->Start();
     EXPECT_TRUE(started.ok()) << started;
   }
@@ -415,6 +425,400 @@ TEST(HttpOverloadTest, ShedQueryServesDegradedPartialResult) {
   EXPECT_EQ(JsonField(body, "degraded"), "true") << body;
   EXPECT_EQ(JsonField(body, "satisfied"), "false") << body;
   EXPECT_NE(JsonField(body, "rounds"), "0") << body;
+}
+
+// ====================================================================
+// Event-loop front-door wire tests: raw sockets against the epoll/poll
+// server, exercising keep-alive, pipelining, framing-error closes, and
+// the loop-driven timers that HttpFetch's one-shot transport hides.
+// ====================================================================
+
+/// A bare TCP client for byte-level wire tests: send arbitrary fragments,
+/// frame responses by Content-Length, observe EOF.
+struct RawConn {
+  int fd = -1;
+  std::string buf;  ///< unconsumed received bytes (pipelined responses)
+
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  bool Connect(uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool Send(const std::string& data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// One recv into buf, waiting up to timeout_ms for readability.
+  /// Returns bytes read, 0 on orderly EOF, -1 on timeout/error.
+  int Pump(int timeout_ms) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) return -1;
+    char tmp[4096];
+    const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (n <= 0) return n == 0 ? 0 : -1;
+    buf.append(tmp, static_cast<size_t>(n));
+    return static_cast<int>(n);
+  }
+
+  /// Consumes one complete Content-Length-framed response off the front
+  /// of buf (receiving more as needed), leaving any pipelined successor
+  /// bytes in place.
+  bool ReadResponse(int* code, std::string* head_out, std::string* body_out,
+                    int timeout_ms = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      const size_t head_end = buf.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        const std::string head = buf.substr(0, head_end + 4);
+        std::string lower = head;
+        for (char& c : lower) c = static_cast<char>(std::tolower(c));
+        size_t length = 0;
+        const size_t cl = lower.find("content-length:");
+        if (cl != std::string::npos) {
+          length = std::strtoull(lower.c_str() + cl + 15, nullptr, 10);
+        }
+        if (buf.size() >= head_end + 4 + length) {
+          if (code) *code = std::atoi(head.c_str() + 9);
+          if (head_out) *head_out = head;
+          if (body_out) *body_out = buf.substr(head_end + 4, length);
+          buf.erase(0, head_end + 4 + length);
+          return true;
+        }
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return false;
+      if (Pump(static_cast<int>(left.count())) <= 0) return false;
+    }
+  }
+
+  /// True if the server closes the connection within timeout_ms (any
+  /// trailing bytes before the FIN are drained into buf).
+  bool ExpectEof(int timeout_ms = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return false;
+      const int n = Pump(static_cast<int>(left.count()));
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+};
+
+TEST_F(HttpServerTest, PipelinedRequestsInOneSegmentAnswerInOrder) {
+  RawConn c;
+  ASSERT_TRUE(c.Connect(server_->port()));
+  // Two complete requests in a single TCP segment; the loop parses both
+  // from one read and answers back-to-back, in order, on one socket.
+  const std::string two =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /stats HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(c.Send(two));
+  int code = 0;
+  std::string head, body;
+  ASSERT_TRUE(c.ReadResponse(&code, &head, &body));
+  EXPECT_EQ(code, 200);
+  EXPECT_EQ(body, "ok\n");
+  EXPECT_NE(head.find("Connection: keep-alive"), std::string::npos) << head;
+  ASSERT_TRUE(c.ReadResponse(&code, &head, &body));
+  EXPECT_EQ(code, 200);
+  EXPECT_NE(body.find("\"server\""), std::string::npos) << body;
+  // The second response was served on a reused connection.
+  const auto stats = server_->stats();
+  EXPECT_GE(stats.keepalive_reuses, 1u);
+  EXPECT_GE(stats.requests_parsed, 2u);
+}
+
+TEST_F(HttpServerTest, RequestSplitAcrossSegmentsParsesIncrementally) {
+  const std::string text = FormatAggregateQuery(WorkloadGenerator::SimpleQuery(
+      MiniDataset(), 0, 0, AggregateFunction::kCount));
+  const std::string req = "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                          std::to_string(text.size()) + "\r\n\r\n" + text;
+  RawConn c;
+  ASSERT_TRUE(c.Connect(server_->port()));
+  // Trickle the request in three fragments with loop ticks in between:
+  // the parser must hold partial state across reads.
+  const size_t a = req.size() / 3, b = 2 * req.size() / 3;
+  ASSERT_TRUE(c.Send(req.substr(0, a)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(c.Send(req.substr(a, b - a)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(c.Send(req.substr(b)));
+  int code = 0;
+  std::string head, body;
+  ASSERT_TRUE(c.ReadResponse(&code, &head, &body));
+  EXPECT_EQ(code, 202) << body;
+  EXPECT_EQ(JsonField(body, "state"), "QUEUED") << body;
+}
+
+TEST(HttpEventLoopTest, OversizedHeaderAnswers431AndCloses) {
+  HttpServerOptions hopts;
+  hopts.max_header_bytes = 256;
+  BoundedStack stack(ServiceOptions{}, hopts);
+  RawConn c;
+  ASSERT_TRUE(c.Connect(stack.server->port()));
+  ASSERT_TRUE(c.Send("GET /healthz HTTP/1.1\r\nX-Pad: " +
+                     std::string(1024, 'a') + "\r\n\r\n"));
+  int code = 0;
+  std::string head, body;
+  ASSERT_TRUE(c.ReadResponse(&code, &head, &body));
+  EXPECT_EQ(code, 431) << body;
+  EXPECT_NE(head.find("Connection: close"), std::string::npos) << head;
+  EXPECT_TRUE(c.ExpectEof());
+}
+
+TEST(HttpEventLoopTest, OversizedBodyAnswers413FromTheDeclaredLength) {
+  HttpServerOptions hopts;
+  hopts.max_request_bytes = 128;
+  BoundedStack stack(ServiceOptions{}, hopts);
+  RawConn c;
+  ASSERT_TRUE(c.Connect(stack.server->port()));
+  // Head only: the declared length alone triggers the rejection; the
+  // server must not wait for (or read) a body it will refuse.
+  ASSERT_TRUE(c.Send("POST /query HTTP/1.1\r\nContent-Length: 4096\r\n\r\n"));
+  int code = 0;
+  ASSERT_TRUE(c.ReadResponse(&code, nullptr, nullptr));
+  EXPECT_EQ(code, 413);
+  EXPECT_TRUE(c.ExpectEof());
+}
+
+TEST(HttpEventLoopTest, IdleKeepAliveConnectionsAreReaped) {
+  HttpServerOptions hopts;
+  hopts.idle_timeout_ms = 100.0;
+  BoundedStack stack(ServiceOptions{}, hopts);
+  RawConn c;
+  ASSERT_TRUE(c.Connect(stack.server->port()));
+  ASSERT_TRUE(c.Send("GET /healthz HTTP/1.1\r\n\r\n"));
+  int code = 0;
+  ASSERT_TRUE(c.ReadResponse(&code, nullptr, nullptr));
+  EXPECT_EQ(code, 200);
+  // Now idle between requests: the loop's timer sweep closes silently
+  // (no 4xx — an idle reap is not the client's fault).
+  EXPECT_TRUE(c.ExpectEof(5000));
+  EXPECT_TRUE(c.buf.empty()) << "idle reap should not write: " << c.buf;
+  for (int i = 0; i < 500; ++i) {
+    if (stack.server->stats().open_connections == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(stack.server->stats().open_connections, 0u);
+}
+
+TEST(HttpEventLoopTest, SlowLorisMidRequestAnswers408) {
+  HttpServerOptions hopts;
+  hopts.connection_deadline_ms = 100.0;
+  hopts.idle_timeout_ms = 60000.0;  // isolate the mid-request deadline
+  BoundedStack stack(ServiceOptions{}, hopts);
+  RawConn c;
+  ASSERT_TRUE(c.Connect(stack.server->port()));
+  ASSERT_TRUE(c.Send("GET /healthz HT"));  // ...and then trickle nothing
+  int code = 0;
+  std::string head;
+  ASSERT_TRUE(c.ReadResponse(&code, &head, nullptr));
+  EXPECT_EQ(code, 408);
+  EXPECT_NE(head.find("Connection: close"), std::string::npos);
+  EXPECT_TRUE(c.ExpectEof());
+}
+
+TEST_F(HttpServerTest, ReusedConnectionResponsesMatchFreshBitwise) {
+  const std::string text = FormatAggregateQuery(WorkloadGenerator::SimpleQuery(
+      MiniDataset(), 1, 0, AggregateFunction::kCount));
+  auto submitted = Fetch("POST", "/query", text);
+  ASSERT_TRUE(submitted.ok());
+  const std::string id = JsonField(submitted->body, "id");
+  AwaitResult(id);
+
+  HttpClientConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server_->port()).ok());
+  auto first = conn.RoundTrip("GET", "/result/" + id);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(conn.connected()) << "keep-alive response should not close";
+  auto reused = conn.RoundTrip("GET", "/result/" + id);
+  ASSERT_TRUE(reused.ok()) << reused.status();
+  EXPECT_EQ(conn.requests_sent(), 2u);
+  auto fresh = Fetch("GET", "/result/" + id);
+  ASSERT_TRUE(fresh.ok());
+
+  // Terminal snapshots are immutable: all three transports must see the
+  // exact same bytes.
+  EXPECT_EQ(first->status_code, 200);
+  EXPECT_EQ(reused->body, first->body);
+  EXPECT_EQ(fresh->body, first->body);
+}
+
+TEST(HttpEventLoopTest, MaxKeepaliveRequestsClosesAfterLimit) {
+  HttpServerOptions hopts;
+  hopts.max_keepalive_requests = 2;
+  BoundedStack stack(ServiceOptions{}, hopts);
+  HttpClientConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", stack.server->port()).ok());
+  auto r1 = conn.RoundTrip("GET", "/healthz");
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_TRUE(conn.connected());
+  // The capping response itself carries Connection: close, which the
+  // client transport honors by closing.
+  auto r2 = conn.RoundTrip("GET", "/healthz");
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r2->status_code, 200);
+  EXPECT_FALSE(conn.connected());
+}
+
+TEST(HttpEventLoopTest, PollBackendServesKeepAliveIdentically) {
+  HttpServerOptions hopts;
+  hopts.force_poll_backend = true;
+  BoundedStack stack(ServiceOptions{}, hopts);
+  HttpClientConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", stack.server->port()).ok());
+  const std::string text = UnsatisfiableText();
+  auto submitted = conn.RoundTrip("POST", "/query", text);
+  ASSERT_TRUE(submitted.ok()) << submitted.status();
+  ASSERT_EQ(submitted->status_code, 202) << submitted->body;
+  const std::string id = ExtractJsonField(submitted->body, "id");
+  auto result = conn.RoundTrip("GET", "/result/" + id + "?wait=30000");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ExtractJsonField(result->body, "state"), "DONE") << result->body;
+  EXPECT_EQ(conn.requests_sent(), 2u);
+  EXPECT_GE(stack.server->stats().keepalive_reuses, 1u);
+}
+
+TEST(HttpEventLoopTest, BlockingThreadsModelStillServes) {
+  HttpServerOptions hopts;
+  hopts.model = ServerModel::kBlockingThreads;
+  BoundedStack stack(ServiceOptions{}, hopts);
+  auto health = stack.Fetch("GET", "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(health->body, "ok\n");
+  auto submitted = stack.Fetch("POST", "/query", UnsatisfiableText());
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted->status_code, 202) << submitted->body;
+  const std::string id = ExtractJsonField(submitted->body, "id");
+  // The blocking model long-polls inline (WaitFor on the handler thread).
+  auto result = stack.Fetch("GET", "/result/" + id + "?wait=30000");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ExtractJsonField(result->body, "state"), "DONE") << result->body;
+}
+
+TEST_F(HttpServerTest, LongPollWaitDefersUntilTerminal) {
+  const std::string text = FormatAggregateQuery(WorkloadGenerator::SimpleQuery(
+      MiniDataset(), 0, 1, AggregateFunction::kCount));
+  auto submitted = Fetch("POST", "/query", text);
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted->status_code, 202) << submitted->body;
+  const std::string id = JsonField(submitted->body, "id");
+  // One round trip instead of a poll loop: the response is withheld by
+  // the event loop until the query retires.
+  auto result = Fetch("GET", "/result/" + id + "?wait=30000");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->status_code, 200);
+  EXPECT_EQ(JsonField(result->body, "state"), "DONE") << result->body;
+
+  // Unparseable wait is a client error, not a silent default.
+  auto bad = Fetch("GET", "/result/" + id + "?wait=soon");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status_code, 400);
+}
+
+TEST(HttpEventLoopTest, LongPollWaitExpiryReturnsLiveSnapshot) {
+  ServiceOptions sopts;
+  sopts.base_seed = 507;
+  BoundedStack stack(sopts);
+  const std::string params = "?eb=1e-9&max_rounds=1000000";
+  auto submitted = stack.Fetch("POST", "/query" + params,
+                               UnsatisfiableText());
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted->status_code, 202) << submitted->body;
+  const std::string id = ExtractJsonField(submitted->body, "id");
+  // The wait expires while the query is still running: 200 with the
+  // live (non-terminal) snapshot, exactly like an immediate poll.
+  auto snap = stack.Fetch("GET", "/result/" + id + "?wait=50");
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  EXPECT_EQ(snap->status_code, 200);
+  const std::string state = ExtractJsonField(snap->body, "state");
+  EXPECT_TRUE(state == "QUEUED" || state == "RUNNING") << snap->body;
+  auto cancel = stack.Fetch("POST", "/cancel/" + id);
+  ASSERT_TRUE(cancel.ok());
+  // And a second long-poll on the same ticket picks up the terminal.
+  auto done = stack.Fetch("GET", "/result/" + id + "?wait=30000");
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(ExtractJsonField(done->body, "state"), "CANCELLED")
+      << done->body;
+}
+
+TEST_F(HttpServerTest, StatsExposeServerObjectAndSchedulerWakeups) {
+  auto r = Fetch("GET", "/stats");
+  ASSERT_TRUE(r.ok());
+  const std::string& body = r->body;
+  EXPECT_NE(body.find("\"server\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"keepalive_reuses\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"requests_parsed\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"loop_wakeups\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"loops\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"scheduler_wakeups\""), std::string::npos) << body;
+  // The connection asking for /stats is itself open while it's served.
+  EXPECT_NE(JsonField(body, "open_connections"), "0") << body;
+  const auto stats = server_->stats();
+  EXPECT_EQ(stats.loop_queue_depths.size(), stats.loop_connections.size());
+  EXPECT_GE(stats.loop_wakeups, 1u);
+}
+
+// A dropped event-loop wakeup (the `serve.loop.wakeup` fault) is
+// recoverable by construction: the wakeup fd stays readable under
+// level-triggered polling, so the next tick re-delivers it. Three
+// consecutive injected drops only delay a new connection, never lose it.
+TEST(HttpEventLoopTest, DroppedWakeupsAreRedeliveredByLevelTrigger) {
+  BoundedStack stack(ServiceOptions{});
+  fault_injection::Enable(42);
+  fault_injection::ArmCount("serve.loop.wakeup", 3);
+  auto r = stack.Fetch("GET", "/healthz");
+  fault_injection::Reset();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->status_code, 200);
+  EXPECT_EQ(r->body, "ok\n");
+}
+
+TEST(HttpEventLoopTest, PooledClientReusesThenReconnectsAfterIdleReap) {
+  HttpServerOptions hopts;
+  hopts.idle_timeout_ms = 100.0;
+  BoundedStack stack(ServiceOptions{}, hopts);
+  RetryingHttpClient client;  // default ctor: pooled keep-alive transport
+  auto r1 = client.Fetch("127.0.0.1", stack.server->port(), "GET",
+                         "/healthz");
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  auto r2 = client.Fetch("127.0.0.1", stack.server->port(), "GET",
+                         "/healthz");
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(client.stats().reconnects, 1u);
+  EXPECT_EQ(client.stats().reuses, 1u);
+
+  // Outlive the server's idle reap: the pooled socket is dead, the next
+  // Fetch sees zero response bytes on a REUSED connection (kUnavailable,
+  // nothing executed) and transparently reconnects — even for POST.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  auto r3 = client.Fetch("127.0.0.1", stack.server->port(), "POST",
+                         "/query", UnsatisfiableText());
+  ASSERT_TRUE(r3.ok()) << r3.status();
+  EXPECT_EQ(r3->status_code, 202) << r3->body;
+  EXPECT_EQ(client.stats().reconnects, 2u);
 }
 
 }  // namespace

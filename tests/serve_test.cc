@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -449,6 +451,90 @@ TEST(QueryServiceTest, LegacyReferenceVersusByValueResponse) {
   EXPECT_EQ(&again, &ref) << "RunAll returns the same live vector";
   ASSERT_EQ(again.size(), 2u);
   EXPECT_EQ(by_value.result.v_hat, v0);
+}
+
+// The tick-batching contract behind the HTTP front door: a whole wave
+// submitted through SubmitBatch gets the same ids, derived seeds, and
+// bitwise-identical results as the same requests submitted one by one —
+// batching is an admission optimization, never a semantic change.
+TEST(AsyncQueryServiceTest, SubmitBatchMatchesSequentialSubmitsBitwise) {
+  const auto& ds = MiniDataset();
+  const auto workload = MixedWorkload();
+  ServiceOptions sopts;
+  sopts.base_seed = 131;
+  sopts.max_concurrent = 4;
+
+  auto ctx_seq = std::make_shared<EngineContext>(ds.graph(),
+                                                 ds.reference_embedding());
+  QueryService sequential(ctx_seq, sopts);
+  std::vector<QueryTicket> seq_tickets;
+  for (const AggregateQuery& q : workload) {
+    QueryRequest req;
+    req.query = q;
+    seq_tickets.push_back(sequential.SubmitAsync(std::move(req)));
+  }
+
+  auto ctx_batch = std::make_shared<EngineContext>(ds.graph(),
+                                                   ds.reference_embedding());
+  QueryService batched(ctx_batch, sopts);
+  std::vector<QueryRequest> wave;
+  for (const AggregateQuery& q : workload) {
+    QueryRequest req;
+    req.query = q;
+    wave.push_back(std::move(req));
+  }
+  std::vector<QueryTicket> batch_tickets =
+      batched.SubmitBatch(std::move(wave));
+  ASSERT_EQ(batch_tickets.size(), workload.size());
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ(batch_tickets[i].id(), seq_tickets[i].id()) << "query " << i;
+    const QueryResponse a = seq_tickets[i].Wait();
+    const QueryResponse b = batch_tickets[i].Wait();
+    ASSERT_EQ(a.state, QueryState::kDone) << a.status;
+    ASSERT_EQ(b.state, QueryState::kDone) << b.status;
+    EXPECT_EQ(a.seed_used, b.seed_used) << "query " << i;
+    ExpectResultsBitwiseEqual(a.result, b.result, i);
+  }
+  // The wave admitted under one lock is one submission burst in stats.
+  EXPECT_EQ(batched.stats().submitted, workload.size());
+}
+
+// Completion callbacks (the event loop's long-poll path): a callback
+// registered before the terminal transition fires exactly once with the
+// terminal snapshot; one registered after fires immediately, inline.
+TEST(AsyncQueryServiceTest, OnTerminalFiresOnceBeforeOrAfterRetirement) {
+  const auto& ds = MiniDataset();
+  auto ctx = std::make_shared<EngineContext>(ds.graph(),
+                                             ds.reference_embedding());
+  QueryService service(ctx, LongRunServiceOptions());
+
+  QueryTicket ticket = service.SubmitAsync(UnsatisfiableRequest(ds));
+  std::atomic<int> fired{0};
+  std::promise<QueryResponse> delivered;
+  ticket.OnTerminal([&](const QueryResponse& resp) {
+    if (fired.fetch_add(1) == 0) delivered.set_value(resp);
+  });
+  EXPECT_EQ(fired.load(), 0);  // still running: deferred, not inline
+  ticket.Cancel();
+  auto fut = delivered.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  const QueryResponse resp = fut.get();
+  EXPECT_EQ(resp.state, QueryState::kCancelled);
+  // Give a straggling double-fire a beat to show itself.
+  (void)ticket.Wait();
+  EXPECT_EQ(fired.load(), 1);
+
+  // Late registration on an already-terminal ticket: invoked inline.
+  int late = 0;
+  QueryState late_state = QueryState::kQueued;
+  ticket.OnTerminal([&](const QueryResponse& r) {
+    ++late;
+    late_state = r.state;
+  });
+  EXPECT_EQ(late, 1);
+  EXPECT_EQ(late_state, QueryState::kCancelled);
 }
 
 TEST(EngineContextTest, CacheStatsReportEntriesAndResidentBytes) {
