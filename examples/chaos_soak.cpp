@@ -34,6 +34,7 @@
 #include "serve/http_client.h"
 #include "serve/http_server.h"
 #include "serve/query_service.h"
+#include "shard/sharded_engine.h"
 
 using namespace kgaq;
 
@@ -76,7 +77,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // A 2-shard in-process deployment soaked alongside the flat service:
+  // with shard.rpc.send / shard.merge armed, every coordinator query
+  // rehearses plan loss, mid-run shard loss and merge failure, and the
+  // end-of-run identity proves each one landed in exactly one bucket.
+  ShardedEngineOptions shard_opts;
+  shard_opts.num_shards = 2;
+  shard_opts.base_seed = seed ^ 0x51A2DULL;
+  shard_opts.service.engine = sopts.engine;
+  auto sharded =
+      ShardedEngine::Create(ds.graph(), ds.reference_embedding(), shard_opts);
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "sharded engine build failed: %s\n",
+                 sharded.status().ToString().c_str());
+    return 1;
+  }
+
   fault_injection::Enable(seed);
+  fault_injection::Arm("shard.rpc.send", 0.05);
+  fault_injection::Arm("shard.merge", 0.05);
   fault_injection::Arm("serve.admit.queue_full", 0.05);
   fault_injection::Arm("serve.round.slow", 0.05);
   fault_injection::Arm("http.conn.read_error", 0.05);
@@ -93,19 +112,23 @@ int main(int argc, char** argv) {
   ropts.seed = seed ^ 0xD1CEULL;
   RetryingHttpClient client(ropts);
 
+  std::vector<AggregateQuery> queries;
+  queries.push_back(
+      WorkloadGenerator::SimpleQuery(ds, 0, 0, AggregateFunction::kCount));
+  queries.push_back(
+      WorkloadGenerator::SimpleQuery(ds, 1, 0, AggregateFunction::kAvg));
+  queries.push_back(
+      WorkloadGenerator::ChainQuery(ds, 0, 0, AggregateFunction::kAvg));
+  queries.push_back(
+      WorkloadGenerator::SimpleQuery(ds, 2, 1, AggregateFunction::kSum));
   std::vector<std::string> texts;
-  texts.push_back(FormatAggregateQuery(
-      WorkloadGenerator::SimpleQuery(ds, 0, 0, AggregateFunction::kCount)));
-  texts.push_back(FormatAggregateQuery(
-      WorkloadGenerator::SimpleQuery(ds, 1, 0, AggregateFunction::kAvg)));
-  texts.push_back(FormatAggregateQuery(
-      WorkloadGenerator::ChainQuery(ds, 0, 0, AggregateFunction::kAvg)));
-  texts.push_back(FormatAggregateQuery(
-      WorkloadGenerator::SimpleQuery(ds, 2, 1, AggregateFunction::kSum)));
+  for (const AggregateQuery& q : queries) {
+    texts.push_back(FormatAggregateQuery(q));
+  }
 
   WallTimer clock;
   uint64_t sent = 0, accepted = 0, rejected_http = 0, transport_errors = 0;
-  uint64_t probes = 0;
+  uint64_t probes = 0, shard_queries = 0;
   std::vector<std::string> open_ids;
   while (clock.ElapsedMillis() < seconds * 1000.0) {
     const uint64_t turn = sent++;
@@ -149,6 +172,15 @@ int main(int argc, char** argv) {
     if (turn % 11 == 0 && !open_ids.empty()) {
       (void)client.Fetch("127.0.0.1", server.port(), "GET",
                          "/result/" + open_ids[turn % open_ids.size()]);
+    }
+    // Sharded traffic: one coordinator query every few turns, with the
+    // occasional tight deadline, under the armed shard fault points.
+    if (turn % 4 == 2) {
+      QueryRequest req;
+      req.query = queries[turn % queries.size()];
+      if (turn % 8 == 6) req.deadline_ms = 25.0;
+      (void)(*sharded)->Execute(req);
+      ++shard_queries;
     }
   }
 
@@ -199,6 +231,52 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "DRAIN VIOLATION: queued=%zu running=%zu\n",
                  stats.queued, stats.running);
     return 1;
+  }
+
+  // The same identity at the coordinator tier, and per shard service.
+  const CoordinatorStats cs = (*sharded)->coordinator().stats();
+  std::printf(
+      "coordinator: submitted=%llu done=%llu failed=%llu deadline=%llu "
+      "degraded=%llu (%llu queries under shard faults)\n",
+      static_cast<unsigned long long>(cs.submitted),
+      static_cast<unsigned long long>(cs.done),
+      static_cast<unsigned long long>(cs.failed),
+      static_cast<unsigned long long>(cs.deadline_expired),
+      static_cast<unsigned long long>(cs.degraded),
+      static_cast<unsigned long long>(shard_queries));
+  const uint64_t coord_buckets = cs.done + cs.failed + cs.cancelled +
+                                 cs.deadline_expired + cs.rejected + cs.shed;
+  if (cs.submitted != shard_queries || cs.submitted != coord_buckets) {
+    std::fprintf(
+        stderr,
+        "COORDINATOR ACCOUNTING VIOLATION: sent=%llu submitted=%llu "
+        "buckets=%llu\n",
+        static_cast<unsigned long long>(shard_queries),
+        static_cast<unsigned long long>(cs.submitted),
+        static_cast<unsigned long long>(coord_buckets));
+    return 1;
+  }
+  for (size_t s = 0; s < (*sharded)->num_shards(); ++s) {
+    const auto ss = (*sharded)->shard_stats()[s];
+    const uint64_t shard_buckets = ss.done + ss.failed + ss.cancelled +
+                                   ss.deadline_expired + ss.rejected +
+                                   ss.shed;
+    if (ss.submitted != shard_buckets || ss.queued != 0 || ss.running != 0) {
+      std::fprintf(stderr,
+                   "SHARD %zu ACCOUNTING VIOLATION: submitted=%llu "
+                   "buckets=%llu queued=%zu running=%zu\n",
+                   s, static_cast<unsigned long long>(ss.submitted),
+                   static_cast<unsigned long long>(shard_buckets), ss.queued,
+                   ss.running);
+      return 1;
+    }
+    // Plan sessions may legitimately survive here: an injected
+    // shard.rpc.send fault on the Release call leaves one behind, which
+    // is the operator's cue to bound session lifetime, not a soak
+    // failure. The unfaulted leak check lives in tests/shard_test.cc.
+    std::printf("shard %zu: %zu plan sessions left behind by faulted "
+                "releases\n",
+                s, (*sharded)->node(s).live_plan_sessions());
   }
   std::printf("chaos soak passed: accounting identity holds\n");
   return 0;

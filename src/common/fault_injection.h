@@ -44,10 +44,14 @@ namespace fault_injection {
 /// tick), HTTP (`http.conn.read_error`,
 /// `http.client.connect_error`, `http.client.recv_error`), snapshot
 /// loading (`snapshot.read.short`),
-/// and the governed caches (`core.cache.build` — the builder throws,
+/// the governed caches (`core.cache.build` — the builder throws,
 /// the claim is released so the cache is never poisoned;
 /// `core.cache.alloc` — materialization fails, the caller gets the
-/// value ephemerally). Grep KGAQ_FAULT_POINT for the authoritative list.
+/// value ephemerally), and the shard tier (`shard.rpc.send` — a
+/// coordinator-to-shard channel call fails with kUnavailable at entry,
+/// local and HTTP channels alike; `shard.merge` — the coordinator's
+/// plan merge fails with kInternal after releasing the shards' plan
+/// sessions). Grep KGAQ_FAULT_POINT for the authoritative list.
 
 namespace internal {
 extern std::atomic<bool> g_enabled;

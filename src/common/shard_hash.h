@@ -1,0 +1,37 @@
+#ifndef KGAQ_COMMON_SHARD_HASH_H_
+#define KGAQ_COMMON_SHARD_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace kgaq {
+
+/// Shard-ownership hashing shared by the partitioner (src/shard/) and the
+/// per-shard candidate restriction in the core engine (EngineOptions::
+/// shard). Ownership is keyed on the node *name*, never the NodeId: names
+/// are stable across graph rebuilds and across shard-local graphs (which
+/// keep the full dictionary), whereas ids depend on interning order.
+///
+/// FNV-1a is fixed by docs/sharding.md as partition scheme 0 — the value
+/// is part of the snapshot partition-map contract, so it must never
+/// change for scheme 0.
+
+constexpr uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Owner shard of a node, by name, in [0, num_shards).
+constexpr uint32_t ShardOfName(std::string_view name, uint32_t num_shards) {
+  return num_shards <= 1
+             ? 0
+             : static_cast<uint32_t>(Fnv1a64(name) % num_shards);
+}
+
+}  // namespace kgaq
+
+#endif  // KGAQ_COMMON_SHARD_HASH_H_

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "common/shard_hash.h"
 #include "common/timer.h"
 #include "estimate/accuracy.h"
 #include "estimate/evt.h"
@@ -22,6 +23,8 @@ const char* StopCauseToString(StopCause c) {
       return "deadline_exceeded";
     case StopCause::kShed:
       return "shed";
+    case StopCause::kShardLost:
+      return "shard_lost";
   }
   return "unknown";
 }
@@ -106,6 +109,29 @@ Result<std::unique_ptr<QuerySession>> ApproxEngine::CreateSession(
       for (double& p : session->probabilities_) p /= total;
     }
   }
+  // Federated sharding: keep only the candidates this shard owns, then
+  // renormalize. Applied after the combined distribution so the surviving
+  // candidates keep their global relative weights; the coordinator's MoE
+  // combination (docs/sharding.md) assumes exactly this restriction.
+  if (options_.shard.num_shards > 1) {
+    size_t kept = 0;
+    for (size_t i = 0; i < session->candidates_.size(); ++i) {
+      const NodeId u = session->candidates_[i];
+      if (ShardOfName(g.NodeName(u), options_.shard.num_shards) ==
+          options_.shard.shard_index) {
+        session->candidates_[kept] = u;
+        session->probabilities_[kept] = session->probabilities_[i];
+        ++kept;
+      }
+    }
+    session->candidates_.resize(kept);
+    session->probabilities_.resize(kept);
+    double total = 0.0;
+    for (double p : session->probabilities_) total += p;
+    if (total > 0.0) {
+      for (double& p : session->probabilities_) p /= total;
+    }
+  }
   session->alias_ = AliasTable(session->probabilities_);
 
   // Resolve attribute ids once.
@@ -152,6 +178,32 @@ void QuerySession::DrawAndValidate(size_t k) {
     });
   }
 
+  // Federated sessions outsource steps (2) and (3): the owning shards
+  // validate the drawn candidates and return the per-draw facts, which
+  // fold into the sample exactly as a local run would. An unreachable
+  // shard retires the run with kShardLost and NOTHING from the aborted
+  // round appended — the partial estimate is the prior rounds', whole.
+  if (evaluator_) {
+    std::vector<NodeOutcome> outcomes;
+    const Status st = evaluator_(
+        std::span<const size_t>(draw_scratch_.data(), k), outcomes);
+    if (!st.ok() || outcomes.size() != k) {
+      stop_cause_ = StopCause::kShardLost;
+      return;
+    }
+    for (size_t d = 0; d < k; ++d) {
+      const size_t ci = draw_scratch_[d];
+      SampleItem item;
+      item.node = candidates_[ci];
+      item.pi = probabilities_[ci];
+      item.value = outcomes[d].value;
+      item.correct = outcomes[d].correct;
+      items_.push_back(item);
+      group_keys_.push_back(outcomes[d].group_key);
+    }
+    return;
+  }
+
   // (2) Validate the distinct drawn nodes up front, in parallel across the
   // shared pool; the per-draw loop below then only takes cache hits.
   // Later branches are warmed only with nodes every earlier branch scored
@@ -174,69 +226,118 @@ void QuerySession::DrawAndValidate(size_t k) {
   }
 
   // (3) Fold each draw into the sample (Definition 6 correctness, filters,
-  // value/group lookup) — sequential and cheap.
-  const bool needs_value =
-      query_.function != AggregateFunction::kCount &&
-      value_attr_ != kInvalidId;
+  // value/group lookup) — sequential and cheap; after the warm pass the
+  // EvaluateCandidate calls only take cache hits.
   for (size_t d = 0; d < k; ++d) {
     const size_t ci = draw_scratch_[d];
-    const NodeId u = candidates_[ci];
-
+    const NodeOutcome o = EvaluateCandidate(ci);
     SampleItem item;
-    item.node = u;
+    item.node = candidates_[ci];
     item.pi = probabilities_[ci];
-
-    // Correctness validation (§IV-B2): the branch-combined greedy match
-    // similarity must reach tau; for complex shapes every branch must
-    // match (the intersection semantics of §V-B), so the minimum governs.
-    bool correct = true;
-    if (options_.validate_correctness) {
-      double sim = 1.0;
-      for (const auto& b : branches_) {
-        sim = std::min(sim, b->ValidateSimilarity(u));
-        if (sim <= 0.0) break;
-      }
-      correct = sim >= options_.tau;
-    }
-
-    // Filter predicates fold into validation (Definition 6: c(u) = 1 iff
-    // L <= u.b <= U and s_i >= tau).
-    if (correct) {
-      for (const auto& [attr, f] : resolved_filters_) {
-        auto v = g_->Attribute(u, attr);
-        if (!v.has_value() || *v < f.lower || *v > f.upper) {
-          correct = false;
-          break;
-        }
-      }
-    }
-
-    double value = 0.0;
-    if (correct && needs_value) {
-      auto v = g_->Attribute(u, value_attr_);
-      if (v.has_value()) {
-        value = *v;
-      } else {
-        // SUM/AVG/MAX/MIN cannot use an answer without the attribute.
-        correct = false;
-      }
-    }
-    item.value = value;
-    item.correct = correct;
-
-    int64_t key = 0;
-    if (group_attr_ != kInvalidId) {
-      auto v = g_->Attribute(u, group_attr_);
-      if (v.has_value()) {
-        key = static_cast<int64_t>(
-            std::floor(*v / query_.group_by.bucket_width));
-      } else {
-        item.correct = false;  // ungroupable answers drop out
-      }
-    }
+    item.value = o.value;
+    item.correct = o.correct;
     items_.push_back(item);
-    group_keys_.push_back(key);
+    group_keys_.push_back(o.group_key);
   }
+}
+
+NodeOutcome QuerySession::EvaluateCandidate(size_t index) const {
+  const NodeId u = candidates_[index];
+  NodeOutcome out;
+
+  // Correctness validation (§IV-B2): the branch-combined greedy match
+  // similarity must reach tau; for complex shapes every branch must
+  // match (the intersection semantics of §V-B), so the minimum governs.
+  bool correct = true;
+  if (options_.validate_correctness) {
+    double sim = 1.0;
+    for (const auto& b : branches_) {
+      sim = std::min(sim, b->ValidateSimilarity(u));
+      if (sim <= 0.0) break;
+    }
+    correct = sim >= options_.tau;
+  }
+
+  // Filter predicates fold into validation (Definition 6: c(u) = 1 iff
+  // L <= u.b <= U and s_i >= tau).
+  if (correct) {
+    for (const auto& [attr, f] : resolved_filters_) {
+      auto v = g_->Attribute(u, attr);
+      if (!v.has_value() || *v < f.lower || *v > f.upper) {
+        correct = false;
+        break;
+      }
+    }
+  }
+
+  const bool needs_value = query_.function != AggregateFunction::kCount &&
+                           value_attr_ != kInvalidId;
+  double value = 0.0;
+  if (correct && needs_value) {
+    auto v = g_->Attribute(u, value_attr_);
+    if (v.has_value()) {
+      value = *v;
+    } else {
+      // SUM/AVG/MAX/MIN cannot use an answer without the attribute.
+      correct = false;
+    }
+  }
+  out.value = value;
+  out.correct = correct;
+
+  if (group_attr_ != kInvalidId) {
+    auto v = g_->Attribute(u, group_attr_);
+    if (v.has_value()) {
+      out.group_key = static_cast<int64_t>(
+          std::floor(*v / query_.group_by.bucket_width));
+    } else {
+      out.correct = false;  // ungroupable answers drop out
+    }
+  }
+  return out;
+}
+
+void QuerySession::EvaluateBatch(std::span<const size_t> indices,
+                                 std::vector<NodeOutcome>& out) const {
+  // Same warm pass as the local draw path (including the inter-branch
+  // positive filter), so a shard answering a validate RPC runs exactly
+  // the chain searches a local fold would have.
+  if (options_.validate_correctness && !branches_.empty()) {
+    std::vector<NodeId> warm;
+    warm.reserve(indices.size());
+    for (size_t ci : indices) warm.push_back(candidates_[ci]);
+    ThreadPool& pool = GlobalPool();
+    for (const auto& b : branches_) {
+      b->WarmValidationCache(warm, pool);
+      if (&b != &branches_.back()) {
+        size_t kept = 0;
+        for (NodeId u : warm) {
+          if (b->ValidateSimilarity(u) > 0.0) warm[kept++] = u;
+        }
+        warm.resize(kept);
+      }
+    }
+  }
+  out.clear();
+  out.reserve(indices.size());
+  for (size_t ci : indices) out.push_back(EvaluateCandidate(ci));
+}
+
+std::unique_ptr<QuerySession> QuerySession::CreateFederated(
+    FederatedSessionSpec spec) {
+  auto session = std::unique_ptr<QuerySession>(new QuerySession());
+  session->options_ = spec.options;
+  session->query_ = spec.query;
+  session->rng_ = Rng(spec.options.seed);
+  session->candidates_ = std::move(spec.candidates);
+  session->probabilities_ = std::move(spec.probabilities);
+  session->alias_ = AliasTable(session->probabilities_);
+  session->evaluator_ = std::move(spec.evaluator);
+  // GROUP-BY routing in StepRound keys off group_attr_ != kInvalidId; the
+  // id itself is never dereferenced here because the local fold (the only
+  // consumer of the id) is bypassed by the evaluator.
+  session->group_attr_ = spec.group_by_enabled ? 0 : kInvalidId;
+  return session;
 }
 
 std::vector<SampleItem> QuerySession::GroupView(int64_t key) const {
@@ -330,6 +431,12 @@ bool QuerySession::StepRound() {
     s2_.Start();
     DrawAndValidate(run_.per_round);
     s2_.Stop();
+    if (stop_cause_ == StopCause::kShardLost) {
+      // The aborted round appended nothing; retire on what prior rounds
+      // collected (possibly an empty sample — the caller checks rounds).
+      run_.finished = true;
+      return true;
+    }
     ++rounds_total_;
     if (++run_.extreme_rounds_done >= options_.extreme_rounds) {
       run_.finished = true;
@@ -343,6 +450,17 @@ bool QuerySession::StepRound() {
   s2_.Start();
   if (items_.size() < run_.target) {
     DrawAndValidate(run_.target - items_.size());
+  }
+  if (stop_cause_ == StopCause::kShardLost) {
+    // A federated round lost its shard mid-draw: the round appended
+    // nothing, so back out its round counts (rounds_completed() drives
+    // "has a single-round estimate" degradation decisions) and keep
+    // run_.out as the last completed round's estimate.
+    s2_.Stop();
+    --run_.rounds_this_call;
+    --rounds_total_;
+    run_.finished = true;
+    return true;
   }
   const double v_hat = HtEstimator::Estimate(query_.function, items_);
   s2_.Stop();

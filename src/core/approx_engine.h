@@ -1,7 +1,9 @@
 #ifndef KGAQ_CORE_APPROX_ENGINE_H_
 #define KGAQ_CORE_APPROX_ENGINE_H_
 
+#include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +24,16 @@
 #include "query/query_graph.h"
 
 namespace kgaq {
+
+/// Restricts a session's candidate set to the nodes one shard owns
+/// (federated scatter-gather mode, docs/sharding.md). Ownership is
+/// ShardOfName(node name, num_shards) — common/shard_hash.h, partition
+/// scheme 0 — so the restriction is consistent with KgPartitioner cuts.
+/// num_shards <= 1 means unrestricted (the default).
+struct ShardSelector {
+  uint32_t num_shards = 0;
+  uint32_t shard_index = 0;
+};
 
 /// All tunables of the sampling-estimation pipeline, with the paper's
 /// default configuration (§VII-A "Parameters"): eb = 1%, 1-alpha = 95%,
@@ -61,6 +73,8 @@ struct EngineOptions {
   /// Ablation (Fig. 5c): when > 0, |Delta S_A| is this fixed value instead
   /// of the Eq. 12 error-based configuration.
   size_t fixed_increment = 0;
+  /// Candidate-set restriction for federated sharding (unset = all).
+  ShardSelector shard;
   uint64_t seed = 7;
 };
 
@@ -122,9 +136,43 @@ enum class StopCause {
   kCancelled,         ///< the installed cancel flag was set
   kDeadlineExceeded,  ///< the installed deadline expired
   kShed,              ///< RequestShed(): overload asked the run to retire
+  kShardLost,         ///< a federated session's remote evaluator failed
 };
 
 const char* StopCauseToString(StopCause c);
+
+/// Validation outcome of one candidate: the exact per-draw facts the
+/// DrawAndValidate fold records into the sample. Factored out so a shard
+/// can compute them remotely (QuerySession::EvaluateBatch) and a
+/// federated coordinator session can fold them in bitwise-identically to
+/// a local run (docs/sharding.md).
+struct NodeOutcome {
+  bool correct = false;
+  double value = 0.0;
+  int64_t group_key = 0;
+};
+
+/// Outsourced per-draw validation for federated sessions: given the
+/// candidate *indices* of one round's draws (duplicates included, in draw
+/// order), fills `out` with one NodeOutcome per draw, aligned with the
+/// input. A non-OK status means the owning shard is unreachable; the
+/// session retires with StopCause::kShardLost and its pre-round partial
+/// estimate intact.
+using RemoteEvaluator = std::function<Status(
+    std::span<const size_t> draw_indices, std::vector<NodeOutcome>& out)>;
+
+/// Everything needed to replay the global draw schedule without a graph:
+/// the merged candidate distribution (exactly the unsharded session's
+/// arrays, no renormalization) plus the evaluator that reaches the
+/// shards. See QuerySession::CreateFederated.
+struct FederatedSessionSpec {
+  EngineOptions options;
+  AggregateQuery query;
+  std::vector<NodeId> candidates;
+  std::vector<double> probabilities;
+  bool group_by_enabled = false;
+  RemoteEvaluator evaluator;
+};
 
 /// The sampling-estimation engine (Algorithm 2).
 ///
@@ -244,6 +292,38 @@ class QuerySession {
   const AggregateQuery& query() const { return query_; }
   size_t num_candidates() const { return candidates_.size(); }
 
+  /// The combined candidate distribution, in construction order (the
+  /// index space EvaluateBatch and RemoteEvaluator speak).
+  std::span<const NodeId> candidate_nodes() const { return candidates_; }
+  std::span<const double> candidate_probabilities() const {
+    return probabilities_;
+  }
+
+  /// Validates candidate `index` exactly as the DrawAndValidate fold
+  /// would: branch-min similarity vs tau, filters, value lookup (missing
+  /// value kills correctness when the aggregate needs one), group-key
+  /// bucketing (missing group attribute kills correctness). Results come
+  /// from the branch samplers' per-node caches, so repeated calls are
+  /// cheap and identical.
+  NodeOutcome EvaluateCandidate(size_t index) const;
+
+  /// Batch form for shard validate handlers: warms the validation caches
+  /// in parallel with the same inter-branch positive filter the local
+  /// draw path applies, then evaluates each index. `out` is cleared and
+  /// aligned with `indices` (duplicates allowed).
+  void EvaluateBatch(std::span<const size_t> indices,
+                     std::vector<NodeOutcome>& out) const;
+
+  /// Builds a graph-less session that replays the global draw schedule —
+  /// same alias table, same Rng stream, same BLB calls — over a merged
+  /// candidate distribution, outsourcing per-draw validation to
+  /// `spec.evaluator`. With spec arrays equal to an unsharded session's
+  /// candidates/probabilities and an evaluator that answers exactly like
+  /// EvaluateCandidate, results are bitwise-identical to the unsharded
+  /// run (docs/sharding.md states the contract).
+  static std::unique_ptr<QuerySession> CreateFederated(
+      FederatedSessionSpec spec);
+
  private:
   friend class ApproxEngine;
   QuerySession() = default;
@@ -286,6 +366,11 @@ class QuerySession {
   AttributeId value_attr_ = kInvalidId;
   AttributeId group_attr_ = kInvalidId;
   std::vector<std::pair<AttributeId, Filter>> resolved_filters_;
+
+  /// Non-null only for federated sessions (CreateFederated): outsources
+  /// the per-draw fold, so g_/ctx_/branches_ stay null/empty and the
+  /// local validation path never runs.
+  RemoteEvaluator evaluator_;
 
   double s1_ms_ = 0.0;        // charged to the first RunToErrorBound
   bool s1_reported_ = false;

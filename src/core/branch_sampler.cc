@@ -169,9 +169,24 @@ Result<std::unique_ptr<BranchSampler>> BranchSampler::Build(
           kept_mass += extraction.CandidateProbability(order[i]);
         }
         if (kept_mass <= 0.0) return;
+        // FindBestMatch is const with purely call-local state, so the
+        // kept intermediates validate concurrently (nested fork-join on
+        // the shared pool is deadlock-free — TaskGroup::Wait helps). The
+        // Seed assembly below stays serial in slot order, so the stage
+        // remains bit-for-bit reproducible under any schedule.
+        std::vector<GreedyValidator::Match> matches(keep);
+        if (keep > 1) {
+          ParallelFor(GlobalPool(), keep, [&](size_t i) {
+            matches[i] = unit.validator->FindBestMatch(
+                extraction.CandidateNode(order[i]));
+          });
+        } else if (keep == 1) {
+          matches[0] =
+              unit.validator->FindBestMatch(extraction.CandidateNode(order[0]));
+        }
         for (size_t i = 0; i < keep; ++i) {
           const NodeId m = extraction.CandidateNode(order[i]);
-          const auto match = unit.validator->FindBestMatch(m);
+          const GreedyValidator::Match& match = matches[i];
           if (!match.found || match.similarity <= 0.0) continue;
           Seed seed;
           seed.node = m;

@@ -119,6 +119,12 @@ class KnowledgeGraph {
   /// internal arrays verbatim so a loaded graph is bit-identical to the
   /// one saved — including id assignment and CSR layout.
   friend class KgSnapshotIo;
+  /// Shard cutter (src/shard/partitioner.cc): copies every array verbatim
+  /// except the adjacency CSR, which it rewrites to the shard's triple
+  /// subset. Keeping dictionaries and the node table intact preserves id
+  /// assignment — the bitwise-parity contract in docs/sharding.md depends
+  /// on shard-local ids equalling global ids.
+  friend class KgPartitioner;
 
   Dictionary names_;
   Dictionary types_;

@@ -17,11 +17,16 @@ namespace kgaq {
 namespace {
 
 constexpr char kMagic[8] = {'K', 'G', 'A', 'Q', 'S', 'N', 'A', 'P'};
-constexpr uint32_t kFormatVersion = 1;
+// v1: KG section + optional embedding. v2 adds the optional partition-map
+// section; writers emit v1 when no partition info is present so unsharded
+// snapshots remain byte-identical to pre-v2 output.
+constexpr uint32_t kFormatVersionV1 = 1;
+constexpr uint32_t kFormatVersionV2 = 2;
 // Written as a u32 on the producing host; a byte-swapped reader sees
 // 0x04030201 and rejects the file (the format is defined little-endian).
 constexpr uint32_t kEndianMarker = 0x01020304;
 constexpr uint8_t kFlagHasEmbedding = 0x1;
+constexpr uint8_t kFlagHasPartition = 0x2;
 
 static_assert(sizeof(size_t) == 8,
               "snapshot offsets are serialized as raw 64-bit arrays");
@@ -233,19 +238,40 @@ class KgSnapshotIo {
 
 Status SaveEngineSnapshot(const KnowledgeGraph& g,
                           const EmbeddingModel* model,
+                          const KgPartitionInfo* partition,
                           const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open '" + path + "' for write");
   out.write(kMagic, sizeof(kMagic));
-  WritePod<uint32_t>(out, kFormatVersion);
+  WritePod<uint32_t>(out, partition != nullptr ? kFormatVersionV2
+                                               : kFormatVersionV1);
   WritePod<uint32_t>(out, kEndianMarker);
-  WritePod<uint8_t>(out, model != nullptr ? kFlagHasEmbedding : 0);
+  uint8_t flags = 0;
+  if (model != nullptr) flags |= kFlagHasEmbedding;
+  if (partition != nullptr) flags |= kFlagHasPartition;
+  WritePod<uint8_t>(out, flags);
+  if (partition != nullptr) {
+    // Field-by-field, never a struct memcpy: the on-disk layout must not
+    // depend on compiler padding.
+    WritePod<uint32_t>(out, partition->scheme);
+    WritePod<uint32_t>(out, partition->num_shards);
+    WritePod<uint32_t>(out, partition->shard_index);
+    WritePod<uint32_t>(out, partition->halo_hops);
+    WritePod<uint64_t>(out, partition->owned_nodes);
+    WritePod<uint64_t>(out, partition->global_triples);
+  }
   KgSnapshotIo::Write(g, out);
   if (model != nullptr) {
     KGAQ_RETURN_IF_ERROR(WriteEmbeddingBlob(*model, out));
   }
   if (!out) return Status::IoError("write failed for '" + path + "'");
   return Status::OK();
+}
+
+Status SaveEngineSnapshot(const KnowledgeGraph& g,
+                          const EmbeddingModel* model,
+                          const std::string& path) {
+  return SaveEngineSnapshot(g, model, nullptr, path);
 }
 
 Result<EngineSnapshot> LoadEngineSnapshot(const std::string& path) {
@@ -278,18 +304,38 @@ Result<EngineSnapshot> LoadEngineSnapshot(const std::string& path) {
     return Status::InvalidArgument("snapshot header truncated: '" + path +
                                    "'");
   }
-  if (version != kFormatVersion) {
+  if (version != kFormatVersionV1 && version != kFormatVersionV2) {
     return Status::InvalidArgument(
         "snapshot format version " + std::to_string(version) +
-        " is not supported (reader speaks version " +
-        std::to_string(kFormatVersion) + ")");
+        " is not supported (reader speaks versions " +
+        std::to_string(kFormatVersionV1) + "-" +
+        std::to_string(kFormatVersionV2) + ")");
   }
   if (endian != kEndianMarker) {
     return Status::InvalidArgument(
         "snapshot endianness mismatch: the format is little-endian and "
         "this reader does not byte-swap");
   }
+  if (version == kFormatVersionV1 && (flags & kFlagHasPartition) != 0) {
+    return Status::InvalidArgument(
+        "snapshot claims a partition section but is format v1");
+  }
   EngineSnapshot snap;
+  if ((flags & kFlagHasPartition) != 0) {
+    KgPartitionInfo part;
+    if (!ReadPod(in, part.scheme) || !ReadPod(in, part.num_shards) ||
+        !ReadPod(in, part.shard_index) || !ReadPod(in, part.halo_hops) ||
+        !ReadPod(in, part.owned_nodes) ||
+        !ReadPod(in, part.global_triples)) {
+      return Status::InvalidArgument("snapshot partition section truncated");
+    }
+    if (part.num_shards == 0 || part.shard_index >= part.num_shards ||
+        part.halo_hops == 0) {
+      return Status::InvalidArgument(
+          "snapshot partition section inconsistent");
+    }
+    snap.partition = part;
+  }
   KGAQ_RETURN_IF_ERROR(KgSnapshotIo::Read(in, file_bytes, snap.graph));
   if ((flags & kFlagHasEmbedding) != 0) {
     auto model = ReadEmbeddingBlob(in);

@@ -1,7 +1,9 @@
 #ifndef KGAQ_KG_SNAPSHOT_H_
 #define KGAQ_KG_SNAPSHOT_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
@@ -27,6 +29,33 @@ namespace kgaq {
 /// versions and byte-swapped files (the format is defined little-endian;
 /// big-endian hosts would need a swapping reader, which this
 /// implementation does not provide).
+///
+/// Version history:
+///   v1 — KG section + optional embedding blob.
+///   v2 — adds an optional partition-map section (flag 0x2) between the
+///        header flags and the KG section, written only for per-shard
+///        snapshots produced by KgPartitioner. Writers emit v1 bytes when
+///        no partition info is present, so unsharded snapshots stay
+///        byte-identical to pre-v2 output; the reader accepts both.
+
+/// Partition-map header section of a per-shard snapshot (format v2).
+/// Records how the shard was cut so a loader can verify it is assembling
+/// a consistent shard set (docs/sharding.md).
+struct KgPartitionInfo {
+  /// Partition scheme id. 0 = FNV-1a-64 over the node name, mod
+  /// num_shards (common/shard_hash.h).
+  uint32_t scheme = 0;
+  uint32_t num_shards = 0;
+  uint32_t shard_index = 0;
+  /// Halo depth used when the shard was cut (1 = cut-edge replication).
+  uint32_t halo_hops = 1;
+  /// Nodes this shard owns (hash-assigned), not counting halo replicas.
+  uint64_t owned_nodes = 0;
+  /// Triple count of the *global* graph the shard was cut from.
+  uint64_t global_triples = 0;
+
+  bool operator==(const KgPartitionInfo&) const = default;
+};
 
 /// Saves only the graph (no embedding section).
 Status SaveKgSnapshot(const KnowledgeGraph& g, const std::string& path);
@@ -41,12 +70,22 @@ struct EngineSnapshot {
   KnowledgeGraph graph;
   /// Null when the snapshot carried no embedding section.
   std::unique_ptr<FixedEmbedding> embedding;
+  /// Present only for per-shard snapshots (format v2, flag 0x2).
+  std::optional<KgPartitionInfo> partition;
 };
 
 /// Saves the graph plus (when `model` is non-null) its embedding vectors
 /// via the embedding_io binary blob.
 Status SaveEngineSnapshot(const KnowledgeGraph& g,
                           const EmbeddingModel* model,
+                          const std::string& path);
+
+/// As above, plus a partition-map section when `partition` is non-null
+/// (the file is then written as format v2; otherwise the v1 bytes are
+/// unchanged).
+Status SaveEngineSnapshot(const KnowledgeGraph& g,
+                          const EmbeddingModel* model,
+                          const KgPartitionInfo* partition,
                           const std::string& path);
 
 /// Loads a snapshot written by SaveEngineSnapshot / SaveKgSnapshot.

@@ -47,22 +47,65 @@ RetryingHttpClient::RetryingHttpClient(RetryOptions options, FetchFn fetch,
       sleep_(std::move(sleep)),
       rng_state_(options.seed) {}
 
+RetryingHttpClient::Stats RetryingHttpClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
 Result<HttpResponse> RetryingHttpClient::PooledFetch(
     const std::string& host, uint16_t port, const std::string& method,
     const std::string& target, const std::string& body) {
   const std::string key = host + ":" + std::to_string(port);
-  HttpClientConnection& conn = pool_[key];
-  if (conn.connected()) {
-    ++stats_.reuses;
-  } else {
-    Status st = conn.Connect(host, port);
-    if (!st.ok()) return st;
-    ++stats_.reconnects;
+  const size_t cap = std::max<size_t>(1, options_.connections_per_host);
+  PooledConn* slot = nullptr;
+  std::unique_ptr<PooledConn> overflow;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& conns = pool_[key];
+    for (auto& c : conns) {
+      if (!c->in_use) {
+        slot = c.get();
+        break;
+      }
+    }
+    if (slot == nullptr && conns.size() < cap) {
+      conns.push_back(std::make_unique<PooledConn>());
+      slot = conns.back().get();
+    }
+    if (slot != nullptr) {
+      slot->in_use = true;
+    } else {
+      ++stats_.overflows;
+    }
   }
-  // RoundTrip closes the socket itself on every transport error and on
-  // Connection: close responses, so the pool never retains a connection
-  // whose framing state is unknown; the next attempt reconnects.
-  return conn.RoundTrip(method, target, body, /*keep_alive=*/true);
+  if (slot == nullptr) {
+    // Pool saturated: run this attempt on a temporary connection rather
+    // than queueing behind an in-flight round trip of unknown duration.
+    overflow = std::make_unique<PooledConn>();
+    slot = overflow.get();
+  }
+
+  const bool reused = slot->conn.connected();
+  bool connected_now = false;
+  Result<HttpResponse> out = [&]() -> Result<HttpResponse> {
+    if (!reused) {
+      Status st = slot->conn.Connect(host, port);
+      if (!st.ok()) return st;
+      connected_now = true;
+    }
+    // RoundTrip closes the socket itself on every transport error and on
+    // Connection: close responses, so the pool never retains a connection
+    // whose framing state is unknown; the next checkout reconnects.
+    return slot->conn.RoundTrip(method, target, body,
+                                /*keep_alive=*/overflow == nullptr);
+  }();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reused) ++stats_.reuses;
+    if (connected_now && overflow == nullptr) ++stats_.reconnects;
+    if (overflow == nullptr) slot->in_use = false;
+  }
+  return out;
 }
 
 Result<HttpResponse> RetryingHttpClient::Fetch(const std::string& host,
@@ -70,7 +113,10 @@ Result<HttpResponse> RetryingHttpClient::Fetch(const std::string& host,
                                                const std::string& method,
                                                const std::string& target,
                                                const std::string& body) {
-  ++stats_.requests;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
   const int attempts = std::max(1, options_.max_attempts);
   const double base = std::max(1.0, options_.initial_backoff_ms);
   const double cap = std::max(base, options_.max_backoff_ms);
@@ -82,8 +128,13 @@ Result<HttpResponse> RetryingHttpClient::Fetch(const std::string& host,
       // Decorrelated jitter: next sleep is uniform in [base, 3*prev],
       // capped. Unlike plain exponential doubling, concurrent clients
       // that failed together do not wake together.
-      double sleep_ms =
-          base + UniformDouble(rng_state_) * (3.0 * prev_sleep - base);
+      double sleep_ms;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        sleep_ms =
+            base + UniformDouble(rng_state_) * (3.0 * prev_sleep - base);
+        ++stats_.retries;
+      }
       sleep_ms = std::min(cap, std::max(base, sleep_ms));
       if (options_.honor_retry_after && last.ok() &&
           last->retry_after_s > 0.0) {
@@ -92,7 +143,6 @@ Result<HttpResponse> RetryingHttpClient::Fetch(const std::string& host,
       }
       prev_sleep = sleep_ms;
       sleep_(sleep_ms);
-      ++stats_.retries;
     }
 
     last = fetch_ ? fetch_(host, port, method, target, body)

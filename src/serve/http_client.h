@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "serve/http_server.h"
@@ -27,14 +30,21 @@ struct RetryOptions {
   /// When a 429/503 carries Retry-After, sleep at least that long
   /// (still capped by max_backoff_ms).
   bool honor_retry_after = true;
+  /// Pooled keep-alive connections kept per host:port (at least 1).
+  /// Concurrent Fetch calls to one host fan out over the pool; calls
+  /// beyond it overflow onto temporary one-shot connections instead of
+  /// queueing, so a burst degrades to pre-pool behavior rather than
+  /// serializing.
+  size_t connections_per_host = 4;
 };
 
 /// A thin, dependency-free retrying client for loopback tests, smoke
-/// binaries, and the chaos soak. The default constructor POOLS
-/// transport connections: one persistent keep-alive HttpClientConnection
-/// per host:port, reused across Fetch calls, reconnected transparently
-/// when the server closes it (idle reap, max_keepalive_requests, or a
-/// transport error). What it retries:
+/// binaries, the shard coordinator's remote channels, and the chaos
+/// soak. The default constructor POOLS transport connections: up to
+/// RetryOptions::connections_per_host persistent keep-alive
+/// HttpClientConnections per host:port, reused across Fetch calls,
+/// reconnected transparently when the server closes one (idle reap,
+/// max_keepalive_requests, or a transport error). What it retries:
 ///
 ///   - kUnavailable transport errors: either the connect itself failed
 ///     or a REUSED pooled connection died before yielding a single
@@ -59,7 +69,12 @@ struct RetryOptions {
 /// which spreads a thundering herd across time instead of synchronizing
 /// it the way plain doubling does.
 ///
-/// Not thread-safe: one client per thread (each gets its own pool).
+/// Thread-safe: the pool hands each in-flight Fetch its own connection
+/// (checkout under a mutex, round trip outside it), so one client can
+/// back every shard channel of a coordinator. The retry jitter stream
+/// and stats are mutex-guarded; with contention the exact interleaving
+/// of jitter draws across threads is scheduler-dependent, but each
+/// single-threaded use keeps the old deterministic schedule.
 class RetryingHttpClient {
  public:
   /// Injection seams for tests: a fake fetch scripts server behavior and
@@ -95,11 +110,24 @@ class RetryingHttpClient {
     /// one per server-side close observed. Always 0 with an injected
     /// transport.
     uint64_t reconnects = 0;
+    /// Attempts that found every pooled connection busy and ran on a
+    /// temporary one-shot connection instead. Persistently nonzero means
+    /// connections_per_host is undersized for the concurrency.
+    uint64_t overflows = 0;
   };
-  Stats stats() const { return stats_; }
+  Stats stats() const;
 
  private:
-  /// One attempt over the per-host pooled keep-alive connection.
+  /// One pool slot: a persistent connection plus its checkout flag.
+  /// Slots are heap-allocated so pointers stay stable while the per-host
+  /// vector grows under the lock.
+  struct PooledConn {
+    HttpClientConnection conn;
+    bool in_use = false;
+  };
+
+  /// One attempt over a checked-out per-host pooled connection (or a
+  /// temporary overflow connection when the pool is saturated).
   Result<HttpResponse> PooledFetch(const std::string& host, uint16_t port,
                                    const std::string& method,
                                    const std::string& target,
@@ -108,13 +136,18 @@ class RetryingHttpClient {
   RetryOptions options_;
   FetchFn fetch_;  ///< injected transport; null in pooled mode
   SleepFn sleep_;
+  /// mu_ guards rng_state_, stats_ and the pool STRUCTURE (checkout /
+  /// checkin / growth); the actual socket I/O runs outside the lock on
+  /// the checked-out slot, which the in_use flag makes exclusive.
+  mutable std::mutex mu_;
   uint64_t rng_state_;
   Stats stats_;
-  /// host:port -> persistent connection (pooled mode only). RoundTrip
-  /// closes the socket on every transport error and every
+  /// host:port -> up to connections_per_host persistent connections.
+  /// RoundTrip closes the socket on every transport error and every
   /// `Connection: close` response, so a pooled entry is never left in
-  /// an unknown framing state — the next Fetch just reconnects.
-  std::unordered_map<std::string, HttpClientConnection> pool_;
+  /// an unknown framing state — the next checkout just reconnects.
+  std::unordered_map<std::string, std::vector<std::unique_ptr<PooledConn>>>
+      pool_;
 };
 
 }  // namespace kgaq

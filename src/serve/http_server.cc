@@ -1706,6 +1706,16 @@ std::string HttpServer::Dispatch(const std::string& method,
     return MakeResponse(200, "application/json", out, keep_alive);
   }
 
+  if (extra_handler_) {
+    if (auto handled = extra_handler_(method, path, body)) {
+      if (handled->first >= 400) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return MakeResponse(handled->first, "text/plain", handled->second,
+                          keep_alive);
+    }
+  }
+
   return bad(404, "no route for '" + path + "'");
 }
 

@@ -5,11 +5,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -170,6 +173,21 @@ class HttpServer {
   };
   Stats stats() const;
 
+  /// Extension seam for subsystems mounting extra routes on this front
+  /// door (the shard RPC endpoints, shard/channel.h). Dispatch consults
+  /// the handler after the built-in routes and before the 404
+  /// fallthrough; returning a (status, body) pair answers the request
+  /// (body goes out as text/plain), nullopt falls through to 404. The
+  /// handler runs inline on event-loop (or handler) threads, so it must
+  /// not block on this server's own routes. Install before Start();
+  /// installation is not synchronized against in-flight requests.
+  using ExtraHandler = std::function<std::optional<std::pair<int, std::string>>(
+      const std::string& method, const std::string& path,
+      const std::string& body)>;
+  void SetExtraHandler(ExtraHandler handler) {
+    extra_handler_ = std::move(handler);
+  }
+
  private:
   class EventLoop;
 
@@ -207,6 +225,7 @@ class HttpServer {
 
   QueryService& service_;
   HttpServerOptions options_;
+  ExtraHandler extra_handler_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};

@@ -685,6 +685,13 @@ void QueryService::SchedulerLoop() {
           // bound in Retire.
           degraded = true;
           break;
+        case StopCause::kShardLost:
+          // Only federated coordinator sessions can lose a shard; a
+          // QueryService session never installs a RemoteEvaluator. Treated
+          // like shed if it ever fired: partial answer, degraded.
+          degraded = result.rounds >= 1;
+          if (result.rounds == 0) state = QueryState::kFailed;
+          break;
         case StopCause::kNone:
           break;
       }

@@ -1,0 +1,135 @@
+#include "shard/channel.h"
+
+#include <charconv>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace kgaq {
+
+namespace {
+
+Status InjectedSendFault() {
+  return Status::Unavailable("injected: shard rpc send failed");
+}
+
+}  // namespace
+
+// --- LocalShardChannel -----------------------------------------------
+
+Result<ShardPlanResult> LocalShardChannel::Plan(
+    const ShardPlanRequest& request) {
+  if (KGAQ_FAULT_POINT("shard.rpc.send")) return InjectedSendFault();
+  return node_->Plan(request.query, request.options);
+}
+
+Result<std::vector<NodeOutcome>> LocalShardChannel::Validate(
+    const ShardValidateRequest& request) {
+  if (KGAQ_FAULT_POINT("shard.rpc.send")) return InjectedSendFault();
+  return node_->Validate(request.token, request.indices);
+}
+
+Status LocalShardChannel::Release(uint64_t token) {
+  if (KGAQ_FAULT_POINT("shard.rpc.send")) return InjectedSendFault();
+  node_->Release(token);
+  return Status::OK();
+}
+
+Result<QueryResponse> LocalShardChannel::SubQuery(
+    const QueryRequest& request) {
+  if (KGAQ_FAULT_POINT("shard.rpc.send")) return InjectedSendFault();
+  return node_->SubQuery(request);
+}
+
+// --- HttpShardChannel ------------------------------------------------
+
+Result<std::string> HttpShardChannel::Post(const std::string& path,
+                                           const std::string& body) {
+  if (KGAQ_FAULT_POINT("shard.rpc.send")) return InjectedSendFault();
+  auto response = client_->Fetch(host_, port_, "POST", path, body);
+  if (!response.ok()) return response.status();
+  if (response->status_code != 200) return DecodeError(response->body);
+  return response->body;
+}
+
+Result<ShardPlanResult> HttpShardChannel::Plan(
+    const ShardPlanRequest& request) {
+  auto body = Post("/shard/plan", EncodePlanRequest(request));
+  if (!body.ok()) return body.status();
+  return DecodePlanResult(*body);
+}
+
+Result<std::vector<NodeOutcome>> HttpShardChannel::Validate(
+    const ShardValidateRequest& request) {
+  auto body = Post("/shard/validate", EncodeValidateRequest(request));
+  if (!body.ok()) return body.status();
+  return DecodeOutcomes(*body);
+}
+
+Status HttpShardChannel::Release(uint64_t token) {
+  auto body = Post("/shard/release", std::to_string(token));
+  return body.ok() ? Status::OK() : body.status();
+}
+
+Result<QueryResponse> HttpShardChannel::SubQuery(
+    const QueryRequest& request) {
+  auto body = Post("/shard/subquery", EncodeQueryRequest(request));
+  if (!body.ok()) return body.status();
+  return DecodeQueryResponse(*body);
+}
+
+// --- server-side routes ----------------------------------------------
+
+HttpServer::ExtraHandler MakeShardHttpHandler(ShardNode& node) {
+  return [&node](const std::string& method, const std::string& path,
+                 const std::string& body)
+             -> std::optional<std::pair<int, std::string>> {
+    if (path.rfind("/shard/", 0) != 0) return std::nullopt;
+    if (method != "POST") {
+      return std::make_pair(
+          405, EncodeError(Status::InvalidArgument(
+                   "shard routes are POST-only")));
+    }
+    auto fail = [](const Status& status) {
+      return std::make_pair(HttpStatusForCode(status.code()),
+                            EncodeError(status));
+    };
+
+    if (path == "/shard/plan") {
+      auto request = DecodePlanRequest(body);
+      if (!request.ok()) return fail(request.status());
+      auto result = node.Plan(request->query, request->options);
+      if (!result.ok()) return fail(result.status());
+      return std::make_pair(200, EncodePlanResult(*result));
+    }
+    if (path == "/shard/validate") {
+      auto request = DecodeValidateRequest(body);
+      if (!request.ok()) return fail(request.status());
+      auto outcomes = node.Validate(request->token, request->indices);
+      if (!outcomes.ok()) return fail(outcomes.status());
+      return std::make_pair(200, EncodeOutcomes(*outcomes));
+    }
+    if (path == "/shard/release") {
+      uint64_t token = 0;
+      auto [end, ec] =
+          std::from_chars(body.data(), body.data() + body.size(), token);
+      // Tolerate a trailing newline from hand-driven curls.
+      if (ec != std::errc{} ||
+          (end != body.data() + body.size() &&
+           std::string_view(end, body.data() + body.size() - end) != "\n")) {
+        return fail(Status::InvalidArgument(
+            "release body must be a decimal token"));
+      }
+      node.Release(token);
+      return std::make_pair(200, std::string("ok\n"));
+    }
+    if (path == "/shard/subquery") {
+      auto request = DecodeQueryRequest(body);
+      if (!request.ok()) return fail(request.status());
+      return std::make_pair(200, EncodeQueryResponse(node.SubQuery(*request)));
+    }
+    return fail(Status::NotFound("no shard route for '" + path + "'"));
+  };
+}
+
+}  // namespace kgaq

@@ -1,0 +1,116 @@
+#ifndef KGAQ_SHARD_CHANNEL_H_
+#define KGAQ_SHARD_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "shard/shard_node.h"
+#include "shard/wire.h"
+
+namespace kgaq {
+
+/// Transport abstraction between the coordinator and one shard. The
+/// coordinator never talks to a ShardNode directly; it speaks this
+/// interface, so swapping in-process shards for remote ones is a
+/// construction-time choice, not a code path.
+///
+/// Every implementation evaluates the `shard.rpc.send` fault point at
+/// the entry of every call (returning kUnavailable when it fires), so
+/// chaos tests exercise the coordinator's degradation paths — degraded
+/// partial answers, kShardLost round abort — without real networks.
+///
+/// Thread-safety: Plan/Validate/Release/SubQuery may be called from the
+/// coordinator's scatter threads concurrently with calls for OTHER
+/// channels, but a single channel instance is only ever driven by one
+/// in-flight query at a time per method (the coordinator serializes
+/// queries). LocalShardChannel is fully thread-safe; HttpShardChannel
+/// serializes its transport internally.
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+
+  /// Scatter-phase: full unrestricted plan, owned slice back.
+  virtual Result<ShardPlanResult> Plan(const ShardPlanRequest& request) = 0;
+
+  /// Per-round validation of draws against a live plan token.
+  virtual Result<std::vector<NodeOutcome>> Validate(
+      const ShardValidateRequest& request) = 0;
+
+  /// Drops the plan session behind `token`. Best-effort (a shard that
+  /// died keeps nothing to drop); failures are reported but benign.
+  virtual Status Release(uint64_t token) = 0;
+
+  /// Federated-mode sub-query, blocking until terminal.
+  virtual Result<QueryResponse> SubQuery(const QueryRequest& request) = 0;
+};
+
+/// In-process channel: calls straight into a ShardNode the caller owns
+/// elsewhere (ShardedEngine keeps node and channel side by side). Still
+/// passes through the `shard.rpc.send` fault point so in-process
+/// deployments rehearse the same failures as remote ones.
+class LocalShardChannel final : public ShardChannel {
+ public:
+  explicit LocalShardChannel(ShardNode* node) : node_(node) {}
+
+  Result<ShardPlanResult> Plan(const ShardPlanRequest& request) override;
+  Result<std::vector<NodeOutcome>> Validate(
+      const ShardValidateRequest& request) override;
+  Status Release(uint64_t token) override;
+  Result<QueryResponse> SubQuery(const QueryRequest& request) override;
+
+ private:
+  ShardNode* node_;  ///< not owned; must outlive the channel
+};
+
+/// Remote channel over the existing HTTP front door: wire.h bodies
+/// POSTed to /shard/* routes served by MakeShardHttpHandler on the
+/// remote server. Rides RetryingHttpClient, so connect failures and
+/// server-side idle reaps retry transparently; non-200 responses decode
+/// the `error=` envelope back into a Status.
+class HttpShardChannel final : public ShardChannel {
+ public:
+  /// `client` is borrowed and must outlive the channel. The client is
+  /// thread-safe (per-host pooling), so one client can back every
+  /// shard's channel.
+  HttpShardChannel(std::string host, uint16_t port,
+                   RetryingHttpClient* client)
+      : host_(std::move(host)), port_(port), client_(client) {}
+
+  Result<ShardPlanResult> Plan(const ShardPlanRequest& request) override;
+  Result<std::vector<NodeOutcome>> Validate(
+      const ShardValidateRequest& request) override;
+  Status Release(uint64_t token) override;
+  Result<QueryResponse> SubQuery(const QueryRequest& request) override;
+
+ private:
+  /// POST one wire body; 200 yields the response body, non-200 decodes
+  /// the error envelope.
+  Result<std::string> Post(const std::string& path, const std::string& body);
+
+  std::string host_;
+  uint16_t port_;
+  RetryingHttpClient* client_;  ///< not owned
+};
+
+/// Builds the HttpServer extra-route handler exposing `node` as the
+/// remote end of HttpShardChannel:
+///
+///   POST /shard/plan      EncodePlanRequest  -> EncodePlanResult
+///   POST /shard/validate  EncodeValidateRequest -> EncodeOutcomes
+///   POST /shard/release   decimal token      -> "ok"
+///   POST /shard/subquery  EncodeQueryRequest -> EncodeQueryResponse
+///
+/// Handlers run inline on the server's event-loop threads — fine for
+/// plan/validate/release (bounded CPU work), and SubQuery blocks the
+/// loop thread for the sub-query's duration, a documented v0 limitation
+/// (dedicate a server to shard traffic, or size event_threads for it).
+/// `node` must outlive the server the handler is installed on.
+HttpServer::ExtraHandler MakeShardHttpHandler(ShardNode& node);
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SHARD_CHANNEL_H_

@@ -1,0 +1,537 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/thread_pool.h"
+#include "query/aggregate.h"
+
+namespace kgaq {
+
+const char* ShardModeToString(ShardMode mode) {
+  switch (mode) {
+    case ShardMode::kDeterministicMerge:
+      return "deterministic_merge";
+    case ShardMode::kFederated:
+      return "federated";
+  }
+  return "unknown";
+}
+
+Coordinator::Coordinator(std::vector<std::unique_ptr<ShardChannel>> channels,
+                         CoordinatorOptions options)
+    : channels_(std::move(channels)), options_(std::move(options)) {}
+
+CoordinatorStats Coordinator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+QueryResponse Coordinator::Execute(const QueryRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto started = std::chrono::steady_clock::now();
+  const uint64_t id = next_index_++;
+  ++stats_.submitted;
+
+  // Same effective-options assembly as QueryService's admit path, so a
+  // coordinator and an unsharded service given the same request sequence
+  // run identical engine configurations (the parity tests rely on it).
+  const uint64_t seed = request.seed.has_value()
+                            ? *request.seed
+                            : QueryService::QuerySeed(options_.base_seed, id);
+  EngineOptions opts = options_.engine;
+  opts.seed = seed;
+  opts.shard = ShardSelector{};  // the coordinator replays the GLOBAL run
+  if (request.error_bound.has_value()) opts.error_bound = *request.error_bound;
+  if (request.confidence_level.has_value()) {
+    opts.confidence_level = *request.confidence_level;
+  }
+  if (request.max_rounds.has_value()) opts.max_rounds = *request.max_rounds;
+  const Deadline deadline = request.deadline_ms > 0.0
+                                ? Deadline::AfterMillis(request.deadline_ms)
+                                : Deadline::Infinite();
+
+  QueryResponse response;
+  if (channels_.empty()) {
+    response.state = QueryState::kFailed;
+    response.status = Status::FailedPrecondition("coordinator has no shards");
+  } else if (options_.mode == ShardMode::kDeterministicMerge) {
+    response = ExecuteDeterministic(request.query, opts, deadline);
+  } else {
+    response = ExecuteFederated(request, opts, seed);
+  }
+  response.id = id;
+  response.seed_used = seed;
+  response.run_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+
+  switch (response.state) {
+    case QueryState::kDone:
+      ++stats_.done;
+      break;
+    case QueryState::kFailed:
+      ++stats_.failed;
+      break;
+    case QueryState::kDeadlineExceeded:
+      ++stats_.deadline_expired;
+      break;
+    case QueryState::kCancelled:
+      ++stats_.cancelled;
+      break;
+    case QueryState::kQueued:
+    case QueryState::kRunning:
+      // Execute only returns terminal states; count defensively as done.
+      ++stats_.done;
+      break;
+  }
+  if (response.degraded) ++stats_.degraded;
+  return response;
+}
+
+Result<Coordinator::MergedPlan> Coordinator::ScatterPlan(
+    const AggregateQuery& query, const EngineOptions& options) {
+  const size_t n = channels_.size();
+  std::vector<Result<ShardPlanResult>> plans(
+      n, Result<ShardPlanResult>(ShardPlanResult{}));
+  ParallelFor(GlobalPool(), n, [&](size_t s) {
+    plans[s] = channels_[s]->Plan(ShardPlanRequest{query, options});
+  });
+
+  MergedPlan merged;
+  merged.tokens.assign(n, 0);
+  merged.shard_live.assign(n, false);
+  size_t live = 0;
+  Status last_error;
+  for (size_t s = 0; s < n; ++s) {
+    if (!plans[s].ok()) {
+      last_error = plans[s].status();
+      continue;
+    }
+    merged.shard_live[s] = true;
+    merged.tokens[s] = plans[s]->token;
+    ++live;
+  }
+  if (live == 0) {
+    return Status::Unavailable("all " + std::to_string(n) +
+                               " shards failed at plan; last error: " +
+                               last_error.ToString());
+  }
+
+  if (KGAQ_FAULT_POINT("shard.merge")) {
+    // Release what we planned before failing, or shards leak sessions.
+    for (size_t s = 0; s < n; ++s) {
+      if (merged.shard_live[s]) channels_[s]->Release(merged.tokens[s]);
+    }
+    return Status::Internal("injected: shard merge failed");
+  }
+
+  // Cross-shard consistency: every live shard must have planned the same
+  // global candidate array (same size, same GROUP-BY shape). A mismatch
+  // means the shards disagree about the query or the partition — an
+  // internal error, never silently a wrong answer.
+  bool first = true;
+  for (size_t s = 0; s < n; ++s) {
+    if (!merged.shard_live[s]) continue;
+    if (first) {
+      merged.num_candidates = plans[s]->num_candidates;
+      merged.group_by_enabled = plans[s]->group_by_enabled;
+      first = false;
+    } else if (plans[s]->num_candidates != merged.num_candidates ||
+               plans[s]->group_by_enabled != merged.group_by_enabled) {
+      return Status::Internal(
+          "shards disagree on the global candidate array (nc " +
+          std::to_string(plans[s]->num_candidates) + " vs " +
+          std::to_string(merged.num_candidates) + ")");
+    }
+  }
+
+  // k-way merge by ascending global index. Each shard's slice is already
+  // ascending, so a sort of the concatenation is deterministic and cheap
+  // relative to planning.
+  struct Entry {
+    uint64_t index;
+    NodeId node;
+    double prob;
+    uint32_t owner;
+  };
+  std::vector<Entry> entries;
+  for (size_t s = 0; s < n; ++s) {
+    if (!merged.shard_live[s]) continue;
+    const ShardPlanResult& plan = *plans[s];
+    for (size_t i = 0; i < plan.indices.size(); ++i) {
+      entries.push_back(Entry{plan.indices[i], plan.nodes[i], plan.probs[i],
+                              static_cast<uint32_t>(s)});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.index < b.index; });
+  for (size_t i = 0; i + 1 < entries.size(); ++i) {
+    if (entries[i].index == entries[i + 1].index) {
+      return Status::Internal("two shards both claim candidate index " +
+                              std::to_string(entries[i].index));
+    }
+  }
+
+  merged.full_coverage = (live == n);
+  if (merged.full_coverage) {
+    // Coverage check: the union of owned slices must be EXACTLY the
+    // global array — then merged position i IS global index i and the
+    // distribution needs (and gets) no renormalization, preserving
+    // bitwise parity with the unsharded run.
+    if (entries.size() != merged.num_candidates) {
+      return Status::Internal(
+          "owned slices cover " + std::to_string(entries.size()) + " of " +
+          std::to_string(merged.num_candidates) +
+          " global candidates (halo too small?)");
+    }
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].index != i) {
+        return Status::Internal("candidate index " + std::to_string(i) +
+                                " missing from every shard's owned slice");
+      }
+    }
+  } else if (entries.empty()) {
+    return Status::Unavailable(
+        "the shards lost at plan time owned every candidate");
+  }
+
+  merged.nodes.reserve(entries.size());
+  merged.probs.reserve(entries.size());
+  merged.owner.reserve(entries.size());
+  merged.global_index.reserve(entries.size());
+  double prob_sum = 0.0;
+  for (const Entry& e : entries) {
+    merged.nodes.push_back(e.node);
+    merged.probs.push_back(e.prob);
+    merged.owner.push_back(e.owner);
+    merged.global_index.push_back(e.index);
+    prob_sum += e.prob;
+  }
+  if (!merged.full_coverage) {
+    // Partial coverage: the draw distribution is the merged probs
+    // renormalized by their own sum, so each item's recorded draw
+    // probability equals its actual draw probability and the HT estimate
+    // over the surviving shards stays unbiased FOR THE SURVIVING
+    // CANDIDATES. The answer is marked degraded upstream.
+    if (prob_sum <= 0.0) {
+      return Status::Unavailable("surviving candidates carry no draw mass");
+    }
+    for (double& p : merged.probs) p /= prob_sum;
+  }
+  return merged;
+}
+
+void Coordinator::ReleasePlans(const MergedPlan& plan) {
+  for (size_t s = 0; s < channels_.size(); ++s) {
+    // Best-effort: a shard that died keeps nothing worth releasing, and
+    // ShardNode::Release is idempotent.
+    if (plan.shard_live[s]) channels_[s]->Release(plan.tokens[s]);
+  }
+}
+
+QueryResponse Coordinator::ExecuteDeterministic(const AggregateQuery& query,
+                                                const EngineOptions& options,
+                                                Deadline deadline) {
+  QueryResponse response;
+  auto merged = ScatterPlan(query, options);
+  if (!merged.ok()) {
+    response.state = QueryState::kFailed;
+    response.status = merged.status();
+    return response;
+  }
+  const MergedPlan& plan = *merged;
+  const size_t n = channels_.size();
+
+  // The outsourced per-draw fold: map merged positions back to (owner
+  // shard, global index), batch per shard, validate in parallel, scatter
+  // the outcomes back into draw order. Any shard failure fails the whole
+  // round — the session retires with kShardLost and its completed rounds
+  // intact.
+  std::vector<std::vector<size_t>> positions_by_shard(n);
+  std::vector<std::vector<size_t>> indices_by_shard(n);
+  RemoteEvaluator evaluator = [&](std::span<const size_t> draws,
+                                  std::vector<NodeOutcome>& out) -> Status {
+    for (auto& v : positions_by_shard) v.clear();
+    for (auto& v : indices_by_shard) v.clear();
+    for (size_t j = 0; j < draws.size(); ++j) {
+      const size_t position = draws[j];
+      const uint32_t owner = plan.owner[position];
+      positions_by_shard[owner].push_back(j);
+      indices_by_shard[owner].push_back(
+          static_cast<size_t>(plan.global_index[position]));
+    }
+    out.assign(draws.size(), NodeOutcome{});
+    std::vector<Status> statuses(n);
+    ParallelFor(GlobalPool(), n, [&](size_t s) {
+      if (indices_by_shard[s].empty()) return;
+      ShardValidateRequest req;
+      req.token = plan.tokens[s];
+      req.indices = indices_by_shard[s];
+      auto outcomes = channels_[s]->Validate(req);
+      if (!outcomes.ok()) {
+        statuses[s] = outcomes.status();
+        return;
+      }
+      if (outcomes->size() != positions_by_shard[s].size()) {
+        statuses[s] = Status::Internal("shard returned " +
+                                       std::to_string(outcomes->size()) +
+                                       " outcomes for " +
+                                       std::to_string(indices_by_shard[s].size()) +
+                                       " draws");
+        return;
+      }
+      for (size_t j = 0; j < outcomes->size(); ++j) {
+        out[positions_by_shard[s][j]] = (*outcomes)[j];
+      }
+    });
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  };
+
+  FederatedSessionSpec spec;
+  spec.options = options;
+  spec.query = query;
+  spec.candidates = plan.nodes;
+  spec.probabilities = plan.probs;
+  spec.group_by_enabled = plan.group_by_enabled;
+  spec.evaluator = evaluator;
+  std::unique_ptr<QuerySession> session =
+      QuerySession::CreateFederated(std::move(spec));
+  session->SetStopControl(nullptr, deadline);
+  session->BeginRun(options.error_bound);
+  while (!session->StepRound()) {
+  }
+  response.result = session->FinishRun();
+  const StopCause cause = session->stop_cause();
+  ReleasePlans(plan);
+
+  switch (cause) {
+    case StopCause::kNone:
+      response.state = QueryState::kDone;
+      response.degraded = !plan.full_coverage;
+      break;
+    case StopCause::kDeadlineExceeded:
+      response.state = QueryState::kDeadlineExceeded;
+      response.degraded = response.result.rounds >= 1;
+      break;
+    case StopCause::kShardLost:
+      if (response.result.rounds >= 1) {
+        // Completed rounds stand: a valid (if wider) estimate over the
+        // full pre-loss schedule. An answer, not an error.
+        response.state = QueryState::kDone;
+        response.degraded = true;
+      } else {
+        response.state = QueryState::kFailed;
+        response.status = Status::Unavailable(
+            "a shard was lost before the first round completed");
+      }
+      break;
+    case StopCause::kCancelled:
+    case StopCause::kShed:
+      // Unreachable: the coordinator installs no cancel flag and never
+      // requests shedding. Treat as done defensively.
+      response.state = QueryState::kDone;
+      break;
+  }
+  if (response.degraded && response.result.rounds > 0 &&
+      std::abs(response.result.v_hat) > 0.0) {
+    // Same contract as QueryService::Retire: a degraded answer reports
+    // the relative CI half-width it actually achieved.
+    response.result.error_bound =
+        response.result.moe / std::abs(response.result.v_hat);
+  }
+  return response;
+}
+
+QueryResponse Coordinator::ExecuteFederated(const QueryRequest& request,
+                                            const EngineOptions& options,
+                                            uint64_t seed) {
+  QueryResponse response;
+  const size_t n = channels_.size();
+  const AggregateFunction fn = request.query.function;
+  const bool is_avg = fn == AggregateFunction::kAvg;
+  const bool is_extreme =
+      fn == AggregateFunction::kMax || fn == AggregateFunction::kMin;
+
+  if (is_avg && request.query.group_by.enabled()) {
+    response.state = QueryState::kFailed;
+    response.status = Status::Unimplemented(
+        "AVG GROUP-BY is not combinable in federated mode; use "
+        "deterministic-merge");
+    return response;
+  }
+
+  // Per-shard sub-requests. AVG decomposes into a SUM leg and a COUNT
+  // leg per shard (AVG of a union is not the sum of AVGs); the legs draw
+  // from distinct derived seed streams so they are independent.
+  struct Leg {
+    size_t shard;
+    QueryRequest request;
+  };
+  std::vector<Leg> legs;
+  for (size_t s = 0; s < n; ++s) {
+    QueryRequest sub = request;
+    sub.error_bound = options.error_bound;
+    sub.confidence_level = options.confidence_level;
+    sub.max_rounds = options.max_rounds;
+    if (is_avg) {
+      QueryRequest sum_leg = sub;
+      sum_leg.query.function = AggregateFunction::kSum;
+      sum_leg.seed = QueryService::QuerySeed(seed ^ 0x5353u, s);
+      legs.push_back(Leg{s, std::move(sum_leg)});
+      QueryRequest count_leg = sub;
+      count_leg.query.function = AggregateFunction::kCount;
+      count_leg.seed = QueryService::QuerySeed(seed ^ 0xC0C0u, s);
+      legs.push_back(Leg{s, std::move(count_leg)});
+    } else {
+      sub.seed = QueryService::QuerySeed(seed, s);
+      legs.push_back(Leg{s, std::move(sub)});
+    }
+  }
+
+  std::vector<Result<QueryResponse>> replies(
+      legs.size(), Result<QueryResponse>(QueryResponse{}));
+  ParallelFor(GlobalPool(), legs.size(), [&](size_t i) {
+    replies[i] = channels_[legs[i].shard]->SubQuery(legs[i].request);
+  });
+
+  // A leg is usable when it reached the shard AND came back with an
+  // estimate: done, or deadline-expired after at least one round.
+  auto usable = [](const Result<QueryResponse>& r) {
+    if (!r.ok()) return false;
+    if (r->state == QueryState::kDone) return true;
+    return r->state == QueryState::kDeadlineExceeded && r->result.rounds > 0;
+  };
+
+  // Per-shard usability: an AVG shard needs BOTH legs.
+  std::vector<bool> shard_usable(n, true);
+  for (size_t i = 0; i < legs.size(); ++i) {
+    if (!usable(replies[i])) shard_usable[legs[i].shard] = false;
+  }
+  size_t usable_shards = 0;
+  for (size_t s = 0; s < n; ++s) {
+    if (shard_usable[s]) ++usable_shards;
+  }
+  if (usable_shards == 0) {
+    Status last = Status::Unavailable("no shard produced a usable answer");
+    for (const auto& r : replies) {
+      if (!r.ok()) last = r.status();
+      else if (r->state == QueryState::kFailed) last = r->status;
+    }
+    response.state = QueryState::kFailed;
+    response.status = std::move(last);
+    return response;
+  }
+
+  AggregateResult& out = response.result;
+  out.confidence_level = options.confidence_level;
+  out.error_bound = options.error_bound;
+  bool all_satisfied = true;
+  bool any_deadline = false;
+  bool any_sub_degraded = false;
+  double sum_v = 0.0, sum_var = 0.0;
+  double avg_sum = 0.0, avg_sum_var = 0.0, avg_count = 0.0,
+         avg_count_var = 0.0;
+  double extreme = 0.0;
+  bool extreme_seen = false;
+  std::map<double, GroupEstimate> groups;
+  for (size_t i = 0; i < legs.size(); ++i) {
+    const size_t s = legs[i].shard;
+    if (!shard_usable[s]) continue;
+    const QueryResponse& r = *replies[i];
+    const AggregateResult& sub = r.result;
+    all_satisfied = all_satisfied && sub.satisfied;
+    any_deadline = any_deadline || r.state == QueryState::kDeadlineExceeded;
+    any_sub_degraded = any_sub_degraded || r.degraded;
+    out.rounds = std::max(out.rounds, sub.rounds);
+    out.total_draws += sub.total_draws;
+    out.correct_draws += sub.correct_draws;
+    if (is_avg) {
+      // num_candidates is identical across a shard's two legs; count once.
+      if (legs[i].request.query.function == AggregateFunction::kSum) {
+        out.num_candidates += sub.num_candidates;
+        avg_sum += sub.v_hat;
+        avg_sum_var += sub.moe * sub.moe;
+      } else {
+        avg_count += sub.v_hat;
+        avg_count_var += sub.moe * sub.moe;
+      }
+      continue;
+    }
+    out.num_candidates += sub.num_candidates;
+    if (is_extreme) {
+      if (!extreme_seen) {
+        extreme = sub.v_hat;
+        extreme_seen = true;
+      } else {
+        extreme = fn == AggregateFunction::kMax
+                      ? std::max(extreme, sub.v_hat)
+                      : std::min(extreme, sub.v_hat);
+      }
+      continue;
+    }
+    sum_v += sub.v_hat;
+    sum_var += sub.moe * sub.moe;
+    for (const GroupEstimate& g : sub.groups) {
+      // bucket_lower is key * bucket_width computed identically on every
+      // shard, so exact double equality is the right join key.
+      GroupEstimate& acc = groups[g.bucket_lower];
+      acc.bucket_lower = g.bucket_lower;
+      acc.v_hat += g.v_hat;
+      acc.moe = std::sqrt(acc.moe * acc.moe + g.moe * g.moe);
+      acc.support += g.support;
+      acc.satisfied = (acc.support == g.support) ? g.satisfied
+                                                 : (acc.satisfied &&
+                                                    g.satisfied);
+    }
+  }
+
+  if (is_avg) {
+    if (avg_count <= 0.0) {
+      response.state = QueryState::kFailed;
+      response.status =
+          Status::Internal("federated AVG combined a zero COUNT estimate");
+      return response;
+    }
+    out.v_hat = avg_sum / avg_count;
+    // First-order (delta-method) propagation of the two legs' relative
+    // errors; conservative because the legs are independent streams.
+    const double rel_sum =
+        avg_sum != 0.0 ? std::sqrt(avg_sum_var) / std::abs(avg_sum) : 0.0;
+    const double rel_count = std::sqrt(avg_count_var) / avg_count;
+    out.moe = std::abs(out.v_hat) *
+              std::sqrt(rel_sum * rel_sum + rel_count * rel_count);
+    if (avg_sum == 0.0) out.moe = std::sqrt(avg_sum_var) / avg_count;
+  } else if (is_extreme) {
+    out.v_hat = extreme;
+    out.moe = 0.0;  // MAX/MIN carry no guarantee, sharded or not
+  } else {
+    out.v_hat = sum_v;
+    out.moe = std::sqrt(sum_var);
+    out.groups.reserve(groups.size());
+    for (auto& [lower, g] : groups) out.groups.push_back(g);
+  }
+
+  const bool all_usable = usable_shards == n;
+  out.satisfied = all_usable && all_satisfied && !is_extreme &&
+                  (std::abs(out.v_hat) > 0.0
+                       ? out.moe <= options.error_bound * std::abs(out.v_hat)
+                       : out.moe == 0.0);
+  response.degraded = !all_usable || any_deadline || any_sub_degraded;
+  response.state =
+      any_deadline ? QueryState::kDeadlineExceeded : QueryState::kDone;
+  if (response.degraded && out.rounds > 0 && std::abs(out.v_hat) > 0.0) {
+    out.error_bound = out.moe / std::abs(out.v_hat);
+  }
+  return response;
+}
+
+}  // namespace kgaq

@@ -1,0 +1,145 @@
+#include "shard/partitioner.h"
+
+#include <deque>
+#include <limits>
+
+#include "common/shard_hash.h"
+
+namespace kgaq {
+
+namespace {
+
+constexpr uint32_t kUnreached = std::numeric_limits<uint32_t>::max();
+
+/// Multi-source BFS distance (in hops) from the owned set, capped at
+/// `max_depth`; kUnreached beyond the cap.
+std::vector<uint32_t> HaloDistances(const KnowledgeGraph& g,
+                                    const std::vector<NodeId>& sources,
+                                    uint32_t max_depth) {
+  std::vector<uint32_t> dist(g.NumNodes(), kUnreached);
+  std::deque<NodeId> frontier;
+  for (NodeId u : sources) {
+    dist[u] = 0;
+    frontier.push_back(u);
+  }
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    if (dist[u] >= max_depth) continue;
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (dist[nb.node] == kUnreached) {
+        dist[nb.node] = dist[u] + 1;
+        frontier.push_back(nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+uint32_t KgPartitioner::OwnerOf(const KnowledgeGraph& g, NodeId u,
+                                uint32_t num_shards) {
+  return ShardOfName(g.NodeName(u), num_shards);
+}
+
+Result<std::vector<ShardCut>> KgPartitioner::Partition(
+    const KnowledgeGraph& g, const Options& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.halo_hops == 0) {
+    return Status::InvalidArgument("halo_hops must be >= 1");
+  }
+  const size_t n = g.NumNodes();
+  const uint32_t num_shards = options.num_shards;
+
+  // Ownership is a pure function of the node name — computed once, reused
+  // per shard.
+  std::vector<uint32_t> owner(n);
+  for (NodeId u = 0; u < n; ++u) {
+    owner[u] = ShardOfName(g.NodeName(u), num_shards);
+  }
+
+  std::vector<ShardCut> shards;
+  shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    ShardCut cut;
+    for (NodeId u = 0; u < n; ++u) {
+      if (owner[u] == s) cut.owned.push_back(u);
+    }
+
+    // A triple is kept iff >= 1 endpoint is within halo_hops-1 of the
+    // owned set. The predicate is symmetric in the endpoints, so a
+    // triple's two arcs (forward at the subject, reversed at the object)
+    // are kept or dropped together and the arcs/2 == triples invariant
+    // survives the cut.
+    const std::vector<uint32_t> dist =
+        HaloDistances(g, cut.owned, options.halo_hops - 1);
+    auto inner = [&dist](NodeId u) { return dist[u] != kUnreached; };
+
+    KnowledgeGraph& sg = cut.graph;
+    // Everything except the adjacency is copied verbatim: identical
+    // dictionaries, node table, type/attr CSRs and name index mean
+    // identical id assignment and iteration order on every shard.
+    sg.names_ = g.names_;
+    sg.types_ = g.types_;
+    sg.predicates_ = g.predicates_;
+    sg.attributes_ = g.attributes_;
+    sg.node_names_ = g.node_names_;
+    sg.type_offsets_ = g.type_offsets_;
+    sg.type_ids_ = g.type_ids_;
+    sg.type_index_offsets_ = g.type_index_offsets_;
+    sg.type_index_members_ = g.type_index_members_;
+    sg.attr_offsets_ = g.attr_offsets_;
+    sg.attr_ids_ = g.attr_ids_;
+    sg.attr_values_ = g.attr_values_;
+    sg.name_to_node_ = g.name_to_node_;
+
+    sg.adj_offsets_.assign(n + 1, 0);
+    size_t kept_arcs = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      sg.adj_offsets_[u] = kept_arcs;
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        if (inner(u) || inner(nb.node)) ++kept_arcs;
+      }
+    }
+    sg.adj_offsets_[n] = kept_arcs;
+    sg.adjacency_.reserve(kept_arcs);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        if (inner(u) || inner(nb.node)) sg.adjacency_.push_back(nb);
+      }
+    }
+    sg.num_triples_ = kept_arcs / 2;
+
+    cut.info.scheme = 0;
+    cut.info.num_shards = num_shards;
+    cut.info.shard_index = s;
+    cut.info.halo_hops = options.halo_hops;
+    cut.info.owned_nodes = cut.owned.size();
+    cut.info.global_triples = g.NumEdges();
+    shards.push_back(std::move(cut));
+  }
+  return shards;
+}
+
+Status KgPartitioner::WriteShardSnapshots(const KnowledgeGraph& g,
+                                          const EmbeddingModel* model,
+                                          const Options& options,
+                                          const std::string& path_prefix,
+                                          std::vector<std::string>* paths_out) {
+  auto shards = Partition(g, options);
+  if (!shards.ok()) return shards.status();
+  for (const ShardCut& cut : *shards) {
+    const std::string path = path_prefix + ".shard" +
+                             std::to_string(cut.info.shard_index) + "-of" +
+                             std::to_string(cut.info.num_shards) + ".kgsnap";
+    KGAQ_RETURN_IF_ERROR(
+        SaveEngineSnapshot(cut.graph, model, &cut.info, path));
+    if (paths_out != nullptr) paths_out->push_back(path);
+  }
+  return Status::OK();
+}
+
+}  // namespace kgaq

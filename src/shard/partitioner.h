@@ -1,0 +1,73 @@
+#ifndef KGAQ_SHARD_PARTITIONER_H_
+#define KGAQ_SHARD_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/embedding_model.h"
+#include "kg/knowledge_graph.h"
+#include "kg/snapshot.h"
+
+namespace kgaq {
+
+/// One shard cut from a global KG.
+///
+/// The shard graph keeps the global graph's FULL node table, dictionaries,
+/// type and attribute arrays verbatim — only the adjacency CSR is
+/// restricted to the shard's triple subset. That means shard-local
+/// NodeId/PredicateId/TypeId/AttributeId assignments equal the global
+/// ones, which is the foundation of the bitwise-parity contract in
+/// docs/sharding.md: a per-shard engine builds the same candidate ids and
+/// iteration orders a global engine would.
+struct ShardCut {
+  KnowledgeGraph graph;
+  KgPartitionInfo info;
+  /// The nodes this shard owns (hash-assigned), ascending NodeId order.
+  std::vector<NodeId> owned;
+};
+
+/// Splits a KG into N shards by node-name hash (common/shard_hash.h,
+/// partition scheme 0) with halo replication around the owned set.
+///
+/// Ownership: node u belongs to shard ShardOfName(name(u), N). Edge
+/// placement: a triple is kept on shard s iff at least one endpoint lies
+/// within BFS distance halo_hops-1 of s's owned set. halo_hops = 1 is
+/// the minimal cut — every arc incident to an owned node, i.e. cut edges
+/// replicated onto both endpoint owners (the owner of any replicated
+/// node is recomputable from the partition scheme, which is the "owner
+/// annotation"). Larger halos buy unbiased longer random walks from
+/// owned candidates at the cost of more replication; see docs/sharding.md
+/// for the trade-off.
+class KgPartitioner {
+ public:
+  struct Options {
+    uint32_t num_shards = 2;
+    /// BFS halo depth. Deterministic-merge parity needs the halo to
+    /// cover the query's walk reach from every owned candidate; the
+    /// default is effectively "whole component" on bench-scale KGs.
+    uint32_t halo_hops = 16;
+  };
+
+  /// Cuts the graph into `options.num_shards` in-memory shards.
+  static Result<std::vector<ShardCut>> Partition(const KnowledgeGraph& g,
+                                                 const Options& options);
+
+  /// Cuts the graph and writes one v2 snapshot per shard at
+  /// `<path_prefix>.shard<i>-of<N>.kgsnap` (embedding included when
+  /// `model` is non-null). Appends the written paths to `paths_out` when
+  /// non-null.
+  static Status WriteShardSnapshots(const KnowledgeGraph& g,
+                                    const EmbeddingModel* model,
+                                    const Options& options,
+                                    const std::string& path_prefix,
+                                    std::vector<std::string>* paths_out);
+
+  /// Owner shard of `u` under partition scheme 0.
+  static uint32_t OwnerOf(const KnowledgeGraph& g, NodeId u,
+                          uint32_t num_shards);
+};
+
+}  // namespace kgaq
+
+#endif  // KGAQ_SHARD_PARTITIONER_H_

@@ -1,0 +1,77 @@
+#include "shard/sharded_engine.h"
+
+#include <utility>
+
+namespace kgaq {
+
+std::vector<QueryService::ServiceStats> ShardedEngine::shard_stats() const {
+  std::vector<QueryService::ServiceStats> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node->service_stats());
+  return out;
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Assemble(
+    std::unique_ptr<ShardedEngine> engine,
+    const ShardedEngineOptions& options) {
+  std::vector<std::unique_ptr<ShardChannel>> channels;
+  channels.reserve(engine->nodes_.size());
+  for (auto& node : engine->nodes_) {
+    channels.push_back(std::make_unique<LocalShardChannel>(node.get()));
+  }
+  CoordinatorOptions coordinator_options;
+  coordinator_options.mode = options.mode;
+  coordinator_options.base_seed = options.base_seed;
+  coordinator_options.engine = options.service.engine;
+  engine->coordinator_ = std::make_unique<Coordinator>(
+      std::move(channels), std::move(coordinator_options));
+  return engine;
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
+    const KnowledgeGraph& graph, const EmbeddingModel& model,
+    ShardedEngineOptions options) {
+  KgPartitioner::Options part_options;
+  part_options.num_shards = options.num_shards;
+  part_options.halo_hops = options.halo_hops;
+  auto cuts = KgPartitioner::Partition(graph, part_options);
+  if (!cuts.ok()) return cuts.status();
+
+  std::unique_ptr<ShardedEngine> engine(new ShardedEngine());
+  // The cuts vector is moved in whole and never touched again: contexts
+  // below borrow references INTO it, so it must stay at its final
+  // addresses for the engine's lifetime.
+  engine->cuts_ = std::move(*cuts);
+  for (const ShardCut& cut : engine->cuts_) {
+    engine->contexts_.push_back(
+        std::make_shared<EngineContext>(cut.graph, model));
+    auto node = ShardNode::Create(engine->contexts_.back(), cut.info,
+                                  options.service);
+    if (!node.ok()) return node.status();
+    engine->nodes_.push_back(std::move(*node));
+  }
+  return Assemble(std::move(engine), options);
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::FromShardSnapshots(
+    const std::vector<std::string>& paths, ShardedEngineOptions options) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no shard snapshot paths given");
+  }
+  std::unique_ptr<ShardedEngine> engine(new ShardedEngine());
+  for (size_t s = 0; s < paths.size(); ++s) {
+    auto node = ShardNode::FromSnapshot(paths[s], options.service);
+    if (!node.ok()) return node.status();
+    const KgPartitionInfo& info = (*node)->info();
+    if (info.num_shards != paths.size() || info.shard_index != s) {
+      return Status::InvalidArgument(
+          "'" + paths[s] + "' is shard " + std::to_string(info.shard_index) +
+          " of " + std::to_string(info.num_shards) + ", expected shard " +
+          std::to_string(s) + " of " + std::to_string(paths.size()));
+    }
+    engine->nodes_.push_back(std::move(*node));
+  }
+  return Assemble(std::move(engine), options);
+}
+
+}  // namespace kgaq

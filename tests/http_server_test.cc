@@ -821,5 +821,83 @@ TEST(HttpEventLoopTest, PooledClientReusesThenReconnectsAfterIdleReap) {
   EXPECT_EQ(client.stats().reconnects, 2u);
 }
 
+// The per-host pool grows on demand up to connections_per_host: while a
+// long-poll holds the first pooled connection, concurrent fetches open a
+// second one instead of overflowing, and later fetches reuse it.
+TEST(HttpEventLoopTest, PoolGrowsToConnectionsPerHostWithoutOverflow) {
+  ServiceOptions sopts;
+  sopts.base_seed = 606;
+  BoundedStack stack(sopts);
+  auto submitted = stack.Fetch("POST", "/query?eb=1e-9&max_rounds=1000000",
+                               UnsatisfiableText());
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted->status_code, 202) << submitted->body;
+  const std::string id = JsonField(submitted->body, "id");
+
+  RetryOptions ropts;
+  ropts.connections_per_host = 2;
+  RetryingHttpClient client(ropts);
+  std::thread holder([&] {
+    // Occupies pooled connection #1 for the duration of the wait.
+    auto r = client.Fetch("127.0.0.1", stack.server->port(), "GET",
+                          "/result/" + id + "?wait=600");
+    EXPECT_TRUE(r.ok()) << r.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 0; i < 3; ++i) {
+    auto r = client.Fetch("127.0.0.1", stack.server->port(), "GET",
+                          "/healthz");
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->status_code, 200);
+  }
+  holder.join();
+  (void)stack.Fetch("POST", "/cancel/" + id);
+
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.overflows, 0u);
+  EXPECT_EQ(stats.reconnects, 2u);  // one per pooled connection
+  EXPECT_GE(stats.reuses, 2u);      // healthz #2/#3 rode connection #2
+}
+
+// A saturated pool (every connection checked out) overflows onto a
+// temporary one-shot connection instead of queueing behind an in-flight
+// round trip — burst latency degrades to pre-pool behavior, not head-of-
+// line blocking. The pooled connection stays reusable afterwards.
+TEST(HttpEventLoopTest, SaturatedPoolOverflowsInsteadOfQueueing) {
+  ServiceOptions sopts;
+  sopts.base_seed = 607;
+  BoundedStack stack(sopts);
+  auto submitted = stack.Fetch("POST", "/query?eb=1e-9&max_rounds=1000000",
+                               UnsatisfiableText());
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted->status_code, 202) << submitted->body;
+  const std::string id = JsonField(submitted->body, "id");
+
+  RetryOptions ropts;
+  ropts.connections_per_host = 1;
+  RetryingHttpClient client(ropts);
+  std::thread holder([&] {
+    auto r = client.Fetch("127.0.0.1", stack.server->port(), "GET",
+                          "/result/" + id + "?wait=600");
+    EXPECT_TRUE(r.ok()) << r.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 0; i < 2; ++i) {
+    auto r = client.Fetch("127.0.0.1", stack.server->port(), "GET",
+                          "/healthz");
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->status_code, 200);
+  }
+  holder.join();
+  (void)stack.Fetch("POST", "/cancel/" + id);
+
+  EXPECT_GE(client.stats().overflows, 2u);
+  // The single pooled connection survived the burst and is reused.
+  auto again = client.Fetch("127.0.0.1", stack.server->port(), "GET",
+                            "/healthz");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_GE(client.stats().reuses, 1u);
+}
+
 }  // namespace
 }  // namespace kgaq

@@ -301,6 +301,100 @@ TEST(SnapshotTest, CorruptionSweepNeverCrashesAlwaysCleanStatus) {
   std::remove(mutated.c_str());
 }
 
+// v2 partition-map section: saved with partition info, a snapshot loads
+// back the exact KgPartitionInfo plus a bit-identical graph.
+TEST(SnapshotTest, PartitionSectionRoundTripsExactly) {
+  const auto& ds = MiniDataset();
+  KgPartitionInfo info;
+  info.scheme = 0;
+  info.num_shards = 4;
+  info.shard_index = 2;
+  info.halo_hops = 16;
+  info.owned_nodes = 123;
+  info.global_triples = ds.graph().NumEdges();
+  const std::string path = TempPath("partition.snap");
+  ASSERT_TRUE(SaveEngineSnapshot(ds.graph(), &ds.reference_embedding(),
+                                 &info, path)
+                  .ok());
+  auto snap = LoadEngineSnapshot(path);
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  ASSERT_TRUE(snap->partition.has_value());
+  EXPECT_TRUE(*snap->partition == info);
+  ASSERT_NE(snap->embedding, nullptr);
+  ExpectGraphsIdentical(ds.graph(), snap->graph);
+  std::remove(path.c_str());
+}
+
+// Back-compat contract: an unsharded save still writes format v1 —
+// byte-identical to pre-partition-map output — and loads with no
+// partition info. Old snapshot files on disk keep working unchanged.
+TEST(SnapshotTest, UnshardedSnapshotsStayV1AndLoadWithoutPartition) {
+  const auto& ds = MiniDataset();
+  const std::string path = TempPath("v1_compat.snap");
+  ASSERT_TRUE(SaveKgSnapshot(ds.graph(), path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // Version field (offset 8, u32 LE) says 1: the writer only bumps to v2
+  // when a partition section is actually present.
+  ASSERT_GT(bytes.size(), 17u);
+  EXPECT_EQ(bytes[8], 1);
+  EXPECT_EQ(bytes[9], 0);
+
+  auto snap = LoadEngineSnapshot(path);
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  EXPECT_FALSE(snap->partition.has_value());
+  ExpectGraphsIdentical(ds.graph(), snap->graph);
+
+  // A v1 header claiming a partition section is a contradiction the
+  // reader must refuse (flags byte sits at offset 16; bit 0x2).
+  std::string lying = bytes;
+  lying[16] = static_cast<char>(lying[16] | 0x2);
+  const std::string bad = TempPath("v1_with_partition.snap");
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out.write(lying.data(), static_cast<std::streamsize>(lying.size()));
+  }
+  auto r = LoadEngineSnapshot(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("partition"), std::string::npos)
+      << r.status();
+  std::remove(bad.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsInconsistentPartitionSection) {
+  const auto& ds = MiniDataset();
+  KgPartitionInfo info;
+  info.num_shards = 4;
+  info.shard_index = 2;
+  info.halo_hops = 16;
+  const std::string path = TempPath("bad_partition.snap");
+  ASSERT_TRUE(SaveEngineSnapshot(ds.graph(), nullptr, &info, path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // Partition section starts at offset 17: scheme, num_shards,
+  // shard_index, halo_hops (u32 each). Corrupt shard_index past
+  // num_shards.
+  bytes[25] = static_cast<char>(0xFF);
+  const std::string bad = TempPath("bad_partition_mut.snap");
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto r = LoadEngineSnapshot(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("partition"), std::string::npos)
+      << r.status();
+  std::remove(bad.c_str());
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotTest, ShortReadFaultPointInjectsCleanIoError) {
   const auto& ds = MiniDataset();
   const std::string path = TempPath("faulted.snap");
