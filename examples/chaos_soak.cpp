@@ -12,7 +12,16 @@
 //      server-side idle reaps, and the stale-connection retry path) for
 //      --seconds wall-clock seconds,
 //   5. verify at the end that every submission is accounted for in
-//      exactly one terminal bucket and nothing crashed, hung, or leaked.
+//      exactly one terminal bucket and nothing crashed, hung, or leaked,
+//   6. then run a REPLICATED 2-shard x 2-replica engine through a
+//      deterministic seeded kill/restart schedule (fault injection off;
+//      the chaos is replica death via KillSwitchChannel, never more than
+//      one dead replica per shard at a time) and hold it to the
+//      replication bar: zero failures, zero degraded answers, and every
+//      result bitwise-identical to the flat engine — replica loss that
+//      replication can absorb must be invisible. Whole-set loss must
+//      degrade gracefully, hedged validates must fire and stay
+//      parity-clean, and /stats must surface the shard tier.
 //
 // Exits non-zero on any accounting violation, making it a cheap
 // robustness gate: with ASan underneath, "the identity holds and the
@@ -34,6 +43,8 @@
 #include "serve/http_client.h"
 #include "serve/http_server.h"
 #include "serve/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/replica_set.h"
 #include "shard/sharded_engine.h"
 
 using namespace kgaq;
@@ -278,6 +289,213 @@ int main(int argc, char** argv) {
                 "releases\n",
                 s, (*sharded)->node(s).live_plan_sessions());
   }
+
+  // -------------------------------------------------------------------
+  // Phase 2: the replicated tier under a deterministic kill/restart
+  // schedule. Injection stays DISABLED — the chaos here is whole-replica
+  // death, flipped by KillSwitchChannel between queries — so the bar is
+  // absolute: while every shard keeps at least one live replica, every
+  // answer must be kDone, non-degraded, and bitwise-identical to the
+  // flat engine. Hedged validates run hot throughout (read-only, so
+  // racing replicas is parity-safe by construction).
+  const uint64_t rseed = seed ^ 0x5E7B4CULL;
+  KillSwitchChannel* switches[2][2] = {{nullptr, nullptr},
+                                       {nullptr, nullptr}};
+  ShardedEngineOptions replica_opts;
+  replica_opts.num_shards = 2;
+  replica_opts.replicas_per_shard = 2;
+  replica_opts.base_seed = rseed;
+  replica_opts.service.engine = sopts.engine;
+  replica_opts.replica.breaker.failure_threshold = 1;
+  // Cooldown 0: a restarted replica rejoins on the very next query's
+  // HalfOpen probe — recovery is deterministic, not timer-dependent.
+  replica_opts.replica.breaker.open_cooldown_ms = 0.0;
+  replica_opts.replica.hedge_after_ms = 0.01;
+  replica_opts.wrap_channel = [&switches](std::unique_ptr<ShardChannel> ch,
+                                          uint32_t s, uint32_t r) {
+    auto wrapped = std::make_unique<KillSwitchChannel>(std::move(ch));
+    switches[s][r] = wrapped.get();
+    return std::unique_ptr<ShardChannel>(std::move(wrapped));
+  };
+  auto replicated =
+      ShardedEngine::Create(ds.graph(), ds.reference_embedding(),
+                            replica_opts);
+  if (!replicated.ok()) {
+    std::fprintf(stderr, "replicated engine build failed: %s\n",
+                 replicated.status().ToString().c_str());
+    return 1;
+  }
+
+  // The flat reference the replicated answers must match bit for bit.
+  ServiceOptions ref_opts;
+  ref_opts.base_seed = rseed;
+  ref_opts.engine = sopts.engine;
+  auto reference = QueryService::RunBatch(ctx, queries, ref_opts);
+  for (const auto& r : reference) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "flat reference failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // xorshift64 over the soak seed: the kill/restart schedule is a pure
+  // function of --seed, so a failing run replays exactly.
+  uint64_t rng = rseed | 1;
+  auto next_rand = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  const int kReplicaQueries = 160;
+  int dead[2] = {-1, -1};  // dead replica index per shard, -1 = none
+  uint64_t kills = 0, restarts = 0;
+  for (int i = 0; i < kReplicaQueries; ++i) {
+    if (i % 5 == 2) {
+      // Flip one switch: restart the shard's dead replica if it has
+      // one, else kill one — the invariant "at most one dead replica
+      // per shard" holds by construction.
+      const uint32_t s = static_cast<uint32_t>(next_rand() % 2);
+      if (dead[s] >= 0) {
+        switches[s][dead[s]]->Restart();
+        dead[s] = -1;
+        ++restarts;
+      } else {
+        dead[s] = static_cast<int>(next_rand() % 2);
+        switches[s][dead[s]]->Kill();
+        ++kills;
+      }
+    }
+    QueryRequest req;
+    req.query = queries[i % queries.size()];
+    req.seed = QueryService::QuerySeed(rseed, i % queries.size());
+    QueryResponse resp = (*replicated)->Execute(req);
+    if (resp.state != QueryState::kDone || resp.degraded) {
+      std::fprintf(stderr,
+                   "REPLICA CHAOS VIOLATION: query %d state=%d "
+                   "degraded=%d status=%s (>=1 replica/shard was live)\n",
+                   i, static_cast<int>(resp.state),
+                   static_cast<int>(resp.degraded),
+                   resp.status.ToString().c_str());
+      return 1;
+    }
+    const AggregateResult& want = *reference[i % queries.size()];
+    if (resp.result.v_hat != want.v_hat || resp.result.moe != want.moe ||
+        resp.result.rounds != want.rounds ||
+        resp.result.total_draws != want.total_draws) {
+      std::fprintf(stderr, "REPLICA PARITY VIOLATION at query %d\n", i);
+      return 1;
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    if (dead[s] >= 0) switches[s][dead[s]]->Restart();
+  }
+
+  // Whole-set loss is the one thing replication cannot hide: with BOTH
+  // replicas of shard 0 down the answer degrades gracefully over the
+  // surviving shard (the plan-loss contract), it does not fail.
+  switches[0][0]->Kill();
+  switches[0][1]->Kill();
+  {
+    QueryRequest req;
+    req.query = queries[0];
+    QueryResponse resp = (*replicated)->Execute(req);
+    if (resp.state != QueryState::kDone || !resp.degraded) {
+      std::fprintf(stderr,
+                   "WHOLE-SET LOSS VIOLATION: state=%d degraded=%d "
+                   "status=%s\n",
+                   static_cast<int>(resp.state),
+                   static_cast<int>(resp.degraded),
+                   resp.status.ToString().c_str());
+      return 1;
+    }
+  }
+  switches[0][0]->Restart();
+  switches[0][1]->Restart();
+
+  // Coordinator identity + tier health for the replicated run.
+  const CoordinatorStats rcs = (*replicated)->coordinator().stats();
+  const uint64_t rbuckets = rcs.done + rcs.failed + rcs.cancelled +
+                            rcs.deadline_expired + rcs.rejected + rcs.shed;
+  if (rcs.submitted != static_cast<uint64_t>(kReplicaQueries) + 1 ||
+      rcs.submitted != rbuckets || rcs.failed != 0 || rcs.degraded != 1) {
+    std::fprintf(stderr,
+                 "REPLICA COORDINATOR VIOLATION: submitted=%llu "
+                 "buckets=%llu failed=%llu degraded=%llu\n",
+                 static_cast<unsigned long long>(rcs.submitted),
+                 static_cast<unsigned long long>(rbuckets),
+                 static_cast<unsigned long long>(rcs.failed),
+                 static_cast<unsigned long long>(rcs.degraded));
+    return 1;
+  }
+  uint64_t breaker_opens = 0, hedges_launched = 0, divergent = 0;
+  for (const ChannelHealth& h : (*replicated)->coordinator().channel_health()) {
+    breaker_opens += h.breaker_opens;
+    hedges_launched += h.hedges_launched;
+    divergent += h.divergent_plans;
+  }
+  if (kills > 0 && breaker_opens == 0) {
+    std::fprintf(stderr, "REPLICA HEALTH VIOLATION: %llu kills but no "
+                 "breaker ever opened\n",
+                 static_cast<unsigned long long>(kills));
+    return 1;
+  }
+  if (hedges_launched == 0) {
+    std::fprintf(stderr, "HEDGE VIOLATION: hedge_after_ms armed but no "
+                 "hedge ever launched\n");
+    return 1;
+  }
+  if (divergent != 0) {
+    std::fprintf(stderr, "DIVERGENCE VIOLATION: %llu replica plans failed "
+                 "the bit-identity check\n",
+                 static_cast<unsigned long long>(divergent));
+    return 1;
+  }
+  // Leak gate: injection was off and KillSwitchChannel passes Release
+  // through, so every plan session must have been retired.
+  for (size_t s = 0; s < (*replicated)->num_shards(); ++s) {
+    for (size_t r = 0; r < (*replicated)->num_replicas(s); ++r) {
+      const size_t live = (*replicated)->node(s, r).live_plan_sessions();
+      if (live != 0) {
+        std::fprintf(stderr,
+                     "REPLICA LEAK VIOLATION: shard %zu replica %zu has "
+                     "%zu live plan sessions\n", s, r, live);
+        return 1;
+      }
+    }
+  }
+
+  // The operator's view: shard-tier health spliced into /stats by the
+  // augmenter seam, served over a real socket.
+  HttpServer tier_server(service);
+  tier_server.SetStatsAugmenter(
+      [&replicated] { return RenderShardTierJson((*replicated)->coordinator()); });
+  if (Status s = tier_server.Start(); !s.ok()) {
+    std::fprintf(stderr, "tier server start failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  auto tier_stats = client.Fetch("127.0.0.1", tier_server.port(), "GET",
+                                 "/stats");
+  if (!tier_stats.ok() ||
+      tier_stats->body.find("\"shard_tier\"") == std::string::npos ||
+      tier_stats->body.find("\"failovers\"") == std::string::npos) {
+    std::fprintf(stderr, "STATS VIOLATION: /stats is missing the "
+                 "shard_tier block\n");
+    tier_server.Stop();
+    return 1;
+  }
+  tier_server.Stop();
+
+  std::printf(
+      "replica chaos: %d queries, %llu kills, %llu restarts, "
+      "%llu breaker opens, %llu hedges launched — zero failures, zero "
+      "degraded, bitwise parity held\n",
+      kReplicaQueries, static_cast<unsigned long long>(kills),
+      static_cast<unsigned long long>(restarts),
+      static_cast<unsigned long long>(breaker_opens),
+      static_cast<unsigned long long>(hedges_launched));
   std::printf("chaos soak passed: accounting identity holds\n");
   return 0;
 }

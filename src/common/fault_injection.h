@@ -51,7 +51,11 @@ namespace fault_injection {
 /// coordinator-to-shard channel call fails with kUnavailable at entry,
 /// local and HTTP channels alike; `shard.merge` — the coordinator's
 /// plan merge fails with kInternal after releasing the shards' plan
-/// sessions). Grep KGAQ_FAULT_POINT for the authoritative list.
+/// sessions; `shard.replica.probe` — an active health probe of a
+/// quarantined replica fails, keeping its breaker open;
+/// `shard.rpc.hedge` — a hedged validate fails at the launch decision,
+/// so the race degenerates to waiting on the primary). Grep
+/// KGAQ_FAULT_POINT for the authoritative list.
 
 namespace internal {
 extern std::atomic<bool> g_enabled;

@@ -52,9 +52,29 @@ RetryingHttpClient::Stats RetryingHttpClient::stats() const {
   return stats_;
 }
 
+void RetryingHttpClient::EvictHost(const std::string& host, uint16_t port) {
+  const std::string key = host + ":" + std::to_string(port);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pool_.find(key);
+  if (it == pool_.end()) return;
+  for (auto& slot : it->second) {
+    if (slot->in_use) {
+      // A round trip is mid-flight on another thread; closing under it
+      // would race the socket I/O. Flag it — checkin closes it.
+      if (!slot->evict_on_return) {
+        slot->evict_on_return = true;
+        ++stats_.evictions;
+      }
+    } else if (slot->conn.connected()) {
+      slot->conn.Close();
+      ++stats_.evictions;
+    }
+  }
+}
+
 Result<HttpResponse> RetryingHttpClient::PooledFetch(
     const std::string& host, uint16_t port, const std::string& method,
-    const std::string& target, const std::string& body) {
+    const std::string& target, const std::string& body, double timeout_ms) {
   const std::string key = host + ":" + std::to_string(port);
   const size_t cap = std::max<size_t>(1, options_.connections_per_host);
   PooledConn* slot = nullptr;
@@ -88,6 +108,9 @@ Result<HttpResponse> RetryingHttpClient::PooledFetch(
   const bool reused = slot->conn.connected();
   bool connected_now = false;
   Result<HttpResponse> out = [&]() -> Result<HttpResponse> {
+    // Applied before Connect so the timeout also bounds the handshake
+    // (SO_SNDTIMEO covers a blocking connect on Linux).
+    slot->conn.SetTimeoutMs(timeout_ms);
     if (!reused) {
       Status st = slot->conn.Connect(host, port);
       if (!st.ok()) return st;
@@ -103,7 +126,13 @@ Result<HttpResponse> RetryingHttpClient::PooledFetch(
     std::lock_guard<std::mutex> lock(mu_);
     if (reused) ++stats_.reuses;
     if (connected_now && overflow == nullptr) ++stats_.reconnects;
-    if (overflow == nullptr) slot->in_use = false;
+    if (overflow == nullptr) {
+      if (slot->evict_on_return) {
+        slot->conn.Close();
+        slot->evict_on_return = false;
+      }
+      slot->in_use = false;
+    }
   }
   return out;
 }
@@ -112,7 +141,8 @@ Result<HttpResponse> RetryingHttpClient::Fetch(const std::string& host,
                                                uint16_t port,
                                                const std::string& method,
                                                const std::string& target,
-                                               const std::string& body) {
+                                               const std::string& body,
+                                               double timeout_ms) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
@@ -146,7 +176,7 @@ Result<HttpResponse> RetryingHttpClient::Fetch(const std::string& host,
     }
 
     last = fetch_ ? fetch_(host, port, method, target, body)
-                  : PooledFetch(host, port, method, target, body);
+                  : PooledFetch(host, port, method, target, body, timeout_ms);
     if (!last.ok()) {
       const StatusCode code = last.status().code();
       if (code == StatusCode::kUnavailable) continue;  // nothing was sent

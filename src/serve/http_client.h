@@ -95,10 +95,27 @@ class RetryingHttpClient {
   /// response is returned (even a 4xx — only transport errors and
   /// retryable statuses loop). On exhaustion, the last transport error
   /// or the final 429/503 response is returned as-is.
+  ///
+  /// `timeout_ms` (when > 0) bounds each ATTEMPT's socket operations via
+  /// SO_SNDTIMEO/SO_RCVTIMEO on the pooled connection — not the whole
+  /// Fetch including backoff sleeps; callers with a hard deadline should
+  /// also size max_attempts accordingly. A timed-out attempt surfaces as
+  /// kIoError ("timed out"), which is NOT retried for non-idempotent
+  /// methods, so a deadline-clamped POST fails fast instead of replaying
+  /// into a spent budget. Ignored with an injected transport.
   Result<HttpResponse> Fetch(const std::string& host, uint16_t port,
                              const std::string& method,
                              const std::string& target,
-                             const std::string& body = "");
+                             const std::string& body = "",
+                             double timeout_ms = 0.0);
+
+  /// Closes every pooled connection to host:port — the circuit-breaker
+  /// open hook (shard/health.h): once a host is presumed dead, cached
+  /// sockets to it are worthless at best and half-dead at worst, so
+  /// failback after recovery reconnects fresh. Idle slots close
+  /// immediately; checked-out slots close when their in-flight round
+  /// trip returns. Each connection closed counts in stats().evictions.
+  void EvictHost(const std::string& host, uint16_t port);
 
   struct Stats {
     uint64_t requests = 0;  ///< Fetch() calls
@@ -114,6 +131,8 @@ class RetryingHttpClient {
     /// temporary one-shot connection instead. Persistently nonzero means
     /// connections_per_host is undersized for the concurrency.
     uint64_t overflows = 0;
+    /// Pooled connections closed by EvictHost (breaker-open eviction).
+    uint64_t evictions = 0;
   };
   Stats stats() const;
 
@@ -124,6 +143,8 @@ class RetryingHttpClient {
   struct PooledConn {
     HttpClientConnection conn;
     bool in_use = false;
+    /// EvictHost raced an in-flight round trip: close at checkin.
+    bool evict_on_return = false;
   };
 
   /// One attempt over a checked-out per-host pooled connection (or a
@@ -131,7 +152,8 @@ class RetryingHttpClient {
   Result<HttpResponse> PooledFetch(const std::string& host, uint16_t port,
                                    const std::string& method,
                                    const std::string& target,
-                                   const std::string& body);
+                                   const std::string& body,
+                                   double timeout_ms);
 
   RetryOptions options_;
   FetchFn fetch_;  ///< injected transport; null in pooled mode

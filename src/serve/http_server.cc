@@ -1570,6 +1570,9 @@ std::string HttpServer::Dispatch(const std::string& method,
       memory_suffix =
           std::string(" memory:") + MemoryPressureToString(pressure);
     }
+    // Subsystem suffixes (e.g. the shard tier's " shards:degraded") ride
+    // the same body; they inform without changing the status code.
+    if (health_augmenter_) memory_suffix += health_augmenter_();
     switch (service_.overload_state()) {
       case OverloadState::kHealthy:
         return MakeResponse(200, "text/plain", "ok" + memory_suffix + "\n",
@@ -1658,7 +1661,15 @@ std::string HttpServer::Dispatch(const std::string& method,
     out += ",\"alloc_failures\":" + std::to_string(c.alloc_failures);
     out += ",\"build_failures\":" + std::to_string(c.build_failures);
     out += "},\"total_bytes\":" + std::to_string(c.TotalBytes());
-    out += "}}\n";
+    out += "}";
+    if (stats_augmenter_) {
+      const std::string extra = stats_augmenter_();
+      if (!extra.empty()) {
+        out += ',';
+        out += extra;
+      }
+    }
+    out += "}\n";
     return MakeResponse(200, "application/json", out, keep_alive);
   }
 
@@ -1781,7 +1792,8 @@ HttpClientConnection::HttpClientConnection(
     : fd_(other.fd_),
       host_(std::move(other.host_)),
       port_(other.port_),
-      requests_sent_(other.requests_sent_) {
+      requests_sent_(other.requests_sent_),
+      timeout_ms_(other.timeout_ms_) {
   other.fd_ = -1;
   other.requests_sent_ = 0;
 }
@@ -1794,10 +1806,30 @@ HttpClientConnection& HttpClientConnection::operator=(
     host_ = std::move(other.host_);
     port_ = other.port_;
     requests_sent_ = other.requests_sent_;
+    timeout_ms_ = other.timeout_ms_;
     other.fd_ = -1;
     other.requests_sent_ = 0;
   }
   return *this;
+}
+
+void HttpClientConnection::SetTimeoutMs(double ms) {
+  timeout_ms_ = (ms > 0.0 && std::isfinite(ms)) ? ms : 0.0;
+  if (fd_ >= 0) ApplyTimeout(fd_);
+}
+
+void HttpClientConnection::ApplyTimeout(int fd) const {
+  timeval tv{};
+  if (timeout_ms_ > 0.0) {
+    // A zero timeval means "no timeout" to the kernel, so sub-ms budgets
+    // round up to 1 ms rather than silently unbounding the socket.
+    const double ms = std::max(1.0, timeout_ms_);
+    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  }
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void HttpClientConnection::Close() {
@@ -1821,6 +1853,9 @@ Status HttpClientConnection::Connect(const std::string& host,
     return Status::InvalidArgument("unparseable host '" + host +
                                    "' (numeric IPv4 only)");
   }
+  // SO_SNDTIMEO bounds the blocking connect too, so a deadline-clamped
+  // RPC cannot hang in the handshake against a black-holed peer.
+  ApplyTimeout(fd);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       KGAQ_FAULT_POINT("http.client.connect_error")) {
     const std::string err = std::strerror(errno);
@@ -1858,23 +1893,35 @@ Result<HttpResponse> HttpClientConnection::RoundTrip(
   // kUnavailable, safe to retry for any method. A fresh connection (or
   // one that already produced bytes) dying mid-flight may have executed
   // the request: kIoError, replayed only for idempotent methods.
-  const auto transport_error = [&](const std::string& what) -> Status {
+  // `timed_out` (SO_RCVTIMEO/SO_SNDTIMEO expiry, see SetTimeoutMs) takes
+  // precedence over the reused-connection rule: a slow server is NOT a
+  // reaped keep-alive — the request may be executing right now, so a
+  // timeout is always kIoError (replayed only for idempotent methods),
+  // never the retry-everything kUnavailable.
+  const auto transport_error = [&](const std::string& what,
+                                   bool timed_out = false) -> Status {
     Close();
+    if (timed_out) return Status::IoError("timed out: " + what);
     if (reused && raw.empty()) {
       return Status::Unavailable("stale keep-alive connection: " + what);
     }
     return Status::IoError(what);
   };
+  const auto is_timeout = []() {
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINPROGRESS;
+  };
 
   if (!SendAll(fd_, request)) {
-    return transport_error("send failed");
+    return transport_error("send failed", timeout_ms_ > 0.0 && is_timeout());
   }
   char chunk[4096];
   size_t header_end = std::string::npos;
   while (header_end == std::string::npos) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 || KGAQ_FAULT_POINT("http.client.recv_error")) {
-      return transport_error(std::string("recv: ") + std::strerror(errno));
+      const bool to = n < 0 && timeout_ms_ > 0.0 && is_timeout();
+      return transport_error(std::string("recv: ") + std::strerror(errno),
+                             to);
     }
     if (n == 0) {
       return transport_error("connection closed before response head");
@@ -1893,7 +1940,9 @@ Result<HttpResponse> HttpClientConnection::RoundTrip(
     while (raw.size() < body_start + head.content_length) {
       const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
       if (n < 0 || KGAQ_FAULT_POINT("http.client.recv_error")) {
-        return transport_error(std::string("recv: ") + std::strerror(errno));
+        const bool to = n < 0 && timeout_ms_ > 0.0 && is_timeout();
+        return transport_error(std::string("recv: ") + std::strerror(errno),
+                               to);
       }
       if (n == 0) return transport_error("connection closed mid-body");
       raw.append(chunk, static_cast<size_t>(n));
@@ -1903,7 +1952,9 @@ Result<HttpResponse> HttpClientConnection::RoundTrip(
     for (;;) {
       const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
       if (n < 0 || KGAQ_FAULT_POINT("http.client.recv_error")) {
-        return transport_error(std::string("recv: ") + std::strerror(errno));
+        const bool to = n < 0 && timeout_ms_ > 0.0 && is_timeout();
+        return transport_error(std::string("recv: ") + std::strerror(errno),
+                               to);
       }
       if (n == 0) break;
       raw.append(chunk, static_cast<size_t>(n));

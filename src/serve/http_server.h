@@ -188,6 +188,27 @@ class HttpServer {
     extra_handler_ = std::move(handler);
   }
 
+  /// Splices one extra top-level member into the GET /stats JSON object.
+  /// The fn returns a complete `"key":{...}` fragment (or "" for none)
+  /// and must be thread-safe — it runs inline on event-loop (or handler)
+  /// threads. Used by the shard tier to surface breaker/failover/hedge
+  /// counters (RenderShardTierJson, shard/coordinator.h) on the same
+  /// /stats the flat service already serves. Install before Start().
+  using StatsAugmenter = std::function<std::string()>;
+  void SetStatsAugmenter(StatsAugmenter fn) {
+    stats_augmenter_ = std::move(fn);
+  }
+
+  /// Appends a suffix to every /healthz body (e.g. " shards:degraded"
+  /// when a replica set is running below full strength; "" for nothing).
+  /// Same threading rules as the stats augmenter; the suffix never
+  /// changes the status code — replica degradation is a capacity signal,
+  /// not unavailability.
+  using HealthAugmenter = std::function<std::string()>;
+  void SetHealthAugmenter(HealthAugmenter fn) {
+    health_augmenter_ = std::move(fn);
+  }
+
  private:
   class EventLoop;
 
@@ -226,6 +247,8 @@ class HttpServer {
   QueryService& service_;
   HttpServerOptions options_;
   ExtraHandler extra_handler_;
+  StatsAugmenter stats_augmenter_;
+  HealthAugmenter health_augmenter_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
@@ -279,6 +302,18 @@ class HttpClientConnection {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  /// Bounds every subsequent socket operation (connect/send/recv) via
+  /// SO_SNDTIMEO/SO_RCVTIMEO. Per-SYSCALL, not per-round-trip: a server
+  /// trickling bytes can stretch a round trip past the nominal budget,
+  /// but a dead or hung peer fails within one timeout. <= 0, NaN or
+  /// +inf clears the bound (blocking forever, the historical behavior);
+  /// sub-millisecond values round up to 1 ms (a zero timeval means
+  /// "no timeout" to the kernel). Survives reconnects until reset. A
+  /// timed-out operation surfaces from RoundTrip as kIoError
+  /// ("timed out...") — the request MAY have executed, so retrying
+  /// clients replay it only for idempotent methods.
+  void SetTimeoutMs(double ms);
+
   /// Sends one request and reads one response. `keep_alive` picks the
   /// Connection header; after a `Connection: close` response (or
   /// keep_alive=false) the socket is closed and Connect must be called
@@ -299,10 +334,14 @@ class HttpClientConnection {
   uint64_t requests_sent() const { return requests_sent_; }
 
  private:
+  /// Applies the stored timeout to `fd` (0 clears it).
+  void ApplyTimeout(int fd) const;
+
   int fd_ = -1;
   std::string host_;
   uint16_t port_ = 0;
   uint64_t requests_sent_ = 0;
+  double timeout_ms_ = 0.0;  ///< 0 = unbounded
 };
 
 /// One-shot convenience for tests and smoke binaries: connect, send with

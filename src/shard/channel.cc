@@ -1,6 +1,9 @@
 #include "shard/channel.h"
 
+#include <algorithm>
 #include <charconv>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -43,10 +46,29 @@ Result<QueryResponse> LocalShardChannel::SubQuery(
 
 // --- HttpShardChannel ------------------------------------------------
 
+double HttpShardChannel::EffectiveTimeoutMs(const Deadline& deadline,
+                                            double rpc_timeout_ms) {
+  const double ceiling = rpc_timeout_ms > 0.0
+                             ? rpc_timeout_ms
+                             : std::numeric_limits<double>::infinity();
+  // remaining_millis() is +inf for an infinite deadline and exactly 0
+  // once expired — the clamp therefore fails an expired query fast
+  // without ever touching the transport.
+  return std::min(ceiling, deadline.remaining_millis());
+}
+
 Result<std::string> HttpShardChannel::Post(const std::string& path,
-                                           const std::string& body) {
+                                           const std::string& body,
+                                           double timeout_ms) {
   if (KGAQ_FAULT_POINT("shard.rpc.send")) return InjectedSendFault();
-  auto response = client_->Fetch(host_, port_, "POST", path, body);
+  if (timeout_ms <= 0.0) {
+    // The query's budget is already spent; don't burn a socket on an RPC
+    // whose answer nobody can use. kUnavailable: nothing was sent.
+    return Status::Unavailable("shard rpc not sent: query deadline expired");
+  }
+  const double fetch_timeout = std::isinf(timeout_ms) ? 0.0 : timeout_ms;
+  auto response =
+      client_->Fetch(host_, port_, "POST", path, body, fetch_timeout);
   if (!response.ok()) return response.status();
   if (response->status_code != 200) return DecodeError(response->body);
   return response->body;
@@ -54,28 +76,56 @@ Result<std::string> HttpShardChannel::Post(const std::string& path,
 
 Result<ShardPlanResult> HttpShardChannel::Plan(
     const ShardPlanRequest& request) {
-  auto body = Post("/shard/plan", EncodePlanRequest(request));
+  auto body = Post("/shard/plan", EncodePlanRequest(request),
+                   EffectiveTimeoutMs(request.deadline,
+                                      options_.rpc_timeout_ms));
   if (!body.ok()) return body.status();
   return DecodePlanResult(*body);
 }
 
 Result<std::vector<NodeOutcome>> HttpShardChannel::Validate(
     const ShardValidateRequest& request) {
-  auto body = Post("/shard/validate", EncodeValidateRequest(request));
+  auto body = Post("/shard/validate", EncodeValidateRequest(request),
+                   EffectiveTimeoutMs(request.deadline,
+                                      options_.rpc_timeout_ms));
   if (!body.ok()) return body.status();
   return DecodeOutcomes(*body);
 }
 
 Status HttpShardChannel::Release(uint64_t token) {
-  auto body = Post("/shard/release", std::to_string(token));
+  // Release is cleanup, not query work: it gets the full per-RPC ceiling
+  // rather than the (possibly spent) query deadline, or leases would
+  // leak on every deadline expiry.
+  auto body = Post("/shard/release", std::to_string(token),
+                   EffectiveTimeoutMs(Deadline::Infinite(),
+                                      options_.rpc_timeout_ms));
   return body.ok() ? Status::OK() : body.status();
 }
 
 Result<QueryResponse> HttpShardChannel::SubQuery(
     const QueryRequest& request) {
-  auto body = Post("/shard/subquery", EncodeQueryRequest(request));
+  // The sub-query legitimately runs for its whole deadline on the shard;
+  // the RPC must outwait it, so the ceiling is deadline + rpc_timeout
+  // slack (unbounded when the request carries no deadline).
+  const double timeout =
+      request.deadline_ms > 0.0 && options_.rpc_timeout_ms > 0.0
+          ? request.deadline_ms + options_.rpc_timeout_ms
+          : std::numeric_limits<double>::infinity();
+  auto body = Post("/shard/subquery", EncodeQueryRequest(request), timeout);
   if (!body.ok()) return body.status();
   return DecodeQueryResponse(*body);
+}
+
+Status HttpShardChannel::Probe() {
+  // Any HTTP answer — including a shedding 503 — proves the process is
+  // alive and reachable; only transport failures count as dead.
+  auto response = client_->Fetch(host_, port_, "GET", "/healthz", "",
+                                 std::max(1.0, options_.probe_timeout_ms));
+  return response.ok() ? Status::OK() : response.status();
+}
+
+void HttpShardChannel::OnQuarantined() {
+  client_->EvictHost(host_, port_);
 }
 
 // --- server-side routes ----------------------------------------------

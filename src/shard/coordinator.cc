@@ -32,6 +32,13 @@ CoordinatorStats Coordinator::stats() const {
   return stats_;
 }
 
+std::vector<ChannelHealth> Coordinator::channel_health() const {
+  std::vector<ChannelHealth> out;
+  out.reserve(channels_.size());
+  for (const auto& ch : channels_) out.push_back(ch->health());
+  return out;
+}
+
 QueryResponse Coordinator::Execute(const QueryRequest& request) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto started = std::chrono::steady_clock::now();
@@ -63,7 +70,7 @@ QueryResponse Coordinator::Execute(const QueryRequest& request) {
   } else if (options_.mode == ShardMode::kDeterministicMerge) {
     response = ExecuteDeterministic(request.query, opts, deadline);
   } else {
-    response = ExecuteFederated(request, opts, seed);
+    response = ExecuteFederated(request, opts, seed, deadline);
   }
   response.id = id;
   response.seed_used = seed;
@@ -95,12 +102,13 @@ QueryResponse Coordinator::Execute(const QueryRequest& request) {
 }
 
 Result<Coordinator::MergedPlan> Coordinator::ScatterPlan(
-    const AggregateQuery& query, const EngineOptions& options) {
+    const AggregateQuery& query, const EngineOptions& options,
+    Deadline deadline) {
   const size_t n = channels_.size();
   std::vector<Result<ShardPlanResult>> plans(
       n, Result<ShardPlanResult>(ShardPlanResult{}));
   ParallelFor(GlobalPool(), n, [&](size_t s) {
-    plans[s] = channels_[s]->Plan(ShardPlanRequest{query, options});
+    plans[s] = channels_[s]->Plan(ShardPlanRequest{query, options, deadline});
   });
 
   MergedPlan merged;
@@ -239,7 +247,7 @@ QueryResponse Coordinator::ExecuteDeterministic(const AggregateQuery& query,
                                                 const EngineOptions& options,
                                                 Deadline deadline) {
   QueryResponse response;
-  auto merged = ScatterPlan(query, options);
+  auto merged = ScatterPlan(query, options, deadline);
   if (!merged.ok()) {
     response.state = QueryState::kFailed;
     response.status = merged.status();
@@ -273,6 +281,7 @@ QueryResponse Coordinator::ExecuteDeterministic(const AggregateQuery& query,
       ShardValidateRequest req;
       req.token = plan.tokens[s];
       req.indices = indices_by_shard[s];
+      req.deadline = deadline;
       auto outcomes = channels_[s]->Validate(req);
       if (!outcomes.ok()) {
         statuses[s] = outcomes.status();
@@ -323,7 +332,14 @@ QueryResponse Coordinator::ExecuteDeterministic(const AggregateQuery& query,
       response.degraded = response.result.rounds >= 1;
       break;
     case StopCause::kShardLost:
-      if (response.result.rounds >= 1) {
+      if (deadline.expired()) {
+        // The "lost" shard was almost certainly a casualty of the query
+        // deadline: channels clamp per-RPC timeouts to the remaining
+        // budget, so once it hits zero every shard looks dead. Attribute
+        // to the deadline, like an unsharded engine would.
+        response.state = QueryState::kDeadlineExceeded;
+        response.degraded = response.result.rounds >= 1;
+      } else if (response.result.rounds >= 1) {
         // Completed rounds stand: a valid (if wider) estimate over the
         // full pre-loss schedule. An answer, not an error.
         response.state = QueryState::kDone;
@@ -353,7 +369,7 @@ QueryResponse Coordinator::ExecuteDeterministic(const AggregateQuery& query,
 
 QueryResponse Coordinator::ExecuteFederated(const QueryRequest& request,
                                             const EngineOptions& options,
-                                            uint64_t seed) {
+                                            uint64_t seed, Deadline deadline) {
   QueryResponse response;
   const size_t n = channels_.size();
   const AggregateFunction fn = request.query.function;
@@ -379,6 +395,14 @@ QueryResponse Coordinator::ExecuteFederated(const QueryRequest& request,
   std::vector<Leg> legs;
   for (size_t s = 0; s < n; ++s) {
     QueryRequest sub = request;
+    if (request.deadline_ms > 0.0) {
+      // Clamp each leg to the REMAINING query budget: admission work
+      // (and, on retries higher up, earlier legs) may already have spent
+      // part of it, and a sub-query given the original full deadline
+      // could overshoot the coordinator's own.
+      sub.deadline_ms = std::min(request.deadline_ms,
+                                 std::max(0.0, deadline.remaining_millis()));
+    }
     sub.error_bound = options.error_bound;
     sub.confidence_level = options.confidence_level;
     sub.max_rounds = options.max_rounds;
@@ -532,6 +556,44 @@ QueryResponse Coordinator::ExecuteFederated(const QueryRequest& request,
     out.error_bound = out.moe / std::abs(out.v_hat);
   }
   return response;
+}
+
+std::string RenderShardTierJson(const Coordinator& coordinator) {
+  const CoordinatorStats stats = coordinator.stats();
+  const std::vector<ChannelHealth> health = coordinator.channel_health();
+  std::string out = "\"shard_tier\":{\"mode\":\"";
+  out += ShardModeToString(coordinator.options().mode);
+  out += "\",\"shards\":[";
+  for (size_t s = 0; s < health.size(); ++s) {
+    const ChannelHealth& h = health[s];
+    if (s > 0) out += ',';
+    out += "{\"replicas\":" + std::to_string(h.replicas) +
+           ",\"healthy\":" + std::to_string(h.healthy) +
+           ",\"failovers\":" + std::to_string(h.failovers) +
+           ",\"failed_rpcs\":" + std::to_string(h.failed_rpcs) +
+           ",\"breaker_opens\":" + std::to_string(h.breaker_opens) +
+           ",\"breaker_rejected\":" + std::to_string(h.breaker_rejected) +
+           ",\"hedges_launched\":" + std::to_string(h.hedges_launched) +
+           ",\"hedges_won\":" + std::to_string(h.hedges_won) +
+           ",\"budget_denied\":" + std::to_string(h.budget_denied) +
+           ",\"probes\":" + std::to_string(h.probes) +
+           ",\"probe_failures\":" + std::to_string(h.probe_failures) +
+           ",\"divergent_plans\":" + std::to_string(h.divergent_plans) +
+           ",\"breakers\":[";
+    for (size_t r = 0; r < h.states.size(); ++r) {
+      if (r > 0) out += ',';
+      out += '"';
+      out += BreakerStateToString(h.states[r]);
+      out += '"';
+    }
+    out += "]}";
+  }
+  out += "],\"coordinator\":{\"submitted\":" + std::to_string(stats.submitted) +
+         ",\"done\":" + std::to_string(stats.done) +
+         ",\"failed\":" + std::to_string(stats.failed) +
+         ",\"deadline_expired\":" + std::to_string(stats.deadline_expired) +
+         ",\"degraded\":" + std::to_string(stats.degraded) + "}}";
+  return out;
 }
 
 }  // namespace kgaq

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/deadline.h"
@@ -98,6 +99,12 @@ class Coordinator {
   size_t num_shards() const { return channels_.size(); }
   const CoordinatorOptions& options() const { return options_; }
 
+  /// Per-channel replica-health snapshots, index-aligned with shards.
+  /// Deliberately does NOT take the Execute lock: channels_ is immutable
+  /// after construction and ChannelHealth snapshots are internally
+  /// synchronized, so /stats stays responsive mid-query.
+  std::vector<ChannelHealth> channel_health() const;
+
  private:
   /// One live shard's contribution to the merged global distribution.
   struct MergedPlan {
@@ -117,12 +124,15 @@ class Coordinator {
                                      const EngineOptions& options,
                                      Deadline deadline);
   QueryResponse ExecuteFederated(const QueryRequest& request,
-                                 const EngineOptions& options,
-                                 uint64_t seed);
+                                 const EngineOptions& options, uint64_t seed,
+                                 Deadline deadline);
   /// Scatters Plan to every shard and merges the owned slices; non-OK
-  /// when no shard answered or the merge found an inconsistency.
+  /// when no shard answered or the merge found an inconsistency. The
+  /// query deadline rides on every plan RPC so remote channels clamp
+  /// their per-RPC timeouts to the remaining budget.
   Result<MergedPlan> ScatterPlan(const AggregateQuery& query,
-                                 const EngineOptions& options);
+                                 const EngineOptions& options,
+                                 Deadline deadline);
   void ReleasePlans(const MergedPlan& plan);
 
   std::vector<std::unique_ptr<ShardChannel>> channels_;
@@ -132,6 +142,12 @@ class Coordinator {
   uint64_t next_index_ = 0;
   CoordinatorStats stats_;
 };
+
+/// Renders the shard tier's health as a `"shard_tier":{...}` JSON
+/// fragment for HttpServer::SetStatsAugmenter: the coordinator's
+/// accounting buckets plus one row per shard with replica counts,
+/// breaker states, and failover/hedge/budget counters.
+std::string RenderShardTierJson(const Coordinator& coordinator);
 
 }  // namespace kgaq
 

@@ -1,0 +1,120 @@
+#include "shard/health.h"
+
+#include <algorithm>
+
+namespace kgaq {
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {
+  options_.failure_threshold = std::max(1, options_.failure_threshold);
+  if (options_.open_cooldown_ms < 0.0) options_.open_cooldown_ms = 0.0;
+}
+
+CircuitBreaker::Gate CircuitBreaker::Admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Gate::kProceed;
+    case BreakerState::kOpen: {
+      const auto cooldown = std::chrono::duration<double, std::milli>(
+          options_.open_cooldown_ms);
+      if (Clock::now() - opened_at_ < cooldown) {
+        ++rejected_;
+        return Gate::kReject;
+      }
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      return Gate::kProbe;
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) {
+        ++rejected_;
+        return Gate::kReject;
+      }
+      probe_in_flight_ = true;
+      return Gate::kProbe;
+  }
+  return Gate::kReject;
+}
+
+void CircuitBreaker::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+bool CircuitBreaker::OnFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_in_flight_ = false;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back to Open, cooldown restarts.
+    state_ = BreakerState::kOpen;
+    opened_at_ = Clock::now();
+    ++opens_;
+    return true;
+  }
+  if (state_ == BreakerState::kOpen) return false;
+  if (++consecutive_failures_ >= options_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    opened_at_ = Clock::now();
+    ++opens_;
+    return true;
+  }
+  return false;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+uint64_t CircuitBreaker::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+RetryBudget::RetryBudget(RetryBudgetOptions options) : options_(options) {
+  options_.max_tokens = std::max(0.0, options_.max_tokens);
+  options_.tokens_per_success = std::max(0.0, options_.tokens_per_success);
+  tokens_ = options_.max_tokens;
+}
+
+bool RetryBudget::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) {
+    ++denied_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  ++acquired_;
+  return true;
+}
+
+void RetryBudget::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(options_.max_tokens, tokens_ + options_.tokens_per_success);
+}
+
+RetryBudget::Stats RetryBudget::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{tokens_, acquired_, denied_};
+}
+
+}  // namespace kgaq

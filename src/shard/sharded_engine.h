@@ -1,12 +1,14 @@
 #ifndef KGAQ_SHARD_SHARDED_ENGINE_H_
 #define KGAQ_SHARD_SHARDED_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "shard/coordinator.h"
 #include "shard/partitioner.h"
+#include "shard/replica_set.h"
 #include "shard/shard_node.h"
 
 namespace kgaq {
@@ -25,6 +27,24 @@ struct ShardedEngineOptions {
   ServiceOptions service;
   /// Coordinator-level seed derivation base (QueryService::QuerySeed).
   uint64_t base_seed = 7;
+  /// Replicas per logical shard. 1 (the default) wires plain channels —
+  /// byte-for-byte the pre-replication deployment. R > 1 stands up R
+  /// bit-identical ShardNodes per cut behind a ShardReplicaSet, buying
+  /// transparent failover: any query finishes undegraded while at least
+  /// one replica of every shard survives.
+  uint32_t replicas_per_shard = 1;
+  /// Replica-tier tuning (breakers, hedging, probing); used when
+  /// replicas_per_shard > 1.
+  ReplicaSetOptions replica;
+  /// Failover/hedge retry budget, shared across ALL of this engine's
+  /// replica sets so a multi-shard brownout cannot multiply attempts.
+  RetryBudgetOptions retry_budget;
+  /// Test/chaos seam: when set, every replica channel is passed through
+  /// this wrapper before wiring (e.g. KillSwitchChannel). Applied to
+  /// plain channels too when replicas_per_shard == 1.
+  std::function<std::unique_ptr<ShardChannel>(std::unique_ptr<ShardChannel>,
+                                              uint32_t shard, uint32_t replica)>
+      wrap_channel;
 };
 
 /// The in-process sharded deployment, assembled end to end: partition the
@@ -65,9 +85,14 @@ class ShardedEngine {
   }
 
   Coordinator& coordinator() { return *coordinator_; }
-  ShardNode& node(size_t shard) { return *nodes_[shard]; }
+  ShardNode& node(size_t shard) { return *nodes_[shard][0]; }
+  ShardNode& node(size_t shard, size_t replica) {
+    return *nodes_[shard][replica];
+  }
   size_t num_shards() const { return nodes_.size(); }
-  /// Per-shard service counters (each satisfies the accounting identity).
+  size_t num_replicas(size_t shard) const { return nodes_[shard].size(); }
+  /// Per-node service counters, shard-major then replica (each satisfies
+  /// the accounting identity).
   std::vector<QueryService::ServiceStats> shard_stats() const;
 
  private:
@@ -79,10 +104,13 @@ class ShardedEngine {
   /// borrow, so they must outlive contexts_/nodes_ (members destroy in
   /// reverse declaration order). cuts_ is fully built before any context
   /// is created and never resized after — the borrowed references cannot
-  /// dangle.
+  /// dangle. nodes_ is shard-major: nodes_[s] holds that shard's R
+  /// replicas (all sharing one context — the snapshot is immutable, so
+  /// replicas differ only in session state, which is exactly the
+  /// bit-identical premise the replica tier rides on).
   std::vector<ShardCut> cuts_;
   std::vector<std::shared_ptr<const EngineContext>> contexts_;
-  std::vector<std::unique_ptr<ShardNode>> nodes_;
+  std::vector<std::vector<std::unique_ptr<ShardNode>>> nodes_;
   std::unique_ptr<Coordinator> coordinator_;
 };
 

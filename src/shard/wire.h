@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/approx_engine.h"
 #include "kg/types.h"
@@ -31,6 +32,11 @@ namespace kgaq {
 struct ShardPlanRequest {
   AggregateQuery query;
   EngineOptions options;
+  /// The QUERY's deadline, not a per-RPC one: channels clamp their own
+  /// per-RPC timeout to whatever budget remains, so a failover retry can
+  /// never outlive the query. Channel-local — never serialized (the
+  /// server side has its own connection timeouts).
+  Deadline deadline = Deadline::Infinite();
 };
 
 /// One shard's slice of the global candidate distribution.
@@ -52,6 +58,8 @@ struct ShardPlanResult {
 struct ShardValidateRequest {
   uint64_t token = 0;
   std::vector<size_t> indices;
+  /// Query deadline; see ShardPlanRequest::deadline. Channel-local.
+  Deadline deadline = Deadline::Infinite();
 };
 
 std::string EncodePlanRequest(const ShardPlanRequest& req);

@@ -2,7 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -194,6 +203,138 @@ TEST(RetryingHttpClientTest, MaxAttemptsOneDisablesRetry) {
   EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable);
   EXPECT_EQ(ft.calls, 1u);
   EXPECT_TRUE(ft.sleeps.empty());
+}
+
+// A bare loopback listener for transport-level pooled-mode tests. In
+// `respond` mode it answers every request with one canned keep-alive
+// 200; in silent mode it accepts connections and never sends a byte,
+// which is exactly the hang a per-attempt socket timeout must cut.
+class RawServer {
+ public:
+  explicit RawServer(bool respond) : respond_(respond) { Init(); }
+
+  ~RawServer() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+    for (auto& t : serve_threads_) t.join();
+    for (int fd : conns_) ::close(fd);
+    ::close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  // Setup lives in a void method so gtest fatal assertions work (they
+  // are return statements, which a constructor body cannot host).
+  void Init() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listen_fd_, 0);
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)), 0);
+    ASSERT_EQ(::listen(listen_fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len), 0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void Loop() {
+    while (!stop_.load()) {
+      pollfd pfd{listen_fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 20) <= 0) continue;
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      conns_.push_back(fd);
+      if (respond_) {
+        serve_threads_.emplace_back([this, fd] { Serve(fd); });
+      }
+      // Silent mode just holds the connection open, saying nothing.
+    }
+  }
+
+  void Serve(int fd) {
+    std::string buf;
+    char chunk[1024];
+    while (!stop_.load()) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 20) <= 0) continue;
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return;
+      buf.append(chunk, static_cast<size_t>(n));
+      // GETs have no body: a blank line ends the request.
+      while (buf.find("\r\n\r\n") != std::string::npos) {
+        buf.erase(0, buf.find("\r\n\r\n") + 4);
+        static const char kResp[] =
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n"
+            "Connection: keep-alive\r\n\r\nok";
+        ::send(fd, kResp, sizeof(kResp) - 1, 0);
+      }
+    }
+  }
+
+  bool respond_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::vector<std::thread> serve_threads_;
+  std::vector<int> conns_;
+};
+
+// The breaker-open hook: EvictHost closes the idle pooled connection
+// (counted in stats().evictions) and the next Fetch to that host
+// reconnects fresh instead of reusing a condemned socket.
+TEST(RetryingHttpClientTest, EvictHostClosesPooledConnectionsAndCounts) {
+  RawServer server(/*respond=*/true);
+  RetryOptions opts;
+  opts.max_attempts = 2;
+  opts.initial_backoff_ms = 1.0;
+  opts.max_backoff_ms = 5.0;
+  RetryingHttpClient client(opts);
+
+  auto r1 = client.Fetch("127.0.0.1", server.port(), "GET", "/x");
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(r1->status_code, 200);
+  auto r2 = client.Fetch("127.0.0.1", server.port(), "GET", "/x");
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(client.stats().reuses, 1u);
+  EXPECT_EQ(client.stats().reconnects, 1u);
+  EXPECT_EQ(client.stats().evictions, 0u);
+
+  client.EvictHost("127.0.0.1", server.port());
+  EXPECT_EQ(client.stats().evictions, 1u);
+  // Evicting an already-empty pool is a no-op, not a double count.
+  client.EvictHost("127.0.0.1", server.port());
+  EXPECT_EQ(client.stats().evictions, 1u);
+
+  auto r3 = client.Fetch("127.0.0.1", server.port(), "GET", "/x");
+  ASSERT_TRUE(r3.ok()) << r3.status();
+  EXPECT_EQ(client.stats().reconnects, 2u);  // fresh socket, not reuse
+}
+
+// A server that accepts and then says nothing must not hang a
+// deadline-clamped RPC: the per-attempt timeout surfaces as kIoError
+// ("timed out"), the failure mode the shard channel maps to a lost
+// replica rather than an infinite stall.
+TEST(RetryingHttpClientTest, SocketTimeoutSurfacesAsIoError) {
+  RawServer server(/*respond=*/false);
+  RetryOptions opts;
+  opts.max_attempts = 1;  // the timeout itself is under test, not retry
+  RetryingHttpClient client(opts);
+
+  auto resp = client.Fetch("127.0.0.1", server.port(), "GET", "/x", "",
+                           /*timeout_ms=*/50.0);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kIoError);
+  EXPECT_NE(resp.status().message().find("timed out"), std::string::npos)
+      << resp.status();
 }
 
 }  // namespace

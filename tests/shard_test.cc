@@ -19,6 +19,7 @@
 #include "shard/channel.h"
 #include "shard/coordinator.h"
 #include "shard/partitioner.h"
+#include "shard/replica_set.h"
 #include "shard/sharded_engine.h"
 #include "shard/wire.h"
 
@@ -627,6 +628,190 @@ TEST(ShardWireTest, QueryRequestAndResponseRoundTrip) {
   Status rerr = DecodeError(EncodeError(err));
   EXPECT_EQ(rerr.code(), err.code());
   EXPECT_EQ(rerr.message(), err.message());
+}
+
+// Stops a REAL loopback server at the `kill_at`-th validate call
+// (1-based, cumulative). Two flavors: `forward_after_kill` pushes the
+// doomed RPC through the inner HttpShardChannel so the failure is a
+// genuine transport error against a dead socket; the non-forwarding
+// flavor fails locally instead, which leaves the pooled keep-alive
+// connection idle-open so the breaker-open -> OnQuarantined ->
+// EvictHost chain has a live socket to find and close.
+class ServerKillingChannel final : public ShardChannel {
+ public:
+  ServerKillingChannel(std::unique_ptr<ShardChannel> inner,
+                       HttpServer* server, int kill_at,
+                       bool forward_after_kill)
+      : inner_(std::move(inner)),
+        server_(server),
+        kill_at_(kill_at),
+        forward_(forward_after_kill) {}
+
+  Result<ShardPlanResult> Plan(const ShardPlanRequest& request) override {
+    return inner_->Plan(request);
+  }
+  Result<std::vector<NodeOutcome>> Validate(
+      const ShardValidateRequest& request) override {
+    if (calls_.fetch_add(1) + 1 >= kill_at_) {
+      if (!killed_.exchange(true)) server_->Stop();
+      if (!forward_) return Status::Unavailable("server stopped by test");
+    }
+    return inner_->Validate(request);
+  }
+  Status Release(uint64_t token) override { return inner_->Release(token); }
+  Result<QueryResponse> SubQuery(const QueryRequest& request) override {
+    return inner_->SubQuery(request);
+  }
+  Status Probe() override { return inner_->Probe(); }
+  void OnQuarantined() override { inner_->OnQuarantined(); }
+
+ private:
+  std::unique_ptr<ShardChannel> inner_;
+  HttpServer* server_;
+  int kill_at_;
+  bool forward_;
+  std::atomic<int> calls_{0};
+  std::atomic<bool> killed_{false};
+};
+
+// kShardLost over REAL HTTP: an unreplicated shard's server process
+// dies between rounds, the validate POST fails against the dead socket
+// (reused-connection kUnavailable, reconnect refused), and the
+// coordinator retires the run exactly like the in-process FlakyValidate
+// version — degraded kDone with the completed round standing. The
+// transport changes the failure mechanics, not the contract.
+TEST(CoordinatorFailureTest, MidRunServerDeathOverHttpRetiresPartial) {
+  ManualShards shards = BuildManualShards(2);
+  std::vector<std::unique_ptr<HttpServer>> servers;
+  for (auto& node : shards.nodes) {
+    auto server = std::make_unique<HttpServer>(node->service());
+    server->SetExtraHandler(MakeShardHttpHandler(*node));
+    ASSERT_TRUE(server->Start().ok());
+    servers.push_back(std::move(server));
+  }
+  RetryOptions ropts;
+  ropts.max_attempts = 2;
+  ropts.initial_backoff_ms = 1.0;
+  ropts.max_backoff_ms = 5.0;
+  RetryingHttpClient client(ropts);
+
+  std::vector<std::unique_ptr<ShardChannel>> channels;
+  channels.push_back(std::make_unique<ServerKillingChannel>(
+      std::make_unique<HttpShardChannel>("127.0.0.1", servers[0]->port(),
+                                         &client),
+      servers[0].get(), /*kill_at=*/2, /*forward_after_kill=*/true));
+  channels.push_back(std::make_unique<HttpShardChannel>(
+      "127.0.0.1", servers[1]->port(), &client));
+  CoordinatorOptions copts;
+  copts.base_seed = kBaseSeed;
+  Coordinator coord(std::move(channels), copts);
+
+  QueryRequest req;
+  req.query = MixedWorkload()[0];
+  req.error_bound = 1e-9;  // unreachable: runs to max_rounds if healthy
+  req.max_rounds = 3;
+  QueryResponse resp = coord.Execute(req);
+  ASSERT_EQ(resp.state, QueryState::kDone) << resp.status;
+  EXPECT_TRUE(resp.status.ok());
+  EXPECT_TRUE(resp.degraded);
+  EXPECT_EQ(resp.result.rounds, 1u);
+
+  const CoordinatorStats cs = coord.stats();
+  EXPECT_EQ(cs.done, 1u);
+  EXPECT_EQ(cs.degraded, 1u);
+  EXPECT_EQ(cs.submitted, CoordinatorBuckets(cs));
+  // Only the SURVIVING node is leak-gated: the dead shard's release RPC
+  // went down with its server, so its session is stranded — exactly
+  // what a real process death leaves behind.
+  EXPECT_EQ(shards.nodes[1]->live_plan_sessions(), 0u);
+  for (auto& server : servers) server->Stop();
+}
+
+// The tentpole, end to end over real sockets: each shard is a
+// ShardReplicaSet over two HttpShardChannels to two ShardNodes sharing
+// one snapshot. One replica's server dies mid-workload; the set opens
+// its breaker (threshold 1), quarantine evicts the dead host's pooled
+// sockets, validates fail over to the surviving replica — and every
+// answer stays bitwise-identical to the flat engine with degraded
+// false. Replication hides the loss completely.
+TEST(ReplicatedHttpTest, ReplicaDeathFailsOverBitwiseAndEvictsPool) {
+  const auto workload = MixedWorkload();
+  const auto& expected = UnshardedReference();
+  const auto& ds = MiniDataset();
+  KgPartitioner::Options popts;
+  popts.num_shards = 2;
+  auto cuts = KgPartitioner::Partition(ds.graph(), popts);
+  ASSERT_TRUE(cuts.ok()) << cuts.status();
+
+  std::vector<std::shared_ptr<const EngineContext>> contexts;
+  std::vector<std::unique_ptr<ShardNode>> nodes;  // shard-major: s*2 + r
+  std::vector<std::unique_ptr<HttpServer>> servers;
+  RetryOptions ropts;
+  ropts.max_attempts = 2;
+  ropts.initial_backoff_ms = 1.0;
+  ropts.max_backoff_ms = 5.0;
+  RetryingHttpClient client(ropts);
+
+  std::vector<std::unique_ptr<ShardChannel>> channels;
+  for (uint32_t s = 0; s < 2; ++s) {
+    contexts.push_back(std::make_shared<EngineContext>(
+        (*cuts)[s].graph, ds.reference_embedding()));
+    std::vector<std::unique_ptr<ShardChannel>> members;
+    for (uint32_t r = 0; r < 2; ++r) {
+      auto node = ShardNode::Create(contexts.back(), (*cuts)[s].info,
+                                    ServiceOptions{});
+      ASSERT_TRUE(node.ok()) << node.status();
+      auto server = std::make_unique<HttpServer>((*node)->service());
+      server->SetExtraHandler(MakeShardHttpHandler(**node));
+      ASSERT_TRUE(server->Start().ok());
+      std::unique_ptr<ShardChannel> ch = std::make_unique<HttpShardChannel>(
+          "127.0.0.1", server->port(), &client);
+      if (s == 0 && r == 0) {
+        ch = std::make_unique<ServerKillingChannel>(
+            std::move(ch), server.get(), /*kill_at=*/2,
+            /*forward_after_kill=*/false);
+      }
+      members.push_back(std::move(ch));
+      nodes.push_back(std::move(*node));
+      servers.push_back(std::move(server));
+    }
+    ReplicaSetOptions rsopts;
+    rsopts.breaker.failure_threshold = 1;  // one strike quarantines
+    rsopts.breaker.open_cooldown_ms = 60000.0;  // no failback this test
+    channels.push_back(
+        std::make_unique<ShardReplicaSet>(std::move(members), rsopts));
+  }
+  CoordinatorOptions copts;
+  copts.base_seed = kBaseSeed;
+  Coordinator coord(std::move(channels), copts);
+
+  for (size_t i : {0u, 1u, 3u, 6u}) {
+    QueryRequest req;
+    req.query = workload[i];
+    req.seed = QueryService::QuerySeed(kBaseSeed, i);
+    QueryResponse resp = coord.Execute(req);
+    ASSERT_EQ(resp.state, QueryState::kDone)
+        << "query " << i << ": " << resp.status;
+    // The whole point: a mid-workload replica death is INVISIBLE — not
+    // even degraded, because the survivor replays the identical session.
+    EXPECT_FALSE(resp.degraded) << "query " << i;
+    ExpectResultsBitwiseEqual(resp.result, expected[i], i);
+  }
+
+  const auto health = coord.channel_health();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_GE(health[0].failovers, 1u);
+  EXPECT_GE(health[0].breaker_opens, 1u);
+  EXPECT_EQ(health[0].healthy, 1u);  // replica 0 quarantined
+  EXPECT_EQ(health[1].healthy, 2u);
+  // Quarantine evicted the dead host's pooled keep-alive sockets.
+  EXPECT_GE(client.stats().evictions, 1u);
+  // Leak gate on every node except the one behind the killed server
+  // (its release RPC died with the socket, like a real process death).
+  for (size_t k = 1; k < nodes.size(); ++k) {
+    EXPECT_EQ(nodes[k]->live_plan_sessions(), 0u) << "node " << k;
+  }
+  for (auto& server : servers) server->Stop();
 }
 
 }  // namespace
